@@ -1,0 +1,129 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+//   1. R-List early-termination threshold on/off;
+//   2. IER-kNN bound: flexible Euclidean aggregate vs the cheap
+//      Q-MBR bound (Section III-C's alternative);
+//   3. Exact-max final answer: arrival recording vs one explicit g_phi
+//      call (Algorithm 2 line 8);
+//   4. the CH extension engine vs the paper's engines inside GD.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = true, .gtree = false, .ch = true});
+  const Graph& graph = env.graph();
+  auto phl = env.Engine(GphiKind::kPhl);
+  auto ine = env.Engine(GphiKind::kIne);
+  auto ch = env.Engine(GphiKind::kCh);
+  Params params;  // defaults
+
+  auto instances = MakeInstances(graph, params, env.num_queries(),
+                                 /*build_p_tree=*/true, 191);
+  auto max_query = [&](size_t i) {
+    return FannQuery{&graph, &instances[i].p, &instances[i].q, params.phi,
+                     Aggregate::kMax};
+  };
+
+  std::printf("\n=== Ablations (defaults: d=%g A=%g M=%zu phi=%g, max) ===\n",
+              params.d, params.a, params.m, params.phi);
+
+  // 1. R-List threshold.
+  {
+    RListOptions off;
+    off.use_threshold = false;
+    const double with_ms = TimeCell(
+        [&](size_t i) { SolveRList(max_query(i), *phl); },
+        instances.size(), env.cell_budget_ms());
+    const double without_ms = TimeCell(
+        [&](size_t i) { SolveRList(max_query(i), *phl, off); },
+        instances.size(), env.cell_budget_ms());
+    FannResult with_r = SolveRList(max_query(0), *phl);
+    FannResult without_r = SolveRList(max_query(0), *phl, off);
+    std::printf("R-List threshold:    on %10s (%zu g_phi)   off %10s "
+                "(%zu g_phi)\n",
+                FormatMs(with_ms).c_str(), with_r.gphi_evaluations,
+                FormatMs(without_ms).c_str(), without_r.gphi_evaluations);
+  }
+
+  // 2. IER bound choice.
+  {
+    IerOptions cheap;
+    cheap.bound = IerBound::kQMbrCheap;
+    const double flex_ms = TimeCell(
+        [&](size_t i) {
+          SolveIer(max_query(i), *phl, *instances[i].p_tree);
+        },
+        instances.size(), env.cell_budget_ms());
+    const double cheap_ms = TimeCell(
+        [&](size_t i) {
+          SolveIer(max_query(i), *phl, *instances[i].p_tree, cheap);
+        },
+        instances.size(), env.cell_budget_ms());
+    FannResult flex_r = SolveIer(max_query(0), *phl, *instances[0].p_tree);
+    FannResult cheap_r =
+        SolveIer(max_query(0), *phl, *instances[0].p_tree, cheap);
+    std::printf("IER bound:     g^e_phi %10s (%zu g_phi)  Q-MBR %10s "
+                "(%zu g_phi)\n",
+                FormatMs(flex_ms).c_str(), flex_r.gphi_evaluations,
+                FormatMs(cheap_ms).c_str(), cheap_r.gphi_evaluations);
+  }
+
+  // 3. Exact-max answer assembly.
+  {
+    const double arrivals_ms = TimeCell(
+        [&](size_t i) { SolveExactMax(max_query(i)); }, instances.size(),
+        env.cell_budget_ms());
+    const double gphi_ms = TimeCell(
+        [&](size_t i) { SolveExactMax(max_query(i), *ine); },
+        instances.size(), env.cell_budget_ms());
+    std::printf("Exact-max:    arrivals %10s          final g_phi %10s\n",
+                FormatMs(arrivals_ms).c_str(), FormatMs(gphi_ms).c_str());
+  }
+
+  // 5. (run before 4 for output locality) APX-sum candidate generation:
+  //    per-query incremental expansions vs a prebuilt network Voronoi
+  //    diagram over P (amortized across queries sharing one P).
+  {
+    auto sum_query = [&](size_t i) {
+      return FannQuery{&graph, &instances[i].p, &instances[i].q, params.phi,
+                       Aggregate::kSum};
+    };
+    const double plain_ms = TimeCell(
+        [&](size_t i) { SolveApxSum(sum_query(i), *ine); },
+        instances.size(), env.cell_budget_ms());
+    // Voronoi built once per instance P (not timed: amortized setup).
+    std::vector<std::unique_ptr<NetworkVoronoi>> voronois;
+    for (const auto& inst : instances) {
+      voronois.push_back(
+          std::make_unique<NetworkVoronoi>(graph, inst.p));
+    }
+    const double voronoi_ms = TimeCell(
+        [&](size_t i) {
+          SolveApxSumWithVoronoi(sum_query(i), *voronois[i], *ine);
+        },
+        instances.size(), env.cell_budget_ms());
+    std::printf("APX-sum NN:  expansion %10s       NVD lookup %10s\n",
+                FormatMs(plain_ms).c_str(), FormatMs(voronoi_ms).c_str());
+  }
+
+  // 4. CH extension engine inside GD.
+  {
+    const double phl_ms = TimeCell(
+        [&](size_t i) { SolveGd(max_query(i), *phl); }, instances.size(),
+        env.cell_budget_ms());
+    const double ch_ms = TimeCell(
+        [&](size_t i) { SolveGd(max_query(i), *ch); }, instances.size(),
+        env.cell_budget_ms());
+    const double ine_ms = TimeCell(
+        [&](size_t i) { SolveGd(max_query(i), *ine); }, instances.size(),
+        env.cell_budget_ms());
+    std::printf("GD engine:         PHL %10s   CH(ext) %10s   INE %10s\n",
+                FormatMs(phl_ms).c_str(), FormatMs(ch_ms).c_str(),
+                FormatMs(ine_ms).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Appendix A analog: per-query index cost over Q — R-tree (used by the
+// IER-* engines) vs the G-tree occurrence lists (Occ, used by the GTree
+// engine) — varying M.
+//
+// Paper's qualitative finding: Occ costs somewhat more time and space
+// than the R-tree over Q, but both are trivial next to query time, so
+// the choice between GTree and IER-GTree is not driven by Q's index.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "common/timer.h"
+#include "sp/gtree/gtree_knn.h"
+#include "spatial/rtree.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = false, .gtree = true, .ch = false});
+  const Graph& graph = env.graph();
+  const GphiResources resources = env.Resources();
+  const size_t sizes[] = {64, 128, 256, 512, 1024};
+
+  std::printf("\n=== Appendix A: Q-index cost, R-tree vs Occ, varying M ==="
+              "\n%-8s %14s %14s %14s %14s\n", "M", "RTree build",
+              "Occ build", "RTree bytes", "Occ bytes");
+  for (size_t m : sizes) {
+    if (m > graph.NumVertices()) continue;
+    Params params;
+    params.m = m;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/false, 161);
+    double rtree_ms = 0.0, occ_ms = 0.0;
+    size_t rtree_bytes = 0, occ_bytes = 0;
+    for (const Instance& inst : instances) {
+      Timer t;
+      std::vector<RTree::Item> items;
+      for (VertexId q : inst.q.members()) {
+        items.push_back({graph.Coord(q), q});
+      }
+      RTree q_tree = RTree::BulkLoad(std::move(items));
+      rtree_ms += t.Millis();
+      rtree_bytes += q_tree.MemoryBytes();
+
+      t.Reset();
+      GTreeKnn knn(*resources.gtree, inst.q);
+      occ_ms += t.Millis();
+      occ_bytes += knn.OccMemoryBytes();
+    }
+    const double n = static_cast<double>(instances.size());
+    std::printf("%-8zu %12.3fms %12.3fms %13.1fK %13.1fK\n", m,
+                rtree_ms / n, occ_ms / n,
+                static_cast<double>(rtree_bytes) / n / 1e3,
+                static_cast<double>(occ_bytes) / n / 1e3);
+  }
+  std::printf("\n(both costs are negligible next to query time, as the "
+              "paper observes)\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Appendix B analog: APX-sum approximation ratio varying the remaining
+// workload parameters A, M and C.
+//
+// Paper's qualitative finding: the ratio stays below 1.2 (and stable)
+// under every parameter.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+namespace {
+
+using namespace fannr;
+using namespace fannr::bench;
+
+void Measure(const Env& env, GphiEngine& engine,
+             const std::vector<Instance>& instances, double phi,
+             const char* label) {
+  const Graph& graph = env.graph();
+  double mean = 0.0, worst = 0.0;
+  size_t counted = 0;
+  for (const Instance& inst : instances) {
+    FannQuery query{&graph, &inst.p, &inst.q, phi, Aggregate::kSum};
+    const FannResult exact = SolveGd(query, engine);
+    const FannResult approx = SolveApxSum(query, engine);
+    if (exact.distance <= 0.0 || exact.distance == kInfWeight) continue;
+    mean += approx.distance / exact.distance;
+    worst = std::max(worst, approx.distance / exact.distance);
+    ++counted;
+  }
+  if (counted == 0) {
+    std::printf("%-10s (no valid instances)\n", label);
+    return;
+  }
+  std::printf("%-10s %10.4f %10.4f\n", label,
+              mean / static_cast<double>(counted), worst);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  Env env = Env::Load({.labels = true, .gtree = false, .ch = false});
+  const Graph& graph = env.graph();
+  auto phl = env.Engine(GphiKind::kPhl);
+
+  std::printf("\n=== Appendix B: APX-sum ratio under A, M, C ===\n");
+
+  std::printf("\nvarying A:\n%-10s %10s %10s\n", "A", "mean", "worst");
+  for (double a : {0.01, 0.05, 0.10, 0.15, 0.20}) {
+    Params params;
+    params.a = a;
+    auto instances = MakeInstances(graph, params,
+                                   std::max<size_t>(env.num_queries(), 20),
+                                   /*build_p_tree=*/false, 171);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f%%", a * 100);
+    Measure(env, *phl, instances, params.phi, label);
+  }
+
+  std::printf("\nvarying M:\n%-10s %10s %10s\n", "M", "mean", "worst");
+  for (size_t m : {64u, 128u, 256u, 512u, 1024u}) {
+    if (m > graph.NumVertices()) continue;
+    Params params;
+    params.m = m;
+    auto instances = MakeInstances(graph, params,
+                                   std::max<size_t>(env.num_queries(), 20),
+                                   /*build_p_tree=*/false, 172);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zu", static_cast<size_t>(m));
+    Measure(env, *phl, instances, params.phi, label);
+  }
+
+  std::printf("\nvarying C:\n%-10s %10s %10s\n", "C", "mean", "worst");
+  for (size_t c : {1u, 2u, 4u, 6u, 8u}) {
+    Params params;
+    params.c = c;
+    auto instances = MakeInstances(graph, params,
+                                   std::max<size_t>(env.num_queries(), 20),
+                                   /*build_p_tree=*/false, 173);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zu", static_cast<size_t>(c));
+    Measure(env, *phl, instances, params.phi, label);
+  }
+
+  std::printf("\n(paper: ratio < 1.2 under every parameter)\n");
+  return 0;
+}

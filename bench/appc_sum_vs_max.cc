@@ -1,0 +1,59 @@
+// Appendix C analog: sum-FANN_R vs max-FANN_R running time for the
+// universal methods at the default parameters.
+//
+// Paper's claim (Section VI-A): "the running time of sum-FANN_R is very
+// close to that of max-FANN_R given the same input" — which justifies
+// showing only max in the efficiency figures.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = true, .gtree = false, .ch = false});
+  const Graph& graph = env.graph();
+  auto phl = env.Engine(GphiKind::kPhl);
+  Params params;  // defaults
+
+  auto instances = MakeInstances(graph, params, env.num_queries(),
+                                 /*build_p_tree=*/true, 181);
+
+  PrintHeader("Appendix C: sum vs max runtime (universal methods)", env,
+              "algorithm", {"max", "sum", "sum/max"});
+  struct Algo {
+    const char* name;
+    std::function<void(const FannQuery&, size_t)> run;
+  };
+  std::vector<Algo> algos;
+  algos.push_back({"GD", [&](const FannQuery& q, size_t) {
+                     SolveGd(q, *phl);
+                   }});
+  algos.push_back({"R-List", [&](const FannQuery& q, size_t) {
+                     SolveRList(q, *phl);
+                   }});
+  algos.push_back({"IER-PHL", [&](const FannQuery& q, size_t i) {
+                     SolveIer(q, *phl, *instances[i].p_tree);
+                   }});
+
+  for (const Algo& algo : algos) {
+    auto time_with = [&](Aggregate aggregate) {
+      return TimeCell(
+          [&](size_t i) {
+            FannQuery query{&graph, &instances[i].p, &instances[i].q,
+                            params.phi, aggregate};
+            algo.run(query, i);
+          },
+          instances.size(), env.cell_budget_ms());
+    };
+    const double max_ms = time_with(Aggregate::kMax);
+    const double sum_ms = time_with(Aggregate::kSum);
+    std::printf("%-10s %12s %12s %11.2fx\n", algo.name,
+                FormatMs(max_ms).c_str(), FormatMs(sum_ms).c_str(),
+                sum_ms / max_ms);
+  }
+  std::printf("\n(paper: the two aggregates cost nearly the same)\n");
+  return 0;
+}

@@ -1,0 +1,272 @@
+#include "common/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/timer.h"
+
+namespace fannr::bench {
+
+namespace {
+
+std::string EnvOr(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? value : fallback;
+}
+
+double EnvOrDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtod(value, nullptr) : fallback;
+}
+
+std::string CachePath(const std::string& cache_dir,
+                      const std::string& dataset, const std::string& kind) {
+  return cache_dir + "/" + dataset + "." + kind + ".bin";
+}
+
+}  // namespace
+
+size_t Env::LeafCapacityFor(const std::string& dataset) {
+  if (dataset == "NW") return 256;
+  if (dataset == "E") return 256;
+  if (dataset == "ME" || dataset == "COL") return 128;
+  return 64;  // TEST, DE
+}
+
+Env Env::Load(const EnvNeeds& needs) {
+  Env env;
+  env.dataset_ = EnvOr("FANNR_DATASET", "TEST");
+  FANNR_CHECK(IsPresetName(env.dataset_));
+  env.num_queries_ = static_cast<size_t>(
+      EnvOrDouble("FANNR_QUERIES", 5));
+  env.cell_budget_ms_ = EnvOrDouble("FANNR_CELL_BUDGET_MS", 15000.0);
+  const std::string cache_dir = EnvOr("FANNR_CACHE", ".fannr_cache");
+  std::filesystem::create_directories(cache_dir);
+
+  Timer t;
+  const std::string graph_cache =
+      CachePath(cache_dir, env.dataset_, "graph");
+  {
+    std::ifstream in(graph_cache, std::ios::binary);
+    if (in) {
+      auto loaded = Graph::Load(in);
+      if (loaded.has_value()) {
+        env.graph_ = std::make_unique<Graph>(std::move(*loaded));
+      }
+    }
+  }
+  if (env.graph_ == nullptr) {
+    env.graph_ = std::make_unique<Graph>(BuildPreset(env.dataset_));
+    std::ofstream out(graph_cache, std::ios::binary);
+    if (out) env.graph_->Save(out);
+  }
+  std::fprintf(stderr, "[env] dataset %s: %zu vertices, %zu edges (%.1fs)\n",
+               env.dataset_.c_str(), env.graph_->NumVertices(),
+               env.graph_->NumEdges(), t.Seconds());
+
+  auto load_or_build = [&](const std::string& kind, auto load_fn,
+                           auto build_fn, auto save_fn, auto& slot) {
+    const std::string path = CachePath(cache_dir, env.dataset_, kind);
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (in) {
+        slot = load_fn(in);
+        if (slot.has_value()) {
+          std::fprintf(stderr, "[env] %s loaded from cache\n", kind.c_str());
+          return;
+        }
+      }
+    }
+    Timer build_timer;
+    slot = build_fn();
+    std::fprintf(stderr, "[env] %s built in %.1fs\n", kind.c_str(),
+                 build_timer.Seconds());
+    if (slot.has_value()) {
+      std::ofstream out(path, std::ios::binary);
+      if (out && save_fn(*slot, out)) {
+        std::fprintf(stderr, "[env] %s cached to %s\n", kind.c_str(),
+                     path.c_str());
+      }
+    }
+  };
+
+  if (needs.labels) {
+    load_or_build(
+        "phl", [](std::istream& in) { return HubLabels::Load(in); },
+        [&] { return HubLabels::Build(*env.graph_); },
+        [](const HubLabels& l, std::ostream& out) { return l.Save(out); },
+        env.labels_);
+    FANNR_CHECK(env.labels_.has_value());
+  }
+  if (needs.gtree) {
+    GTree::Options options;
+    options.leaf_capacity = LeafCapacityFor(env.dataset_);
+    load_or_build(
+        "gtree",
+        [&](std::istream& in) { return GTree::Load(*env.graph_, in); },
+        [&] {
+          return std::optional<GTree>(GTree::Build(*env.graph_, options));
+        },
+        [](const GTree& g, std::ostream& out) { return g.Save(out); },
+        env.gtree_);
+    FANNR_CHECK(env.gtree_.has_value());
+  }
+  if (needs.ch) {
+    load_or_build(
+        "ch",
+        [&](std::istream& in) {
+          return ContractionHierarchy::Load(*env.graph_, in);
+        },
+        [&] {
+          return std::optional<ContractionHierarchy>(
+              ContractionHierarchy::Build(*env.graph_));
+        },
+        [](const ContractionHierarchy& c, std::ostream& out) {
+          return c.Save(out);
+        },
+        env.ch_);
+    FANNR_CHECK(env.ch_.has_value());
+  }
+  return env;
+}
+
+GphiResources Env::Resources() const {
+  GphiResources r;
+  r.graph = graph_.get();
+  if (labels_.has_value()) r.labels = &*labels_;
+  if (gtree_.has_value()) r.gtree = &*gtree_;
+  if (ch_.has_value()) r.ch = &*ch_;
+  return r;
+}
+
+std::unique_ptr<GphiEngine> Env::Engine(GphiKind kind) const {
+  return MakeGphiEngine(kind, Resources());
+}
+
+std::vector<Instance> MakeInstances(const Graph& graph, const Params& params,
+                                    size_t count, bool build_p_tree,
+                                    uint64_t seed_base) {
+  std::vector<Instance> instances;
+  instances.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Rng rng(seed_base * 1'000'003ULL + i);
+    std::vector<VertexId> p_vec = GenerateDataPoints(graph, params.d, rng);
+    std::vector<VertexId> q_vec =
+        params.c <= 1
+            ? GenerateUniformQueryPoints(graph, params.a, params.m, rng)
+            : GenerateClusteredQueryPoints(graph, params.a, params.m,
+                                           params.c, rng);
+    Instance inst{IndexedVertexSet(graph.NumVertices(), std::move(p_vec)),
+                  IndexedVertexSet(graph.NumVertices(), std::move(q_vec)),
+                  std::nullopt};
+    if (build_p_tree) {
+      inst.p_tree = BuildDataPointRTree(graph, inst.p);
+    }
+    instances.push_back(std::move(inst));
+  }
+  return instances;
+}
+
+double TimeCell(const std::function<void(size_t)>& solver,
+                size_t num_instances, double budget_ms) {
+  Timer total;
+  size_t completed = 0;
+  for (size_t i = 0; i < num_instances; ++i) {
+    solver(i);
+    ++completed;
+    if (total.Millis() > budget_ms) break;
+  }
+  return total.Millis() / static_cast<double>(completed);
+}
+
+void PrintHeader(const std::string& title, const Env& env,
+                 const std::string& x_name,
+                 const std::vector<std::string>& series) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("dataset=%s  |V|=%zu  queries/cell<=%zu  budget=%.0fms\n",
+              env.dataset().c_str(), env.graph().NumVertices(),
+              env.num_queries(), env.cell_budget_ms());
+  std::printf("%-10s", x_name.c_str());
+  for (const std::string& s : series) std::printf(" %12s", s.c_str());
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& x_value, const std::vector<double>& ms) {
+  std::printf("%-10s", x_value.c_str());
+  for (double v : ms) std::printf(" %12s", FormatMs(v).c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::vector<std::string> AllAlgorithmNames() {
+  return {"GD", "R-List", "IER-PHL", "Exact-max", "APX-sum"};
+}
+
+std::vector<double> TimeAllAlgorithms(const Env& env, GphiEngine& phl,
+                                      const std::vector<Instance>& instances,
+                                      const Params& params) {
+  const Graph& graph = env.graph();
+  auto max_query = [&](size_t i) {
+    return FannQuery{&graph, &instances[i].p, &instances[i].q, params.phi,
+                     Aggregate::kMax};
+  };
+  auto sum_query = [&](size_t i) {
+    return FannQuery{&graph, &instances[i].p, &instances[i].q, params.phi,
+                     Aggregate::kSum};
+  };
+  std::vector<double> row;
+  row.push_back(TimeCell([&](size_t i) { SolveGd(max_query(i), phl); },
+                         instances.size(), env.cell_budget_ms()));
+  row.push_back(TimeCell([&](size_t i) { SolveRList(max_query(i), phl); },
+                         instances.size(), env.cell_budget_ms()));
+  row.push_back(TimeCell(
+      [&](size_t i) { SolveIer(max_query(i), phl, *instances[i].p_tree); },
+      instances.size(), env.cell_budget_ms()));
+  row.push_back(TimeCell([&](size_t i) { SolveExactMax(max_query(i)); },
+                         instances.size(), env.cell_budget_ms()));
+  row.push_back(TimeCell([&](size_t i) { SolveApxSum(sum_query(i), phl); },
+                         instances.size(), env.cell_budget_ms()));
+  return row;
+}
+
+std::vector<GphiKind> TableOneKinds() {
+  return {GphiKind::kAStar,  GphiKind::kIerAStar, GphiKind::kIne,
+          GphiKind::kPhl,    GphiKind::kIerPhl,   GphiKind::kGTree,
+          GphiKind::kIerGTree};
+}
+
+std::vector<double> TimeIerEngines(
+    const Env& env, const std::vector<std::unique_ptr<GphiEngine>>& engines,
+    const std::vector<Instance>& instances, const Params& params) {
+  const Graph& graph = env.graph();
+  std::vector<double> row;
+  for (const auto& engine : engines) {
+    row.push_back(TimeCell(
+        [&](size_t i) {
+          FannQuery query{&graph, &instances[i].p, &instances[i].q,
+                          params.phi, Aggregate::kMax};
+          SolveIer(query, *engine, *instances[i].p_tree);
+        },
+        instances.size(), env.cell_budget_ms()));
+  }
+  return row;
+}
+
+std::string FormatMs(double ms) {
+  char buffer[32];
+  if (ms < 0) {
+    return "-";
+  }
+  if (ms >= 1000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", ms / 1000.0);
+  } else if (ms >= 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fms", ms);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3fms", ms);
+  }
+  return buffer;
+}
+
+}  // namespace fannr::bench

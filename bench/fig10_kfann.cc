@@ -1,0 +1,50 @@
+// Fig. 10: k-FANN_R efficiency varying k.
+//
+// Paper's qualitative findings: query time grows with k for every
+// algorithm except GD (which evaluates all of P regardless); Exact-max
+// and R-List are the most k-sensitive (more expansion); GD is flat and
+// typically second-best overall.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = true, .gtree = false, .ch = false});
+  const Graph& graph = env.graph();
+  const size_t ks[] = {1, 5, 10, 15, 20};
+
+  auto phl = env.Engine(GphiKind::kPhl);
+  Params params;  // defaults
+
+  PrintHeader("Fig 10: k-FANN_R varying k (max aggregate)", env, "k",
+              {"GD", "R-List", "IER-PHL", "Exact-max"});
+  auto instances = MakeInstances(graph, params, env.num_queries(),
+                                 /*build_p_tree=*/true, 101);
+  for (size_t k : ks) {
+    auto query_of = [&](size_t i) {
+      return FannQuery{&graph, &instances[i].p, &instances[i].q, params.phi,
+                       Aggregate::kMax};
+    };
+    std::vector<double> row;
+    row.push_back(TimeCell(
+        [&](size_t i) { SolveKGd(query_of(i), k, *phl); },
+        instances.size(), env.cell_budget_ms()));
+    row.push_back(TimeCell(
+        [&](size_t i) { SolveKRList(query_of(i), k, *phl); },
+        instances.size(), env.cell_budget_ms()));
+    row.push_back(TimeCell(
+        [&](size_t i) {
+          SolveKIer(query_of(i), k, *phl, *instances[i].p_tree);
+        },
+        instances.size(), env.cell_budget_ms()));
+    row.push_back(TimeCell(
+        [&](size_t i) { SolveKExactMax(query_of(i), k); },
+        instances.size(), env.cell_budget_ms()));
+    PrintRow(std::to_string(k), row);
+  }
+  return 0;
+}

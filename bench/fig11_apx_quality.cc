@@ -1,0 +1,92 @@
+// Fig. 11: approximation quality of APX-sum (mean ratio +- stddev),
+// varying d (a) and phi (b).
+//
+// Paper's qualitative findings: the observed ratio never exceeds 1.2 in
+// any experiment (guaranteed bound: 3), and it is stable across d and
+// phi.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+namespace {
+
+using namespace fannr;
+using namespace fannr::bench;
+
+struct RatioStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double worst = 0.0;
+};
+
+RatioStats MeasureRatios(const Env& env, GphiEngine& engine,
+                         const std::vector<Instance>& instances,
+                         double phi) {
+  const Graph& graph = env.graph();
+  std::vector<double> ratios;
+  for (const Instance& inst : instances) {
+    FannQuery query{&graph, &inst.p, &inst.q, phi, Aggregate::kSum};
+    const FannResult exact = SolveGd(query, engine);
+    const FannResult approx = SolveApxSum(query, engine);
+    if (exact.distance <= 0.0 || exact.distance == kInfWeight) continue;
+    ratios.push_back(approx.distance / exact.distance);
+  }
+  RatioStats stats;
+  if (ratios.empty()) return stats;
+  for (double r : ratios) stats.mean += r;
+  stats.mean /= static_cast<double>(ratios.size());
+  for (double r : ratios) {
+    stats.stddev += (r - stats.mean) * (r - stats.mean);
+    stats.worst = std::max(stats.worst, r);
+  }
+  stats.stddev =
+      std::sqrt(stats.stddev / static_cast<double>(ratios.size()));
+  return stats;
+}
+
+void PrintStatsRow(const char* label, const RatioStats& stats) {
+  std::printf("%-10s %10.4f %12.4f %10.4f\n", label, stats.mean,
+              stats.stddev, stats.worst);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  Env env = Env::Load({.labels = true, .gtree = false, .ch = false});
+  const Graph& graph = env.graph();
+  auto phl = env.Engine(GphiKind::kPhl);
+
+  std::printf("\n=== Fig 11(a): APX-sum approximation ratio, varying d ==="
+              "\n%-10s %10s %12s %10s\n", "d", "mean", "stddev", "worst");
+  for (double d : {0.0001, 0.001, 0.01, 0.1, 1.0}) {
+    Params params;
+    params.d = d;
+    auto instances = MakeInstances(graph, params,
+                                   std::max<size_t>(env.num_queries(), 20),
+                                   /*build_p_tree=*/false, 111);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%g", d);
+    PrintStatsRow(label, MeasureRatios(env, *phl, instances, params.phi));
+  }
+
+  std::printf("\n=== Fig 11(b): APX-sum approximation ratio, varying phi "
+              "===\n%-10s %10s %12s %10s\n", "phi", "mean", "stddev",
+              "worst");
+  for (double phi : {0.1, 0.3, 0.5, 0.7, 1.0}) {
+    Params params;
+    params.phi = phi;
+    auto instances = MakeInstances(graph, params,
+                                   std::max<size_t>(env.num_queries(), 20),
+                                   /*build_p_tree=*/false, 112);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f", phi);
+    PrintStatsRow(label, MeasureRatios(env, *phl, instances, phi));
+  }
+
+  std::printf("\n(paper: ratio always < 1.2; guaranteed bound 3)\n");
+  return 0;
+}

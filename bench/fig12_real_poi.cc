@@ -1,0 +1,73 @@
+// Fig. 12: real-world POIs — (a) efficiency of all algorithms, (b)
+// APX-sum approximation quality — with P in {FF, PO} and Q in {HOS, UNI}
+// (Table IV categories; synthetic POI substitution per DESIGN.md §2.1).
+//
+// Paper's qualitative findings: same relative algorithm ranking as the
+// synthetic workloads; APX-sum ratio < 1.1 on POI data.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = true, .gtree = false, .ch = false});
+  const Graph& graph = env.graph();
+  auto phl = env.Engine(GphiKind::kPhl);
+  const double phi = 0.5;
+
+  const std::string p_names[] = {"FF", "PO"};
+  const std::string q_names[] = {"HOS", "UNI"};
+
+  PrintHeader("Fig 12(a): efficiency on POI sets (P x Q)", env, "P/Q",
+              AllAlgorithmNames());
+  std::printf("%-10s %12s %12s %12s %12s %12s  (ratio)\n", "", "", "", "",
+              "", "");
+  for (const std::string& p_name : p_names) {
+    for (const std::string& q_name : q_names) {
+      // Build num_queries POI instances (fresh clustered placements).
+      std::vector<Instance> instances;
+      std::vector<double> ratios;
+      for (size_t i = 0; i < env.num_queries(); ++i) {
+        Rng rng(120'000 + i * 17);
+        auto p_vec = GeneratePoiSet(graph, PoiCategoryByName(p_name), rng);
+        auto q_vec = GeneratePoiSet(graph, PoiCategoryByName(q_name), rng);
+        Instance inst{IndexedVertexSet(graph.NumVertices(), std::move(p_vec)),
+                      IndexedVertexSet(graph.NumVertices(), std::move(q_vec)),
+                      std::nullopt};
+        inst.p_tree = BuildDataPointRTree(graph, inst.p);
+        instances.push_back(std::move(inst));
+      }
+
+      Params params;
+      params.phi = phi;
+      std::vector<double> row =
+          TimeAllAlgorithms(env, *phl, instances, params);
+      PrintRow(p_name + "/" + q_name, row);
+
+      // (b) approximation quality on the same instances.
+      double mean = 0.0, worst = 0.0;
+      size_t counted = 0;
+      for (const Instance& inst : instances) {
+        FannQuery query{&graph, &inst.p, &inst.q, phi, Aggregate::kSum};
+        const FannResult exact = SolveGd(query, *phl);
+        const FannResult approx = SolveApxSum(query, *phl);
+        if (exact.distance <= 0.0 || exact.distance == kInfWeight) continue;
+        const double ratio = approx.distance / exact.distance;
+        mean += ratio;
+        worst = std::max(worst, ratio);
+        ++counted;
+      }
+      if (counted > 0) {
+        std::printf("%-10s APX-sum ratio: mean %.4f  worst %.4f\n", "",
+                    mean / static_cast<double>(counted), worst);
+      }
+    }
+  }
+  std::printf("\n(paper: same ranking as synthetic data; POI ratio < 1.1)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fig. 3: efficiency of GD (a) and IER-kNN (b) implemented by different
+// g_phi engines, varying the density d of P.
+//
+// Paper's qualitative findings to check against EXPERIMENTS.md:
+//   * PHL / IER-PHL fastest, A* / IER-A* slowest;
+//   * GD grows ~linearly in d, IER-kNN sub-linearly;
+//   * IER-kNN beats GD by 1-3 orders of magnitude at equal engine.
+//
+// Aggregate is max (the paper reports max for the universal methods).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = true, .gtree = true, .ch = false});
+  const Graph& graph = env.graph();
+  const double densities[] = {0.0001, 0.001, 0.01, 0.1, 1.0};
+  const GphiKind kinds[] = {GphiKind::kAStar,   GphiKind::kIerAStar,
+                            GphiKind::kIne,     GphiKind::kPhl,
+                            GphiKind::kIerPhl,  GphiKind::kGTree,
+                            GphiKind::kIerGTree};
+  // Cells whose candidate-evaluation volume explodes are skipped, like
+  // the paper's own off-the-chart GD points ("cannot finish the query
+  // ... within a reasonable time").
+  const char* skip_env = std::getenv("FANNR_SKIP_THRESHOLD");
+  const double skip_threshold =
+      skip_env != nullptr ? std::strtod(skip_env, nullptr) : 2e6;
+
+  std::vector<std::string> series;
+  for (GphiKind kind : kinds) series.emplace_back(GphiKindName(kind));
+
+  std::vector<std::unique_ptr<GphiEngine>> engines;
+  for (GphiKind kind : kinds) engines.push_back(env.Engine(kind));
+
+  // --- (a) GD by engine ---------------------------------------------------
+  PrintHeader("Fig 3(a): GD by g_phi engine, varying d", env, "d", series);
+  for (double d : densities) {
+    Params params;
+    params.d = d;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/false, 31);
+    std::vector<double> row;
+    for (size_t e = 0; e < engines.size(); ++e) {
+      const bool expansion_engine = kinds[e] == GphiKind::kAStar ||
+                                    kinds[e] == GphiKind::kIerAStar ||
+                                    kinds[e] == GphiKind::kIne;
+      const double volume = static_cast<double>(instances[0].p.size()) *
+                            static_cast<double>(instances[0].q.size());
+      if (expansion_engine && volume > skip_threshold) {
+        row.push_back(-1.0);  // skipped, matches the paper's missing points
+        continue;
+      }
+      row.push_back(TimeCell(
+          [&](size_t i) {
+            FannQuery query{&graph, &instances[i].p, &instances[i].q,
+                            params.phi, Aggregate::kMax};
+            SolveGd(query, *engines[e]);
+          },
+          instances.size(), env.cell_budget_ms()));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%g", d);
+    PrintRow(label, row);
+  }
+
+  // --- (b) IER-kNN by engine ----------------------------------------------
+  PrintHeader("Fig 3(b): IER-kNN by g_phi engine, varying d", env, "d",
+              series);
+  for (double d : densities) {
+    Params params;
+    params.d = d;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/true, 32);
+    std::vector<double> row;
+    for (auto& engine : engines) {
+      row.push_back(TimeCell(
+          [&](size_t i) {
+            FannQuery query{&graph, &instances[i].p, &instances[i].q,
+                            params.phi, Aggregate::kMax};
+            SolveIer(query, *engine, *instances[i].p_tree);
+          },
+          instances.size(), env.cell_budget_ms()));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%g", d);
+    PrintRow(label, row);
+  }
+  return 0;
+}

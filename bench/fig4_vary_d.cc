@@ -1,0 +1,98 @@
+// Fig. 4: (a) all FANN_R algorithms varying d; (b) Baseline vs R-List,
+// both index-free (INE), varying d.
+//
+// Paper's qualitative findings:
+//   * IER-PHL best at small d; APX-sum takes over for d > 0.01;
+//   * APX-sum is flat in d (it depends on Q, not P);
+//   * Exact-max dips then rises (expansion overhead vs earlier
+//     termination);
+//   * R-List beats GD when d is large;
+//   * index-free: R-List >> Baseline, which becomes infeasible for large d.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = true, .gtree = false, .ch = false});
+  const Graph& graph = env.graph();
+  const double densities[] = {0.0001, 0.001, 0.01, 0.1, 1.0};
+
+  auto phl = env.Engine(GphiKind::kPhl);
+  auto ine = env.Engine(GphiKind::kIne);
+
+  // --- (a) all algorithms (universal ones run max; APX-sum runs sum) -----
+  PrintHeader("Fig 4(a): all algorithms, varying d", env, "d",
+              {"GD", "R-List", "IER-PHL", "Exact-max", "APX-sum"});
+  for (double d : densities) {
+    Params params;
+    params.d = d;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/true, 41);
+    auto max_query = [&](size_t i) {
+      return FannQuery{&graph, &instances[i].p, &instances[i].q, params.phi,
+                       Aggregate::kMax};
+    };
+    auto sum_query = [&](size_t i) {
+      return FannQuery{&graph, &instances[i].p, &instances[i].q, params.phi,
+                       Aggregate::kSum};
+    };
+    std::vector<double> row;
+    row.push_back(TimeCell(
+        [&](size_t i) { SolveGd(max_query(i), *phl); }, instances.size(),
+        env.cell_budget_ms()));
+    row.push_back(TimeCell(
+        [&](size_t i) { SolveRList(max_query(i), *phl); },
+        instances.size(), env.cell_budget_ms()));
+    row.push_back(TimeCell(
+        [&](size_t i) {
+          SolveIer(max_query(i), *phl, *instances[i].p_tree);
+        },
+        instances.size(), env.cell_budget_ms()));
+    row.push_back(TimeCell(
+        [&](size_t i) { SolveExactMax(max_query(i)); }, instances.size(),
+        env.cell_budget_ms()));
+    row.push_back(TimeCell(
+        [&](size_t i) { SolveApxSum(sum_query(i), *phl); },
+        instances.size(), env.cell_budget_ms()));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%g", d);
+    PrintRow(label, row);
+  }
+
+  // --- (b) index-free: Baseline (GD-INE) vs R-List (INE) -----------------
+  PrintHeader("Fig 4(b): index-free Baseline vs R-List (INE), varying d",
+              env, "d", {"Baseline", "R-List"});
+  for (double d : densities) {
+    Params params;
+    params.d = d;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/false, 42);
+    auto max_query = [&](size_t i) {
+      return FannQuery{&graph, &instances[i].p, &instances[i].q, params.phi,
+                       Aggregate::kMax};
+    };
+    std::vector<double> row;
+    // Baseline becomes infeasible at high d on large datasets; cap it the
+    // same way the paper's plot runs off the chart.
+    const double volume = static_cast<double>(instances[0].p.size()) *
+                          static_cast<double>(instances[0].q.size());
+    if (volume > 2e6) {
+      row.push_back(-1.0);
+    } else {
+      row.push_back(TimeCell(
+          [&](size_t i) { SolveGd(max_query(i), *ine); }, instances.size(),
+          env.cell_budget_ms()));
+    }
+    row.push_back(TimeCell(
+        [&](size_t i) { SolveRList(max_query(i), *ine); }, instances.size(),
+        env.cell_budget_ms()));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%g", d);
+    PrintRow(label, row);
+  }
+  return 0;
+}

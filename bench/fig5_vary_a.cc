@@ -1,0 +1,52 @@
+// Fig. 5: efficiency varying the coverage ratio A of Q.
+// (a) IER-kNN by g_phi engine; (b) all algorithms.
+//
+// Paper's qualitative findings: cost grows with A for everything;
+// expansion-based engines (A*, IER-A*, INE) have the steepest slopes;
+// APX-sum and GD are the most stable.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = true, .gtree = true, .ch = false});
+  const Graph& graph = env.graph();
+  const double coverages[] = {0.01, 0.05, 0.10, 0.15, 0.20};
+
+  std::vector<std::unique_ptr<GphiEngine>> engines;
+  std::vector<std::string> engine_names;
+  for (GphiKind kind : TableOneKinds()) {
+    engines.push_back(env.Engine(kind));
+    engine_names.emplace_back(GphiKindName(kind));
+  }
+  auto phl = env.Engine(GphiKind::kPhl);
+
+  PrintHeader("Fig 5(a): IER-kNN by g_phi engine, varying A", env, "A",
+              engine_names);
+  for (double a : coverages) {
+    Params params;
+    params.a = a;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/true, 51);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f%%", a * 100);
+    PrintRow(label, TimeIerEngines(env, engines, instances, params));
+  }
+
+  PrintHeader("Fig 5(b): all algorithms, varying A", env, "A",
+              AllAlgorithmNames());
+  for (double a : coverages) {
+    Params params;
+    params.a = a;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/true, 52);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f%%", a * 100);
+    PrintRow(label, TimeAllAlgorithms(env, *phl, instances, params));
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 6: efficiency varying the query-set size M = |Q|.
+// (a) IER-kNN by g_phi engine; (b) all algorithms.
+//
+// Paper's qualitative findings: larger M costs more overall, with a dip
+// between M=64 and M=256 for most IER-kNN engines (the M-vs-sparsity
+// trade-off); APX-sum grows with M (it depends on |Q|); differences among
+// PHL/GTree/IER-PHL/IER-GTree are minor.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = true, .gtree = true, .ch = false});
+  const Graph& graph = env.graph();
+  const size_t sizes[] = {64, 128, 256, 512, 1024};
+
+  std::vector<std::unique_ptr<GphiEngine>> engines;
+  std::vector<std::string> engine_names;
+  for (GphiKind kind : TableOneKinds()) {
+    engines.push_back(env.Engine(kind));
+    engine_names.emplace_back(GphiKindName(kind));
+  }
+  auto phl = env.Engine(GphiKind::kPhl);
+
+  PrintHeader("Fig 6(a): IER-kNN by g_phi engine, varying M", env, "M",
+              engine_names);
+  for (size_t m : sizes) {
+    if (m > graph.NumVertices()) {
+      std::printf("%-10zu (skipped: M exceeds |V|)\n", m);
+      continue;
+    }
+    Params params;
+    params.m = m;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/true, 61);
+    PrintRow(std::to_string(m),
+             TimeIerEngines(env, engines, instances, params));
+  }
+
+  PrintHeader("Fig 6(b): all algorithms, varying M", env, "M",
+              AllAlgorithmNames());
+  for (size_t m : sizes) {
+    if (m > graph.NumVertices()) {
+      std::printf("%-10zu (skipped: M exceeds |V|)\n", m);
+      continue;
+    }
+    Params params;
+    params.m = m;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/true, 62);
+    PrintRow(std::to_string(m),
+             TimeAllAlgorithms(env, *phl, instances, params));
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 7: efficiency varying the number of clusters C of Q.
+// (a) IER-kNN by g_phi engine; (b) all algorithms.
+//
+// Paper's qualitative findings: more clusters cost more, most severely
+// for the expansion-based methods; R-List and Exact-max are the most
+// affected algorithms; as C grows, timings approach the uniform-Q case.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = true, .gtree = true, .ch = false});
+  const Graph& graph = env.graph();
+  const size_t cluster_counts[] = {1, 2, 4, 6, 8};
+
+  std::vector<std::unique_ptr<GphiEngine>> engines;
+  std::vector<std::string> engine_names;
+  for (GphiKind kind : TableOneKinds()) {
+    engines.push_back(env.Engine(kind));
+    engine_names.emplace_back(GphiKindName(kind));
+  }
+  auto phl = env.Engine(GphiKind::kPhl);
+
+  PrintHeader("Fig 7(a): IER-kNN by g_phi engine, varying C (clustered Q)",
+              env, "C", engine_names);
+  for (size_t c : cluster_counts) {
+    Params params;
+    params.c = c;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/true, 71);
+    PrintRow(std::to_string(c),
+             TimeIerEngines(env, engines, instances, params));
+  }
+
+  PrintHeader("Fig 7(b): all algorithms, varying C (clustered Q)", env, "C",
+              AllAlgorithmNames());
+  for (size_t c : cluster_counts) {
+    Params params;
+    params.c = c;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/true, 72);
+    PrintRow(std::to_string(c),
+             TimeAllAlgorithms(env, *phl, instances, params));
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 8: efficiency varying the flexibility parameter phi.
+// (a) IER-kNN by g_phi engine; (b) all algorithms.
+//
+// Paper's qualitative findings: cost grows with phi (more destinations
+// must be reached); the R-tree over Q helps A* most at small phi
+// (IER-A* vs A*); R-List and Exact-max are the most phi-sensitive
+// algorithms.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = true, .gtree = true, .ch = false});
+  const Graph& graph = env.graph();
+  const double phis[] = {0.1, 0.3, 0.5, 0.7, 1.0};
+
+  std::vector<std::unique_ptr<GphiEngine>> engines;
+  std::vector<std::string> engine_names;
+  for (GphiKind kind : TableOneKinds()) {
+    engines.push_back(env.Engine(kind));
+    engine_names.emplace_back(GphiKindName(kind));
+  }
+  auto phl = env.Engine(GphiKind::kPhl);
+
+  PrintHeader("Fig 8(a): IER-kNN by g_phi engine, varying phi", env, "phi",
+              engine_names);
+  for (double phi : phis) {
+    Params params;
+    params.phi = phi;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/true, 81);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f", phi);
+    PrintRow(label, TimeIerEngines(env, engines, instances, params));
+  }
+
+  PrintHeader("Fig 8(b): all algorithms, varying phi", env, "phi",
+              AllAlgorithmNames());
+  for (double phi : phis) {
+    Params params;
+    params.phi = phi;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/true, 82);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f", phi);
+    PrintRow(label, TimeAllAlgorithms(env, *phl, instances, params));
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 9: index size (a) and construction time (b) of G-tree and PHL
+// across road networks.
+//
+// Paper's qualitative findings: G-tree needs less storage than PHL;
+// construction times are comparable; PHL fails to build on the largest
+// datasets on one machine (mirrored here by a memory budget on the
+// labeling, FANNR_PHL_MEM_GB, default 8).
+//
+// Datasets default to the laptop-scale ladder TEST,DE; override with
+// FANNR_FIG9_DATASETS=TEST,DE,ME,COL,NW (expect minutes to tens of
+// minutes per large dataset on one core — see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/bench_common.h"
+#include "common/timer.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  const char* datasets_env = std::getenv("FANNR_FIG9_DATASETS");
+  const std::string datasets_csv =
+      datasets_env != nullptr ? datasets_env : "TEST,DE";
+  const char* mem_env = std::getenv("FANNR_PHL_MEM_GB");
+  const double phl_mem_gb =
+      mem_env != nullptr ? std::strtod(mem_env, nullptr) : 8.0;
+
+  std::printf("\n=== Fig 9: index cost of G-tree vs PHL ===\n");
+  std::printf("%-8s %12s %14s %14s %16s %16s\n", "dataset", "|V|",
+              "GTree size", "PHL size", "GTree build(s)", "PHL build(s)");
+
+  std::stringstream csv(datasets_csv);
+  std::string name;
+  while (std::getline(csv, name, ',')) {
+    if (!IsPresetName(name)) {
+      std::printf("%-8s unknown preset, skipped\n", name.c_str());
+      continue;
+    }
+    Graph graph = BuildPreset(name);
+
+    Timer gtree_timer;
+    GTree::Options options;
+    options.leaf_capacity = Env::LeafCapacityFor(name);
+    GTree gtree = GTree::Build(graph, options);
+    const double gtree_seconds = gtree_timer.Seconds();
+
+    Timer phl_timer;
+    HubLabels::Options label_options;
+    label_options.max_memory_bytes =
+        static_cast<size_t>(phl_mem_gb * 1e9);
+    auto labels = HubLabels::Build(graph, label_options);
+    const double phl_seconds = phl_timer.Seconds();
+
+    char gtree_size[32], phl_size[32], phl_time[32];
+    std::snprintf(gtree_size, sizeof(gtree_size), "%.1f MB",
+                  static_cast<double>(gtree.MemoryBytes()) / 1e6);
+    if (labels.has_value()) {
+      std::snprintf(phl_size, sizeof(phl_size), "%.1f MB",
+                    static_cast<double>(labels->MemoryBytes()) / 1e6);
+      std::snprintf(phl_time, sizeof(phl_time), "%.1f", phl_seconds);
+    } else {
+      // The paper's finding for CTR/USA: PHL exceeds the memory budget.
+      std::snprintf(phl_size, sizeof(phl_size), ">%.0f GB(fail)",
+                    phl_mem_gb);
+      std::snprintf(phl_time, sizeof(phl_time), "(aborted)");
+    }
+    std::printf("%-8s %12zu %14s %14s %16.1f %16s\n", name.c_str(),
+                graph.NumVertices(), gtree_size, phl_size, gtree_seconds,
+                phl_time);
+    std::fflush(stdout);
+  }
+  std::printf("\n(The paper's E/CTR/USA datasets are beyond the single-core"
+              " budget; PHL's\nbuild failure on the largest networks is"
+              " reproduced via the memory budget.)\n");
+  return 0;
+}

@@ -1,0 +1,212 @@
+// Google-benchmark microbenchmarks for the substrate operations: the
+// point-to-point distance oracles, incremental NN expansion, R-tree
+// queries, and g_phi engine evaluations. These are the per-operation
+// costs underlying every figure.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+#include "fann/fannr.h"
+#include "sp/astar.h"
+#include "sp/bidirectional.h"
+#include "sp/ch/contraction_hierarchy.h"
+#include "sp/dijkstra.h"
+#include "sp/gtree/gtree.h"
+#include "sp/gtree/gtree_knn.h"
+#include "sp/incremental_nn.h"
+#include "sp/label/hub_labels.h"
+
+namespace {
+
+using namespace fannr;
+
+// One shared world per binary run (TEST-scale). The graph gets a stable
+// heap address *before* the graph-pointer-holding indexes (G-tree) are
+// built against it.
+class World {
+ public:
+  Graph graph;
+  HubLabels labels;
+  GTree gtree;
+  ContractionHierarchy ch;
+  std::vector<VertexId> pairs;  // random vertices for (s, t) pairs
+
+  static const World& Get() {
+    static const World* world = new World();
+    return *world;
+  }
+
+ private:
+  World()
+      : graph(BuildPreset("TEST")),
+        labels(*HubLabels::Build(graph)),
+        gtree([this] {
+          GTree::Options options;
+          options.leaf_capacity = 64;
+          return GTree::Build(graph, options);
+        }()),
+        ch(ContractionHierarchy::Build(graph)) {
+    Rng rng(20260704);
+    for (int i = 0; i < 2048; ++i) {
+      pairs.push_back(
+          static_cast<VertexId>(rng.NextIndex(graph.NumVertices())));
+    }
+  }
+};
+
+void BM_DijkstraP2P(benchmark::State& state) {
+  const World& w = World::Get();
+  DijkstraSearch search(w.graph);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        search.Distance(w.pairs[i % 2048], w.pairs[(i + 1) % 2048]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DijkstraP2P);
+
+void BM_AStarP2P(benchmark::State& state) {
+  const World& w = World::Get();
+  AStarSearch search(w.graph);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        search.Distance(w.pairs[i % 2048], w.pairs[(i + 1) % 2048]));
+    ++i;
+  }
+}
+BENCHMARK(BM_AStarP2P);
+
+void BM_BidirectionalP2P(benchmark::State& state) {
+  const World& w = World::Get();
+  BidirectionalSearch search(w.graph);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        search.Distance(w.pairs[i % 2048], w.pairs[(i + 1) % 2048]));
+    ++i;
+  }
+}
+BENCHMARK(BM_BidirectionalP2P);
+
+void BM_HubLabelP2P(benchmark::State& state) {
+  const World& w = World::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        w.labels.Distance(w.pairs[i % 2048], w.pairs[(i + 1) % 2048]));
+    ++i;
+  }
+}
+BENCHMARK(BM_HubLabelP2P);
+
+void BM_GTreeP2P(benchmark::State& state) {
+  const World& w = World::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        w.gtree.Distance(w.pairs[i % 2048], w.pairs[(i + 1) % 2048]));
+    ++i;
+  }
+}
+BENCHMARK(BM_GTreeP2P);
+
+void BM_ChP2P(benchmark::State& state) {
+  const World& w = World::Get();
+  // CH query mutates scratch arrays: copy once.
+  static ContractionHierarchy* ch =
+      new ContractionHierarchy(World::Get().ch);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ch->Distance(w.pairs[i % 2048], w.pairs[(i + 1) % 2048]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ChP2P);
+
+void BM_IncrementalNnK(benchmark::State& state) {
+  const World& w = World::Get();
+  const size_t k = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<VertexId> targets;
+  for (size_t i = 0; i < 128; ++i) {
+    targets.push_back(static_cast<VertexId>(
+        rng.NextIndex(w.graph.NumVertices())));
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()),
+                targets.end());
+  IndexedVertexSet target_set(w.graph.NumVertices(), targets);
+  size_t i = 0;
+  for (auto _ : state) {
+    IncrementalNnSearch search(w.graph, w.pairs[i % 2048], target_set);
+    for (size_t hits = 0; hits < k; ++hits) {
+      benchmark::DoNotOptimize(search.Next());
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_IncrementalNnK)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_RTreeNearest(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<RTree::Item> items;
+  for (uint32_t i = 0; i < 4096; ++i) {
+    items.push_back({Point{rng.NextDouble(0.0, 1e5),
+                           rng.NextDouble(0.0, 1e5)},
+                     i});
+  }
+  RTree tree = RTree::BulkLoad(std::move(items));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto it = tree.NearestNeighbors(
+        Point{static_cast<double>((i * 131) % 100000),
+              static_cast<double>((i * 197) % 100000)});
+    benchmark::DoNotOptimize(it.Next());
+    ++i;
+  }
+}
+BENCHMARK(BM_RTreeNearest);
+
+void BM_GphiEngine(benchmark::State& state) {
+  const World& w = World::Get();
+  const GphiKind kind = static_cast<GphiKind>(state.range(0));
+  GphiResources resources;
+  resources.graph = &w.graph;
+  resources.labels = &w.labels;
+  resources.gtree = &w.gtree;
+  static ContractionHierarchy* ch =
+      new ContractionHierarchy(World::Get().ch);
+  resources.ch = ch;
+  auto engine = MakeGphiEngine(kind, resources);
+  Rng rng(11);
+  std::vector<VertexId> q_vec;
+  for (int i = 0; i < 128; ++i) {
+    q_vec.push_back(static_cast<VertexId>(
+        rng.NextIndex(w.graph.NumVertices())));
+  }
+  std::sort(q_vec.begin(), q_vec.end());
+  q_vec.erase(std::unique(q_vec.begin(), q_vec.end()), q_vec.end());
+  IndexedVertexSet q(w.graph.NumVertices(), q_vec);
+  engine->Prepare(q);
+  const size_t k = q_vec.size() / 2;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->Evaluate(w.pairs[i % 2048], k, Aggregate::kMax));
+    ++i;
+  }
+  state.SetLabel(std::string(GphiKindName(kind)));
+}
+BENCHMARK(BM_GphiEngine)
+    ->DenseRange(0, 7)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table V: efficiency of Exact-max under each g_phi implementation,
+// varying d.
+//
+// Paper's qualitative finding: although the g_phi engines differ sharply
+// in isolation (Fig. 3), Exact-max is nearly insensitive to the choice —
+// g_phi runs exactly once (Algorithm 2 line 8) and the multi-source
+// expansion dominates. The rightmost column is our arrival-recording
+// variant that needs no g_phi call at all.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace fannr;
+  using namespace fannr::bench;
+
+  Env env = Env::Load({.labels = true, .gtree = true, .ch = false});
+  const Graph& graph = env.graph();
+  const double densities[] = {0.0001, 0.001, 0.01, 0.1, 1.0};
+
+  std::vector<std::unique_ptr<GphiEngine>> engines;
+  std::vector<std::string> names;
+  for (GphiKind kind : TableOneKinds()) {
+    engines.push_back(env.Engine(kind));
+    names.emplace_back(GphiKindName(kind));
+  }
+  names.emplace_back("(arrivals)");
+
+  PrintHeader("Table V: Exact-max with different g_phi, varying d", env,
+              "d", names);
+  for (double d : densities) {
+    Params params;
+    params.d = d;
+    auto instances = MakeInstances(graph, params, env.num_queries(),
+                                   /*build_p_tree=*/false, 151);
+    auto query_of = [&](size_t i) {
+      return FannQuery{&graph, &instances[i].p, &instances[i].q, params.phi,
+                       Aggregate::kMax};
+    };
+    std::vector<double> row;
+    for (auto& engine : engines) {
+      row.push_back(TimeCell(
+          [&](size_t i) { SolveExactMax(query_of(i), *engine); },
+          instances.size(), env.cell_budget_ms()));
+    }
+    row.push_back(TimeCell([&](size_t i) { SolveExactMax(query_of(i)); },
+                           instances.size(), env.cell_budget_ms()));
+    char label[32];
+    std::snprintf(label, sizeof(label), "%g", d);
+    PrintRow(label, row);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Carpool meetup — optimal meeting point (OMP) queries and route
+// reconstruction.
+//
+// The paper's introduction cites the optimal meeting point problem as a
+// special case of FANN_R (V together with Q always contains an OMP, so
+// P can be left implicit). A group of commuters picks the network vertex
+// minimizing their total travel; with a flexible quorum (phi < 1) the
+// car leaves once enough people arrive. We also print one commuter's
+// turn-by-turn route to the chosen point.
+//
+//   ./carpool_meetup [group_size]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "fann/fannr.h"
+#include "sp/dijkstra.h"
+
+int main(int argc, char** argv) {
+  using namespace fannr;
+  const size_t group = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+
+  Graph city = BuildPreset("TEST");
+  std::printf("city: %zu intersections, %zu segments\n", city.NumVertices(),
+              city.NumEdges());
+
+  Rng rng(20260704);
+  IndexedVertexSet commuters(
+      city.NumVertices(),
+      GenerateUniformQueryPoints(city, /*coverage=*/0.5, group, rng));
+  std::printf("%zu commuters spread over half the city\n\n", group);
+
+  std::printf("quorum  meeting point   total travel      time\n");
+  FannResult full;
+  for (double phi : {0.5, 0.75, 1.0}) {
+    Timer t;
+    FannResult omp = SolveOmp(city, commuters, phi, Aggregate::kSum);
+    std::printf("%5.0f%%  v%-12u %14.1f %7.1f ms\n", phi * 100, omp.best,
+                omp.distance, t.Millis());
+    if (phi == 1.0) full = omp;
+  }
+
+  // Max-aggregate variant: minimize the worst commute instead.
+  FannResult fair = SolveOmp(city, commuters, 1.0, Aggregate::kMax);
+  std::printf("\nfairness variant (minimize the longest commute): v%u "
+              "(worst leg %.1f)\n",
+              fair.best, fair.distance);
+
+  // Route for the first commuter to the full-quorum meeting point.
+  const VertexId start = commuters[0];
+  const auto route = ShortestPath(city, start, full.best);
+  std::printf("\nroute for commuter at v%u (%zu hops): ", start,
+              route.empty() ? 0 : route.size() - 1);
+  for (size_t i = 0; i < route.size(); ++i) {
+    if (i == 6 && route.size() > 9) {
+      std::printf("... -> ");
+      continue;
+    }
+    if (i > 6 && i + 3 < route.size()) continue;
+    std::printf("%sv%u", i ? " -> " : "", route[i]);
+  }
+  std::printf("\n");
+  return 0;
+}

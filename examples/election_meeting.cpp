@@ -1,0 +1,73 @@
+// Election meeting placement — the paper's real-world scenario.
+//
+// "Suppose that the meeting is legitimate as long as at least half of
+//  members are present. To cut down the traveling expense, we can find a
+//  place which minimizes the flexible aggregate (sum) distance to
+//  members."
+//
+// Members live across a region; candidate venues are a sparse POI set
+// (post offices, per Table IV). We sweep the quorum fraction phi and show
+// how the optimal venue and total travel change, and how close the fast
+// APX-sum answer stays to the exact one.
+//
+//   ./election_meeting
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "fann/fannr.h"
+
+int main() {
+  using namespace fannr;
+
+  std::printf("Building a regional road network...\n");
+  GridNetworkOptions map_options;
+  map_options.rows = 100;
+  map_options.cols = 100;
+  Rng map_rng(2027);
+  Graph region = GenerateGridNetwork(map_options, map_rng);
+  std::printf("  %zu intersections, %zu road segments\n\n",
+              region.NumVertices(), region.NumEdges());
+
+  Rng rng(7);
+  // Venues: school-like POIs (Table IV density 0.004, clustered) --
+  // typical public meeting places.
+  IndexedVertexSet venues(
+      region.NumVertices(),
+      GeneratePoiSet(region, PoiCategoryByName("SC"), rng));
+  // Members: spread over 30% of the region.
+  IndexedVertexSet members(
+      region.NumVertices(),
+      GenerateUniformQueryPoints(region, 0.3, 96, rng));
+  std::printf("%zu candidate venues, %zu members\n\n", venues.size(),
+              members.size());
+
+  GphiResources resources;
+  resources.graph = &region;
+  auto engine = MakeGphiEngine(GphiKind::kIne, resources);
+
+  std::printf("quorum  venue     total travel   exact ms   APX-sum ms  "
+              "ratio\n");
+  for (double phi : {0.25, 0.5, 0.75, 1.0}) {
+    FannQuery query{&region, &venues, &members, phi, Aggregate::kSum};
+
+    Timer exact_timer;
+    FannResult exact = SolveRList(query, *engine);
+    const double exact_ms = exact_timer.Millis();
+
+    Timer apx_timer;
+    FannResult apx = SolveApxSum(query, *engine);
+    const double apx_ms = apx_timer.Millis();
+
+    std::printf("%5.0f%%  v%-8u %12.1f %10.2f %12.2f  %.4f\n", phi * 100,
+                exact.best, exact.distance, exact_ms, apx_ms,
+                apx.distance / exact.distance);
+  }
+
+  std::printf(
+      "\nA lower quorum lets the meeting move toward the densest pocket\n"
+      "of members, shrinking total travel; APX-sum tracks the exact\n"
+      "optimum (guaranteed 3x, 2x when members' homes are all candidate\n"
+      "venues, typically ~1.0x) at a fraction of the cost.\n");
+  return 0;
+}

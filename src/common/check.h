@@ -1,0 +1,43 @@
+// Lightweight contract-checking macros used throughout the library.
+//
+// FANNR_CHECK aborts (in all build types) with a message when a
+// precondition or invariant is violated; FANNR_DCHECK compiles away in
+// release builds. The library does not use C++ exceptions: API misuse is a
+// programming error and fails fast, and recoverable conditions (e.g. file
+// I/O) are reported through return values.
+
+#ifndef FANNR_COMMON_CHECK_H_
+#define FANNR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fannr {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "FANNR_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace fannr
+
+#define FANNR_CHECK(expr)                                          \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::fannr::internal_check::CheckFailed(__FILE__, __LINE__,     \
+                                           #expr);                 \
+    }                                                              \
+  } while (false)
+
+#ifdef NDEBUG
+#define FANNR_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define FANNR_DCHECK(expr) FANNR_CHECK(expr)
+#endif
+
+#endif  // FANNR_COMMON_CHECK_H_

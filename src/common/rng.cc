@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace fannr {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (uint64_t& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  FANNR_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  FANNR_CHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  FANNR_CHECK(k <= n);
+  // Floyd's algorithm would avoid the O(n) init but the selection-tracking
+  // set dominates for large k; the simple partial Fisher-Yates is fine at
+  // the sizes used here when k is a large fraction of n, and for small k we
+  // use Floyd's.
+  std::vector<size_t> result;
+  result.reserve(k);
+  if (k * 16 < n) {
+    // Floyd's algorithm: expected O(k) with a small hash set.
+    std::vector<size_t> chosen;
+    chosen.reserve(k);
+    for (size_t j = n - k; j < n; ++j) {
+      size_t t = NextIndex(j + 1);
+      bool seen = false;
+      for (size_t c : chosen) {
+        if (c == t) {
+          seen = true;
+          break;
+        }
+      }
+      chosen.push_back(seen ? j : t);
+    }
+    return chosen;
+  }
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + NextIndex(n - i);
+    std::swap(pool[i], pool[j]);
+    result.push_back(pool[i]);
+  }
+  return result;
+}
+
+}  // namespace fannr

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic code in the library (graph generators, workload
+// generators, tests, benchmarks) draws from Rng so that every run is
+// reproducible from a single 64-bit seed. The engine is xoshiro256**,
+// seeded via SplitMix64.
+
+#ifndef FANNR_COMMON_RNG_H_
+#define FANNR_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fannr {
+
+/// Deterministic, seedable random number generator (xoshiro256**).
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed. Equal seeds produce equal
+  /// streams on every platform.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t NextU64();
+
+  /// Returns a uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns a uniform double in [lo, hi). Requires lo <= hi.
+  double NextDouble(double lo, double hi);
+
+  /// Returns a uniform index in [0, n). Requires n > 0.
+  size_t NextIndex(size_t n) { return static_cast<size_t>(NextBounded(n)); }
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextIndex(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Reservoir-samples k distinct elements from [0, n). Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_COMMON_RNG_H_

@@ -1,0 +1,84 @@
+// Minimal binary serialization helpers for index persistence.
+//
+// Preprocessing-heavy indexes (hub labels, G-tree, CH) support Save/Load
+// so applications — and the benchmark harness — build them once per road
+// network and reload in milliseconds. The format is a native-endian dump
+// guarded by a magic number and version; it is a cache format, not an
+// interchange format.
+
+#ifndef FANNR_COMMON_SERIALIZE_H_
+#define FANNR_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+namespace fannr {
+
+/// Writes PODs and vectors of PODs to a stream.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  template <typename T>
+  void Pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  template <typename T>
+  void Vec(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Pod<uint64_t>(values.size());
+    if (!values.empty()) {
+      out_.write(reinterpret_cast<const char*>(values.data()),
+                 static_cast<std::streamsize>(values.size() * sizeof(T)));
+    }
+  }
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Reads what BinaryWriter wrote. All methods return false (and leave the
+/// output untouched or partially filled) on stream failure or corrupt
+/// sizes.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  template <typename T>
+  bool Pod(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    return static_cast<bool>(in_);
+  }
+
+  template <typename T>
+  bool Vec(std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t size = 0;
+    if (!Pod(size)) return false;
+    // Guard against corrupt headers requesting absurd allocations.
+    if (size > (1ULL << 40) / sizeof(T)) return false;
+    values.resize(size);
+    if (size > 0) {
+      in_.read(reinterpret_cast<char*>(values.data()),
+               static_cast<std::streamsize>(size * sizeof(T)));
+    }
+    return static_cast<bool>(in_);
+  }
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_COMMON_SERIALIZE_H_

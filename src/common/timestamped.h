@@ -1,0 +1,66 @@
+// Timestamped arrays: O(1) logical reset of per-vertex scratch state.
+//
+// Repeated shortest-path searches over a large graph must not pay O(|V|)
+// to clear distance arrays between queries; a generation counter makes
+// stale entries invisible instead.
+
+#ifndef FANNR_COMMON_TIMESTAMPED_H_
+#define FANNR_COMMON_TIMESTAMPED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fannr {
+
+/// A fixed-size array whose entries all revert to a default value after
+/// NewEpoch() in O(1).
+template <typename T>
+class TimestampedArray {
+ public:
+  TimestampedArray(size_t size, T default_value)
+      : values_(size, default_value),
+        stamps_(size, 0),
+        default_(default_value) {}
+
+  /// Logically resets every entry to the default value.
+  void NewEpoch() {
+    if (++epoch_ == 0) {
+      // Counter wrapped: physically clear once every 2^32 epochs.
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// Current value at `i` (the default if unset this epoch).
+  T Get(size_t i) const {
+    FANNR_DCHECK(i < values_.size());
+    return stamps_[i] == epoch_ ? values_[i] : default_;
+  }
+
+  /// Sets the value at `i` for the current epoch.
+  void Set(size_t i, T value) {
+    FANNR_DCHECK(i < values_.size());
+    stamps_[i] = epoch_;
+    values_[i] = value;
+  }
+
+  /// True if `i` was set during the current epoch.
+  bool IsSet(size_t i) const {
+    FANNR_DCHECK(i < values_.size());
+    return stamps_[i] == epoch_;
+  }
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<T> values_;
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 1;
+  T default_;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_COMMON_TIMESTAMPED_H_

@@ -1,0 +1,184 @@
+#include "euclid/euclid_fann.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+#include "euclid/mec.h"
+#include "spatial/rtree.h"
+
+namespace fannr {
+
+namespace {
+
+// Flexible Euclidean aggregate of a concrete point: fold of the k
+// smallest distances; also reports the chosen subset when `subset` is
+// non-null.
+double PointGphi(const Point& p, const std::vector<Point>& query, size_t k,
+                 Aggregate aggregate, std::vector<uint32_t>* subset) {
+  std::vector<uint32_t> order(query.size());
+  std::iota(order.begin(), order.end(), 0u);
+  auto closer = [&](uint32_t a, uint32_t b) {
+    return EuclideanDistance(query[a], p) < EuclideanDistance(query[b], p);
+  };
+  if (k < order.size()) {
+    std::nth_element(order.begin(), order.begin() + k, order.end(), closer);
+    order.resize(k);
+  }
+  std::sort(order.begin(), order.end(), closer);
+  double result = 0.0;
+  for (uint32_t idx : order) {
+    const double d = EuclideanDistance(query[idx], p);
+    result = aggregate == Aggregate::kMax ? std::max(result, d)
+                                          : result + d;
+  }
+  if (subset != nullptr) *subset = std::move(order);
+  return result;
+}
+
+// Lower bound for an MBR: fold of the k smallest mindists.
+double MbrGphi(const Mbr& box, const std::vector<Point>& query, size_t k,
+               Aggregate aggregate) {
+  std::vector<double> dists;
+  dists.reserve(query.size());
+  for (const Point& q : query) dists.push_back(MinDist(box, q));
+  std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
+  if (aggregate == Aggregate::kMax) return dists[k - 1];
+  double total = 0.0;
+  for (size_t i = 0; i < k; ++i) total += dists[i];
+  return total;
+}
+
+EuclidFannResult EvaluateCandidates(const std::vector<Point>& data,
+                                    const std::vector<uint32_t>& candidates,
+                                    const std::vector<Point>& query,
+                                    size_t k, Aggregate aggregate) {
+  EuclidFannResult best;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (uint32_t idx : candidates) {
+    std::vector<uint32_t> subset;
+    const double d = PointGphi(data[idx], query, k, aggregate, &subset);
+    if (d < best_distance) {
+      best_distance = d;
+      best.best = idx;
+      best.distance = d;
+      best.subset = std::move(subset);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+EuclidFannResult SolveEuclidFann(const std::vector<Point>& data,
+                                 const std::vector<Point>& query,
+                                 double phi, Aggregate aggregate) {
+  FANNR_CHECK(!data.empty() && !query.empty());
+  const size_t k = FlexK(phi, query.size());
+
+  std::vector<RTree::Item> items;
+  items.reserve(data.size());
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    items.push_back({data[i], i});
+  }
+  const RTree tree = RTree::BulkLoad(std::move(items));
+
+  struct Entry {
+    double bound;
+    bool is_point;
+    RTree::NodeId node;
+    uint32_t index;
+    bool operator>(const Entry& o) const { return bound > o.bound; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({MbrGphi(tree.NodeMbr(tree.Root()), query, k, aggregate),
+             false, tree.Root(), 0});
+
+  EuclidFannResult best;
+  double best_distance = std::numeric_limits<double>::infinity();
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    if (top.bound >= best_distance) break;
+    heap.pop();
+    if (top.is_point) {
+      std::vector<uint32_t> subset;
+      const double d =
+          PointGphi(data[top.index], query, k, aggregate, &subset);
+      if (d < best_distance) {
+        best_distance = d;
+        best.best = top.index;
+        best.distance = d;
+        best.subset = std::move(subset);
+      }
+    } else if (tree.IsLeaf(top.node)) {
+      for (const RTree::Item& item : tree.Items(top.node)) {
+        heap.push({PointGphi(item.point, query, k, aggregate, nullptr),
+                   true, 0, item.id});
+      }
+    } else {
+      for (const RTree::Child& child : tree.Children(top.node)) {
+        heap.push({MbrGphi(child.mbr, query, k, aggregate), false,
+                   child.node, 0});
+      }
+    }
+  }
+  return best;
+}
+
+EuclidFannResult SolveEuclidFannBrute(const std::vector<Point>& data,
+                                      const std::vector<Point>& query,
+                                      double phi, Aggregate aggregate) {
+  FANNR_CHECK(!data.empty() && !query.empty());
+  const size_t k = FlexK(phi, query.size());
+  std::vector<uint32_t> all(data.size());
+  std::iota(all.begin(), all.end(), 0u);
+  return EvaluateCandidates(data, all, query, k, aggregate);
+}
+
+EuclidFannResult SolveEuclidApxSum(const std::vector<Point>& data,
+                                   const std::vector<Point>& query,
+                                   double phi) {
+  FANNR_CHECK(!data.empty() && !query.empty());
+  const size_t k = FlexK(phi, query.size());
+
+  std::vector<RTree::Item> items;
+  items.reserve(data.size());
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    items.push_back({data[i], i});
+  }
+  const RTree tree = RTree::BulkLoad(std::move(items));
+
+  std::vector<uint32_t> candidates;
+  for (const Point& q : query) {
+    auto nn = tree.NearestNeighbors(q);
+    auto hit = nn.Next();
+    FANNR_DCHECK(hit.has_value());
+    if (std::find(candidates.begin(), candidates.end(), hit->item.id) ==
+        candidates.end()) {
+      candidates.push_back(hit->item.id);
+    }
+  }
+  return EvaluateCandidates(data, candidates, query, k, Aggregate::kSum);
+}
+
+EuclidFannResult SolveEuclidMecMaxAnn(const std::vector<Point>& data,
+                                      const std::vector<Point>& query) {
+  FANNR_CHECK(!data.empty() && !query.empty());
+  const Circle mec = MinimumEnclosingCircle(query);
+
+  std::vector<RTree::Item> items;
+  items.reserve(data.size());
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    items.push_back({data[i], i});
+  }
+  const RTree tree = RTree::BulkLoad(std::move(items));
+  auto nn = tree.NearestNeighbors(mec.center);
+  auto hit = nn.Next();
+  FANNR_DCHECK(hit.has_value());
+  return EvaluateCandidates(data, {hit->item.id}, query, query.size(),
+                            Aggregate::kMax);
+}
+
+}  // namespace fannr

@@ -1,0 +1,69 @@
+// FANN in the Euclidean plane — the predecessor problem (Li et al.,
+// SIGMOD'11 / VLDBJ'16) that the paper generalizes to road networks.
+//
+// Two roles in this repository:
+//   1. comparator/baseline: the paper argues Euclidean techniques do not
+//      transfer to road networks; the bench_euclid_vs_network experiment
+//      quantifies how suboptimal the Euclidean answer is when costs are
+//      network distances;
+//   2. a complete, tested Euclidean FANN implementation in its own right
+//      (exact best-first search over an R-tree, plus the NN-candidates
+//      sum approximation and the minimum-enclosing-circle max-ANN
+//      approximation from the original papers).
+//
+// Semantics mirror fann/: for a candidate p, the optimal flexible subset
+// is the k = ceil(phi |Q|) Euclidean-nearest query points.
+
+#ifndef FANNR_EUCLID_EUCLID_FANN_H_
+#define FANNR_EUCLID_EUCLID_FANN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fann/aggregate.h"
+#include "geo/point.h"
+
+namespace fannr {
+
+/// Euclidean FANN answer: index into the data vector, the flexible
+/// aggregate distance, and the chosen subset (indices into the query
+/// vector, nearest first). best == kNoEuclidAnswer when data is empty.
+struct EuclidFannResult {
+  static constexpr uint32_t kNoEuclidAnswer = 0xFFFFFFFFu;
+  uint32_t best = kNoEuclidAnswer;
+  double distance = 0.0;
+  std::vector<uint32_t> subset;
+};
+
+/// Exact Euclidean FANN: best-first search over an R-tree on `data`,
+/// keyed by the flexible Euclidean aggregate of entry MBRs (the same
+/// Lemma 1 bound the road-network IER framework uses). Requires
+/// non-empty data and query sets and phi in (0, 1].
+EuclidFannResult SolveEuclidFann(const std::vector<Point>& data,
+                                 const std::vector<Point>& query,
+                                 double phi, Aggregate aggregate);
+
+/// Exhaustive reference (for tests and small inputs).
+EuclidFannResult SolveEuclidFannBrute(const std::vector<Point>& data,
+                                      const std::vector<Point>& query,
+                                      double phi, Aggregate aggregate);
+
+/// Sum approximation (Li et al.): candidates = Euclidean NN in data of
+/// each query point; exact evaluation over the candidates. 3-approximate
+/// by the same triangle-inequality argument as the road-network APX-sum.
+EuclidFannResult SolveEuclidApxSum(const std::vector<Point>& data,
+                                   const std::vector<Point>& query,
+                                   double phi);
+
+/// Max-ANN approximation (phi = 1): the data point `a` nearest to the
+/// center `c` of the minimum enclosing circle of `query` is within a
+/// factor 2 of optimal: g(a) <= |a-c| + r, |a-c| <= |p*-c| <= d* (c lies
+/// in conv(Q), and the distance to the farthest query point bounds the
+/// distance to any point of the hull), and r <= d* (r is the best max
+/// aggregate achievable by ANY point of the plane).
+EuclidFannResult SolveEuclidMecMaxAnn(const std::vector<Point>& data,
+                                      const std::vector<Point>& query);
+
+}  // namespace fannr
+
+#endif  // FANNR_EUCLID_EUCLID_FANN_H_

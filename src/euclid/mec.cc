@@ -1,0 +1,62 @@
+#include "euclid/mec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fannr {
+
+namespace {
+
+Circle FromTwo(const Point& a, const Point& b) {
+  Circle c;
+  c.center = Point{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+  c.radius = EuclideanDistance(a, b) / 2.0;
+  return c;
+}
+
+// Circumcircle of three points (degenerate/collinear handled by falling
+// back to the best two-point circle).
+Circle FromThree(const Point& a, const Point& b, const Point& c) {
+  const double bx = b.x - a.x, by = b.y - a.y;
+  const double cx = c.x - a.x, cy = c.y - a.y;
+  const double d = 2.0 * (bx * cy - by * cx);
+  if (std::abs(d) < 1e-12) {
+    Circle best = FromTwo(a, b);
+    for (const Circle& candidate : {FromTwo(a, c), FromTwo(b, c)}) {
+      if (candidate.radius > best.radius) best = candidate;
+    }
+    return best;
+  }
+  const double ux = (cy * (bx * bx + by * by) - by * (cx * cx + cy * cy)) / d;
+  const double uy = (bx * (cx * cx + cy * cy) - cx * (bx * bx + by * by)) / d;
+  Circle circle;
+  circle.center = Point{a.x + ux, a.y + uy};
+  circle.radius = std::sqrt(ux * ux + uy * uy);
+  return circle;
+}
+
+}  // namespace
+
+Circle MinimumEnclosingCircle(std::vector<Point> points) {
+  if (points.empty()) return Circle{};
+  // Deterministic shuffle-free variant: move-to-front on violation gives
+  // the expected-linear behaviour on typical inputs; inputs here are
+  // small (|Q| <= a few thousand).
+  Circle circle{points[0], 0.0};
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (circle.Contains(points[i])) continue;
+    // points[i] lies on the boundary of the new circle.
+    circle = Circle{points[i], 0.0};
+    for (size_t j = 0; j < i; ++j) {
+      if (circle.Contains(points[j])) continue;
+      circle = FromTwo(points[i], points[j]);
+      for (size_t l = 0; l < j; ++l) {
+        if (circle.Contains(points[l])) continue;
+        circle = FromThree(points[i], points[j], points[l]);
+      }
+    }
+  }
+  return circle;
+}
+
+}  // namespace fannr

@@ -1,0 +1,34 @@
+// Minimum enclosing circle (Welzl's algorithm, expected linear time).
+//
+// Used by the Euclidean FANN module: Li et al.'s max-ANN approximation
+// takes the data point nearest to the center of the minimum enclosing
+// circle of Q, which is within a factor 2 of optimal.
+
+#ifndef FANNR_EUCLID_MEC_H_
+#define FANNR_EUCLID_MEC_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace fannr {
+
+/// A circle (center + radius).
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  /// True if `p` is inside or on the circle (with a small tolerance).
+  bool Contains(const Point& p) const {
+    return EuclideanDistance(center, p) <= radius * (1.0 + 1e-10) + 1e-12;
+  }
+};
+
+/// Minimum enclosing circle of `points` (radius 0 circle at the point for
+/// a single point; undefined center with radius 0 for an empty input).
+/// Expected O(n) via Welzl's move-to-front algorithm.
+Circle MinimumEnclosingCircle(std::vector<Point> points);
+
+}  // namespace fannr
+
+#endif  // FANNR_EUCLID_MEC_H_

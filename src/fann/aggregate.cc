@@ -1,0 +1,36 @@
+#include "fann/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fannr {
+
+std::string_view AggregateName(Aggregate aggregate) {
+  switch (aggregate) {
+    case Aggregate::kMax:
+      return "max";
+    case Aggregate::kSum:
+      return "sum";
+  }
+  return "?";
+}
+
+size_t FlexK(double phi, size_t q_size) {
+  FANNR_CHECK(phi > 0.0 && phi <= 1.0);
+  const size_t k = static_cast<size_t>(
+      std::ceil(phi * static_cast<double>(q_size) - 1e-9));
+  return std::max<size_t>(1, std::min(k, q_size));
+}
+
+Weight FoldSorted(const Weight* distances, size_t count,
+                  Aggregate aggregate) {
+  if (count == 0) return kInfWeight;
+  if (aggregate == Aggregate::kMax) return distances[count - 1];
+  Weight total = 0.0;
+  for (size_t i = 0; i < count; ++i) total += distances[i];
+  return total;
+}
+
+}  // namespace fannr

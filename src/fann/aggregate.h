@@ -1,0 +1,40 @@
+// Aggregate functions for FANN_R queries (paper Section II-A).
+//
+// g is either max or sum. The structural fact every algorithm relies on:
+// for both aggregates, the optimal flexible subset Q^p_phi of a fixed
+// candidate p is the set of the k = ceil(phi * |Q|) query points nearest
+// to p in network distance, so evaluating g_phi reduces to a kNN query
+// over Q followed by a fold.
+
+#ifndef FANNR_FANN_AGGREGATE_H_
+#define FANNR_FANN_AGGREGATE_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// The aggregate g of an FANN_R query.
+enum class Aggregate {
+  kMax,
+  kSum,
+};
+
+/// Human-readable name ("max" / "sum").
+std::string_view AggregateName(Aggregate aggregate);
+
+/// The flexible subset size k = phi * |Q|, i.e. max(1, ceil(phi * |Q|)).
+/// Requires 0 < phi <= 1.
+size_t FlexK(double phi, size_t q_size);
+
+/// Folds `count` nondecreasing distances (the k nearest, sorted) into the
+/// aggregate value: the last one for max, their sum for sum. Returns
+/// kInfWeight when count == 0.
+Weight FoldSorted(const Weight* distances, size_t count,
+                  Aggregate aggregate);
+
+}  // namespace fannr
+
+#endif  // FANNR_FANN_AGGREGATE_H_

@@ -1,0 +1,28 @@
+// The APX-sum algorithm (paper Section IV-B, Algorithm 3): a
+// constant-factor approximation specific to sum-FANN_R.
+//
+// The candidate set is reduced from P to the network nearest neighbors of
+// the query points (at most |Q| candidates, usually fewer), and the exact
+// FANN_R routine runs on the candidates only. Theorem 1: the result is a
+// 3-approximation; Theorem 2: a 2-approximation when Q is a subset of P.
+// In practice the observed ratio stays below 1.2 (paper Fig. 11).
+
+#ifndef FANNR_FANN_APX_SUM_H_
+#define FANNR_FANN_APX_SUM_H_
+
+#include "fann/gphi.h"
+#include "fann/query.h"
+
+namespace fannr {
+
+/// Solves a sum-FANN_R query approximately (factor <= 3, or <= 2 when
+/// Q is a subset of P). Requires query.aggregate == kSum. The engine is
+/// used for the exact FANN_R pass over the reduced candidate set; the
+/// nearest-neighbor lookups are index-free incremental expansions, so the
+/// whole algorithm works without any road-network index when combined
+/// with the INE engine.
+FannResult SolveApxSum(const FannQuery& query, GphiEngine& engine);
+
+}  // namespace fannr
+
+#endif  // FANNR_FANN_APX_SUM_H_

@@ -1,0 +1,91 @@
+#include "fann/exact_max.h"
+
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sp/incremental_nn.h"
+
+namespace fannr {
+
+namespace {
+
+// Core of Algorithm 2: multi-source expansion with counters. Returns the
+// first data point whose counter reaches k together with its arrivals (in
+// arrival = distance order) and the saturating distance; best stays
+// kInvalidVertex when no counter saturates.
+struct Saturation {
+  VertexId best = kInvalidVertex;
+  Weight distance = kInfWeight;
+  std::vector<VertexId> arrivals;
+};
+
+Saturation RunCounters(const FannQuery& query, size_t k) {
+  std::vector<IncrementalNnSearch> lists;
+  lists.reserve(query.query_points->size());
+  for (VertexId q : query.query_points->members()) {
+    lists.emplace_back(*query.graph, q, *query.data_points);
+  }
+
+  // Global queue over list heads: pops occur in nondecreasing distance.
+  using Head = std::pair<Weight, uint32_t>;  // (head distance, list index)
+  std::priority_queue<Head, std::vector<Head>, std::greater<>> heads;
+  for (uint32_t i = 0; i < lists.size(); ++i) {
+    const auto* head = lists[i].Peek();
+    if (head != nullptr) heads.push({head->distance, i});
+  }
+
+  std::unordered_map<VertexId, std::vector<VertexId>> arrivals;
+  while (!heads.empty()) {
+    auto [d, i] = heads.top();
+    heads.pop();
+    const auto hit = lists[i].Next();
+    FANNR_DCHECK(hit.has_value());
+    auto& arrived = arrivals[hit->vertex];
+    arrived.push_back(lists[i].source());
+    if (arrived.size() >= k) {
+      // k-th arrival: exact answer (max over the k nearest sources = the
+      // current pop distance).
+      return {hit->vertex, d, std::move(arrived)};
+    }
+    const auto* next = lists[i].Peek();
+    if (next != nullptr) heads.push({next->distance, i});
+  }
+  return {};  // fewer than k query points reach any data point
+}
+
+}  // namespace
+
+FannResult SolveExactMax(const FannQuery& query) {
+  ValidateQuery(query);
+  FANNR_CHECK(query.aggregate == Aggregate::kMax &&
+              "Exact-max answers max-FANN_R only (see the paper's sum "
+              "counterexample, Table II)");
+  Saturation sat = RunCounters(query, query.FlexSubsetSize());
+  FannResult result;
+  if (sat.best == kInvalidVertex) return result;
+  result.best = sat.best;
+  result.distance = sat.distance;
+  result.subset = std::move(sat.arrivals);
+  result.gphi_evaluations = 0;  // implicit in the arrival bookkeeping
+  return result;
+}
+
+FannResult SolveExactMax(const FannQuery& query, GphiEngine& engine) {
+  ValidateQuery(query);
+  FANNR_CHECK(query.aggregate == Aggregate::kMax);
+  const size_t k = query.FlexSubsetSize();
+  Saturation sat = RunCounters(query, k);
+  FannResult result;
+  if (sat.best == kInvalidVertex) return result;
+  engine.Prepare(*query.query_points);
+  GphiResult r = engine.Evaluate(sat.best, k, Aggregate::kMax);
+  result.best = sat.best;
+  result.distance = r.distance;
+  result.subset = std::move(r.subset);
+  result.gphi_evaluations = 1;  // Algorithm 2 line 8
+  return result;
+}
+
+}  // namespace fannr

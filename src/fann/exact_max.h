@@ -1,0 +1,35 @@
+// The Exact-max algorithm (paper Section IV-A, Algorithm 2): an exact,
+// index-free solver specific to max-FANN_R.
+//
+// All |Q| query points expand simultaneously (switchable multi-source
+// Dijkstra over P, from-near-to-far); a counter per data point counts
+// arrivals. Because global arrivals occur in nondecreasing distance
+// order, the first data point whose counter reaches phi|Q| is the exact
+// max-FANN_R answer, its k-th arrival distance is d*, and the arriving
+// sources are Q*_phi — so no separate g_phi call is needed at all (the
+// paper notes g_phi runs exactly once; recording arrivals makes even that
+// call implicit, which is why the choice of g_phi implementation barely
+// matters for Exact-max, Table V).
+
+#ifndef FANNR_FANN_EXACT_MAX_H_
+#define FANNR_FANN_EXACT_MAX_H_
+
+#include "fann/gphi.h"
+#include "fann/query.h"
+
+namespace fannr {
+
+/// Solves a max-FANN_R query exactly. Requires query.aggregate == kMax.
+/// This variant records arrivals, so the answer triple is assembled with
+/// no g_phi call at all.
+FannResult SolveExactMax(const FannQuery& query);
+
+/// Paper-literal variant (Algorithm 2 line 8): once the winning counter
+/// saturates, the subset and distance come from a single g_phi evaluation
+/// with `engine`. Used by the Table V experiment, which shows the engine
+/// choice barely matters because it runs exactly once.
+FannResult SolveExactMax(const FannQuery& query, GphiEngine& engine);
+
+}  // namespace fannr
+
+#endif  // FANNR_FANN_EXACT_MAX_H_

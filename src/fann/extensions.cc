@@ -1,0 +1,135 @@
+#include "fann/extensions.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "fann/exact_max.h"
+#include "fann/gd.h"
+#include "fann/rlist.h"
+#include "sp/dijkstra.h"
+
+namespace fannr {
+
+FannResult SolveAnn(const Graph& graph, const IndexedVertexSet& data_points,
+                    const IndexedVertexSet& query_points,
+                    Aggregate aggregate, GphiEngine& engine) {
+  FannQuery query{&graph, &data_points, &query_points, 1.0, aggregate};
+  return SolveRList(query, engine);
+}
+
+FannResult SolveOmp(const Graph& graph,
+                    const IndexedVertexSet& query_points, double phi,
+                    Aggregate aggregate) {
+  return SolveOmp(graph, query_points, phi, aggregate, OmpOptions{});
+}
+
+FannResult SolveOmp(const Graph& graph,
+                    const IndexedVertexSet& query_points, double phi,
+                    Aggregate aggregate, const OmpOptions& options) {
+  FANNR_CHECK(!query_points.empty());
+  FANNR_CHECK(phi > 0.0 && phi <= 1.0);
+  const size_t n = graph.NumVertices();
+  const size_t m = query_points.size();
+  const size_t k = FlexK(phi, m);
+
+  if (aggregate == Aggregate::kMax) {
+    // P = V is Exact-max's best case: dense targets saturate counters
+    // almost immediately.
+    std::vector<VertexId> all(n);
+    std::iota(all.begin(), all.end(), VertexId{0});
+    IndexedVertexSet everything(n, std::move(all));
+    FannQuery query{&graph, &everything, &query_points, phi, aggregate};
+    return SolveExactMax(query);
+  }
+
+  FannResult best;
+  if (k == m) {
+    // Classic sum-OMP: accumulate distance sums over |Q| SSSPs; O(|V|)
+    // extra memory.
+    std::vector<Weight> total(n, 0.0);
+    std::vector<uint32_t> reached(n, 0);
+    for (VertexId q : query_points.members()) {
+      const std::vector<Weight> dist = DijkstraSssp(graph, q);
+      for (VertexId v = 0; v < n; ++v) {
+        if (dist[v] == kInfWeight) continue;
+        total[v] += dist[v];
+        ++reached[v];
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (reached[v] == m && total[v] < best.distance) {
+        best.distance = total[v];
+        best.best = v;
+      }
+    }
+    if (best.best != kInvalidVertex) {
+      best.subset.assign(query_points.members().begin(),
+                         query_points.members().end());
+    }
+    return best;
+  }
+
+  // Flexible sum-OMP: per-vertex k smallest of the |Q| distances. Dense
+  // |Q| x |V| matrix, budget-checked.
+  FANNR_CHECK(m * n * sizeof(Weight) <= options.max_dense_bytes &&
+              "flexible sum-OMP needs |Q|*|V| distance storage; shrink Q "
+              "or raise OmpOptions::max_dense_bytes");
+  std::vector<std::vector<Weight>> dist;
+  dist.reserve(m);
+  for (VertexId q : query_points.members()) {
+    dist.push_back(DijkstraSssp(graph, q));
+  }
+  std::vector<Weight> scratch(m);
+  for (VertexId v = 0; v < n; ++v) {
+    for (size_t i = 0; i < m; ++i) scratch[i] = dist[i][v];
+    std::nth_element(scratch.begin(), scratch.begin() + (k - 1),
+                     scratch.end());
+    if (scratch[k - 1] == kInfWeight) continue;
+    Weight sum = 0.0;
+    for (size_t i = 0; i < k; ++i) sum += scratch[i];
+    if (sum < best.distance) {
+      best.distance = sum;
+      best.best = v;
+    }
+  }
+  if (best.best != kInvalidVertex) {
+    // Recover the optimal flexible subset for the winning vertex.
+    std::vector<std::pair<Weight, VertexId>> pairs;
+    pairs.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+      pairs.push_back({dist[i][best.best], query_points[i]});
+    }
+    std::sort(pairs.begin(), pairs.end());
+    for (size_t i = 0; i < k; ++i) best.subset.push_back(pairs[i].second);
+  }
+  return best;
+}
+
+FannResult SolveApxSumWithVoronoi(const FannQuery& query,
+                                  const NetworkVoronoi& p_voronoi,
+                                  GphiEngine& engine) {
+  ValidateQuery(query);
+  FANNR_CHECK(query.aggregate == Aggregate::kSum);
+
+  std::vector<VertexId> candidates;
+  candidates.reserve(query.query_points->size());
+  for (VertexId q : query.query_points->members()) {
+    const VertexId nearest = p_voronoi.NearestSite(q);
+    if (nearest == kInvalidVertex) continue;
+    FANNR_DCHECK(query.data_points->Contains(nearest));
+    if (std::find(candidates.begin(), candidates.end(), nearest) ==
+        candidates.end()) {
+      candidates.push_back(nearest);
+    }
+  }
+  if (candidates.empty()) return FannResult{};
+
+  IndexedVertexSet candidate_set(query.graph->NumVertices(),
+                                 std::move(candidates));
+  FannQuery reduced = query;
+  reduced.data_points = &candidate_set;
+  return SolveGd(reduced, engine);
+}
+
+}  // namespace fannr

@@ -1,0 +1,55 @@
+// Convenience queries the paper identifies as FANN_R special cases:
+//
+//   * ANN (phi = 1): the classic aggregate nearest neighbor query.
+//   * OMP (optimal meeting point, Yan et al. [5]): the set P is implicit —
+//     the paper notes V (together with Q) always contains an OMP, so OMP
+//     is the FANN_R query with P = V; we also support the flexible OMP
+//     (phi < 1) that the FANN_R semantics make natural.
+//
+// Plus a Voronoi-accelerated APX-sum: when many sum-FANN_R queries share
+// one data set P, a network Voronoi diagram over P answers each query
+// point's nearest-data-point lookup in O(1), removing APX-sum's
+// per-query expansions entirely.
+
+#ifndef FANNR_FANN_EXTENSIONS_H_
+#define FANNR_FANN_EXTENSIONS_H_
+
+#include "fann/gphi.h"
+#include "fann/query.h"
+#include "sp/voronoi.h"
+
+namespace fannr {
+
+/// Classic ANN: FANN_R with phi = 1. Exact, both aggregates; solved with
+/// R-List (index-free) using the supplied engine for g_phi.
+FannResult SolveAnn(const Graph& graph, const IndexedVertexSet& data_points,
+                    const IndexedVertexSet& query_points,
+                    Aggregate aggregate, GphiEngine& engine);
+
+/// Optimal meeting point: the vertex of G minimizing the flexible
+/// aggregate distance to Q (P = V). phi = 1 gives the classic OMP.
+/// Exact. max uses Exact-max (P = V is its best case); sum accumulates
+/// per-vertex distance sums over |Q| single-source searches, or the k
+/// smallest per vertex when phi < 1 (memory O(|Q| * |V|) in that case —
+/// checked against `max_dense_bytes`).
+struct OmpOptions {
+  /// Budget for the dense phi < 1 sum path (default 2 GB).
+  size_t max_dense_bytes = size_t{2} * 1024 * 1024 * 1024;
+};
+FannResult SolveOmp(const Graph& graph, const IndexedVertexSet& query_points,
+                    double phi, Aggregate aggregate);
+FannResult SolveOmp(const Graph& graph, const IndexedVertexSet& query_points,
+                    double phi, Aggregate aggregate,
+                    const OmpOptions& options);
+
+/// APX-sum with a prebuilt network Voronoi diagram over P (the diagram
+/// must have been built with exactly query.data_points as sites). Same
+/// answer and guarantees as SolveApxSum; candidate generation becomes
+/// O(|Q|) lookups.
+FannResult SolveApxSumWithVoronoi(const FannQuery& query,
+                                  const NetworkVoronoi& p_voronoi,
+                                  GphiEngine& engine);
+
+}  // namespace fannr
+
+#endif  // FANNR_FANN_EXTENSIONS_H_

@@ -1,0 +1,31 @@
+#include "fann/gd.h"
+
+namespace fannr {
+
+void ValidateQuery(const FannQuery& query) {
+  FANNR_CHECK(query.graph != nullptr);
+  FANNR_CHECK(query.data_points != nullptr && !query.data_points->empty());
+  FANNR_CHECK(query.query_points != nullptr &&
+              !query.query_points->empty());
+  FANNR_CHECK(query.phi > 0.0 && query.phi <= 1.0);
+}
+
+FannResult SolveGd(const FannQuery& query, GphiEngine& engine) {
+  ValidateQuery(query);
+  const size_t k = query.FlexSubsetSize();
+  engine.Prepare(*query.query_points);
+
+  FannResult best;
+  for (VertexId p : query.data_points->members()) {
+    GphiResult r = engine.Evaluate(p, k, query.aggregate);
+    ++best.gphi_evaluations;
+    if (r.distance < best.distance) {
+      best.best = p;
+      best.distance = r.distance;
+      best.subset = std::move(r.subset);
+    }
+  }
+  return best;
+}
+
+}  // namespace fannr

@@ -1,0 +1,21 @@
+// The generalized Dijkstra-based algorithm (GD), paper Section III-A.
+//
+// Enumerates every data point p in P, evaluates g_phi(p, Q) with the
+// supplied engine, and keeps the minimum. With the INE engine this is the
+// paper's "Baseline"; with other engines it is the GD family of Fig. 3(a).
+
+#ifndef FANNR_FANN_GD_H_
+#define FANNR_FANN_GD_H_
+
+#include "fann/gphi.h"
+#include "fann/query.h"
+
+namespace fannr {
+
+/// Solves an FANN_R query by exhaustive enumeration of P. Exact for both
+/// aggregates. Calls engine.Prepare() itself.
+FannResult SolveGd(const FannQuery& query, GphiEngine& engine);
+
+}  // namespace fannr
+
+#endif  // FANNR_FANN_GD_H_

@@ -1,0 +1,67 @@
+#include "fann/gphi.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fannr {
+
+std::string_view GphiKindName(GphiKind kind) {
+  switch (kind) {
+    case GphiKind::kIne:
+      return "INE";
+    case GphiKind::kAStar:
+      return "A*";
+    case GphiKind::kGTree:
+      return "GTree";
+    case GphiKind::kPhl:
+      return "PHL";
+    case GphiKind::kIerAStar:
+      return "IER-A*";
+    case GphiKind::kIerGTree:
+      return "IER-GTree";
+    case GphiKind::kIerPhl:
+      return "IER-PHL";
+    case GphiKind::kCh:
+      return "CH";
+  }
+  return "?";
+}
+
+namespace internal_gphi {
+
+GphiResult SelectAndFold(const IndexedVertexSet& query_points,
+                         const std::vector<Weight>& distances, size_t k,
+                         Aggregate aggregate) {
+  FANNR_CHECK(distances.size() == query_points.size());
+  GphiResult result;
+  std::vector<uint32_t> order(distances.size());
+  std::iota(order.begin(), order.end(), 0u);
+  if (k < order.size()) {
+    std::nth_element(order.begin(), order.begin() + k, order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return distances[a] < distances[b];
+                     });
+    order.resize(k);
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return distances[a] < distances[b];
+  });
+
+  std::vector<Weight> nearest;
+  nearest.reserve(order.size());
+  for (uint32_t idx : order) {
+    if (distances[idx] == kInfWeight) break;
+    nearest.push_back(distances[idx]);
+    result.subset.push_back(query_points[idx]);
+  }
+  if (nearest.size() < k) {
+    result.distance = kInfWeight;  // fewer than k reachable
+    return result;
+  }
+  result.distance = FoldSorted(nearest.data(), nearest.size(), aggregate);
+  return result;
+}
+
+}  // namespace internal_gphi
+
+}  // namespace fannr

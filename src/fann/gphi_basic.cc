@@ -1,0 +1,173 @@
+// Non-IER g_phi engines: INE, A*, PHL, GTree, CH — plus the factory.
+
+#include <algorithm>
+#include <optional>
+
+#include "fann/gphi.h"
+#include "sp/astar.h"
+#include "sp/gtree/gtree_knn.h"
+#include "sp/incremental_nn.h"
+
+namespace fannr {
+
+namespace {
+
+// INE: a single incremental Dijkstra expansion from p reports the members
+// of Q from-near-to-far; the first k hits are exactly Q^p_phi.
+class IneEngine : public GphiEngine {
+ public:
+  explicit IneEngine(const Graph& graph) : graph_(graph) {}
+
+  void Prepare(const IndexedVertexSet& query_points) override {
+    query_points_ = &query_points;
+  }
+
+  GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override {
+    FANNR_CHECK(query_points_ != nullptr);
+    IncrementalNnSearch search(graph_, p, *query_points_);
+    GphiResult result;
+    std::vector<Weight> nearest;
+    nearest.reserve(k);
+    while (nearest.size() < k) {
+      auto hit = search.Next();
+      if (!hit.has_value()) break;
+      nearest.push_back(hit->distance);
+      result.subset.push_back(hit->vertex);
+    }
+    if (nearest.size() == k) {
+      result.distance = FoldSorted(nearest.data(), k, aggregate);
+    }
+    return result;
+  }
+
+  std::string_view name() const override { return "INE"; }
+
+ private:
+  const Graph& graph_;
+  const IndexedVertexSet* query_points_ = nullptr;
+};
+
+// Evaluates the distance from p to every member of Q with a point-to-point
+// oracle, then selects the k nearest. Shared by the A*, PHL and CH
+// engines, which differ only in the oracle.
+template <typename Oracle>
+class PointToPointEngine : public GphiEngine {
+ public:
+  PointToPointEngine(Oracle oracle, std::string_view engine_name)
+      : oracle_(std::move(oracle)), name_(engine_name) {}
+
+  void Prepare(const IndexedVertexSet& query_points) override {
+    query_points_ = &query_points;
+    distances_.resize(query_points.size());
+  }
+
+  GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override {
+    FANNR_CHECK(query_points_ != nullptr);
+    for (size_t i = 0; i < query_points_->size(); ++i) {
+      distances_[i] = oracle_((*query_points_)[i], p);
+    }
+    return internal_gphi::SelectAndFold(*query_points_, distances_, k,
+                                        aggregate);
+  }
+
+  std::string_view name() const override { return name_; }
+
+ private:
+  Oracle oracle_;
+  std::string_view name_;
+  const IndexedVertexSet* query_points_ = nullptr;
+  std::vector<Weight> distances_;
+};
+
+template <typename Oracle>
+std::unique_ptr<GphiEngine> MakePointToPointEngine(
+    Oracle oracle, std::string_view engine_name) {
+  return std::make_unique<PointToPointEngine<Oracle>>(std::move(oracle),
+                                                      engine_name);
+}
+
+// GTree: occurrence-list kNN over Q (the occurrence lists are rebuilt once
+// per Prepare, i.e. once per FANN_R query).
+class GTreeEngine : public GphiEngine {
+ public:
+  explicit GTreeEngine(const GTree& tree) : tree_(tree) {}
+
+  void Prepare(const IndexedVertexSet& query_points) override {
+    knn_.emplace(tree_, query_points);
+  }
+
+  GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override {
+    FANNR_CHECK(knn_.has_value());
+    auto search = knn_->From(p);
+    GphiResult result;
+    std::vector<Weight> nearest;
+    nearest.reserve(k);
+    while (nearest.size() < k) {
+      auto hit = search.Next();
+      if (!hit.has_value()) break;
+      nearest.push_back(hit->distance);
+      result.subset.push_back(hit->vertex);
+    }
+    if (nearest.size() == k) {
+      result.distance = FoldSorted(nearest.data(), k, aggregate);
+    }
+    return result;
+  }
+
+  std::string_view name() const override { return "GTree"; }
+
+ private:
+  const GTree& tree_;
+  std::optional<GTreeKnn> knn_;
+};
+
+}  // namespace
+
+std::unique_ptr<GphiEngine> MakeGphiEngine(GphiKind kind,
+                                           const GphiResources& resources);
+
+// Defined in gphi_ier.cc.
+std::unique_ptr<GphiEngine> MakeIerGphiEngine(GphiKind kind,
+                                              const GphiResources& resources);
+
+std::unique_ptr<GphiEngine> MakeGphiEngine(GphiKind kind,
+                                           const GphiResources& resources) {
+  FANNR_CHECK(resources.graph != nullptr);
+  switch (kind) {
+    case GphiKind::kIne:
+      return std::make_unique<IneEngine>(*resources.graph);
+    case GphiKind::kAStar: {
+      // One AStarSearch shared across evaluations.
+      auto astar = std::make_shared<AStarSearch>(*resources.graph);
+      return MakePointToPointEngine(
+          [astar](VertexId q, VertexId p) { return astar->Distance(q, p); },
+          "A*");
+    }
+    case GphiKind::kGTree:
+      FANNR_CHECK(resources.gtree != nullptr);
+      return std::make_unique<GTreeEngine>(*resources.gtree);
+    case GphiKind::kPhl: {
+      const HubLabels* labels = resources.labels;
+      FANNR_CHECK(labels != nullptr);
+      return MakePointToPointEngine(
+          [labels](VertexId q, VertexId p) {
+            return labels->Distance(q, p);
+          },
+          "PHL");
+    }
+    case GphiKind::kCh: {
+      ContractionHierarchy* ch = resources.ch;
+      FANNR_CHECK(ch != nullptr);
+      return MakePointToPointEngine(
+          [ch](VertexId q, VertexId p) { return ch->Distance(q, p); },
+          "CH");
+    }
+    case GphiKind::kIerAStar:
+    case GphiKind::kIerGTree:
+    case GphiKind::kIerPhl:
+      return MakeIerGphiEngine(kind, resources);
+  }
+  FANNR_CHECK(false && "unknown GphiKind");
+}
+
+}  // namespace fannr

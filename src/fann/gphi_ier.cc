@@ -1,0 +1,166 @@
+// IER-* g_phi engines: Incremental Euclidean Restriction over an R-tree
+// built on Q, verified by an exact network-distance oracle.
+//
+// Since the graph is Euclidean-consistent, the Euclidean distance
+// lower-bounds the network distance, so query points can be examined in
+// increasing Euclidean order and the scan stops as soon as the next
+// Euclidean distance reaches the current k-th best verified network
+// distance — the classic IER argument, applied here to kNN over Q.
+//
+// Verification is factory-based: one Evaluate() fixes the candidate p, so
+// oracles that can amortize per-source work (G-tree's SourceOracle
+// precomputes the source-side sweep) construct that state once per
+// candidate.
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+
+#include "fann/gphi.h"
+#include "sp/astar.h"
+#include "spatial/rtree.h"
+
+namespace fannr {
+
+namespace {
+
+// Max-heap entry holding one verified candidate.
+struct Verified {
+  Weight network_distance;
+  VertexId vertex;
+  bool operator<(const Verified& o) const {
+    return network_distance < o.network_distance;
+  }
+};
+
+// VerifierFactory(p) returns a callable (q) -> network distance p<->q.
+template <typename VerifierFactory>
+class IerEngine : public GphiEngine {
+ public:
+  IerEngine(const Graph& graph, VerifierFactory factory,
+            std::string_view engine_name)
+      : graph_(graph), factory_(std::move(factory)), name_(engine_name) {
+    FANNR_CHECK(graph.HasCoordinates());
+    FANNR_CHECK(graph.EuclideanConsistent());
+  }
+
+  void Prepare(const IndexedVertexSet& query_points) override {
+    query_points_ = &query_points;
+    std::vector<RTree::Item> items;
+    items.reserve(query_points.size());
+    for (VertexId q : query_points.members()) {
+      items.push_back({graph_.Coord(q), q});
+    }
+    q_tree_ = RTree::BulkLoad(std::move(items));
+  }
+
+  GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override {
+    FANNR_CHECK(query_points_ != nullptr);
+    auto verifier = factory_(p);
+    auto nn = q_tree_.NearestNeighbors(graph_.Coord(p));
+    // Max-heap of the k best verified network distances so far.
+    std::priority_queue<Verified> best;
+    while (true) {
+      const double next_euclid = nn.PeekDistance();
+      if (best.size() == k &&
+          next_euclid >= best.top().network_distance) {
+        break;  // no unexamined point can improve the k nearest
+      }
+      auto hit = nn.Next();
+      if (!hit.has_value()) break;
+      const Weight network = verifier(hit->item.id);
+      if (network == kInfWeight) continue;
+      if (best.size() < k) {
+        best.push({network, hit->item.id});
+      } else if (network < best.top().network_distance) {
+        best.pop();
+        best.push({network, hit->item.id});
+      }
+    }
+
+    GphiResult result;
+    if (best.size() < k) return result;  // fewer than k reachable
+    std::vector<Verified> sorted;
+    sorted.reserve(k);
+    while (!best.empty()) {
+      sorted.push_back(best.top());
+      best.pop();
+    }
+    std::reverse(sorted.begin(), sorted.end());  // nearest first
+    std::vector<Weight> nearest;
+    nearest.reserve(k);
+    for (const Verified& v : sorted) {
+      nearest.push_back(v.network_distance);
+      result.subset.push_back(v.vertex);
+    }
+    result.distance = FoldSorted(nearest.data(), k, aggregate);
+    return result;
+  }
+
+  std::string_view name() const override { return name_; }
+
+ private:
+  const Graph& graph_;
+  VerifierFactory factory_;
+  std::string_view name_;
+  const IndexedVertexSet* query_points_ = nullptr;
+  RTree q_tree_;
+};
+
+template <typename VerifierFactory>
+std::unique_ptr<GphiEngine> MakeIerEngine(const Graph& graph,
+                                          VerifierFactory factory,
+                                          std::string_view engine_name) {
+  return std::make_unique<IerEngine<VerifierFactory>>(
+      graph, std::move(factory), engine_name);
+}
+
+}  // namespace
+
+std::unique_ptr<GphiEngine> MakeIerGphiEngine(GphiKind kind,
+                                              const GphiResources& resources);
+
+std::unique_ptr<GphiEngine> MakeIerGphiEngine(GphiKind kind,
+                                              const GphiResources& resources) {
+  const Graph& graph = *resources.graph;
+  switch (kind) {
+    case GphiKind::kIerAStar: {
+      auto astar = std::make_shared<AStarSearch>(graph);
+      return MakeIerEngine(
+          graph,
+          [astar](VertexId p) {
+            return [astar, p](VertexId q) { return astar->Distance(q, p); };
+          },
+          "IER-A*");
+    }
+    case GphiKind::kIerGTree: {
+      const GTree* gtree = resources.gtree;
+      FANNR_CHECK(gtree != nullptr);
+      return MakeIerEngine(
+          graph,
+          [gtree](VertexId p) {
+            // Source-side sweep amortized across all verifications of
+            // this candidate.
+            auto oracle = std::make_shared<GTree::SourceOracle>(*gtree, p);
+            return [oracle](VertexId q) { return oracle->DistanceTo(q); };
+          },
+          "IER-GTree");
+    }
+    case GphiKind::kIerPhl: {
+      const HubLabels* labels = resources.labels;
+      FANNR_CHECK(labels != nullptr);
+      return MakeIerEngine(
+          graph,
+          [labels](VertexId p) {
+            return [labels, p](VertexId q) {
+              return labels->Distance(q, p);
+            };
+          },
+          "IER-PHL");
+    }
+    default:
+      FANNR_CHECK(false && "not an IER kind");
+  }
+}
+
+}  // namespace fannr

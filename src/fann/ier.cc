@@ -1,0 +1,125 @@
+#include "fann/ier.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace fannr {
+
+namespace {
+
+Weight FoldKSmallest(std::vector<Weight>& scratch, size_t k,
+                     Aggregate aggregate) {
+  FANNR_DCHECK(k > 0 && k <= scratch.size());
+  std::nth_element(scratch.begin(), scratch.begin() + (k - 1),
+                   scratch.end());
+  if (aggregate == Aggregate::kMax) return scratch[k - 1];
+  Weight total = 0.0;
+  for (size_t i = 0; i < k; ++i) total += scratch[i];
+  return total;
+}
+
+}  // namespace
+
+Weight EuclidGphiBound(const std::vector<Point>& q_points, const Mbr& box,
+                       size_t k, Aggregate aggregate) {
+  std::vector<Weight> dists;
+  dists.reserve(q_points.size());
+  for (const Point& q : q_points) dists.push_back(MinDist(box, q));
+  return FoldKSmallest(dists, k, aggregate);
+}
+
+Weight EuclidGphiPoint(const std::vector<Point>& q_points, const Point& p,
+                       size_t k, Aggregate aggregate) {
+  std::vector<Weight> dists;
+  dists.reserve(q_points.size());
+  for (const Point& q : q_points) dists.push_back(EuclideanDistance(p, q));
+  return FoldKSmallest(dists, k, aggregate);
+}
+
+RTree BuildDataPointRTree(const Graph& graph,
+                          const IndexedVertexSet& data_points) {
+  FANNR_CHECK(graph.HasCoordinates());
+  std::vector<RTree::Item> items;
+  items.reserve(data_points.size());
+  for (VertexId p : data_points.members()) {
+    items.push_back({graph.Coord(p), p});
+  }
+  return RTree::BulkLoad(std::move(items));
+}
+
+FannResult SolveIer(const FannQuery& query, GphiEngine& engine,
+                    const RTree& p_tree) {
+  return SolveIer(query, engine, p_tree, IerOptions{});
+}
+
+FannResult SolveIer(const FannQuery& query, GphiEngine& engine,
+                    const RTree& p_tree, const IerOptions& options) {
+  ValidateQuery(query);
+  FANNR_CHECK(query.graph->HasCoordinates());
+  FANNR_CHECK(query.graph->EuclideanConsistent());
+  FANNR_CHECK(p_tree.size() == query.data_points->size());
+  const size_t k = query.FlexSubsetSize();
+  engine.Prepare(*query.query_points);
+
+  std::vector<Point> q_points;
+  q_points.reserve(query.query_points->size());
+  for (VertexId q : query.query_points->members()) {
+    q_points.push_back(query.graph->Coord(q));
+  }
+  Mbr q_mbr;
+  for (const Point& q : q_points) q_mbr.Extend(q);
+
+  const double sum_factor =
+      query.aggregate == Aggregate::kSum ? static_cast<double>(k) : 1.0;
+  auto bound_of_mbr = [&](const Mbr& box) {
+    if (options.bound == IerBound::kFlexibleEuclid) {
+      return EuclidGphiBound(q_points, box, k, query.aggregate);
+    }
+    return sum_factor * MinDist(q_mbr, box);
+  };
+  auto bound_of_point = [&](const Point& p) {
+    if (options.bound == IerBound::kFlexibleEuclid) {
+      return EuclidGphiPoint(q_points, p, k, query.aggregate);
+    }
+    return sum_factor * MinDist(q_mbr, p);
+  };
+
+  struct Entry {
+    Weight bound;
+    bool is_point;
+    RTree::NodeId node;
+    VertexId vertex;
+    bool operator>(const Entry& o) const { return bound > o.bound; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({bound_of_mbr(p_tree.NodeMbr(p_tree.Root())), false,
+             p_tree.Root(), kInvalidVertex});
+
+  FannResult best;
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    if (top.bound >= best.distance) break;  // Lemma 1 termination
+    heap.pop();
+    if (top.is_point) {
+      GphiResult r = engine.Evaluate(top.vertex, k, query.aggregate);
+      ++best.gphi_evaluations;
+      if (r.distance < best.distance) {
+        best.best = top.vertex;
+        best.distance = r.distance;
+        best.subset = std::move(r.subset);
+      }
+    } else if (p_tree.IsLeaf(top.node)) {
+      for (const RTree::Item& item : p_tree.Items(top.node)) {
+        heap.push({bound_of_point(item.point), true, 0, item.id});
+      }
+    } else {
+      for (const RTree::Child& child : p_tree.Children(top.node)) {
+        heap.push({bound_of_mbr(child.mbr), false, child.node,
+                   kInvalidVertex});
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace fannr

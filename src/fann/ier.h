@@ -1,0 +1,57 @@
+// The IER-kNN framework (paper Section III-C, Algorithm 1).
+//
+// An R-tree over the data points P is traversed best-first, keyed by the
+// flexible *Euclidean* aggregate g^eps_phi(e, Q) of each entry — a lower
+// bound on g_phi of every data point under the entry (Lemma 1). Leaf
+// points are evaluated exactly with a pluggable g_phi engine; the search
+// stops when the head bound reaches the best candidate.
+
+#ifndef FANNR_FANN_IER_H_
+#define FANNR_FANN_IER_H_
+
+#include "fann/gphi.h"
+#include "fann/query.h"
+#include "spatial/rtree.h"
+
+namespace fannr {
+
+/// Which lower bound keys the priority queue (Section III-C discusses
+/// both; the cheap bound is looser but costs O(1) per entry instead of
+/// O(|Q|)).
+enum class IerBound {
+  /// g^eps_phi(e, Q): k smallest mdist(mbr, q_i) folded by g.
+  kFlexibleEuclid,
+  /// mdist(mbr(Q), e) for max; phi|Q| * mdist(mbr(Q), e) for sum.
+  kQMbrCheap,
+};
+
+struct IerOptions {
+  IerBound bound = IerBound::kFlexibleEuclid;
+};
+
+/// Solves an FANN_R query with Algorithm 1. Exact for both aggregates.
+/// `p_tree` must index exactly the members of query.data_points (item id
+/// = vertex id); build it once per P with BuildDataPointRTree.
+FannResult SolveIer(const FannQuery& query, GphiEngine& engine,
+                    const RTree& p_tree);
+FannResult SolveIer(const FannQuery& query, GphiEngine& engine,
+                    const RTree& p_tree, const IerOptions& options);
+
+/// Bulk-loads the R-tree over P used by SolveIer.
+RTree BuildDataPointRTree(const Graph& graph,
+                          const IndexedVertexSet& data_points);
+
+/// The flexible Euclidean aggregate lower bound g^eps_phi(e, Q) of an MBR
+/// (Lemma 1): fold of the k smallest mdist(box, q_i). Exposed for tests
+/// and benches.
+Weight EuclidGphiBound(const std::vector<Point>& q_points, const Mbr& box,
+                       size_t k, Aggregate aggregate);
+
+/// g^eps_phi(p, Q) for a point: fold of the k smallest Euclidean
+/// distances.
+Weight EuclidGphiPoint(const std::vector<Point>& q_points, const Point& p,
+                       size_t k, Aggregate aggregate);
+
+}  // namespace fannr
+
+#endif  // FANNR_FANN_IER_H_

@@ -1,0 +1,224 @@
+#include "fann/kfann.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fann/ier.h"
+#include "sp/incremental_nn.h"
+
+namespace fannr {
+
+namespace {
+
+// Bounded collector of the k best candidates (max-heap by distance).
+class TopK {
+ public:
+  explicit TopK(size_t capacity) : capacity_(capacity) {}
+
+  /// Distance a new candidate must beat (the k-th best so far).
+  Weight WorstBound() const {
+    return heap_.size() < capacity_ ? kInfWeight : heap_.top().distance;
+  }
+
+  void Offer(KFannEntry entry) {
+    if (entry.distance >= WorstBound()) return;
+    heap_.push(std::move(entry));
+    if (heap_.size() > capacity_) heap_.pop();
+  }
+
+  /// Extracts the entries sorted by distance (ascending).
+  std::vector<KFannEntry> Sorted() && {
+    std::vector<KFannEntry> result;
+    result.reserve(heap_.size());
+    while (!heap_.empty()) {
+      result.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(result.begin(), result.end());
+    return result;
+  }
+
+ private:
+  struct ByDistance {
+    bool operator()(const KFannEntry& a, const KFannEntry& b) const {
+      return a.distance < b.distance;
+    }
+  };
+  size_t capacity_;
+  std::priority_queue<KFannEntry, std::vector<KFannEntry>, ByDistance>
+      heap_;
+};
+
+}  // namespace
+
+std::vector<KFannEntry> SolveKGd(const FannQuery& query, size_t k_results,
+                                 GphiEngine& engine) {
+  ValidateQuery(query);
+  FANNR_CHECK(k_results > 0);
+  const size_t k = query.FlexSubsetSize();
+  engine.Prepare(*query.query_points);
+  TopK top(k_results);
+  for (VertexId p : query.data_points->members()) {
+    GphiResult r = engine.Evaluate(p, k, query.aggregate);
+    if (r.distance == kInfWeight) continue;
+    top.Offer({p, r.distance, std::move(r.subset)});
+  }
+  return std::move(top).Sorted();
+}
+
+std::vector<KFannEntry> SolveKRList(const FannQuery& query,
+                                    size_t k_results, GphiEngine& engine) {
+  ValidateQuery(query);
+  FANNR_CHECK(k_results > 0);
+  const size_t k = query.FlexSubsetSize();
+  engine.Prepare(*query.query_points);
+
+  std::vector<IncrementalNnSearch> lists;
+  lists.reserve(query.query_points->size());
+  for (VertexId q : query.query_points->members()) {
+    lists.emplace_back(*query.graph, q, *query.data_points);
+  }
+
+  std::vector<bool> evaluated(query.data_points->size(), false);
+  std::vector<Weight> heads(lists.size());
+  std::vector<Weight> scratch(lists.size());
+  TopK top(k_results);
+
+  while (true) {
+    size_t min_list = lists.size();
+    Weight min_head = kInfWeight;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      const auto* head = lists[i].Peek();
+      heads[i] = head == nullptr ? kInfWeight : head->distance;
+      if (heads[i] < min_head) {
+        min_head = heads[i];
+        min_list = i;
+      }
+    }
+    if (min_list == lists.size()) break;
+
+    // Threshold vs the k-th best candidate (Section V).
+    scratch = heads;
+    std::nth_element(scratch.begin(), scratch.begin() + (k - 1),
+                     scratch.end());
+    Weight threshold;
+    if (query.aggregate == Aggregate::kMax) {
+      threshold = scratch[k - 1];
+    } else {
+      threshold = 0.0;
+      for (size_t i = 0; i < k; ++i) threshold += scratch[i];
+    }
+    if (threshold >= top.WorstBound()) break;
+
+    const auto hit = lists[min_list].Next();
+    const uint32_t p_index = query.data_points->IndexOf(hit->vertex);
+    if (!evaluated[p_index]) {
+      evaluated[p_index] = true;
+      GphiResult r = engine.Evaluate(hit->vertex, k, query.aggregate);
+      if (r.distance != kInfWeight) {
+        top.Offer({hit->vertex, r.distance, std::move(r.subset)});
+      }
+    }
+  }
+  return std::move(top).Sorted();
+}
+
+std::vector<KFannEntry> SolveKIer(const FannQuery& query, size_t k_results,
+                                  GphiEngine& engine, const RTree& p_tree) {
+  ValidateQuery(query);
+  FANNR_CHECK(k_results > 0);
+  FANNR_CHECK(query.graph->HasCoordinates() &&
+              query.graph->EuclideanConsistent());
+  const size_t k = query.FlexSubsetSize();
+  engine.Prepare(*query.query_points);
+
+  std::vector<Point> q_points;
+  q_points.reserve(query.query_points->size());
+  for (VertexId q : query.query_points->members()) {
+    q_points.push_back(query.graph->Coord(q));
+  }
+
+  struct Entry {
+    Weight bound;
+    bool is_point;
+    RTree::NodeId node;
+    VertexId vertex;
+    bool operator>(const Entry& o) const { return bound > o.bound; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({EuclidGphiBound(q_points, p_tree.NodeMbr(p_tree.Root()), k,
+                             query.aggregate),
+             false, p_tree.Root(), kInvalidVertex});
+  TopK top(k_results);
+
+  while (!heap.empty()) {
+    const Entry e = heap.top();
+    if (e.bound >= top.WorstBound()) break;
+    heap.pop();
+    if (e.is_point) {
+      GphiResult r = engine.Evaluate(e.vertex, k, query.aggregate);
+      if (r.distance != kInfWeight) {
+        top.Offer({e.vertex, r.distance, std::move(r.subset)});
+      }
+    } else if (p_tree.IsLeaf(e.node)) {
+      for (const RTree::Item& item : p_tree.Items(e.node)) {
+        heap.push({EuclidGphiPoint(q_points, item.point, k,
+                                   query.aggregate),
+                   true, 0, item.id});
+      }
+    } else {
+      for (const RTree::Child& child : p_tree.Children(e.node)) {
+        heap.push({EuclidGphiBound(q_points, child.mbr, k, query.aggregate),
+                   false, child.node, kInvalidVertex});
+      }
+    }
+  }
+  return std::move(top).Sorted();
+}
+
+std::vector<KFannEntry> SolveKExactMax(const FannQuery& query,
+                                       size_t k_results) {
+  ValidateQuery(query);
+  FANNR_CHECK(k_results > 0);
+  FANNR_CHECK(query.aggregate == Aggregate::kMax);
+  const size_t k = query.FlexSubsetSize();
+
+  std::vector<IncrementalNnSearch> lists;
+  lists.reserve(query.query_points->size());
+  for (VertexId q : query.query_points->members()) {
+    lists.emplace_back(*query.graph, q, *query.data_points);
+  }
+
+  using Head = std::pair<Weight, uint32_t>;
+  std::priority_queue<Head, std::vector<Head>, std::greater<>> heads;
+  for (uint32_t i = 0; i < lists.size(); ++i) {
+    const auto* head = lists[i].Peek();
+    if (head != nullptr) heads.push({head->distance, i});
+  }
+
+  std::unordered_map<VertexId, std::vector<VertexId>> arrivals;
+  std::unordered_set<VertexId> saturated;
+  std::vector<KFannEntry> result;
+
+  while (!heads.empty() && result.size() < k_results) {
+    auto [d, i] = heads.top();
+    heads.pop();
+    const auto hit = lists[i].Next();
+    if (!saturated.count(hit->vertex)) {
+      auto& arrived = arrivals[hit->vertex];
+      arrived.push_back(lists[i].source());
+      if (arrived.size() >= k) {
+        saturated.insert(hit->vertex);
+        result.push_back({hit->vertex, d, std::move(arrived)});
+        arrivals.erase(hit->vertex);
+      }
+    }
+    const auto* next = lists[i].Peek();
+    if (next != nullptr) heads.push({next->distance, i});
+  }
+  return result;  // already in nondecreasing distance order
+}
+
+}  // namespace fannr

@@ -1,0 +1,39 @@
+// k-FANN_R: the top-k extension (paper Section V, Definition 3).
+//
+// GD keeps a bounded result heap while enumerating; R-List and IER-kNN
+// compare their termination bounds against the k-th best candidate
+// instead of the best; Exact-max expands until k distinct counters reach
+// phi|Q|. APX-sum is deliberately not adapted (the paper adapts "most"
+// algorithms, excluding APX-sum).
+
+#ifndef FANNR_FANN_KFANN_H_
+#define FANNR_FANN_KFANN_H_
+
+#include <vector>
+
+#include "fann/gphi.h"
+#include "fann/query.h"
+#include "spatial/rtree.h"
+
+namespace fannr {
+
+/// k-FANN_R by exhaustive enumeration (GD). Returns at most `k_results`
+/// entries sorted by flexible aggregate distance.
+std::vector<KFannEntry> SolveKGd(const FannQuery& query, size_t k_results,
+                                 GphiEngine& engine);
+
+/// k-FANN_R with the R-List threshold against the k-th best candidate.
+std::vector<KFannEntry> SolveKRList(const FannQuery& query,
+                                    size_t k_results, GphiEngine& engine);
+
+/// k-FANN_R with the IER-kNN framework.
+std::vector<KFannEntry> SolveKIer(const FannQuery& query, size_t k_results,
+                                  GphiEngine& engine, const RTree& p_tree);
+
+/// k-FANN_R with Exact-max (query.aggregate must be kMax).
+std::vector<KFannEntry> SolveKExactMax(const FannQuery& query,
+                                       size_t k_results);
+
+}  // namespace fannr
+
+#endif  // FANNR_FANN_KFANN_H_

@@ -1,0 +1,91 @@
+#include "fann/naive.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sp/dijkstra.h"
+
+namespace fannr {
+
+namespace {
+
+// C(n, k) capped at a large sentinel to avoid overflow.
+size_t BinomialCapped(size_t n, size_t k, size_t cap) {
+  k = std::min(k, n - k);
+  size_t result = 1;
+  for (size_t i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+    if (result > cap) return cap + 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+FannResult SolveNaive(const FannQuery& query) {
+  ValidateQuery(query);
+  const size_t m = query.query_points->size();
+  const size_t k = query.FlexSubsetSize();
+  FANNR_CHECK(BinomialCapped(m, k, 10'000'000) <= 10'000'000 &&
+              "naive solver is for toy instances only");
+
+  // Distance matrix D[p index][q index] via one SSSP per query point
+  // (|Q| << |P| in the toy instances this is used on).
+  const auto& p_members = query.data_points->members();
+  std::vector<std::vector<Weight>> dist_to_p(m);
+  DijkstraSearch search(*query.graph);
+  std::vector<VertexId> p_list(p_members.begin(), p_members.end());
+  for (size_t qi = 0; qi < m; ++qi) {
+    dist_to_p[qi] = search.Distances((*query.query_points)[qi], p_list);
+  }
+
+  // Enumerate subsets of size k in lexicographic order; for each subset
+  // answer the ANN query over P.
+  std::vector<size_t> subset(k);
+  for (size_t i = 0; i < k; ++i) subset[i] = i;
+
+  FannResult best;
+  auto consider = [&] {
+    for (size_t pi = 0; pi < p_list.size(); ++pi) {
+      Weight agg = 0.0;
+      bool reachable = true;
+      for (size_t qi : subset) {
+        const Weight d = dist_to_p[qi][pi];
+        if (d == kInfWeight) {
+          reachable = false;
+          break;
+        }
+        if (query.aggregate == Aggregate::kSum) {
+          agg += d;
+        } else {
+          agg = std::max(agg, d);
+        }
+      }
+      if (!reachable) continue;
+      ++best.gphi_evaluations;
+      if (agg < best.distance) {
+        best.distance = agg;
+        best.best = p_list[pi];
+        best.subset.clear();
+        for (size_t qi : subset) {
+          best.subset.push_back((*query.query_points)[qi]);
+        }
+      }
+    }
+  };
+
+  while (true) {
+    consider();
+    // Advance to the next k-combination of {0..m-1}; stop after the last.
+    ptrdiff_t i = static_cast<ptrdiff_t>(k) - 1;
+    while (i >= 0 && subset[i] == static_cast<size_t>(i) + m - k) --i;
+    if (i < 0) break;
+    ++subset[i];
+    for (size_t j = static_cast<size_t>(i) + 1; j < k; ++j) {
+      subset[j] = subset[j - 1] + 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace fannr

@@ -1,0 +1,24 @@
+// The naive FANN_R method (paper Section II-C): enumerate all
+// C(|Q|, phi|Q|) subsets of Q and answer an ANN query per subset.
+//
+// Exponential in |Q| — the paper introduces it only to motivate the real
+// algorithms ("always infeasible in practice"); we implement it as a
+// correctness oracle for small instances and for the documentation
+// examples. It also directly validates the k-nearest-subset equivalence
+// used everywhere else, because it optimizes over subsets literally as in
+// Definition 1.
+
+#ifndef FANNR_FANN_NAIVE_H_
+#define FANNR_FANN_NAIVE_H_
+
+#include "fann/query.h"
+
+namespace fannr {
+
+/// Exhaustive subset-enumeration solve. Aborts if C(|Q|, phi|Q|) exceeds
+/// ~10^7 (use only on toy instances).
+FannResult SolveNaive(const FannQuery& query);
+
+}  // namespace fannr
+
+#endif  // FANNR_FANN_NAIVE_H_

@@ -1,0 +1,54 @@
+// FANN_R query and result types (paper Definition 2).
+
+#ifndef FANNR_FANN_QUERY_H_
+#define FANNR_FANN_QUERY_H_
+
+#include <vector>
+
+#include "fann/aggregate.h"
+#include "graph/graph.h"
+#include "graph/vertex_set.h"
+
+namespace fannr {
+
+/// One FANN_R query: the quintuple (G, P, Q, phi, g). All pointers are
+/// non-owning and must outlive the solve call.
+struct FannQuery {
+  const Graph* graph = nullptr;
+  const IndexedVertexSet* data_points = nullptr;   // P
+  const IndexedVertexSet* query_points = nullptr;  // Q
+  double phi = 0.5;
+  Aggregate aggregate = Aggregate::kSum;
+
+  /// The flexible subset size k = phi * |Q|.
+  size_t FlexSubsetSize() const {
+    return FlexK(phi, query_points->size());
+  }
+};
+
+/// The answer triple (p*, Q*_phi, d*), plus work counters for the
+/// experiments. best == kInvalidVertex (and distance == kInfWeight) when
+/// no data point can reach phi|Q| query points.
+struct FannResult {
+  VertexId best = kInvalidVertex;
+  std::vector<VertexId> subset;  // Q*_phi, nearest first
+  Weight distance = kInfWeight;
+  /// Number of full g_phi evaluations performed (the quantity R-List and
+  /// IER-kNN are designed to minimize).
+  size_t gphi_evaluations = 0;
+};
+
+/// One entry of a k-FANN_R answer (Definition 3).
+struct KFannEntry {
+  VertexId vertex = kInvalidVertex;
+  Weight distance = kInfWeight;
+  std::vector<VertexId> subset;
+};
+
+/// Validates query invariants (non-null members, non-empty sets, phi in
+/// (0, 1]). Aborts on violation; called by every solver.
+void ValidateQuery(const FannQuery& query);
+
+}  // namespace fannr
+
+#endif  // FANNR_FANN_QUERY_H_

@@ -1,0 +1,79 @@
+#include "fann/rlist.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sp/incremental_nn.h"
+
+namespace fannr {
+
+FannResult SolveRList(const FannQuery& query, GphiEngine& engine) {
+  return SolveRList(query, engine, RListOptions{});
+}
+
+FannResult SolveRList(const FannQuery& query, GphiEngine& engine,
+                      const RListOptions& options) {
+  ValidateQuery(query);
+  const size_t k = query.FlexSubsetSize();
+  engine.Prepare(*query.query_points);
+
+  // One list (switchable Dijkstra expansion over P) per query point.
+  std::vector<IncrementalNnSearch> lists;
+  lists.reserve(query.query_points->size());
+  for (VertexId q : query.query_points->members()) {
+    lists.emplace_back(*query.graph, q, *query.data_points);
+  }
+
+  std::vector<bool> evaluated(query.data_points->size(), false);
+  std::vector<Weight> heads(lists.size());
+  std::vector<Weight> scratch(lists.size());
+  FannResult best;
+
+  while (true) {
+    // Gather heads; the threshold is the aggregate of the k smallest
+    // (exhausted lists contribute +inf, which is still a valid lower
+    // bound for unseen points: such points are unreachable from that
+    // query point).
+    size_t min_list = lists.size();
+    Weight min_head = kInfWeight;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      const auto* head = lists[i].Peek();
+      heads[i] = head == nullptr ? kInfWeight : head->distance;
+      if (heads[i] < min_head) {
+        min_head = heads[i];
+        min_list = i;
+      }
+    }
+    if (min_list == lists.size()) break;  // all lists exhausted
+
+    if (options.use_threshold) {
+      scratch = heads;
+      std::nth_element(scratch.begin(), scratch.begin() + (k - 1),
+                       scratch.end());
+      Weight threshold;
+      if (query.aggregate == Aggregate::kMax) {
+        threshold = scratch[k - 1];
+      } else {
+        threshold = 0.0;
+        for (size_t i = 0; i < k; ++i) threshold += scratch[i];
+      }
+      if (threshold >= best.distance) break;
+    }
+
+    const auto hit = lists[min_list].Next();
+    const uint32_t p_index = query.data_points->IndexOf(hit->vertex);
+    if (!evaluated[p_index]) {
+      evaluated[p_index] = true;
+      GphiResult r = engine.Evaluate(hit->vertex, k, query.aggregate);
+      ++best.gphi_evaluations;
+      if (r.distance < best.distance) {
+        best.best = hit->vertex;
+        best.distance = r.distance;
+        best.subset = std::move(r.subset);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace fannr

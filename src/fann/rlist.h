@@ -1,0 +1,33 @@
+// The R-List algorithm (paper Section III-B): the List threshold
+// algorithm of Li et al. adapted to road networks.
+//
+// One switchable incremental Dijkstra expansion per query point
+// enumerates the data points from-near-to-far; the expansion whose head
+// is nearest advances. Each newly seen data point is evaluated exactly
+// (one g_phi call, never repeated), and the search stops once the
+// threshold — the aggregate of the phi|Q| smallest list heads, a lower
+// bound on g_phi of every unseen data point — reaches the best candidate.
+
+#ifndef FANNR_FANN_RLIST_H_
+#define FANNR_FANN_RLIST_H_
+
+#include "fann/gphi.h"
+#include "fann/query.h"
+
+namespace fannr {
+
+struct RListOptions {
+  /// Disable the early-termination threshold (ablation only: the
+  /// algorithm then evaluates every data point, like GD but in
+  /// from-near-to-far order).
+  bool use_threshold = true;
+};
+
+/// Solves an FANN_R query with R-List. Exact for both aggregates.
+FannResult SolveRList(const FannQuery& query, GphiEngine& engine);
+FannResult SolveRList(const FannQuery& query, GphiEngine& engine,
+                      const RListOptions& options);
+
+}  // namespace fannr
+
+#endif  // FANNR_FANN_RLIST_H_

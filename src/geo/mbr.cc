@@ -1,0 +1,41 @@
+#include "geo/mbr.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fannr {
+
+namespace {
+
+// Distance from value v to interval [lo, hi]; zero when inside.
+double AxisGap(double v, double lo, double hi) {
+  if (v < lo) return lo - v;
+  if (v > hi) return v - hi;
+  return 0.0;
+}
+
+}  // namespace
+
+double MinDist(const Mbr& b, const Point& p) {
+  FANNR_DCHECK(!b.Empty());
+  const double dx = AxisGap(p.x, b.min_x, b.max_x);
+  const double dy = AxisGap(p.y, b.min_y, b.max_y);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MinDist(const Mbr& a, const Mbr& b) {
+  FANNR_DCHECK(!a.Empty() && !b.Empty());
+  const double dx = std::max({0.0, b.min_x - a.max_x, a.min_x - b.max_x});
+  const double dy = std::max({0.0, b.min_y - a.max_y, a.min_y - b.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double MaxDist(const Mbr& b, const Point& p) {
+  FANNR_DCHECK(!b.Empty());
+  const double dx = std::max(std::abs(p.x - b.min_x), std::abs(p.x - b.max_x));
+  const double dy = std::max(std::abs(p.y - b.min_y), std::abs(p.y - b.max_y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace fannr

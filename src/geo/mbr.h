@@ -1,0 +1,88 @@
+// Minimum bounding rectangle (MBR) with the mindist lower bounds used by
+// the R-tree and by the IER pruning rules (paper Section III-C).
+
+#ifndef FANNR_GEO_MBR_H_
+#define FANNR_GEO_MBR_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/point.h"
+
+namespace fannr {
+
+/// Axis-aligned minimum bounding rectangle. A default-constructed Mbr is
+/// empty; extending an empty Mbr by a point yields a degenerate rectangle
+/// covering exactly that point.
+struct Mbr {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  /// True if no point has been added.
+  bool Empty() const { return min_x > max_x; }
+
+  /// Grows the rectangle to cover `p`.
+  void Extend(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  /// Grows the rectangle to cover `other`.
+  void Extend(const Mbr& other) {
+    min_x = std::min(min_x, other.min_x);
+    min_y = std::min(min_y, other.min_y);
+    max_x = std::max(max_x, other.max_x);
+    max_y = std::max(max_y, other.max_y);
+  }
+
+  /// True if `p` lies inside or on the boundary.
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// True if the rectangles share at least one point.
+  bool Intersects(const Mbr& o) const {
+    return !Empty() && !o.Empty() && min_x <= o.max_x && o.min_x <= max_x &&
+           min_y <= o.max_y && o.min_y <= max_y;
+  }
+
+  /// Area (zero for degenerate or empty rectangles).
+  double Area() const {
+    return Empty() ? 0.0 : (max_x - min_x) * (max_y - min_y);
+  }
+
+  /// Half-perimeter, used by R-tree split heuristics.
+  double Margin() const {
+    return Empty() ? 0.0 : (max_x - min_x) + (max_y - min_y);
+  }
+
+  /// Center point. Requires a non-empty rectangle.
+  Point Center() const {
+    return Point{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  friend bool operator==(const Mbr& a, const Mbr& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+/// Minimum possible Euclidean distance from `p` to any point in `b`
+/// (mdist(b, q) in the paper). Zero if `p` is inside `b`. Requires a
+/// non-empty rectangle.
+double MinDist(const Mbr& b, const Point& p);
+
+/// Minimum possible Euclidean distance between any point of `a` and any
+/// point of `b` (mdist(b, b') in the paper). Zero if they intersect.
+double MinDist(const Mbr& a, const Mbr& b);
+
+/// Maximum possible Euclidean distance from `p` to a point in `b`.
+double MaxDist(const Mbr& b, const Point& p);
+
+}  // namespace fannr
+
+#endif  // FANNR_GEO_MBR_H_

@@ -1,0 +1,32 @@
+// 2-D point used for vertex coordinates and Euclidean lower bounds.
+
+#ifndef FANNR_GEO_POINT_H_
+#define FANNR_GEO_POINT_H_
+
+#include <cmath>
+
+namespace fannr {
+
+/// A point in the plane. Road-network vertex coordinates are stored in the
+/// same (arbitrary but consistent) unit as edge weights so that Euclidean
+/// distance is a valid lower bound on network distance (A* admissibility;
+/// see Graph::EuclideanConsistent()).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points.
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace fannr
+
+#endif  // FANNR_GEO_POINT_H_

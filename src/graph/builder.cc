@@ -1,0 +1,87 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fannr {
+
+GraphBuilder GraphBuilder::FromGraph(const Graph& graph) {
+  GraphBuilder builder;
+  if (graph.HasCoordinates()) {
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      builder.AddVertex(graph.Coord(v));
+    }
+  } else {
+    builder.Resize(graph.NumVertices());
+  }
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (const Arc& a : graph.Neighbors(u)) {
+      if (u < a.to) builder.AddEdge(u, a.to, a.weight);
+    }
+  }
+  return builder;
+}
+
+void GraphBuilder::Resize(size_t n) {
+  if (n > num_vertices_) {
+    if (!coords_.empty()) has_uncoordinated_vertex_ = true;
+    num_vertices_ = n;
+  }
+}
+
+VertexId GraphBuilder::AddVertex(Point coord) {
+  if (num_vertices_ != coords_.size()) {
+    // Some earlier vertex had no coordinate; coordinates will be dropped.
+    has_uncoordinated_vertex_ = true;
+  } else {
+    coords_.push_back(coord);
+  }
+  return static_cast<VertexId>(num_vertices_++);
+}
+
+VertexId GraphBuilder::AddVertex() {
+  if (!coords_.empty()) has_uncoordinated_vertex_ = true;
+  return static_cast<VertexId>(num_vertices_++);
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v, Weight weight) {
+  FANNR_CHECK(u < num_vertices_ && v < num_vertices_);
+  FANNR_CHECK(weight > 0.0);
+  edges_.push_back({u, v, weight});
+}
+
+Graph GraphBuilder::Build() {
+  // Normalize edges so u <= v, sort, and deduplicate keeping the minimum
+  // weight among parallel edges; drop self-loops.
+  for (Edge& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.weight < b.weight;
+  });
+
+  std::vector<std::vector<Arc>> adjacency(num_vertices_);
+  const Edge* prev = nullptr;
+  for (const Edge& e : edges_) {
+    if (e.u == e.v) continue;  // self-loop
+    if (prev != nullptr && prev->u == e.u && prev->v == e.v) continue;
+    adjacency[e.u].push_back({e.v, e.weight});
+    adjacency[e.v].push_back({e.u, e.weight});
+    prev = &e;
+  }
+
+  std::vector<Point> coords;
+  if (!has_uncoordinated_vertex_ && coords_.size() == num_vertices_) {
+    coords = std::move(coords_);
+  }
+
+  edges_.clear();
+  coords_.clear();
+  num_vertices_ = 0;
+  has_uncoordinated_vertex_ = false;
+  return Graph(std::move(adjacency), std::move(coords));
+}
+
+}  // namespace fannr

@@ -1,0 +1,70 @@
+// Incremental construction of Graph objects from edge lists.
+
+#ifndef FANNR_GRAPH_BUILDER_H_
+#define FANNR_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Collects vertices and undirected edges, cleans them up (drops
+/// self-loops, keeps the minimum weight among parallel edges — the paper
+/// notes the raw DIMACS data needs exactly this kind of cleanup), and
+/// produces an immutable Graph.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares `n` vertices (ids 0..n-1) without coordinates.
+  explicit GraphBuilder(size_t n) { Resize(n); }
+
+  /// Seeds the builder with a copy of an existing graph (vertices,
+  /// coordinates and edges), so callers can apply road-network changes —
+  /// add/modify edges — and Build() an updated graph. This supports the
+  /// paper's motivating scenario for the index-free algorithms
+  /// (Section IV): when the network changes frequently, rebuilding the
+  /// graph is cheap while rebuilding a PHL/G-tree index is not. Note that
+  /// AddEdge on an existing vertex pair only *lowers* the weight (the
+  /// builder keeps the minimum among parallel edges); to raise a weight,
+  /// rebuild from an edge list instead.
+  static GraphBuilder FromGraph(const Graph& graph);
+
+  /// Ensures vertices 0..n-1 exist.
+  void Resize(size_t n);
+
+  /// Adds a vertex with a coordinate; returns its id.
+  VertexId AddVertex(Point coord);
+
+  /// Adds a vertex without a coordinate; returns its id. Mixing
+  /// coordinate-carrying and coordinate-free vertices drops all
+  /// coordinates at Build() time.
+  VertexId AddVertex();
+
+  /// Adds an undirected edge. Requires u != v is NOT required here —
+  /// self-loops are silently dropped at Build(). Requires weight > 0.
+  void AddEdge(VertexId u, VertexId v, Weight weight);
+
+  /// Number of vertices added so far.
+  size_t NumVertices() const { return num_vertices_; }
+
+  /// Finalizes and returns the graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  struct Edge {
+    VertexId u;
+    VertexId v;
+    Weight weight;
+  };
+
+  size_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<Point> coords_;
+  bool has_uncoordinated_vertex_ = false;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_GRAPH_BUILDER_H_

@@ -1,0 +1,72 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/builder.h"
+
+namespace fannr {
+
+ComponentLabeling ConnectedComponents(const Graph& graph) {
+  const size_t n = graph.NumVertices();
+  ComponentLabeling result;
+  result.label.assign(n, kInvalidVertex);
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (result.label[start] != kInvalidVertex) continue;
+    const uint32_t id = static_cast<uint32_t>(result.num_components++);
+    result.label[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const Arc& a : graph.Neighbors(u)) {
+        if (result.label[a.to] == kInvalidVertex) {
+          result.label[a.to] = id;
+          stack.push_back(a.to);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+LargestComponent ExtractLargestComponent(const Graph& graph) {
+  const ComponentLabeling cc = ConnectedComponents(graph);
+  std::vector<size_t> sizes(cc.num_components, 0);
+  for (uint32_t l : cc.label) ++sizes[l];
+  const uint32_t best = static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<VertexId> old_to_new(graph.NumVertices(), kInvalidVertex);
+  std::vector<VertexId> new_to_old;
+  new_to_old.reserve(sizes[best]);
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    if (cc.label[u] == best) {
+      old_to_new[u] = static_cast<VertexId>(new_to_old.size());
+      new_to_old.push_back(u);
+    }
+  }
+
+  GraphBuilder builder;
+  if (graph.HasCoordinates()) {
+    for (VertexId old_id : new_to_old) builder.AddVertex(graph.Coord(old_id));
+  } else {
+    builder.Resize(new_to_old.size());
+  }
+  for (VertexId old_u : new_to_old) {
+    for (const Arc& a : graph.Neighbors(old_u)) {
+      if (old_u < a.to && cc.label[a.to] == best) {
+        builder.AddEdge(old_to_new[old_u], old_to_new[a.to], a.weight);
+      }
+    }
+  }
+  return LargestComponent{builder.Build(), std::move(new_to_old)};
+}
+
+bool IsConnected(const Graph& graph) {
+  if (graph.NumVertices() == 0) return true;
+  return ConnectedComponents(graph).num_components == 1;
+}
+
+}  // namespace fannr

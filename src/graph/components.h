@@ -1,0 +1,42 @@
+// Connected-component analysis and cleanup.
+//
+// The paper notes the raw DIMACS data contains disconnected components and
+// self-loops that must be removed at preprocessing time; ExtractLargestComponent
+// performs that cleanup (self-loops/parallel edges are already handled by
+// GraphBuilder).
+
+#ifndef FANNR_GRAPH_COMPONENTS_H_
+#define FANNR_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Labels each vertex with a component id in [0, num_components).
+struct ComponentLabeling {
+  std::vector<uint32_t> label;  // size NumVertices()
+  size_t num_components = 0;
+};
+
+/// Computes connected components by BFS.
+ComponentLabeling ConnectedComponents(const Graph& graph);
+
+/// Result of ExtractLargestComponent: the subgraph plus the mapping from
+/// new vertex ids to original ids.
+struct LargestComponent {
+  Graph graph;
+  std::vector<VertexId> new_to_old;  // size graph.NumVertices()
+};
+
+/// Returns the subgraph induced by the largest connected component, with
+/// vertices renumbered densely (coordinates carried over when present).
+LargestComponent ExtractLargestComponent(const Graph& graph);
+
+/// True if the whole graph is a single connected component (or empty).
+bool IsConnected(const Graph& graph);
+
+}  // namespace fannr
+
+#endif  // FANNR_GRAPH_COMPONENTS_H_

@@ -1,0 +1,109 @@
+#include "graph/generator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/components.h"
+
+namespace fannr {
+
+Graph GenerateGridNetwork(const GridNetworkOptions& options, Rng& rng) {
+  FANNR_CHECK(options.rows >= 2 && options.cols >= 2);
+  FANNR_CHECK(options.jitter >= 0.0 && options.jitter < 0.5);
+  FANNR_CHECK(options.detour >= 0.0);
+  const size_t rows = options.rows;
+  const size_t cols = options.cols;
+  const double cell = options.cell_size;
+
+  GraphBuilder builder;
+  std::vector<Point> coords;
+  coords.reserve(rows * cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const double jx = rng.NextDouble(-options.jitter, options.jitter);
+      const double jy = rng.NextDouble(-options.jitter, options.jitter);
+      Point p{(static_cast<double>(c) + jx) * cell,
+              (static_cast<double>(r) + jy) * cell};
+      coords.push_back(p);
+      builder.AddVertex(p);
+    }
+  }
+
+  auto id = [cols](size_t r, size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  auto weight_of = [&](VertexId u, VertexId v) {
+    const double euclid = EuclideanDistance(coords[u], coords[v]);
+    return euclid * rng.NextDouble(1.0, 1.0 + options.detour) + 1e-9;
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const VertexId u = id(r, c);
+      if (c + 1 < cols && rng.NextBool(options.keep_probability)) {
+        builder.AddEdge(u, id(r, c + 1), weight_of(u, id(r, c + 1)));
+      }
+      if (r + 1 < rows && rng.NextBool(options.keep_probability)) {
+        builder.AddEdge(u, id(r + 1, c), weight_of(u, id(r + 1, c)));
+      }
+      if (r + 1 < rows && c + 1 < cols &&
+          rng.NextBool(options.diagonal_probability)) {
+        builder.AddEdge(u, id(r + 1, c + 1), weight_of(u, id(r + 1, c + 1)));
+      }
+    }
+  }
+  Graph raw = builder.Build();
+  return ExtractLargestComponent(raw).graph;
+}
+
+Graph GenerateGeometricNetwork(const GeometricNetworkOptions& options,
+                               Rng& rng) {
+  FANNR_CHECK(options.num_vertices >= 2);
+  FANNR_CHECK(options.radius > 0.0 && options.extent > 0.0);
+  const size_t n = options.num_vertices;
+  std::vector<Point> coords;
+  coords.reserve(n);
+  GraphBuilder builder;
+  for (size_t i = 0; i < n; ++i) {
+    Point p{rng.NextDouble(0.0, options.extent),
+            rng.NextDouble(0.0, options.extent)};
+    coords.push_back(p);
+    builder.AddVertex(p);
+  }
+
+  // Spatial hashing: bucket side = radius, check the 3x3 neighborhood.
+  const double r = options.radius;
+  const size_t grid_dim =
+      static_cast<size_t>(std::ceil(options.extent / r)) + 1;
+  std::vector<std::vector<VertexId>> buckets(grid_dim * grid_dim);
+  auto bucket_of = [&](const Point& p) {
+    const size_t bx = static_cast<size_t>(p.x / r);
+    const size_t by = static_cast<size_t>(p.y / r);
+    return by * grid_dim + bx;
+  };
+  for (VertexId i = 0; i < n; ++i) buckets[bucket_of(coords[i])].push_back(i);
+
+  for (VertexId i = 0; i < n; ++i) {
+    const size_t bx = static_cast<size_t>(coords[i].x / r);
+    const size_t by = static_cast<size_t>(coords[i].y / r);
+    for (size_t gy = (by == 0 ? 0 : by - 1); gy <= by + 1 && gy < grid_dim;
+         ++gy) {
+      for (size_t gx = (bx == 0 ? 0 : bx - 1); gx <= bx + 1 && gx < grid_dim;
+           ++gx) {
+        for (VertexId j : buckets[gy * grid_dim + gx]) {
+          if (j <= i) continue;
+          const double euclid = EuclideanDistance(coords[i], coords[j]);
+          if (euclid <= r && euclid > 0.0) {
+            const double w =
+                euclid * rng.NextDouble(1.0, 1.0 + options.detour) + 1e-9;
+            builder.AddEdge(i, j, w);
+          }
+        }
+      }
+    }
+  }
+  Graph raw = builder.Build();
+  return ExtractLargestComponent(raw).graph;
+}
+
+}  // namespace fannr

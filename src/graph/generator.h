@@ -1,0 +1,63 @@
+// Synthetic road-network generators.
+//
+// The paper evaluates on DIMACS USA road graphs, which are not available
+// offline; these generators produce planar-ish graphs with matching degree
+// statistics (average degree ~2.4-2.7 undirected edges per vertex) so the
+// relative behaviour of the algorithms is preserved (see DESIGN.md §2.1 and
+// §4 for the substitution rationale). All generated graphs are connected,
+// carry coordinates, and are Euclidean-consistent (edge weight >= Euclidean
+// length), so every engine — including A* and the IER bounds — is exact on
+// them.
+
+#ifndef FANNR_GRAPH_GENERATOR_H_
+#define FANNR_GRAPH_GENERATOR_H_
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Parameters for the perturbed-grid road-network model: vertices sit on a
+/// jittered rows x cols lattice; lattice edges survive with probability
+/// `keep_probability`; occasional diagonal shortcuts model highways.
+struct GridNetworkOptions {
+  size_t rows = 100;
+  size_t cols = 100;
+  /// Spacing between lattice points (map units).
+  double cell_size = 1000.0;
+  /// Positional jitter as a fraction of cell_size, in [0, 0.5).
+  double jitter = 0.3;
+  /// Probability that each lattice edge is kept.
+  double keep_probability = 0.90;
+  /// Probability that a diagonal shortcut is added at a lattice cell.
+  double diagonal_probability = 0.05;
+  /// Edge weight = Euclidean length * uniform(1, 1 + detour). Must be >= 0
+  /// so that weights dominate Euclidean distance.
+  double detour = 0.35;
+};
+
+/// Generates a connected perturbed-grid road network (largest component of
+/// the random lattice). The result has coordinates and is
+/// Euclidean-consistent.
+Graph GenerateGridNetwork(const GridNetworkOptions& options, Rng& rng);
+
+/// Parameters for the random geometric graph model: n vertices uniform in
+/// a square, edges between pairs closer than `radius`.
+struct GeometricNetworkOptions {
+  size_t num_vertices = 10000;
+  /// Side length of the square (map units).
+  double extent = 100000.0;
+  /// Connection radius (map units). Pick ~ extent * sqrt(c / n) with
+  /// c ~ 2-3 for a sparse connected-ish graph.
+  double radius = 2000.0;
+  /// Edge weight = Euclidean length * uniform(1, 1 + detour).
+  double detour = 0.2;
+};
+
+/// Generates a connected random geometric graph (largest component).
+Graph GenerateGeometricNetwork(const GeometricNetworkOptions& options,
+                               Rng& rng);
+
+}  // namespace fannr
+
+#endif  // FANNR_GRAPH_GENERATOR_H_

@@ -1,0 +1,105 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/serialize.h"
+
+namespace fannr {
+
+Graph::Graph(std::vector<std::vector<Arc>> adjacency,
+             std::vector<Point> coords)
+    : coords_(std::move(coords)) {
+  FANNR_CHECK(coords_.empty() || coords_.size() == adjacency.size());
+  offsets_.resize(adjacency.size() + 1, 0);
+  size_t total = 0;
+  for (size_t u = 0; u < adjacency.size(); ++u) {
+    offsets_[u] = total;
+    total += adjacency[u].size();
+  }
+  offsets_[adjacency.size()] = total;
+  arcs_.reserve(total);
+  for (auto& list : adjacency) {
+    for (const Arc& a : list) {
+      FANNR_CHECK(a.to < adjacency.size());
+      FANNR_CHECK(a.weight > 0.0);
+      arcs_.push_back(a);
+    }
+    list.clear();
+    list.shrink_to_fit();
+  }
+}
+
+bool Graph::EuclideanConsistent() const {
+  if (!HasCoordinates()) return false;
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (const Arc& a : Neighbors(u)) {
+      if (EuclideanDistance(u, a.to) > a.weight * (1.0 + 1e-12)) return false;
+    }
+  }
+  return true;
+}
+
+void Graph::MakeEuclideanConsistent() {
+  FANNR_CHECK(HasCoordinates());
+  double max_ratio = 0.0;
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (const Arc& a : Neighbors(u)) {
+      const double euclid = EuclideanDistance(u, a.to);
+      if (euclid > 0.0) max_ratio = std::max(max_ratio, euclid / a.weight);
+    }
+  }
+  if (max_ratio <= 1.0) return;
+  const double scale = 1.0 / (max_ratio * (1.0 + 1e-9));
+  for (Point& p : coords_) {
+    p.x *= scale;
+    p.y *= scale;
+  }
+}
+
+namespace {
+constexpr uint64_t kGraphMagic = 0xFA22A81A62A9E004ULL;
+}  // namespace
+
+bool Graph::Save(std::ostream& out) const {
+  BinaryWriter w(out);
+  w.Pod(kGraphMagic);
+  w.Vec(offsets_);
+  w.Vec(arcs_);
+  w.Vec(coords_);
+  return w.ok();
+}
+
+std::optional<Graph> Graph::Load(std::istream& in) {
+  BinaryReader r(in);
+  uint64_t magic = 0;
+  if (!r.Pod(magic) || magic != kGraphMagic) return std::nullopt;
+  Graph graph;
+  if (!r.Vec(graph.offsets_) || !r.Vec(graph.arcs_) ||
+      !r.Vec(graph.coords_)) {
+    return std::nullopt;
+  }
+  // Structural sanity: offsets must be a monotone prefix array ending at
+  // the arc count, coordinates empty or per-vertex, targets in range.
+  if (graph.offsets_.empty() ||
+      graph.offsets_.back() != graph.arcs_.size()) {
+    return std::nullopt;
+  }
+  const size_t n = graph.offsets_.size() - 1;
+  for (size_t i = 0; i < n; ++i) {
+    if (graph.offsets_[i] > graph.offsets_[i + 1]) return std::nullopt;
+  }
+  if (!graph.coords_.empty() && graph.coords_.size() != n) {
+    return std::nullopt;
+  }
+  for (const Arc& a : graph.arcs_) {
+    if (a.to >= n || !(a.weight > 0.0)) return std::nullopt;
+  }
+  return graph;
+}
+
+size_t Graph::MemoryBytes() const {
+  return offsets_.capacity() * sizeof(size_t) +
+         arcs_.capacity() * sizeof(Arc) + coords_.capacity() * sizeof(Point);
+}
+
+}  // namespace fannr

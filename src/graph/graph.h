@@ -1,0 +1,126 @@
+// Immutable road-network graph in compressed sparse row (CSR) form.
+//
+// A road network is an undirected weighted graph G = (V, E, W) with
+// strictly positive edge weights (paper Section II-A). Vertices optionally
+// carry planar coordinates; when present and Euclidean-consistent
+// (EuclideanDistance(coord(u), coord(v)) <= w(u, v) for every edge), the
+// Euclidean distance between any two vertices lower-bounds their network
+// distance, which the A* engine and the IER pruning rules rely on.
+
+#ifndef FANNR_GRAPH_GRAPH_H_
+#define FANNR_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "geo/point.h"
+
+namespace fannr {
+
+/// Vertex identifier; dense in [0, NumVertices()).
+using VertexId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Edge weight / path distance.
+using Weight = double;
+
+/// Sentinel for "unreachable".
+inline constexpr Weight kInfWeight = std::numeric_limits<Weight>::infinity();
+
+/// A half-edge in an adjacency list.
+struct Arc {
+  VertexId to = kInvalidVertex;
+  Weight weight = 0.0;
+};
+
+/// Immutable undirected weighted graph with optional vertex coordinates.
+/// Construct via GraphBuilder (graph/builder.h), a loader (graph/io.h), or
+/// a generator (graph/generator.h).
+class Graph {
+ public:
+  /// Builds the CSR representation from per-vertex adjacency lists.
+  /// `adjacency[u]` must contain an arc to v iff `adjacency[v]` contains an
+  /// arc of equal weight back to u (the graph is undirected). `coords` is
+  /// either empty or has one entry per vertex.
+  Graph(std::vector<std::vector<Arc>> adjacency, std::vector<Point> coords);
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Number of vertices |V|.
+  size_t NumVertices() const { return offsets_.size() - 1; }
+
+  /// Number of undirected edges |E| (each stored as two arcs).
+  size_t NumEdges() const { return arcs_.size() / 2; }
+
+  /// Outgoing arcs of `u`.
+  std::span<const Arc> Neighbors(VertexId u) const {
+    FANNR_DCHECK(u < NumVertices());
+    return {arcs_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// Degree of `u`.
+  size_t Degree(VertexId u) const {
+    FANNR_DCHECK(u < NumVertices());
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// True if vertices carry planar coordinates.
+  bool HasCoordinates() const { return !coords_.empty(); }
+
+  /// Coordinate of `u`. Requires HasCoordinates().
+  const Point& Coord(VertexId u) const {
+    FANNR_DCHECK(HasCoordinates() && u < NumVertices());
+    return coords_[u];
+  }
+
+  /// All coordinates (empty if none).
+  std::span<const Point> Coords() const { return coords_; }
+
+  /// Euclidean distance between two vertices. Requires HasCoordinates().
+  double EuclideanDistance(VertexId u, VertexId v) const {
+    return fannr::EuclideanDistance(Coord(u), Coord(v));
+  }
+
+  /// True if every edge satisfies euclid(u, v) <= w(u, v) (so Euclidean
+  /// distance is an admissible lower bound on network distance). Always
+  /// true for graphs without coordinates is NOT assumed — returns false.
+  bool EuclideanConsistent() const;
+
+  /// Scales all coordinates by the largest factor <= 1 that makes the
+  /// graph Euclidean-consistent (no-op if already consistent). Real map
+  /// data with travel-time weights typically needs this. Requires
+  /// HasCoordinates() and at least one edge.
+  void MakeEuclideanConsistent();
+
+  /// Approximate heap memory used by the CSR arrays, in bytes.
+  size_t MemoryBytes() const;
+
+  /// Serializes the CSR arrays (binary cache format; see
+  /// common/serialize.h). Much faster to reload than regenerating or
+  /// re-parsing DIMACS for large networks. Returns false on I/O failure.
+  bool Save(std::ostream& out) const;
+
+  /// Reloads a graph written by Save. Returns nullopt on corrupt input.
+  static std::optional<Graph> Load(std::istream& in);
+
+ private:
+  Graph() = default;
+  std::vector<size_t> offsets_;  // size NumVertices() + 1
+  std::vector<Arc> arcs_;        // grouped by source vertex
+  std::vector<Point> coords_;    // empty or size NumVertices()
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_GRAPH_GRAPH_H_

@@ -1,0 +1,144 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace fannr {
+
+namespace {
+
+LoadResult Fail(std::string message) {
+  LoadResult r;
+  r.error = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+LoadResult LoadDimacs(const std::string& gr_path,
+                      const std::string& co_path) {
+  std::ifstream gr(gr_path);
+  if (!gr) return Fail("cannot open graph file: " + gr_path);
+
+  GraphBuilder builder;
+  size_t declared_vertices = 0;
+  std::string line;
+  while (std::getline(gr, line)) {
+    if (line.empty()) continue;
+    switch (line[0]) {
+      case 'c':  // comment
+        break;
+      case 'p': {
+        // "p sp <n> <m>"
+        char tag[16];
+        size_t n = 0, m = 0;
+        if (std::sscanf(line.c_str(), "p %15s %zu %zu", tag, &n, &m) != 3) {
+          return Fail("malformed problem line: " + line);
+        }
+        declared_vertices = n;
+        builder.Resize(n);
+        break;
+      }
+      case 'a': {
+        size_t u = 0, v = 0;
+        double w = 0.0;
+        if (std::sscanf(line.c_str(), "a %zu %zu %lf", &u, &v, &w) != 3) {
+          return Fail("malformed arc line: " + line);
+        }
+        if (u == 0 || v == 0 || u > declared_vertices ||
+            v > declared_vertices) {
+          return Fail("arc references undeclared vertex: " + line);
+        }
+        if (w <= 0.0) return Fail("non-positive weight: " + line);
+        // DIMACS ids are 1-based.
+        builder.AddEdge(static_cast<VertexId>(u - 1),
+                        static_cast<VertexId>(v - 1), w);
+        break;
+      }
+      default:
+        return Fail("unrecognized line: " + line);
+    }
+  }
+  if (declared_vertices == 0) return Fail("no problem line in " + gr_path);
+
+  Graph graph = builder.Build();
+
+  if (!co_path.empty()) {
+    std::ifstream co(co_path);
+    if (!co) return Fail("cannot open coordinate file: " + co_path);
+    std::vector<Point> coords(graph.NumVertices());
+    std::vector<bool> seen(graph.NumVertices(), false);
+    while (std::getline(co, line)) {
+      if (line.empty() || line[0] == 'c' || line[0] == 'p') continue;
+      if (line[0] == 'v') {
+        size_t id = 0;
+        double x = 0.0, y = 0.0;
+        if (std::sscanf(line.c_str(), "v %zu %lf %lf", &id, &x, &y) != 3) {
+          return Fail("malformed coordinate line: " + line);
+        }
+        if (id == 0 || id > coords.size()) {
+          return Fail("coordinate for undeclared vertex: " + line);
+        }
+        coords[id - 1] = Point{x, y};
+        seen[id - 1] = true;
+      } else {
+        return Fail("unrecognized coordinate line: " + line);
+      }
+    }
+    for (size_t i = 0; i < seen.size(); ++i) {
+      if (!seen[i]) {
+        return Fail("missing coordinate for vertex " + std::to_string(i + 1));
+      }
+    }
+    // Rebuild with coordinates attached.
+    GraphBuilder with_coords;
+    for (const Point& p : coords) with_coords.AddVertex(p);
+    for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+      for (const Arc& a : graph.Neighbors(u)) {
+        if (u < a.to) with_coords.AddEdge(u, a.to, a.weight);
+      }
+    }
+    LoadResult r;
+    r.graph = with_coords.Build();
+    return r;
+  }
+
+  LoadResult r;
+  r.graph = std::move(graph);
+  return r;
+}
+
+bool SaveDimacs(const Graph& graph, const std::string& gr_path,
+                const std::string& co_path, double coord_scale) {
+  std::ofstream gr(gr_path);
+  if (!gr) return false;
+  gr << "c fannr road network\n";
+  gr << "p sp " << graph.NumVertices() << ' ' << graph.NumEdges() * 2 << '\n';
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (const Arc& a : graph.Neighbors(u)) {
+      gr << "a " << (u + 1) << ' ' << (a.to + 1) << ' ' << a.weight << '\n';
+    }
+  }
+  if (!gr) return false;
+
+  if (!co_path.empty() && graph.HasCoordinates()) {
+    std::ofstream co(co_path);
+    if (!co) return false;
+    co << "c fannr coordinates\n";
+    for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+      const Point& p = graph.Coord(u);
+      co << "v " << (u + 1) << ' '
+         << static_cast<long long>(p.x * coord_scale) << ' '
+         << static_cast<long long>(p.y * coord_scale) << '\n';
+    }
+    if (!co) return false;
+  }
+  return true;
+}
+
+}  // namespace fannr

@@ -1,0 +1,40 @@
+// DIMACS road-network file I/O.
+//
+// The 9th DIMACS Implementation Challenge format is what the paper's
+// datasets (Table III) ship in: a `.gr` file with `a u v w` arc lines and
+// a `.co` file with `v id x y` coordinate lines (1-based vertex ids).
+
+#ifndef FANNR_GRAPH_IO_H_
+#define FANNR_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Result of a load attempt; `error` is non-empty iff loading failed.
+struct LoadResult {
+  std::optional<Graph> graph;
+  std::string error;
+
+  bool ok() const { return graph.has_value(); }
+};
+
+/// Loads a DIMACS `.gr` graph, optionally joined with a `.co` coordinate
+/// file (pass an empty string to skip coordinates). Duplicate arcs and
+/// self-loops are cleaned up; the reverse arc implied by the undirected
+/// road network is added automatically.
+LoadResult LoadDimacs(const std::string& gr_path, const std::string& co_path);
+
+/// Writes `graph` in DIMACS format. Returns false on I/O failure. When the
+/// graph has coordinates and `co_path` is non-empty, also writes the
+/// coordinate file (coordinates are rounded to integers after scaling by
+/// `coord_scale`, matching the DIMACS integer convention).
+bool SaveDimacs(const Graph& graph, const std::string& gr_path,
+                const std::string& co_path, double coord_scale = 1.0);
+
+}  // namespace fannr
+
+#endif  // FANNR_GRAPH_IO_H_

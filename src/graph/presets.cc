@@ -1,0 +1,66 @@
+#include "graph/presets.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generator.h"
+
+namespace fannr {
+
+namespace {
+
+struct PresetSpec {
+  const char* name;
+  const char* description;
+  size_t target_vertices;
+  uint64_t seed;
+};
+
+constexpr PresetSpec kPresets[] = {
+    {"TEST", "tiny synthetic for unit tests", 2'500, 0xFA117E5701ULL},
+    {"DE", "Delaware-scale synthetic (48,812 nodes in the paper)", 48'812,
+     0xFA117E5702ULL},
+    {"ME", "Maine-scale synthetic (187,315 nodes in the paper)", 187'315,
+     0xFA117E5703ULL},
+    {"COL", "Colorado-scale synthetic (435,666 nodes in the paper)", 435'666,
+     0xFA117E5704ULL},
+    {"NW", "Northwest-USA-scale synthetic (1,089,933 nodes in the paper)",
+     1'089'933, 0xFA117E5705ULL},
+};
+
+}  // namespace
+
+std::vector<DatasetPreset> AllPresets() {
+  std::vector<DatasetPreset> result;
+  for (const PresetSpec& s : kPresets) {
+    result.push_back({s.name, s.description, s.target_vertices});
+  }
+  return result;
+}
+
+bool IsPresetName(const std::string& name) {
+  for (const PresetSpec& s : kPresets) {
+    if (name == s.name) return true;
+  }
+  return false;
+}
+
+Graph BuildPreset(const std::string& name) {
+  for (const PresetSpec& s : kPresets) {
+    if (name != s.name) continue;
+    // Square-ish lattice sized so the largest component lands near the
+    // target (the lattice keeps ~99.9% of vertices at keep_probability
+    // 0.9, so rows*cols ~ target works well).
+    const size_t side =
+        static_cast<size_t>(std::llround(std::sqrt(
+            static_cast<double>(s.target_vertices))));
+    GridNetworkOptions options;
+    options.rows = side;
+    options.cols = (s.target_vertices + side - 1) / side;
+    Rng rng(s.seed);
+    return GenerateGridNetwork(options, rng);
+  }
+  FANNR_CHECK(false && "unknown preset name");
+}
+
+}  // namespace fannr

@@ -1,0 +1,41 @@
+// Named dataset presets mirroring the paper's Table III at laptop scale.
+//
+// The paper's datasets (DIMACS USA road graphs) are unavailable offline;
+// each preset generates a synthetic road network whose vertex count matches
+// the corresponding real dataset (DESIGN.md §4). Presets are deterministic:
+// the same name always produces the same graph.
+
+#ifndef FANNR_GRAPH_PRESETS_H_
+#define FANNR_GRAPH_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// A named synthetic stand-in for one of the paper's road networks.
+struct DatasetPreset {
+  std::string name;         // e.g. "DE"
+  std::string description;  // e.g. "Delaware-scale synthetic"
+  size_t target_vertices;   // vertex count of the real dataset
+};
+
+/// The preset ladder: DE (48,812), ME (187,315), COL (435,666),
+/// NW (1,089,933), plus the sub-scale "TEST" (2,500) used by unit tests
+/// and quick runs. The paper's E/CTR/USA (3.6M-23.9M vertices) are outside
+/// the single-core budget and intentionally absent (see DESIGN.md §4).
+std::vector<DatasetPreset> AllPresets();
+
+/// Generates the synthetic network for `name` ("TEST", "DE", "ME", "COL",
+/// "NW"; case-sensitive). Aborts on unknown names — call IsPresetName
+/// first for user input.
+Graph BuildPreset(const std::string& name);
+
+/// True if `name` is a known preset.
+bool IsPresetName(const std::string& name);
+
+}  // namespace fannr
+
+#endif  // FANNR_GRAPH_PRESETS_H_

@@ -1,0 +1,70 @@
+// A set of vertices with O(1) membership tests and member indexing.
+//
+// FANN_R queries work with two vertex sets — the data points P and the
+// query points Q. Algorithms need both iteration over members and constant
+// time "is v in P?" / "which member of Q is v?" lookups; this class
+// provides both.
+
+#ifndef FANNR_GRAPH_VERTEX_SET_H_
+#define FANNR_GRAPH_VERTEX_SET_H_
+
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// An immutable set of distinct vertices of one graph. Construction is
+/// O(|V|); membership and index lookups are O(1).
+class IndexedVertexSet {
+ public:
+  /// Builds the set. `members` must be distinct vertices < num_vertices.
+  IndexedVertexSet(size_t num_vertices, std::vector<VertexId> members)
+      : members_(std::move(members)),
+        index_(num_vertices, kNotMember) {
+    for (size_t i = 0; i < members_.size(); ++i) {
+      FANNR_CHECK(members_[i] < num_vertices);
+      FANNR_CHECK(index_[members_[i]] == kNotMember &&
+                  "duplicate vertex in set");
+      index_[members_[i]] = static_cast<uint32_t>(i);
+    }
+  }
+
+  /// Number of members.
+  size_t size() const { return members_.size(); }
+
+  bool empty() const { return members_.empty(); }
+
+  /// Members in insertion order.
+  std::span<const VertexId> members() const { return members_; }
+
+  /// The i-th member.
+  VertexId operator[](size_t i) const {
+    FANNR_DCHECK(i < members_.size());
+    return members_[i];
+  }
+
+  /// True if `v` is in the set.
+  bool Contains(VertexId v) const {
+    FANNR_DCHECK(v < index_.size());
+    return index_[v] != kNotMember;
+  }
+
+  /// Position of `v` in members(), or kNotMember if absent.
+  uint32_t IndexOf(VertexId v) const {
+    FANNR_DCHECK(v < index_.size());
+    return index_[v];
+  }
+
+  static constexpr uint32_t kNotMember = 0xFFFFFFFFu;
+
+ private:
+  std::vector<VertexId> members_;
+  std::vector<uint32_t> index_;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_GRAPH_VERTEX_SET_H_

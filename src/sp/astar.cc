@@ -1,0 +1,54 @@
+#include "sp/astar.h"
+
+#include <queue>
+#include <utility>
+
+namespace fannr {
+
+AStarSearch::AStarSearch(const Graph& graph)
+    : graph_(graph), dist_(graph.NumVertices(), kInfWeight) {
+  FANNR_CHECK(graph.HasCoordinates());
+  FANNR_CHECK(graph.EuclideanConsistent());
+}
+
+Weight AStarSearch::Distance(VertexId source, VertexId target) {
+  FANNR_CHECK(source < graph_.NumVertices() &&
+              target < graph_.NumVertices());
+  last_settled_count_ = 0;
+  if (source == target) return 0.0;
+  dist_.NewEpoch();
+
+  const Point& goal = graph_.Coord(target);
+  auto heuristic = [&](VertexId v) {
+    return EuclideanDistance(graph_.Coord(v), goal);
+  };
+
+  // Min-heap over f = g + h; g rides along to detect stale entries.
+  struct HeapEntry {
+    Weight f;
+    Weight g;
+    VertexId vertex;
+    bool operator>(const HeapEntry& o) const { return f > o.f; }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap;
+  dist_.Set(source, 0.0);
+  heap.push({heuristic(source), 0.0, source});
+  while (!heap.empty()) {
+    auto [f, g, u] = heap.top();
+    heap.pop();
+    if (g > dist_.Get(u)) continue;  // stale
+    ++last_settled_count_;
+    if (u == target) return g;
+    for (const Arc& a : graph_.Neighbors(u)) {
+      const Weight ng = g + a.weight;
+      if (ng < dist_.Get(a.to)) {
+        dist_.Set(a.to, ng);
+        heap.push({ng + heuristic(a.to), ng, a.to});
+      }
+    }
+  }
+  return kInfWeight;
+}
+
+}  // namespace fannr

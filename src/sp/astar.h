@@ -1,0 +1,40 @@
+// A* point-to-point shortest paths with the Euclidean lower bound.
+//
+// Requires a Euclidean-consistent graph (Graph::EuclideanConsistent()):
+// the straight-line distance to the target then never overestimates the
+// remaining network distance, so A* is exact.
+
+#ifndef FANNR_SP_ASTAR_H_
+#define FANNR_SP_ASTAR_H_
+
+#include <vector>
+
+#include "common/timestamped.h"
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Reusable A* engine bound to one graph. Not thread-safe.
+class AStarSearch {
+ public:
+  /// Requires graph.HasCoordinates(). Correctness additionally requires
+  /// Euclidean consistency, which is checked once here.
+  explicit AStarSearch(const Graph& graph);
+
+  /// Network distance from `source` to `target` (kInfWeight if
+  /// unreachable).
+  Weight Distance(VertexId source, VertexId target);
+
+  /// Number of vertices settled by the last Distance() call (exposition /
+  /// benchmarking aid).
+  size_t last_settled_count() const { return last_settled_count_; }
+
+ private:
+  const Graph& graph_;
+  TimestampedArray<Weight> dist_;
+  size_t last_settled_count_ = 0;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_SP_ASTAR_H_

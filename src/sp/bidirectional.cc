@@ -1,0 +1,70 @@
+#include "sp/bidirectional.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace fannr {
+
+BidirectionalSearch::BidirectionalSearch(const Graph& graph)
+    : graph_(graph),
+      dist_forward_(graph.NumVertices(), kInfWeight),
+      dist_backward_(graph.NumVertices(), kInfWeight) {}
+
+Weight BidirectionalSearch::Distance(VertexId source, VertexId target) {
+  FANNR_CHECK(source < graph_.NumVertices() &&
+              target < graph_.NumVertices());
+  if (source == target) return 0.0;
+  dist_forward_.NewEpoch();
+  dist_backward_.NewEpoch();
+
+  using HeapEntry = std::pair<Weight, VertexId>;
+  using MinHeap =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+  MinHeap forward, backward;
+  dist_forward_.Set(source, 0.0);
+  dist_backward_.Set(target, 0.0);
+  forward.push({0.0, source});
+  backward.push({0.0, target});
+
+  Weight best = kInfWeight;
+  // The graph is undirected, so both directions scan the same adjacency.
+  auto step = [&](MinHeap& heap, TimestampedArray<Weight>& mine,
+                  TimestampedArray<Weight>& other) -> Weight {
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > mine.Get(u)) continue;  // stale
+      if (other.IsSet(u)) best = std::min(best, d + other.Get(u));
+      for (const Arc& a : graph_.Neighbors(u)) {
+        const Weight nd = d + a.weight;
+        if (nd < mine.Get(a.to)) {
+          mine.Set(a.to, nd);
+          heap.push({nd, a.to});
+          if (other.IsSet(a.to)) {
+            best = std::min(best, nd + other.Get(a.to));
+          }
+        }
+      }
+      return d;  // settled one vertex
+    }
+    return kInfWeight;  // frontier exhausted
+  };
+
+  Weight top_forward = 0.0;
+  Weight top_backward = 0.0;
+  while (top_forward + top_backward < best &&
+         (!forward.empty() || !backward.empty())) {
+    // Advance the smaller frontier.
+    if (!forward.empty() &&
+        (backward.empty() || forward.top().first <= backward.top().first)) {
+      top_forward = step(forward, dist_forward_, dist_backward_);
+    } else {
+      top_backward = step(backward, dist_backward_, dist_forward_);
+    }
+    if (top_forward == kInfWeight && top_backward == kInfWeight) break;
+  }
+  return best;
+}
+
+}  // namespace fannr

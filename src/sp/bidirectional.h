@@ -1,0 +1,31 @@
+// Bidirectional Dijkstra point-to-point queries.
+//
+// Settles roughly half the vertices of a unidirectional search on road
+// networks; used as an additional distance oracle and in benchmarks.
+
+#ifndef FANNR_SP_BIDIRECTIONAL_H_
+#define FANNR_SP_BIDIRECTIONAL_H_
+
+#include "common/timestamped.h"
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Reusable bidirectional Dijkstra engine. Not thread-safe.
+class BidirectionalSearch {
+ public:
+  explicit BidirectionalSearch(const Graph& graph);
+
+  /// Network distance from `source` to `target` (kInfWeight if
+  /// unreachable).
+  Weight Distance(VertexId source, VertexId target);
+
+ private:
+  const Graph& graph_;
+  TimestampedArray<Weight> dist_forward_;
+  TimestampedArray<Weight> dist_backward_;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_SP_BIDIRECTIONAL_H_

@@ -1,0 +1,284 @@
+#include "sp/ch/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace fannr {
+
+namespace {
+
+using HeapEntry = std::pair<Weight, VertexId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+// Mutable adjacency during contraction: per-vertex map neighbor -> weight
+// (keeping the minimum weight per neighbor pair).
+using DynamicAdjacency = std::vector<std::unordered_map<VertexId, Weight>>;
+
+// Local witness search: is there a u->w path of length <= limit in the
+// remaining graph avoiding `excluded`? Gives up (returns false) after
+// `settle_limit` settles.
+class WitnessSearch {
+ public:
+  WitnessSearch(const DynamicAdjacency& adj,
+                const std::vector<bool>& contracted, size_t settle_limit)
+      : adj_(adj),
+        contracted_(contracted),
+        settle_limit_(settle_limit),
+        dist_(adj.size(), kInfWeight) {}
+
+  // Runs one search from `source`, treating `excluded` as removed.
+  // Returns the distances to `targets` capped at `limit` (kInfWeight if
+  // not proven <= limit).
+  void Run(VertexId source, VertexId excluded, Weight limit) {
+    dist_.NewEpoch();
+    MinHeap heap;
+    dist_.Set(source, 0.0);
+    heap.push({0.0, source});
+    size_t settled = 0;
+    while (!heap.empty() && settled < settle_limit_) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist_.Get(u)) continue;
+      if (d > limit) break;
+      ++settled;
+      for (const auto& [v, w] : adj_[u]) {
+        if (v == excluded || contracted_[v]) continue;
+        const Weight nd = d + w;
+        if (nd < dist_.Get(v)) {
+          dist_.Set(v, nd);
+          heap.push({nd, v});
+        }
+      }
+    }
+  }
+
+  Weight DistanceTo(VertexId v) const { return dist_.Get(v); }
+
+ private:
+  const DynamicAdjacency& adj_;
+  const std::vector<bool>& contracted_;
+  size_t settle_limit_;
+  TimestampedArray<Weight> dist_;
+};
+
+// Shortcuts needed to contract `v` right now.
+struct Shortcut {
+  VertexId from;
+  VertexId to;
+  Weight weight;
+};
+
+std::vector<Shortcut> SimulateContraction(const DynamicAdjacency& adj,
+                                          const std::vector<bool>& contracted,
+                                          WitnessSearch& witness,
+                                          VertexId v) {
+  std::vector<std::pair<VertexId, Weight>> neighbors;
+  for (const auto& [u, w] : adj[v]) {
+    if (!contracted[u]) neighbors.push_back({u, w});
+  }
+  std::vector<Shortcut> shortcuts;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    const auto [u, wu] = neighbors[i];
+    Weight max_via = 0.0;
+    for (size_t j = 0; j < neighbors.size(); ++j) {
+      if (j != i) max_via = std::max(max_via, wu + neighbors[j].second);
+    }
+    witness.Run(u, v, max_via);
+    for (size_t j = i + 1; j < neighbors.size(); ++j) {
+      const auto [w, ww] = neighbors[j];
+      const Weight via = wu + ww;
+      if (witness.DistanceTo(w) > via) {
+        shortcuts.push_back({u, w, via});
+      }
+    }
+  }
+  return shortcuts;
+}
+
+}  // namespace
+
+ContractionHierarchy::ContractionHierarchy(size_t n)
+    : dist_forward_(n, kInfWeight), dist_backward_(n, kInfWeight) {}
+
+ContractionHierarchy ContractionHierarchy::Build(const Graph& graph,
+                                                 const Options& options) {
+  const size_t n = graph.NumVertices();
+  ContractionHierarchy ch(n);
+
+  DynamicAdjacency adj(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Arc& a : graph.Neighbors(u)) {
+      auto [it, inserted] = adj[u].emplace(a.to, a.weight);
+      if (!inserted) it->second = std::min(it->second, a.weight);
+    }
+  }
+
+  std::vector<bool> contracted(n, false);
+  std::vector<uint32_t> rank(n, 0);
+  std::vector<uint32_t> deleted_neighbors(n, 0);
+  WitnessSearch witness(adj, contracted, options.witness_settle_limit);
+
+  auto priority = [&](VertexId v, size_t num_shortcuts) {
+    const size_t degree = [&] {
+      size_t d = 0;
+      for (const auto& [u, w] : adj[v]) {
+        (void)w;
+        if (!contracted[u]) ++d;
+      }
+      return d;
+    }();
+    return static_cast<double>(num_shortcuts) - static_cast<double>(degree) +
+           0.5 * static_cast<double>(deleted_neighbors[v]);
+  };
+
+  // Lazy priority queue of (priority, vertex).
+  using PqEntry = std::pair<double, VertexId>;
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> pq;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto shortcuts = SimulateContraction(adj, contracted, witness, v);
+    pq.push({priority(v, shortcuts.size()), v});
+  }
+
+  // Collected edges of the upward graph: (lower-rank endpoint gets the arc
+  // after ranks are final).
+  std::vector<Shortcut> all_edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Arc& a : graph.Neighbors(u)) {
+      if (u < a.to) all_edges.push_back({u, a.to, a.weight});
+    }
+  }
+
+  uint32_t next_rank = 0;
+  while (!pq.empty()) {
+    auto [prio, v] = pq.top();
+    pq.pop();
+    if (contracted[v]) continue;
+    // Lazy update: recompute and requeue if the priority got stale.
+    const auto shortcuts = SimulateContraction(adj, contracted, witness, v);
+    const double current = priority(v, shortcuts.size());
+    if (!pq.empty() && current > pq.top().first + 1e-12) {
+      pq.push({current, v});
+      continue;
+    }
+    // Contract v.
+    contracted[v] = true;
+    rank[v] = next_rank++;
+    for (const auto& [u, w] : adj[v]) {
+      (void)w;
+      if (!contracted[u]) ++deleted_neighbors[u];
+    }
+    for (const Shortcut& s : shortcuts) {
+      auto add = [&](VertexId a, VertexId b, Weight w) {
+        auto [it, inserted] = adj[a].emplace(b, w);
+        if (!inserted) it->second = std::min(it->second, w);
+      };
+      add(s.from, s.to, s.weight);
+      add(s.to, s.from, s.weight);
+      all_edges.push_back(s);
+      ++ch.num_shortcuts_;
+    }
+  }
+
+  // Build the upward CSR: each edge goes from its lower-ranked endpoint to
+  // its higher-ranked endpoint.
+  std::vector<std::vector<Arc>> up(n);
+  for (const Shortcut& e : all_edges) {
+    if (rank[e.from] < rank[e.to]) {
+      up[e.from].push_back({e.to, e.weight});
+    } else {
+      up[e.to].push_back({e.from, e.weight});
+    }
+  }
+  ch.up_offsets_.resize(n + 1);
+  size_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    ch.up_offsets_[v] = total;
+    total += up[v].size();
+  }
+  ch.up_offsets_[n] = total;
+  ch.up_arcs_.reserve(total);
+  for (VertexId v = 0; v < n; ++v) {
+    ch.up_arcs_.insert(ch.up_arcs_.end(), up[v].begin(), up[v].end());
+  }
+  return ch;
+}
+
+Weight ContractionHierarchy::Distance(VertexId u, VertexId v) {
+  FANNR_CHECK(u + 1 < up_offsets_.size() && v + 1 < up_offsets_.size());
+  if (u == v) return 0.0;
+  dist_forward_.NewEpoch();
+  dist_backward_.NewEpoch();
+
+  auto arcs = [&](VertexId x) {
+    return std::span<const Arc>(up_arcs_.data() + up_offsets_[x],
+                                up_offsets_[x + 1] - up_offsets_[x]);
+  };
+
+  Weight best = kInfWeight;
+  auto run = [&](VertexId source, TimestampedArray<Weight>& mine,
+                 TimestampedArray<Weight>& other) {
+    MinHeap heap;
+    mine.Set(source, 0.0);
+    heap.push({0.0, source});
+    while (!heap.empty()) {
+      auto [d, x] = heap.top();
+      heap.pop();
+      if (d > mine.Get(x)) continue;
+      if (d >= best) break;  // upward searches can stop at the best meet
+      if (other.IsSet(x)) best = std::min(best, d + other.Get(x));
+      for (const Arc& a : arcs(x)) {
+        const Weight nd = d + a.weight;
+        if (nd < mine.Get(a.to)) {
+          mine.Set(a.to, nd);
+          heap.push({nd, a.to});
+        }
+      }
+    }
+  };
+  run(u, dist_forward_, dist_backward_);
+  run(v, dist_backward_, dist_forward_);
+  return best;
+}
+
+namespace {
+constexpr uint64_t kChMagic = 0xFA22A81AC4000003ULL;
+}  // namespace
+
+bool ContractionHierarchy::Save(std::ostream& out) const {
+  BinaryWriter w(out);
+  w.Pod(kChMagic);
+  w.Pod<uint64_t>(up_offsets_.size() - 1);
+  w.Pod<uint64_t>(num_shortcuts_);
+  w.Vec(up_offsets_);
+  w.Vec(up_arcs_);
+  return w.ok();
+}
+
+std::optional<ContractionHierarchy> ContractionHierarchy::Load(
+    const Graph& graph, std::istream& in) {
+  BinaryReader r(in);
+  uint64_t magic = 0, vertices = 0, shortcuts = 0;
+  if (!r.Pod(magic) || magic != kChMagic) return std::nullopt;
+  if (!r.Pod(vertices) || vertices != graph.NumVertices()) {
+    return std::nullopt;
+  }
+  ContractionHierarchy ch(vertices);
+  if (!r.Pod(shortcuts) || !r.Vec(ch.up_offsets_) || !r.Vec(ch.up_arcs_)) {
+    return std::nullopt;
+  }
+  if (ch.up_offsets_.size() != vertices + 1) return std::nullopt;
+  ch.num_shortcuts_ = shortcuts;
+  return ch;
+}
+
+size_t ContractionHierarchy::MemoryBytes() const {
+  return up_offsets_.capacity() * sizeof(size_t) +
+         up_arcs_.capacity() * sizeof(Arc);
+}
+
+}  // namespace fannr

@@ -1,0 +1,72 @@
+// Contraction hierarchies (Geisberger et al. 2008): a preprocessing-based
+// exact distance oracle.
+//
+// The paper cites CH among the indexing techniques for road networks
+// (Section II-B) but does not evaluate it; we include it as an extension
+// g_phi engine and for the ablation benchmarks. Vertices are contracted in
+// importance order, inserting shortcuts that preserve shortest-path
+// distances among the remaining vertices; queries run a bidirectional
+// Dijkstra restricted to upward edges.
+
+#ifndef FANNR_SP_CH_CONTRACTION_HIERARCHY_H_
+#define FANNR_SP_CH_CONTRACTION_HIERARCHY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "common/timestamped.h"
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Exact CH distance oracle. Build once, then query; queries reuse
+/// internal scratch arrays and are therefore not thread-safe.
+class ContractionHierarchy {
+ public:
+  struct Options {
+    /// Witness searches give up after settling this many vertices and
+    /// conservatively insert the shortcut (extra shortcuts cost memory,
+    /// never correctness).
+    size_t witness_settle_limit = 60;
+  };
+
+  static ContractionHierarchy Build(const Graph& graph) {
+    return Build(graph, Options{});
+  }
+  static ContractionHierarchy Build(const Graph& graph,
+                                    const Options& options);
+
+  /// Exact network distance (kInfWeight if disconnected).
+  Weight Distance(VertexId u, VertexId v);
+
+  /// Number of shortcut edges inserted during preprocessing.
+  size_t NumShortcuts() const { return num_shortcuts_; }
+
+  /// Approximate heap bytes of the upward search graph.
+  size_t MemoryBytes() const;
+
+  /// Serializes the index (cache format). Returns false on I/O failure.
+  bool Save(std::ostream& out) const;
+
+  /// Reloads an index previously written by Save against the same graph.
+  static std::optional<ContractionHierarchy> Load(const Graph& graph,
+                                                  std::istream& in);
+
+ private:
+  explicit ContractionHierarchy(size_t n);
+
+  // Upward graph in CSR form: arcs from each vertex to higher-ranked
+  // vertices only (original edges and shortcuts).
+  std::vector<size_t> up_offsets_;
+  std::vector<Arc> up_arcs_;
+  size_t num_shortcuts_ = 0;
+
+  TimestampedArray<Weight> dist_forward_;
+  TimestampedArray<Weight> dist_backward_;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_SP_CH_CONTRACTION_HIERARCHY_H_

@@ -1,0 +1,171 @@
+#include "sp/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+namespace fannr {
+
+namespace {
+
+// Min-heap entry: (distance, vertex), ordered by distance.
+using HeapEntry = std::pair<Weight, VertexId>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+std::vector<Weight> DijkstraSssp(const Graph& graph, VertexId source) {
+  FANNR_CHECK(source < graph.NumVertices());
+  std::vector<Weight> dist(graph.NumVertices(), kInfWeight);
+  MinHeap heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (const Arc& a : graph.Neighbors(u)) {
+      const Weight nd = d + a.weight;
+      if (nd < dist[a.to]) {
+        dist[a.to] = nd;
+        heap.push({nd, a.to});
+      }
+    }
+  }
+  return dist;
+}
+
+SsspTree DijkstraSsspTree(const Graph& graph, VertexId source) {
+  FANNR_CHECK(source < graph.NumVertices());
+  SsspTree result;
+  result.dist.assign(graph.NumVertices(), kInfWeight);
+  result.parent.assign(graph.NumVertices(), kInvalidVertex);
+  MinHeap heap;
+  result.dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > result.dist[u]) continue;
+    for (const Arc& a : graph.Neighbors(u)) {
+      const Weight nd = d + a.weight;
+      if (nd < result.dist[a.to]) {
+        result.dist[a.to] = nd;
+        result.parent[a.to] = u;
+        heap.push({nd, a.to});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<VertexId> ShortestPath(const Graph& graph, VertexId source,
+                                   VertexId target) {
+  FANNR_CHECK(source < graph.NumVertices() &&
+              target < graph.NumVertices());
+  if (source == target) return {source};
+  std::unordered_map<VertexId, Weight> dist;
+  std::unordered_map<VertexId, VertexId> parent;
+  MinHeap heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    auto it = dist.find(u);
+    if (it == dist.end() || d > it->second) continue;
+    if (u == target) {
+      std::vector<VertexId> path;
+      for (VertexId v = target;; v = parent.at(v)) {
+        path.push_back(v);
+        if (v == source) break;
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (const Arc& a : graph.Neighbors(u)) {
+      const Weight nd = d + a.weight;
+      auto [nit, inserted] = dist.try_emplace(a.to, nd);
+      if (inserted || nd < nit->second) {
+        nit->second = nd;
+        parent[a.to] = u;
+        heap.push({nd, a.to});
+      }
+    }
+  }
+  return {};
+}
+
+DijkstraSearch::DijkstraSearch(const Graph& graph)
+    : graph_(graph),
+      dist_(graph.NumVertices(), kInfWeight),
+      settled_(graph.NumVertices(), 0) {}
+
+Weight DijkstraSearch::Distance(VertexId source, VertexId target) {
+  FANNR_CHECK(source < graph_.NumVertices() &&
+              target < graph_.NumVertices());
+  if (source == target) return 0.0;
+  dist_.NewEpoch();
+  MinHeap heap;
+  dist_.Set(source, 0.0);
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist_.Get(u)) continue;
+    if (u == target) return d;
+    for (const Arc& a : graph_.Neighbors(u)) {
+      const Weight nd = d + a.weight;
+      if (nd < dist_.Get(a.to)) {
+        dist_.Set(a.to, nd);
+        heap.push({nd, a.to});
+      }
+    }
+  }
+  return kInfWeight;
+}
+
+std::vector<Weight> DijkstraSearch::Distances(
+    VertexId source, const std::vector<VertexId>& targets) {
+  dist_.NewEpoch();
+  settled_.NewEpoch();
+  // Count how many distinct target vertices remain unsettled; a vertex
+  // listed twice only needs settling once.
+  size_t remaining = 0;
+  for (VertexId t : targets) {
+    FANNR_CHECK(t < graph_.NumVertices());
+    if (settled_.Get(t) == 0) {
+      settled_.Set(t, 1);  // 1 = "is an unsettled target"
+      ++remaining;
+    }
+  }
+  MinHeap heap;
+  dist_.Set(source, 0.0);
+  heap.push({0.0, source});
+  while (!heap.empty() && remaining > 0) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist_.Get(u)) continue;
+    if (settled_.Get(u) == 1) {
+      settled_.Set(u, 2);  // 2 = "settled target"
+      --remaining;
+    }
+    for (const Arc& a : graph_.Neighbors(u)) {
+      const Weight nd = d + a.weight;
+      if (nd < dist_.Get(a.to)) {
+        dist_.Set(a.to, nd);
+        heap.push({nd, a.to});
+      }
+    }
+  }
+  std::vector<Weight> result;
+  result.reserve(targets.size());
+  for (VertexId t : targets) {
+    result.push_back(settled_.Get(t) == 2 ? dist_.Get(t) : kInfWeight);
+  }
+  return result;
+}
+
+}  // namespace fannr

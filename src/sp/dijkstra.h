@@ -1,0 +1,61 @@
+// Dijkstra's algorithm: single-source shortest paths, point-to-point
+// queries, and SSSP with per-vertex parents. The reusable DijkstraSearch
+// object amortizes scratch-array allocation across queries (important when
+// an FANN_R algorithm evaluates g_phi for thousands of candidate points).
+
+#ifndef FANNR_SP_DIJKSTRA_H_
+#define FANNR_SP_DIJKSTRA_H_
+
+#include <vector>
+
+#include "common/timestamped.h"
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Full single-source shortest path distances (kInfWeight = unreachable).
+std::vector<Weight> DijkstraSssp(const Graph& graph, VertexId source);
+
+/// SSSP result with shortest-path-tree parents (kInvalidVertex for the
+/// source and unreachable vertices).
+struct SsspTree {
+  std::vector<Weight> dist;
+  std::vector<VertexId> parent;
+};
+
+/// Full SSSP with parents.
+SsspTree DijkstraSsspTree(const Graph& graph, VertexId source);
+
+/// Shortest path as a vertex sequence [source, ..., target] (empty when
+/// target is unreachable; [source] when source == target). Runs a
+/// point-to-point Dijkstra with parent tracking and early termination.
+std::vector<VertexId> ShortestPath(const Graph& graph, VertexId source,
+                                   VertexId target);
+
+/// Reusable Dijkstra engine bound to one graph. Not thread-safe; create
+/// one per thread.
+class DijkstraSearch {
+ public:
+  explicit DijkstraSearch(const Graph& graph);
+
+  /// Network distance from `source` to `target` (kInfWeight if
+  /// unreachable). Terminates as soon as `target` is settled.
+  Weight Distance(VertexId source, VertexId target);
+
+  /// Network distances from `source` to every vertex in `targets`
+  /// (aligned with `targets`). Terminates once all reachable targets are
+  /// settled.
+  std::vector<Weight> Distances(VertexId source,
+                                const std::vector<VertexId>& targets);
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  const Graph& graph_;
+  TimestampedArray<Weight> dist_;
+  TimestampedArray<uint8_t> settled_;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_SP_DIJKSTRA_H_

@@ -1,0 +1,603 @@
+#include "sp/gtree/gtree.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "common/serialize.h"
+#include "sp/gtree/partition.h"
+
+namespace fannr {
+
+namespace {
+
+using HeapEntry = std::pair<Weight, uint32_t>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+GTree GTree::Build(const Graph& graph, const Options& options) {
+  FANNR_CHECK(options.fanout >= 2 &&
+              (options.fanout & (options.fanout - 1)) == 0);
+  FANNR_CHECK(options.leaf_capacity >= options.fanout);
+
+  GTree tree;
+  tree.graph_ = &graph;
+  tree.options_ = options;
+  const size_t n = graph.NumVertices();
+  tree.leaf_of_.assign(n, 0);
+  tree.leaf_pos_.assign(n, 0);
+
+  // Phase 1: recursive partitioning into the tree structure.
+  tree.nodes_.emplace_back();  // root
+  struct Frame {
+    int32_t node;
+    std::vector<VertexId> verts;
+  };
+  std::vector<Frame> stack;
+  {
+    std::vector<VertexId> all(n);
+    std::iota(all.begin(), all.end(), VertexId{0});
+    stack.push_back({0, std::move(all)});
+  }
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (frame.verts.size() <= options.leaf_capacity) {
+      Node& leaf = tree.nodes_[frame.node];
+      leaf.is_leaf = true;
+      leaf.vertices = std::move(frame.verts);
+      for (size_t pos = 0; pos < leaf.vertices.size(); ++pos) {
+        tree.leaf_of_[leaf.vertices[pos]] = frame.node;
+        tree.leaf_pos_[leaf.vertices[pos]] = static_cast<uint32_t>(pos);
+      }
+      continue;
+    }
+    const std::vector<uint32_t> part =
+        MultiwayPartition(graph, frame.verts, options.fanout);
+    std::vector<std::vector<VertexId>> parts(options.fanout);
+    for (size_t i = 0; i < frame.verts.size(); ++i) {
+      parts[part[i]].push_back(frame.verts[i]);
+    }
+    tree.nodes_[frame.node].is_leaf = false;
+    const uint32_t child_depth = tree.nodes_[frame.node].depth + 1;
+    for (auto& child_verts : parts) {
+      const int32_t child_id = static_cast<int32_t>(tree.nodes_.size());
+      tree.nodes_.emplace_back();
+      tree.nodes_[child_id].parent = frame.node;
+      tree.nodes_[child_id].depth = child_depth;
+      tree.nodes_[frame.node].children.push_back(child_id);
+      stack.push_back({child_id, std::move(child_verts)});
+    }
+  }
+
+  // Phase 2: DFS leaf intervals (so "w in subtree of node" is an interval
+  // test on the leaf order).
+  uint32_t next_leaf = 0;
+  std::function<void(int32_t)> assign_intervals = [&](int32_t id) {
+    Node& nd = tree.nodes_[id];
+    nd.leaf_begin = next_leaf;
+    if (nd.is_leaf) {
+      ++next_leaf;
+    } else {
+      for (int32_t c : nd.children) assign_intervals(c);
+    }
+    nd.leaf_end = next_leaf;
+  };
+  assign_intervals(0);
+  tree.num_leaves_ = next_leaf;
+
+  auto leaf_order_of = [&](VertexId v) {
+    return tree.nodes_[tree.leaf_of_[v]].leaf_begin;
+  };
+  auto in_node = [&](const Node& nd, VertexId w) {
+    const uint32_t lo = leaf_order_of(w);
+    return lo >= nd.leaf_begin && lo < nd.leaf_end;
+  };
+
+  // Phase 3: borders, bottom-up (deepest nodes first). Node ids are
+  // created parent-before-child, so reverse id order visits children
+  // before parents.
+  for (int32_t id = static_cast<int32_t>(tree.nodes_.size()) - 1; id >= 0;
+       --id) {
+    Node& nd = tree.nodes_[id];
+    if (nd.is_leaf) {
+      for (VertexId v : nd.vertices) {
+        for (const Arc& a : graph.Neighbors(v)) {
+          if (!in_node(nd, a.to)) {
+            nd.borders.push_back(v);
+            break;
+          }
+        }
+      }
+    } else {
+      // occupants = concat of children borders; node borders are those
+      // occupants that still have an edge leaving this node.
+      for (int32_t cid : nd.children) {
+        Node& child = tree.nodes_[cid];
+        child.occ_offset = static_cast<uint32_t>(nd.occupants.size());
+        for (size_t bi = 0; bi < child.borders.size(); ++bi) {
+          const VertexId v = child.borders[bi];
+          const uint32_t occ_pos = static_cast<uint32_t>(
+              nd.occupants.size());
+          nd.occupants.push_back(v);
+          for (const Arc& a : graph.Neighbors(v)) {
+            if (!in_node(nd, a.to)) {
+              nd.borders.push_back(v);
+              nd.border_occ_pos.push_back(occ_pos);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Phase 4: leaf matrices (within-leaf border-to-vertex distances).
+  for (Node& nd : tree.nodes_) {
+    if (nd.is_leaf) tree.ComputeLeafMatrix(nd);
+  }
+
+  // Phase 5: bottom-up assembly (within-subgraph distances).
+  for (int32_t id = static_cast<int32_t>(tree.nodes_.size()) - 1; id >= 0;
+       --id) {
+    if (!tree.nodes_[id].is_leaf) {
+      tree.AssembleInternalMatrix(tree.nodes_[id], /*refine=*/false);
+    }
+  }
+
+  // Phase 6: top-down refinement (global distances). Parents are refined
+  // before their children; children's matrices read during a node's
+  // refinement are still the bottom-up within-child versions, as the
+  // correctness argument requires.
+  std::vector<int32_t> by_depth(tree.nodes_.size());
+  std::iota(by_depth.begin(), by_depth.end(), 0);
+  std::stable_sort(by_depth.begin(), by_depth.end(),
+                   [&](int32_t a, int32_t b) {
+                     return tree.nodes_[a].depth < tree.nodes_[b].depth;
+                   });
+  for (int32_t id : by_depth) {
+    Node& nd = tree.nodes_[id];
+    if (!nd.is_leaf && nd.parent >= 0) {
+      tree.AssembleInternalMatrix(nd, /*refine=*/true);
+    }
+  }
+  return tree;
+}
+
+void GTree::ComputeLeafMatrix(Node& leaf) {
+  const size_t cols = leaf.vertices.size();
+  leaf.matrix.assign(leaf.borders.size() * cols, kInfWeight);
+  for (size_t row = 0; row < leaf.borders.size(); ++row) {
+    std::vector<Weight> dist =
+        WithinLeafDistancesImpl(leaf, leaf.borders[row]);
+    std::copy(dist.begin(), dist.end(), leaf.matrix.begin() + row * cols);
+  }
+}
+
+std::vector<Weight> GTree::WithinLeafDistances(int32_t leaf,
+                                               VertexId source) const {
+  FANNR_CHECK(leaf_of_[source] == leaf);
+  return WithinLeafDistancesImpl(nodes_[leaf], source);
+}
+
+std::vector<Weight> GTree::WithinLeafDistancesImpl(const Node& leaf,
+                                                   VertexId source) const {
+  const int32_t leaf_id = leaf_of_[source];
+  std::vector<Weight> dist(leaf.vertices.size(), kInfWeight);
+  MinHeap heap;
+  dist[leaf_pos_[source]] = 0.0;
+  heap.push({0.0, leaf_pos_[source]});
+  while (!heap.empty()) {
+    auto [d, pos] = heap.top();
+    heap.pop();
+    if (d > dist[pos]) continue;
+    const VertexId u = leaf.vertices[pos];
+    for (const Arc& a : graph_->Neighbors(u)) {
+      if (leaf_of_[a.to] != leaf_id) continue;  // stay inside the leaf
+      const uint32_t npos = leaf_pos_[a.to];
+      const Weight nd = d + a.weight;
+      if (nd < dist[npos]) {
+        dist[npos] = nd;
+        heap.push({nd, npos});
+      }
+    }
+  }
+  return dist;
+}
+
+void GTree::AssembleInternalMatrix(Node& nd, bool refine) {
+  const size_t m = nd.occupants.size();
+  nd.matrix.assign(m * m, kInfWeight);
+  if (m == 0) return;
+
+  std::unordered_map<VertexId, uint32_t> occ_index;
+  occ_index.reserve(m * 2);
+  for (uint32_t i = 0; i < m; ++i) occ_index.emplace(nd.occupants[i], i);
+
+  // Super-graph over occupants.
+  std::vector<std::vector<std::pair<uint32_t, Weight>>> adj(m);
+  auto add_edge = [&](uint32_t a, uint32_t b, Weight w) {
+    if (w == kInfWeight || a == b) return;
+    adj[a].push_back({b, w});
+    adj[b].push_back({a, w});
+  };
+
+  // (i) Within-child cliques from children's matrices.
+  for (int32_t cid : nd.children) {
+    const Node& child = nodes_[cid];
+    const size_t nb = child.borders.size();
+    for (size_t i = 0; i < nb; ++i) {
+      for (size_t j = i + 1; j < nb; ++j) {
+        const Weight w =
+            child.is_leaf
+                ? child.MatrixAt(i, leaf_pos_[child.borders[j]])
+                : child.MatrixAt(child.border_occ_pos[i],
+                                 child.border_occ_pos[j]);
+        add_edge(child.occ_offset + static_cast<uint32_t>(i),
+                 child.occ_offset + static_cast<uint32_t>(j), w);
+      }
+    }
+  }
+
+  // (ii) Original edges between occupants (covers all child-to-child
+  // connections inside this node; same-child duplicates are harmless).
+  for (uint32_t i = 0; i < m; ++i) {
+    for (const Arc& a : graph_->Neighbors(nd.occupants[i])) {
+      auto it = occ_index.find(a.to);
+      if (it != occ_index.end() && it->second > i) {
+        add_edge(i, it->second, a.weight);
+      }
+    }
+  }
+
+  // (iii) Refinement: global shortcuts among this node's borders from the
+  // parent's (already refined) matrix, covering paths that leave this
+  // node's subgraph and come back.
+  if (refine && nd.parent >= 0) {
+    const Node& parent = nodes_[nd.parent];
+    const size_t nb = nd.borders.size();
+    for (size_t i = 0; i < nb; ++i) {
+      for (size_t j = i + 1; j < nb; ++j) {
+        const Weight w = parent.MatrixAt(nd.occ_offset + i,
+                                         nd.occ_offset + j);
+        add_edge(nd.border_occ_pos[i], nd.border_occ_pos[j], w);
+      }
+    }
+  }
+
+  // All-pairs over the super-graph: one Dijkstra per occupant.
+  std::vector<Weight> dist(m);
+  for (uint32_t src = 0; src < m; ++src) {
+    std::fill(dist.begin(), dist.end(), kInfWeight);
+    MinHeap heap;
+    dist[src] = 0.0;
+    heap.push({0.0, src});
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      for (const auto& [v, w] : adj[u]) {
+        if (d + w < dist[v]) {
+          dist[v] = d + w;
+          heap.push({d + w, v});
+        }
+      }
+    }
+    std::copy(dist.begin(), dist.end(), nd.matrix.begin() + src * m);
+  }
+}
+
+Weight GTree::Distance(VertexId u, VertexId v) const {
+  FANNR_CHECK(u < graph_->NumVertices() && v < graph_->NumVertices());
+  if (u == v) return 0.0;
+  const int32_t lu = leaf_of_[u];
+  const int32_t lv = leaf_of_[v];
+
+  if (lu == lv) {
+    // Same leaf: best of a pure within-leaf path and a path that exits
+    // through border b1 and re-enters through border b2 (the global
+    // border-to-border distance comes from the parent's refined matrix).
+    const Node& leaf = nodes_[lu];
+    const std::vector<Weight> within = WithinLeafDistancesImpl(leaf, u);
+    Weight best = within[leaf_pos_[v]];
+    if (leaf.parent >= 0 && !leaf.borders.empty()) {
+      const Node& parent = nodes_[leaf.parent];
+      const size_t nb = leaf.borders.size();
+      for (size_t j = 0; j < nb; ++j) {
+        // Exact global distance from u to border j.
+        Weight dj = kInfWeight;
+        for (size_t i = 0; i < nb; ++i) {
+          const Weight wi = within[leaf_pos_[leaf.borders[i]]];
+          if (wi == kInfWeight) continue;
+          const Weight mid = parent.MatrixAt(leaf.occ_offset + i,
+                                             leaf.occ_offset + j);
+          if (mid == kInfWeight) continue;
+          dj = std::min(dj, wi + mid);
+        }
+        const Weight back = leaf.MatrixAt(j, leaf_pos_[v]);
+        if (dj != kInfWeight && back != kInfWeight) {
+          best = std::min(best, dj + back);
+        }
+      }
+    }
+    return best;
+  }
+
+  // Find the lowest common ancestor.
+  int32_t a = lu, b = lv;
+  while (nodes_[a].depth > nodes_[b].depth) a = nodes_[a].parent;
+  while (nodes_[b].depth > nodes_[a].depth) b = nodes_[b].parent;
+  while (a != b) {
+    a = nodes_[a].parent;
+    b = nodes_[b].parent;
+  }
+  const int32_t lca = a;
+
+  // Sweep from a leaf up to the child of the LCA, maintaining exact
+  // distances from the endpoint to the current node's borders.
+  auto sweep = [&](int32_t leaf_id, VertexId endpoint)
+      -> std::pair<int32_t, std::vector<Weight>> {
+    const Node& leaf = nodes_[leaf_id];
+    std::vector<Weight> d(leaf.borders.size(), kInfWeight);
+    for (size_t i = 0; i < leaf.borders.size(); ++i) {
+      d[i] = leaf.MatrixAt(i, leaf_pos_[endpoint]);
+    }
+    int32_t cur = leaf_id;
+    while (nodes_[cur].parent != lca) {
+      const int32_t parent_id = nodes_[cur].parent;
+      const Node& cur_node = nodes_[cur];
+      const Node& parent = nodes_[parent_id];
+      std::vector<Weight> nd(parent.borders.size(), kInfWeight);
+      for (size_t j = 0; j < parent.borders.size(); ++j) {
+        for (size_t i = 0; i < cur_node.borders.size(); ++i) {
+          if (d[i] == kInfWeight) continue;
+          const Weight mid = parent.MatrixAt(cur_node.occ_offset + i,
+                                             parent.border_occ_pos[j]);
+          if (mid == kInfWeight) continue;
+          nd[j] = std::min(nd[j], d[i] + mid);
+        }
+      }
+      d = std::move(nd);
+      cur = parent_id;
+    }
+    return {cur, std::move(d)};
+  };
+
+  const auto [cu, du] = sweep(lu, u);
+  const auto [cv, dv] = sweep(lv, v);
+  const Node& top = nodes_[lca];
+  const Node& child_u = nodes_[cu];
+  const Node& child_v = nodes_[cv];
+  Weight best = kInfWeight;
+  for (size_t i = 0; i < du.size(); ++i) {
+    if (du[i] == kInfWeight) continue;
+    for (size_t j = 0; j < dv.size(); ++j) {
+      if (dv[j] == kInfWeight) continue;
+      const Weight mid = top.MatrixAt(child_u.occ_offset + i,
+                                      child_v.occ_offset + j);
+      if (mid == kInfWeight) continue;
+      best = std::min(best, du[i] + mid + dv[j]);
+    }
+  }
+  return best;
+}
+
+GTree::SourceOracle::SourceOracle(const GTree& tree, VertexId source)
+    : tree_(tree), source_(source) {
+  FANNR_CHECK(source < tree.graph().NumVertices());
+  source_leaf_ = tree.leaf_of_[source];
+  leaf_depth_ = tree.nodes_[source_leaf_].depth;
+  within_ = tree.WithinLeafDistancesImpl(tree.nodes_[source_leaf_], source);
+
+  // Precompute the source-side sweep for every ancestor level.
+  int32_t cur = source_leaf_;
+  const Node& leaf = tree.nodes_[source_leaf_];
+  std::vector<Weight> d(leaf.borders.size(), kInfWeight);
+  for (size_t i = 0; i < leaf.borders.size(); ++i) {
+    d[i] = leaf.MatrixAt(i, tree.leaf_pos_[source]);
+  }
+  path_.push_back(cur);
+  du_.push_back(d);
+  while (tree.nodes_[cur].parent >= 0) {
+    const int32_t parent_id = tree.nodes_[cur].parent;
+    const Node& cur_node = tree.nodes_[cur];
+    const Node& parent = tree.nodes_[parent_id];
+    std::vector<Weight> nd(parent.borders.size(), kInfWeight);
+    for (size_t j = 0; j < parent.borders.size(); ++j) {
+      for (size_t i = 0; i < cur_node.borders.size(); ++i) {
+        if (d[i] == kInfWeight) continue;
+        const Weight mid = parent.MatrixAt(cur_node.occ_offset + i,
+                                           parent.border_occ_pos[j]);
+        if (mid == kInfWeight) continue;
+        nd[j] = std::min(nd[j], d[i] + mid);
+      }
+    }
+    d = nd;
+    cur = parent_id;
+    path_.push_back(cur);
+    du_.push_back(d);
+  }
+}
+
+Weight GTree::SourceOracle::DistanceTo(VertexId target) const {
+  const GTree& tree = tree_;
+  if (target == source_) return 0.0;
+  const int32_t lv = tree.leaf_of_[target];
+
+  if (lv == source_leaf_) {
+    // Same leaf: reuse the precomputed within-leaf distances.
+    const Node& leaf = tree.nodes_[source_leaf_];
+    Weight best = within_[tree.leaf_pos_[target]];
+    if (leaf.parent >= 0 && !leaf.borders.empty()) {
+      const Node& parent = tree.nodes_[leaf.parent];
+      const size_t nb = leaf.borders.size();
+      for (size_t j = 0; j < nb; ++j) {
+        Weight dj = kInfWeight;
+        for (size_t i = 0; i < nb; ++i) {
+          const Weight wi = within_[tree.leaf_pos_[leaf.borders[i]]];
+          if (wi == kInfWeight) continue;
+          const Weight mid = parent.MatrixAt(leaf.occ_offset + i,
+                                             leaf.occ_offset + j);
+          if (mid == kInfWeight) continue;
+          dj = std::min(dj, wi + mid);
+        }
+        const Weight back = leaf.MatrixAt(j, tree.leaf_pos_[target]);
+        if (dj != kInfWeight && back != kInfWeight) {
+          best = std::min(best, dj + back);
+        }
+      }
+    }
+    return best;
+  }
+
+  // LCA of the two leaves.
+  int32_t a = source_leaf_, b = lv;
+  while (tree.nodes_[a].depth > tree.nodes_[b].depth) {
+    a = tree.nodes_[a].parent;
+  }
+  while (tree.nodes_[b].depth > tree.nodes_[a].depth) {
+    b = tree.nodes_[b].parent;
+  }
+  while (a != b) {
+    a = tree.nodes_[a].parent;
+    b = tree.nodes_[b].parent;
+  }
+  const int32_t lca = a;
+  const uint32_t lca_depth = tree.nodes_[lca].depth;
+  // Source-side child of the LCA sits at index (leaf_depth - lca_depth -
+  // 1) on the precomputed path (path depths decrease by one per step).
+  const size_t si = leaf_depth_ - lca_depth - 1;
+  FANNR_DCHECK(si < path_.size() &&
+               tree.nodes_[path_[si]].parent == lca);
+
+  // Target-side sweep up to the child of the LCA.
+  const Node& target_leaf = tree.nodes_[lv];
+  std::vector<Weight> dv(target_leaf.borders.size(), kInfWeight);
+  for (size_t i = 0; i < target_leaf.borders.size(); ++i) {
+    dv[i] = target_leaf.MatrixAt(i, tree.leaf_pos_[target]);
+  }
+  int32_t cur = lv;
+  while (tree.nodes_[cur].parent != lca) {
+    const int32_t parent_id = tree.nodes_[cur].parent;
+    const Node& cur_node = tree.nodes_[cur];
+    const Node& parent = tree.nodes_[parent_id];
+    std::vector<Weight> nd(parent.borders.size(), kInfWeight);
+    for (size_t j = 0; j < parent.borders.size(); ++j) {
+      for (size_t i = 0; i < cur_node.borders.size(); ++i) {
+        if (dv[i] == kInfWeight) continue;
+        const Weight mid = parent.MatrixAt(cur_node.occ_offset + i,
+                                           parent.border_occ_pos[j]);
+        if (mid == kInfWeight) continue;
+        nd[j] = std::min(nd[j], dv[i] + mid);
+      }
+    }
+    dv = std::move(nd);
+    cur = parent_id;
+  }
+
+  const Node& top = tree.nodes_[lca];
+  const Node& child_u = tree.nodes_[path_[si]];
+  const Node& child_v = tree.nodes_[cur];
+  const std::vector<Weight>& du = du_[si];
+  Weight best = kInfWeight;
+  for (size_t i = 0; i < du.size(); ++i) {
+    if (du[i] == kInfWeight) continue;
+    for (size_t j = 0; j < dv.size(); ++j) {
+      if (dv[j] == kInfWeight) continue;
+      const Weight mid = top.MatrixAt(child_u.occ_offset + i,
+                                      child_v.occ_offset + j);
+      if (mid == kInfWeight) continue;
+      best = std::min(best, du[i] + mid + dv[j]);
+    }
+  }
+  return best;
+}
+
+namespace {
+constexpr uint64_t kGTreeMagic = 0xFA22A81A67BEE002ULL;
+}  // namespace
+
+bool GTree::Save(std::ostream& out) const {
+  BinaryWriter w(out);
+  w.Pod(kGTreeMagic);
+  w.Pod<uint64_t>(graph_->NumVertices());
+  w.Pod<uint64_t>(options_.fanout);
+  w.Pod<uint64_t>(options_.leaf_capacity);
+  w.Pod<uint64_t>(num_leaves_);
+  w.Vec(leaf_of_);
+  w.Vec(leaf_pos_);
+  w.Pod<uint64_t>(nodes_.size());
+  for (const Node& nd : nodes_) {
+    w.Pod(nd.parent);
+    w.Pod(nd.depth);
+    w.Pod<uint8_t>(nd.is_leaf ? 1 : 0);
+    w.Pod(nd.occ_offset);
+    w.Pod(nd.leaf_begin);
+    w.Pod(nd.leaf_end);
+    w.Vec(nd.children);
+    w.Vec(nd.vertices);
+    w.Vec(nd.borders);
+    w.Vec(nd.occupants);
+    w.Vec(nd.border_occ_pos);
+    w.Vec(nd.matrix);
+  }
+  return w.ok();
+}
+
+std::optional<GTree> GTree::Load(const Graph& graph, std::istream& in) {
+  BinaryReader r(in);
+  uint64_t magic = 0, vertices = 0, fanout = 0, leaf_capacity = 0,
+           num_leaves = 0, num_nodes = 0;
+  if (!r.Pod(magic) || magic != kGTreeMagic) return std::nullopt;
+  if (!r.Pod(vertices) || vertices != graph.NumVertices()) {
+    return std::nullopt;
+  }
+  GTree tree;
+  tree.graph_ = &graph;
+  if (!r.Pod(fanout) || !r.Pod(leaf_capacity) || !r.Pod(num_leaves)) {
+    return std::nullopt;
+  }
+  tree.options_.fanout = fanout;
+  tree.options_.leaf_capacity = leaf_capacity;
+  tree.num_leaves_ = num_leaves;
+  if (!r.Vec(tree.leaf_of_) || !r.Vec(tree.leaf_pos_) ||
+      !r.Pod(num_nodes)) {
+    return std::nullopt;
+  }
+  if (tree.leaf_of_.size() != vertices) return std::nullopt;
+  tree.nodes_.resize(num_nodes);
+  for (Node& nd : tree.nodes_) {
+    uint8_t is_leaf = 0;
+    if (!r.Pod(nd.parent) || !r.Pod(nd.depth) || !r.Pod(is_leaf) ||
+        !r.Pod(nd.occ_offset) || !r.Pod(nd.leaf_begin) ||
+        !r.Pod(nd.leaf_end) || !r.Vec(nd.children) || !r.Vec(nd.vertices) ||
+        !r.Vec(nd.borders) || !r.Vec(nd.occupants) ||
+        !r.Vec(nd.border_occ_pos) || !r.Vec(nd.matrix)) {
+      return std::nullopt;
+    }
+    nd.is_leaf = is_leaf != 0;
+  }
+  return tree;
+}
+
+size_t GTree::MemoryBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node) +
+                 leaf_of_.capacity() * sizeof(int32_t) +
+                 leaf_pos_.capacity() * sizeof(uint32_t);
+  for (const Node& nd : nodes_) {
+    bytes += nd.children.capacity() * sizeof(int32_t) +
+             nd.vertices.capacity() * sizeof(VertexId) +
+             nd.borders.capacity() * sizeof(VertexId) +
+             nd.occupants.capacity() * sizeof(VertexId) +
+             nd.border_occ_pos.capacity() * sizeof(uint32_t) +
+             nd.matrix.capacity() * sizeof(Weight);
+  }
+  return bytes;
+}
+
+}  // namespace fannr

@@ -1,0 +1,155 @@
+// G-tree: a hierarchical index for shortest-path distance and kNN queries
+// on road networks (Zhong et al., CIKM'13 / TKDE'15).
+//
+// The road network is recursively partitioned into a balanced tree of
+// subgraphs. Each leaf stores the within-leaf distances between its
+// vertices and its borders; each internal node stores a distance matrix
+// over the union of its children's borders ("occupants"). Matrices are
+// assembled bottom-up over a border super-graph and then refined top-down
+// with shortcut edges from the parent so that every internal matrix holds
+// exact *global* network distances — this makes the distance query a
+// simple min-plus sweep along the tree path between the two leaves (no
+// detour cases to special-handle) and the kNN engine's bounds exact.
+//
+// Correctness sketch (see DESIGN.md): any shortest path from u to a border
+// set decomposes at its first exit border, whose prefix lies entirely
+// within the node — so within-leaf leaf matrices plus global internal
+// matrices make the dynamic program exact in both directions.
+
+#ifndef FANNR_SP_GTREE_GTREE_H_
+#define FANNR_SP_GTREE_GTREE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Hierarchical road-network index; see file comment.
+class GTree {
+ public:
+  struct Options {
+    /// Children per internal node (the paper's f = 4). Power of two.
+    size_t fanout = 4;
+    /// Maximum vertices per leaf (the paper's tau; 64-512 depending on
+    /// graph size).
+    size_t leaf_capacity = 64;
+  };
+
+  /// Tree node. Exposed (read-only) for the kNN engine and tests.
+  struct Node {
+    int32_t parent = -1;
+    uint32_t depth = 0;
+    bool is_leaf = true;
+    std::vector<int32_t> children;
+    /// Leaf only: the vertices in this leaf.
+    std::vector<VertexId> vertices;
+    /// Border vertices: members with an edge leaving this node's subgraph.
+    std::vector<VertexId> borders;
+    /// Internal only: concatenation of children's border lists.
+    std::vector<VertexId> occupants;
+    /// Internal only: position of borders[i] within occupants.
+    std::vector<uint32_t> border_occ_pos;
+    /// Offset of this node's borders inside the parent's occupants.
+    uint32_t occ_offset = 0;
+    /// Leaf: |borders| x |vertices| within-leaf distances.
+    /// Internal: |occupants| x |occupants| global network distances.
+    std::vector<Weight> matrix;
+    /// Leaves covered by this subtree: DFS leaf-order interval
+    /// [leaf_begin, leaf_end).
+    uint32_t leaf_begin = 0;
+    uint32_t leaf_end = 0;
+
+    size_t MatrixCols() const {
+      return is_leaf ? vertices.size() : occupants.size();
+    }
+    Weight MatrixAt(size_t row, size_t col) const {
+      return matrix[row * MatrixCols() + col];
+    }
+  };
+
+  /// Builds the index. The graph must outlive the tree and must not be
+  /// moved or destroyed while the tree exists (the tree stores a pointer
+  /// into it).
+  static GTree Build(const Graph& graph) { return Build(graph, Options{}); }
+  static GTree Build(const Graph& graph, const Options& options);
+
+  /// Exact network distance (kInfWeight if disconnected). Thread-safe.
+  Weight Distance(VertexId u, VertexId v) const;
+
+  // --- structure ----------------------------------------------------------
+
+  const Graph& graph() const { return *graph_; }
+  size_t NumTreeNodes() const { return nodes_.size(); }
+  size_t NumLeaves() const { return num_leaves_; }
+  int32_t root() const { return 0; }
+  const Node& node(int32_t id) const { return nodes_[id]; }
+
+  /// Leaf containing `v`.
+  int32_t LeafOf(VertexId v) const { return leaf_of_[v]; }
+
+  /// Index of `v` within its leaf's vertex list.
+  uint32_t LeafPos(VertexId v) const { return leaf_pos_[v]; }
+
+  /// Dijkstra restricted to the induced subgraph of `leaf`, from `source`
+  /// (which must be in the leaf). Result is aligned with
+  /// node(leaf).vertices; kInfWeight when unreachable within the leaf.
+  std::vector<Weight> WithinLeafDistances(int32_t leaf,
+                                          VertexId source) const;
+
+  /// Approximate heap bytes held by the index (the paper's Fig. 9 metric).
+  size_t MemoryBytes() const;
+
+  /// One-to-many distance queries from a fixed source: the source-side
+  /// sweep (distances from the source to the borders of every ancestor
+  /// node) is computed once at construction, so each DistanceTo only pays
+  /// for the target-side sweep and the LCA combine. Used by the IER-GTree
+  /// g_phi engine, which verifies many targets against one candidate.
+  class SourceOracle {
+   public:
+    SourceOracle(const GTree& tree, VertexId source);
+
+    /// Exact network distance from the source to `target`.
+    Weight DistanceTo(VertexId target) const;
+
+    VertexId source() const { return source_; }
+
+   private:
+    const GTree& tree_;
+    VertexId source_;
+    int32_t source_leaf_;
+    uint32_t leaf_depth_;
+    std::vector<int32_t> path_;             // leaf, ..., root
+    std::vector<std::vector<Weight>> du_;   // du_[i]: to borders of path_[i]
+    std::vector<Weight> within_;            // within-leaf from source
+  };
+
+  /// Serializes the index (cache format). Returns false on I/O failure.
+  bool Save(std::ostream& out) const;
+
+  /// Reloads an index previously written by Save against the same graph.
+  /// Returns nullopt on corrupt input or a vertex-count mismatch.
+  static std::optional<GTree> Load(const Graph& graph, std::istream& in);
+
+ private:
+  GTree() = default;
+
+  void ComputeLeafMatrix(Node& leaf);
+  void AssembleInternalMatrix(Node& node, bool refine);
+  std::vector<Weight> WithinLeafDistancesImpl(const Node& leaf,
+                                              VertexId source) const;
+
+  const Graph* graph_ = nullptr;
+  Options options_;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> leaf_of_;    // per graph vertex
+  std::vector<uint32_t> leaf_pos_;  // per graph vertex
+  size_t num_leaves_ = 0;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_SP_GTREE_GTREE_H_

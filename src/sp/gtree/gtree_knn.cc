@@ -1,0 +1,176 @@
+#include "sp/gtree/gtree_knn.h"
+
+#include <algorithm>
+
+namespace fannr {
+
+GTreeKnn::GTreeKnn(const GTree& tree, const IndexedVertexSet& objects)
+    : tree_(tree), objects_(objects), occ_count_(tree.NumTreeNodes(), 0) {
+  for (VertexId o : objects.members()) {
+    const int32_t leaf = tree_.LeafOf(o);
+    leaf_objects_[leaf].push_back(o);
+    for (int32_t node = leaf; node >= 0; node = tree_.node(node).parent) {
+      ++occ_count_[node];
+    }
+  }
+}
+
+size_t GTreeKnn::OccMemoryBytes() const {
+  size_t bytes = occ_count_.capacity() * sizeof(uint32_t);
+  for (const auto& [leaf, objs] : leaf_objects_) {
+    bytes += sizeof(leaf) + objs.capacity() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
+GTreeKnn::Search::Search(const GTreeKnn& owner, VertexId source)
+    : owner_(owner) {
+  const GTree& tree = owner_.tree_;
+  const int32_t source_leaf = tree.LeafOf(source);
+  const GTree::Node& leaf = tree.node(source_leaf);
+
+  // Within-leaf distances from the source.
+  const std::vector<Weight> within =
+      tree.WithinLeafDistances(source_leaf, source);
+
+  // Exact global distances from the source to the leaf's borders:
+  // best of the within-leaf path and an exit-reenter detour through the
+  // parent's (global) matrix.
+  const size_t nb = leaf.borders.size();
+  std::vector<Weight> border_dist(nb, kInfWeight);
+  for (size_t i = 0; i < nb; ++i) {
+    border_dist[i] = within[tree.LeafPos(leaf.borders[i])];
+  }
+  if (leaf.parent >= 0 && nb > 0) {
+    const GTree::Node& parent = tree.node(leaf.parent);
+    std::vector<Weight> exact(nb, kInfWeight);
+    for (size_t j = 0; j < nb; ++j) {
+      for (size_t i = 0; i < nb; ++i) {
+        if (border_dist[i] == kInfWeight) continue;
+        const Weight mid =
+            parent.MatrixAt(leaf.occ_offset + i, leaf.occ_offset + j);
+        if (mid == kInfWeight) continue;
+        exact[j] = std::min(exact[j], border_dist[i] + mid);
+      }
+    }
+    border_dist = std::move(exact);
+  }
+
+  // Objects in the source leaf: exact = min(within-leaf, re-entry through
+  // a border).
+  auto leaf_objs = owner_.leaf_objects_.find(source_leaf);
+  if (leaf_objs != owner_.leaf_objects_.end()) {
+    for (VertexId o : leaf_objs->second) {
+      Weight d = within[tree.LeafPos(o)];
+      for (size_t j = 0; j < nb; ++j) {
+        if (border_dist[j] == kInfWeight) continue;
+        const Weight back = leaf.MatrixAt(j, tree.LeafPos(o));
+        if (back == kInfWeight) continue;
+        d = std::min(d, border_dist[j] + back);
+      }
+      if (d != kInfWeight) heap_.push({d, true, o, -1});
+    }
+  }
+
+  // Ancestor sweep: exact distances to every ancestor's occupants; push
+  // the off-path children that contain objects.
+  int32_t prev = source_leaf;
+  std::vector<Weight> prev_border_dist = std::move(border_dist);
+  for (int32_t anc = leaf.parent; anc >= 0;
+       anc = tree.node(anc).parent) {
+    const GTree::Node& anode = tree.node(anc);
+    const GTree::Node& pnode = tree.node(prev);
+    // Distances from source to anc's occupants via prev's borders. For
+    // the first ancestor, prev is the source leaf and prev_border_dist is
+    // already globally exact, so the min-plus step stays exact.
+    std::vector<Weight> occ_dist(anode.occupants.size(), kInfWeight);
+    for (size_t x = 0; x < anode.occupants.size(); ++x) {
+      for (size_t i = 0; i < pnode.borders.size(); ++i) {
+        if (prev_border_dist[i] == kInfWeight) continue;
+        const Weight mid = anode.MatrixAt(pnode.occ_offset + i, x);
+        if (mid == kInfWeight) continue;
+        occ_dist[x] = std::min(occ_dist[x], prev_border_dist[i] + mid);
+      }
+    }
+    PushChildren(anc, prev, occ_dist);
+    // Prepare the next level: exact distances to anc's borders.
+    std::vector<Weight> next(anode.borders.size(), kInfWeight);
+    for (size_t j = 0; j < anode.borders.size(); ++j) {
+      next[j] = occ_dist[anode.border_occ_pos[j]];
+    }
+    occ_dist_.emplace(anc, std::move(occ_dist));
+    prev_border_dist = std::move(next);
+    prev = anc;
+  }
+}
+
+void GTreeKnn::Search::PushChildren(int32_t node_id, int32_t skip_child,
+                                    const std::vector<Weight>& occ_dist) {
+  const GTree& tree = owner_.tree_;
+  const GTree::Node& nd = tree.node(node_id);
+  for (int32_t cid : nd.children) {
+    if (cid == skip_child || owner_.occ_count_[cid] == 0) continue;
+    const GTree::Node& child = tree.node(cid);
+    Weight bound = kInfWeight;
+    for (size_t i = 0; i < child.borders.size(); ++i) {
+      bound = std::min(bound, occ_dist[child.occ_offset + i]);
+    }
+    if (bound != kInfWeight) heap_.push({bound, false, 0, cid});
+  }
+}
+
+void GTreeKnn::Search::PushLeafObjects(
+    int32_t leaf_id, const std::vector<Weight>& parent_occ_dist) {
+  const GTree& tree = owner_.tree_;
+  const GTree::Node& leaf = tree.node(leaf_id);
+  auto it = owner_.leaf_objects_.find(leaf_id);
+  if (it == owner_.leaf_objects_.end()) return;
+  for (VertexId o : it->second) {
+    Weight d = kInfWeight;
+    for (size_t i = 0; i < leaf.borders.size(); ++i) {
+      const Weight to_border = parent_occ_dist[leaf.occ_offset + i];
+      if (to_border == kInfWeight) continue;
+      const Weight back = leaf.MatrixAt(i, tree.LeafPos(o));
+      if (back == kInfWeight) continue;
+      d = std::min(d, to_border + back);
+    }
+    if (d != kInfWeight) heap_.push({d, true, o, -1});
+  }
+}
+
+void GTreeKnn::Search::EnterInternal(
+    int32_t node_id, const std::vector<Weight>& parent_occ_dist) {
+  const GTree& tree = owner_.tree_;
+  const GTree::Node& nd = tree.node(node_id);
+  std::vector<Weight> occ_dist(nd.occupants.size(), kInfWeight);
+  for (size_t x = 0; x < nd.occupants.size(); ++x) {
+    for (size_t i = 0; i < nd.borders.size(); ++i) {
+      const Weight to_border = parent_occ_dist[nd.occ_offset + i];
+      if (to_border == kInfWeight) continue;
+      const Weight mid = nd.MatrixAt(nd.border_occ_pos[i], x);
+      if (mid == kInfWeight) continue;
+      occ_dist[x] = std::min(occ_dist[x], to_border + mid);
+    }
+  }
+  PushChildren(node_id, /*skip_child=*/-1, occ_dist);
+  occ_dist_.emplace(node_id, std::move(occ_dist));
+}
+
+std::optional<GTreeKnn::Hit> GTreeKnn::Search::Next() {
+  const GTree& tree = owner_.tree_;
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    if (top.is_object) return Hit{top.vertex, top.key};
+    const GTree::Node& nd = tree.node(top.node);
+    const std::vector<Weight>& parent_occ = occ_dist_.at(nd.parent);
+    if (nd.is_leaf) {
+      PushLeafObjects(top.node, parent_occ);
+    } else {
+      EnterInternal(top.node, parent_occ);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fannr

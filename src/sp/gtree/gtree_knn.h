@@ -1,0 +1,83 @@
+// Occurrence-list kNN search over a G-tree (the paper's "GTree" g_phi
+// engine, Table I).
+//
+// Given a fixed object set (Q in an FANN_R query), occurrence lists record
+// which tree nodes contain objects so the best-first search skips empty
+// subtrees. A search from a source vertex reports objects from-near-to-far
+// with exact global distances, derived from the G-tree's refined matrices.
+
+#ifndef FANNR_SP_GTREE_GTREE_KNN_H_
+#define FANNR_SP_GTREE_GTREE_KNN_H_
+
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/vertex_set.h"
+#include "sp/gtree/gtree.h"
+
+namespace fannr {
+
+/// kNN engine over a G-tree for one fixed object set.
+class GTreeKnn {
+ public:
+  /// Builds occurrence lists; O(|objects| * tree depth). Both referents
+  /// must outlive this object.
+  GTreeKnn(const GTree& tree, const IndexedVertexSet& objects);
+
+  /// A reported object with its exact network distance from the source.
+  struct Hit {
+    VertexId vertex;
+    Weight distance;
+  };
+
+  /// One incremental search; objects are reported in nondecreasing
+  /// distance order. Unreachable objects are never reported.
+  class Search {
+   public:
+    /// Next nearest unreported object, or nullopt when exhausted.
+    std::optional<Hit> Next();
+
+   private:
+    friend class GTreeKnn;
+    Search(const GTreeKnn& owner, VertexId source);
+
+    void PushLeafObjects(int32_t leaf_id,
+                         const std::vector<Weight>& parent_occ_dist);
+    void EnterInternal(int32_t node_id,
+                       const std::vector<Weight>& parent_occ_dist);
+    void PushChildren(int32_t node_id, int32_t skip_child,
+                      const std::vector<Weight>& occ_dist);
+
+    struct Entry {
+      Weight key;
+      bool is_object;
+      VertexId vertex;  // valid when is_object
+      int32_t node;     // valid when !is_object
+      bool operator>(const Entry& o) const { return key > o.key; }
+    };
+
+    const GTreeKnn& owner_;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    // Exact distances from the source to each entered node's occupants.
+    std::unordered_map<int32_t, std::vector<Weight>> occ_dist_;
+  };
+
+  /// Starts a search from `source`.
+  Search From(VertexId source) const { return Search(*this, source); }
+
+  /// Approximate heap bytes of the occurrence lists (the "Occ" index cost
+  /// of the paper's Appendix A).
+  size_t OccMemoryBytes() const;
+
+ private:
+  const GTree& tree_;
+  const IndexedVertexSet& objects_;
+  std::vector<uint32_t> occ_count_;  // per tree node
+  std::unordered_map<int32_t, std::vector<VertexId>> leaf_objects_;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_SP_GTREE_GTREE_KNN_H_

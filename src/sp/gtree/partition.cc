@@ -1,0 +1,133 @@
+#include "sp/gtree/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace fannr {
+
+namespace {
+
+// Orders `indices` (positions into `vertices`) by projection onto the
+// principal axis of the vertex coordinates.
+void SortByPrincipalAxis(const Graph& graph,
+                         const std::vector<VertexId>& vertices,
+                         std::vector<uint32_t>& indices) {
+  double mean_x = 0.0, mean_y = 0.0;
+  for (uint32_t i : indices) {
+    mean_x += graph.Coord(vertices[i]).x;
+    mean_y += graph.Coord(vertices[i]).y;
+  }
+  mean_x /= static_cast<double>(indices.size());
+  mean_y /= static_cast<double>(indices.size());
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (uint32_t i : indices) {
+    const double dx = graph.Coord(vertices[i]).x - mean_x;
+    const double dy = graph.Coord(vertices[i]).y - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  // Principal eigenvector direction of [[sxx, sxy], [sxy, syy]].
+  const double theta = 0.5 * std::atan2(2.0 * sxy, sxx - syy);
+  const double ax = std::cos(theta);
+  const double ay = std::sin(theta);
+  std::sort(indices.begin(), indices.end(), [&](uint32_t a, uint32_t b) {
+    const Point& pa = graph.Coord(vertices[a]);
+    const Point& pb = graph.Coord(vertices[b]);
+    return pa.x * ax + pa.y * ay < pb.x * ax + pb.y * ay;
+  });
+}
+
+// Orders `indices` by BFS discovery from a pseudo-peripheral vertex of the
+// induced subgraph (coordinate-free fallback). Vertices unreachable within
+// the subset are appended at the end.
+void SortByBfsLayering(const Graph& graph,
+                       const std::vector<VertexId>& vertices,
+                       std::vector<uint32_t>& indices) {
+  std::unordered_map<VertexId, uint32_t> position;
+  position.reserve(indices.size());
+  for (uint32_t i : indices) position.emplace(vertices[i], i);
+
+  auto bfs_order = [&](uint32_t start_index) {
+    std::vector<uint32_t> order;
+    order.reserve(indices.size());
+    std::unordered_set<VertexId> visited;
+    std::queue<VertexId> queue;
+    queue.push(vertices[start_index]);
+    visited.insert(vertices[start_index]);
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop();
+      order.push_back(position.at(u));
+      for (const Arc& a : graph.Neighbors(u)) {
+        auto it = position.find(a.to);
+        if (it != position.end() && visited.insert(a.to).second) {
+          queue.push(a.to);
+        }
+      }
+    }
+    return order;
+  };
+
+  // Two BFS passes approximate a diameter endpoint.
+  std::vector<uint32_t> first = bfs_order(indices.front());
+  std::vector<uint32_t> order = bfs_order(first.back());
+  // Append subset-unreachable vertices.
+  if (order.size() < indices.size()) {
+    std::unordered_set<uint32_t> seen(order.begin(), order.end());
+    for (uint32_t i : indices) {
+      if (!seen.count(i)) order.push_back(i);
+    }
+  }
+  indices = std::move(order);
+}
+
+// Recursively halves `indices` into `parts` contiguous balanced groups,
+// re-sorting each half along its own principal axis (or BFS layering).
+void Bisect(const Graph& graph, const std::vector<VertexId>& vertices,
+            std::vector<uint32_t>& indices, size_t begin, size_t end,
+            size_t parts, uint32_t first_part_id,
+            std::vector<uint32_t>& assignment) {
+  if (parts == 1) {
+    for (size_t i = begin; i < end; ++i) {
+      assignment[indices[i]] = first_part_id;
+    }
+    return;
+  }
+  std::vector<uint32_t> slice(indices.begin() + begin,
+                              indices.begin() + end);
+  if (graph.HasCoordinates()) {
+    SortByPrincipalAxis(graph, vertices, slice);
+  } else {
+    SortByBfsLayering(graph, vertices, slice);
+  }
+  std::copy(slice.begin(), slice.end(), indices.begin() + begin);
+  const size_t mid = begin + (end - begin) / 2;
+  Bisect(graph, vertices, indices, begin, mid, parts / 2, first_part_id,
+         assignment);
+  Bisect(graph, vertices, indices, mid, end, parts / 2,
+         first_part_id + static_cast<uint32_t>(parts / 2), assignment);
+}
+
+}  // namespace
+
+std::vector<uint32_t> MultiwayPartition(const Graph& graph,
+                                        const std::vector<VertexId>& vertices,
+                                        size_t fanout) {
+  FANNR_CHECK(fanout >= 2 && (fanout & (fanout - 1)) == 0);
+  FANNR_CHECK(vertices.size() >= fanout);
+  std::vector<uint32_t> indices(vertices.size());
+  std::iota(indices.begin(), indices.end(), 0u);
+  std::vector<uint32_t> assignment(vertices.size(), 0);
+  Bisect(graph, vertices, indices, 0, indices.size(), fanout, 0, assignment);
+  return assignment;
+}
+
+}  // namespace fannr

@@ -1,0 +1,29 @@
+// Balanced multiway graph partitioning for G-tree construction.
+//
+// G-tree (Zhong et al. CIKM'13 / TKDE'15) recursively partitions the road
+// network into `fanout` balanced parts with small edge cut. The original
+// uses METIS; we implement inertial bisection (split along the principal
+// geometric axis) when coordinates are available — which produces good
+// cuts on road networks — with a BFS-layering bisection fallback for
+// graphs without coordinates.
+
+#ifndef FANNR_SP_GTREE_PARTITION_H_
+#define FANNR_SP_GTREE_PARTITION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Splits `vertices` (a subset of the graph's vertices) into `fanout`
+/// balanced parts. Returns one part id in [0, fanout) per input vertex
+/// (aligned with `vertices`). `fanout` must be a power of two >= 2. Part
+/// sizes differ by at most `fanout`.
+std::vector<uint32_t> MultiwayPartition(const Graph& graph,
+                                        const std::vector<VertexId>& vertices,
+                                        size_t fanout);
+
+}  // namespace fannr
+
+#endif  // FANNR_SP_GTREE_PARTITION_H_

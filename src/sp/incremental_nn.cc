@@ -1,0 +1,63 @@
+#include "sp/incremental_nn.h"
+
+namespace fannr {
+
+IncrementalNnSearch::IncrementalNnSearch(const Graph& graph,
+                                         VertexId source,
+                                         const IndexedVertexSet& targets)
+    : graph_(graph), targets_(targets), source_(source) {
+  FANNR_CHECK(source < graph.NumVertices());
+  dist_[source] = 0.0;
+  frontier_.push({0.0, source});
+}
+
+std::optional<IncrementalNnSearch::Hit>
+IncrementalNnSearch::FindNextTarget() {
+  while (!frontier_.empty()) {
+    const HeapEntry top = frontier_.top();
+    frontier_.pop();
+    auto it = dist_.find(top.vertex);
+    // Stale entry: a shorter path was found after this was pushed. A
+    // negative stored distance marks an already-settled vertex.
+    if (it == dist_.end() || top.dist > it->second || it->second < 0.0) {
+      continue;
+    }
+    // Settle.
+    it->second = -top.dist - 1.0;  // mark settled, preserve value
+    ++settled_count_;
+    for (const Arc& a : graph_.Neighbors(top.vertex)) {
+      const Weight nd = top.dist + a.weight;
+      auto [nit, inserted] = dist_.try_emplace(a.to, nd);
+      if (inserted || (nit->second >= 0.0 && nd < nit->second)) {
+        nit->second = nd;
+        frontier_.push({nd, a.to});
+      }
+    }
+    if (targets_.Contains(top.vertex)) {
+      return Hit{top.vertex, top.dist};
+    }
+  }
+  exhausted_ = true;
+  return std::nullopt;
+}
+
+std::optional<IncrementalNnSearch::Hit> IncrementalNnSearch::Next() {
+  if (buffered_.has_value()) {
+    std::optional<Hit> hit = buffered_;
+    buffered_.reset();
+    return hit;
+  }
+  if (exhausted_) return std::nullopt;
+  return FindNextTarget();
+}
+
+const IncrementalNnSearch::Hit* IncrementalNnSearch::Peek() {
+  if (!buffered_.has_value()) {
+    if (exhausted_) return nullptr;
+    buffered_ = FindNextTarget();
+    if (!buffered_.has_value()) return nullptr;
+  }
+  return &*buffered_;
+}
+
+}  // namespace fannr

@@ -1,0 +1,207 @@
+#include "sp/label/hub_labels.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/serialize.h"
+
+#include "common/rng.h"
+#include "sp/dijkstra.h"
+
+namespace fannr {
+
+namespace {
+
+// Importance score per vertex: how often it appears on sampled shortest
+// paths, estimated as the sum of its shortest-path-tree subtree sizes over
+// a few random sources. High-score vertices make good (early) hubs.
+std::vector<uint64_t> SampledTreeScores(const Graph& graph,
+                                        size_t num_samples, uint64_t seed) {
+  const size_t n = graph.NumVertices();
+  std::vector<uint64_t> score(n, 0);
+  Rng rng(seed);
+  for (size_t s = 0; s < num_samples; ++s) {
+    const VertexId source = static_cast<VertexId>(rng.NextIndex(n));
+    SsspTree tree = DijkstraSsspTree(graph, source);
+    // Process vertices from far to near so each vertex's subtree size is
+    // complete before being added to its parent.
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), VertexId{0});
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      return tree.dist[a] > tree.dist[b];
+    });
+    std::vector<uint64_t> subtree(n, 1);
+    for (VertexId v : order) {
+      if (tree.dist[v] == kInfWeight) continue;
+      score[v] += subtree[v];
+      if (tree.parent[v] != kInvalidVertex) {
+        subtree[tree.parent[v]] += subtree[v];
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+std::optional<HubLabels> HubLabels::Build(const Graph& graph,
+                                          const Options& options) {
+  const size_t n = graph.NumVertices();
+  HubLabels result;
+  if (n == 0) {
+    result.offsets_.assign(1, 0);
+    return result;
+  }
+
+  // Vertex order: decreasing importance; rank[v] = position in the order.
+  std::vector<uint64_t> score =
+      SampledTreeScores(graph, options.num_order_samples, options.seed);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return score[a] > score[b];
+  });
+
+  // Labels under construction (per vertex, entries appear in increasing
+  // hub rank automatically since hubs are processed in rank order).
+  std::vector<std::vector<Entry>> labels(n);
+  size_t total_entries = 0;
+
+  // Scratch for the pruned Dijkstra.
+  std::vector<Weight> dist(n, kInfWeight);
+  std::vector<VertexId> touched;
+  // Scatter array: hub_dist_from_root[r] = distance from the current root
+  // to hub ranked r, for hubs in the root's own label.
+  std::vector<Weight> root_hub_dist(n, kInfWeight);
+
+  using HeapEntry = std::pair<Weight, VertexId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap;
+
+  for (uint32_t rank = 0; rank < n; ++rank) {
+    const VertexId root = order[rank];
+    // Scatter the root's current label for O(|L(u)|) prune queries.
+    for (const Entry& e : labels[root]) {
+      root_hub_dist[e.hub_rank] = e.dist;
+    }
+
+    dist[root] = 0.0;
+    touched.push_back(root);
+    heap.push({0.0, root});
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      // Prune: if some earlier hub already certifies a path of length <= d
+      // between root and u, u needs no label from this root and nothing
+      // beyond u can need one either.
+      bool pruned = false;
+      for (const Entry& e : labels[u]) {
+        const Weight via = root_hub_dist[e.hub_rank];
+        if (via != kInfWeight && via + e.dist <= d) {
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) continue;
+
+      labels[u].push_back({rank, d});
+      ++total_entries;
+      for (const Arc& a : graph.Neighbors(u)) {
+        const Weight nd = d + a.weight;
+        if (nd < dist[a.to]) {
+          if (dist[a.to] == kInfWeight) touched.push_back(a.to);
+          dist[a.to] = nd;
+          heap.push({nd, a.to});
+        }
+      }
+    }
+
+    for (VertexId v : touched) dist[v] = kInfWeight;
+    touched.clear();
+    for (const Entry& e : labels[root]) {
+      root_hub_dist[e.hub_rank] = kInfWeight;
+    }
+
+    if (total_entries * sizeof(Entry) > options.max_memory_bytes) {
+      return std::nullopt;
+    }
+  }
+
+  // Flatten.
+  result.offsets_.resize(n + 1);
+  result.entries_.reserve(total_entries);
+  for (VertexId v = 0; v < n; ++v) {
+    result.offsets_[v] = result.entries_.size();
+    result.entries_.insert(result.entries_.end(), labels[v].begin(),
+                           labels[v].end());
+    labels[v].clear();
+    labels[v].shrink_to_fit();
+  }
+  result.offsets_[n] = result.entries_.size();
+  return result;
+}
+
+Weight HubLabels::Distance(VertexId u, VertexId v) const {
+  FANNR_CHECK(u + 1 < offsets_.size() && v + 1 < offsets_.size());
+  if (u == v) return 0.0;
+  const Entry* lu = entries_.data() + offsets_[u];
+  const Entry* lu_end = entries_.data() + offsets_[u + 1];
+  const Entry* lv = entries_.data() + offsets_[v];
+  const Entry* lv_end = entries_.data() + offsets_[v + 1];
+  Weight best = kInfWeight;
+  while (lu != lu_end && lv != lv_end) {
+    if (lu->hub_rank == lv->hub_rank) {
+      best = std::min(best, lu->dist + lv->dist);
+      ++lu;
+      ++lv;
+    } else if (lu->hub_rank < lv->hub_rank) {
+      ++lu;
+    } else {
+      ++lv;
+    }
+  }
+  return best;
+}
+
+double HubLabels::AverageLabelSize() const {
+  const size_t n = offsets_.size() - 1;
+  return n == 0 ? 0.0
+               : static_cast<double>(entries_.size()) /
+                     static_cast<double>(n);
+}
+
+namespace {
+constexpr uint64_t kHubLabelsMagic = 0xFA22A81A6E150001ULL;
+}  // namespace
+
+bool HubLabels::Save(std::ostream& out) const {
+  BinaryWriter w(out);
+  w.Pod(kHubLabelsMagic);
+  w.Vec(offsets_);
+  w.Vec(entries_);
+  return w.ok();
+}
+
+std::optional<HubLabels> HubLabels::Load(std::istream& in) {
+  BinaryReader r(in);
+  uint64_t magic = 0;
+  if (!r.Pod(magic) || magic != kHubLabelsMagic) return std::nullopt;
+  HubLabels result;
+  if (!r.Vec(result.offsets_) || !r.Vec(result.entries_)) {
+    return std::nullopt;
+  }
+  if (result.offsets_.empty() ||
+      result.offsets_.back() != result.entries_.size()) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+size_t HubLabels::MemoryBytes() const {
+  return offsets_.capacity() * sizeof(size_t) +
+         entries_.capacity() * sizeof(Entry);
+}
+
+}  // namespace fannr

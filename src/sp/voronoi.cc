@@ -1,0 +1,52 @@
+#include "sp/voronoi.h"
+
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fannr {
+
+NetworkVoronoi::NetworkVoronoi(const Graph& graph,
+                               const IndexedVertexSet& sites) {
+  FANNR_CHECK(!sites.empty());
+  const size_t n = graph.NumVertices();
+  site_.assign(n, kInvalidVertex);
+  dist_.assign(n, kInfWeight);
+
+  using HeapEntry = std::pair<Weight, VertexId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap;
+  for (VertexId s : sites.members()) {
+    dist_[s] = 0.0;
+    site_[s] = s;
+    heap.push({0.0, s});
+  }
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist_[u]) continue;
+    for (const Arc& a : graph.Neighbors(u)) {
+      const Weight nd = d + a.weight;
+      if (nd < dist_[a.to]) {
+        dist_[a.to] = nd;
+        site_[a.to] = site_[u];
+        heap.push({nd, a.to});
+      }
+    }
+  }
+}
+
+std::vector<size_t> NetworkVoronoi::CellSizes(
+    const IndexedVertexSet& sites) const {
+  std::vector<size_t> sizes(sites.size(), 0);
+  for (VertexId owner : site_) {
+    if (owner == kInvalidVertex) continue;
+    const uint32_t idx = sites.IndexOf(owner);
+    FANNR_DCHECK(idx != IndexedVertexSet::kNotMember);
+    ++sizes[idx];
+  }
+  return sizes;
+}
+
+}  // namespace fannr

@@ -1,0 +1,58 @@
+// Network Voronoi diagram (NVD): every vertex labeled with its nearest
+// site and the distance to it.
+//
+// The paper's related work (Section II-B) discusses Voronoi-based ANN
+// processing in road networks [6], [7]; here the NVD serves two roles:
+// an O(1)-per-lookup nearest-data-point oracle that accelerates APX-sum's
+// candidate generation when many queries share one P (see
+// SolveApxSumWithVoronoi), and a reusable substrate for spatial analyses.
+//
+// Construction is one multi-source Dijkstra: O(|E| + |V| log |V|).
+
+#ifndef FANNR_SP_VORONOI_H_
+#define FANNR_SP_VORONOI_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/vertex_set.h"
+
+namespace fannr {
+
+/// Network Voronoi diagram over a non-empty site set.
+class NetworkVoronoi {
+ public:
+  /// Builds the diagram (one multi-source Dijkstra).
+  NetworkVoronoi(const Graph& graph, const IndexedVertexSet& sites);
+
+  /// Nearest site of `v` (kInvalidVertex if unreachable from all sites).
+  VertexId NearestSite(VertexId v) const {
+    FANNR_DCHECK(v < site_.size());
+    return site_[v];
+  }
+
+  /// Network distance from `v` to its nearest site (kInfWeight if
+  /// unreachable).
+  Weight DistanceToSite(VertexId v) const {
+    FANNR_DCHECK(v < dist_.size());
+    return dist_[v];
+  }
+
+  /// Number of vertices assigned to each site (aligned with the site
+  /// set's member order).
+  std::vector<size_t> CellSizes(const IndexedVertexSet& sites) const;
+
+  /// Approximate heap bytes.
+  size_t MemoryBytes() const {
+    return site_.capacity() * sizeof(VertexId) +
+           dist_.capacity() * sizeof(Weight);
+  }
+
+ private:
+  std::vector<VertexId> site_;
+  std::vector<Weight> dist_;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_SP_VORONOI_H_

@@ -1,0 +1,411 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace fannr {
+
+RTree::RTree(const Options& options) : options_(options) {
+  FANNR_CHECK(options_.max_entries >= 2);
+  FANNR_CHECK(options_.min_entries >= 1);
+  FANNR_CHECK(options_.min_entries * 2 <= options_.max_entries + 1);
+  root_ = NewNode(/*is_leaf=*/true);
+  height_ = 1;
+}
+
+RTree::NodeId RTree::NewNode(bool is_leaf) {
+  nodes_.push_back(Node{});
+  nodes_.back().is_leaf = is_leaf;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+RTree RTree::BulkLoad(std::vector<Item> items, const Options& options) {
+  RTree tree(options);
+  if (items.empty()) return tree;
+  const size_t cap = options.max_entries;
+
+  // STR: sort by x, cut into vertical slabs of ~sqrt(n/cap) * cap items,
+  // sort each slab by y, pack leaves of `cap` items.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.point.x < b.point.x;
+  });
+  const size_t num_leaves = (items.size() + cap - 1) / cap;
+  const size_t num_slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slab_size =
+      ((num_leaves + num_slabs - 1) / num_slabs) * cap;
+
+  tree.nodes_.clear();
+  std::vector<NodeId> level;  // current level, bottom-up
+  for (size_t begin = 0; begin < items.size(); begin += slab_size) {
+    const size_t end = std::min(begin + slab_size, items.size());
+    std::sort(items.begin() + begin, items.begin() + end,
+              [](const Item& a, const Item& b) {
+                return a.point.y < b.point.y;
+              });
+    for (size_t i = begin; i < end; i += cap) {
+      const size_t leaf_end = std::min(i + cap, end);
+      NodeId leaf = tree.NewNode(/*is_leaf=*/true);
+      for (size_t j = i; j < leaf_end; ++j) {
+        tree.nodes_[leaf].items.push_back(items[j]);
+        tree.nodes_[leaf].mbr.Extend(items[j].point);
+      }
+      level.push_back(leaf);
+    }
+  }
+  tree.height_ = 1;
+
+  // Pack upper levels until one root remains.
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (size_t i = 0; i < level.size(); i += cap) {
+      const size_t end = std::min(i + cap, level.size());
+      NodeId parent = tree.NewNode(/*is_leaf=*/false);
+      for (size_t j = i; j < end; ++j) {
+        tree.nodes_[parent].children.push_back(
+            {tree.nodes_[level[j]].mbr, level[j]});
+        tree.nodes_[parent].mbr.Extend(tree.nodes_[level[j]].mbr);
+      }
+      next.push_back(parent);
+    }
+    level = std::move(next);
+    ++tree.height_;
+  }
+  tree.root_ = level.front();
+  tree.num_items_ = items.size();
+  return tree;
+}
+
+Mbr RTree::Bounds() const {
+  return num_items_ == 0 ? Mbr{} : nodes_[root_].mbr;
+}
+
+RTree::NodeId RTree::Root() const {
+  FANNR_CHECK(!empty());
+  return root_;
+}
+
+bool RTree::IsLeaf(NodeId node) const {
+  FANNR_DCHECK(node < nodes_.size());
+  return nodes_[node].is_leaf;
+}
+
+const Mbr& RTree::NodeMbr(NodeId node) const {
+  FANNR_DCHECK(node < nodes_.size());
+  return nodes_[node].mbr;
+}
+
+std::span<const RTree::Child> RTree::Children(NodeId node) const {
+  FANNR_DCHECK(node < nodes_.size() && !nodes_[node].is_leaf);
+  return nodes_[node].children;
+}
+
+std::span<const RTree::Item> RTree::Items(NodeId node) const {
+  FANNR_DCHECK(node < nodes_.size() && nodes_[node].is_leaf);
+  return nodes_[node].items;
+}
+
+void RTree::RecomputeMbr(NodeId node) {
+  Node& n = nodes_[node];
+  n.mbr = Mbr{};
+  if (n.is_leaf) {
+    for (const Item& it : n.items) n.mbr.Extend(it.point);
+  } else {
+    for (const Child& c : n.children) n.mbr.Extend(c.mbr);
+  }
+}
+
+RTree::NodeId RTree::ChooseLeaf(NodeId node, const Point& p,
+                                std::vector<NodeId>& path) const {
+  path.push_back(node);
+  while (!nodes_[node].is_leaf) {
+    const Node& n = nodes_[node];
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    NodeId best = n.children.front().node;
+    for (const Child& c : n.children) {
+      Mbr extended = c.mbr;
+      extended.Extend(p);
+      const double enlargement = extended.Area() - c.mbr.Area();
+      const double area = c.mbr.Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best_enlargement = enlargement;
+        best_area = area;
+        best = c.node;
+      }
+    }
+    node = best;
+    path.push_back(node);
+  }
+  return node;
+}
+
+namespace {
+
+// Quadratic split seed selection: the pair wasting the most area.
+template <typename GetMbr>
+std::pair<size_t, size_t> PickSeeds(size_t count, const GetMbr& mbr_of) {
+  std::pair<size_t, size_t> seeds{0, 1};
+  double worst = -1.0;
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = i + 1; j < count; ++j) {
+      Mbr combined = mbr_of(i);
+      combined.Extend(mbr_of(j));
+      const double waste =
+          combined.Area() - mbr_of(i).Area() - mbr_of(j).Area();
+      if (waste > worst) {
+        worst = waste;
+        seeds = {i, j};
+      }
+    }
+  }
+  return seeds;
+}
+
+// Distributes entries between two groups by the quadratic-split rule;
+// returns group assignment (false = group A, true = group B).
+template <typename GetMbr>
+std::vector<bool> QuadraticSplit(size_t count, size_t min_entries,
+                                 const GetMbr& mbr_of) {
+  auto [seed_a, seed_b] = PickSeeds(count, mbr_of);
+  std::vector<bool> in_b(count, false);
+  std::vector<bool> assigned(count, false);
+  Mbr mbr_a = mbr_of(seed_a);
+  Mbr mbr_b = mbr_of(seed_b);
+  size_t count_a = 1, count_b = 1;
+  assigned[seed_a] = true;
+  assigned[seed_b] = true;
+  in_b[seed_b] = true;
+
+  size_t remaining = count - 2;
+  while (remaining > 0) {
+    // Forced assignment to meet minimum fill.
+    if (count_a + remaining == min_entries) {
+      for (size_t i = 0; i < count; ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          mbr_a.Extend(mbr_of(i));
+          ++count_a;
+        }
+      }
+      break;
+    }
+    if (count_b + remaining == min_entries) {
+      for (size_t i = 0; i < count; ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          in_b[i] = true;
+          mbr_b.Extend(mbr_of(i));
+          ++count_b;
+        }
+      }
+      break;
+    }
+    // Pick the entry with the greatest preference for one group.
+    size_t pick = count;
+    double best_diff = -1.0;
+    double pick_da = 0.0, pick_db = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      if (assigned[i]) continue;
+      Mbr ea = mbr_a;
+      ea.Extend(mbr_of(i));
+      Mbr eb = mbr_b;
+      eb.Extend(mbr_of(i));
+      const double da = ea.Area() - mbr_a.Area();
+      const double db = eb.Area() - mbr_b.Area();
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        pick_da = da;
+        pick_db = db;
+      }
+    }
+    assigned[pick] = true;
+    --remaining;
+    const bool to_b =
+        pick_db < pick_da ||
+        (pick_db == pick_da && count_b < count_a);
+    if (to_b) {
+      in_b[pick] = true;
+      mbr_b.Extend(mbr_of(pick));
+      ++count_b;
+    } else {
+      mbr_a.Extend(mbr_of(pick));
+      ++count_a;
+    }
+  }
+  return in_b;
+}
+
+}  // namespace
+
+RTree::NodeId RTree::SplitLeaf(NodeId node) {
+  std::vector<Item> items = std::move(nodes_[node].items);
+  auto mbr_of = [&](size_t i) {
+    Mbr m;
+    m.Extend(items[i].point);
+    return m;
+  };
+  std::vector<bool> in_b =
+      QuadraticSplit(items.size(), options_.min_entries, mbr_of);
+  NodeId sibling = NewNode(/*is_leaf=*/true);
+  nodes_[node].items.clear();
+  for (size_t i = 0; i < items.size(); ++i) {
+    nodes_[in_b[i] ? sibling : node].items.push_back(items[i]);
+  }
+  RecomputeMbr(node);
+  RecomputeMbr(sibling);
+  return sibling;
+}
+
+RTree::NodeId RTree::SplitInternal(NodeId node) {
+  std::vector<Child> children = std::move(nodes_[node].children);
+  auto mbr_of = [&](size_t i) { return children[i].mbr; };
+  std::vector<bool> in_b =
+      QuadraticSplit(children.size(), options_.min_entries, mbr_of);
+  NodeId sibling = NewNode(/*is_leaf=*/false);
+  nodes_[node].children.clear();
+  for (size_t i = 0; i < children.size(); ++i) {
+    nodes_[in_b[i] ? sibling : node].children.push_back(children[i]);
+  }
+  RecomputeMbr(node);
+  RecomputeMbr(sibling);
+  return sibling;
+}
+
+void RTree::AdjustTree(std::vector<NodeId>& path, NodeId split_sibling) {
+  // Walk back up the insertion path refreshing MBRs and propagating
+  // splits.
+  while (!path.empty()) {
+    NodeId node = path.back();
+    path.pop_back();
+    RecomputeMbr(node);
+    if (path.empty()) {
+      // At the root.
+      if (split_sibling != kNoNode) {
+        NodeId new_root = NewNode(/*is_leaf=*/false);
+        nodes_[new_root].children.push_back({nodes_[node].mbr, node});
+        nodes_[new_root].children.push_back(
+            {nodes_[split_sibling].mbr, split_sibling});
+        RecomputeMbr(new_root);
+        root_ = new_root;
+        ++height_;
+      }
+      return;
+    }
+    NodeId parent = path.back();
+    // Refresh this child's MBR in the parent.
+    for (Child& c : nodes_[parent].children) {
+      if (c.node == node) {
+        c.mbr = nodes_[node].mbr;
+        break;
+      }
+    }
+    if (split_sibling != kNoNode) {
+      nodes_[parent].children.push_back(
+          {nodes_[split_sibling].mbr, split_sibling});
+      split_sibling = nodes_[parent].children.size() > options_.max_entries
+                          ? SplitInternal(parent)
+                          : kNoNode;
+    }
+  }
+}
+
+void RTree::Insert(const Item& item) {
+  std::vector<NodeId> path;
+  NodeId leaf = ChooseLeaf(root_, item.point, path);
+  nodes_[leaf].items.push_back(item);
+  nodes_[leaf].mbr.Extend(item.point);
+  ++num_items_;
+  NodeId sibling = nodes_[leaf].items.size() > options_.max_entries
+                       ? SplitLeaf(leaf)
+                       : kNoNode;
+  AdjustTree(path, sibling);
+}
+
+std::vector<RTree::Item> RTree::RangeQuery(const Mbr& range) const {
+  std::vector<Item> result;
+  if (empty()) return result;
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    if (!n.mbr.Intersects(range)) continue;
+    if (n.is_leaf) {
+      for (const Item& it : n.items) {
+        if (range.Contains(it.point)) result.push_back(it);
+      }
+    } else {
+      for (const Child& c : n.children) {
+        if (c.mbr.Intersects(range)) stack.push_back(c.node);
+      }
+    }
+  }
+  return result;
+}
+
+RTree::NnIterator::NnIterator(const RTree& tree, Point query)
+    : tree_(tree), query_(query) {
+  if (!tree.empty()) {
+    heap_.push(Entry{MinDist(tree.nodes_[tree.root_].mbr, query), false,
+                     tree.root_, Item{}});
+  }
+}
+
+std::optional<RTree::NnIterator::Hit> RTree::NnIterator::Next() {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    if (top.is_item) return Hit{top.distance, top.item};
+    const Node& n = tree_.nodes_[top.node];
+    if (n.is_leaf) {
+      for (const Item& it : n.items) {
+        heap_.push(
+            Entry{EuclideanDistance(it.point, query_), true, 0, it});
+      }
+    } else {
+      for (const Child& c : n.children) {
+        heap_.push(Entry{MinDist(c.mbr, query_), false, c.node, Item{}});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+double RTree::NnIterator::PeekDistance() {
+  while (!heap_.empty() && !heap_.top().is_item) {
+    Entry top = heap_.top();
+    heap_.pop();
+    const Node& n = tree_.nodes_[top.node];
+    if (n.is_leaf) {
+      for (const Item& it : n.items) {
+        heap_.push(
+            Entry{EuclideanDistance(it.point, query_), true, 0, it});
+      }
+    } else {
+      for (const Child& c : n.children) {
+        heap_.push(Entry{MinDist(c.mbr, query_), false, c.node, Item{}});
+      }
+    }
+  }
+  return heap_.empty() ? std::numeric_limits<double>::infinity()
+                       : heap_.top().distance;
+}
+
+size_t RTree::MemoryBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    bytes += n.children.capacity() * sizeof(Child) +
+             n.items.capacity() * sizeof(Item);
+  }
+  return bytes;
+}
+
+size_t RTree::Height() const { return height_; }
+
+}  // namespace fannr

@@ -1,0 +1,171 @@
+// In-memory R-tree over 2-D points.
+//
+// Used by the paper in two places: the IER-kNN framework indexes the data
+// points P (Algorithm 1 traverses the tree ordered by the flexible
+// Euclidean aggregate g^eps_phi of entry MBRs), and the IER-* g_phi
+// engines index the query points Q (incremental Euclidean NN + network
+// verification). Both uses need read-only structural access, so the node
+// structure is exposed via ids + accessors in addition to the built-in
+// queries.
+//
+// Construction is either STR bulk load (sort-tile-recursive; used for the
+// static P and Q sets) or one-at-a-time insertion with quadratic splits.
+
+#ifndef FANNR_SPATIAL_RTREE_H_
+#define FANNR_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+
+namespace fannr {
+
+/// R-tree over (point, id) items. Ids are opaque 32-bit payloads (vertex
+/// ids in this library).
+class RTree {
+ public:
+  using NodeId = uint32_t;
+
+  /// Sentinel for "no node" (used internally for split propagation).
+  static constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+  /// A stored item: a point plus the caller's payload id.
+  struct Item {
+    Point point;
+    uint32_t id;
+  };
+
+  /// A child reference inside an internal node.
+  struct Child {
+    Mbr mbr;
+    NodeId node;
+  };
+
+  struct Options {
+    /// Maximum entries per node (the paper's fanout f; default 4 to match
+    /// the experimental setup in Section VI-A).
+    size_t max_entries = 4;
+    /// Minimum entries per node after a split.
+    size_t min_entries = 2;
+  };
+
+  /// Creates an empty tree (insert items one at a time).
+  RTree() : RTree(Options{}) {}
+  explicit RTree(const Options& options);
+
+  /// STR bulk load.
+  static RTree BulkLoad(std::vector<Item> items) {
+    return BulkLoad(std::move(items), Options{});
+  }
+  static RTree BulkLoad(std::vector<Item> items, const Options& options);
+
+  /// Inserts one item.
+  void Insert(const Item& item);
+
+  /// Number of stored items.
+  size_t size() const { return num_items_; }
+
+  bool empty() const { return num_items_ == 0; }
+
+  /// MBR of all items (empty Mbr when empty).
+  Mbr Bounds() const;
+
+  // --- structural access (read-only) -------------------------------------
+
+  /// Root node id. Requires !empty().
+  NodeId Root() const;
+
+  /// True if `node` is a leaf (holds items, not children).
+  bool IsLeaf(NodeId node) const;
+
+  /// MBR of `node`.
+  const Mbr& NodeMbr(NodeId node) const;
+
+  /// Children of an internal node.
+  std::span<const Child> Children(NodeId node) const;
+
+  /// Items of a leaf node.
+  std::span<const Item> Items(NodeId node) const;
+
+  // --- queries ------------------------------------------------------------
+
+  /// All items whose point lies inside `range` (inclusive).
+  std::vector<Item> RangeQuery(const Mbr& range) const;
+
+  /// Incremental nearest-neighbor iteration from `query` in Euclidean
+  /// distance (distance browsing, Hjaltason & Samet). The tree must
+  /// outlive the iterator and not be modified while iterating.
+  class NnIterator {
+   public:
+    struct Hit {
+      double distance;
+      Item item;
+    };
+
+    /// Next nearest item, or nullopt when exhausted.
+    std::optional<Hit> Next();
+
+    /// Distance of the next item without consuming it (infinity when
+    /// exhausted).
+    double PeekDistance();
+
+   private:
+    friend class RTree;
+    NnIterator(const RTree& tree, Point query);
+
+    struct Entry {
+      double distance;
+      bool is_item;
+      NodeId node;   // valid when !is_item
+      Item item;     // valid when is_item
+      bool operator>(const Entry& o) const { return distance > o.distance; }
+    };
+
+    const RTree& tree_;
+    Point query_;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  };
+
+  /// Starts incremental NN iteration from `query`.
+  NnIterator NearestNeighbors(Point query) const {
+    return NnIterator(*this, query);
+  }
+
+  /// Approximate heap bytes held by the tree.
+  size_t MemoryBytes() const;
+
+  /// Height of the tree (0 when empty, 1 for a single leaf).
+  size_t Height() const;
+
+ private:
+  struct Node {
+    Mbr mbr;
+    bool is_leaf = true;
+    std::vector<Child> children;  // internal nodes
+    std::vector<Item> items;      // leaf nodes
+  };
+
+  NodeId NewNode(bool is_leaf);
+  void RecomputeMbr(NodeId node);
+  NodeId ChooseLeaf(NodeId node, const Point& p,
+                    std::vector<NodeId>& path) const;
+  // Splits `node` (overfull); returns the new sibling.
+  NodeId SplitLeaf(NodeId node);
+  NodeId SplitInternal(NodeId node);
+  void AdjustTree(std::vector<NodeId>& path, NodeId split_sibling);
+
+  Options options_;
+  std::vector<Node> nodes_;
+  NodeId root_ = 0;
+  size_t num_items_ = 0;
+  size_t height_ = 0;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_SPATIAL_RTREE_H_

@@ -1,0 +1,41 @@
+#include "workload/poi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "workload/workload.h"
+
+namespace fannr {
+
+std::vector<PoiCategory> PaperPoiCategories() {
+  // Table IV: name, description, density (# nodes / |V| of NW).
+  return {
+      {"PA", "Parks", 0.005},        {"SC", "Schools", 0.004},
+      {"FF", "Fast Food", 0.001},    {"PO", "Post Offices", 0.001},
+      {"HOT", "Hotels", 0.0004},     {"HOS", "Hospitals", 0.0002},
+      {"UNI", "Universities", 0.00009}, {"CH", "Courthouses", 0.00005},
+  };
+}
+
+PoiCategory PoiCategoryByName(const std::string& name) {
+  for (const PoiCategory& c : PaperPoiCategories()) {
+    if (c.name == name) return c;
+  }
+  FANNR_CHECK(false && "unknown POI category");
+}
+
+std::vector<VertexId> GeneratePoiSet(const Graph& graph,
+                                     const PoiCategory& category, Rng& rng) {
+  const size_t count = std::max<size_t>(
+      4, static_cast<size_t>(std::llround(
+             category.density * static_cast<double>(graph.NumVertices()))));
+  FANNR_CHECK(count <= graph.NumVertices());
+  // Real POI data clumps: generate as clusters of ~16 spread over the
+  // whole map (coverage 1).
+  const size_t clusters = std::max<size_t>(1, count / 16);
+  return GenerateClusteredQueryPoints(graph, /*coverage=*/1.0, count,
+                                      clusters, rng);
+}
+
+}  // namespace fannr

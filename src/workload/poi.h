@@ -1,0 +1,43 @@
+// Synthetic points-of-interest mirroring the paper's Table IV.
+//
+// The paper draws real POI sets (parks, schools, fast food, ...) from
+// OpenStreetMap extracts over the NW road network. Offline we synthesize
+// category sets with the same *densities* relative to |V| and the same
+// clustered spatial character ("some locations, such as schools, often
+// occur in clusters"); DESIGN.md §2.1 documents the substitution. Fig. 12
+// uses FF/PO as P (density 0.001, the default d) and HOS/UNI as Q.
+
+#ifndef FANNR_WORKLOAD_POI_H_
+#define FANNR_WORKLOAD_POI_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// One POI category of Table IV.
+struct PoiCategory {
+  std::string name;         // e.g. "FF"
+  std::string description;  // e.g. "Fast Food"
+  double density;           // fraction of |V| (Table IV "Density")
+};
+
+/// The eight categories of Table IV with the paper's densities.
+std::vector<PoiCategory> PaperPoiCategories();
+
+/// Looks up a category by name ("PA", "SC", "FF", "PO", "HOT", "HOS",
+/// "UNI", "CH"). Aborts on unknown names.
+PoiCategory PoiCategoryByName(const std::string& name);
+
+/// Generates the POI vertex set for a category on `graph`: count =
+/// max(4, density * |V|), placed in clusters of ~16 POIs to mimic the
+/// spatial clumping of real POI data.
+std::vector<VertexId> GeneratePoiSet(const Graph& graph,
+                                     const PoiCategory& category, Rng& rng);
+
+}  // namespace fannr
+
+#endif  // FANNR_WORKLOAD_POI_H_

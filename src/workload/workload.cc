@@ -1,0 +1,149 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "sp/dijkstra.h"
+
+namespace fannr {
+
+namespace {
+
+// Vertices within coverage * radius of a random seed, ordered by network
+// distance; reachable vertices beyond the region follow so callers can
+// expand outward. Returns at least `minimum` vertices when the graph has
+// them (reachable from the seed).
+std::vector<VertexId> CoverageRegion(const Graph& graph, double coverage,
+                                     size_t minimum, Rng& rng) {
+  FANNR_CHECK(coverage > 0.0 && coverage <= 1.0);
+  const VertexId seed =
+      static_cast<VertexId>(rng.NextIndex(graph.NumVertices()));
+  const std::vector<Weight> dist = DijkstraSssp(graph, seed);
+  Weight radius = 0.0;
+  for (Weight d : dist) {
+    if (d != kInfWeight) radius = std::max(radius, d);
+  }
+  const Weight limit = coverage * radius;
+
+  std::vector<VertexId> reachable;
+  reachable.reserve(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (dist[v] != kInfWeight) reachable.push_back(v);
+  }
+  std::sort(reachable.begin(), reachable.end(),
+            [&](VertexId a, VertexId b) { return dist[a] < dist[b]; });
+
+  size_t in_region = 0;
+  while (in_region < reachable.size() &&
+         dist[reachable[in_region]] <= limit) {
+    ++in_region;
+  }
+  // Expand outward if the region is too small (paper Section VI-A).
+  const size_t take = std::max(in_region, std::min(minimum,
+                                                   reachable.size()));
+  reachable.resize(take);
+  return reachable;
+}
+
+}  // namespace
+
+std::vector<VertexId> GenerateDataPoints(const Graph& graph, double density,
+                                         Rng& rng) {
+  FANNR_CHECK(density > 0.0 && density <= 1.0);
+  const size_t count = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::llround(density * static_cast<double>(
+                                        graph.NumVertices()))));
+  std::vector<size_t> raw =
+      rng.SampleWithoutReplacement(graph.NumVertices(), count);
+  std::vector<VertexId> result;
+  result.reserve(count);
+  for (size_t v : raw) result.push_back(static_cast<VertexId>(v));
+  return result;
+}
+
+std::vector<VertexId> GenerateUniformQueryPoints(const Graph& graph,
+                                                 double coverage, size_t m,
+                                                 Rng& rng) {
+  FANNR_CHECK(m > 0 && m <= graph.NumVertices());
+  std::vector<VertexId> region = CoverageRegion(graph, coverage, m, rng);
+  FANNR_CHECK(region.size() >= m &&
+              "graph too disconnected for the requested |Q|");
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(region.size(), m);
+  std::vector<VertexId> result;
+  result.reserve(m);
+  for (size_t i : picks) result.push_back(region[i]);
+  return result;
+}
+
+std::vector<VertexId> GenerateClusteredQueryPoints(const Graph& graph,
+                                                   double coverage, size_t m,
+                                                   size_t clusters,
+                                                   Rng& rng) {
+  return GenerateClusteredQueryPoints(graph, coverage, m, clusters, rng,
+                                      /*looseness=*/0.35);
+}
+
+std::vector<VertexId> GenerateClusteredQueryPoints(const Graph& graph,
+                                                   double coverage, size_t m,
+                                                   size_t clusters, Rng& rng,
+                                                   double looseness) {
+  FANNR_CHECK(m > 0 && m <= graph.NumVertices());
+  FANNR_CHECK(clusters >= 1 && clusters <= m);
+  FANNR_CHECK(looseness > 0.0 && looseness <= 1.0);
+  std::vector<VertexId> region = CoverageRegion(graph, coverage, m, rng);
+  FANNR_CHECK(region.size() >= m);
+
+  std::unordered_set<VertexId> chosen;
+  std::vector<VertexId> result;
+  result.reserve(m);
+
+  for (size_t c = 0; c < clusters; ++c) {
+    const size_t remaining_clusters = clusters - c;
+    const size_t quota = (m - result.size() + remaining_clusters - 1) /
+                         remaining_clusters;
+    const VertexId center = region[rng.NextIndex(region.size())];
+    // Expand from the center, accepting each settled vertex with the
+    // looseness probability; skipped vertices are kept (nearest-first)
+    // as backfill in case the component is exhausted.
+    std::priority_queue<std::pair<Weight, VertexId>,
+                        std::vector<std::pair<Weight, VertexId>>,
+                        std::greater<>>
+        heap;
+    heap.push({0.0, center});
+    size_t claimed = 0;
+    std::unordered_set<VertexId> settled;
+    std::vector<VertexId> skipped;
+    while (!heap.empty() && claimed < quota) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (!settled.insert(u).second) continue;
+      if (!chosen.count(u)) {
+        if (rng.NextBool(looseness)) {
+          chosen.insert(u);
+          result.push_back(u);
+          ++claimed;
+        } else {
+          skipped.push_back(u);
+        }
+      }
+      for (const Arc& a : graph.Neighbors(u)) {
+        if (!settled.count(a.to)) heap.push({d + a.weight, a.to});
+      }
+    }
+    for (size_t i = 0; claimed < quota && i < skipped.size(); ++i) {
+      if (chosen.insert(skipped[i]).second) {
+        result.push_back(skipped[i]);
+        ++claimed;
+      }
+    }
+  }
+  FANNR_CHECK(result.size() == m && "could not claim enough vertices");
+  return result;
+}
+
+}  // namespace fannr

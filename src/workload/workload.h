@@ -1,0 +1,52 @@
+// Workload generators for FANN_R experiments (paper Section VI-A).
+//
+// The cost factors studied in the paper:
+//   d    density of P:            |P| = d * |V|, uniform over V
+//   A    coverage ratio of Q:     Q sampled within A * radius of a seed
+//   M    size of Q (|Q|)
+//   C    number of clusters of Q  (1 = uniform within the region)
+//   phi  flexibility parameter
+//
+// "radius" is the maximum network distance from the randomly chosen seed
+// node (the paper's definition); if the A-region holds fewer than M
+// vertices it is expanded outward until it suffices, as in the paper.
+
+#ifndef FANNR_WORKLOAD_WORKLOAD_H_
+#define FANNR_WORKLOAD_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Uniform data points P: max(1, round(density * |V|)) distinct vertices.
+std::vector<VertexId> GenerateDataPoints(const Graph& graph, double density,
+                                         Rng& rng);
+
+/// Uniform query points Q: M distinct vertices within coverage * radius of
+/// a random seed node (expanded outward when the region is too small).
+/// Requires m <= |V|.
+std::vector<VertexId> GenerateUniformQueryPoints(const Graph& graph,
+                                                 double coverage, size_t m,
+                                                 Rng& rng);
+
+/// Clustered query points Q: C cluster centers inside the coverage region,
+/// each expanded via network distance to claim ~M/C nearby vertices.
+/// During expansion each settled vertex joins the cluster with probability
+/// `looseness` (nearest-first backfill if the component runs out), so
+/// clusters clump without being perfectly contiguous — like real POI
+/// clusters. clusters == 1 gives a single cluster.
+std::vector<VertexId> GenerateClusteredQueryPoints(const Graph& graph,
+                                                   double coverage, size_t m,
+                                                   size_t clusters,
+                                                   Rng& rng);
+std::vector<VertexId> GenerateClusteredQueryPoints(const Graph& graph,
+                                                   double coverage, size_t m,
+                                                   size_t clusters, Rng& rng,
+                                                   double looseness);
+
+}  // namespace fannr
+
+#endif  // FANNR_WORKLOAD_WORKLOAD_H_

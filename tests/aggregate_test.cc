@@ -1,0 +1,61 @@
+#include "fann/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace fannr {
+namespace {
+
+TEST(FlexKTest, MatchesPaperExamples) {
+  // Fig. 1: |Q| = 4, phi = 0.5 -> k = 2.
+  EXPECT_EQ(FlexK(0.5, 4), 2u);
+  // Section II-C: |Q| = 128, phi = 0.5 -> 64.
+  EXPECT_EQ(FlexK(0.5, 128), 64u);
+  // phi = 1 degenerates to ANN.
+  EXPECT_EQ(FlexK(1.0, 128), 128u);
+  EXPECT_EQ(FlexK(1.0, 1), 1u);
+}
+
+TEST(FlexKTest, AlwaysAtLeastOne) {
+  EXPECT_EQ(FlexK(0.001, 4), 1u);
+  EXPECT_EQ(FlexK(0.1, 1), 1u);
+}
+
+TEST(FlexKTest, CeilingSemantics) {
+  EXPECT_EQ(FlexK(0.3, 10), 3u);
+  EXPECT_EQ(FlexK(0.31, 10), 4u);
+  EXPECT_EQ(FlexK(0.7, 10), 7u);
+  EXPECT_EQ(FlexK(0.75, 4), 3u);
+}
+
+TEST(FlexKTest, NeverExceedsQSize) {
+  for (double phi : {0.9999, 1.0}) {
+    for (size_t m : {1u, 7u, 128u}) {
+      EXPECT_LE(FlexK(phi, m), m);
+    }
+  }
+}
+
+TEST(FoldSortedTest, MaxTakesLast) {
+  const Weight d[] = {1.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(FoldSorted(d, 3, Aggregate::kMax), 5.0);
+  EXPECT_DOUBLE_EQ(FoldSorted(d, 1, Aggregate::kMax), 1.0);
+}
+
+TEST(FoldSortedTest, SumAddsAll) {
+  const Weight d[] = {1.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(FoldSorted(d, 3, Aggregate::kSum), 8.0);
+  EXPECT_DOUBLE_EQ(FoldSorted(d, 2, Aggregate::kSum), 3.0);
+}
+
+TEST(FoldSortedTest, EmptyIsInfinite) {
+  EXPECT_EQ(FoldSorted(nullptr, 0, Aggregate::kMax), kInfWeight);
+  EXPECT_EQ(FoldSorted(nullptr, 0, Aggregate::kSum), kInfWeight);
+}
+
+TEST(AggregateNameTest, Names) {
+  EXPECT_EQ(AggregateName(Aggregate::kMax), "max");
+  EXPECT_EQ(AggregateName(Aggregate::kSum), "sum");
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,144 @@
+// APX-sum approximation-quality properties (paper Theorems 1 and 2).
+
+#include "fann/apx_sum.h"
+
+#include <gtest/gtest.h>
+
+#include "fann/gd.h"
+#include "fann_world.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace fannr {
+namespace {
+
+TEST(ApxSumTest, NeverWorseThanThreeApproximation) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  Rng rng(51);
+  double worst_ratio = 1.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t p_size = 10 + rng.NextIndex(80);
+    const size_t q_size = 4 + rng.NextIndex(20);
+    const double phi = 0.1 + 0.9 * rng.NextDouble();
+    std::vector<VertexId> p_vec =
+        testing::SampleVertices(graph, p_size, rng);
+    std::vector<VertexId> q_vec =
+        testing::SampleVertices(graph, q_size, rng);
+    IndexedVertexSet p(graph.NumVertices(), p_vec);
+    IndexedVertexSet q(graph.NumVertices(), q_vec);
+    FannQuery query{&graph, &p, &q, phi, Aggregate::kSum};
+
+    const Weight optimal =
+        testing::BruteForceFann(graph, p_vec, q_vec, phi, Aggregate::kSum)
+            .distance;
+    const FannResult approx = SolveApxSum(query, *engine);
+    ASSERT_NE(approx.best, kInvalidVertex);
+    EXPECT_TRUE(p.Contains(approx.best));
+    ASSERT_GT(optimal, 0.0);
+    const double ratio = approx.distance / optimal;
+    EXPECT_GE(ratio, 1.0 - 1e-9) << "trial " << trial;
+    EXPECT_LE(ratio, 3.0 + 1e-9) << "trial " << trial;
+    worst_ratio = std::max(worst_ratio, ratio);
+  }
+  // The paper observes ratios below 1.2 in practice; allow slack but make
+  // sure the typical quality is far from the worst-case bound.
+  EXPECT_LT(worst_ratio, 2.0);
+}
+
+TEST(ApxSumTest, TwoApproximationWhenQSubsetOfP) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  Rng rng(53);
+  for (int trial = 0; trial < 15; ++trial) {
+    // Q is a subset of P (Theorem 2).
+    std::vector<VertexId> p_vec =
+        testing::SampleVertices(graph, 40, rng);
+    std::vector<VertexId> q_vec(p_vec.begin(), p_vec.begin() + 12);
+    const double phi = 0.25 + 0.75 * rng.NextDouble();
+    IndexedVertexSet p(graph.NumVertices(), p_vec);
+    IndexedVertexSet q(graph.NumVertices(), q_vec);
+    FannQuery query{&graph, &p, &q, phi, Aggregate::kSum};
+
+    const Weight optimal =
+        testing::BruteForceFann(graph, p_vec, q_vec, phi, Aggregate::kSum)
+            .distance;
+    const FannResult approx = SolveApxSum(query, *engine);
+    // When Q subset of P, each q's nearest data point is itself at
+    // distance 0; the approximation is still well-defined and bounded.
+    if (optimal == 0.0) {
+      EXPECT_DOUBLE_EQ(approx.distance, 0.0);
+      continue;
+    }
+    EXPECT_LE(approx.distance / optimal, 2.0 + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ApxSumTest, ExactWhenOptimumIsANearestNeighbor) {
+  // A line where the optimum is the 1-NN of a query point, so the
+  // candidate set contains it and APX-sum returns the exact answer.
+  Graph g = testing::MakeLineGraph(20, 1.0);
+  IndexedVertexSet p(g.NumVertices(), {5, 15});
+  IndexedVertexSet q(g.NumVertices(), {4, 6, 7});
+  GphiResources resources;
+  resources.graph = &g;
+  auto engine = MakeGphiEngine(GphiKind::kIne, resources);
+  FannQuery query{&g, &p, &q, 1.0, Aggregate::kSum};
+  FannResult exact = SolveGd(query, *engine);
+  FannResult approx = SolveApxSum(query, *engine);
+  EXPECT_EQ(approx.best, exact.best);
+  EXPECT_DOUBLE_EQ(approx.distance, exact.distance);
+}
+
+TEST(ApxSumTest, CandidateReductionShrinksWork) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  Rng rng(59);
+  // Dense P, small Q: candidates <= |Q| << |P|.
+  std::vector<VertexId> p_vec = GenerateDataPoints(graph, 0.5, rng);
+  std::vector<VertexId> q_vec = testing::SampleVertices(graph, 10, rng);
+  IndexedVertexSet p(graph.NumVertices(), p_vec);
+  IndexedVertexSet q(graph.NumVertices(), q_vec);
+  FannQuery query{&graph, &p, &q, 0.5, Aggregate::kSum};
+  FannResult approx = SolveApxSum(query, *engine);
+  EXPECT_LE(approx.gphi_evaluations, q.size());
+  EXPECT_NE(approx.best, kInvalidVertex);
+}
+
+TEST(ApxSumTest, CanBeStrictlySuboptimal) {
+  // A constructed instance where no query point's nearest data point is
+  // the optimum: P = {0, 5, 10} on a unit line, Q = {2, 8}. Candidates
+  // are {0, 10} (NN of 2 and 8 respectively), each with total distance
+  // 10, while the true optimum 5 achieves 6 — the approximation really
+  // approximates (ratio 10/6 ~ 1.67, within the guaranteed 3).
+  Graph g = testing::MakeLineGraph(11, 1.0);
+  IndexedVertexSet p(g.NumVertices(), {0, 5, 10});
+  IndexedVertexSet q(g.NumVertices(), {2, 8});
+  GphiResources resources;
+  resources.graph = &g;
+  auto engine = MakeGphiEngine(GphiKind::kIne, resources);
+  FannQuery query{&g, &p, &q, 1.0, Aggregate::kSum};
+  FannResult exact = SolveGd(query, *engine);
+  FannResult approx = SolveApxSum(query, *engine);
+  EXPECT_EQ(exact.best, 5u);
+  EXPECT_DOUBLE_EQ(exact.distance, 6.0);
+  EXPECT_DOUBLE_EQ(approx.distance, 10.0);
+  EXPECT_NE(approx.best, exact.best);
+  EXPECT_LE(approx.distance, 3.0 * exact.distance);
+}
+
+TEST(ApxSumTest, RejectsMaxAggregate) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  IndexedVertexSet p(graph.NumVertices(), {1});
+  IndexedVertexSet q(graph.NumVertices(), {2});
+  FannQuery query{&graph, &p, &q, 1.0, Aggregate::kMax};
+  EXPECT_DEATH(SolveApxSum(query, *engine), "sum");
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,58 @@
+#include "sp/ch/contraction_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "sp/dijkstra.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+class ChSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChSeedTest, MatchesDijkstraOnRandomNetworks) {
+  const uint64_t seed = GetParam();
+  Graph g = testing::MakeRandomNetwork(400, seed);
+  ContractionHierarchy ch = ContractionHierarchy::Build(g);
+  DijkstraSearch dijkstra(g);
+  Rng rng(seed * 7);
+  for (int i = 0; i < 40; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    VertexId v = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    EXPECT_NEAR(ch.Distance(u, v), dijkstra.Distance(u, v), 1e-6)
+        << "seed " << seed << " pair " << u << "->" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChSeedTest,
+                         ::testing::Values(301, 302, 303));
+
+TEST(ChTest, SelfAndAdjacent) {
+  Graph g = testing::MakeLineGraph(6, 3.0);
+  ContractionHierarchy ch = ContractionHierarchy::Build(g);
+  EXPECT_DOUBLE_EQ(ch.Distance(2, 2), 0.0);
+  EXPECT_NEAR(ch.Distance(0, 5), 15.0, 1e-9);
+  EXPECT_NEAR(ch.Distance(5, 0), 15.0, 1e-9);
+}
+
+TEST(ChTest, DisconnectedReturnsInfinity) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(2, 3, 1.0);
+  Graph g = builder.Build();
+  ContractionHierarchy ch = ContractionHierarchy::Build(g);
+  EXPECT_EQ(ch.Distance(0, 2), kInfWeight);
+  EXPECT_DOUBLE_EQ(ch.Distance(2, 3), 1.0);
+}
+
+TEST(ChTest, ShortcutsAreBounded) {
+  Graph g = testing::MakeRandomNetwork(600, 310);
+  ContractionHierarchy ch = ContractionHierarchy::Build(g);
+  // Road-network CH should add at most a few shortcuts per vertex.
+  EXPECT_LT(ch.NumShortcuts(), 6 * g.NumVertices());
+  EXPECT_GT(ch.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace fannr

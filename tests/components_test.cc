@@ -1,0 +1,78 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+Graph TwoComponents() {
+  // Component A: 0-1-2 (3 vertices), component B: 3-4 (2 vertices).
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(3, 4, 1.0);
+  return builder.Build();
+}
+
+TEST(ComponentsTest, CountsComponents) {
+  Graph g = TwoComponents();
+  ComponentLabeling cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 2u);
+  EXPECT_EQ(cc.label[0], cc.label[1]);
+  EXPECT_EQ(cc.label[1], cc.label[2]);
+  EXPECT_EQ(cc.label[3], cc.label[4]);
+  EXPECT_NE(cc.label[0], cc.label[3]);
+}
+
+TEST(ComponentsTest, IsolatedVerticesAreOwnComponents) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 1.0);
+  Graph g = builder.Build();
+  EXPECT_EQ(ConnectedComponents(g).num_components, 2u);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ComponentsTest, ExtractLargestKeepsBiggerSide) {
+  Graph g = TwoComponents();
+  LargestComponent lc = ExtractLargestComponent(g);
+  EXPECT_EQ(lc.graph.NumVertices(), 3u);
+  EXPECT_EQ(lc.graph.NumEdges(), 2u);
+  ASSERT_EQ(lc.new_to_old.size(), 3u);
+  EXPECT_EQ(lc.new_to_old[0], 0u);
+  EXPECT_EQ(lc.new_to_old[1], 1u);
+  EXPECT_EQ(lc.new_to_old[2], 2u);
+  EXPECT_TRUE(IsConnected(lc.graph));
+}
+
+TEST(ComponentsTest, ExtractPreservesCoordinates) {
+  GraphBuilder builder;
+  VertexId a = builder.AddVertex(Point{0.0, 0.0});
+  VertexId b = builder.AddVertex(Point{1.0, 0.0});
+  VertexId c = builder.AddVertex(Point{9.0, 9.0});  // isolated
+  (void)c;
+  builder.AddEdge(a, b, 1.5);
+  Graph g = builder.Build();
+  LargestComponent lc = ExtractLargestComponent(g);
+  ASSERT_TRUE(lc.graph.HasCoordinates());
+  EXPECT_EQ(lc.graph.NumVertices(), 2u);
+  EXPECT_DOUBLE_EQ(lc.graph.Coord(1).x, 1.0);
+}
+
+TEST(ComponentsTest, ConnectedGraphIsItself) {
+  Graph g = testing::MakeLineGraph(6);
+  EXPECT_TRUE(IsConnected(g));
+  LargestComponent lc = ExtractLargestComponent(g);
+  EXPECT_EQ(lc.graph.NumVertices(), 6u);
+  EXPECT_EQ(lc.graph.NumEdges(), 5u);
+}
+
+TEST(ComponentsTest, EmptyGraphIsConnected) {
+  Graph g({}, {});
+  EXPECT_TRUE(IsConnected(g));
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,139 @@
+#include "sp/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+TEST(DijkstraTest, LineGraphDistances) {
+  Graph g = testing::MakeLineGraph(5, 2.0);
+  auto dist = DijkstraSssp(g, 0);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(dist[i], 2.0 * static_cast<double>(i));
+  }
+}
+
+TEST(DijkstraTest, PicksShorterOfTwoRoutes) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 3, 1.0);
+  builder.AddEdge(0, 2, 1.5);
+  builder.AddEdge(2, 3, 1.0);
+  Graph g = builder.Build();
+  auto dist = DijkstraSssp(g, 0);
+  EXPECT_DOUBLE_EQ(dist[3], 2.0);
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 1.0);
+  Graph g = builder.Build();
+  auto dist = DijkstraSssp(g, 0);
+  EXPECT_EQ(dist[2], kInfWeight);
+}
+
+TEST(DijkstraTest, MatchesBellmanFordOnRandomNetworks) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = testing::MakeRandomNetwork(300, seed);
+    Rng rng(seed * 1000);
+    for (int trial = 0; trial < 3; ++trial) {
+      VertexId s = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+      auto fast = DijkstraSssp(g, s);
+      auto slow = testing::BellmanFordSssp(g, s);
+      for (size_t v = 0; v < g.NumVertices(); ++v) {
+        EXPECT_NEAR(fast[v], slow[v], 1e-9) << "seed " << seed << " v " << v;
+      }
+    }
+  }
+}
+
+TEST(DijkstraTest, SsspTreeParentsFormShortestPaths) {
+  Graph g = testing::MakeRandomNetwork(200, 77);
+  SsspTree tree = DijkstraSsspTree(g, 0);
+  EXPECT_EQ(tree.parent[0], kInvalidVertex);
+  for (VertexId v = 1; v < g.NumVertices(); ++v) {
+    if (tree.dist[v] == kInfWeight) continue;
+    VertexId p = tree.parent[v];
+    ASSERT_NE(p, kInvalidVertex);
+    // parent edge weight must close the distance gap exactly.
+    bool found = false;
+    for (const Arc& a : g.Neighbors(p)) {
+      if (a.to == v &&
+          std::abs(tree.dist[p] + a.weight - tree.dist[v]) < 1e-9) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "vertex " << v;
+  }
+}
+
+TEST(DijkstraSearchTest, PointToPointMatchesSssp) {
+  Graph g = testing::MakeRandomNetwork(300, 5);
+  DijkstraSearch search(g);
+  auto dist = DijkstraSssp(g, 10);
+  Rng rng(55);
+  for (int i = 0; i < 20; ++i) {
+    VertexId t = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    EXPECT_NEAR(search.Distance(10, t), dist[t], 1e-9);
+  }
+}
+
+TEST(DijkstraSearchTest, SelfDistanceIsZero) {
+  Graph g = testing::MakeLineGraph(3);
+  DijkstraSearch search(g);
+  EXPECT_DOUBLE_EQ(search.Distance(1, 1), 0.0);
+}
+
+TEST(DijkstraSearchTest, ReusableAcrossQueries) {
+  Graph g = testing::MakeRandomNetwork(200, 9);
+  DijkstraSearch search(g);
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    VertexId s = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    VertexId t = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    auto truth = DijkstraSssp(g, s);
+    EXPECT_NEAR(search.Distance(s, t), truth[t], 1e-9);
+  }
+}
+
+TEST(DijkstraSearchTest, MultiTargetDistances) {
+  Graph g = testing::MakeRandomNetwork(300, 13);
+  DijkstraSearch search(g);
+  Rng rng(131);
+  VertexId s = 17;
+  auto truth = DijkstraSssp(g, s);
+  std::vector<VertexId> targets = testing::SampleVertices(g, 25, rng);
+  auto got = search.Distances(s, targets);
+  ASSERT_EQ(got.size(), targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(got[i], truth[targets[i]], 1e-9);
+  }
+}
+
+TEST(DijkstraSearchTest, MultiTargetHandlesDuplicatesAndSource) {
+  Graph g = testing::MakeLineGraph(4, 1.0);
+  DijkstraSearch search(g);
+  std::vector<VertexId> targets{2, 2, 0, 3};
+  auto got = search.Distances(0, targets);
+  EXPECT_DOUBLE_EQ(got[0], 2.0);
+  EXPECT_DOUBLE_EQ(got[1], 2.0);
+  EXPECT_DOUBLE_EQ(got[2], 0.0);
+  EXPECT_DOUBLE_EQ(got[3], 3.0);
+}
+
+TEST(DijkstraSearchTest, MultiTargetUnreachable) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 1.0);
+  Graph g = builder.Build();
+  DijkstraSearch search(g);
+  auto got = search.Distances(0, {1, 2});
+  EXPECT_DOUBLE_EQ(got[0], 1.0);
+  EXPECT_EQ(got[1], kInfWeight);
+}
+
+}  // namespace
+}  // namespace fannr

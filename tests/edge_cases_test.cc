@@ -1,0 +1,164 @@
+// Remaining edge cases across the public API surface.
+
+#include <gtest/gtest.h>
+
+#include "fann/fannr.h"
+#include "fann_world.h"
+#include "sp/dijkstra.h"
+#include "sp/gtree/gtree.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+TEST(EdgeCaseTest, SingleQueryPointEveryEngine) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  IndexedVertexSet p(graph.NumVertices(), {3, 7, 11});
+  IndexedVertexSet q(graph.NumVertices(), {250});
+  FannQuery query{&graph, &p, &q, 1.0, Aggregate::kSum};
+  const Weight expected =
+      testing::BruteForceFann(graph, {3, 7, 11}, {250}, 1.0,
+                              Aggregate::kSum)
+          .distance;
+  for (GphiKind kind : kAllGphiKinds) {
+    auto engine = MakeGphiEngine(kind, world.Resources());
+    EXPECT_NEAR(SolveGd(query, *engine).distance, expected, 1e-6)
+        << GphiKindName(kind);
+  }
+}
+
+TEST(EdgeCaseTest, SingleDataPoint) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  Rng rng(1001);
+  IndexedVertexSet p(graph.NumVertices(), {42});
+  IndexedVertexSet q(graph.NumVertices(),
+                     testing::SampleVertices(graph, 10, rng));
+  FannQuery query{&graph, &p, &q, 0.5, Aggregate::kMax};
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  FannResult gd = SolveGd(query, *engine);
+  FannResult em = SolveExactMax(query);
+  FannResult rl = SolveRList(query, *engine);
+  EXPECT_EQ(gd.best, 42u);
+  EXPECT_NEAR(em.distance, gd.distance, 1e-9);
+  EXPECT_NEAR(rl.distance, gd.distance, 1e-9);
+}
+
+TEST(EdgeCaseTest, PhiTinyAlwaysMeansOne) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  Rng rng(1002);
+  std::vector<VertexId> p_vec = testing::SampleVertices(graph, 15, rng);
+  std::vector<VertexId> q_vec = testing::SampleVertices(graph, 12, rng);
+  IndexedVertexSet p(graph.NumVertices(), p_vec);
+  IndexedVertexSet q(graph.NumVertices(), q_vec);
+  // phi small enough that k = 1: the answer is the closest (p, q) pair.
+  FannQuery query{&graph, &p, &q, 0.01, Aggregate::kMax};
+  EXPECT_EQ(query.FlexSubsetSize(), 1u);
+  auto engine = MakeGphiEngine(GphiKind::kPhl, world.Resources());
+  FannResult r = SolveRList(query, *engine);
+  Weight best_pair = kInfWeight;
+  DijkstraSearch check(graph);
+  for (VertexId pp : p_vec) {
+    for (VertexId qq : q_vec) {
+      best_pair = std::min(best_pair, check.Distance(pp, qq));
+    }
+  }
+  EXPECT_NEAR(r.distance, best_pair, 1e-9);
+}
+
+TEST(EdgeCaseTest, MaxAndSumCoincideWhenKIsOne) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  Rng rng(1003);
+  IndexedVertexSet p(graph.NumVertices(),
+                     testing::SampleVertices(graph, 20, rng));
+  IndexedVertexSet q(graph.NumVertices(),
+                     testing::SampleVertices(graph, 8, rng));
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  FannQuery max_query{&graph, &p, &q, 0.1, Aggregate::kMax};
+  FannQuery sum_query{&graph, &p, &q, 0.1, Aggregate::kSum};
+  EXPECT_NEAR(SolveGd(max_query, *engine).distance,
+              SolveGd(sum_query, *engine).distance, 1e-9);
+}
+
+TEST(EdgeCaseTest, GTreeHandlesPWithinOneLeaf) {
+  // All data points inside a single G-tree leaf: occurrence pruning must
+  // still find them from far-away sources.
+  Graph graph = testing::MakeRandomNetwork(400, 1004);
+  GTree::Options options;
+  options.leaf_capacity = 32;
+  GTree tree = GTree::Build(graph, options);
+  // Pick a leaf and use its vertices as Q.
+  const GTree::Node* leaf = nullptr;
+  for (size_t i = 0; i < tree.NumTreeNodes(); ++i) {
+    const auto& nd = tree.node(static_cast<int32_t>(i));
+    if (nd.is_leaf && nd.vertices.size() >= 8) {
+      leaf = &nd;
+      break;
+    }
+  }
+  ASSERT_NE(leaf, nullptr);
+  std::vector<VertexId> q_vec(leaf->vertices.begin(),
+                              leaf->vertices.begin() + 8);
+  IndexedVertexSet q(graph.NumVertices(), q_vec);
+  Rng rng(1005);
+  IndexedVertexSet p(graph.NumVertices(),
+                     testing::SampleVertices(graph, 25, rng));
+  GphiResources resources;
+  resources.graph = &graph;
+  resources.gtree = &tree;
+  auto gtree_engine = MakeGphiEngine(GphiKind::kGTree, resources);
+  auto ine_engine = MakeGphiEngine(GphiKind::kIne, resources);
+  FannQuery query{&graph, &p, &q, 0.5, Aggregate::kSum};
+  EXPECT_NEAR(SolveGd(query, *gtree_engine).distance,
+              SolveGd(query, *ine_engine).distance, 1e-6);
+}
+
+TEST(EdgeCaseTest, KFannOnDuplicateDistances) {
+  // Symmetric graph: many candidates tie; top-k must stay distinct and
+  // sorted.
+  Graph g = testing::MakeLineGraph(21, 1.0);
+  IndexedVertexSet p(g.NumVertices(), {0, 4, 8, 12, 16, 20});
+  IndexedVertexSet q(g.NumVertices(), {10});
+  FannQuery query{&g, &p, &q, 1.0, Aggregate::kMax};
+  GphiResources resources;
+  resources.graph = &g;
+  auto engine = MakeGphiEngine(GphiKind::kIne, resources);
+  auto top = SolveKGd(query, 4, *engine);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_DOUBLE_EQ(top[0].distance, 2.0);   // 8 or 12
+  EXPECT_DOUBLE_EQ(top[1].distance, 2.0);
+  EXPECT_DOUBLE_EQ(top[2].distance, 6.0);   // 4 or 16
+  EXPECT_DOUBLE_EQ(top[3].distance, 6.0);
+  auto em = SolveKExactMax(query, 4);
+  ASSERT_EQ(em.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(em[i].distance, top[i].distance);
+  }
+}
+
+TEST(EdgeCaseTest, ValidateQueryRejectsBadInput) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  IndexedVertexSet p(graph.NumVertices(), {1});
+  IndexedVertexSet q(graph.NumVertices(), {2});
+  IndexedVertexSet empty(graph.NumVertices(), {});
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  {
+    FannQuery query{&graph, &empty, &q, 0.5, Aggregate::kSum};
+    EXPECT_DEATH(SolveGd(query, *engine), "");
+  }
+  {
+    FannQuery query{&graph, &p, &q, 0.0, Aggregate::kSum};
+    EXPECT_DEATH(SolveGd(query, *engine), "");
+  }
+  {
+    FannQuery query{&graph, &p, &q, 1.5, Aggregate::kSum};
+    EXPECT_DEATH(SolveGd(query, *engine), "");
+  }
+}
+
+}  // namespace
+}  // namespace fannr

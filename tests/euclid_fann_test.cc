@@ -1,0 +1,129 @@
+// Tests for the Euclidean FANN comparator module (and the minimum
+// enclosing circle it uses).
+
+#include "euclid/euclid_fann.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "euclid/mec.h"
+
+namespace fannr {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, uint64_t seed,
+                                double extent = 1000.0) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(Point{rng.NextDouble(0.0, extent),
+                           rng.NextDouble(0.0, extent)});
+  }
+  return points;
+}
+
+TEST(MecTest, ContainsAllPointsAndIsTight) {
+  for (uint64_t seed : {901u, 902u, 903u}) {
+    auto points = RandomPoints(50, seed);
+    Circle mec = MinimumEnclosingCircle(points);
+    double farthest = 0.0;
+    for (const Point& p : points) {
+      EXPECT_TRUE(mec.Contains(p));
+      farthest = std::max(farthest, EuclideanDistance(mec.center, p));
+    }
+    // Tight: the radius equals the farthest contained point's distance.
+    EXPECT_NEAR(mec.radius, farthest, 1e-9 * (1.0 + mec.radius));
+    // Minimal: no point of the plane beats the center's max distance by
+    // more than numerical noise — spot-check a few perturbations.
+    Rng rng(seed + 7);
+    for (int i = 0; i < 20; ++i) {
+      Point x{mec.center.x + rng.NextDouble(-50.0, 50.0),
+              mec.center.y + rng.NextDouble(-50.0, 50.0)};
+      double max_d = 0.0;
+      for (const Point& p : points) {
+        max_d = std::max(max_d, EuclideanDistance(x, p));
+      }
+      EXPECT_GE(max_d, mec.radius - 1e-9);
+    }
+  }
+}
+
+TEST(MecTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(MinimumEnclosingCircle({}).radius, 0.0);
+  Circle one = MinimumEnclosingCircle({Point{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(one.radius, 0.0);
+  EXPECT_DOUBLE_EQ(one.center.x, 3.0);
+  Circle two = MinimumEnclosingCircle({Point{0.0, 0.0}, Point{6.0, 8.0}});
+  EXPECT_NEAR(two.radius, 5.0, 1e-9);
+  EXPECT_NEAR(two.center.x, 3.0, 1e-9);
+  // Collinear points.
+  Circle line = MinimumEnclosingCircle(
+      {Point{0.0, 0.0}, Point{5.0, 0.0}, Point{10.0, 0.0}});
+  EXPECT_NEAR(line.radius, 5.0, 1e-9);
+}
+
+class EuclidFannTest : public ::testing::TestWithParam<Aggregate> {};
+
+TEST_P(EuclidFannTest, ExactMatchesBruteForce) {
+  const Aggregate aggregate = GetParam();
+  for (uint64_t seed : {911u, 912u}) {
+    auto data = RandomPoints(120, seed);
+    auto query = RandomPoints(20, seed + 1);
+    for (double phi : {0.25, 0.5, 1.0}) {
+      const auto fast = SolveEuclidFann(data, query, phi, aggregate);
+      const auto brute = SolveEuclidFannBrute(data, query, phi, aggregate);
+      EXPECT_NEAR(fast.distance, brute.distance, 1e-9)
+          << AggregateName(aggregate) << " phi=" << phi;
+      EXPECT_EQ(fast.subset.size(), FlexK(phi, query.size()));
+      for (uint32_t idx : fast.subset) EXPECT_LT(idx, query.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAggregates, EuclidFannTest,
+                         ::testing::Values(Aggregate::kMax,
+                                           Aggregate::kSum),
+                         [](const auto& info) {
+                           return std::string(AggregateName(info.param));
+                         });
+
+TEST(EuclidApxSumTest, WithinFactorThree) {
+  Rng rng(921);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto data = RandomPoints(60, 922 + trial);
+    auto query = RandomPoints(12, 9220 + trial);
+    const double phi = 0.25 + 0.75 * rng.NextDouble();
+    const auto exact =
+        SolveEuclidFannBrute(data, query, phi, Aggregate::kSum);
+    const auto approx = SolveEuclidApxSum(data, query, phi);
+    ASSERT_GT(exact.distance, 0.0);
+    EXPECT_GE(approx.distance, exact.distance - 1e-9);
+    EXPECT_LE(approx.distance, 3.0 * exact.distance + 1e-9);
+  }
+}
+
+TEST(EuclidMecMaxAnnTest, WithinFactorTwo) {
+  for (int trial = 0; trial < 20; ++trial) {
+    auto data = RandomPoints(60, 931 + trial);
+    auto query = RandomPoints(15, 9310 + trial);
+    const auto exact =
+        SolveEuclidFannBrute(data, query, 1.0, Aggregate::kMax);
+    const auto approx = SolveEuclidMecMaxAnn(data, query);
+    ASSERT_GT(exact.distance, 0.0);
+    EXPECT_GE(approx.distance, exact.distance - 1e-9);
+    EXPECT_LE(approx.distance, 2.0 * exact.distance + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(EuclidFannTest, SingleDataAndQueryPoints) {
+  std::vector<Point> data{Point{0.0, 0.0}};
+  std::vector<Point> query{Point{3.0, 4.0}};
+  auto r = SolveEuclidFann(data, query, 1.0, Aggregate::kSum);
+  EXPECT_EQ(r.best, 0u);
+  EXPECT_NEAR(r.distance, 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,133 @@
+// Tests for the FANN_R special-case wrappers (ANN, OMP) and the
+// Voronoi-accelerated APX-sum.
+
+#include "fann/extensions.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fann/apx_sum.h"
+#include "fann/gd.h"
+#include "fann_world.h"
+#include "sp/dijkstra.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+TEST(AnnTest, MatchesPhiOneFann) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  Rng rng(701);
+  for (Aggregate aggregate : {Aggregate::kMax, Aggregate::kSum}) {
+    std::vector<VertexId> p_vec = testing::SampleVertices(graph, 20, rng);
+    std::vector<VertexId> q_vec = testing::SampleVertices(graph, 8, rng);
+    IndexedVertexSet p(graph.NumVertices(), p_vec);
+    IndexedVertexSet q(graph.NumVertices(), q_vec);
+    FannResult ann = SolveAnn(graph, p, q, aggregate, *engine);
+    const auto brute =
+        testing::BruteForceFann(graph, p_vec, q_vec, 1.0, aggregate);
+    EXPECT_NEAR(ann.distance, brute.distance, 1e-6);
+    EXPECT_EQ(ann.subset.size(), q.size());
+  }
+}
+
+class OmpTest : public ::testing::TestWithParam<Aggregate> {};
+
+TEST_P(OmpTest, MatchesBruteForceOverAllVertices) {
+  const Aggregate aggregate = GetParam();
+  Graph graph = testing::MakeRandomNetwork(250, 702);
+  Rng rng(703);
+  std::vector<VertexId> q_vec = testing::SampleVertices(graph, 9, rng);
+  IndexedVertexSet q(graph.NumVertices(), q_vec);
+  std::vector<VertexId> all(graph.NumVertices());
+  std::iota(all.begin(), all.end(), VertexId{0});
+  for (double phi : {0.4, 1.0}) {
+    FannResult omp = SolveOmp(graph, q, phi, aggregate);
+    const auto brute =
+        testing::BruteForceFann(graph, all, q_vec, phi, aggregate);
+    EXPECT_NEAR(omp.distance, brute.distance, 1e-6)
+        << AggregateName(aggregate) << " phi=" << phi;
+    ASSERT_NE(omp.best, kInvalidVertex);
+    EXPECT_EQ(omp.subset.size(), FlexK(phi, q.size()));
+    // The subset certifies the distance.
+    auto truth = DijkstraSssp(graph, omp.best);
+    std::vector<Weight> dists;
+    for (VertexId v : omp.subset) dists.push_back(truth[v]);
+    std::sort(dists.begin(), dists.end());
+    EXPECT_NEAR(FoldSorted(dists.data(), dists.size(), aggregate),
+                omp.distance, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAggregates, OmpTest,
+                         ::testing::Values(Aggregate::kMax,
+                                           Aggregate::kSum),
+                         [](const auto& info) {
+                           return std::string(AggregateName(info.param));
+                         });
+
+TEST(OmpTest, MeetingPointOnALine) {
+  // Sum-OMP of points {0, 4, 9} on a unit line is the median vertex 4.
+  Graph g = testing::MakeLineGraph(10, 1.0);
+  IndexedVertexSet q(g.NumVertices(), {0, 4, 9});
+  FannResult omp = SolveOmp(g, q, 1.0, Aggregate::kSum);
+  EXPECT_EQ(omp.best, 4u);
+  EXPECT_DOUBLE_EQ(omp.distance, 4.0 + 0.0 + 5.0);
+}
+
+TEST(OmpTest, DenseBudgetGuardTriggers) {
+  Graph g = testing::MakeRandomNetwork(150, 704);
+  Rng rng(705);
+  IndexedVertexSet q(g.NumVertices(),
+                     testing::SampleVertices(g, 6, rng));
+  OmpOptions options;
+  options.max_dense_bytes = 16;  // absurdly small
+  EXPECT_DEATH(SolveOmp(g, q, 0.5, Aggregate::kSum, options), "dense");
+}
+
+TEST(VoronoiApxSumTest, MatchesPlainApxSum) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  Rng rng(706);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<VertexId> p_vec = testing::SampleVertices(graph, 30, rng);
+    std::vector<VertexId> q_vec = testing::SampleVertices(graph, 10, rng);
+    IndexedVertexSet p(graph.NumVertices(), p_vec);
+    IndexedVertexSet q(graph.NumVertices(), q_vec);
+    NetworkVoronoi voronoi(graph, p);
+    FannQuery query{&graph, &p, &q, 0.5, Aggregate::kSum};
+    FannResult plain = SolveApxSum(query, *engine);
+    FannResult fast = SolveApxSumWithVoronoi(query, voronoi, *engine);
+    // Nearest-neighbor ties can differ between the two implementations,
+    // but the distances they certify must both satisfy the same bound,
+    // and with deterministic tie-free inputs they coincide.
+    EXPECT_NEAR(fast.distance, plain.distance, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(VoronoiApxSumTest, ApproximationBoundStillHolds) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  Rng rng(707);
+  std::vector<VertexId> p_vec = testing::SampleVertices(graph, 50, rng);
+  std::vector<VertexId> q_vec = testing::SampleVertices(graph, 12, rng);
+  IndexedVertexSet p(graph.NumVertices(), p_vec);
+  IndexedVertexSet q(graph.NumVertices(), q_vec);
+  NetworkVoronoi voronoi(graph, p);
+  FannQuery query{&graph, &p, &q, 0.5, Aggregate::kSum};
+  FannResult fast = SolveApxSumWithVoronoi(query, voronoi, *engine);
+  const Weight optimal =
+      testing::BruteForceFann(graph, p_vec, q_vec, 0.5, Aggregate::kSum)
+          .distance;
+  ASSERT_GT(optimal, 0.0);
+  EXPECT_LE(fast.distance / optimal, 3.0 + 1e-9);
+  EXPECT_GE(fast.distance / optimal, 1.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,21 @@
+#include "fann_world.h"
+
+#include "test_util.h"
+
+namespace fannr::testing {
+
+FannWorld::FannWorld() : graph_(MakeRandomNetwork(600, 0xF00DULL)) {
+  GTree::Options gtree_options;
+  gtree_options.leaf_capacity = 16;
+  gtree_ = std::make_unique<GTree>(GTree::Build(graph_, gtree_options));
+  labels_ = std::make_unique<HubLabels>(*HubLabels::Build(graph_));
+  ch_ = std::make_unique<ContractionHierarchy>(
+      ContractionHierarchy::Build(graph_));
+}
+
+const FannWorld& FannWorld::Get() {
+  static const FannWorld* world = new FannWorld();
+  return *world;
+}
+
+}  // namespace fannr::testing

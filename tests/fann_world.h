@@ -1,0 +1,42 @@
+// Shared expensive fixtures for the FANN algorithm tests: one road
+// network with all substrate indexes, built once per test binary.
+
+#ifndef FANNR_TESTS_FANN_WORLD_H_
+#define FANNR_TESTS_FANN_WORLD_H_
+
+#include <memory>
+
+#include "fann/gphi.h"
+#include "graph/graph.h"
+#include "sp/ch/contraction_hierarchy.h"
+#include "sp/gtree/gtree.h"
+#include "sp/label/hub_labels.h"
+
+namespace fannr::testing {
+
+/// A ~600-vertex network with G-tree, hub labels and CH prebuilt.
+class FannWorld {
+ public:
+  static const FannWorld& Get();
+
+  const Graph& graph() const { return graph_; }
+  GphiResources Resources() const {
+    GphiResources r;
+    r.graph = &graph_;
+    r.gtree = gtree_.get();
+    r.labels = labels_.get();
+    r.ch = ch_.get();
+    return r;
+  }
+
+ private:
+  FannWorld();
+  Graph graph_;
+  std::unique_ptr<GTree> gtree_;
+  std::unique_ptr<HubLabels> labels_;
+  std::unique_ptr<ContractionHierarchy> ch_;
+};
+
+}  // namespace fannr::testing
+
+#endif  // FANNR_TESTS_FANN_WORLD_H_

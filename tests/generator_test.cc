@@ -1,0 +1,99 @@
+#include "graph/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "graph/presets.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+TEST(GeneratorTest, GridNetworkIsConnectedAndConsistent) {
+  GridNetworkOptions options;
+  options.rows = 30;
+  options.cols = 40;
+  Rng rng(123);
+  Graph g = GenerateGridNetwork(options, rng);
+  EXPECT_GT(g.NumVertices(), 1000u);
+  EXPECT_LE(g.NumVertices(), 1200u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_TRUE(g.HasCoordinates());
+  EXPECT_TRUE(g.EuclideanConsistent());
+}
+
+TEST(GeneratorTest, GridNetworkDeterministicPerSeed) {
+  GridNetworkOptions options;
+  options.rows = 10;
+  options.cols = 10;
+  Rng rng1(5), rng2(5), rng3(6);
+  Graph a = GenerateGridNetwork(options, rng1);
+  Graph b = GenerateGridNetwork(options, rng2);
+  Graph c = GenerateGridNetwork(options, rng3);
+  EXPECT_EQ(a.NumVertices(), b.NumVertices());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  // Different seed should (overwhelmingly) differ in structure or size.
+  EXPECT_TRUE(a.NumEdges() != c.NumEdges() ||
+              a.NumVertices() != c.NumVertices() ||
+              a.Coord(0).x != c.Coord(0).x);
+}
+
+TEST(GeneratorTest, GridNetworkAverageDegreeIsRoadLike) {
+  GridNetworkOptions options;
+  options.rows = 50;
+  options.cols = 50;
+  Rng rng(99);
+  Graph g = GenerateGridNetwork(options, rng);
+  const double avg_degree =
+      2.0 * static_cast<double>(g.NumEdges()) / g.NumVertices();
+  // Real road networks: ~2.2-2.7 edges per vertex each direction counted
+  // once (the paper's Table III gives |E|/|V| ~ 2.4).
+  EXPECT_GT(avg_degree, 2.0);
+  EXPECT_LT(avg_degree, 4.5);
+}
+
+TEST(GeneratorTest, GeometricNetworkIsConnectedAndConsistent) {
+  GeometricNetworkOptions options;
+  options.num_vertices = 2000;
+  options.extent = 10000.0;
+  options.radius = 450.0;
+  Rng rng(321);
+  Graph g = GenerateGeometricNetwork(options, rng);
+  EXPECT_GT(g.NumVertices(), 500u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_TRUE(g.EuclideanConsistent());
+}
+
+TEST(GeneratorTest, FullLatticeKeepsAllVertices) {
+  GridNetworkOptions options;
+  options.rows = 8;
+  options.cols = 9;
+  options.keep_probability = 1.0;
+  Rng rng(1);
+  Graph g = GenerateGridNetwork(options, rng);
+  EXPECT_EQ(g.NumVertices(), 72u);
+}
+
+TEST(PresetTest, TestPresetBuildsDeterministically) {
+  ASSERT_TRUE(IsPresetName("TEST"));
+  Graph a = BuildPreset("TEST");
+  Graph b = BuildPreset("TEST");
+  EXPECT_EQ(a.NumVertices(), b.NumVertices());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_TRUE(IsConnected(a));
+  // Within 2% of the 2,500 vertex target.
+  EXPECT_NEAR(static_cast<double>(a.NumVertices()), 2500.0, 50.0);
+}
+
+TEST(PresetTest, PresetLadderIsOrdered) {
+  auto presets = AllPresets();
+  ASSERT_GE(presets.size(), 5u);
+  for (size_t i = 1; i < presets.size(); ++i) {
+    EXPECT_LT(presets[i - 1].target_vertices, presets[i].target_vertices);
+  }
+  EXPECT_FALSE(IsPresetName("USA"));
+  EXPECT_FALSE(IsPresetName(""));
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,135 @@
+// Property tests: every g_phi engine of Table I (+ CH) computes exactly
+// the brute-force flexible aggregate distance, for both aggregates and a
+// sweep of k.
+
+#include "fann/gphi.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "fann_world.h"
+#include "graph/builder.h"
+#include "sp/dijkstra.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+class GphiEngineTest
+    : public ::testing::TestWithParam<std::tuple<GphiKind, Aggregate>> {};
+
+TEST_P(GphiEngineTest, MatchesBruteForce) {
+  const auto [kind, aggregate] = GetParam();
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(kind, world.Resources());
+  EXPECT_EQ(engine->name(), GphiKindName(kind));
+
+  Rng rng(static_cast<uint64_t>(kind) * 100 +
+          static_cast<uint64_t>(aggregate));
+  for (int trial = 0; trial < 3; ++trial) {
+    const size_t m = 8 + rng.NextIndex(24);
+    std::vector<VertexId> q_vec = testing::SampleVertices(graph, m, rng);
+    IndexedVertexSet q(graph.NumVertices(), q_vec);
+    engine->Prepare(q);
+    for (size_t k : {size_t{1}, m / 2, m}) {
+      if (k == 0) continue;
+      for (int i = 0; i < 4; ++i) {
+        const VertexId p =
+            static_cast<VertexId>(rng.NextIndex(graph.NumVertices()));
+        const GphiResult got = engine->Evaluate(p, k, aggregate);
+        const Weight expected =
+            testing::BruteGphi(graph, p, q_vec, k, aggregate);
+        EXPECT_NEAR(got.distance, expected, 1e-6)
+            << GphiKindName(kind) << " p=" << p << " k=" << k;
+        // The subset must be k distinct members of Q whose fold equals
+        // the reported distance.
+        ASSERT_EQ(got.subset.size(), k);
+        DijkstraSearch check(graph);
+        std::vector<Weight> dists;
+        for (VertexId v : got.subset) {
+          EXPECT_TRUE(q.Contains(v));
+          dists.push_back(check.Distance(p, v));
+        }
+        std::sort(dists.begin(), dists.end());
+        EXPECT_NEAR(FoldSorted(dists.data(), k, aggregate), got.distance,
+                    1e-6);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, GphiEngineTest,
+    ::testing::Combine(::testing::ValuesIn(kAllGphiKinds),
+                       ::testing::Values(Aggregate::kMax, Aggregate::kSum)),
+    [](const auto& info) {
+      std::string name(GphiKindName(std::get<0>(info.param)));
+      for (char& c : name) {
+        if (c == '-' || c == '*') c = '_';
+      }
+      return name + "_" +
+             std::string(AggregateName(std::get<1>(info.param)));
+    });
+
+TEST(GphiEngineTest, SourceInsideQIsItsOwnNearest) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  std::vector<VertexId> q_vec{10, 20, 30};
+  IndexedVertexSet q(graph.NumVertices(), q_vec);
+  engine->Prepare(q);
+  GphiResult r = engine->Evaluate(20, 1, Aggregate::kMax);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  ASSERT_EQ(r.subset.size(), 1u);
+  EXPECT_EQ(r.subset[0], 20u);
+}
+
+TEST(GphiEngineTest, UnreachableQueryPointsGiveInfinity) {
+  // Two-component graph: p can reach only 1 of 2 query points, so k=2 is
+  // infeasible.
+  GraphBuilder builder;
+  builder.AddVertex(Point{0.0, 0.0});
+  builder.AddVertex(Point{1.0, 0.0});
+  builder.AddVertex(Point{10.0, 0.0});
+  builder.AddVertex(Point{11.0, 0.0});
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(2, 3, 1.0);
+  Graph g = builder.Build();
+  GphiResources resources;
+  resources.graph = &g;
+  auto engine = MakeGphiEngine(GphiKind::kIne, resources);
+  IndexedVertexSet q(g.NumVertices(), {1, 3});
+  engine->Prepare(q);
+  EXPECT_EQ(engine->Evaluate(0, 2, Aggregate::kSum).distance, kInfWeight);
+  EXPECT_DOUBLE_EQ(engine->Evaluate(0, 1, Aggregate::kSum).distance, 1.0);
+}
+
+TEST(GphiEngineTest, PrepareRebindsToNewQuerySet) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIerPhl, world.Resources());
+  Rng rng(777);
+  std::vector<VertexId> q1 = testing::SampleVertices(graph, 10, rng);
+  std::vector<VertexId> q2 = testing::SampleVertices(graph, 10, rng);
+  IndexedVertexSet set1(graph.NumVertices(), q1);
+  IndexedVertexSet set2(graph.NumVertices(), q2);
+  const VertexId p = 42;
+  engine->Prepare(set1);
+  const Weight d1 = engine->Evaluate(p, 5, Aggregate::kSum).distance;
+  engine->Prepare(set2);
+  const Weight d2 = engine->Evaluate(p, 5, Aggregate::kSum).distance;
+  engine->Prepare(set1);
+  const Weight d1_again = engine->Evaluate(p, 5, Aggregate::kSum).distance;
+  EXPECT_DOUBLE_EQ(d1, d1_again);
+  EXPECT_NEAR(d1, testing::BruteGphi(graph, p, q1, 5, Aggregate::kSum),
+              1e-6);
+  EXPECT_NEAR(d2, testing::BruteGphi(graph, p, q2, 5, Aggregate::kSum),
+              1e-6);
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,157 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/vertex_set.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+TEST(GraphBuilderTest, BuildsSimpleTriangle) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 2.0);
+  builder.AddEdge(0, 2, 4.0);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_FALSE(g.HasCoordinates());
+}
+
+TEST(GraphBuilderTest, ArcsAreSymmetricWithEqualWeights) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1.5);
+  builder.AddEdge(1, 2, 2.5);
+  builder.AddEdge(2, 3, 3.5);
+  builder.AddEdge(3, 0, 4.5);
+  Graph g = builder.Build();
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      bool found_reverse = false;
+      for (const Arc& back : g.Neighbors(a.to)) {
+        if (back.to == u && back.weight == a.weight) {
+          found_reverse = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found_reverse) << "edge " << u << "->" << a.to;
+    }
+  }
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 0, 1.0);
+  builder.AddEdge(0, 1, 1.0);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, KeepsMinimumWeightAmongParallelEdges) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 5.0);
+  builder.AddEdge(1, 0, 2.0);
+  builder.AddEdge(0, 1, 9.0);
+  Graph g = builder.Build();
+  ASSERT_EQ(g.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.Neighbors(0)[0].weight, 2.0);
+}
+
+TEST(GraphBuilderTest, CoordinatesRoundTrip) {
+  GraphBuilder builder;
+  VertexId a = builder.AddVertex(Point{1.0, 2.0});
+  VertexId b = builder.AddVertex(Point{4.0, 6.0});
+  builder.AddEdge(a, b, 5.0);
+  Graph g = builder.Build();
+  ASSERT_TRUE(g.HasCoordinates());
+  EXPECT_DOUBLE_EQ(g.Coord(a).x, 1.0);
+  EXPECT_DOUBLE_EQ(g.Coord(b).y, 6.0);
+  EXPECT_DOUBLE_EQ(g.EuclideanDistance(a, b), 5.0);
+}
+
+TEST(GraphTest, EuclideanConsistencyDetection) {
+  GraphBuilder builder;
+  VertexId a = builder.AddVertex(Point{0.0, 0.0});
+  VertexId b = builder.AddVertex(Point{3.0, 4.0});
+  builder.AddEdge(a, b, 5.0);  // weight == Euclidean distance
+  Graph ok = builder.Build();
+  EXPECT_TRUE(ok.EuclideanConsistent());
+
+  GraphBuilder bad_builder;
+  a = bad_builder.AddVertex(Point{0.0, 0.0});
+  b = bad_builder.AddVertex(Point{3.0, 4.0});
+  bad_builder.AddEdge(a, b, 4.0);  // weight < Euclidean distance
+  Graph bad = bad_builder.Build();
+  EXPECT_FALSE(bad.EuclideanConsistent());
+
+  bad.MakeEuclideanConsistent();
+  EXPECT_TRUE(bad.EuclideanConsistent());
+}
+
+TEST(GraphTest, GraphWithoutCoordinatesIsNotEuclideanConsistent) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 1.0);
+  Graph g = builder.Build();
+  EXPECT_FALSE(g.EuclideanConsistent());
+}
+
+TEST(GraphTest, LineGraphStructure) {
+  Graph g = testing::MakeLineGraph(5, 2.0);
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_TRUE(g.EuclideanConsistent());
+}
+
+TEST(IndexedVertexSetTest, MembershipAndIndexing) {
+  IndexedVertexSet set(10, {3, 7, 1});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_TRUE(set.Contains(7));
+  EXPECT_TRUE(set.Contains(1));
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_FALSE(set.Contains(9));
+  EXPECT_EQ(set.IndexOf(3), 0u);
+  EXPECT_EQ(set.IndexOf(7), 1u);
+  EXPECT_EQ(set.IndexOf(1), 2u);
+  EXPECT_EQ(set.IndexOf(5), IndexedVertexSet::kNotMember);
+  EXPECT_EQ(set[1], 7u);
+}
+
+TEST(IndexedVertexSetTest, EmptySet) {
+  IndexedVertexSet set(4, {});
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.Contains(0));
+}
+
+TEST(GraphBuilderTest, FromGraphRoundTripsAndAllowsUpdates) {
+  Graph original = testing::MakeSmallGrid(6, 6);
+  // Plain round trip.
+  Graph copy = GraphBuilder::FromGraph(original).Build();
+  EXPECT_EQ(copy.NumVertices(), original.NumVertices());
+  EXPECT_EQ(copy.NumEdges(), original.NumEdges());
+  ASSERT_TRUE(copy.HasCoordinates());
+  EXPECT_DOUBLE_EQ(copy.Coord(5).x, original.Coord(5).x);
+
+  // Apply an update: add a shortcut edge cheaper than any existing path.
+  GraphBuilder updated_builder = GraphBuilder::FromGraph(original);
+  updated_builder.AddEdge(0, static_cast<VertexId>(original.NumVertices() - 1),
+                          0.5);
+  Graph updated = updated_builder.Build();
+  EXPECT_EQ(updated.NumEdges(), original.NumEdges() + 1);
+}
+
+TEST(GraphTest, MemoryBytesIsPositive) {
+  Graph g = testing::MakeLineGraph(10);
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,321 @@
+#include "sp/gtree/gtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/builder.h"
+#include "sp/dijkstra.h"
+#include "sp/gtree/gtree_knn.h"
+#include "sp/gtree/partition.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+TEST(PartitionTest, BalancedParts) {
+  Graph g = testing::MakeRandomNetwork(400, 81);
+  std::vector<VertexId> all(g.NumVertices());
+  std::iota(all.begin(), all.end(), VertexId{0});
+  for (size_t fanout : {2u, 4u, 8u}) {
+    auto assignment = MultiwayPartition(g, all, fanout);
+    std::vector<size_t> sizes(fanout, 0);
+    for (uint32_t part : assignment) {
+      ASSERT_LT(part, fanout);
+      ++sizes[part];
+    }
+    const size_t min_size = *std::min_element(sizes.begin(), sizes.end());
+    const size_t max_size = *std::max_element(sizes.begin(), sizes.end());
+    EXPECT_LE(max_size - min_size, fanout) << "fanout " << fanout;
+  }
+}
+
+TEST(PartitionTest, CutIsSmallOnGrids) {
+  Graph g = testing::MakeSmallGrid(40, 40);
+  std::vector<VertexId> all(g.NumVertices());
+  std::iota(all.begin(), all.end(), VertexId{0});
+  auto assignment = MultiwayPartition(g, all, 4);
+  size_t cut = 0;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (const Arc& a : g.Neighbors(u)) {
+      if (u < a.to && assignment[u] != assignment[a.to]) ++cut;
+    }
+  }
+  // An inertial 4-way split of a 40x40 grid should cut O(side) edges,
+  // far fewer than the ~3200 total.
+  EXPECT_LT(cut, 300u);
+}
+
+TEST(PartitionTest, WorksWithoutCoordinates) {
+  GraphBuilder builder(64);
+  for (VertexId i = 0; i + 1 < 64; ++i) builder.AddEdge(i, i + 1, 1.0);
+  Graph g = builder.Build();
+  ASSERT_FALSE(g.HasCoordinates());
+  std::vector<VertexId> all(64);
+  std::iota(all.begin(), all.end(), VertexId{0});
+  auto assignment = MultiwayPartition(g, all, 4);
+  std::vector<size_t> sizes(4, 0);
+  for (uint32_t p : assignment) ++sizes[p];
+  for (size_t s : sizes) EXPECT_EQ(s, 16u);
+}
+
+class GTreeDistanceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GTreeDistanceTest, MatchesDijkstraOnRandomNetworks) {
+  const uint64_t seed = GetParam();
+  Graph g = testing::MakeRandomNetwork(500, seed);
+  GTree::Options options;
+  options.leaf_capacity = 16;  // force several levels
+  GTree tree = GTree::Build(g, options);
+  EXPECT_GT(tree.NumLeaves(), 8u);
+  DijkstraSearch dijkstra(g);
+  Rng rng(seed * 31);
+  for (int i = 0; i < 60; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    VertexId v = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    EXPECT_NEAR(tree.Distance(u, v), dijkstra.Distance(u, v), 1e-6)
+        << "seed " << seed << " pair " << u << "->" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GTreeDistanceTest,
+                         ::testing::Values(101, 102, 103, 104));
+
+TEST(GTreeTest, SameLeafQueriesIncludingDetours) {
+  // Line graph with a shortcut: within-leaf path may not be optimal if a
+  // detour through another leaf is shorter. Construct: chain 0..15 with
+  // heavy middle edge and a light bypass through distant vertices.
+  GraphBuilder builder;
+  for (int i = 0; i < 16; ++i) {
+    builder.AddVertex(Point{static_cast<double>(i) * 10.0, 0.0});
+  }
+  for (VertexId i = 0; i + 1 < 16; ++i) {
+    builder.AddEdge(i, i + 1, i == 7 ? 1000.0 : 10.0);
+  }
+  // Bypass around the heavy edge, off to the side.
+  VertexId bypass = builder.AddVertex(Point{75.0, 10.0});
+  builder.AddEdge(7, bypass, 20.0);
+  builder.AddEdge(bypass, 8, 20.0);
+  Graph g = builder.Build();
+
+  GTree::Options options;
+  options.leaf_capacity = 4;
+  GTree tree = GTree::Build(g, options);
+  DijkstraSearch dijkstra(g);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_NEAR(tree.Distance(u, v), dijkstra.Distance(u, v), 1e-9)
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(GTreeTest, SingleLeafTree) {
+  Graph g = testing::MakeLineGraph(10, 2.0);
+  GTree::Options options;
+  options.leaf_capacity = 64;  // whole graph fits in the root leaf
+  GTree tree = GTree::Build(g, options);
+  EXPECT_EQ(tree.NumLeaves(), 1u);
+  EXPECT_NEAR(tree.Distance(0, 9), 18.0, 1e-9);
+  EXPECT_NEAR(tree.Distance(4, 4), 0.0, 1e-9);
+}
+
+TEST(GTreeTest, DisconnectedGraphGivesInfinity) {
+  GraphBuilder builder;
+  for (int i = 0; i < 32; ++i) {
+    builder.AddVertex(Point{static_cast<double>(i % 8) * 10.0,
+                            static_cast<double>(i / 8) * 10.0});
+  }
+  // Two separate 16-vertex paths.
+  for (VertexId i = 0; i + 1 < 16; ++i) builder.AddEdge(i, i + 1, 5.0);
+  for (VertexId i = 16; i + 1 < 32; ++i) builder.AddEdge(i, i + 1, 5.0);
+  Graph g = builder.Build();
+  GTree::Options options;
+  options.leaf_capacity = 8;
+  GTree tree = GTree::Build(g, options);
+  EXPECT_EQ(tree.Distance(0, 20), kInfWeight);
+  EXPECT_NEAR(tree.Distance(0, 15), 75.0, 1e-9);
+  EXPECT_NEAR(tree.Distance(16, 31), 75.0, 1e-9);
+}
+
+TEST(GTreeTest, StructureInvariants) {
+  Graph g = testing::MakeRandomNetwork(400, 200);
+  GTree::Options options;
+  options.leaf_capacity = 20;
+  GTree tree = GTree::Build(g, options);
+
+  size_t vertices_in_leaves = 0;
+  for (size_t id = 0; id < tree.NumTreeNodes(); ++id) {
+    const GTree::Node& nd = tree.node(static_cast<int32_t>(id));
+    if (nd.is_leaf) {
+      EXPECT_LE(nd.vertices.size(), options.leaf_capacity);
+      vertices_in_leaves += nd.vertices.size();
+      // Every border is a leaf vertex.
+      for (VertexId b : nd.borders) {
+        EXPECT_EQ(tree.LeafOf(b), static_cast<int32_t>(id));
+      }
+    } else {
+      EXPECT_EQ(nd.children.size(), options.fanout);
+      EXPECT_EQ(nd.borders.size(), nd.border_occ_pos.size());
+      // Borders appear at their claimed occupant positions.
+      for (size_t i = 0; i < nd.borders.size(); ++i) {
+        EXPECT_EQ(nd.occupants[nd.border_occ_pos[i]], nd.borders[i]);
+      }
+      // Matrix diagonal is zero.
+      for (size_t i = 0; i < nd.occupants.size(); ++i) {
+        EXPECT_DOUBLE_EQ(nd.MatrixAt(i, i), 0.0);
+      }
+    }
+  }
+  EXPECT_EQ(vertices_in_leaves, g.NumVertices());
+  EXPECT_GT(tree.MemoryBytes(), 0u);
+}
+
+TEST(GTreeTest, InternalMatricesHoldGlobalDistances) {
+  Graph g = testing::MakeRandomNetwork(300, 210);
+  GTree::Options options;
+  options.leaf_capacity = 16;
+  GTree tree = GTree::Build(g, options);
+  DijkstraSearch dijkstra(g);
+  // Spot-check refined matrices against true global distances.
+  Rng rng(211);
+  for (size_t id = 0; id < tree.NumTreeNodes(); ++id) {
+    const GTree::Node& nd = tree.node(static_cast<int32_t>(id));
+    if (nd.is_leaf || nd.occupants.empty()) continue;
+    for (int trial = 0; trial < 5; ++trial) {
+      size_t i = rng.NextIndex(nd.occupants.size());
+      size_t j = rng.NextIndex(nd.occupants.size());
+      EXPECT_NEAR(nd.MatrixAt(i, j),
+                  dijkstra.Distance(nd.occupants[i], nd.occupants[j]), 1e-6)
+          << "node " << id;
+    }
+  }
+}
+
+TEST(GTreeSourceOracleTest, MatchesDistanceEverywhere) {
+  Graph g = testing::MakeRandomNetwork(450, 215);
+  GTree::Options options;
+  options.leaf_capacity = 16;
+  GTree tree = GTree::Build(g, options);
+  Rng rng(216);
+  for (int trial = 0; trial < 6; ++trial) {
+    const VertexId source =
+        static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    GTree::SourceOracle oracle(tree, source);
+    EXPECT_EQ(oracle.source(), source);
+    // Dense sample including same-leaf targets.
+    for (int i = 0; i < 40; ++i) {
+      const VertexId target =
+          static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+      EXPECT_NEAR(oracle.DistanceTo(target), tree.Distance(source, target),
+                  1e-9)
+          << source << "->" << target;
+    }
+    // All targets in the source's own leaf.
+    const GTree::Node& leaf = tree.node(tree.LeafOf(source));
+    for (VertexId target : leaf.vertices) {
+      EXPECT_NEAR(oracle.DistanceTo(target), tree.Distance(source, target),
+                  1e-9)
+          << "same-leaf " << source << "->" << target;
+    }
+  }
+}
+
+TEST(GTreeKnnTest, ReportsObjectsInOrderWithExactDistances) {
+  Graph g = testing::MakeRandomNetwork(500, 220);
+  GTree::Options options;
+  options.leaf_capacity = 16;
+  GTree tree = GTree::Build(g, options);
+  Rng rng(221);
+  std::vector<VertexId> objects = testing::SampleVertices(g, 40, rng);
+  IndexedVertexSet object_set(g.NumVertices(), objects);
+  GTreeKnn knn(tree, object_set);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    VertexId source = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    auto truth = DijkstraSssp(g, source);
+    std::vector<std::pair<Weight, VertexId>> expected;
+    for (VertexId o : objects) expected.push_back({truth[o], o});
+    std::sort(expected.begin(), expected.end());
+
+    auto search = knn.From(source);
+    size_t rank = 0;
+    Weight prev = -1.0;
+    while (auto hit = search.Next()) {
+      ASSERT_LT(rank, expected.size());
+      EXPECT_NEAR(hit->distance, expected[rank].first, 1e-6)
+          << "source " << source << " rank " << rank;
+      EXPECT_GE(hit->distance, prev - 1e-9);
+      prev = hit->distance;
+      ++rank;
+    }
+    EXPECT_EQ(rank, objects.size());
+  }
+}
+
+TEST(GTreeKnnTest, SourceIsObject) {
+  Graph g = testing::MakeRandomNetwork(200, 230);
+  GTree::Options options;
+  options.leaf_capacity = 8;
+  GTree tree = GTree::Build(g, options);
+  IndexedVertexSet object_set(g.NumVertices(), {5, 50, 100});
+  GTreeKnn knn(tree, object_set);
+  auto search = knn.From(50);
+  auto first = search.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->vertex, 50u);
+  EXPECT_DOUBLE_EQ(first->distance, 0.0);
+}
+
+TEST(GTreeKnnTest, EmptyObjectSet) {
+  Graph g = testing::MakeRandomNetwork(100, 240);
+  GTree::Options options;
+  options.leaf_capacity = 8;
+  GTree tree = GTree::Build(g, options);
+  IndexedVertexSet object_set(g.NumVertices(), {});
+  GTreeKnn knn(tree, object_set);
+  auto search = knn.From(0);
+  EXPECT_FALSE(search.Next().has_value());
+  EXPECT_GT(knn.OccMemoryBytes(), 0u);
+}
+
+TEST(GTreeKnnTest, ObjectsInSourceLeafFoundViaDetour) {
+  // Same heavy-edge construction as the same-leaf distance test: an
+  // object in the source leaf whose best path exits and re-enters.
+  GraphBuilder builder;
+  for (int i = 0; i < 16; ++i) {
+    builder.AddVertex(Point{static_cast<double>(i) * 10.0, 0.0});
+  }
+  for (VertexId i = 0; i + 1 < 16; ++i) {
+    builder.AddEdge(i, i + 1, i == 7 ? 1000.0 : 10.0);
+  }
+  VertexId bypass = builder.AddVertex(Point{75.0, 10.0});
+  builder.AddEdge(7, bypass, 20.0);
+  builder.AddEdge(bypass, 8, 20.0);
+  Graph g = builder.Build();
+  GTree::Options options;
+  options.leaf_capacity = 4;
+  GTree tree = GTree::Build(g, options);
+  DijkstraSearch dijkstra(g);
+
+  IndexedVertexSet object_set(g.NumVertices(), {6, 8, 9});
+  GTreeKnn knn(tree, object_set);
+  for (VertexId source : {VertexId{7}, VertexId{8}, VertexId{0}}) {
+    auto search = knn.From(source);
+    std::vector<std::pair<Weight, VertexId>> expected;
+    for (VertexId o : object_set.members()) {
+      expected.push_back({dijkstra.Distance(source, o), o});
+    }
+    std::sort(expected.begin(), expected.end());
+    for (const auto& [d, o] : expected) {
+      auto hit = search.Next();
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_NEAR(hit->distance, d, 1e-9) << "source " << source;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fannr

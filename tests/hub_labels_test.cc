@@ -1,0 +1,95 @@
+#include "sp/label/hub_labels.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "sp/dijkstra.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+TEST(HubLabelsTest, MatchesDijkstraOnRandomNetworks) {
+  for (uint64_t seed : {61u, 62u, 63u}) {
+    Graph g = testing::MakeRandomNetwork(350, seed);
+    auto labels = HubLabels::Build(g);
+    ASSERT_TRUE(labels.has_value());
+    DijkstraSearch dijkstra(g);
+    Rng rng(seed);
+    for (int i = 0; i < 40; ++i) {
+      VertexId u = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+      VertexId v = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+      EXPECT_NEAR(labels->Distance(u, v), dijkstra.Distance(u, v), 1e-9)
+          << "seed " << seed << " pair " << u << "->" << v;
+    }
+  }
+}
+
+TEST(HubLabelsTest, SelfDistanceZero) {
+  Graph g = testing::MakeLineGraph(4);
+  auto labels = HubLabels::Build(g);
+  ASSERT_TRUE(labels.has_value());
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(labels->Distance(v, v), 0.0);
+  }
+}
+
+TEST(HubLabelsTest, LineGraphExact) {
+  Graph g = testing::MakeLineGraph(10, 3.0);
+  auto labels = HubLabels::Build(g);
+  ASSERT_TRUE(labels.has_value());
+  for (VertexId u = 0; u < 10; ++u) {
+    for (VertexId v = 0; v < 10; ++v) {
+      const double expected = 3.0 * std::abs(static_cast<int>(u) -
+                                             static_cast<int>(v));
+      EXPECT_NEAR(labels->Distance(u, v), expected, 1e-9);
+    }
+  }
+}
+
+TEST(HubLabelsTest, DisconnectedPairsAreInfinite) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(2, 3, 1.0);
+  Graph g = builder.Build();
+  auto labels = HubLabels::Build(g);
+  ASSERT_TRUE(labels.has_value());
+  EXPECT_EQ(labels->Distance(0, 2), kInfWeight);
+  EXPECT_EQ(labels->Distance(1, 3), kInfWeight);
+  EXPECT_DOUBLE_EQ(labels->Distance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(labels->Distance(2, 3), 1.0);
+}
+
+TEST(HubLabelsTest, MemoryBudgetAbortsBuild) {
+  Graph g = testing::MakeRandomNetwork(400, 64);
+  HubLabels::Options options;
+  options.max_memory_bytes = 64;  // absurdly small
+  auto labels = HubLabels::Build(g, options);
+  EXPECT_FALSE(labels.has_value());
+}
+
+TEST(HubLabelsTest, LabelSizeIsReasonableOnRoadNetworks) {
+  Graph g = testing::MakeRandomNetwork(900, 65);
+  auto labels = HubLabels::Build(g);
+  ASSERT_TRUE(labels.has_value());
+  // Pruned labeling on a planar-ish network should produce labels far
+  // smaller than |V| per vertex.
+  EXPECT_LT(labels->AverageLabelSize(),
+            static_cast<double>(g.NumVertices()) / 4.0);
+  EXPECT_GT(labels->TotalLabelEntries(), g.NumVertices());
+  EXPECT_GT(labels->MemoryBytes(), 0u);
+}
+
+TEST(HubLabelsTest, EmptyAndSingletonGraphs) {
+  Graph empty({}, {});
+  auto labels = HubLabels::Build(empty);
+  ASSERT_TRUE(labels.has_value());
+
+  Graph singleton(std::vector<std::vector<Arc>>(1), {});
+  auto single = HubLabels::Build(singleton);
+  ASSERT_TRUE(single.has_value());
+  EXPECT_DOUBLE_EQ(single->Distance(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace fannr

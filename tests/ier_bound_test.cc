@@ -1,0 +1,100 @@
+// Property tests for the IER lower bounds (paper Lemma 1 and the cheap
+// Q-MBR bound of Section III-C).
+
+#include "fann/ier.h"
+
+#include <gtest/gtest.h>
+
+#include "fann/gphi.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+class IerBoundTest : public ::testing::TestWithParam<Aggregate> {};
+
+TEST_P(IerBoundTest, EuclidPointLowerBoundsNetworkGphi) {
+  const Aggregate aggregate = GetParam();
+  Graph g = testing::MakeRandomNetwork(400, 501);
+  ASSERT_TRUE(g.EuclideanConsistent());
+  Rng rng(502);
+  std::vector<VertexId> q_vec = testing::SampleVertices(g, 20, rng);
+  std::vector<Point> q_points;
+  for (VertexId q : q_vec) q_points.push_back(g.Coord(q));
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const VertexId p = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    for (size_t k : {size_t{1}, size_t{10}, size_t{20}}) {
+      const Weight euclid =
+          EuclidGphiPoint(q_points, g.Coord(p), k, aggregate);
+      const Weight network = testing::BruteGphi(g, p, q_vec, k, aggregate);
+      if (network == kInfWeight) continue;
+      EXPECT_LE(euclid, network + 1e-9)
+          << "p=" << p << " k=" << k << " " << AggregateName(aggregate);
+    }
+  }
+}
+
+TEST_P(IerBoundTest, MbrBoundLowerBoundsEveryContainedPoint) {
+  const Aggregate aggregate = GetParam();
+  Rng rng(503);
+  std::vector<Point> q_points;
+  for (int i = 0; i < 15; ++i) {
+    q_points.push_back(
+        Point{rng.NextDouble(0.0, 100.0), rng.NextDouble(0.0, 100.0)});
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    Mbr box;
+    std::vector<Point> contained;
+    for (int i = 0; i < 6; ++i) {
+      Point p{rng.NextDouble(0.0, 150.0), rng.NextDouble(0.0, 150.0)};
+      contained.push_back(p);
+      box.Extend(p);
+    }
+    for (size_t k : {size_t{1}, size_t{7}, size_t{15}}) {
+      const Weight bound = EuclidGphiBound(q_points, box, k, aggregate);
+      for (const Point& p : contained) {
+        EXPECT_LE(bound, EuclidGphiPoint(q_points, p, k, aggregate) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(IerBoundTest, MbrBoundIsMonotoneInK) {
+  const Aggregate aggregate = GetParam();
+  Rng rng(504);
+  std::vector<Point> q_points;
+  for (int i = 0; i < 12; ++i) {
+    q_points.push_back(
+        Point{rng.NextDouble(0.0, 50.0), rng.NextDouble(0.0, 50.0)});
+  }
+  Mbr box;
+  box.Extend(Point{60.0, 60.0});
+  box.Extend(Point{70.0, 75.0});
+  Weight prev = 0.0;
+  for (size_t k = 1; k <= q_points.size(); ++k) {
+    const Weight bound = EuclidGphiBound(q_points, box, k, aggregate);
+    EXPECT_GE(bound, prev - 1e-12) << "k=" << k;
+    prev = bound;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAggregates, IerBoundTest,
+                         ::testing::Values(Aggregate::kMax,
+                                           Aggregate::kSum),
+                         [](const auto& info) {
+                           return std::string(AggregateName(info.param));
+                         });
+
+TEST(IerBoundTest, PointInsideMbrGivesZeroMaxBoundWithK1OnCoincidentQ) {
+  // Degenerate sanity: a query point inside the MBR makes the k=1 bound 0.
+  std::vector<Point> q_points{{5.0, 5.0}};
+  Mbr box;
+  box.Extend(Point{0.0, 0.0});
+  box.Extend(Point{10.0, 10.0});
+  EXPECT_DOUBLE_EQ(EuclidGphiBound(q_points, box, 1, Aggregate::kMax), 0.0);
+  EXPECT_DOUBLE_EQ(EuclidGphiBound(q_points, box, 1, Aggregate::kSum), 0.0);
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,144 @@
+#include "sp/incremental_nn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "sp/dijkstra.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+TEST(IncrementalNnTest, ReportsTargetsInDistanceOrder) {
+  Graph g = testing::MakeRandomNetwork(400, 41);
+  Rng rng(42);
+  std::vector<VertexId> targets = testing::SampleVertices(g, 30, rng);
+  IndexedVertexSet target_set(g.NumVertices(), targets);
+  IncrementalNnSearch search(g, 7, target_set);
+  Weight prev = -1.0;
+  size_t count = 0;
+  while (auto hit = search.Next()) {
+    EXPECT_GE(hit->distance, prev);
+    EXPECT_TRUE(target_set.Contains(hit->vertex));
+    prev = hit->distance;
+    ++count;
+  }
+  EXPECT_EQ(count, targets.size());
+}
+
+TEST(IncrementalNnTest, DistancesAreExact) {
+  Graph g = testing::MakeRandomNetwork(300, 43);
+  Rng rng(44);
+  std::vector<VertexId> targets = testing::SampleVertices(g, 20, rng);
+  IndexedVertexSet target_set(g.NumVertices(), targets);
+  VertexId source = 11;
+  auto truth = DijkstraSssp(g, source);
+  IncrementalNnSearch search(g, source, target_set);
+  size_t reported = 0;
+  while (auto hit = search.Next()) {
+    EXPECT_NEAR(hit->distance, truth[hit->vertex], 1e-9);
+    ++reported;
+  }
+  EXPECT_EQ(reported, targets.size());
+}
+
+TEST(IncrementalNnTest, SourceInTargetsReportedFirstAtZero) {
+  Graph g = testing::MakeLineGraph(5);
+  IndexedVertexSet target_set(g.NumVertices(), {2, 4});
+  IncrementalNnSearch search(g, 2, target_set);
+  auto hit = search.Next();
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->vertex, 2u);
+  EXPECT_DOUBLE_EQ(hit->distance, 0.0);
+  hit = search.Next();
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->vertex, 4u);
+  EXPECT_DOUBLE_EQ(hit->distance, 2.0);
+  EXPECT_FALSE(search.Next().has_value());
+}
+
+TEST(IncrementalNnTest, PeekDoesNotConsume) {
+  Graph g = testing::MakeLineGraph(6);
+  IndexedVertexSet target_set(g.NumVertices(), {3, 5});
+  IncrementalNnSearch search(g, 0, target_set);
+  const auto* peek1 = search.Peek();
+  ASSERT_NE(peek1, nullptr);
+  EXPECT_EQ(peek1->vertex, 3u);
+  const auto* peek2 = search.Peek();
+  ASSERT_NE(peek2, nullptr);
+  EXPECT_EQ(peek2->vertex, 3u);
+  auto next = search.Next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->vertex, 3u);
+  const auto* peek3 = search.Peek();
+  ASSERT_NE(peek3, nullptr);
+  EXPECT_EQ(peek3->vertex, 5u);
+}
+
+TEST(IncrementalNnTest, PeekReturnsNullWhenExhausted) {
+  Graph g = testing::MakeLineGraph(3);
+  IndexedVertexSet target_set(g.NumVertices(), {1});
+  IncrementalNnSearch search(g, 0, target_set);
+  EXPECT_TRUE(search.Next().has_value());
+  EXPECT_EQ(search.Peek(), nullptr);
+  EXPECT_FALSE(search.Next().has_value());
+}
+
+TEST(IncrementalNnTest, UnreachableTargetsNeverReported) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(3, 4, 1.0);
+  Graph g = builder.Build();
+  IndexedVertexSet target_set(g.NumVertices(), {1, 4});
+  IncrementalNnSearch search(g, 0, target_set);
+  auto hit = search.Next();
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->vertex, 1u);
+  EXPECT_FALSE(search.Next().has_value());
+}
+
+TEST(IncrementalNnTest, EmptyTargetSetExhaustsImmediately) {
+  Graph g = testing::MakeLineGraph(4);
+  IndexedVertexSet target_set(g.NumVertices(), {});
+  IncrementalNnSearch search(g, 0, target_set);
+  EXPECT_FALSE(search.Next().has_value());
+}
+
+TEST(IncrementalNnTest, ManyConcurrentSearchesStayIndependent) {
+  Graph g = testing::MakeRandomNetwork(400, 51);
+  Rng rng(52);
+  std::vector<VertexId> targets = testing::SampleVertices(g, 40, rng);
+  IndexedVertexSet target_set(g.NumVertices(), targets);
+  std::vector<VertexId> sources = testing::SampleVertices(g, 8, rng);
+
+  std::vector<IncrementalNnSearch> searches;
+  searches.reserve(sources.size());
+  for (VertexId s : sources) searches.emplace_back(g, s, target_set);
+
+  // Interleave: advance round-robin, then verify each got the correct
+  // first three nearest targets despite the interleaving ("switchable"
+  // execution from the paper).
+  std::vector<std::vector<IncrementalNnSearch::Hit>> got(sources.size());
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < searches.size(); ++i) {
+      auto hit = searches[i].Next();
+      ASSERT_TRUE(hit.has_value());
+      got[i].push_back(*hit);
+    }
+  }
+  for (size_t i = 0; i < sources.size(); ++i) {
+    auto truth = DijkstraSssp(g, sources[i]);
+    std::vector<Weight> target_dists;
+    for (VertexId t : targets) target_dists.push_back(truth[t]);
+    std::sort(target_dists.begin(), target_dists.end());
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(got[i][j].distance, target_dists[j], 1e-9)
+          << "source " << sources[i] << " rank " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fannr

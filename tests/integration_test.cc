@@ -1,0 +1,122 @@
+// End-to-end integration: the TEST preset network with every index and
+// every algorithm, mirroring how the benchmark harness exercises the
+// library, plus I/O robustness under corrupted inputs.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "fann/fannr.h"
+#include "sp/ch/contraction_hierarchy.h"
+#include "sp/gtree/gtree.h"
+#include "sp/label/hub_labels.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+TEST(PresetIntegrationTest, FullStackAgreementOnTestPreset) {
+  Graph graph = BuildPreset("TEST");
+  auto labels = HubLabels::Build(graph);
+  ASSERT_TRUE(labels.has_value());
+  GTree gtree = GTree::Build(graph);
+  GphiResources resources;
+  resources.graph = &graph;
+  resources.labels = &*labels;
+  resources.gtree = &gtree;
+
+  Rng rng(0xD15EA5E);
+  for (Aggregate aggregate : {Aggregate::kMax, Aggregate::kSum}) {
+    IndexedVertexSet p(graph.NumVertices(),
+                       GenerateDataPoints(graph, 0.02, rng));
+    IndexedVertexSet q(graph.NumVertices(),
+                       GenerateUniformQueryPoints(graph, 0.2, 32, rng));
+    FannQuery query{&graph, &p, &q, 0.5, aggregate};
+    const RTree p_tree = BuildDataPointRTree(graph, p);
+
+    // Reference via one engine, then cross-check every other engine and
+    // algorithm against it.
+    auto reference_engine = MakeGphiEngine(GphiKind::kIne, resources);
+    const FannResult reference = SolveGd(query, *reference_engine);
+    ASSERT_NE(reference.best, kInvalidVertex);
+
+    for (GphiKind kind :
+         {GphiKind::kPhl, GphiKind::kGTree, GphiKind::kIerPhl,
+          GphiKind::kIerGTree}) {
+      auto engine = MakeGphiEngine(kind, resources);
+      EXPECT_NEAR(SolveGd(query, *engine).distance, reference.distance,
+                  1e-6)
+          << GphiKindName(kind);
+      EXPECT_NEAR(SolveRList(query, *engine).distance, reference.distance,
+                  1e-6)
+          << GphiKindName(kind);
+      EXPECT_NEAR(SolveIer(query, *engine, p_tree).distance,
+                  reference.distance, 1e-6)
+          << GphiKindName(kind);
+    }
+    if (aggregate == Aggregate::kMax) {
+      EXPECT_NEAR(SolveExactMax(query).distance, reference.distance, 1e-6);
+    } else {
+      const FannResult approx = SolveApxSum(query, *reference_engine);
+      EXPECT_GE(approx.distance, reference.distance - 1e-9);
+      EXPECT_LE(approx.distance, 3.0 * reference.distance + 1e-9);
+    }
+  }
+}
+
+TEST(DimacsRobustnessTest, MutatedFilesNeverCrash) {
+  // Write a valid file, then flip/truncate it in many ways; the loader
+  // must either succeed or fail cleanly with an error message — never
+  // crash or hang.
+  Graph g = testing::MakeSmallGrid(8, 8);
+  const std::string dir = ::testing::TempDir();
+  const std::string gr = dir + "fuzz.gr";
+  ASSERT_TRUE(SaveDimacs(g, gr, ""));
+  std::ifstream in(gr);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string original = buffer.str();
+
+  Rng rng(0xF0220);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = original;
+    switch (trial % 3) {
+      case 0: {  // flip a byte
+        const size_t pos = rng.NextIndex(mutated.size());
+        mutated[pos] = static_cast<char>(rng.NextBounded(256));
+        break;
+      }
+      case 1: {  // truncate
+        mutated.resize(rng.NextIndex(mutated.size()));
+        break;
+      }
+      case 2: {  // duplicate a random chunk
+        const size_t pos = rng.NextIndex(mutated.size());
+        mutated.insert(pos, mutated.substr(
+                                pos, rng.NextIndex(32) + 1));
+        break;
+      }
+    }
+    const std::string path = dir + "fuzz_mut.gr";
+    {
+      std::ofstream out(path);
+      out << mutated;
+    }
+    LoadResult r = LoadDimacs(path, "");
+    if (!r.ok()) {
+      EXPECT_FALSE(r.error.empty());
+    } else {
+      // Accepted mutations must still produce a structurally sound graph.
+      for (VertexId u = 0; u < r.graph->NumVertices(); ++u) {
+        for (const Arc& a : r.graph->Neighbors(u)) {
+          EXPECT_LT(a.to, r.graph->NumVertices());
+          EXPECT_GT(a.weight, 0.0);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,108 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "fannr_io_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(IoTest, LoadsMinimalGraph) {
+  const std::string gr = TempPath("min.gr");
+  WriteFile(gr,
+            "c comment line\n"
+            "p sp 3 4\n"
+            "a 1 2 10\n"
+            "a 2 1 10\n"
+            "a 2 3 20\n"
+            "a 3 2 20\n");
+  LoadResult r = LoadDimacs(gr, "");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph->NumVertices(), 3u);
+  EXPECT_EQ(r.graph->NumEdges(), 2u);  // duplicate arcs merged
+  EXPECT_FALSE(r.graph->HasCoordinates());
+}
+
+TEST_F(IoTest, LoadsCoordinates) {
+  const std::string gr = TempPath("co.gr");
+  const std::string co = TempPath("co.co");
+  WriteFile(gr, "p sp 2 2\na 1 2 5\na 2 1 5\n");
+  WriteFile(co, "v 1 0 0\nv 2 3 4\n");
+  LoadResult r = LoadDimacs(gr, co);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.graph->HasCoordinates());
+  EXPECT_DOUBLE_EQ(r.graph->Coord(1).x, 3.0);
+  EXPECT_DOUBLE_EQ(r.graph->Coord(1).y, 4.0);
+  EXPECT_TRUE(r.graph->EuclideanConsistent());
+}
+
+TEST_F(IoTest, RejectsMissingFile) {
+  LoadResult r = LoadDimacs(TempPath("nonexistent.gr"), "");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST_F(IoTest, RejectsMalformedArc) {
+  const std::string gr = TempPath("bad.gr");
+  WriteFile(gr, "p sp 2 1\na 1 oops 3\n");
+  EXPECT_FALSE(LoadDimacs(gr, "").ok());
+}
+
+TEST_F(IoTest, RejectsOutOfRangeVertex) {
+  const std::string gr = TempPath("range.gr");
+  WriteFile(gr, "p sp 2 1\na 1 5 3\n");
+  EXPECT_FALSE(LoadDimacs(gr, "").ok());
+}
+
+TEST_F(IoTest, RejectsNonPositiveWeight) {
+  const std::string gr = TempPath("w0.gr");
+  WriteFile(gr, "p sp 2 1\na 1 2 0\n");
+  EXPECT_FALSE(LoadDimacs(gr, "").ok());
+}
+
+TEST_F(IoTest, RejectsMissingCoordinate) {
+  const std::string gr = TempPath("mc.gr");
+  const std::string co = TempPath("mc.co");
+  WriteFile(gr, "p sp 2 1\na 1 2 5\n");
+  WriteFile(co, "v 1 0 0\n");  // vertex 2 missing
+  EXPECT_FALSE(LoadDimacs(gr, co).ok());
+}
+
+TEST_F(IoTest, SaveLoadRoundTrip) {
+  Graph original = testing::MakeSmallGrid(6, 6);
+  const std::string gr = TempPath("rt.gr");
+  const std::string co = TempPath("rt.co");
+  ASSERT_TRUE(SaveDimacs(original, gr, co, /*coord_scale=*/1000.0));
+  LoadResult r = LoadDimacs(gr, co);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph->NumVertices(), original.NumVertices());
+  EXPECT_EQ(r.graph->NumEdges(), original.NumEdges());
+  ASSERT_TRUE(r.graph->HasCoordinates());
+}
+
+TEST_F(IoTest, SelfLoopsInFileAreDropped) {
+  const std::string gr = TempPath("loop.gr");
+  WriteFile(gr, "p sp 2 2\na 1 1 7\na 1 2 3\n");
+  LoadResult r = LoadDimacs(gr, "");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph->NumEdges(), 1u);
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,146 @@
+// k-FANN_R property tests (paper Section V): every adapted algorithm must
+// return the same distance sequence as the exhaustive top-k reference.
+
+#include "fann/kfann.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fann/exact_max.h"
+#include "fann/gd.h"
+#include "fann/ier.h"
+#include "fann/rlist.h"
+#include "fann_world.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+// Exhaustive reference: all candidate distances, sorted.
+std::vector<Weight> BruteTopK(const Graph& graph,
+                              const std::vector<VertexId>& p,
+                              const std::vector<VertexId>& q, double phi,
+                              Aggregate aggregate, size_t k_results) {
+  const size_t k = FlexK(phi, q.size());
+  std::vector<Weight> all;
+  for (VertexId candidate : p) {
+    const Weight d = testing::BruteGphi(graph, candidate, q, k, aggregate);
+    if (d != kInfWeight) all.push_back(d);
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > k_results) all.resize(k_results);
+  return all;
+}
+
+void ExpectDistances(const std::vector<KFannEntry>& got,
+                     const std::vector<Weight>& expected,
+                     const std::string& label) {
+  ASSERT_EQ(got.size(), expected.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, expected[i], 1e-6)
+        << label << " rank " << i;
+  }
+  // Sorted ascending and distinct vertices.
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GE(got[i].distance, got[i - 1].distance - 1e-9) << label;
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_NE(got[i].vertex, got[j].vertex) << label;
+    }
+  }
+}
+
+class KFannTest : public ::testing::TestWithParam<Aggregate> {};
+
+TEST_P(KFannTest, AllVariantsAgreeWithBruteForce) {
+  const Aggregate aggregate = GetParam();
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kPhl, world.Resources());
+  Rng rng(61 + static_cast<uint64_t>(aggregate));
+
+  std::vector<VertexId> p_vec = testing::SampleVertices(graph, 50, rng);
+  std::vector<VertexId> q_vec = testing::SampleVertices(graph, 12, rng);
+  IndexedVertexSet p(graph.NumVertices(), p_vec);
+  IndexedVertexSet q(graph.NumVertices(), q_vec);
+  const double phi = 0.5;
+  FannQuery query{&graph, &p, &q, phi, aggregate};
+  const RTree p_tree = BuildDataPointRTree(graph, p);
+
+  for (size_t k_results : {1u, 5u, 10u}) {
+    const auto expected =
+        BruteTopK(graph, p_vec, q_vec, phi, aggregate, k_results);
+    ExpectDistances(SolveKGd(query, k_results, *engine), expected, "kGD");
+    ExpectDistances(SolveKRList(query, k_results, *engine), expected,
+                    "kRList");
+    ExpectDistances(SolveKIer(query, k_results, *engine, p_tree), expected,
+                    "kIER");
+    if (aggregate == Aggregate::kMax) {
+      ExpectDistances(SolveKExactMax(query, k_results), expected,
+                      "kExactMax");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAggregates, KFannTest,
+                         ::testing::Values(Aggregate::kMax,
+                                           Aggregate::kSum),
+                         [](const auto& info) {
+                           return std::string(AggregateName(info.param));
+                         });
+
+TEST(KFannTest, KOneMatchesPlainFann) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  Rng rng(67);
+  IndexedVertexSet p(graph.NumVertices(),
+                     testing::SampleVertices(graph, 30, rng));
+  IndexedVertexSet q(graph.NumVertices(),
+                     testing::SampleVertices(graph, 8, rng));
+  FannQuery query{&graph, &p, &q, 0.5, Aggregate::kMax};
+  FannResult single = SolveExactMax(query);
+  auto top1 = SolveKExactMax(query, 1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_NEAR(top1[0].distance, single.distance, 1e-9);
+  EXPECT_EQ(top1[0].vertex, single.best);
+}
+
+TEST(KFannTest, KLargerThanPReturnsEverything) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  Rng rng(71);
+  IndexedVertexSet p(graph.NumVertices(),
+                     testing::SampleVertices(graph, 6, rng));
+  IndexedVertexSet q(graph.NumVertices(),
+                     testing::SampleVertices(graph, 8, rng));
+  FannQuery query{&graph, &p, &q, 0.5, Aggregate::kSum};
+  auto all = SolveKGd(query, 100, *engine);
+  EXPECT_EQ(all.size(), 6u);
+  auto rlist = SolveKRList(query, 100, *engine);
+  EXPECT_EQ(rlist.size(), 6u);
+}
+
+TEST(KFannTest, SubsetsAreValidPerEntry) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  auto engine = MakeGphiEngine(GphiKind::kIne, world.Resources());
+  Rng rng(73);
+  IndexedVertexSet p(graph.NumVertices(),
+                     testing::SampleVertices(graph, 25, rng));
+  std::vector<VertexId> q_vec = testing::SampleVertices(graph, 10, rng);
+  IndexedVertexSet q(graph.NumVertices(), q_vec);
+  FannQuery query{&graph, &p, &q, 0.4, Aggregate::kMax};
+  const size_t k = query.FlexSubsetSize();
+  for (const KFannEntry& entry : SolveKExactMax(query, 5)) {
+    ASSERT_EQ(entry.subset.size(), k);
+    EXPECT_NEAR(testing::BruteGphi(graph, entry.vertex, q_vec, k,
+                                   Aggregate::kMax),
+                entry.distance, 1e-6);
+    for (VertexId v : entry.subset) EXPECT_TRUE(q.Contains(v));
+  }
+}
+
+}  // namespace
+}  // namespace fannr

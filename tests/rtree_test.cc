@@ -1,0 +1,254 @@
+#include "spatial/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace fannr {
+namespace {
+
+std::vector<RTree::Item> RandomItems(size_t n, uint64_t seed,
+                                     double extent = 1000.0) {
+  Rng rng(seed);
+  std::vector<RTree::Item> items;
+  items.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    items.push_back({Point{rng.NextDouble(0.0, extent),
+                           rng.NextDouble(0.0, extent)},
+                     static_cast<uint32_t>(i)});
+  }
+  return items;
+}
+
+std::vector<uint32_t> BruteForceRange(const std::vector<RTree::Item>& items,
+                                      const Mbr& range) {
+  std::vector<uint32_t> ids;
+  for (const auto& it : items) {
+    if (range.Contains(it.point)) ids.push_back(it.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(MbrTest, ExtendAndContain) {
+  Mbr m;
+  EXPECT_TRUE(m.Empty());
+  m.Extend(Point{1.0, 2.0});
+  EXPECT_FALSE(m.Empty());
+  EXPECT_TRUE(m.Contains(Point{1.0, 2.0}));
+  m.Extend(Point{-1.0, 5.0});
+  EXPECT_TRUE(m.Contains(Point{0.0, 3.0}));
+  EXPECT_FALSE(m.Contains(Point{2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(m.Area(), 2.0 * 3.0);
+}
+
+TEST(MbrTest, MinDistProperties) {
+  Mbr m;
+  m.Extend(Point{0.0, 0.0});
+  m.Extend(Point{10.0, 10.0});
+  EXPECT_DOUBLE_EQ(MinDist(m, Point{5.0, 5.0}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(MinDist(m, Point{15.0, 5.0}), 5.0);  // right of
+  EXPECT_DOUBLE_EQ(MinDist(m, Point{13.0, 14.0}), 5.0);  // corner 3-4-5
+}
+
+TEST(MbrTest, MinDistLowerBoundsContainedPoints) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    Mbr m;
+    std::vector<Point> pts;
+    for (int i = 0; i < 8; ++i) {
+      Point p{rng.NextDouble(0.0, 100.0), rng.NextDouble(0.0, 100.0)};
+      pts.push_back(p);
+      m.Extend(p);
+    }
+    Point q{rng.NextDouble(-50.0, 150.0), rng.NextDouble(-50.0, 150.0)};
+    const double bound = MinDist(m, q);
+    for (const Point& p : pts) {
+      EXPECT_LE(bound, EuclideanDistance(p, q) + 1e-9);
+    }
+  }
+}
+
+TEST(MbrTest, MbrToMbrMinDist) {
+  Mbr a, b;
+  a.Extend(Point{0.0, 0.0});
+  a.Extend(Point{1.0, 1.0});
+  b.Extend(Point{4.0, 5.0});
+  b.Extend(Point{6.0, 7.0});
+  EXPECT_DOUBLE_EQ(MinDist(a, b), 5.0);  // 3-4-5 gap
+  Mbr c;
+  c.Extend(Point{0.5, 0.5});
+  c.Extend(Point{2.0, 2.0});
+  EXPECT_DOUBLE_EQ(MinDist(a, c), 0.0);  // overlapping
+}
+
+TEST(RTreeTest, BulkLoadHoldsAllItems) {
+  auto items = RandomItems(500, 1);
+  RTree tree = RTree::BulkLoad(items);
+  EXPECT_EQ(tree.size(), 500u);
+  Mbr everything;
+  everything.Extend(Point{-1.0, -1.0});
+  everything.Extend(Point{1001.0, 1001.0});
+  EXPECT_EQ(BruteForceRange(items, everything).size(), 500u);
+  auto got = tree.RangeQuery(everything);
+  EXPECT_EQ(got.size(), 500u);
+}
+
+TEST(RTreeTest, RangeQueryMatchesBruteForce) {
+  auto items = RandomItems(400, 2);
+  RTree tree = RTree::BulkLoad(items);
+  Rng rng(22);
+  for (int trial = 0; trial < 25; ++trial) {
+    Mbr range;
+    range.Extend(Point{rng.NextDouble(0.0, 1000.0),
+                       rng.NextDouble(0.0, 1000.0)});
+    range.Extend(Point{rng.NextDouble(0.0, 1000.0),
+                       rng.NextDouble(0.0, 1000.0)});
+    auto expected = BruteForceRange(items, range);
+    auto got_items = tree.RangeQuery(range);
+    std::vector<uint32_t> got;
+    for (const auto& it : got_items) got.push_back(it.id);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(RTreeTest, InsertMatchesBulkLoadQueries) {
+  auto items = RandomItems(300, 3);
+  RTree bulk = RTree::BulkLoad(items);
+  RTree incremental;
+  for (const auto& it : items) incremental.Insert(it);
+  EXPECT_EQ(incremental.size(), bulk.size());
+
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    Mbr range;
+    range.Extend(Point{rng.NextDouble(0.0, 1000.0),
+                       rng.NextDouble(0.0, 1000.0)});
+    range.Extend(Point{rng.NextDouble(0.0, 1000.0),
+                       rng.NextDouble(0.0, 1000.0)});
+    auto a = bulk.RangeQuery(range);
+    auto b = incremental.RangeQuery(range);
+    std::vector<uint32_t> ids_a, ids_b;
+    for (const auto& it : a) ids_a.push_back(it.id);
+    for (const auto& it : b) ids_b.push_back(it.id);
+    std::sort(ids_a.begin(), ids_a.end());
+    std::sort(ids_b.begin(), ids_b.end());
+    EXPECT_EQ(ids_a, ids_b);
+  }
+}
+
+TEST(RTreeTest, NearestNeighborOrderingMatchesBruteForce) {
+  auto items = RandomItems(250, 4);
+  RTree tree = RTree::BulkLoad(items);
+  Rng rng(44);
+  for (int trial = 0; trial < 10; ++trial) {
+    Point q{rng.NextDouble(0.0, 1000.0), rng.NextDouble(0.0, 1000.0)};
+    std::vector<double> expected;
+    for (const auto& it : items) {
+      expected.push_back(EuclideanDistance(it.point, q));
+    }
+    std::sort(expected.begin(), expected.end());
+
+    auto it = tree.NearestNeighbors(q);
+    size_t rank = 0;
+    double prev = -1.0;
+    while (auto hit = it.Next()) {
+      ASSERT_LT(rank, expected.size());
+      EXPECT_NEAR(hit->distance, expected[rank], 1e-9);
+      EXPECT_GE(hit->distance, prev);
+      prev = hit->distance;
+      ++rank;
+    }
+    EXPECT_EQ(rank, items.size());
+  }
+}
+
+TEST(RTreeTest, PeekDistanceMatchesNext) {
+  auto items = RandomItems(100, 5);
+  RTree tree = RTree::BulkLoad(items);
+  auto it = tree.NearestNeighbors(Point{500.0, 500.0});
+  for (int i = 0; i < 50; ++i) {
+    double peek = it.PeekDistance();
+    auto hit = it.Next();
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(peek, hit->distance);
+  }
+}
+
+TEST(RTreeTest, EmptyTreeBehaves) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Bounds().Empty());
+  auto it = tree.NearestNeighbors(Point{0.0, 0.0});
+  EXPECT_FALSE(it.Next().has_value());
+  EXPECT_TRUE(std::isinf(it.PeekDistance()));
+  Mbr everything;
+  everything.Extend(Point{-1e9, -1e9});
+  everything.Extend(Point{1e9, 1e9});
+  EXPECT_TRUE(tree.RangeQuery(everything).empty());
+}
+
+TEST(RTreeTest, DuplicatePointsAllRetrievable) {
+  std::vector<RTree::Item> items;
+  for (uint32_t i = 0; i < 10; ++i) {
+    items.push_back({Point{5.0, 5.0}, i});
+  }
+  RTree tree = RTree::BulkLoad(items);
+  auto it = tree.NearestNeighbors(Point{5.0, 5.0});
+  std::set<uint32_t> ids;
+  while (auto hit = it.Next()) {
+    EXPECT_DOUBLE_EQ(hit->distance, 0.0);
+    ids.insert(hit->item.id);
+  }
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+TEST(RTreeTest, StructuralTraversalCoversAllItems) {
+  auto items = RandomItems(200, 6);
+  RTree tree = RTree::BulkLoad(items);
+  std::set<uint32_t> seen;
+  std::vector<RTree::NodeId> stack{tree.Root()};
+  while (!stack.empty()) {
+    RTree::NodeId node = stack.back();
+    stack.pop_back();
+    if (tree.IsLeaf(node)) {
+      for (const auto& it : tree.Items(node)) {
+        EXPECT_TRUE(tree.NodeMbr(node).Contains(it.point));
+        seen.insert(it.id);
+      }
+    } else {
+      for (const auto& child : tree.Children(node)) {
+        EXPECT_EQ(child.mbr, tree.NodeMbr(child.node));
+        stack.push_back(child.node);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(RTreeTest, FanoutFourIsRespected) {
+  auto items = RandomItems(100, 7);
+  RTree tree = RTree::BulkLoad(items);  // default max_entries = 4
+  std::vector<RTree::NodeId> stack{tree.Root()};
+  while (!stack.empty()) {
+    RTree::NodeId node = stack.back();
+    stack.pop_back();
+    if (tree.IsLeaf(node)) {
+      EXPECT_LE(tree.Items(node).size(), 4u);
+    } else {
+      EXPECT_LE(tree.Children(node).size(), 4u);
+      for (const auto& child : tree.Children(node)) {
+        stack.push_back(child.node);
+      }
+    }
+  }
+  EXPECT_GE(tree.Height(), 3u);
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,152 @@
+// Round-trip tests for the index cache format.
+
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sp/ch/contraction_hierarchy.h"
+#include "sp/dijkstra.h"
+#include "sp/gtree/gtree.h"
+#include "sp/label/hub_labels.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+TEST(SerializeTest, PodAndVectorRoundTrip) {
+  std::stringstream stream;
+  BinaryWriter w(stream);
+  w.Pod<uint32_t>(0xDEADBEEF);
+  w.Pod<double>(3.25);
+  std::vector<int64_t> values{-1, 0, 42, 1LL << 40};
+  w.Vec(values);
+  ASSERT_TRUE(w.ok());
+
+  BinaryReader r(stream);
+  uint32_t a = 0;
+  double b = 0;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(r.Pod(a));
+  ASSERT_TRUE(r.Pod(b));
+  ASSERT_TRUE(r.Vec(got));
+  EXPECT_EQ(a, 0xDEADBEEFu);
+  EXPECT_DOUBLE_EQ(b, 3.25);
+  EXPECT_EQ(got, values);
+}
+
+TEST(SerializeTest, ReaderFailsOnTruncation) {
+  std::stringstream stream;
+  BinaryWriter w(stream);
+  w.Pod<uint64_t>(1000);  // vector size header with no payload
+  BinaryReader r(stream);
+  std::vector<double> got;
+  EXPECT_FALSE(r.Vec(got));
+}
+
+TEST(SerializeTest, GraphRoundTrip) {
+  Graph original = testing::MakeSmallGrid(8, 9);
+  std::stringstream stream;
+  ASSERT_TRUE(original.Save(stream));
+  auto loaded = Graph::Load(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), original.NumVertices());
+  EXPECT_EQ(loaded->NumEdges(), original.NumEdges());
+  ASSERT_TRUE(loaded->HasCoordinates());
+  EXPECT_TRUE(loaded->EuclideanConsistent());
+  // Distances identical.
+  auto a = DijkstraSssp(original, 0);
+  auto b = DijkstraSssp(*loaded, 0);
+  for (size_t v = 0; v < a.size(); ++v) EXPECT_DOUBLE_EQ(a[v], b[v]);
+}
+
+TEST(SerializeTest, GraphLoadRejectsCorruptStreams) {
+  Graph g = testing::MakeSmallGrid(5, 5);
+  std::stringstream full;
+  ASSERT_TRUE(g.Save(full));
+  const std::string bytes = full.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 3));
+  EXPECT_FALSE(Graph::Load(truncated).has_value());
+  std::stringstream garbage("dimacs? never heard of it");
+  EXPECT_FALSE(Graph::Load(garbage).has_value());
+}
+
+TEST(SerializeTest, HubLabelsRoundTrip) {
+  Graph g = testing::MakeRandomNetwork(300, 91);
+  auto labels = HubLabels::Build(g);
+  ASSERT_TRUE(labels.has_value());
+
+  std::stringstream stream;
+  ASSERT_TRUE(labels->Save(stream));
+  auto loaded = HubLabels::Load(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->TotalLabelEntries(), labels->TotalLabelEntries());
+
+  Rng rng(92);
+  for (int i = 0; i < 20; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    VertexId v = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    EXPECT_DOUBLE_EQ(loaded->Distance(u, v), labels->Distance(u, v));
+  }
+}
+
+TEST(SerializeTest, HubLabelsRejectsGarbage) {
+  std::stringstream stream("not a hub label file at all");
+  EXPECT_FALSE(HubLabels::Load(stream).has_value());
+}
+
+TEST(SerializeTest, GTreeRoundTrip) {
+  Graph g = testing::MakeRandomNetwork(400, 93);
+  GTree::Options options;
+  options.leaf_capacity = 16;
+  GTree tree = GTree::Build(g, options);
+
+  std::stringstream stream;
+  ASSERT_TRUE(tree.Save(stream));
+  auto loaded = GTree::Load(g, stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumTreeNodes(), tree.NumTreeNodes());
+  EXPECT_EQ(loaded->NumLeaves(), tree.NumLeaves());
+
+  DijkstraSearch dijkstra(g);
+  Rng rng(94);
+  for (int i = 0; i < 25; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    VertexId v = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    EXPECT_NEAR(loaded->Distance(u, v), dijkstra.Distance(u, v), 1e-6);
+  }
+}
+
+TEST(SerializeTest, GTreeRejectsWrongGraph) {
+  Graph g = testing::MakeRandomNetwork(400, 95);
+  Graph other = testing::MakeRandomNetwork(200, 96);
+  GTree::Options options;
+  options.leaf_capacity = 16;
+  GTree tree = GTree::Build(g, options);
+  std::stringstream stream;
+  ASSERT_TRUE(tree.Save(stream));
+  EXPECT_FALSE(GTree::Load(other, stream).has_value());
+}
+
+TEST(SerializeTest, ChRoundTrip) {
+  Graph g = testing::MakeRandomNetwork(300, 97);
+  ContractionHierarchy ch = ContractionHierarchy::Build(g);
+
+  std::stringstream stream;
+  ASSERT_TRUE(ch.Save(stream));
+  auto loaded = ContractionHierarchy::Load(g, stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumShortcuts(), ch.NumShortcuts());
+
+  DijkstraSearch dijkstra(g);
+  Rng rng(98);
+  for (int i = 0; i < 20; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    VertexId v = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    EXPECT_NEAR(loaded->Distance(u, v), dijkstra.Distance(u, v), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace fannr

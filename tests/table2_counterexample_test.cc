@@ -1,0 +1,80 @@
+// The paper's Table II argument, as an executable test: the Exact-max
+// counting scheme (first data point reached by phi|Q| sources) answers
+// max-FANN_R exactly but would be WRONG for sum-FANN_R — on this instance
+// the first point to saturate its counter is not the sum-optimum, which
+// is why SolveExactMax refuses the sum aggregate and sum queries go
+// through the universal algorithms or APX-sum.
+
+#include <gtest/gtest.h>
+
+#include "fann/exact_max.h"
+#include "fann/gd.h"
+#include "fann/rlist.h"
+#include "graph/builder.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+// P = {a, b}; Q = {q1..q4}; phi = 0.5 (k = 2).
+//   a: arrivals at 1 (q1) and 10 (q2)  -> max 10, sum 11
+//   b: arrivals at 6 (q3) and 7 (q4)   -> max  7, sum 13
+// Counting saturates b first (events 1, 6, 7): correct for max (7 < 10),
+// wrong for sum (13 > 11).
+struct Table2Instance {
+  Graph graph;
+  VertexId a, b;
+  std::vector<VertexId> q;
+
+  static Table2Instance Build() {
+    GraphBuilder builder(6);
+    const VertexId a = 0, b = 1;
+    const VertexId q1 = 2, q2 = 3, q3 = 4, q4 = 5;
+    builder.AddEdge(a, q1, 1.0);
+    builder.AddEdge(a, q2, 10.0);
+    builder.AddEdge(b, q3, 6.0);
+    builder.AddEdge(b, q4, 7.0);
+    builder.AddEdge(a, b, 100.0);  // keep the two sides far apart
+    return {builder.Build(), a, b, {q1, q2, q3, q4}};
+  }
+};
+
+TEST(Table2Test, CountingIsExactForMax) {
+  Table2Instance inst = Table2Instance::Build();
+  IndexedVertexSet p(inst.graph.NumVertices(), {inst.a, inst.b});
+  IndexedVertexSet q(inst.graph.NumVertices(), inst.q);
+  FannQuery query{&inst.graph, &p, &q, 0.5, Aggregate::kMax};
+  FannResult result = SolveExactMax(query);
+  EXPECT_EQ(result.best, inst.b);
+  EXPECT_DOUBLE_EQ(result.distance, 7.0);
+}
+
+TEST(Table2Test, SumOptimumDiffersFromTheCountingWinner) {
+  Table2Instance inst = Table2Instance::Build();
+  // Brute force: the sum optimum is a (11), NOT the counting winner b.
+  const auto brute = testing::BruteForceFann(
+      inst.graph, {inst.a, inst.b}, inst.q, 0.5, Aggregate::kSum);
+  EXPECT_EQ(brute.best, inst.a);
+  EXPECT_DOUBLE_EQ(brute.distance, 11.0);
+
+  // The universal algorithms get sum right.
+  IndexedVertexSet p(inst.graph.NumVertices(), {inst.a, inst.b});
+  IndexedVertexSet q(inst.graph.NumVertices(), inst.q);
+  FannQuery query{&inst.graph, &p, &q, 0.5, Aggregate::kSum};
+  GphiResources resources;
+  resources.graph = &inst.graph;
+  auto engine = MakeGphiEngine(GphiKind::kIne, resources);
+  EXPECT_EQ(SolveGd(query, *engine).best, inst.a);
+  EXPECT_EQ(SolveRList(query, *engine).best, inst.a);
+}
+
+TEST(Table2Test, ExactMaxRefusesSum) {
+  Table2Instance inst = Table2Instance::Build();
+  IndexedVertexSet p(inst.graph.NumVertices(), {inst.a, inst.b});
+  IndexedVertexSet q(inst.graph.NumVertices(), inst.q);
+  FannQuery query{&inst.graph, &p, &q, 0.5, Aggregate::kSum};
+  EXPECT_DEATH(SolveExactMax(query), "max");
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,114 @@
+#include "test_util.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "graph/generator.h"
+#include "sp/dijkstra.h"
+
+namespace fannr::testing {
+
+Graph MakeLineGraph(size_t n, Weight weight) {
+  GraphBuilder builder;
+  for (size_t i = 0; i < n; ++i) {
+    builder.AddVertex(Point{static_cast<double>(i) * weight, 0.0});
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    builder.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1),
+                    weight);
+  }
+  return builder.Build();
+}
+
+Graph MakeSmallGrid(size_t rows, size_t cols, uint64_t seed) {
+  GridNetworkOptions options;
+  options.rows = rows;
+  options.cols = cols;
+  options.cell_size = 10.0;
+  options.keep_probability = 1.0;  // fully connected lattice
+  options.diagonal_probability = 0.1;
+  Rng rng(seed);
+  return GenerateGridNetwork(options, rng);
+}
+
+Graph MakeRandomNetwork(size_t approx_vertices, uint64_t seed) {
+  GridNetworkOptions options;
+  size_t side = 2;
+  while (side * side < approx_vertices) ++side;
+  options.rows = side;
+  options.cols = side;
+  options.cell_size = 100.0;
+  Rng rng(seed);
+  return GenerateGridNetwork(options, rng);
+}
+
+std::vector<Weight> BellmanFordSssp(const Graph& graph, VertexId source) {
+  std::vector<Weight> dist(graph.NumVertices(), kInfWeight);
+  dist[source] = 0.0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+      if (dist[u] == kInfWeight) continue;
+      for (const Arc& a : graph.Neighbors(u)) {
+        if (dist[u] + a.weight < dist[a.to]) {
+          dist[a.to] = dist[u] + a.weight;
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+Weight BruteGphi(const Graph& graph, VertexId p,
+                 const std::vector<VertexId>& q, size_t k,
+                 Aggregate aggregate) {
+  const std::vector<Weight> dist = [&] {
+    // SSSP from p; restricted to q afterwards.
+    std::vector<Weight> d(graph.NumVertices(), kInfWeight);
+    d = BellmanFordSssp(graph, p);
+    return d;
+  }();
+  std::vector<Weight> to_q;
+  to_q.reserve(q.size());
+  for (VertexId v : q) to_q.push_back(dist[v]);
+  std::sort(to_q.begin(), to_q.end());
+  if (k > to_q.size() || to_q[k - 1] == kInfWeight) return kInfWeight;
+  return FoldSorted(to_q.data(), k, aggregate);
+}
+
+BruteFann BruteForceFann(const Graph& graph, const std::vector<VertexId>& p,
+                         const std::vector<VertexId>& q, double phi,
+                         Aggregate aggregate) {
+  const size_t k = FlexK(phi, q.size());
+  // One SSSP per query point (Dijkstra; Bellman-Ford is too slow here).
+  std::vector<std::vector<Weight>> from_q;
+  from_q.reserve(q.size());
+  for (VertexId v : q) from_q.push_back(DijkstraSssp(graph, v));
+
+  BruteFann best;
+  std::vector<Weight> to_q(q.size());
+  for (VertexId candidate : p) {
+    for (size_t i = 0; i < q.size(); ++i) to_q[i] = from_q[i][candidate];
+    std::sort(to_q.begin(), to_q.end());
+    if (to_q[k - 1] == kInfWeight) continue;
+    const Weight d = FoldSorted(to_q.data(), k, aggregate);
+    if (d < best.distance) {
+      best.distance = d;
+      best.best = candidate;
+    }
+  }
+  return best;
+}
+
+std::vector<VertexId> SampleVertices(const Graph& graph, size_t k, Rng& rng) {
+  std::vector<size_t> raw =
+      rng.SampleWithoutReplacement(graph.NumVertices(), k);
+  std::vector<VertexId> result;
+  result.reserve(k);
+  for (size_t v : raw) result.push_back(static_cast<VertexId>(v));
+  return result;
+}
+
+}  // namespace fannr::testing

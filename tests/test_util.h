@@ -1,0 +1,52 @@
+// Shared helpers for the fannr test suite: small deterministic graphs,
+// random graph factories, and brute-force reference implementations used
+// as ground truth.
+
+#ifndef FANNR_TESTS_TEST_UTIL_H_
+#define FANNR_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fann/aggregate.h"
+#include "graph/graph.h"
+
+namespace fannr::testing {
+
+/// Path graph 0-1-2-...-(n-1) with the given uniform edge weight and
+/// coordinates on the x axis (spacing = weight, so Euclidean-consistent).
+Graph MakeLineGraph(size_t n, Weight weight = 1.0);
+
+/// Deterministic rows x cols grid with jittered coordinates and
+/// Euclidean-consistent weights; connected.
+Graph MakeSmallGrid(size_t rows, size_t cols, uint64_t seed = 7);
+
+/// A connected random road-network-like graph with roughly
+/// `approx_vertices` vertices (perturbed grid, coordinates included).
+Graph MakeRandomNetwork(size_t approx_vertices, uint64_t seed);
+
+/// Bellman-Ford SSSP: O(VE) reference for Dijkstra correctness.
+std::vector<Weight> BellmanFordSssp(const Graph& graph, VertexId source);
+
+/// Samples k distinct vertices of `graph`.
+std::vector<VertexId> SampleVertices(const Graph& graph, size_t k, Rng& rng);
+
+/// Brute-force g_phi(p, Q): network distances to every q via Dijkstra,
+/// k smallest folded with the aggregate. kInfWeight when fewer than k
+/// query points are reachable.
+Weight BruteGphi(const Graph& graph, VertexId p,
+                 const std::vector<VertexId>& q, size_t k,
+                 Aggregate aggregate);
+
+/// Brute-force FANN_R answer (optimal distance; any optimal vertex).
+struct BruteFann {
+  VertexId best = kInvalidVertex;
+  Weight distance = kInfWeight;
+};
+BruteFann BruteForceFann(const Graph& graph, const std::vector<VertexId>& p,
+                         const std::vector<VertexId>& q, double phi,
+                         Aggregate aggregate);
+
+}  // namespace fannr::testing
+
+#endif  // FANNR_TESTS_TEST_UTIL_H_

@@ -1,0 +1,46 @@
+#include "common/timestamped.h"
+
+#include <gtest/gtest.h>
+
+namespace fannr {
+namespace {
+
+TEST(TimestampedArrayTest, DefaultsAndSet) {
+  TimestampedArray<double> arr(5, -1.0);
+  EXPECT_DOUBLE_EQ(arr.Get(0), -1.0);
+  EXPECT_FALSE(arr.IsSet(0));
+  arr.Set(2, 3.5);
+  EXPECT_DOUBLE_EQ(arr.Get(2), 3.5);
+  EXPECT_TRUE(arr.IsSet(2));
+  EXPECT_DOUBLE_EQ(arr.Get(3), -1.0);
+}
+
+TEST(TimestampedArrayTest, NewEpochResetsLogically) {
+  TimestampedArray<int> arr(3, 0);
+  arr.Set(0, 7);
+  arr.Set(1, 8);
+  arr.NewEpoch();
+  EXPECT_EQ(arr.Get(0), 0);
+  EXPECT_EQ(arr.Get(1), 0);
+  EXPECT_FALSE(arr.IsSet(0));
+  arr.Set(0, 9);
+  EXPECT_EQ(arr.Get(0), 9);
+}
+
+TEST(TimestampedArrayTest, ManyEpochsStayCorrect) {
+  TimestampedArray<int> arr(2, -5);
+  for (int epoch = 0; epoch < 1000; ++epoch) {
+    EXPECT_EQ(arr.Get(0), -5);
+    arr.Set(0, epoch);
+    EXPECT_EQ(arr.Get(0), epoch);
+    arr.NewEpoch();
+  }
+}
+
+TEST(TimestampedArrayTest, SizeAccessor) {
+  TimestampedArray<char> arr(17, 'x');
+  EXPECT_EQ(arr.size(), 17u);
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,110 @@
+#include "sp/voronoi.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "sp/dijkstra.h"
+#include "sp/incremental_nn.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+TEST(NetworkVoronoiTest, MatchesIncrementalNnOnRandomNetworks) {
+  for (uint64_t seed : {601u, 602u}) {
+    Graph g = testing::MakeRandomNetwork(400, seed);
+    Rng rng(seed);
+    std::vector<VertexId> sites = testing::SampleVertices(g, 12, rng);
+    IndexedVertexSet site_set(g.NumVertices(), sites);
+    NetworkVoronoi voronoi(g, site_set);
+
+    for (int i = 0; i < 30; ++i) {
+      const VertexId v =
+          static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+      IncrementalNnSearch nn(g, v, site_set);
+      auto hit = nn.Next();
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_NEAR(voronoi.DistanceToSite(v), hit->distance, 1e-9);
+      // The assigned site must achieve the same distance (ties allowed).
+      DijkstraSearch check(g);
+      EXPECT_NEAR(check.Distance(v, voronoi.NearestSite(v)),
+                  voronoi.DistanceToSite(v), 1e-9);
+    }
+  }
+}
+
+TEST(NetworkVoronoiTest, SitesAreTheirOwnNearest) {
+  Graph g = testing::MakeRandomNetwork(200, 603);
+  Rng rng(604);
+  std::vector<VertexId> sites = testing::SampleVertices(g, 8, rng);
+  IndexedVertexSet site_set(g.NumVertices(), sites);
+  NetworkVoronoi voronoi(g, site_set);
+  for (VertexId s : sites) {
+    EXPECT_EQ(voronoi.NearestSite(s), s);
+    EXPECT_DOUBLE_EQ(voronoi.DistanceToSite(s), 0.0);
+  }
+}
+
+TEST(NetworkVoronoiTest, CellSizesPartitionTheGraph) {
+  Graph g = testing::MakeRandomNetwork(500, 605);
+  Rng rng(606);
+  std::vector<VertexId> sites = testing::SampleVertices(g, 10, rng);
+  IndexedVertexSet site_set(g.NumVertices(), sites);
+  NetworkVoronoi voronoi(g, site_set);
+  auto sizes = voronoi.CellSizes(site_set);
+  size_t total = 0;
+  for (size_t s : sizes) {
+    EXPECT_GE(s, 1u);  // every site owns at least itself
+    total += s;
+  }
+  EXPECT_EQ(total, g.NumVertices());  // connected graph: all assigned
+}
+
+TEST(NetworkVoronoiTest, UnreachableVerticesUnassigned) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(2, 3, 1.0);
+  Graph g = builder.Build();
+  IndexedVertexSet site_set(g.NumVertices(), {0});
+  NetworkVoronoi voronoi(g, site_set);
+  EXPECT_EQ(voronoi.NearestSite(2), kInvalidVertex);
+  EXPECT_EQ(voronoi.DistanceToSite(3), kInfWeight);
+  EXPECT_EQ(voronoi.NearestSite(1), 0u);
+}
+
+TEST(ShortestPathTest, PathIsValidAndOptimal) {
+  Graph g = testing::MakeRandomNetwork(300, 607);
+  DijkstraSearch dijkstra(g);
+  Rng rng(608);
+  for (int i = 0; i < 20; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.NextIndex(g.NumVertices()));
+    const auto path = ShortestPath(g, s, t);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    // Edge-by-edge length must equal the shortest distance.
+    Weight length = 0.0;
+    for (size_t j = 0; j + 1 < path.size(); ++j) {
+      Weight edge = kInfWeight;
+      for (const Arc& a : g.Neighbors(path[j])) {
+        if (a.to == path[j + 1]) edge = std::min(edge, a.weight);
+      }
+      ASSERT_NE(edge, kInfWeight) << "non-edge in path";
+      length += edge;
+    }
+    EXPECT_NEAR(length, dijkstra.Distance(s, t), 1e-9);
+  }
+}
+
+TEST(ShortestPathTest, TrivialAndUnreachable) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 2.0);
+  Graph g = builder.Build();
+  EXPECT_EQ(ShortestPath(g, 1, 1), std::vector<VertexId>{1});
+  EXPECT_EQ(ShortestPath(g, 0, 1), (std::vector<VertexId>{0, 1}));
+  EXPECT_TRUE(ShortestPath(g, 0, 2).empty());
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,118 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/mbr.h"
+#include "sp/dijkstra.h"
+#include "test_util.h"
+#include "workload/poi.h"
+
+namespace fannr {
+namespace {
+
+TEST(WorkloadTest, DataPointDensity) {
+  Graph g = testing::MakeRandomNetwork(1000, 1);
+  Rng rng(2);
+  for (double d : {0.001, 0.01, 0.1, 1.0}) {
+    auto p = GenerateDataPoints(g, d, rng);
+    const size_t expected = std::max<size_t>(
+        1, static_cast<size_t>(d * static_cast<double>(g.NumVertices()) +
+                               0.5));
+    EXPECT_EQ(p.size(), expected) << "density " << d;
+    std::set<VertexId> unique(p.begin(), p.end());
+    EXPECT_EQ(unique.size(), p.size());
+  }
+}
+
+TEST(WorkloadTest, UniformQSizeAndDistinctness) {
+  Graph g = testing::MakeRandomNetwork(1000, 3);
+  Rng rng(4);
+  for (size_t m : {16u, 64u, 128u}) {
+    auto q = GenerateUniformQueryPoints(g, 0.1, m, rng);
+    EXPECT_EQ(q.size(), m);
+    std::set<VertexId> unique(q.begin(), q.end());
+    EXPECT_EQ(unique.size(), m);
+  }
+}
+
+TEST(WorkloadTest, CoverageControlsSpread) {
+  Graph g = testing::MakeRandomNetwork(2000, 5);
+  // Average over several seeds: small A must produce a tighter Q than
+  // large A (measured by coordinate bounding-box area).
+  double small_area = 0.0, large_area = 0.0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng_small(100 + seed), rng_large(200 + seed);
+    auto q_small = GenerateUniformQueryPoints(g, 0.02, 32, rng_small);
+    auto q_large = GenerateUniformQueryPoints(g, 0.9, 32, rng_large);
+    Mbr b_small, b_large;
+    for (VertexId v : q_small) b_small.Extend(g.Coord(v));
+    for (VertexId v : q_large) b_large.Extend(g.Coord(v));
+    small_area += b_small.Area();
+    large_area += b_large.Area();
+  }
+  EXPECT_LT(small_area, large_area);
+}
+
+TEST(WorkloadTest, RegionExpandsWhenTooSmall) {
+  Graph g = testing::MakeRandomNetwork(500, 7);
+  Rng rng(8);
+  // Tiny coverage cannot hold 400 vertices; the generator must expand
+  // outward (paper Section VI-A) rather than fail.
+  auto q = GenerateUniformQueryPoints(g, 0.001, 400, rng);
+  EXPECT_EQ(q.size(), 400u);
+}
+
+TEST(WorkloadTest, ClusteredQIsTighterThanUniform) {
+  Graph g = testing::MakeRandomNetwork(2000, 9);
+  double clustered_area = 0.0, uniform_area = 0.0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng_c(300 + seed), rng_u(400 + seed);
+    auto q_c = GenerateClusteredQueryPoints(g, 0.5, 64, 2, rng_c);
+    auto q_u = GenerateUniformQueryPoints(g, 0.5, 64, rng_u);
+    EXPECT_EQ(q_c.size(), 64u);
+    std::set<VertexId> unique(q_c.begin(), q_c.end());
+    EXPECT_EQ(unique.size(), 64u);
+    // Clusters: mean pairwise coordinate spread far below uniform.
+    Mbr b_c, b_u;
+    for (VertexId v : q_c) b_c.Extend(g.Coord(v));
+    for (VertexId v : q_u) b_u.Extend(g.Coord(v));
+    clustered_area += b_c.Area();
+    uniform_area += b_u.Area();
+  }
+  EXPECT_LT(clustered_area, uniform_area);
+}
+
+TEST(WorkloadTest, ClusterCountSplitsQuota) {
+  Graph g = testing::MakeRandomNetwork(1500, 11);
+  Rng rng(12);
+  for (size_t c : {1u, 2u, 4u, 8u}) {
+    auto q = GenerateClusteredQueryPoints(g, 0.5, 64, c, rng);
+    EXPECT_EQ(q.size(), 64u) << "clusters " << c;
+  }
+}
+
+TEST(PoiTest, CategoriesMatchTableIv) {
+  auto categories = PaperPoiCategories();
+  ASSERT_EQ(categories.size(), 8u);
+  EXPECT_EQ(categories[0].name, "PA");
+  EXPECT_DOUBLE_EQ(categories[0].density, 0.005);
+  EXPECT_EQ(PoiCategoryByName("FF").description, "Fast Food");
+  EXPECT_DOUBLE_EQ(PoiCategoryByName("UNI").density, 0.00009);
+}
+
+TEST(PoiTest, GeneratedSetsScaleWithDensity) {
+  Graph g = testing::MakeRandomNetwork(4000, 13);
+  Rng rng(14);
+  auto pa = GeneratePoiSet(g, PoiCategoryByName("PA"), rng);
+  auto hos = GeneratePoiSet(g, PoiCategoryByName("HOS"), rng);
+  EXPECT_GT(pa.size(), hos.size());
+  EXPECT_NEAR(static_cast<double>(pa.size()),
+              0.005 * static_cast<double>(g.NumVertices()), 2.0);
+  std::set<VertexId> unique(pa.begin(), pa.end());
+  EXPECT_EQ(unique.size(), pa.size());
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,247 @@
+// fannr_query — run FANN_R queries from the command line.
+//
+//   fannr_query [options]
+//
+// Graph source (pick one):
+//   --preset NAME          synthetic preset (TEST | DE | ME | COL | NW)
+//   --graph FILE.gr        DIMACS graph (largest component is used)
+//   --coords FILE.co       DIMACS coordinates (with --graph)
+//
+// Query:
+//   --algorithm ALGO       gd | rlist | ier | exactmax | apxsum | ann | omp
+//                          (default rlist)
+//   --engine ENGINE        ine | astar | gtree | phl | ier-astar |
+//                          ier-gtree | ier-phl | ch      (default ine)
+//   --agg max|sum          aggregate (default sum)
+//   --phi F                flexibility in (0,1]          (default 0.5)
+//   --k N                  top-k (k-FANN_R; 1 = plain)   (default 1)
+//
+// Workload:
+//   --p-density F          data point density d          (default 0.001)
+//   --q-size N             |Q|                           (default 128)
+//   --q-coverage F         coverage ratio A              (default 0.10)
+//   --q-clusters N         clusters C (1 = uniform)      (default 1)
+//   --seed N               workload seed                 (default 1)
+//
+// Prints the answer triple, the flexible subset, and wall-clock timings.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/timer.h"
+#include "fann/fannr.h"
+#include "graph/components.h"
+#include "sp/ch/contraction_hierarchy.h"
+#include "sp/gtree/gtree.h"
+#include "sp/label/hub_labels.h"
+
+namespace {
+
+using namespace fannr;
+
+struct Args {
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it != values.end() ? it->second : fallback;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    return it != values.end() ? std::strtod(it->second.c_str(), nullptr)
+                              : fallback;
+  }
+  size_t GetSize(const std::string& key, size_t fallback) const {
+    auto it = values.find(key);
+    return it != values.end()
+               ? std::strtoull(it->second.c_str(), nullptr, 10)
+               : fallback;
+  }
+};
+
+std::optional<GphiKind> ParseEngine(const std::string& name) {
+  if (name == "ine") return GphiKind::kIne;
+  if (name == "astar") return GphiKind::kAStar;
+  if (name == "gtree") return GphiKind::kGTree;
+  if (name == "phl") return GphiKind::kPhl;
+  if (name == "ier-astar") return GphiKind::kIerAStar;
+  if (name == "ier-gtree") return GphiKind::kIerGTree;
+  if (name == "ier-phl") return GphiKind::kIerPhl;
+  if (name == "ch") return GphiKind::kCh;
+  return std::nullopt;
+}
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "fannr_query: %s (run with --help)\n", message);
+  return 2;
+}
+
+void PrintResultLine(VertexId best, Weight distance,
+                     const std::vector<VertexId>& subset) {
+  std::printf("p* = v%u   d* = %.3f   |Q*_phi| = %zu\n", best, distance,
+              subset.size());
+  std::printf("Q*_phi = {");
+  for (size_t i = 0; i < subset.size(); ++i) {
+    std::printf("%sv%u", i ? ", " : "", subset[i]);
+    if (i == 15 && subset.size() > 17) {
+      std::printf(", ... (%zu more)", subset.size() - 16);
+      break;
+    }
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("see the header of tools/fannr_query.cc for usage\n");
+      return 0;
+    }
+    if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+      args.values[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else {
+      return Fail("malformed arguments");
+    }
+  }
+
+  // --- graph ---------------------------------------------------------------
+  Timer load_timer;
+  std::optional<Graph> graph;
+  if (args.Has("preset")) {
+    const std::string name = args.Get("preset", "TEST");
+    if (!IsPresetName(name)) return Fail("unknown preset");
+    graph = BuildPreset(name);
+  } else if (args.Has("graph")) {
+    LoadResult r = LoadDimacs(args.Get("graph", ""), args.Get("coords", ""));
+    if (!r.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", r.error.c_str());
+      return 1;
+    }
+    LargestComponent lc = ExtractLargestComponent(*r.graph);
+    graph = std::move(lc.graph);
+    if (graph->HasCoordinates()) graph->MakeEuclideanConsistent();
+  } else {
+    graph = BuildPreset("TEST");
+  }
+  std::printf("graph: %zu vertices, %zu edges (loaded in %.2fs)\n",
+              graph->NumVertices(), graph->NumEdges(),
+              load_timer.Seconds());
+
+  // --- workload --------------------------------------------------------
+  Rng rng(args.GetSize("seed", 1));
+  const double density = args.GetDouble("p-density", 0.001);
+  const size_t q_size = args.GetSize("q-size", 128);
+  const double coverage = args.GetDouble("q-coverage", 0.10);
+  const size_t clusters = args.GetSize("q-clusters", 1);
+  IndexedVertexSet p(graph->NumVertices(),
+                     GenerateDataPoints(*graph, density, rng));
+  IndexedVertexSet q(
+      graph->NumVertices(),
+      clusters <= 1
+          ? GenerateUniformQueryPoints(*graph, coverage, q_size, rng)
+          : GenerateClusteredQueryPoints(*graph, coverage, q_size, clusters,
+                                         rng));
+  std::printf("workload: |P| = %zu (d = %g), |Q| = %zu (A = %g, C = %zu)\n",
+              p.size(), density, q.size(), coverage, clusters);
+
+  // --- engine ------------------------------------------------------------
+  const std::string engine_name = args.Get("engine", "ine");
+  const auto kind = ParseEngine(engine_name);
+  if (!kind.has_value()) return Fail("unknown engine");
+
+  GphiResources resources;
+  resources.graph = &*graph;
+  std::optional<HubLabels> labels;
+  std::optional<GTree> gtree;
+  std::optional<ContractionHierarchy> ch;
+  Timer index_timer;
+  const std::string algorithm = args.Get("algorithm", "rlist");
+  if (*kind == GphiKind::kPhl || *kind == GphiKind::kIerPhl) {
+    labels = HubLabels::Build(*graph);
+    resources.labels = &*labels;
+  }
+  if (*kind == GphiKind::kGTree || *kind == GphiKind::kIerGTree) {
+    gtree = GTree::Build(*graph);
+    resources.gtree = &*gtree;
+  }
+  if (*kind == GphiKind::kCh) {
+    ch = ContractionHierarchy::Build(*graph);
+    resources.ch = &*ch;
+  }
+  if (index_timer.Seconds() > 0.01) {
+    std::printf("index build: %.2fs\n", index_timer.Seconds());
+  }
+  auto engine = MakeGphiEngine(*kind, resources);
+
+  // --- query ---------------------------------------------------------------
+  const double phi = args.GetDouble("phi", 0.5);
+  const Aggregate aggregate =
+      args.Get("agg", "sum") == "max" ? Aggregate::kMax : Aggregate::kSum;
+  const size_t top_k = args.GetSize("k", 1);
+  FannQuery query{&*graph, &p, &q, phi, aggregate};
+  std::printf("query: %s-FANN_R, phi = %g, algorithm = %s, engine = %s\n\n",
+              AggregateName(aggregate).data(), phi, algorithm.c_str(),
+              std::string(engine->name()).c_str());
+
+  Timer solve_timer;
+  if (top_k > 1) {
+    std::vector<KFannEntry> entries;
+    if (algorithm == "gd") {
+      entries = SolveKGd(query, top_k, *engine);
+    } else if (algorithm == "rlist") {
+      entries = SolveKRList(query, top_k, *engine);
+    } else if (algorithm == "ier") {
+      const RTree p_tree = BuildDataPointRTree(*graph, p);
+      entries = SolveKIer(query, top_k, *engine, p_tree);
+    } else if (algorithm == "exactmax") {
+      entries = SolveKExactMax(query, top_k);
+    } else {
+      return Fail("algorithm does not support --k > 1");
+    }
+    for (size_t i = 0; i < entries.size(); ++i) {
+      std::printf("#%zu  ", i + 1);
+      PrintResultLine(entries[i].vertex, entries[i].distance,
+                      entries[i].subset);
+    }
+  } else {
+    FannResult result;
+    if (algorithm == "gd") {
+      result = SolveGd(query, *engine);
+    } else if (algorithm == "rlist") {
+      result = SolveRList(query, *engine);
+    } else if (algorithm == "ier") {
+      const RTree p_tree = BuildDataPointRTree(*graph, p);
+      result = SolveIer(query, *engine, p_tree);
+    } else if (algorithm == "exactmax") {
+      if (aggregate != Aggregate::kMax) return Fail("exactmax needs --agg max");
+      result = SolveExactMax(query);
+    } else if (algorithm == "apxsum") {
+      if (aggregate != Aggregate::kSum) return Fail("apxsum needs --agg sum");
+      result = SolveApxSum(query, *engine);
+    } else if (algorithm == "ann") {
+      result = SolveAnn(*graph, p, q, aggregate, *engine);
+    } else if (algorithm == "omp") {
+      result = SolveOmp(*graph, q, phi, aggregate);
+    } else {
+      return Fail("unknown algorithm");
+    }
+    if (result.best == kInvalidVertex) {
+      std::printf("no feasible answer (disconnected workload)\n");
+    } else {
+      PrintResultLine(result.best, result.distance, result.subset);
+      std::printf("g_phi evaluations: %zu\n", result.gphi_evaluations);
+    }
+  }
+  std::printf("\nsolve time: %.2f ms\n", solve_timer.Millis());
+  return 0;
+}
