@@ -1,0 +1,198 @@
+// Batch throughput benchmark: queries/sec of the BatchQueryEngine vs the
+// sequential per-query execution model it replaces, across thread counts
+// and cache configurations, on the Table III-scale synthetic presets.
+//
+// Three effects are measured separately so the scaling story is honest:
+//   * "seq-uncached"  — one thread, no shared cache: the pre-engine
+//     execution model (every candidate SSSP recomputed per query).
+//   * "engine-nocache T=k" — k threads, cache disabled: pure thread
+//     scaling (flat on single-core hosts; near-linear on real multicore).
+//   * "engine-cached T=k" — k threads sharing the source-distance cache:
+//     the production configuration. Cross-query candidate reuse makes
+//     this dominate regardless of core count.
+//
+// Output: a table on stdout plus BENCH_throughput.json (written to
+// FANNR_OUT_DIR or the working directory) with every cell, so CI and the
+// paper-reproduction harness can track regressions.
+//
+// Environment: FANNR_DATASET (default TEST), FANNR_THROUGHPUT_BATCH
+// (queries per batch, default 64), FANNR_THROUGHPUT_REPS (timed
+// repetitions, default 3).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.h"
+#include "common/timer.h"
+#include "engine/batch_engine.h"
+
+namespace fannr::bench {
+namespace {
+
+struct Cell {
+  std::string label;
+  size_t threads = 1;
+  bool cached = false;
+  double qps = 0.0;
+  double mean_ms = 0.0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? static_cast<size_t>(std::strtoull(value, nullptr, 10))
+                          : fallback;
+}
+
+// A batch of GD-over-shared-P queries: the canonical heavy-traffic shape
+// (one POI set, many user groups). Data-point density is raised above
+// the paper default so every query does meaningful work on TEST.
+struct BatchWorkload {
+  std::unique_ptr<IndexedVertexSet> p;
+  std::vector<std::unique_ptr<IndexedVertexSet>> qs;
+  std::vector<FannrQuery> jobs;
+};
+
+BatchWorkload MakeBatch(const Graph& graph, size_t batch_size) {
+  BatchWorkload w;
+  Rng rng(0x7410u);
+  // Density 0.01 (10x the paper default) so |P| is large enough that a
+  // batch does meaningful candidate work even on the TEST preset.
+  w.p = std::make_unique<IndexedVertexSet>(
+      graph.NumVertices(), GenerateDataPoints(graph, /*density=*/0.01, rng));
+  for (size_t i = 0; i < batch_size; ++i) {
+    w.qs.push_back(std::make_unique<IndexedVertexSet>(
+        graph.NumVertices(),
+        GenerateUniformQueryPoints(graph, /*coverage=*/0.10, /*m=*/32, rng)));
+    FannrQuery job;
+    job.query =
+        FannQuery{&graph, w.p.get(), w.qs.back().get(), 0.5, Aggregate::kSum};
+    job.algorithm = FannAlgorithm::kGd;
+    w.jobs.push_back(job);
+  }
+  return w;
+}
+
+Cell TimeConfig(const std::string& label, const GphiResources& resources,
+                const std::vector<FannrQuery>& jobs, size_t threads,
+                bool cached, size_t reps) {
+  BatchOptions options;
+  options.num_threads = threads;
+  options.share_distance_cache = cached;
+  options.cache_capacity = 4096;
+
+  Cell cell;
+  cell.label = label;
+  cell.threads = threads;
+  cell.cached = cached;
+  double total_ms = 0.0;
+  size_t runs = 0;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    // Fresh engine per repetition: each timed run starts with a cold
+    // cache, so cached cells measure within-batch reuse, not leftover
+    // state from a previous repetition.
+    BatchQueryEngine engine(resources, options);
+    Timer t;
+    engine.Run(jobs);
+    total_ms += t.Millis();
+    ++runs;
+    const auto stats = engine.cache_stats();
+    cell.cache_hits = stats.hits;
+    cell.cache_misses = stats.misses;
+  }
+  cell.mean_ms = total_ms / static_cast<double>(runs);
+  cell.qps = 1000.0 * static_cast<double>(jobs.size()) / cell.mean_ms;
+  return cell;
+}
+
+int Main() {
+  Env env = Env::Load({.labels = false, .gtree = false, .ch = false});
+  // Clamp both knobs to >= 1: an empty batch would make every rate a 0/0
+  // and emit "nan" into the JSON, and strtoull turns junk values into 0.
+  const size_t batch_size =
+      std::max<size_t>(1, EnvSize("FANNR_THROUGHPUT_BATCH", 64));
+  const size_t reps = std::max<size_t>(1, EnvSize("FANNR_THROUGHPUT_REPS", 3));
+  const BatchWorkload workload = MakeBatch(env.graph(), batch_size);
+
+  GphiResources resources;
+  resources.graph = &env.graph();
+
+  std::printf("Batch throughput — dataset %s, batch %zu x GD(sum), |P|=%zu, "
+              "|Q|=32, reps %zu\n",
+              env.dataset().c_str(), batch_size, workload.p->size(), reps);
+  std::printf("%-24s %8s %10s %12s %10s\n", "config", "threads", "mean ms",
+              "queries/s", "hit rate");
+
+  std::vector<Cell> cells;
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  cells.push_back(TimeConfig("seq-uncached", resources, workload.jobs, 1,
+                             /*cached=*/false, reps));
+  for (size_t threads : thread_counts) {
+    if (threads > 1) {
+      cells.push_back(TimeConfig("engine-nocache", resources, workload.jobs,
+                                 threads, /*cached=*/false, reps));
+    }
+  }
+  for (size_t threads : thread_counts) {
+    cells.push_back(TimeConfig("engine-cached", resources, workload.jobs,
+                               threads, /*cached=*/true, reps));
+  }
+
+  for (const Cell& cell : cells) {
+    const size_t lookups = cell.cache_hits + cell.cache_misses;
+    std::printf("%-24s %8zu %10.2f %12.1f %9.1f%%\n", cell.label.c_str(),
+                cell.threads, cell.mean_ms, cell.qps,
+                lookups == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(cell.cache_hits) /
+                          static_cast<double>(lookups));
+  }
+
+  const Cell& baseline = cells.front();
+  const Cell* engine8 = nullptr;
+  for (const Cell& cell : cells) {
+    if (cell.cached && cell.threads == 8) engine8 = &cell;
+  }
+  FANNR_CHECK(engine8 != nullptr);
+  const double speedup = engine8->qps / baseline.qps;
+  std::printf("\nengine (8 threads, shared cache) vs sequential uncached "
+              "baseline: %.2fx\n",
+              speedup);
+
+  const std::string out_dir = [] {
+    const char* dir = std::getenv("FANNR_OUT_DIR");
+    return std::string(dir != nullptr ? dir : ".");
+  }();
+  const std::string out_path = out_dir + "/BENCH_throughput.json";
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"dataset\": \"" << env.dataset() << "\",\n"
+      << "  \"batch_size\": " << batch_size << ",\n"
+      << "  \"p_size\": " << workload.p->size() << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"speedup_engine8_cached_vs_seq_uncached\": " << speedup << ",\n"
+      << "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    out << "    {\"config\": \"" << cell.label << "\", \"threads\": "
+        << cell.threads << ", \"cached\": " << (cell.cached ? "true" : "false")
+        << ", \"mean_ms\": " << cell.mean_ms << ", \"qps\": " << cell.qps
+        << ", \"cache_hits\": " << cell.cache_hits
+        << ", \"cache_misses\": " << cell.cache_misses << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fannr::bench
+
+int main() { return fannr::bench::Main(); }

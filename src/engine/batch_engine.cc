@@ -1,0 +1,82 @@
+#include "engine/batch_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "engine/cached_sssp.h"
+#include "fann/ier.h"
+
+namespace fannr {
+
+BatchQueryEngine::BatchQueryEngine(const GphiResources& resources,
+                                   const BatchOptions& options)
+    : resources_(resources),
+      options_(options),
+      pool_(options.num_threads) {
+  FANNR_CHECK(resources_.graph != nullptr);
+  const bool cached_oracle = !options_.gphi_kind.has_value();
+  if (cached_oracle && options_.share_distance_cache) {
+    size_t capacity = options_.cache_capacity;
+    if (capacity == 0) {
+      const size_t entry_bytes =
+          std::max<size_t>(1, resources_.graph->NumVertices()) *
+          sizeof(Weight);
+      capacity =
+          std::max<size_t>(1, options_.cache_memory_budget_bytes / entry_bytes);
+    }
+    cache_ = std::make_shared<SourceDistanceCache>(capacity,
+                                                   options_.cache_shards);
+  }
+  worker_engines_.reserve(pool_.num_workers());
+  for (size_t i = 0; i < pool_.num_workers(); ++i) {
+    worker_engines_.push_back(MakeWorkerEngine());
+  }
+}
+
+std::unique_ptr<GphiEngine> BatchQueryEngine::MakeWorkerEngine() const {
+  if (options_.gphi_kind.has_value()) {
+    // MakeGphiEngine aborts here if a required index is missing, so a
+    // misconfigured engine fails at construction, not mid-batch.
+    return MakeGphiEngine(*options_.gphi_kind, resources_);
+  }
+  return MakeCachedSsspEngine(*resources_.graph, cache_);
+}
+
+std::vector<FannResult> BatchQueryEngine::Run(
+    const std::vector<FannrQuery>& queries) {
+  // Validate up front (ValidateQuery aborts on malformed queries) and
+  // build the R-trees the IER-kNN jobs need — once per distinct P set,
+  // outside the parallel phase so workers only read them.
+  std::map<const IndexedVertexSet*, RTree> p_trees;
+  for (const FannrQuery& job : queries) {
+    ValidateQuery(job.query);
+    FANNR_CHECK(job.query.graph == resources_.graph &&
+                "batch queries must target the engine's graph");
+    FANNR_CHECK(FannAlgorithmSupports(job.algorithm, job.query.aggregate));
+    if (job.algorithm == FannAlgorithm::kIer) {
+      const IndexedVertexSet* p = job.query.data_points;
+      if (p_trees.find(p) == p_trees.end()) {
+        p_trees.emplace(p, BuildDataPointRTree(*resources_.graph, *p));
+      }
+    }
+  }
+
+  std::vector<FannResult> results(queries.size());
+  pool_.ParallelFor(queries.size(), [&](size_t index, size_t worker) {
+    const FannrQuery& job = queries[index];
+    const RTree* p_tree = nullptr;
+    if (job.algorithm == FannAlgorithm::kIer) {
+      p_tree = &p_trees.at(job.query.data_points);
+    }
+    results[index] = SolveWith(job.algorithm, job.query,
+                               *worker_engines_[worker], p_tree);
+  });
+  return results;
+}
+
+SourceDistanceCache::Stats BatchQueryEngine::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : SourceDistanceCache::Stats{};
+}
+
+}  // namespace fannr

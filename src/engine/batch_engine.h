@@ -1,0 +1,107 @@
+// BatchQueryEngine: throughput-oriented parallel execution of FANN_R
+// query batches.
+//
+// The paper's evaluation (Section VI) measures one query at a time; a
+// production deployment answers streams of queries against a shared set
+// of substrate indexes. This engine accepts a batch of FannrQuery jobs
+// and executes them concurrently on a fixed worker pool with:
+//
+//   (a) per-worker scratch reuse — each worker owns one g_phi engine
+//       (and thereby one Dijkstra/A*/CH search object) for the lifetime
+//       of the engine, extending the TimestampedArray amortization of
+//       sp/dijkstra.h across threads;
+//   (b) a sharded source-distance cache shared by all workers (see
+//       engine/distance_cache.h), so candidate evaluations repeated
+//       across the queries of a batch reuse settled SSSP distances; and
+//   (c) pluggable algorithm dispatch (fann/dispatch.h): every solver —
+//       Naive, GD, R-List, IER-kNN, Exact-max, APX-sum — gains
+//       parallelism without modification.
+//
+// Determinism invariant: Run() output is a pure function of the input
+// batch — identical (bitwise, including work counters) for every thread
+// count and cache configuration. This holds because (1) each query is
+// solved entirely by one worker with engine state rebound per query, (2)
+// workers never share mutable solver state, and (3) cache entries are
+// immutable exact Dijkstra vectors, so a hit returns exactly what a miss
+// would recompute. tests/batch_determinism_test.cc enforces this.
+
+#ifndef FANNR_ENGINE_BATCH_ENGINE_H_
+#define FANNR_ENGINE_BATCH_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "engine/distance_cache.h"
+#include "engine/thread_pool.h"
+#include "fann/dispatch.h"
+#include "fann/gphi.h"
+#include "fann/query.h"
+
+namespace fannr {
+
+/// One job of a batch: the query plus the algorithm that answers it.
+/// All pointers inside `query` must outlive the Run() call; `query.graph`
+/// must equal the graph the engine was constructed with.
+struct FannrQuery {
+  FannQuery query;
+  FannAlgorithm algorithm = FannAlgorithm::kGd;
+};
+
+struct BatchOptions {
+  /// Worker threads (0 = hardware_concurrency).
+  size_t num_threads = 1;
+
+  /// Which g_phi oracle the workers use. nullopt (default) selects the
+  /// Cached-SSSP oracle, which shares settled distances through the
+  /// batch-wide cache. Any GphiKind instead gives every worker its own
+  /// engine of that kind (Table I semantics, parallel but uncached).
+  std::optional<GphiKind> gphi_kind;
+
+  /// Cached-SSSP oracle only: share one distance cache across workers
+  /// and batches. Disabled, each evaluation recomputes its SSSP.
+  bool share_distance_cache = true;
+
+  /// Shared cache sizing: resident entries (each one |V| Weights) and
+  /// lock stripes. capacity 0 (default) auto-sizes from
+  /// cache_memory_budget_bytes and the graph's vertex count, so the
+  /// default stays sane from the TEST preset up to million-vertex maps.
+  size_t cache_capacity = 0;
+  size_t cache_memory_budget_bytes = size_t{512} << 20;  // 512 MiB
+  size_t cache_shards = 16;
+};
+
+/// Parallel batch executor. Construct once per (graph, indexes); Run()
+/// any number of batches. Run() itself must not be called concurrently.
+class BatchQueryEngine {
+ public:
+  /// `resources.graph` is required; index pointers only for the kinds
+  /// that need them (checked at construction). The pointees are shared
+  /// read-only across workers and must outlive the engine.
+  BatchQueryEngine(const GphiResources& resources,
+                   const BatchOptions& options);
+
+  /// Executes every query of the batch and returns the answers aligned
+  /// with the input. IER-kNN queries build one R-tree per distinct data
+  /// point set before the parallel phase (shared, read-only during it).
+  std::vector<FannResult> Run(const std::vector<FannrQuery>& queries);
+
+  size_t num_threads() const { return pool_.num_workers(); }
+
+  /// Cumulative shared-cache counters (zero when the cache is disabled
+  /// or a GphiKind oracle is selected).
+  SourceDistanceCache::Stats cache_stats() const;
+
+ private:
+  std::unique_ptr<GphiEngine> MakeWorkerEngine() const;
+
+  GphiResources resources_;
+  BatchOptions options_;
+  std::shared_ptr<SourceDistanceCache> cache_;  // null if not sharing
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<GphiEngine>> worker_engines_;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_ENGINE_BATCH_ENGINE_H_

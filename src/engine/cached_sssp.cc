@@ -1,0 +1,45 @@
+#include "engine/cached_sssp.h"
+
+#include <utility>
+
+namespace fannr {
+
+CachedSsspEngine::CachedSsspEngine(
+    const Graph& graph, std::shared_ptr<SourceDistanceCache> cache)
+    : graph_(graph), cache_(std::move(cache)), search_(graph) {}
+
+void CachedSsspEngine::Prepare(const IndexedVertexSet& query_points) {
+  query_points_ = &query_points;
+  q_distances_.resize(query_points.size());
+}
+
+GphiResult CachedSsspEngine::Evaluate(VertexId p, size_t k,
+                                      Aggregate aggregate) {
+  FANNR_CHECK(query_points_ != nullptr);
+  const std::vector<Weight>* sssp = nullptr;
+  std::shared_ptr<const std::vector<Weight>> cached;
+  if (cache_ != nullptr) {
+    cached = cache_->Lookup(p);
+    if (cached == nullptr) {
+      std::vector<Weight> fresh;
+      search_.SsspInto(p, fresh);
+      cached = cache_->Insert(p, std::move(fresh));
+    }
+    sssp = cached.get();
+  } else {
+    search_.SsspInto(p, scratch_sssp_);
+    sssp = &scratch_sssp_;
+  }
+  for (size_t i = 0; i < query_points_->size(); ++i) {
+    q_distances_[i] = (*sssp)[(*query_points_)[i]];
+  }
+  return internal_gphi::SelectAndFold(*query_points_, q_distances_, k,
+                                      aggregate);
+}
+
+std::unique_ptr<GphiEngine> MakeCachedSsspEngine(
+    const Graph& graph, std::shared_ptr<SourceDistanceCache> cache) {
+  return std::make_unique<CachedSsspEngine>(graph, std::move(cache));
+}
+
+}  // namespace fannr

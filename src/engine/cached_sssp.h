@@ -1,0 +1,56 @@
+// A g_phi engine backed by cached single-source shortest-path vectors.
+//
+// Evaluate(p, k, g) needs the network distances from the candidate p to
+// every query point; on an undirected road network those are a gather
+// from the SSSP vector delta(p, .). This engine obtains that vector from
+// a SourceDistanceCache shared across the batch (recomputing with a
+// per-engine DijkstraSearch on miss), so the second and every later
+// query of a batch that evaluates the same candidate pays a hash lookup
+// plus an O(|Q|) gather instead of an O(|E| log |V|) search.
+//
+// Exactness: the vector holds exact Dijkstra distances, so results equal
+// the INE/A*/PHL engines' up to floating-point summation order, and are
+// bitwise identical to any other CachedSsspEngine on the same graph —
+// regardless of cache hits, sharing, or which thread filled the cache.
+
+#ifndef FANNR_ENGINE_CACHED_SSSP_H_
+#define FANNR_ENGINE_CACHED_SSSP_H_
+
+#include <memory>
+
+#include "engine/distance_cache.h"
+#include "fann/gphi.h"
+#include "sp/dijkstra.h"
+
+namespace fannr {
+
+/// Cache-backed exact g_phi engine. Like every GphiEngine it is not
+/// thread-safe itself (it owns Dijkstra scratch); concurrent workers each
+/// hold their own instance and share one SourceDistanceCache.
+class CachedSsspEngine : public GphiEngine {
+ public:
+  /// `cache` may be null, in which case every evaluation recomputes (the
+  /// engine then still amortizes its Dijkstra scratch across calls).
+  CachedSsspEngine(const Graph& graph,
+                   std::shared_ptr<SourceDistanceCache> cache);
+
+  void Prepare(const IndexedVertexSet& query_points) override;
+  GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override;
+  std::string_view name() const override { return "Cached-SSSP"; }
+
+ private:
+  const Graph& graph_;
+  std::shared_ptr<SourceDistanceCache> cache_;
+  DijkstraSearch search_;
+  const IndexedVertexSet* query_points_ = nullptr;
+  std::vector<Weight> scratch_sssp_;   // miss path without a cache
+  std::vector<Weight> q_distances_;    // gather target, |Q| entries
+};
+
+/// Convenience factory matching MakeGphiEngine's shape.
+std::unique_ptr<GphiEngine> MakeCachedSsspEngine(
+    const Graph& graph, std::shared_ptr<SourceDistanceCache> cache);
+
+}  // namespace fannr
+
+#endif  // FANNR_ENGINE_CACHED_SSSP_H_

@@ -1,0 +1,77 @@
+#include "engine/distance_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fannr {
+
+SourceDistanceCache::SourceDistanceCache(size_t capacity, size_t num_shards)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  num_shards = std::max<size_t>(1, std::min(num_shards, capacity_));
+  shards_ = std::vector<Shard>(num_shards);
+  // Distribute the budget; every shard holds at least one entry.
+  const size_t base = capacity_ / num_shards;
+  const size_t extra = capacity_ % num_shards;
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_[i].capacity = std::max<size_t>(1, base + (i < extra ? 1 : 0));
+  }
+}
+
+std::shared_ptr<const std::vector<Weight>> SourceDistanceCache::Lookup(
+    VertexId source) {
+  Shard& shard = ShardOf(source);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(source);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  return it->second.distances;
+}
+
+std::shared_ptr<const std::vector<Weight>> SourceDistanceCache::Insert(
+    VertexId source, std::vector<Weight> distances) {
+  Shard& shard = ShardOf(source);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(source);
+  if (it != shard.map.end()) {
+    // First writer wins; refresh recency and drop the duplicate vector.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return it->second.distances;
+  }
+  while (shard.map.size() >= shard.capacity) {
+    FANNR_CHECK(!shard.lru.empty());
+    shard.map.erase(shard.lru.back());
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  auto entry = std::make_shared<const std::vector<Weight>>(
+      std::move(distances));
+  shard.lru.push_front(source);
+  shard.map[source] = {entry, shard.lru.begin()};
+  return entry;
+}
+
+void SourceDistanceCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+  }
+}
+
+SourceDistanceCache::Stats SourceDistanceCache::stats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+  }
+  return total;
+}
+
+}  // namespace fannr

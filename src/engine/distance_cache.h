@@ -1,0 +1,102 @@
+// A sharded, read-mostly cache of single-source distance vectors.
+//
+// FANN_R batch workloads evaluate g_phi(p, Q) for overlapping candidate
+// sets: distinct queries in a batch share the data set P (and often hit
+// the same R-List / IER candidate prefixes), so the SSSP from a candidate
+// p is recomputed many times under per-query execution. This cache keys
+// the full settled distance vector delta(p, .) by its source vertex and
+// shares it across all queries and worker threads of a batch.
+//
+// Design:
+//   * Entries are immutable once inserted (shared_ptr<const vector>), so
+//     readers hold no lock while consuming distances — only the brief
+//     shard-map lookup is serialized.
+//   * The key space is split over independently-locked shards
+//     (source % num_shards) so concurrent lookups of different sources
+//     rarely contend.
+//   * Each shard evicts in LRU order against a per-shard entry budget,
+//     bounding resident memory at capacity * |V| * sizeof(Weight) total.
+//   * Insertion is first-writer-wins: if two threads compute delta(p, .)
+//     concurrently, the loser's vector is discarded and the resident one
+//     returned. Dijkstra is deterministic for a fixed graph and source,
+//     so both vectors are identical and query results never depend on
+//     which thread won the race.
+
+#ifndef FANNR_ENGINE_DISTANCE_CACHE_H_
+#define FANNR_ENGINE_DISTANCE_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Thread-safe LRU cache: source vertex -> immutable distance vector.
+class SourceDistanceCache {
+ public:
+  /// Aggregate counters (summed over shards; each shard's counters are
+  /// updated under its lock, so the totals are exact once the batch has
+  /// quiesced).
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+  };
+
+  /// `capacity` bounds the total resident entries (>= 1 enforced);
+  /// `num_shards` fixes the lock striping (>= 1 enforced; rounded down to
+  /// at most `capacity` so every shard can hold an entry).
+  explicit SourceDistanceCache(size_t capacity, size_t num_shards = 16);
+
+  /// The cached distance vector of `source`, or nullptr on miss. A hit
+  /// refreshes the entry's LRU position.
+  std::shared_ptr<const std::vector<Weight>> Lookup(VertexId source);
+
+  /// Inserts delta(source, .), evicting the least-recently-used entry of
+  /// the shard if it is full. If the source is already resident the
+  /// existing entry wins and `distances` is discarded; the resident
+  /// vector is returned either way.
+  std::shared_ptr<const std::vector<Weight>> Insert(
+      VertexId source, std::vector<Weight> distances);
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  Stats stats() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // LRU list of sources, most recent at front; map values hold the
+    // entry plus its list position for O(1) refresh.
+    std::list<VertexId> lru;
+    struct Slot {
+      std::shared_ptr<const std::vector<Weight>> distances;
+      std::list<VertexId>::iterator lru_pos;
+    };
+    std::unordered_map<VertexId, Slot> map;
+    size_t capacity = 0;
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+  };
+
+  Shard& ShardOf(VertexId source) {
+    return shards_[source % shards_.size()];
+  }
+
+  size_t capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_ENGINE_DISTANCE_CACHE_H_

@@ -1,0 +1,71 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+namespace fannr {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, const std::function<void(size_t, size_t)>& body) {
+  if (count == 0) return;
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    count_ = count;
+    next_index_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerMain(size_t worker_id) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(size_t, size_t)>* body = nullptr;
+    size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      body = body_;
+      count = count_;
+    }
+    while (true) {
+      const size_t index = next_index_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) break;
+      (*body)(index, worker_id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace fannr

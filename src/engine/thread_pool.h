@@ -1,0 +1,71 @@
+// A fixed-size worker pool for batch query execution.
+//
+// Workers are started once and kept parked on a condition variable, so a
+// long-lived BatchQueryEngine pays the thread-spawn cost once, not per
+// batch. The pool's unit of work is an index range processed by
+// ParallelFor: workers pull indices from a shared atomic counter
+// (dynamic load balancing — queries have wildly different costs), and
+// every callback receives its worker id so callers can maintain
+// per-worker scratch (search objects, g_phi engines) without locking.
+
+#ifndef FANNR_ENGINE_THREAD_POOL_H_
+#define FANNR_ENGINE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fannr {
+
+/// Fixed pool of worker threads executing indexed parallel loops.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (minimum 1; 0 means
+  /// hardware_concurrency). The calling thread never executes loop
+  /// bodies, so worker ids are stable in [0, num_workers()).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers. Must not be called while a ParallelFor is
+  /// running on another thread.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Runs body(index, worker) for every index in [0, count), distributing
+  /// indices dynamically over the workers, and blocks until all calls
+  /// have returned. `worker` is the executing worker's id in
+  /// [0, num_workers()). Only one ParallelFor may run at a time (calls
+  /// from multiple threads serialize on an internal mutex). The body must
+  /// not throw and must not re-enter ParallelFor on the same pool.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t index, size_t worker)>& body);
+
+ private:
+  void WorkerMain(size_t worker_id);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex run_mu_;  // serializes ParallelFor calls
+
+  // State of the current loop, guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait here for a new loop
+  std::condition_variable done_cv_;  // ParallelFor waits here for completion
+  const std::function<void(size_t, size_t)>* body_ = nullptr;
+  size_t count_ = 0;
+  uint64_t generation_ = 0;     // bumped per loop so workers see new work
+  size_t active_workers_ = 0;   // workers still inside the current loop
+  std::atomic<size_t> next_index_{0};
+  bool shutdown_ = false;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_ENGINE_THREAD_POOL_H_

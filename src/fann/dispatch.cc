@@ -1,0 +1,62 @@
+#include "fann/dispatch.h"
+
+#include "fann/apx_sum.h"
+#include "fann/exact_max.h"
+#include "fann/gd.h"
+#include "fann/ier.h"
+#include "fann/naive.h"
+#include "fann/rlist.h"
+
+namespace fannr {
+
+std::string_view FannAlgorithmName(FannAlgorithm algorithm) {
+  switch (algorithm) {
+    case FannAlgorithm::kNaive:
+      return "Naive";
+    case FannAlgorithm::kGd:
+      return "GD";
+    case FannAlgorithm::kRList:
+      return "R-List";
+    case FannAlgorithm::kIer:
+      return "IER-kNN";
+    case FannAlgorithm::kExactMax:
+      return "Exact-max";
+    case FannAlgorithm::kApxSum:
+      return "APX-sum";
+  }
+  return "?";
+}
+
+bool FannAlgorithmSupports(FannAlgorithm algorithm, Aggregate aggregate) {
+  switch (algorithm) {
+    case FannAlgorithm::kExactMax:
+      return aggregate == Aggregate::kMax;
+    case FannAlgorithm::kApxSum:
+      return aggregate == Aggregate::kSum;
+    default:
+      return true;
+  }
+}
+
+FannResult SolveWith(FannAlgorithm algorithm, const FannQuery& query,
+                     GphiEngine& engine, const RTree* p_tree) {
+  FANNR_CHECK(FannAlgorithmSupports(algorithm, query.aggregate));
+  switch (algorithm) {
+    case FannAlgorithm::kNaive:
+      return SolveNaive(query);
+    case FannAlgorithm::kGd:
+      return SolveGd(query, engine);
+    case FannAlgorithm::kRList:
+      return SolveRList(query, engine);
+    case FannAlgorithm::kIer:
+      FANNR_CHECK(p_tree != nullptr && "IER-kNN needs the R-tree over P");
+      return SolveIer(query, engine, *p_tree);
+    case FannAlgorithm::kExactMax:
+      return SolveExactMax(query);
+    case FannAlgorithm::kApxSum:
+      return SolveApxSum(query, engine);
+  }
+  FANNR_CHECK(false && "unknown FannAlgorithm");
+}
+
+}  // namespace fannr

@@ -1,0 +1,56 @@
+// Uniform dispatch over the FANN_R solving algorithms.
+//
+// Every solver in src/fann/ exposes its own entry point with a slightly
+// different signature (IER-kNN needs an R-tree over P, Exact-max and
+// APX-sum are aggregate-specific, naive needs no engine). Batch execution
+// wants one switchable entry point with an injected g_phi distance oracle,
+// so the engine subsystem (src/engine/) — and anything else that routes
+// queries dynamically — does not hard-code per-algorithm call sites.
+
+#ifndef FANNR_FANN_DISPATCH_H_
+#define FANNR_FANN_DISPATCH_H_
+
+#include <string_view>
+
+#include "fann/gphi.h"
+#include "fann/query.h"
+#include "spatial/rtree.h"
+
+namespace fannr {
+
+/// The FANN_R solving algorithms (paper Sections II-C through IV-B).
+enum class FannAlgorithm {
+  kNaive,     // subset enumeration (toy instances only)
+  kGd,        // generalized Dijkstra-based: exhaustive over P
+  kRList,     // R-List threshold algorithm
+  kIer,       // IER-kNN best-first over an R-tree on P
+  kExactMax,  // Exact-max multi-source expansion (max only)
+  kApxSum,    // APX-sum candidate reduction (sum only)
+};
+
+/// All algorithms, paper order.
+inline constexpr FannAlgorithm kAllFannAlgorithms[] = {
+    FannAlgorithm::kNaive,    FannAlgorithm::kGd,
+    FannAlgorithm::kRList,    FannAlgorithm::kIer,
+    FannAlgorithm::kExactMax, FannAlgorithm::kApxSum,
+};
+
+/// Display name ("Naive", "GD", "R-List", "IER-kNN", "Exact-max",
+/// "APX-sum").
+std::string_view FannAlgorithmName(FannAlgorithm algorithm);
+
+/// True if `algorithm` can answer `aggregate` (Exact-max is max-only,
+/// APX-sum is sum-only, the rest are universal).
+bool FannAlgorithmSupports(FannAlgorithm algorithm, Aggregate aggregate);
+
+/// Solves `query` with `algorithm`, evaluating g_phi through `engine`
+/// (the injected distance oracle). `p_tree` is required for kIer — an
+/// R-tree over exactly query.data_points (see BuildDataPointRTree) — and
+/// ignored by every other algorithm. Aborts if the algorithm does not
+/// support the query's aggregate or a required resource is missing.
+FannResult SolveWith(FannAlgorithm algorithm, const FannQuery& query,
+                     GphiEngine& engine, const RTree* p_tree = nullptr);
+
+}  // namespace fannr
+
+#endif  // FANNR_FANN_DISPATCH_H_

@@ -17,8 +17,10 @@
 #ifndef FANNR_FANN_FANNR_H_
 #define FANNR_FANN_FANNR_H_
 
+#include "engine/batch_engine.h" // IWYU pragma: export
 #include "fann/aggregate.h"      // IWYU pragma: export
 #include "fann/apx_sum.h"        // IWYU pragma: export
+#include "fann/dispatch.h"       // IWYU pragma: export
 #include "fann/exact_max.h"      // IWYU pragma: export
 #include "fann/extensions.h"     // IWYU pragma: export
 #include "fann/gd.h"             // IWYU pragma: export

@@ -44,7 +44,10 @@ struct GphiResult {
 };
 
 /// Pluggable implementation of g_phi. Prepare() is called once per FANN_R
-/// query before any Evaluate(); engines are not thread-safe.
+/// query before any Evaluate(). Engines are not thread-safe (they own
+/// per-query state and search scratch), but they only read their shared
+/// substrate indexes — concurrent execution uses one engine per thread
+/// over one GphiResources (see src/engine/).
 class GphiEngine {
  public:
   virtual ~GphiEngine() = default;
@@ -85,12 +88,15 @@ std::string_view GphiKindName(GphiKind kind);
 
 /// Substrate indexes an engine may need. `graph` is always required; the
 /// index pointers are only required for the kinds that use them (Table I)
-/// and may be null otherwise.
+/// and may be null otherwise. All pointees are read-only shared state:
+/// engines never mutate them, and one GphiResources value may back any
+/// number of concurrently-running engines (each engine owns its own
+/// search scratch).
 struct GphiResources {
   const Graph* graph = nullptr;
   const GTree* gtree = nullptr;                 // GTree / IER-GTree
   const HubLabels* labels = nullptr;            // PHL / IER-PHL
-  ContractionHierarchy* ch = nullptr;           // CH
+  const ContractionHierarchy* ch = nullptr;     // CH
 };
 
 /// Creates an engine. Aborts if a required resource is missing.

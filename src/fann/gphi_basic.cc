@@ -156,10 +156,13 @@ std::unique_ptr<GphiEngine> MakeGphiEngine(GphiKind kind,
           "PHL");
     }
     case GphiKind::kCh: {
-      ContractionHierarchy* ch = resources.ch;
+      const ContractionHierarchy* ch = resources.ch;
       FANNR_CHECK(ch != nullptr);
+      // Each engine instance owns its search scratch, so engines built
+      // from the same hierarchy can run on different threads.
+      auto search = std::make_shared<ContractionHierarchy::Search>(*ch);
       return MakePointToPointEngine(
-          [ch](VertexId q, VertexId p) { return ch->Distance(q, p); },
+          [search](VertexId q, VertexId p) { return search->Distance(q, p); },
           "CH");
     }
     case GphiKind::kIerAStar:

@@ -43,7 +43,9 @@ struct Arc {
 
 /// Immutable undirected weighted graph with optional vertex coordinates.
 /// Construct via GraphBuilder (graph/builder.h), a loader (graph/io.h), or
-/// a generator (graph/generator.h).
+/// a generator (graph/generator.h). Every accessor is const with no
+/// internal scratch, so one Graph may be read concurrently from any
+/// number of threads (the batch engine relies on this).
 class Graph {
  public:
   /// Builds the CSR representation from per-vertex adjacency lists.

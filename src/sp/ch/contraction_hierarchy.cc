@@ -208,15 +208,31 @@ ContractionHierarchy ContractionHierarchy::Build(const Graph& graph,
   return ch;
 }
 
-Weight ContractionHierarchy::Distance(VertexId u, VertexId v) {
-  FANNR_CHECK(u + 1 < up_offsets_.size() && v + 1 < up_offsets_.size());
+Weight ContractionHierarchy::Distance(VertexId u, VertexId v) const {
+  return BidirUpwardSearch(*this, u, v, dist_forward_, dist_backward_);
+}
+
+ContractionHierarchy::Search::Search(const ContractionHierarchy& ch)
+    : ch_(&ch),
+      dist_forward_(ch.up_offsets_.size() - 1, kInfWeight),
+      dist_backward_(ch.up_offsets_.size() - 1, kInfWeight) {}
+
+Weight ContractionHierarchy::Search::Distance(VertexId u, VertexId v) {
+  return BidirUpwardSearch(*ch_, u, v, dist_forward_, dist_backward_);
+}
+
+Weight ContractionHierarchy::BidirUpwardSearch(
+    const ContractionHierarchy& ch, VertexId u, VertexId v,
+    TimestampedArray<Weight>& forward, TimestampedArray<Weight>& backward) {
+  FANNR_CHECK(u + 1 < ch.up_offsets_.size() &&
+              v + 1 < ch.up_offsets_.size());
   if (u == v) return 0.0;
-  dist_forward_.NewEpoch();
-  dist_backward_.NewEpoch();
+  forward.NewEpoch();
+  backward.NewEpoch();
 
   auto arcs = [&](VertexId x) {
-    return std::span<const Arc>(up_arcs_.data() + up_offsets_[x],
-                                up_offsets_[x + 1] - up_offsets_[x]);
+    return std::span<const Arc>(ch.up_arcs_.data() + ch.up_offsets_[x],
+                                ch.up_offsets_[x + 1] - ch.up_offsets_[x]);
   };
 
   Weight best = kInfWeight;
@@ -240,8 +256,8 @@ Weight ContractionHierarchy::Distance(VertexId u, VertexId v) {
       }
     }
   };
-  run(u, dist_forward_, dist_backward_);
-  run(v, dist_backward_, dist_forward_);
+  run(u, forward, backward);
+  run(v, backward, forward);
   return best;
 }
 

@@ -21,8 +21,11 @@
 
 namespace fannr {
 
-/// Exact CH distance oracle. Build once, then query; queries reuse
-/// internal scratch arrays and are therefore not thread-safe.
+/// Exact CH distance oracle. The index itself (the upward search graph)
+/// is immutable after Build/Load and safe to share across threads; all
+/// query scratch lives in Search objects. The convenience Distance()
+/// method below uses one internal Search and is therefore NOT
+/// thread-safe — concurrent readers must create one Search per thread.
 class ContractionHierarchy {
  public:
   struct Options {
@@ -32,14 +35,33 @@ class ContractionHierarchy {
     size_t witness_settle_limit = 60;
   };
 
+  /// A reusable bidirectional upward search bound to one hierarchy.
+  /// Owns the scratch arrays (the TimestampedArray amortization pattern of
+  /// sp/dijkstra.h); create one per thread. The hierarchy must outlive
+  /// every Search bound to it.
+  class Search {
+   public:
+    explicit Search(const ContractionHierarchy& ch);
+
+    /// Exact network distance (kInfWeight if disconnected).
+    Weight Distance(VertexId u, VertexId v);
+
+   private:
+    const ContractionHierarchy* ch_;
+    TimestampedArray<Weight> dist_forward_;
+    TimestampedArray<Weight> dist_backward_;
+  };
+
   static ContractionHierarchy Build(const Graph& graph) {
     return Build(graph, Options{});
   }
   static ContractionHierarchy Build(const Graph& graph,
                                     const Options& options);
 
-  /// Exact network distance (kInfWeight if disconnected).
-  Weight Distance(VertexId u, VertexId v);
+  /// Exact network distance (kInfWeight if disconnected). Convenience
+  /// wrapper around an internal Search: const but NOT thread-safe (the
+  /// scratch is shared); concurrent callers use one Search per thread.
+  Weight Distance(VertexId u, VertexId v) const;
 
   /// Number of shortcut edges inserted during preprocessing.
   size_t NumShortcuts() const { return num_shortcuts_; }
@@ -63,8 +85,18 @@ class ContractionHierarchy {
   std::vector<Arc> up_arcs_;
   size_t num_shortcuts_ = 0;
 
-  TimestampedArray<Weight> dist_forward_;
-  TimestampedArray<Weight> dist_backward_;
+  // The bidirectional upward search shared by Search::Distance and the
+  // convenience Distance(); the scratch arrays are passed in by the
+  // caller.
+  static Weight BidirUpwardSearch(const ContractionHierarchy& ch,
+                                  VertexId u, VertexId v,
+                                  TimestampedArray<Weight>& forward,
+                                  TimestampedArray<Weight>& backward);
+
+  // Scratch of the convenience Distance(); the reason that method is not
+  // thread-safe.
+  mutable TimestampedArray<Weight> dist_forward_;
+  mutable TimestampedArray<Weight> dist_backward_;
 };
 
 }  // namespace fannr

@@ -127,6 +127,30 @@ Weight DijkstraSearch::Distance(VertexId source, VertexId target) {
   return kInfWeight;
 }
 
+void DijkstraSearch::SsspInto(VertexId source, std::vector<Weight>& out) {
+  FANNR_CHECK(source < graph_.NumVertices());
+  dist_.NewEpoch();
+  MinHeap heap;
+  dist_.Set(source, 0.0);
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist_.Get(u)) continue;
+    for (const Arc& a : graph_.Neighbors(u)) {
+      const Weight nd = d + a.weight;
+      if (nd < dist_.Get(a.to)) {
+        dist_.Set(a.to, nd);
+        heap.push({nd, a.to});
+      }
+    }
+  }
+  out.resize(graph_.NumVertices());
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    out[v] = dist_.Get(v);
+  }
+}
+
 std::vector<Weight> DijkstraSearch::Distances(
     VertexId source, const std::vector<VertexId>& targets) {
   dist_.NewEpoch();

@@ -48,6 +48,13 @@ class DijkstraSearch {
   std::vector<Weight> Distances(VertexId source,
                                 const std::vector<VertexId>& targets);
 
+  /// Full SSSP from `source` written into `out` (resized to |V|;
+  /// kInfWeight = unreachable). Equivalent to DijkstraSssp but reuses
+  /// this object's scratch, so a worker thread running many sources only
+  /// allocates the output. The result is identical (bit for bit) for a
+  /// given graph and source regardless of which search object ran it.
+  void SsspInto(VertexId source, std::vector<Weight>& out);
+
   const Graph& graph() const { return graph_; }
 
  private:

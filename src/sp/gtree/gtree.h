@@ -29,6 +29,12 @@
 namespace fannr {
 
 /// Hierarchical road-network index; see file comment.
+///
+/// Thread-safety: the index is immutable after Build/Load. Distance,
+/// WithinLeafDistances and the structure accessors keep all search state
+/// in locals, so concurrent readers need no synchronization; SourceOracle
+/// and GTreeKnn::Search carry their own per-instance state and should be
+/// created one per thread.
 class GTree {
  public:
   struct Options {

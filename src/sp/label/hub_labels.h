@@ -27,7 +27,9 @@
 
 namespace fannr {
 
-/// Exact 2-hop-labeling distance oracle.
+/// Exact 2-hop-labeling distance oracle. Immutable after Build/Load;
+/// Distance is a pure two-pointer scan over the label arrays, so the
+/// whole query surface is safe for concurrent readers.
 class HubLabels {
  public:
   struct Options {

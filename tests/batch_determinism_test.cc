@@ -1,0 +1,103 @@
+// The batch engine's headline invariant: results are byte-identical to
+// sequential execution for every algorithm, across seeds and thread
+// counts (1, 2, 8), with the shared distance cache hot or cold. Any
+// scheduling- or cache-dependence of the answers is a bug this test is
+// designed to catch.
+
+#include <bit>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/batch_engine.h"
+#include "fann/fannr.h"
+#include "fann_world.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+void ExpectByteIdentical(const FannResult& a, const FannResult& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.best, b.best) << label;
+  ASSERT_EQ(std::bit_cast<uint64_t>(a.distance),
+            std::bit_cast<uint64_t>(b.distance))
+      << label;
+  ASSERT_EQ(a.subset, b.subset) << label;
+  ASSERT_EQ(a.gphi_evaluations, b.gphi_evaluations) << label;
+}
+
+struct Workload {
+  std::deque<IndexedVertexSet> sets;
+  std::vector<FannrQuery> jobs;
+};
+
+// Mixed workload: every algorithm on several instances, both aggregates
+// and two phi values, all from one seed.
+Workload MakeWorkload(const Graph& graph, uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  for (int i = 0; i < 3; ++i) {
+    const auto& p = w.sets.emplace_back(
+        graph.NumVertices(), testing::SampleVertices(graph, 24, rng));
+    const auto& q = w.sets.emplace_back(
+        graph.NumVertices(), testing::SampleVertices(graph, 8, rng));
+    for (double phi : {0.25, 0.75}) {
+      for (Aggregate aggregate : {Aggregate::kMax, Aggregate::kSum}) {
+        for (FannAlgorithm algorithm : kAllFannAlgorithms) {
+          if (!FannAlgorithmSupports(algorithm, aggregate)) continue;
+          FannrQuery job;
+          job.query = FannQuery{&graph, &p, &q, phi, aggregate};
+          job.algorithm = algorithm;
+          w.jobs.push_back(job);
+        }
+      }
+    }
+  }
+  return w;
+}
+
+class BatchDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchDeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  const Workload workload = MakeWorkload(graph, GetParam());
+
+  // Sequential execution = the engine pinned to one worker, no sharing.
+  BatchOptions sequential_options;
+  sequential_options.num_threads = 1;
+  sequential_options.share_distance_cache = false;
+  BatchQueryEngine sequential(world.Resources(), sequential_options);
+  const auto reference = sequential.Run(workload.jobs);
+  ASSERT_EQ(reference.size(), workload.jobs.size());
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    BatchQueryEngine engine(world.Resources(), options);
+    // Two runs per engine: the second hits a warm shared cache, which
+    // must not change a single byte either.
+    for (int run = 0; run < 2; ++run) {
+      const auto got = engine.Run(workload.jobs);
+      ASSERT_EQ(got.size(), reference.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ExpectByteIdentical(
+            got[i], reference[i],
+            "seed " + std::to_string(GetParam()) + " threads " +
+                std::to_string(threads) + " run " + std::to_string(run) +
+                " job " + std::to_string(i) + " (" +
+                std::string(FannAlgorithmName(workload.jobs[i].algorithm)) +
+                ")");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchDeterminismTest,
+                         ::testing::Values(11u, 42u, 20260805u));
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,223 @@
+// BatchQueryEngine correctness: batch execution must return exactly what
+// the sequential per-query solvers return, for every algorithm and both
+// oracle modes, and the shared distance cache must actually be shared.
+
+#include "engine/batch_engine.h"
+
+#include <bit>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/cached_sssp.h"
+#include "fann/fannr.h"
+#include "fann_world.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+// Bitwise result equality: value fields compared through their bit
+// patterns (so +0.0 vs -0.0 or differing NaNs would fail, which is the
+// guarantee the engine documents).
+void ExpectBitwiseEqual(const FannResult& a, const FannResult& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.best, b.best) << label;
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.distance),
+            std::bit_cast<uint64_t>(b.distance))
+      << label << " dist " << a.distance << " vs " << b.distance;
+  EXPECT_EQ(a.subset, b.subset) << label;
+  EXPECT_EQ(a.gphi_evaluations, b.gphi_evaluations) << label;
+}
+
+// A batch over one world: several (P, Q) instances crossed with every
+// algorithm that supports the chosen aggregate.
+struct Batch {
+  std::deque<IndexedVertexSet> sets;  // stable addresses for the queries
+  std::vector<FannrQuery> jobs;
+
+  Batch(const Graph& graph, Aggregate aggregate, uint64_t seed,
+        size_t instances = 3) {
+    Rng rng(seed);
+    for (size_t i = 0; i < instances; ++i) {
+      const auto& p = sets.emplace_back(
+          graph.NumVertices(), testing::SampleVertices(graph, 30, rng));
+      const auto& q = sets.emplace_back(
+          graph.NumVertices(), testing::SampleVertices(graph, 8, rng));
+      for (FannAlgorithm algorithm : kAllFannAlgorithms) {
+        if (!FannAlgorithmSupports(algorithm, aggregate)) continue;
+        FannrQuery job;
+        job.query = FannQuery{&graph, &p, &q, 0.5, aggregate};
+        job.algorithm = algorithm;
+        jobs.push_back(job);
+      }
+    }
+  }
+};
+
+// Sequential reference: one uncached Cached-SSSP engine, one query at a
+// time — the execution model this PR replaces.
+std::vector<FannResult> SequentialReference(
+    const Graph& graph, const std::vector<FannrQuery>& jobs) {
+  auto engine = MakeCachedSsspEngine(graph, nullptr);
+  std::vector<FannResult> results;
+  results.reserve(jobs.size());
+  std::map<const IndexedVertexSet*, RTree> p_trees;
+  for (const FannrQuery& job : jobs) {
+    const RTree* p_tree = nullptr;
+    if (job.algorithm == FannAlgorithm::kIer) {
+      auto it = p_trees.find(job.query.data_points);
+      if (it == p_trees.end()) {
+        it = p_trees
+                 .emplace(job.query.data_points,
+                          BuildDataPointRTree(graph, *job.query.data_points))
+                 .first;
+      }
+      p_tree = &it->second;
+    }
+    results.push_back(SolveWith(job.algorithm, job.query, *engine, p_tree));
+  }
+  return results;
+}
+
+TEST(BatchEngineTest, MatchesSequentialExecutionBothAggregates) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  for (Aggregate aggregate : {Aggregate::kMax, Aggregate::kSum}) {
+    Batch batch(graph, aggregate, 0xBA7C4 + static_cast<int>(aggregate));
+    const auto expected = SequentialReference(graph, batch.jobs);
+
+    BatchOptions options;
+    options.num_threads = 4;
+    BatchQueryEngine engine(world.Resources(), options);
+    const auto got = engine.Run(batch.jobs);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectBitwiseEqual(got[i], expected[i],
+                         "job " + std::to_string(i) + " agg " +
+                             std::string(AggregateName(aggregate)));
+    }
+  }
+}
+
+TEST(BatchEngineTest, GphiKindOracleMatchesDirectEngine) {
+  // gphi_kind mode: every worker owns a Table I engine; results must
+  // equal the same engine run sequentially.
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  Batch batch(graph, Aggregate::kMax, 0x5EeD);
+
+  for (GphiKind kind : {GphiKind::kPhl, GphiKind::kGTree}) {
+    auto reference_engine = MakeGphiEngine(kind, world.Resources());
+    std::vector<FannResult> expected;
+    std::map<const IndexedVertexSet*, RTree> p_trees;
+    for (const FannrQuery& job : batch.jobs) {
+      const RTree* p_tree = nullptr;
+      if (job.algorithm == FannAlgorithm::kIer) {
+        auto it = p_trees.find(job.query.data_points);
+        if (it == p_trees.end()) {
+          it = p_trees
+                   .emplace(job.query.data_points,
+                            BuildDataPointRTree(graph,
+                                                *job.query.data_points))
+                   .first;
+        }
+        p_tree = &it->second;
+      }
+      expected.push_back(
+          SolveWith(job.algorithm, job.query, *reference_engine, p_tree));
+    }
+
+    BatchOptions options;
+    options.num_threads = 2;
+    options.gphi_kind = kind;
+    BatchQueryEngine engine(world.Resources(), options);
+    const auto got = engine.Run(batch.jobs);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectBitwiseEqual(got[i], expected[i],
+                         std::string(GphiKindName(kind)) + " job " +
+                             std::to_string(i));
+    }
+  }
+}
+
+TEST(BatchEngineTest, SharedCacheGetsHitsAcrossQueries) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+
+  // Eight GD queries over the same P evaluate each candidate eight
+  // times; with a shared cache only the first evaluation of a candidate
+  // misses.
+  Rng rng(77);
+  IndexedVertexSet p(graph.NumVertices(),
+                     testing::SampleVertices(graph, 25, rng));
+  std::deque<IndexedVertexSet> qs;
+  std::vector<FannrQuery> jobs;
+  for (int i = 0; i < 8; ++i) {
+    const auto& q = qs.emplace_back(graph.NumVertices(),
+                                    testing::SampleVertices(graph, 10, rng));
+    FannrQuery job;
+    job.query = FannQuery{&graph, &p, &q, 0.5, Aggregate::kSum};
+    job.algorithm = FannAlgorithm::kGd;
+    jobs.push_back(job);
+  }
+
+  BatchOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 256;
+  BatchQueryEngine engine(world.Resources(), options);
+  engine.Run(jobs);
+
+  const auto stats = engine.cache_stats();
+  // 8 queries x 25 candidates = 200 evaluations; at most 25 distinct
+  // sources can miss (races may duplicate a handful of SSSPs, but hits
+  // must dominate).
+  EXPECT_EQ(stats.hits + stats.misses, 200u);
+  EXPECT_GE(stats.hits, 150u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(BatchEngineTest, CacheDisabledStillCorrect) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  Batch batch(graph, Aggregate::kSum, 0xD15AB1E);
+  const auto expected = SequentialReference(graph, batch.jobs);
+
+  BatchOptions options;
+  options.num_threads = 2;
+  options.share_distance_cache = false;
+  BatchQueryEngine engine(world.Resources(), options);
+  const auto got = engine.Run(batch.jobs);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ExpectBitwiseEqual(got[i], expected[i], "uncached job " +
+                                                std::to_string(i));
+  }
+  EXPECT_EQ(engine.cache_stats().hits + engine.cache_stats().misses, 0u);
+}
+
+TEST(BatchEngineTest, EmptyBatch) {
+  const auto& world = testing::FannWorld::Get();
+  BatchQueryEngine engine(world.Resources(), BatchOptions{});
+  EXPECT_TRUE(engine.Run({}).empty());
+}
+
+TEST(DispatchTest, NamesAndSupport) {
+  EXPECT_EQ(FannAlgorithmName(FannAlgorithm::kGd), "GD");
+  EXPECT_EQ(FannAlgorithmName(FannAlgorithm::kExactMax), "Exact-max");
+  EXPECT_TRUE(FannAlgorithmSupports(FannAlgorithm::kGd, Aggregate::kSum));
+  EXPECT_TRUE(
+      FannAlgorithmSupports(FannAlgorithm::kExactMax, Aggregate::kMax));
+  EXPECT_FALSE(
+      FannAlgorithmSupports(FannAlgorithm::kExactMax, Aggregate::kSum));
+  EXPECT_FALSE(
+      FannAlgorithmSupports(FannAlgorithm::kApxSum, Aggregate::kMax));
+}
+
+}  // namespace
+}  // namespace fannr

@@ -1,0 +1,76 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fannr {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> seen(kCount);
+  pool.ParallelFor(kCount, [&](size_t index, size_t worker) {
+    EXPECT_LT(worker, 4u);
+    seen[index].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroCountReturnsImmediately) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SingleWorkerProcessesAll) {
+  ThreadPool pool(1);
+  size_t sum = 0;  // single worker: no synchronization needed
+  pool.ParallelFor(100, [&](size_t index, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    sum += index;
+  });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossLoops) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> count{0};
+    pool.ParallelFor(round * 7 + 1, [&](size_t, size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), static_cast<size_t>(round * 7 + 1));
+  }
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanIndices) {
+  ThreadPool pool(8);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(2, [&](size_t, size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 2u);
+}
+
+TEST(ThreadPoolTest, PerWorkerScratchIsUnshared) {
+  // Each worker accumulates into its own slot; slots must add up with no
+  // lost updates, proving worker ids never collide concurrently.
+  ThreadPool pool(4);
+  std::vector<size_t> per_worker(pool.num_workers(), 0);
+  pool.ParallelFor(5000, [&](size_t, size_t worker) {
+    ++per_worker[worker];
+  });
+  EXPECT_EQ(std::accumulate(per_worker.begin(), per_worker.end(), size_t{0}),
+            5000u);
+}
+
+}  // namespace
+}  // namespace fannr
