@@ -35,6 +35,21 @@ size_t FlexK(double phi, size_t q_size);
 Weight FoldSorted(const Weight* distances, size_t count,
                   Aggregate aggregate);
 
+/// Robust pruning comparison for solver termination: true when `bound`
+/// clearly exceeds `best`, with a relative margin absorbing accumulated
+/// floating-point noise. Pruning bounds (R-List heads, Euclidean lower
+/// bounds) and g_phi evaluations may sum the same shortest path in
+/// different orders, so a bound can land a few ulps ABOVE the engine's
+/// value for the very candidate it is supposed to lower-bound; pruning
+/// on a bare `>` would then skip a candidate another solver keeps. The
+/// margin keeps every candidate within FP noise of the incumbent alive,
+/// and the shared (distance, vertex id) tie-break decides among them —
+/// which is what makes solver answers bitwise comparable. Exact values
+/// (including 0 and +-inf) are unaffected by the multiplicative margin.
+inline bool PruneBoundExceeds(Weight bound, Weight best) {
+  return bound > best * (1.0 + 1e-12);
+}
+
 }  // namespace fannr
 
 #endif  // FANNR_FANN_AGGREGATE_H_

@@ -1,5 +1,6 @@
 #include "fann/exact_max.h"
 
+#include <algorithm>
 #include <queue>
 #include <unordered_map>
 #include <utility>
@@ -12,9 +13,12 @@ namespace fannr {
 namespace {
 
 // Core of Algorithm 2: multi-source expansion with counters. Returns the
-// first data point whose counter reaches k together with its arrivals (in
-// arrival = distance order) and the saturating distance; best stays
-// kInvalidVertex when no counter saturates.
+// first data point whose counter reaches k together with its arrivals
+// (sorted by (distance, query id), nearest first) and the saturating
+// distance; best stays kInvalidVertex when no counter saturates. When
+// several counters saturate at the same distance, the smallest vertex id
+// wins — the canonical (distance, id) order shared with the other
+// solvers.
 struct Saturation {
   VertexId best = kInvalidVertex;
   Weight distance = kInfWeight;
@@ -36,21 +40,39 @@ Saturation RunCounters(const FannQuery& query, size_t k) {
     if (head != nullptr) heads.push({head->distance, i});
   }
 
-  std::unordered_map<VertexId, std::vector<VertexId>> arrivals;
+  // arrival = (distance from its query point, query point id).
+  using Arrival = std::pair<Weight, VertexId>;
+  std::unordered_map<VertexId, std::vector<Arrival>> arrivals;
   while (!heads.empty()) {
-    auto [d, i] = heads.top();
-    heads.pop();
-    const auto hit = lists[i].Next();
-    FANNR_DCHECK(hit.has_value());
-    auto& arrived = arrivals[hit->vertex];
-    arrived.push_back(lists[i].source());
-    if (arrived.size() >= k) {
-      // k-th arrival: exact answer (max over the k nearest sources = the
-      // current pop distance).
-      return {hit->vertex, d, std::move(arrived)};
+    // Drain the whole plateau at distance d before deciding: equal-
+    // distance pops arrive in an order that depends on Q's iteration
+    // order, so the first counter to saturate within the plateau is not
+    // deterministic — but the *set* of saturations at distance d is.
+    const Weight d = heads.top().first;
+    VertexId best = kInvalidVertex;
+    while (!heads.empty() && heads.top().first == d) {
+      const uint32_t i = heads.top().second;
+      heads.pop();
+      const auto hit = lists[i].Next();
+      FANNR_DCHECK(hit.has_value());
+      auto& arrived = arrivals[hit->vertex];
+      arrived.push_back({hit->distance, lists[i].source()});
+      if (arrived.size() >= k && hit->vertex < best) best = hit->vertex;
+      const auto* next = lists[i].Peek();
+      if (next != nullptr) heads.push({next->distance, i});
     }
-    const auto* next = lists[i].Peek();
-    if (next != nullptr) heads.push({next->distance, i});
+    if (best != kInvalidVertex) {
+      // k-th arrival: exact answer (max over the k nearest sources = the
+      // plateau distance d).
+      std::vector<Arrival>& arrived = arrivals[best];
+      std::sort(arrived.begin(), arrived.end());
+      Saturation sat;
+      sat.best = best;
+      sat.distance = d;
+      sat.arrivals.reserve(k);
+      for (size_t i = 0; i < k; ++i) sat.arrivals.push_back(arrived[i].second);
+      return sat;
+    }
   }
   return {};  // fewer than k query points reach any data point
 }

@@ -19,7 +19,11 @@ FannResult SolveGd(const FannQuery& query, GphiEngine& engine) {
   for (VertexId p : query.data_points->members()) {
     GphiResult r = engine.Evaluate(p, k, query.aggregate);
     ++best.gphi_evaluations;
-    if (r.distance < best.distance) {
+    if (r.distance == kInfWeight) continue;
+    // Canonical (distance, vertex id) order: exact-distance ties go to
+    // the smaller vertex id, independent of P's iteration order.
+    if (r.distance < best.distance ||
+        (r.distance == best.distance && p < best.best)) {
       best.best = p;
       best.distance = r.distance;
       best.subset = std::move(r.subset);

@@ -34,18 +34,21 @@ GphiResult SelectAndFold(const IndexedVertexSet& query_points,
                          Aggregate aggregate) {
   FANNR_CHECK(distances.size() == query_points.size());
   GphiResult result;
+  // Canonical order: (distance, query point id). The id tie-break makes
+  // the selected subset — and thus every solver built on top of this
+  // fold — independent of Q's iteration order.
+  auto canonical = [&](uint32_t a, uint32_t b) {
+    return distances[a] != distances[b] ? distances[a] < distances[b]
+                                        : query_points[a] < query_points[b];
+  };
   std::vector<uint32_t> order(distances.size());
   std::iota(order.begin(), order.end(), 0u);
   if (k < order.size()) {
     std::nth_element(order.begin(), order.begin() + k, order.end(),
-                     [&](uint32_t a, uint32_t b) {
-                       return distances[a] < distances[b];
-                     });
+                     canonical);
     order.resize(k);
   }
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    return distances[a] < distances[b];
-  });
+  std::sort(order.begin(), order.end(), canonical);
 
   std::vector<Weight> nearest;
   nearest.reserve(order.size());

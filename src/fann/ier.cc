@@ -98,12 +98,17 @@ FannResult SolveIer(const FannQuery& query, GphiEngine& engine,
   FannResult best;
   while (!heap.empty()) {
     const Entry top = heap.top();
-    if (top.bound >= best.distance) break;  // Lemma 1 termination
+    // Lemma 1 termination, margined and strict: an entry whose lower
+    // bound equals (or sits within FP noise of) best.distance may hold
+    // an equal-distance candidate that wins the vertex-id tie-break.
+    if (PruneBoundExceeds(top.bound, best.distance)) break;
     heap.pop();
     if (top.is_point) {
       GphiResult r = engine.Evaluate(top.vertex, k, query.aggregate);
       ++best.gphi_evaluations;
-      if (r.distance < best.distance) {
+      if (r.distance < best.distance ||
+          (r.distance != kInfWeight && r.distance == best.distance &&
+           top.vertex < best.best)) {
         best.best = top.vertex;
         best.distance = r.distance;
         best.subset = std::move(r.subset);

@@ -12,23 +12,35 @@ namespace fannr {
 
 namespace {
 
-// Bounded collector of the k best candidates (max-heap by distance).
+// Bounded collector of the k best candidates (max-heap by (distance,
+// vertex id)). All ordering is by the canonical total order — distance
+// first, vertex id as the tie-break — so the collected set and its
+// Sorted() order are independent of offer order and identical across
+// solvers (tests/corpus_replay_test.cc and the differential harness rely
+// on this).
 class TopK {
  public:
   explicit TopK(size_t capacity) : capacity_(capacity) {}
 
-  /// Distance a new candidate must beat (the k-th best so far).
+  /// Distance a new candidate must beat (the k-th best so far). A
+  /// candidate AT this distance may still enter on the vertex-id
+  /// tie-break, so termination tests against this bound must be strict
+  /// (prune only when a lower bound exceeds it).
   Weight WorstBound() const {
     return heap_.size() < capacity_ ? kInfWeight : heap_.top().distance;
   }
 
   void Offer(KFannEntry entry) {
-    if (entry.distance >= WorstBound()) return;
+    if (heap_.size() < capacity_) {
+      heap_.push(std::move(entry));
+      return;
+    }
+    if (!Less(entry, heap_.top())) return;
+    heap_.pop();
     heap_.push(std::move(entry));
-    if (heap_.size() > capacity_) heap_.pop();
   }
 
-  /// Extracts the entries sorted by distance (ascending).
+  /// Extracts the entries sorted ascending by (distance, vertex id).
   std::vector<KFannEntry> Sorted() && {
     std::vector<KFannEntry> result;
     result.reserve(heap_.size());
@@ -41,13 +53,17 @@ class TopK {
   }
 
  private:
-  struct ByDistance {
+  static bool Less(const KFannEntry& a, const KFannEntry& b) {
+    return a.distance != b.distance ? a.distance < b.distance
+                                    : a.vertex < b.vertex;
+  }
+  struct ByDistanceThenId {
     bool operator()(const KFannEntry& a, const KFannEntry& b) const {
-      return a.distance < b.distance;
+      return Less(a, b);
     }
   };
   size_t capacity_;
-  std::priority_queue<KFannEntry, std::vector<KFannEntry>, ByDistance>
+  std::priority_queue<KFannEntry, std::vector<KFannEntry>, ByDistanceThenId>
       heap_;
 };
 
@@ -99,7 +115,13 @@ std::vector<KFannEntry> SolveKRList(const FannQuery& query,
     }
     if (min_list == lists.size()) break;
 
-    // Threshold vs the k-th best candidate (Section V).
+    // Threshold vs the k-th best candidate (Section V). The fold of the
+    // k smallest heads lower-bounds g_phi of every point not yet popped
+    // from any list: an exhausted list (head = +inf) cannot reach any
+    // unpopped point, so folding +inf is sound. In particular, when
+    // fewer than k lists still have finite heads — e.g. Q spans several
+    // connected components — the threshold is +inf and no unevaluated
+    // point can have finite g_phi: stopping is exact, not a heuristic.
     scratch = heads;
     std::nth_element(scratch.begin(), scratch.begin() + (k - 1),
                      scratch.end());
@@ -110,7 +132,11 @@ std::vector<KFannEntry> SolveKRList(const FannQuery& query,
       threshold = 0.0;
       for (size_t i = 0; i < k; ++i) threshold += scratch[i];
     }
-    if (threshold >= top.WorstBound()) break;
+    if (threshold == kInfWeight) break;
+    // Margined and strict: a candidate at (or within FP noise of)
+    // WorstBound() can still displace the current k-th best on the
+    // vertex-id tie-break (see PruneBoundExceeds).
+    if (PruneBoundExceeds(threshold, top.WorstBound())) break;
 
     const auto hit = lists[min_list].Next();
     const uint32_t p_index = query.data_points->IndexOf(hit->vertex);
@@ -155,7 +181,10 @@ std::vector<KFannEntry> SolveKIer(const FannQuery& query, size_t k_results,
 
   while (!heap.empty()) {
     const Entry e = heap.top();
-    if (e.bound >= top.WorstBound()) break;
+    // Margined and strict: a subtree whose lower bound equals (or sits
+    // within FP noise of) WorstBound() may hold an equal-distance
+    // candidate that wins the vertex-id tie-break.
+    if (PruneBoundExceeds(e.bound, top.WorstBound())) break;
     heap.pop();
     if (e.is_point) {
       GphiResult r = engine.Evaluate(e.vertex, k, query.aggregate);
@@ -198,27 +227,52 @@ std::vector<KFannEntry> SolveKExactMax(const FannQuery& query,
     if (head != nullptr) heads.push({head->distance, i});
   }
 
-  std::unordered_map<VertexId, std::vector<VertexId>> arrivals;
+  // arrival = (distance from its query point, query point id); kept so
+  // the reported subset can be sorted nearest-first with id tie-breaks,
+  // matching the other solvers' SelectAndFold order.
+  using Arrival = std::pair<Weight, VertexId>;
+  std::unordered_map<VertexId, std::vector<Arrival>> arrivals;
   std::unordered_set<VertexId> saturated;
   std::vector<KFannEntry> result;
 
+  // Pops arrive in nondecreasing distance, but the order of equal-
+  // distance pops depends on Q's iteration order. Process one distance
+  // plateau at a time: collect every data point whose counter reaches k
+  // at exactly distance d, then emit them in vertex-id order — the same
+  // (distance, id) total order the other k-FANN solvers use.
   while (!heads.empty() && result.size() < k_results) {
-    auto [d, i] = heads.top();
-    heads.pop();
-    const auto hit = lists[i].Next();
-    if (!saturated.count(hit->vertex)) {
-      auto& arrived = arrivals[hit->vertex];
-      arrived.push_back(lists[i].source());
-      if (arrived.size() >= k) {
-        saturated.insert(hit->vertex);
-        result.push_back({hit->vertex, d, std::move(arrived)});
-        arrivals.erase(hit->vertex);
+    const Weight d = heads.top().first;
+    std::vector<VertexId> pending;
+    while (!heads.empty() && heads.top().first == d) {
+      const uint32_t i = heads.top().second;
+      heads.pop();
+      const auto hit = lists[i].Next();
+      if (!saturated.count(hit->vertex)) {
+        auto& arrived = arrivals[hit->vertex];
+        arrived.push_back({hit->distance, lists[i].source()});
+        if (arrived.size() >= k) {
+          saturated.insert(hit->vertex);
+          pending.push_back(hit->vertex);
+        }
       }
+      const auto* next = lists[i].Peek();
+      if (next != nullptr) heads.push({next->distance, i});
     }
-    const auto* next = lists[i].Peek();
-    if (next != nullptr) heads.push({next->distance, i});
+    std::sort(pending.begin(), pending.end());
+    for (VertexId vertex : pending) {
+      if (result.size() >= k_results) break;
+      auto node = arrivals.extract(vertex);
+      std::vector<Arrival>& arrived = node.mapped();
+      std::sort(arrived.begin(), arrived.end());
+      KFannEntry entry;
+      entry.vertex = vertex;
+      entry.distance = arrived[k - 1].first;  // == d
+      entry.subset.reserve(k);
+      for (size_t i = 0; i < k; ++i) entry.subset.push_back(arrived[i].second);
+      result.push_back(std::move(entry));
+    }
   }
-  return result;  // already in nondecreasing distance order
+  return result;  // (distance, vertex id) order by construction
 }
 
 }  // namespace fannr

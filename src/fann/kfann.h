@@ -5,6 +5,16 @@
 // instead of the best; Exact-max expands until k distinct counters reach
 // phi|Q|. APX-sum is deliberately not adapted (the paper adapts "most"
 // algorithms, excluding APX-sum).
+//
+// Shared result contract (checked by the differential fuzzing harness,
+// src/testing/differential.h): every solver returns
+// min(k_results, #data points with finite g_phi) entries in ascending
+// (distance, vertex id) order, exact ties broken by the smaller vertex
+// id, with each subset nearest first. Asking for more results than there
+// are qualifying data points is valid and simply returns fewer entries.
+// The lists are therefore bitwise-identical across solvers for the same
+// query, and a solver's top-k list is always a prefix of its top-k'
+// list for k' > k.
 
 #ifndef FANNR_FANN_KFANN_H_
 #define FANNR_FANN_KFANN_H_

@@ -45,25 +45,37 @@ FannResult SolveNaive(const FannQuery& query) {
   for (size_t i = 0; i < k; ++i) subset[i] = i;
 
   FannResult best;
+  std::vector<Weight> fold_scratch(k);
   auto consider = [&] {
     for (size_t pi = 0; pi < p_list.size(); ++pi) {
-      Weight agg = 0.0;
       bool reachable = true;
+      fold_scratch.clear();
       for (size_t qi : subset) {
         const Weight d = dist_to_p[qi][pi];
         if (d == kInfWeight) {
           reachable = false;
           break;
         }
+        fold_scratch.push_back(d);
+      }
+      if (!reachable) continue;
+      // Fold in ascending order — the canonical accumulation order every
+      // g_phi implementation uses (FoldSorted over sorted distances) —
+      // so sums are bitwise comparable across solvers and the oracle.
+      std::sort(fold_scratch.begin(), fold_scratch.end());
+      Weight agg = 0.0;
+      for (const Weight d : fold_scratch) {
         if (query.aggregate == Aggregate::kSum) {
           agg += d;
         } else {
           agg = std::max(agg, d);
         }
       }
-      if (!reachable) continue;
       ++best.gphi_evaluations;
-      if (agg < best.distance) {
+      // Canonical (distance, vertex id) order: exact-distance ties go to
+      // the smaller data point id so the oracle agrees with the solvers.
+      if (agg < best.distance ||
+          (agg == best.distance && p_list[pi] < best.best)) {
         best.distance = agg;
         best.best = p_list[pi];
         best.subset.clear();

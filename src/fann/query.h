@@ -39,6 +39,16 @@ struct FannResult {
 };
 
 /// One entry of a k-FANN_R answer (Definition 3).
+///
+/// Contract shared by every k-FANN_R solver (see fann/kfann.h):
+///  - a result list holds min(k_results, #data points with finite g_phi)
+///    entries — points that cannot reach phi|Q| query points are never
+///    reported;
+///  - entries are sorted ascending by (distance, vertex id): exact
+///    distance ties are broken by the smaller vertex id, so all solvers
+///    return bitwise-identical lists for the same query;
+///  - subset lists the phi|Q| supporting query points nearest first,
+///    with equal-distance query points in ascending id order.
 struct KFannEntry {
   VertexId vertex = kInvalidVertex;
   Weight distance = kInfWeight;

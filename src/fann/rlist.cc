@@ -57,7 +57,15 @@ FannResult SolveRList(const FannQuery& query, GphiEngine& engine,
         threshold = 0.0;
         for (size_t i = 0; i < k; ++i) threshold += scratch[i];
       }
-      if (threshold >= best.distance) break;
+      // threshold = +inf means fewer than k lists still have finite
+      // heads, so no unevaluated point has finite g_phi: stopping is
+      // exact (covers Q spanning several connected components).
+      if (threshold == kInfWeight) break;
+      // Margined and strict: an unevaluated point at (or within FP noise
+      // of) best.distance can still win the vertex-id tie-break, and the
+      // q-side threshold can overshoot the engine's p-side value by a
+      // few ulps (see PruneBoundExceeds).
+      if (PruneBoundExceeds(threshold, best.distance)) break;
     }
 
     const auto hit = lists[min_list].Next();
@@ -66,7 +74,9 @@ FannResult SolveRList(const FannQuery& query, GphiEngine& engine,
       evaluated[p_index] = true;
       GphiResult r = engine.Evaluate(hit->vertex, k, query.aggregate);
       ++best.gphi_evaluations;
-      if (r.distance < best.distance) {
+      if (r.distance < best.distance ||
+          (r.distance != kInfWeight && r.distance == best.distance &&
+           hit->vertex < best.best)) {
         best.best = hit->vertex;
         best.distance = r.distance;
         best.subset = std::move(r.subset);

@@ -1,0 +1,52 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sp/dijkstra.h"
+
+namespace fannr::testing {
+
+std::vector<std::vector<Weight>> OracleDistanceMatrix(
+    const Graph& graph, const std::vector<VertexId>& p,
+    const std::vector<VertexId>& q) {
+  std::vector<std::vector<Weight>> matrix(q.size());
+  DijkstraSearch search(graph);
+  for (size_t qi = 0; qi < q.size(); ++qi) {
+    matrix[qi] = search.Distances(q[qi], p);
+  }
+  return matrix;
+}
+
+Weight OracleGphi(const std::vector<std::vector<Weight>>& matrix, size_t pi,
+                  size_t k, Aggregate aggregate) {
+  std::vector<Weight> dists;
+  dists.reserve(matrix.size());
+  for (const auto& row : matrix) dists.push_back(row[pi]);
+  FANNR_CHECK(k > 0 && k <= dists.size());
+  std::sort(dists.begin(), dists.end());
+  if (dists[k - 1] == kInfWeight) return kInfWeight;
+  return FoldSorted(dists.data(), k, aggregate);
+}
+
+std::vector<OracleEntry> OracleRanking(const Graph& graph,
+                                       const std::vector<VertexId>& p,
+                                       const std::vector<VertexId>& q,
+                                       double phi, Aggregate aggregate) {
+  const auto matrix = OracleDistanceMatrix(graph, p, q);
+  const size_t k = FlexK(phi, q.size());
+  std::vector<OracleEntry> ranking;
+  ranking.reserve(p.size());
+  for (size_t pi = 0; pi < p.size(); ++pi) {
+    const Weight d = OracleGphi(matrix, pi, k, aggregate);
+    if (d != kInfWeight) ranking.push_back({p[pi], d});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const OracleEntry& a, const OracleEntry& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.vertex < b.vertex;
+            });
+  return ranking;
+}
+
+}  // namespace fannr::testing

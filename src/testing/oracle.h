@@ -1,0 +1,49 @@
+// Brute-force FANN_R oracle for differential testing.
+//
+// Computes the full candidate ranking from first principles — one
+// Dijkstra per query point, then a per-candidate select-and-fold — with
+// the canonical deterministic tie order (ascending distance, then
+// ascending vertex id). Every solver's output is checked against this
+// ranking by src/testing/differential.cc. Deliberately independent of
+// the solver code paths it audits: it shares only the graph, Dijkstra,
+// FlexK and FoldSorted primitives.
+
+#ifndef FANNR_TESTING_ORACLE_H_
+#define FANNR_TESTING_ORACLE_H_
+
+#include <vector>
+
+#include "fann/aggregate.h"
+#include "graph/graph.h"
+
+namespace fannr::testing {
+
+/// One ranked candidate: a data point with finite flexible aggregate
+/// distance (unreachable candidates are excluded from the ranking).
+struct OracleEntry {
+  VertexId vertex = kInvalidVertex;
+  Weight distance = kInfWeight;
+};
+
+/// All distances from each query point to each data point:
+/// matrix[qi][pi] = d(q[qi], p[pi]).
+std::vector<std::vector<Weight>> OracleDistanceMatrix(
+    const Graph& graph, const std::vector<VertexId>& p,
+    const std::vector<VertexId>& q);
+
+/// g_phi(p[pi], Q) with subset size k, from a precomputed matrix.
+Weight OracleGphi(const std::vector<std::vector<Weight>>& matrix, size_t pi,
+                  size_t k, Aggregate aggregate);
+
+/// The complete candidate ranking by (distance, vertex id), finite
+/// entries only. The k-FANN_R answer of size r is the first
+/// min(r, size()) entries; the FANN_R answer is the front (or "no
+/// answer" when empty).
+std::vector<OracleEntry> OracleRanking(const Graph& graph,
+                                       const std::vector<VertexId>& p,
+                                       const std::vector<VertexId>& q,
+                                       double phi, Aggregate aggregate);
+
+}  // namespace fannr::testing
+
+#endif  // FANNR_TESTING_ORACLE_H_

@@ -35,6 +35,41 @@ TEST(FlexKTest, NeverExceedsQSize) {
   }
 }
 
+TEST(FlexKTest, ExactMultiplesAreNotOverRounded) {
+  // phi = k/m must give exactly k even when the division is inexact —
+  // the 1e-9 guard inside FlexK exists precisely so that an excess ulp
+  // in phi * m does not push ceil() one subset size too high.
+  for (size_t m = 1; m <= 64; ++m) {
+    for (size_t k = 1; k <= m; ++k) {
+      const double phi = static_cast<double>(k) / static_cast<double>(m);
+      EXPECT_EQ(FlexK(phi, m), k) << "phi=" << k << "/" << m;
+    }
+  }
+}
+
+TEST(FlexKTest, ReciprocalPhiGivesOne) {
+  // phi = 1/|Q| is the smallest meaningful phi: exactly one query point.
+  for (size_t m = 1; m <= 256; ++m) {
+    EXPECT_EQ(FlexK(1.0 / static_cast<double>(m), m), 1u) << "m=" << m;
+  }
+}
+
+TEST(FlexKTest, PhiOneGivesAllForEveryQSize) {
+  for (size_t m = 1; m <= 256; ++m) {
+    EXPECT_EQ(FlexK(1.0, m), m) << "m=" << m;
+  }
+}
+
+TEST(FlexKTest, JustAboveBoundaryRoundsUp) {
+  // Clearly above a representable boundary (beyond the guard band) the
+  // ceiling must move to the next subset size.
+  for (size_t m : {2u, 3u, 10u, 128u}) {
+    EXPECT_EQ(FlexK((1.0 + 1e-6) / static_cast<double>(m), m), 2u)
+        << "m=" << m;
+  }
+  EXPECT_EQ(FlexK(0.5 + 1e-6, 10), 6u);
+}
+
 TEST(FoldSortedTest, MaxTakesLast) {
   const Weight d[] = {1.0, 2.0, 5.0};
   EXPECT_DOUBLE_EQ(FoldSorted(d, 3, Aggregate::kMax), 5.0);

@@ -7,6 +7,7 @@
 #include "fann/gd.h"
 #include "fann_world.h"
 #include "test_util.h"
+#include "testing/scenario.h"
 #include "workload/workload.h"
 
 namespace fannr {
@@ -128,6 +129,58 @@ TEST(ApxSumTest, CanBeStrictlySuboptimal) {
   EXPECT_DOUBLE_EQ(approx.distance, 10.0);
   EXPECT_NE(approx.best, exact.best);
   EXPECT_LE(approx.distance, 3.0 * exact.distance);
+}
+
+TEST(ApxSumTest, SharedNearestNeighborsAreDedupedOnce) {
+  // Three query points whose network 1-NNs collapse to two distinct data
+  // points: the candidate set — and with it the number of exact g_phi
+  // evaluations — must shrink to 2, not |Q|.
+  Graph g = testing::MakeLineGraph(11, 1.0);
+  IndexedVertexSet p(g.NumVertices(), {0, 10});
+  IndexedVertexSet q(g.NumVertices(), {1, 2, 9});
+  GphiResources resources;
+  resources.graph = &g;
+  auto engine = MakeGphiEngine(GphiKind::kIne, resources);
+  FannQuery query{&g, &p, &q, 1.0, Aggregate::kSum};
+  const FannResult approx = SolveApxSum(query, *engine);
+  EXPECT_EQ(approx.gphi_evaluations, 2u);
+  EXPECT_NE(approx.best, kInvalidVertex);
+}
+
+TEST(ApxSumTest, SeededScenarioBatchObeysBounds) {
+  // The same approximation-bound check the differential fuzzer applies,
+  // pinned into ctest over a fixed batch of generated scenarios: 3x in
+  // general, 2x when Q is a subset of P (Theorems 1 and 2), on shapes
+  // that include ties, disconnected components and P/Q overlap.
+  size_t checked = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto s = testing::GenerateScenario(seed);
+    IndexedVertexSet p(s.graph->NumVertices(), s.p);
+    IndexedVertexSet q(s.graph->NumVertices(), s.q);
+    GphiResources resources;
+    resources.graph = s.graph.get();
+    auto engine = MakeGphiEngine(GphiKind::kIne, resources);
+    FannQuery query{s.graph.get(), &p, &q, s.phi, Aggregate::kSum};
+    const FannResult exact = SolveGd(query, *engine);
+    const FannResult approx = SolveApxSum(query, *engine);
+    if (exact.best == kInvalidVertex) {
+      EXPECT_EQ(approx.best, kInvalidVertex) << "seed " << seed;
+      continue;
+    }
+    ASSERT_NE(approx.best, kInvalidVertex) << "seed " << seed;
+    if (exact.distance == 0.0) {
+      EXPECT_DOUBLE_EQ(approx.distance, 0.0) << "seed " << seed;
+      continue;
+    }
+    bool q_subset_of_p = true;
+    for (VertexId v : s.q) q_subset_of_p &= p.Contains(v);
+    const double bound = q_subset_of_p ? 2.0 : 3.0;
+    EXPECT_GE(approx.distance, exact.distance - 1e-9) << "seed " << seed;
+    EXPECT_LE(approx.distance, bound * exact.distance * (1.0 + 1e-9))
+        << "seed " << seed;
+    ++checked;
+  }
+  EXPECT_GE(checked, 20u);  // the batch must mostly be non-degenerate
 }
 
 TEST(ApxSumTest, RejectsMaxAggregate) {

@@ -1,0 +1,182 @@
+// Tests for the differential fuzzing harness itself (src/testing/):
+// the scenario generator's coverage of adversarial shapes, the
+// serialization round-trip, and a sweep of seeds through the full
+// cross-solver checker — the in-suite slice of what tools/fuzz_fannr
+// runs at scale.
+
+#include "testing/differential.h"
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fann/gd.h"
+#include "graph/builder.h"
+#include "testing/scenario.h"
+
+namespace fannr {
+namespace {
+
+using testing::AggregateMode;
+using testing::DifferentialOptions;
+using testing::GenerateScenario;
+using testing::ReadScenario;
+using testing::RunDifferentialChecks;
+using testing::Scenario;
+using testing::WriteScenario;
+
+TEST(ScenarioGeneratorTest, IsDeterministic) {
+  for (uint64_t seed : {1u, 17u, 58u}) {
+    const Scenario a = GenerateScenario(seed);
+    const Scenario b = GenerateScenario(seed);
+    EXPECT_EQ(a.p, b.p) << "seed " << seed;
+    EXPECT_EQ(a.q, b.q) << "seed " << seed;
+    EXPECT_EQ(a.phi, b.phi) << "seed " << seed;
+    EXPECT_EQ(a.k_results, b.k_results) << "seed " << seed;
+    EXPECT_EQ(a.note, b.note) << "seed " << seed;
+    EXPECT_EQ(a.graph->NumVertices(), b.graph->NumVertices());
+    EXPECT_EQ(a.graph->NumEdges(), b.graph->NumEdges());
+  }
+}
+
+TEST(ScenarioGeneratorTest, CoversTheAdversarialShapes) {
+  std::set<std::string> notes;
+  bool saw_phi_one = false;
+  bool saw_phi_min = false;
+  bool saw_k_results_above_p = false;
+  for (uint64_t seed = 1; seed <= 150; ++seed) {
+    const Scenario s = GenerateScenario(seed);
+    notes.insert(s.note);
+    if (s.phi == 1.0) saw_phi_one = true;
+    if (s.phi <= 1.0 / static_cast<double>(s.q.size()) + 1e-12) {
+      saw_phi_min = true;
+    }
+    if (s.k_results > s.p.size()) saw_k_results_above_p = true;
+  }
+  // All five graph shapes must appear in a modest seed range.
+  EXPECT_TRUE(notes.count("tie-grid"));
+  EXPECT_TRUE(notes.count("jittered-grid"));
+  EXPECT_TRUE(notes.count("geometric"));
+  EXPECT_TRUE(notes.count("disconnected-tie-grids"));
+  EXPECT_TRUE(notes.count("disconnected-mixed"));
+  // ... as must the phi and k_results edge cases.
+  EXPECT_TRUE(saw_phi_one);
+  EXPECT_TRUE(saw_phi_min);
+  EXPECT_TRUE(saw_k_results_above_p);
+}
+
+TEST(ScenarioSerializationTest, RoundTripsBitwise) {
+  for (uint64_t seed : {3u, 21u, 44u}) {
+    const Scenario original = GenerateScenario(seed);
+    std::ostringstream first;
+    ASSERT_TRUE(WriteScenario(original, first));
+    std::istringstream in(first.str());
+    std::string error;
+    const auto reparsed = ReadScenario(in, &error);
+    ASSERT_TRUE(reparsed.has_value()) << error;
+    EXPECT_EQ(reparsed->p, original.p);
+    EXPECT_EQ(reparsed->q, original.q);
+    EXPECT_EQ(reparsed->phi, original.phi);  // bitwise via %.17g
+    EXPECT_EQ(reparsed->k_results, original.k_results);
+    std::ostringstream second;
+    ASSERT_TRUE(WriteScenario(*reparsed, second));
+    EXPECT_EQ(first.str(), second.str()) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioSerializationTest, RejectsMalformedInput) {
+  for (const char* bad : {
+           "",                                  // empty
+           "not-a-scenario 1\nend\n",           // wrong magic
+           "fannr-scenario 1\ngraph 2 1\n",     // truncated
+           "fannr-scenario 1\np 1 7\nend\n",    // p before graph
+       }) {
+    std::istringstream in(bad);
+    std::string error;
+    EXPECT_FALSE(ReadScenario(in, &error).has_value());
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(DifferentialCheckTest, SeededScenariosAreClean) {
+  // A miniature fuzz run inside the test suite. The CI fuzz job covers a
+  // much larger range; this keeps the invariants wired into ctest.
+  DifferentialOptions options;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto violations =
+        RunDifferentialChecks(GenerateScenario(seed), options);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ": " << violations.front();
+  }
+}
+
+TEST(DifferentialCheckTest, HandcraftedTieScenarioIsClean) {
+  // A 3x3 uniform grid where every P-vertex ties pairwise in g_phi: the
+  // canonical (distance, vertex id) order is the only thing that makes
+  // solver outputs comparable, so this would catch any tie-break drift.
+  GraphBuilder builder;
+  const double cell = 1000.0;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      builder.AddVertex({c * cell, r * cell});
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const VertexId u = static_cast<VertexId>(r * 3 + c);
+      if (c + 1 < 3) builder.AddEdge(u, u + 1, cell);
+      if (r + 1 < 3) builder.AddEdge(u, u + 3, cell);
+    }
+  }
+  Scenario s;
+  s.graph = std::make_shared<const Graph>(builder.Build());
+  s.p = {0, 2, 6, 8};  // the four corners: symmetric, maximal ties
+  s.q = {4, 1, 3, 5, 7};
+  s.phi = 0.6;  // k = 3
+  s.k_results = 4;
+  s.note = "handcrafted corner ties";
+  const auto violations = RunDifferentialChecks(s, DifferentialOptions{});
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST(DifferentialCheckTest, CornerTiesAreBitwiseAndWinnerIsMinId) {
+  // Asserts the precondition that makes the harness's tie checks live on
+  // uniform grids — the four corner data points really do tie bitwise in
+  // g_phi — and that the solvers break the tie toward the smallest
+  // vertex id, the canonical order every solver must share.
+  GraphBuilder builder;
+  const double cell = 1000.0;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      builder.AddVertex({c * cell, r * cell});
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const VertexId u = static_cast<VertexId>(r * 3 + c);
+      if (c + 1 < 3) builder.AddEdge(u, u + 1, cell);
+      if (r + 1 < 3) builder.AddEdge(u, u + 3, cell);
+    }
+  }
+  const Graph graph = builder.Build();
+  IndexedVertexSet p(graph.NumVertices(), {0, 2, 6, 8});
+  IndexedVertexSet q(graph.NumVertices(), {4, 1, 3, 5, 7});
+  GphiResources resources;
+  resources.graph = &graph;
+  auto engine = MakeGphiEngine(GphiKind::kIne, resources);
+  FannQuery query{&graph, &p, &q, 0.6, Aggregate::kSum};
+  const FannResult best = SolveGd(query, *engine);
+  // All four corners tie bitwise; the deterministic winner is vertex 0.
+  EXPECT_EQ(best.best, 0u);
+  for (VertexId corner : {2u, 6u, 8u}) {
+    GphiResult r = engine->Evaluate(corner, query.FlexSubsetSize(),
+                                    Aggregate::kSum);
+    EXPECT_EQ(r.distance, best.distance) << "corner " << corner;
+  }
+}
+
+}  // namespace
+}  // namespace fannr

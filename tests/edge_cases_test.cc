@@ -158,6 +158,26 @@ TEST(EdgeCaseTest, ValidateQueryRejectsBadInput) {
     FannQuery query{&graph, &p, &q, 1.5, Aggregate::kSum};
     EXPECT_DEATH(SolveGd(query, *engine), "");
   }
+  {
+    // Empty query set.
+    FannQuery query{&graph, &p, &empty, 0.5, Aggregate::kSum};
+    EXPECT_DEATH(SolveGd(query, *engine), "");
+  }
+  {
+    // Null graph.
+    FannQuery query{nullptr, &p, &q, 0.5, Aggregate::kSum};
+    EXPECT_DEATH(SolveGd(query, *engine), "");
+  }
+  {
+    // Negative phi.
+    FannQuery query{&graph, &p, &q, -0.25, Aggregate::kSum};
+    EXPECT_DEATH(SolveGd(query, *engine), "");
+  }
+  {
+    // k_results = 0 is rejected by every k-FANN solver.
+    FannQuery query{&graph, &p, &q, 0.5, Aggregate::kSum};
+    EXPECT_DEATH(SolveKGd(query, 0, *engine), "");
+  }
 }
 
 }  // namespace

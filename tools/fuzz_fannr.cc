@@ -1,0 +1,203 @@
+// Differential fuzzer for the FANN_R solvers.
+//
+// Generates seeded adversarial scenarios (src/testing/scenario.h), runs
+// every solver through the differential + invariant checker
+// (src/testing/differential.h), and on violation writes a minimized
+// self-contained reproducer to the corpus directory. Reproducers are
+// replayed by tests/corpus_replay_test.cc, so every bug the fuzzer ever
+// finds stays fixed.
+//
+// Usage:
+//   fuzz_fannr [--seed-start N] [--num-seeds N] [--budget-seconds S]
+//              [--corpus-dir DIR] [--no-minimize] [--stop-on-first]
+//   fuzz_fannr --replay FILE...
+//
+// Exit code 0 = all scenarios clean; 1 = at least one violation;
+// 2 = usage or I/O error.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "testing/differential.h"
+#include "testing/scenario.h"
+
+namespace {
+
+using fannr::testing::DescribeScenario;
+using fannr::testing::DifferentialOptions;
+using fannr::testing::MinimizeScenario;
+using fannr::testing::ReadScenarioFile;
+using fannr::testing::RunDifferentialChecks;
+using fannr::testing::Scenario;
+using fannr::testing::WriteScenarioFile;
+
+struct Args {
+  uint64_t seed_start = 1;
+  uint64_t num_seeds = 100;
+  double budget_seconds = 0.0;  // 0 = unlimited
+  std::string corpus_dir;
+  bool minimize = true;
+  bool stop_on_first = false;
+  std::vector<std::string> replay_files;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: fuzz_fannr [--seed-start N] [--num-seeds N]\n"
+      "                  [--budget-seconds S] [--corpus-dir DIR]\n"
+      "                  [--no-minimize] [--stop-on-first]\n"
+      "       fuzz_fannr --replay FILE...\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fuzz_fannr: %s needs a value\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--seed-start") {
+      const char* v = next("--seed-start");
+      if (v == nullptr) return false;
+      args.seed_start = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--num-seeds") {
+      const char* v = next("--num-seeds");
+      if (v == nullptr) return false;
+      args.num_seeds = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--budget-seconds") {
+      const char* v = next("--budget-seconds");
+      if (v == nullptr) return false;
+      args.budget_seconds = std::strtod(v, nullptr);
+    } else if (flag == "--corpus-dir") {
+      const char* v = next("--corpus-dir");
+      if (v == nullptr) return false;
+      args.corpus_dir = v;
+    } else if (flag == "--no-minimize") {
+      args.minimize = false;
+    } else if (flag == "--stop-on-first") {
+      args.stop_on_first = true;
+    } else if (flag == "--replay") {
+      while (i + 1 < argc) args.replay_files.push_back(argv[++i]);
+      if (args.replay_files.empty()) {
+        std::fprintf(stderr, "fuzz_fannr: --replay needs files\n");
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "fuzz_fannr: unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Reports a failing scenario: prints the violations, optionally
+// minimizes, and writes the reproducer to the corpus directory.
+void ReportFailure(const Args& args, const Scenario& scenario,
+                   const std::vector<std::string>& violations,
+                   const DifferentialOptions& options) {
+  std::fprintf(stderr, "VIOLATION %s\n", DescribeScenario(scenario).c_str());
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "  %s\n", v.c_str());
+  }
+  if (args.corpus_dir.empty()) return;
+
+  Scenario repro = scenario;
+  if (args.minimize) {
+    repro = MinimizeScenario(scenario, options);
+    std::fprintf(stderr, "  minimized to %s\n",
+                 DescribeScenario(repro).c_str());
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(args.corpus_dir, ec);
+  const std::string path = args.corpus_dir + "/repro_seed" +
+                           std::to_string(scenario.seed) + ".scenario";
+  if (WriteScenarioFile(repro, path)) {
+    std::fprintf(stderr, "  reproducer written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "  FAILED to write reproducer %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, args)) {
+    PrintUsage();
+    return 2;
+  }
+  DifferentialOptions options;
+
+  if (!args.replay_files.empty()) {
+    int failures = 0;
+    for (const std::string& path : args.replay_files) {
+      std::string error;
+      auto scenario = ReadScenarioFile(path, &error);
+      if (!scenario.has_value()) {
+        std::fprintf(stderr, "fuzz_fannr: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 2;
+      }
+      const auto violations = RunDifferentialChecks(*scenario, options);
+      if (violations.empty()) {
+        std::printf("PASS %s (%s)\n", path.c_str(),
+                    DescribeScenario(*scenario).c_str());
+      } else {
+        ++failures;
+        std::printf("FAIL %s\n", path.c_str());
+        for (const std::string& v : violations) {
+          std::printf("  %s\n", v.c_str());
+        }
+      }
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  auto out_of_budget = [&]() {
+    if (args.budget_seconds <= 0.0) return false;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() >= args.budget_seconds;
+  };
+
+  uint64_t ran = 0;
+  uint64_t failed = 0;
+  for (uint64_t seed = args.seed_start;
+       seed < args.seed_start + args.num_seeds; ++seed) {
+    if (out_of_budget()) {
+      std::fprintf(stderr, "fuzz_fannr: budget exhausted after %llu seeds\n",
+                   static_cast<unsigned long long>(ran));
+      break;
+    }
+    const Scenario scenario = fannr::testing::GenerateScenario(seed);
+    const auto violations = RunDifferentialChecks(scenario, options);
+    ++ran;
+    if (!violations.empty()) {
+      ++failed;
+      ReportFailure(args, scenario, violations, options);
+      if (args.stop_on_first) break;
+    }
+    if (ran % 50 == 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      std::fprintf(stderr,
+                   "fuzz_fannr: %llu scenarios, %llu violations, %.1fs\n",
+                   static_cast<unsigned long long>(ran),
+                   static_cast<unsigned long long>(failed), elapsed.count());
+    }
+  }
+  std::printf("fuzz_fannr: %llu scenarios run, %llu with violations\n",
+              static_cast<unsigned long long>(ran),
+              static_cast<unsigned long long>(failed));
+  return failed == 0 ? 0 : 1;
+}
