@@ -2,12 +2,39 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 #include <utility>
 
-#include "engine/cached_sssp.h"
+#include "common/timer.h"
 #include "fann/ier.h"
 
 namespace fannr {
+
+namespace {
+
+/// Screens one job against the engine's graph. Empty string = runnable.
+std::string JobValidationError(const FannrQuery& job, const Graph* graph) {
+  std::string error = QueryValidationError(job.query);
+  if (!error.empty()) return error;
+  if (job.query.graph != graph) {
+    return "query.graph does not match the engine's graph";
+  }
+  if (!FannAlgorithmSupports(job.algorithm, job.query.aggregate)) {
+    return std::string(FannAlgorithmName(job.algorithm)) +
+           " does not support aggregate " +
+           std::string(AggregateName(job.query.aggregate));
+  }
+  return std::string();
+}
+
+FannResult RejectedResult(const std::string& error) {
+  FannResult result;
+  result.status = QueryStatus::kRejected;
+  result.error = error;
+  return result;
+}
+
+}  // namespace
 
 BatchQueryEngine::BatchQueryEngine(const GphiResources& resources,
                                    const BatchOptions& options)
@@ -29,8 +56,39 @@ BatchQueryEngine::BatchQueryEngine(const GphiResources& resources,
                                                    options_.cache_shards);
   }
   worker_engines_.reserve(pool_.num_workers());
+  cached_engines_.reserve(pool_.num_workers());
   for (size_t i = 0; i < pool_.num_workers(); ++i) {
     worker_engines_.push_back(MakeWorkerEngine());
+    cached_engines_.push_back(
+        cached_oracle ? static_cast<CachedSsspEngine*>(
+                            worker_engines_.back().get())
+                      : nullptr);
+  }
+
+  if (options_.enable_metrics) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>(pool_.num_workers());
+    m_queries_ = metrics_->RegisterCounter("engine.queries");
+    m_rejected_ = metrics_->RegisterCounter("engine.rejected_queries");
+    m_solve_ms_ = metrics_->RegisterHistogram("engine.solve_ms",
+                                              obs::DefaultLatencyBucketsMs());
+    m_dispatch_wait_ms_ = metrics_->RegisterHistogram(
+        "engine.dispatch_wait_ms", obs::DefaultLatencyBucketsMs());
+    m_cache_entries_ = metrics_->RegisterGauge("cache.resident_entries");
+    CachedSsspEngine::MetricHandles cache_handles;
+    cache_handles.cache_hits = metrics_->RegisterCounter("cache.hits");
+    cache_handles.cache_misses = metrics_->RegisterCounter("cache.misses");
+    cache_handles.sssp_compute_ms = metrics_->RegisterHistogram(
+        "cache.sssp_compute_ms", obs::DefaultLatencyBucketsMs());
+    slow_log_ = std::make_unique<obs::SlowQueryLog>(
+        options_.slow_query_log_capacity, options_.slow_query_threshold_ms);
+    tracing_engines_.reserve(pool_.num_workers());
+    for (size_t i = 0; i < pool_.num_workers(); ++i) {
+      tracing_engines_.push_back(
+          std::make_unique<obs::TracingGphiEngine>(*worker_engines_[i]));
+      if (cached_engines_[i] != nullptr) {
+        cached_engines_[i]->PublishMetrics(metrics_.get(), cache_handles, i);
+      }
+    }
   }
 }
 
@@ -45,15 +103,39 @@ std::unique_ptr<GphiEngine> BatchQueryEngine::MakeWorkerEngine() const {
 
 std::vector<FannResult> BatchQueryEngine::Run(
     const std::vector<FannrQuery>& queries) {
-  // Validate up front (ValidateQuery aborts on malformed queries) and
-  // build the R-trees the IER-kNN jobs need — once per distinct P set,
-  // outside the parallel phase so workers only read them.
+  const bool tracing = options_.enable_metrics;
+  Timer run_timer;
+  last_traces_.clear();
+  last_report_ = obs::BatchReport{};
+  if (tracing) last_traces_.resize(queries.size());
+  const SourceDistanceCache::Stats cache_before =
+      cache_ != nullptr ? cache_->stats() : SourceDistanceCache::Stats{};
+  const ThreadPool::Stats pool_before = pool_.stats();
+
+  // Screen every job (rejections fill their result slot and are skipped
+  // by the parallel phase) and build the R-trees the runnable IER-kNN
+  // jobs need — once per distinct P set, outside the parallel phase so
+  // workers only read them.
+  std::vector<FannResult> results(queries.size());
+  size_t rejected = 0;
   std::map<const IndexedVertexSet*, RTree> p_trees;
-  for (const FannrQuery& job : queries) {
-    ValidateQuery(job.query);
-    FANNR_CHECK(job.query.graph == resources_.graph &&
-                "batch queries must target the engine's graph");
-    FANNR_CHECK(FannAlgorithmSupports(job.algorithm, job.query.aggregate));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const FannrQuery& job = queries[i];
+    std::string error = JobValidationError(job, resources_.graph);
+    if (!error.empty()) {
+      ++rejected;
+      results[i] = RejectedResult(error);
+      if (tracing) {
+        obs::QueryTrace& trace = last_traces_[i];
+        trace.query_index = i;
+        trace.algorithm = job.algorithm;
+        trace.status = QueryStatus::kRejected;
+        trace.error = std::move(error);
+        metrics_->Add(m_rejected_, 1, /*shard=*/0);
+        slow_log_->Offer(trace);
+      }
+      continue;
+    }
     if (job.algorithm == FannAlgorithm::kIer) {
       const IndexedVertexSet* p = job.query.data_points;
       if (p_trees.find(p) == p_trees.end()) {
@@ -62,16 +144,89 @@ std::vector<FannResult> BatchQueryEngine::Run(
     }
   }
 
-  std::vector<FannResult> results(queries.size());
   pool_.ParallelFor(queries.size(), [&](size_t index, size_t worker) {
+    if (results[index].status == QueryStatus::kRejected) return;
     const FannrQuery& job = queries[index];
     const RTree* p_tree = nullptr;
     if (job.algorithm == FannAlgorithm::kIer) {
       p_tree = &p_trees.at(job.query.data_points);
     }
-    results[index] = SolveWith(job.algorithm, job.query,
-                               *worker_engines_[worker], p_tree);
+    if (!tracing) {
+      results[index] = SolveWith(job.algorithm, job.query,
+                                 *worker_engines_[worker], p_tree);
+      return;
+    }
+
+    obs::QueryTrace& trace = last_traces_[index];
+    trace.query_index = index;
+    trace.worker = worker;
+    trace.algorithm = job.algorithm;
+    trace.dispatch_wait_ms = run_timer.Millis();
+    CachedSsspEngine* cached = cached_engines_[worker];
+    const CachedSsspEngine::ProbeCounters probes_before =
+        cached != nullptr ? cached->probe_counters()
+                          : CachedSsspEngine::ProbeCounters{};
+    obs::TracingGphiEngine& engine = *tracing_engines_[worker];
+    engine.set_trace(&trace);
+    Timer solve_timer;
+    results[index] = SolveWith(job.algorithm, job.query, engine, p_tree);
+    trace.solve_ms = solve_timer.Millis();
+    engine.set_trace(nullptr);
+
+    if (cached != nullptr) {
+      const CachedSsspEngine::ProbeCounters& probes = cached->probe_counters();
+      trace.cache_hits = probes.hits - probes_before.hits;
+      trace.cache_misses = probes.misses - probes_before.misses;
+    }
+    trace.gphi_evaluations = results[index].gphi_evaluations;
+    trace.distance = results[index].distance;
+    trace.best = results[index].best;
+    trace.spans = {
+        {"dispatch-wait", 0.0, trace.dispatch_wait_ms},
+        {"solve", trace.dispatch_wait_ms, trace.solve_ms},
+    };
+    metrics_->Add(m_queries_, 1, worker);
+    metrics_->Record(m_solve_ms_, trace.solve_ms, worker);
+    metrics_->Record(m_dispatch_wait_ms_, trace.dispatch_wait_ms, worker);
+    slow_log_->Offer(trace);
   });
+
+  if (tracing) {
+    obs::BatchReport& report = last_report_;
+    report.batch_size = queries.size();
+    report.rejected = rejected;
+    report.num_threads = pool_.num_workers();
+    report.wall_ms = run_timer.Millis();
+    const size_t executed = queries.size() - rejected;
+    report.queries_per_second =
+        report.wall_ms > 0.0
+            ? 1000.0 * static_cast<double>(executed) / report.wall_ms
+            : 0.0;
+
+    report.solve_ms.bounds = obs::DefaultLatencyBucketsMs();
+    report.solve_ms.counts.assign(report.solve_ms.bounds.size() + 1, 0);
+    for (const obs::QueryTrace& trace : last_traces_) {
+      if (trace.status != QueryStatus::kOk) continue;
+      report.solve_ms.Accumulate(trace.solve_ms);
+      report.attributed_cache_hits += trace.cache_hits;
+      report.attributed_cache_misses += trace.cache_misses;
+    }
+
+    const SourceDistanceCache::Stats cache_after =
+        cache_ != nullptr ? cache_->stats() : SourceDistanceCache::Stats{};
+    report.cache.hits = cache_after.hits - cache_before.hits;
+    report.cache.misses = cache_after.misses - cache_before.misses;
+    report.cache.evictions = cache_after.evictions - cache_before.evictions;
+    report.cache_entries = cache_ != nullptr ? cache_->size() : 0;
+    metrics_->Set(m_cache_entries_,
+                  static_cast<double>(report.cache_entries));
+
+    const ThreadPool::Stats pool_after = pool_.stats();
+    report.pool_indices_executed =
+        pool_after.indices_executed - pool_before.indices_executed;
+
+    report.metrics = metrics_->Snapshot();
+  }
   return results;
 }
 

@@ -12,18 +12,34 @@
 //       sp/dijkstra.h across threads;
 //   (b) a sharded source-distance cache shared by all workers (see
 //       engine/distance_cache.h), so candidate evaluations repeated
-//       across the queries of a batch reuse settled SSSP distances; and
+//       across the queries of a batch reuse settled SSSP distances;
 //   (c) pluggable algorithm dispatch (fann/dispatch.h): every solver —
 //       Naive, GD, R-List, IER-kNN, Exact-max, APX-sum — gains
-//       parallelism without modification.
+//       parallelism without modification; and
+//   (d) optional per-query observation (src/obs/): metrics registry,
+//       QueryTrace per job, a slow-query log, and a BatchReport per
+//       Run. All of it is observation-only — see the determinism
+//       invariant below.
+//
+// Job validation: each job is screened before the parallel phase. A job
+// whose query is malformed (null/empty P or Q, bad phi), targets a graph
+// other than the engine's, or pairs an algorithm with an unsupported
+// aggregate is NOT executed; its slot in the returned vector carries
+// status == QueryStatus::kRejected and a reason in `error`, and the
+// remaining jobs run normally. This turns what used to be undefined
+// behavior (or a process abort) on externally-assembled batches into a
+// per-job error visible in the result and its trace.
 //
 // Determinism invariant: Run() output is a pure function of the input
 // batch — identical (bitwise, including work counters) for every thread
-// count and cache configuration. This holds because (1) each query is
-// solved entirely by one worker with engine state rebound per query, (2)
-// workers never share mutable solver state, and (3) cache entries are
-// immutable exact Dijkstra vectors, so a hit returns exactly what a miss
-// would recompute. tests/batch_determinism_test.cc enforces this.
+// count, cache configuration, and observation setting. This holds
+// because (1) each query is solved entirely by one worker with engine
+// state rebound per query, (2) workers never share mutable solver state,
+// (3) cache entries are immutable exact Dijkstra vectors, so a hit
+// returns exactly what a miss would recompute, and (4) tracing wraps the
+// worker engine in a pass-through decorator that forwards calls
+// unchanged and only copies counters/timestamps out.
+// tests/batch_determinism_test.cc enforces all four.
 
 #ifndef FANNR_ENGINE_BATCH_ENGINE_H_
 #define FANNR_ENGINE_BATCH_ENGINE_H_
@@ -32,17 +48,23 @@
 #include <optional>
 #include <vector>
 
+#include "engine/cached_sssp.h"
 #include "engine/distance_cache.h"
 #include "engine/thread_pool.h"
 #include "fann/dispatch.h"
 #include "fann/gphi.h"
 #include "fann/query.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 
 namespace fannr {
 
 /// One job of a batch: the query plus the algorithm that answers it.
 /// All pointers inside `query` must outlive the Run() call; `query.graph`
-/// must equal the graph the engine was constructed with.
+/// must equal the engine's graph (violations are rejected per job, see
+/// the header comment).
 struct FannrQuery {
   FannQuery query;
   FannAlgorithm algorithm = FannAlgorithm::kGd;
@@ -69,6 +91,20 @@ struct BatchOptions {
   size_t cache_capacity = 0;
   size_t cache_memory_budget_bytes = size_t{512} << 20;  // 512 MiB
   size_t cache_shards = 16;
+
+  /// Observability. Enabled, every Run() records a QueryTrace per job,
+  /// publishes into the engine's metrics registry, feeds the slow-query
+  /// log, and produces a BatchReport (last_report()). Disabled (default),
+  /// the observation path costs nothing and last_report() is empty.
+  /// Either way query results are bitwise identical.
+  bool enable_metrics = false;
+
+  /// Traces whose solve time reaches this threshold (and every rejected
+  /// job) are retained in the slow-query log. <= 0 retains everything.
+  double slow_query_threshold_ms = 50.0;
+
+  /// Ring capacity of the slow-query log.
+  size_t slow_query_log_capacity = 64;
 };
 
 /// Parallel batch executor. Construct once per (graph, indexes); Run()
@@ -82,8 +118,9 @@ class BatchQueryEngine {
                    const BatchOptions& options);
 
   /// Executes every query of the batch and returns the answers aligned
-  /// with the input. IER-kNN queries build one R-tree per distinct data
-  /// point set before the parallel phase (shared, read-only during it).
+  /// with the input (rejected jobs carry QueryStatus::kRejected, see
+  /// above). IER-kNN queries build one R-tree per distinct data point
+  /// set before the parallel phase (shared, read-only during it).
   std::vector<FannResult> Run(const std::vector<FannrQuery>& queries);
 
   size_t num_threads() const { return pool_.num_workers(); }
@@ -91,6 +128,30 @@ class BatchQueryEngine {
   /// Cumulative shared-cache counters (zero when the cache is disabled
   /// or a GphiKind oracle is selected).
   SourceDistanceCache::Stats cache_stats() const;
+
+  // --- Observability (all empty/no-op unless options.enable_metrics) ---
+
+  /// Report for the most recent Run(). Reset at the start of each Run.
+  const obs::BatchReport& last_report() const { return last_report_; }
+
+  /// Traces of the most recent Run(), aligned with its input batch.
+  /// Cleared at the start of each Run; empty when metrics are disabled.
+  const std::vector<obs::QueryTrace>& last_traces() const {
+    return last_traces_;
+  }
+
+  /// Threshold-filtered trace ring, persistent across Run() calls.
+  /// nullptr when metrics are disabled.
+  const obs::SlowQueryLog* slow_query_log() const {
+    return slow_log_ ? slow_log_.get() : nullptr;
+  }
+
+  /// The engine's registry (per-worker sharded; pool, cache, and solver
+  /// metrics — names in DESIGN.md §2.7). nullptr when metrics are
+  /// disabled.
+  const obs::MetricsRegistry* metrics() const {
+    return metrics_ ? metrics_.get() : nullptr;
+  }
 
  private:
   std::unique_ptr<GphiEngine> MakeWorkerEngine() const;
@@ -100,6 +161,19 @@ class BatchQueryEngine {
   std::shared_ptr<SourceDistanceCache> cache_;  // null if not sharing
   ThreadPool pool_;
   std::vector<std::unique_ptr<GphiEngine>> worker_engines_;
+  // Typed views of worker_engines_ for cache attribution; entries are
+  // null in gphi_kind mode.
+  std::vector<CachedSsspEngine*> cached_engines_;
+
+  // Observation state (allocated only when options.enable_metrics).
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
+  std::vector<std::unique_ptr<obs::TracingGphiEngine>> tracing_engines_;
+  obs::CounterId m_queries_, m_rejected_;
+  obs::HistogramId m_solve_ms_, m_dispatch_wait_ms_;
+  obs::GaugeId m_cache_entries_;
+  std::vector<obs::QueryTrace> last_traces_;
+  obs::BatchReport last_report_;
 };
 
 }  // namespace fannr

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/timer.h"
+
 namespace fannr {
 
 CachedSsspEngine::CachedSsspEngine(
@@ -21,13 +23,34 @@ GphiResult CachedSsspEngine::Evaluate(VertexId p, size_t k,
   if (cache_ != nullptr) {
     cached = cache_->Lookup(p);
     if (cached == nullptr) {
+      ++probes_.misses;
+      if (registry_ != nullptr) {
+        registry_->Add(handles_.cache_misses, 1, metrics_shard_);
+      }
       std::vector<Weight> fresh;
-      search_.SsspInto(p, fresh);
+      {
+        Timer sssp_timer;
+        search_.SsspInto(p, fresh);
+        if (registry_ != nullptr) {
+          registry_->Record(handles_.sssp_compute_ms, sssp_timer.Millis(),
+                            metrics_shard_);
+        }
+      }
       cached = cache_->Insert(p, std::move(fresh));
+    } else {
+      ++probes_.hits;
+      if (registry_ != nullptr) {
+        registry_->Add(handles_.cache_hits, 1, metrics_shard_);
+      }
     }
     sssp = cached.get();
   } else {
+    Timer sssp_timer;
     search_.SsspInto(p, scratch_sssp_);
+    if (registry_ != nullptr) {
+      registry_->Record(handles_.sssp_compute_ms, sssp_timer.Millis(),
+                        metrics_shard_);
+    }
     sssp = &scratch_sssp_;
   }
   for (size_t i = 0; i < query_points_->size(); ++i) {
@@ -35,6 +58,13 @@ GphiResult CachedSsspEngine::Evaluate(VertexId p, size_t k,
   }
   return internal_gphi::SelectAndFold(*query_points_, q_distances_, k,
                                       aggregate);
+}
+
+void CachedSsspEngine::PublishMetrics(obs::MetricsRegistry* registry,
+                                      MetricHandles handles, size_t shard) {
+  registry_ = registry;
+  handles_ = handles;
+  metrics_shard_ = shard;
 }
 
 std::unique_ptr<GphiEngine> MakeCachedSsspEngine(

@@ -20,6 +20,7 @@
 
 #include "engine/distance_cache.h"
 #include "fann/gphi.h"
+#include "obs/metrics.h"
 #include "sp/dijkstra.h"
 
 namespace fannr {
@@ -29,6 +30,24 @@ namespace fannr {
 /// hold their own instance and share one SourceDistanceCache.
 class CachedSsspEngine : public GphiEngine {
  public:
+  /// Cumulative cache probes made by THIS engine (as opposed to the
+  /// shared cache's global counters). Because one engine is owned by one
+  /// worker and one worker solves a query end to end, deltas of these
+  /// counters around a solve attribute cache activity to that query.
+  struct ProbeCounters {
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+
+  /// Registry handles the engine records into when publication is
+  /// enabled (see PublishMetrics). Registered once by the owner so all
+  /// workers share the same named metrics, sharded by worker id.
+  struct MetricHandles {
+    obs::CounterId cache_hits;
+    obs::CounterId cache_misses;
+    obs::HistogramId sssp_compute_ms;
+  };
+
   /// `cache` may be null, in which case every evaluation recomputes (the
   /// engine then still amortizes its Dijkstra scratch across calls).
   CachedSsspEngine(const Graph& graph,
@@ -38,6 +57,14 @@ class CachedSsspEngine : public GphiEngine {
   GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override;
   std::string_view name() const override { return "Cached-SSSP"; }
 
+  /// Enables publication into `registry` (nullptr disables): cache
+  /// hit/miss counters and the SSSP recompute-latency histogram, all
+  /// written to shard `shard`. Observation only — never affects results.
+  void PublishMetrics(obs::MetricsRegistry* registry, MetricHandles handles,
+                      size_t shard);
+
+  const ProbeCounters& probe_counters() const { return probes_; }
+
  private:
   const Graph& graph_;
   std::shared_ptr<SourceDistanceCache> cache_;
@@ -45,6 +72,10 @@ class CachedSsspEngine : public GphiEngine {
   const IndexedVertexSet* query_points_ = nullptr;
   std::vector<Weight> scratch_sssp_;   // miss path without a cache
   std::vector<Weight> q_distances_;    // gather target, |Q| entries
+  ProbeCounters probes_;
+  obs::MetricsRegistry* registry_ = nullptr;  // null = no publication
+  MetricHandles handles_;
+  size_t metrics_shard_ = 0;
 };
 
 /// Convenience factory matching MakeGphiEngine's shape.

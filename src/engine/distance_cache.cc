@@ -63,6 +63,15 @@ void SourceDistanceCache::Clear() {
   }
 }
 
+size_t SourceDistanceCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
 SourceDistanceCache::Stats SourceDistanceCache::stats() const {
   Stats total;
   for (const Shard& shard : shards_) {

@@ -69,6 +69,9 @@ class SourceDistanceCache {
 
   Stats stats() const;
 
+  /// Resident entry count, summed over shards (exact when quiesced).
+  size_t size() const;
+
   size_t capacity() const { return capacity_; }
   size_t num_shards() const { return shards_.size(); }
 

@@ -1,6 +1,7 @@
 #include "engine/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace fannr {
 
@@ -27,18 +28,32 @@ void ThreadPool::ParallelFor(
     size_t count, const std::function<void(size_t, size_t)>& body) {
   if (count == 0) return;
   std::lock_guard<std::mutex> run_lock(run_mu_);
+  stat_calls_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
     count_ = count;
     next_index_.store(0, std::memory_order_relaxed);
     active_workers_ = workers_.size();
+    first_exception_ = nullptr;
     ++generation_;
   }
   work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
-  body_ = nullptr;
+  std::exception_ptr exception;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+    body_ = nullptr;
+    exception = std::exchange(first_exception_, nullptr);
+  }
+  // Rethrow the first body exception on the calling thread, after the
+  // barrier — the pool is already quiesced and reusable at this point.
+  if (exception) std::rethrow_exception(exception);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  return Stats{stat_calls_.load(std::memory_order_relaxed),
+               stat_indices_.load(std::memory_order_relaxed)};
 }
 
 void ThreadPool::WorkerMain(size_t worker_id) {
@@ -59,7 +74,18 @@ void ThreadPool::WorkerMain(size_t worker_id) {
     while (true) {
       const size_t index = next_index_.fetch_add(1, std::memory_order_relaxed);
       if (index >= count) break;
-      (*body)(index, worker_id);
+      try {
+        (*body)(index, worker_id);
+        stat_indices_.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!first_exception_) first_exception_ = std::current_exception();
+        }
+        // Stop handing out further indices so the loop drains quickly;
+        // indices already claimed by other workers still run.
+        next_index_.store(count, std::memory_order_relaxed);
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -14,6 +14,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -38,12 +40,29 @@ class ThreadPool {
 
   size_t num_workers() const { return workers_.size(); }
 
+  /// Cumulative pool activity since construction. Exact once no
+  /// ParallelFor is in flight (counters are relaxed atomics).
+  struct Stats {
+    uint64_t parallel_for_calls = 0;
+    uint64_t indices_executed = 0;
+  };
+  Stats stats() const;
+
   /// Runs body(index, worker) for every index in [0, count), distributing
   /// indices dynamically over the workers, and blocks until all calls
   /// have returned. `worker` is the executing worker's id in
   /// [0, num_workers()). Only one ParallelFor may run at a time (calls
   /// from multiple threads serialize on an internal mutex). The body must
-  /// not throw and must not re-enter ParallelFor on the same pool.
+  /// not re-enter ParallelFor on the same pool.
+  ///
+  /// A throwing body is contained, not fatal: the first exception is
+  /// captured, the loop stops handing out further indices (bodies
+  /// already claimed by other workers still complete), and the exception
+  /// is rethrown here — on the calling thread — after every worker has
+  /// left the loop. The pool stays fully usable afterwards. When a body
+  /// throws, indices not yet claimed are skipped; callers that need
+  /// all-or-nothing semantics must treat the loop's outputs as invalid
+  /// on throw.
   void ParallelFor(size_t count,
                    const std::function<void(size_t index, size_t worker)>& body);
 
@@ -63,7 +82,11 @@ class ThreadPool {
   uint64_t generation_ = 0;     // bumped per loop so workers see new work
   size_t active_workers_ = 0;   // workers still inside the current loop
   std::atomic<size_t> next_index_{0};
+  std::exception_ptr first_exception_;  // first throw of the current loop
   bool shutdown_ = false;
+
+  std::atomic<uint64_t> stat_calls_{0};
+  std::atomic<uint64_t> stat_indices_{0};
 };
 
 }  // namespace fannr

@@ -2,14 +2,6 @@
 
 namespace fannr {
 
-void ValidateQuery(const FannQuery& query) {
-  FANNR_CHECK(query.graph != nullptr);
-  FANNR_CHECK(query.data_points != nullptr && !query.data_points->empty());
-  FANNR_CHECK(query.query_points != nullptr &&
-              !query.query_points->empty());
-  FANNR_CHECK(query.phi > 0.0 && query.phi <= 1.0);
-}
-
 FannResult SolveGd(const FannQuery& query, GphiEngine& engine) {
   ValidateQuery(query);
   const size_t k = query.FlexSubsetSize();

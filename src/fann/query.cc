@@ -1,0 +1,30 @@
+#include "fann/query.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fannr {
+
+std::string QueryValidationError(const FannQuery& query) {
+  if (query.graph == nullptr) return "query.graph is null";
+  if (query.data_points == nullptr) return "query.data_points (P) is null";
+  if (query.query_points == nullptr) return "query.query_points (Q) is null";
+  if (query.data_points->empty()) return "data point set P is empty";
+  if (query.query_points->empty()) return "query point set Q is empty";
+  // Written so NaN phi fails (NaN compares false to everything).
+  if (!(query.phi > 0.0 && query.phi <= 1.0)) {
+    return "phi must be in (0, 1], got " + std::to_string(query.phi);
+  }
+  return std::string();
+}
+
+void ValidateQuery(const FannQuery& query) {
+  const std::string error = QueryValidationError(query);
+  if (!error.empty()) {
+    std::fprintf(stderr, "invalid FannQuery: %s\n", error.c_str());
+  }
+  FANNR_CHECK(error.empty() && "invalid FannQuery");
+}
+
+}  // namespace fannr

@@ -3,6 +3,7 @@
 #ifndef FANNR_FANN_QUERY_H_
 #define FANNR_FANN_QUERY_H_
 
+#include <string>
 #include <vector>
 
 #include "fann/aggregate.h"
@@ -26,6 +27,16 @@ struct FannQuery {
   }
 };
 
+/// Outcome of answering one query. Solvers always return kOk (they
+/// FANNR_CHECK their preconditions and abort on API misuse); batch
+/// execution, which receives externally-assembled jobs, validates each
+/// job and reports violations as kRejected results instead of undefined
+/// behavior (see BatchQueryEngine::Run).
+enum class QueryStatus {
+  kOk,
+  kRejected,
+};
+
 /// The answer triple (p*, Q*_phi, d*), plus work counters for the
 /// experiments. best == kInvalidVertex (and distance == kInfWeight) when
 /// no data point can reach phi|Q| query points.
@@ -36,6 +47,10 @@ struct FannResult {
   /// Number of full g_phi evaluations performed (the quantity R-List and
   /// IER-kNN are designed to minimize).
   size_t gphi_evaluations = 0;
+  /// kRejected only for batch jobs that failed validation; such results
+  /// carry the reason in `error` and hold the no-answer sentinels above.
+  QueryStatus status = QueryStatus::kOk;
+  std::string error;
 };
 
 /// One entry of a k-FANN_R answer (Definition 3).
@@ -54,6 +69,12 @@ struct KFannEntry {
   Weight distance = kInfWeight;
   std::vector<VertexId> subset;
 };
+
+/// Explains the first violated query invariant (null members, empty
+/// sets, phi outside (0, 1]), or returns an empty string when the query
+/// is well-formed. Safe on any bit pattern — it never dereferences a
+/// null member — so batch execution can screen untrusted jobs with it.
+std::string QueryValidationError(const FannQuery& query);
 
 /// Validates query invariants (non-null members, non-empty sets, phi in
 /// (0, 1]). Aborts on violation; called by every solver.

@@ -1,9 +1,10 @@
 #include "graph/io.h"
 
-#include <cstdio>
-#include <cstring>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <vector>
 
 #include "graph/builder.h"
@@ -18,6 +19,56 @@ LoadResult Fail(std::string message) {
   return r;
 }
 
+/// "<path>:<line>: <message>: '<line text>'" — every parse error names
+/// its exact source line so corrupt multi-gigabyte inputs are debuggable.
+LoadResult FailAt(const std::string& path, size_t line_number,
+                  const std::string& message, const std::string& line) {
+  return Fail(path + ":" + std::to_string(line_number) + ": " + message +
+              ": '" + line + "'");
+}
+
+/// Splits on runs of spaces/tabs (DIMACS is whitespace-delimited).
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// Strict unsigned parse: the whole token must be a decimal number.
+/// Unlike sscanf("%zu"), a leading '-' is rejected instead of silently
+/// wrapping around, and trailing junk ("12x") is an error.
+bool ParseSize(const std::string& token, size_t* out) {
+  if (token.empty()) return false;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+/// Strict double parse: whole token consumed, and the value is finite
+/// (NaN/inf tokens parse under strtod but are meaningless as weights or
+/// coordinates).
+bool ParseFiniteDouble(const std::string& token, double* out) {
+  if (token.empty() ||
+      std::isspace(static_cast<unsigned char>(token.front()))) {
+    return false;
+  }
+  char* parse_end = nullptr;
+  *out = std::strtod(token.c_str(), &parse_end);
+  return parse_end == token.c_str() + token.size() && std::isfinite(*out);
+}
+
 }  // namespace
 
 LoadResult LoadDimacs(const std::string& gr_path,
@@ -26,45 +77,72 @@ LoadResult LoadDimacs(const std::string& gr_path,
   if (!gr) return Fail("cannot open graph file: " + gr_path);
 
   GraphBuilder builder;
+  bool have_problem_line = false;
   size_t declared_vertices = 0;
+  size_t line_number = 0;
   std::string line;
   while (std::getline(gr, line)) {
+    ++line_number;
     if (line.empty()) continue;
     switch (line[0]) {
       case 'c':  // comment
         break;
       case 'p': {
         // "p sp <n> <m>"
-        char tag[16];
-        size_t n = 0, m = 0;
-        if (std::sscanf(line.c_str(), "p %15s %zu %zu", tag, &n, &m) != 3) {
-          return Fail("malformed problem line: " + line);
+        if (have_problem_line) {
+          return FailAt(gr_path, line_number, "duplicate problem line", line);
         }
+        const auto tokens = Tokenize(line);
+        size_t n = 0, m = 0;
+        if (tokens.size() != 4 || tokens[1] != "sp" ||
+            !ParseSize(tokens[2], &n) || !ParseSize(tokens[3], &m)) {
+          return FailAt(gr_path, line_number, "malformed problem line", line);
+        }
+        if (n == 0) {
+          return FailAt(gr_path, line_number,
+                        "problem line declares zero vertices", line);
+        }
+        have_problem_line = true;
         declared_vertices = n;
         builder.Resize(n);
         break;
       }
       case 'a': {
+        if (!have_problem_line) {
+          return FailAt(gr_path, line_number,
+                        "arc line before the problem line", line);
+        }
+        const auto tokens = Tokenize(line);
         size_t u = 0, v = 0;
         double w = 0.0;
-        if (std::sscanf(line.c_str(), "a %zu %zu %lf", &u, &v, &w) != 3) {
-          return Fail("malformed arc line: " + line);
+        if (tokens.size() != 4 || !ParseSize(tokens[1], &u) ||
+            !ParseSize(tokens[2], &v)) {
+          return FailAt(gr_path, line_number, "malformed arc line", line);
         }
         if (u == 0 || v == 0 || u > declared_vertices ||
             v > declared_vertices) {
-          return Fail("arc references undeclared vertex: " + line);
+          return FailAt(gr_path, line_number,
+                        "arc references undeclared vertex (ids are 1.." +
+                            std::to_string(declared_vertices) + ")",
+                        line);
         }
-        if (w <= 0.0) return Fail("non-positive weight: " + line);
+        if (!ParseFiniteDouble(tokens[3], &w)) {
+          return FailAt(gr_path, line_number,
+                        "arc weight is not a finite number", line);
+        }
+        if (w <= 0.0) {
+          return FailAt(gr_path, line_number, "non-positive arc weight", line);
+        }
         // DIMACS ids are 1-based.
         builder.AddEdge(static_cast<VertexId>(u - 1),
                         static_cast<VertexId>(v - 1), w);
         break;
       }
       default:
-        return Fail("unrecognized line: " + line);
+        return FailAt(gr_path, line_number, "unrecognized line", line);
     }
   }
-  if (declared_vertices == 0) return Fail("no problem line in " + gr_path);
+  if (!have_problem_line) return Fail("no problem line in " + gr_path);
 
   Graph graph = builder.Build();
 
@@ -73,26 +151,46 @@ LoadResult LoadDimacs(const std::string& gr_path,
     if (!co) return Fail("cannot open coordinate file: " + co_path);
     std::vector<Point> coords(graph.NumVertices());
     std::vector<bool> seen(graph.NumVertices(), false);
+    line_number = 0;
     while (std::getline(co, line)) {
+      ++line_number;
       if (line.empty() || line[0] == 'c' || line[0] == 'p') continue;
       if (line[0] == 'v') {
+        const auto tokens = Tokenize(line);
         size_t id = 0;
         double x = 0.0, y = 0.0;
-        if (std::sscanf(line.c_str(), "v %zu %lf %lf", &id, &x, &y) != 3) {
-          return Fail("malformed coordinate line: " + line);
+        if (tokens.size() != 4 || !ParseSize(tokens[1], &id)) {
+          return FailAt(co_path, line_number, "malformed coordinate line",
+                        line);
         }
         if (id == 0 || id > coords.size()) {
-          return Fail("coordinate for undeclared vertex: " + line);
+          return FailAt(co_path, line_number,
+                        "coordinate for undeclared vertex (ids are 1.." +
+                            std::to_string(coords.size()) + ")",
+                        line);
+        }
+        if (!ParseFiniteDouble(tokens[2], &x) ||
+            !ParseFiniteDouble(tokens[3], &y)) {
+          return FailAt(co_path, line_number,
+                        "coordinate is not a finite number", line);
+        }
+        if (seen[id - 1]) {
+          return FailAt(co_path, line_number,
+                        "duplicate coordinate for vertex " +
+                            std::to_string(id),
+                        line);
         }
         coords[id - 1] = Point{x, y};
         seen[id - 1] = true;
       } else {
-        return Fail("unrecognized coordinate line: " + line);
+        return FailAt(co_path, line_number, "unrecognized coordinate line",
+                      line);
       }
     }
     for (size_t i = 0; i < seen.size(); ++i) {
       if (!seen[i]) {
-        return Fail("missing coordinate for vertex " + std::to_string(i + 1));
+        return Fail("missing coordinate for vertex " + std::to_string(i + 1) +
+                    " in " + co_path);
       }
     }
     // Rebuild with coordinates attached.

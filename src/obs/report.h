@@ -1,0 +1,59 @@
+// Batch-level observability summary.
+//
+// One BatchReport is produced per BatchQueryEngine::Run when observation
+// is enabled: wall-clock throughput, the per-query solve-latency
+// histogram with exact-rank percentiles, shared-cache totals (both the
+// cache's own counters and the sum of per-query attributed probes, which
+// must agree — CI checks they do), pool activity, and the full metrics
+// registry snapshot. Serializes to indented JSON for BENCH_throughput /
+// CI, and to a short text block for tools.
+
+#ifndef FANNR_OBS_REPORT_H_
+#define FANNR_OBS_REPORT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "engine/distance_cache.h"
+#include "obs/metrics.h"
+
+namespace fannr::obs {
+
+/// Summary of one executed batch.
+struct BatchReport {
+  size_t batch_size = 0;
+  size_t rejected = 0;  ///< Jobs that failed validation (status kRejected).
+  size_t num_threads = 0;
+
+  double wall_ms = 0.0;  ///< Run() entry to return.
+  double queries_per_second = 0.0;
+
+  /// Per-query solve latencies (rejected jobs excluded).
+  HistogramSnapshot solve_ms;
+
+  /// Shared-distance-cache counters over this batch: the cache's own
+  /// shard totals (delta across Run) and the per-query attributed sums
+  /// from the traces. attributed_* == cache.hits/misses whenever the
+  /// cached oracle is active; both are zero otherwise.
+  SourceDistanceCache::Stats cache;
+  size_t cache_entries = 0;  ///< Resident entries after the batch.
+  size_t attributed_cache_hits = 0;
+  size_t attributed_cache_misses = 0;
+
+  /// Pool totals over this batch.
+  size_t pool_indices_executed = 0;
+
+  /// Full registry dump (engine-published metrics; see DESIGN.md §2.7
+  /// for the metric name schema).
+  MetricsSnapshot metrics;
+
+  std::string ToText() const;
+
+  /// Indented JSON object; `indent` spaces prefix every line (so the
+  /// report can be embedded in a larger document).
+  std::string ToJson(int indent = 0) const;
+};
+
+}  // namespace fannr::obs
+
+#endif  // FANNR_OBS_REPORT_H_

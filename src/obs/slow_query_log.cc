@@ -1,0 +1,68 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+
+namespace fannr::obs {
+
+SlowQueryLog::SlowQueryLog(size_t capacity, double threshold_ms)
+    : capacity_(std::max<size_t>(1, capacity)), threshold_ms_(threshold_ms) {}
+
+void SlowQueryLog::Offer(const QueryTrace& trace) {
+  const bool admit =
+      trace.status == QueryStatus::kRejected || trace.solve_ms >= threshold_ms_;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++offered_;
+  if (!admit) return;
+  ++admitted_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(trace);
+  } else {
+    ring_[next_] = trace;
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<QueryTrace> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryTrace> out;
+  out.reserve(ring_.size());
+  // Once full, next_ points at the oldest entry.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+size_t SlowQueryLog::total_offered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offered_;
+}
+
+size_t SlowQueryLog::total_admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+std::string SlowQueryLog::DumpText() const {
+  std::string out;
+  for (const QueryTrace& trace : Entries()) out += FormatTrace(trace);
+  return out;
+}
+
+std::string SlowQueryLog::DumpJson() const {
+  std::string out = "[";
+  const auto entries = Entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out += std::string(i ? ", " : "") + TraceToJson(entries[i]);
+  }
+  out += "]";
+  return out;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+}  // namespace fannr::obs

@@ -1,0 +1,69 @@
+// A threshold-filtered ring buffer of slow-query traces.
+//
+// Production triage starts from "which queries were slow and why"; the
+// answer must survive the batch that produced it without retaining a
+// trace per query forever. The log keeps the most recent `capacity`
+// completed traces whose solve time reached the threshold, overwriting
+// the oldest on wraparound. Offer() takes a mutex — admission is rare by
+// construction (slow queries) and the copied trace is small — so the
+// query hot path never spins on log internals.
+
+#ifndef FANNR_OBS_SLOW_QUERY_LOG_H_
+#define FANNR_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace fannr::obs {
+
+/// Thread-safe fixed-capacity ring of QueryTraces over a latency
+/// threshold. Rejected queries are always admitted regardless of solve
+/// time: a rejection is exactly the kind of event triage wants to see.
+class SlowQueryLog {
+ public:
+  /// `capacity` >= 1 enforced. `threshold_ms` <= 0 admits every offered
+  /// trace (useful for tools that want a full trace dump).
+  explicit SlowQueryLog(size_t capacity, double threshold_ms);
+
+  /// Admits `trace` if trace.solve_ms >= threshold_ms or the trace is a
+  /// rejection; otherwise drops it. Thread-safe.
+  void Offer(const QueryTrace& trace);
+
+  /// Retained traces, oldest first. Thread-safe snapshot.
+  std::vector<QueryTrace> Entries() const;
+
+  /// Lifetime counters: everything Offer() ever saw / admitted (admitted
+  /// includes entries since overwritten).
+  size_t total_offered() const;
+  size_t total_admitted() const;
+
+  size_t capacity() const { return capacity_; }
+  double threshold_ms() const { return threshold_ms_; }
+
+  /// Human-readable dump of the retained traces (FormatTrace per entry).
+  std::string DumpText() const;
+
+  /// JSON array of the retained traces (TraceToJson per entry).
+  std::string DumpJson() const;
+
+  /// Drops retained traces; counters are kept.
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  const double threshold_ms_;
+
+  mutable std::mutex mu_;
+  std::vector<QueryTrace> ring_;  // grows to capacity_, then wraps
+  size_t next_ = 0;               // overwrite position once full
+  size_t offered_ = 0;
+  size_t admitted_ = 0;
+};
+
+}  // namespace fannr::obs
+
+#endif  // FANNR_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace fannr::obs {
+
+namespace internal_obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace internal_obs
+
+namespace {
+
+std::string Ms(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatTrace(const QueryTrace& trace) {
+  std::string out;
+  out += "query #" + std::to_string(trace.query_index) + "  " +
+         std::string(FannAlgorithmName(trace.algorithm)) + "  worker " +
+         std::to_string(trace.worker) + "\n";
+  if (trace.status == QueryStatus::kRejected) {
+    out += "  status: REJECTED — " + trace.error + "\n";
+    return out;
+  }
+  out += "  dispatch wait: " + Ms(trace.dispatch_wait_ms) + " ms\n";
+  out += "  solve:         " + Ms(trace.solve_ms) + " ms  (g_phi prepare " +
+         Ms(trace.gphi_prepare_ms) + " ms, evaluate " +
+         Ms(trace.gphi_evaluate_ms) + " ms over " +
+         std::to_string(trace.gphi_evaluate_calls) + " calls)\n";
+  out += "  counters:      " + std::to_string(trace.gphi_evaluations) +
+         " g_phi evaluations, cache " + std::to_string(trace.cache_hits) +
+         " hits / " + std::to_string(trace.cache_misses) + " misses\n";
+  out += "  answer:        p* = " +
+         (trace.best == kInvalidVertex ? std::string("none")
+                                       : "v" + std::to_string(trace.best)) +
+         ", d* = " + Ms(trace.distance) + "\n";
+  for (const TraceSpan& span : trace.spans) {
+    out += "  span " + span.name + ": start " + Ms(span.start_ms) +
+           " ms, duration " + Ms(span.duration_ms) + " ms\n";
+  }
+  return out;
+}
+
+std::string TraceToJson(const QueryTrace& trace) {
+  std::string out = "{";
+  out += "\"query_index\": " + std::to_string(trace.query_index);
+  out += ", \"algorithm\": \"" +
+         std::string(FannAlgorithmName(trace.algorithm)) + "\"";
+  out += ", \"worker\": " + std::to_string(trace.worker);
+  out += ", \"status\": \"";
+  out += trace.status == QueryStatus::kOk ? "ok" : "rejected";
+  out += "\"";
+  if (!trace.error.empty()) {
+    out += ", \"error\": \"" + internal_obs::JsonEscape(trace.error) + "\"";
+  }
+  out += ", \"dispatch_wait_ms\": " + Ms(trace.dispatch_wait_ms);
+  out += ", \"solve_ms\": " + Ms(trace.solve_ms);
+  out += ", \"gphi_prepare_ms\": " + Ms(trace.gphi_prepare_ms);
+  out += ", \"gphi_evaluate_ms\": " + Ms(trace.gphi_evaluate_ms);
+  out += ", \"gphi_evaluate_calls\": " +
+         std::to_string(trace.gphi_evaluate_calls);
+  out += ", \"gphi_evaluations\": " + std::to_string(trace.gphi_evaluations);
+  out += ", \"cache_hits\": " + std::to_string(trace.cache_hits);
+  out += ", \"cache_misses\": " + std::to_string(trace.cache_misses);
+  out += ", \"spans\": [";
+  for (size_t i = 0; i < trace.spans.size(); ++i) {
+    const TraceSpan& span = trace.spans[i];
+    out += std::string(i ? ", " : "") + "{\"name\": \"" +
+           internal_obs::JsonEscape(span.name) + "\", \"start_ms\": " +
+           Ms(span.start_ms) + ", \"duration_ms\": " + Ms(span.duration_ms) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace fannr::obs

@@ -1,0 +1,130 @@
+// Per-query execution traces.
+//
+// A QueryTrace is the unit of record the batch engine keeps per query
+// when observation is enabled: where the query ran (worker), how long
+// each phase took (dispatch wait, solve, and the g_phi prepare/evaluate
+// breakdown captured by a pass-through TracingGphiEngine), what the
+// solver reported (the FannResult work counters), and what the shared
+// distance cache did for this specific query (hit/miss deltas of the
+// executing worker's engine).
+//
+// Traces are observation-only by construction: the tracing engine
+// forwards Prepare/Evaluate untouched and every recorded quantity is a
+// timestamp or a copy of an existing counter, so traced and untraced
+// runs produce bitwise-identical query results
+// (tests/batch_determinism_test.cc enforces this).
+
+#ifndef FANNR_OBS_TRACE_H_
+#define FANNR_OBS_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "fann/dispatch.h"
+#include "fann/query.h"
+
+namespace fannr::obs {
+
+namespace internal_obs {
+
+/// Minimal JSON string escaping shared by the obs dump paths.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace internal_obs
+
+/// One named span inside a trace. Offsets are milliseconds relative to
+/// the batch's Run() start, so spans across queries and workers share
+/// one time base.
+struct TraceSpan {
+  std::string name;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+};
+
+/// The complete record of one query's execution within a batch.
+struct QueryTrace {
+  size_t query_index = 0;   ///< Position in the Run() input batch.
+  size_t worker = 0;        ///< Executing worker id.
+  FannAlgorithm algorithm = FannAlgorithm::kGd;
+  QueryStatus status = QueryStatus::kOk;
+  std::string error;        ///< Non-empty iff status == kRejected.
+
+  /// Coarse spans: "dispatch-wait" (Run() start -> worker pickup) and
+  /// "solve" (solver entry -> result), in batch-relative time.
+  std::vector<TraceSpan> spans;
+  double dispatch_wait_ms = 0.0;
+  double solve_ms = 0.0;
+
+  /// g_phi phase breakdown accumulated by the tracing engine across the
+  /// whole solve (a solver calls Prepare once and Evaluate many times).
+  double gphi_prepare_ms = 0.0;
+  double gphi_evaluate_ms = 0.0;
+  size_t gphi_evaluate_calls = 0;
+
+  /// Copied solver counters / answer summary.
+  size_t gphi_evaluations = 0;
+  Weight distance = kInfWeight;
+  VertexId best = kInvalidVertex;
+
+  /// Shared-distance-cache activity attributed to this query (deltas of
+  /// the executing worker's cached engine around the solve; zero when
+  /// the cache or the cached oracle is disabled).
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+/// One-line-per-field human dump.
+std::string FormatTrace(const QueryTrace& trace);
+
+/// Compact JSON object (no trailing newline).
+std::string TraceToJson(const QueryTrace& trace);
+
+/// RAII helper accumulating wall-clock milliseconds into a target.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(double* target_ms) : target_ms_(target_ms) {}
+  ~ScopedTimerMs() { *target_ms_ += timer_.Millis(); }
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  double* target_ms_;
+  Timer timer_;
+};
+
+/// Pass-through g_phi engine recording phase timings into the active
+/// QueryTrace. Forwarding is exact (same calls, same order, same
+/// results), so wrapping never changes answers. Not thread-safe, like
+/// every GphiEngine; each worker wraps its own engine.
+class TracingGphiEngine : public GphiEngine {
+ public:
+  explicit TracingGphiEngine(GphiEngine& inner) : inner_(inner) {}
+
+  /// Redirects recording; nullptr disables (pure forwarding).
+  void set_trace(QueryTrace* trace) { trace_ = trace; }
+
+  void Prepare(const IndexedVertexSet& query_points) override {
+    if (trace_ == nullptr) return inner_.Prepare(query_points);
+    ScopedTimerMs t(&trace_->gphi_prepare_ms);
+    inner_.Prepare(query_points);
+  }
+
+  GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override {
+    if (trace_ == nullptr) return inner_.Evaluate(p, k, aggregate);
+    ++trace_->gphi_evaluate_calls;
+    ScopedTimerMs t(&trace_->gphi_evaluate_ms);
+    return inner_.Evaluate(p, k, aggregate);
+  }
+
+  std::string_view name() const override { return inner_.name(); }
+
+ private:
+  GphiEngine& inner_;
+  QueryTrace* trace_ = nullptr;
+};
+
+}  // namespace fannr::obs
+
+#endif  // FANNR_OBS_TRACE_H_

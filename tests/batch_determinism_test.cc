@@ -99,5 +99,38 @@ TEST_P(BatchDeterminismTest, ByteIdenticalAcrossThreadCounts) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchDeterminismTest,
                          ::testing::Values(11u, 42u, 20260805u));
 
+TEST(ObservationDeterminismTest, ObservationIsBitwiseInvisible) {
+  // Point (4) of the engine's determinism invariant: enabling metrics,
+  // tracing, and the slow-query log must not change a single result
+  // byte (including work counters) at any thread count.
+  const auto& world = testing::FannWorld::Get();
+  const Workload workload = MakeWorkload(world.graph(), 0x0B5Eu);
+
+  BatchOptions reference_options;
+  reference_options.num_threads = 1;
+  BatchQueryEngine untraced(world.Resources(), reference_options);
+  const auto reference = untraced.Run(workload.jobs);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    options.enable_metrics = true;
+    options.slow_query_threshold_ms = 0.0;  // exercise the log maximally
+    BatchQueryEngine traced(world.Resources(), options);
+    const auto got = traced.Run(workload.jobs);
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectByteIdentical(got[i], reference[i],
+                          "observed, threads " + std::to_string(threads) +
+                              " job " + std::to_string(i));
+      ASSERT_EQ(got[i].status, QueryStatus::kOk);
+    }
+    // The observation layer really was live for this run.
+    EXPECT_EQ(traced.last_traces().size(), workload.jobs.size());
+    EXPECT_EQ(traced.metrics()->Snapshot().counter("engine.queries"),
+              workload.jobs.size());
+  }
+}
+
 }  // namespace
 }  // namespace fannr

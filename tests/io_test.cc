@@ -84,6 +84,126 @@ TEST_F(IoTest, RejectsMissingCoordinate) {
   EXPECT_FALSE(LoadDimacs(gr, co).ok());
 }
 
+// --- Corrupt-input fixtures for the strict loader ------------------------
+// Each rejection must carry the file path and 1-based line number of the
+// offending line, so corrupt multi-gigabyte inputs are debuggable.
+
+TEST_F(IoTest, ErrorsNameTheOffendingLine) {
+  const std::string gr = TempPath("lineno.gr");
+  WriteFile(gr,
+            "c fine\n"
+            "p sp 2 1\n"
+            "a 1 oops 3\n");
+  LoadResult r = LoadDimacs(gr, "");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find(gr + ":3:"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("a 1 oops 3"), std::string::npos) << r.error;
+}
+
+TEST_F(IoTest, RejectsDuplicateProblemLine) {
+  const std::string gr = TempPath("dupp.gr");
+  WriteFile(gr, "p sp 2 1\np sp 3 1\na 1 2 5\n");
+  LoadResult r = LoadDimacs(gr, "");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("duplicate problem line"), std::string::npos);
+  EXPECT_NE(r.error.find(":2:"), std::string::npos) << r.error;
+}
+
+TEST_F(IoTest, RejectsArcBeforeProblemLine) {
+  const std::string gr = TempPath("early.gr");
+  WriteFile(gr, "a 1 2 5\np sp 2 1\n");
+  LoadResult r = LoadDimacs(gr, "");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("before the problem line"), std::string::npos);
+}
+
+TEST_F(IoTest, RejectsNegativeVertexIdInsteadOfWrapping) {
+  // sscanf("%zu") accepts "-1" and silently wraps it to SIZE_MAX, turning
+  // a corrupt id into a huge out-of-range one (or worse on a graph with
+  // enough vertices). The strict parser rejects the token itself.
+  const std::string gr = TempPath("neg.gr");
+  WriteFile(gr, "p sp 2 1\na -1 2 3\n");
+  LoadResult r = LoadDimacs(gr, "");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("malformed arc line"), std::string::npos) << r.error;
+}
+
+TEST_F(IoTest, RejectsTrailingJunkInNumericToken) {
+  const std::string gr = TempPath("junk.gr");
+  WriteFile(gr, "p sp 2 1\na 1 2x 3\n");
+  EXPECT_FALSE(LoadDimacs(gr, "").ok());
+}
+
+TEST_F(IoTest, RejectsNonFiniteWeights) {
+  for (const char* bad : {"nan", "inf", "-inf", "NaN", "Infinity"}) {
+    const std::string gr = TempPath(std::string("w_") + bad + ".gr");
+    WriteFile(gr, std::string("p sp 2 1\na 1 2 ") + bad + "\n");
+    LoadResult r = LoadDimacs(gr, "");
+    ASSERT_FALSE(r.ok()) << "weight " << bad << " was accepted";
+    EXPECT_NE(r.error.find("finite"), std::string::npos) << r.error;
+  }
+}
+
+TEST_F(IoTest, RejectsNegativeWeight) {
+  const std::string gr = TempPath("wneg.gr");
+  WriteFile(gr, "p sp 2 1\na 1 2 -5\n");
+  LoadResult r = LoadDimacs(gr, "");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("non-positive"), std::string::npos) << r.error;
+}
+
+TEST_F(IoTest, RejectsZeroVertexId) {
+  // DIMACS ids are 1-based; id 0 would underflow the 0-based conversion.
+  const std::string gr = TempPath("zero.gr");
+  WriteFile(gr, "p sp 2 1\na 0 2 3\n");
+  LoadResult r = LoadDimacs(gr, "");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("ids are 1..2"), std::string::npos) << r.error;
+}
+
+TEST_F(IoTest, RejectsZeroDeclaredVertices) {
+  const std::string gr = TempPath("empty.gr");
+  WriteFile(gr, "p sp 0 0\n");
+  EXPECT_FALSE(LoadDimacs(gr, "").ok());
+}
+
+TEST_F(IoTest, RejectsUnrecognizedLine) {
+  const std::string gr = TempPath("what.gr");
+  WriteFile(gr, "p sp 2 1\nx something\n");
+  LoadResult r = LoadDimacs(gr, "");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("unrecognized"), std::string::npos);
+}
+
+TEST_F(IoTest, RejectsDuplicateCoordinate) {
+  const std::string gr = TempPath("dupco.gr");
+  const std::string co = TempPath("dupco.co");
+  WriteFile(gr, "p sp 2 1\na 1 2 5\n");
+  WriteFile(co, "v 1 0 0\nv 1 9 9\nv 2 3 4\n");
+  LoadResult r = LoadDimacs(gr, co);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("duplicate coordinate"), std::string::npos);
+  EXPECT_NE(r.error.find(":2:"), std::string::npos) << r.error;
+}
+
+TEST_F(IoTest, RejectsNonFiniteCoordinate) {
+  const std::string gr = TempPath("nanco.gr");
+  const std::string co = TempPath("nanco.co");
+  WriteFile(gr, "p sp 2 1\na 1 2 5\n");
+  WriteFile(co, "v 1 nan 0\nv 2 3 4\n");
+  EXPECT_FALSE(LoadDimacs(gr, co).ok());
+}
+
+TEST_F(IoTest, RejectsOutOfRangeCoordinateVertex) {
+  const std::string gr = TempPath("rangeco.gr");
+  const std::string co = TempPath("rangeco.co");
+  WriteFile(gr, "p sp 2 1\na 1 2 5\n");
+  WriteFile(co, "v 3 0 0\n");
+  LoadResult r = LoadDimacs(gr, co);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("ids are 1..2"), std::string::npos) << r.error;
+}
+
 TEST_F(IoTest, SaveLoadRoundTrip) {
   Graph original = testing::MakeSmallGrid(6, 6);
   const std::string gr = TempPath("rt.gr");

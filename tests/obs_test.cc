@@ -1,0 +1,241 @@
+// Unit tests for the observability primitives: histogram percentile
+// edge cases, sharded-counter merge exactness under real ParallelFor
+// concurrency, and slow-query ring-buffer wraparound.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+
+namespace fannr {
+namespace {
+
+using obs::HistogramSnapshot;
+using obs::MetricsRegistry;
+using obs::QueryTrace;
+using obs::SlowQueryLog;
+
+HistogramSnapshot RecordAll(const std::vector<double>& bounds,
+                            const std::vector<double>& values) {
+  MetricsRegistry registry(1);
+  const auto id = registry.RegisterHistogram("h", bounds);
+  for (double v : values) registry.Record(id, v);
+  return *registry.Snapshot().histogram("h");
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  const auto h = RecordAll({1.0, 2.0, 5.0}, {});
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(100), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsExactAtEveryPercentile) {
+  const auto h = RecordAll({1.0, 2.0, 5.0}, {1.7});
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_DOUBLE_EQ(h.min, 1.7);
+  EXPECT_DOUBLE_EQ(h.max, 1.7);
+  // The [min, max] clamp makes a one-sample histogram exact regardless
+  // of which bucket the sample landed in.
+  for (double p : {0.0, 1.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 1.7) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.Mean(), 1.7);
+}
+
+TEST(HistogramTest, ValueOnBucketBoundaryCountsIntoLowerBucket) {
+  // Bounds are inclusive upper bounds: a value equal to bounds[i] lands
+  // in bucket i, not i+1.
+  const auto h = RecordAll({1.0, 2.0, 5.0}, {1.0, 2.0, 5.0});
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 0u);  // overflow bucket untouched
+}
+
+TEST(HistogramTest, OverflowBucketClampsToObservedMax) {
+  const auto h = RecordAll({1.0, 2.0}, {10.0, 20.0, 30.0});
+  EXPECT_EQ(h.counts[2], 3u);  // all in overflow
+  EXPECT_DOUBLE_EQ(h.max, 30.0);
+  // p100 must report the exact observed max even though the overflow
+  // bucket has no upper bound.
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 30.0);
+  // And every percentile stays within the observed range.
+  EXPECT_LE(h.Percentile(99), 30.0);
+  EXPECT_GE(h.Percentile(1), h.min);
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndRankExact) {
+  // 100 samples, one per bucket position: percentile rank selection must
+  // walk the exact cumulative counts.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  const auto h = RecordAll(bounds, values);
+  ASSERT_EQ(h.count, 100u);
+  // Nearest-rank: p50 -> 50th sample = 50, p95 -> 95, p99 -> 99.
+  EXPECT_NEAR(h.Percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(h.Percentile(95), 95.0, 1.0);
+  EXPECT_NEAR(h.Percentile(99), 99.0, 1.0);
+  double last = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, last) << "p" << p;
+    last = v;
+  }
+}
+
+TEST(HistogramTest, AccumulateMatchesRecord) {
+  // The snapshot-side Accumulate (used for per-batch histograms) must
+  // agree with registry Record.
+  const std::vector<double> bounds = {0.5, 1.0, 2.0};
+  const std::vector<double> values = {0.1, 0.6, 1.5, 9.0, 1.0};
+  const auto recorded = RecordAll(bounds, values);
+  HistogramSnapshot accumulated;
+  accumulated.bounds = bounds;
+  accumulated.counts.assign(bounds.size() + 1, 0);
+  for (double v : values) accumulated.Accumulate(v);
+  EXPECT_EQ(accumulated.counts, recorded.counts);
+  EXPECT_EQ(accumulated.count, recorded.count);
+  EXPECT_DOUBLE_EQ(accumulated.sum, recorded.sum);
+  EXPECT_DOUBLE_EQ(accumulated.min, recorded.min);
+  EXPECT_DOUBLE_EQ(accumulated.max, recorded.max);
+}
+
+TEST(MetricsRegistryTest, ShardedCounterMergeIsExactUnderParallelFor) {
+  // Every worker hammers its own shard; the merged total must be exactly
+  // the number of increments, proving no updates are lost or double
+  // counted across shards.
+  constexpr size_t kWorkers = 8;
+  constexpr size_t kIndices = 20000;
+  ThreadPool pool(kWorkers);
+  MetricsRegistry registry(kWorkers);
+  const auto counter = registry.RegisterCounter("test.increments");
+  const auto histogram =
+      registry.RegisterHistogram("test.values", {10.0, 100.0, 1000.0});
+  pool.ParallelFor(kIndices, [&](size_t index, size_t worker) {
+    registry.Add(counter, 1, worker);
+    registry.Record(histogram, static_cast<double>(index % 500), worker);
+  });
+  const auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counter("test.increments"), kIndices);
+  const auto* h = snapshot.histogram("test.values");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kIndices);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : h->counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, kIndices);
+  EXPECT_DOUBLE_EQ(h->min, 0.0);
+  EXPECT_DOUBLE_EQ(h->max, 499.0);
+}
+
+TEST(MetricsRegistryTest, GaugeAndNamedLookup) {
+  MetricsRegistry registry(2);
+  const auto gauge = registry.RegisterGauge("g");
+  registry.Set(gauge, 42.5);
+  const auto snapshot = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.gauge("g"), 42.5);
+  EXPECT_EQ(snapshot.counter("missing"), 0u);
+  EXPECT_EQ(snapshot.histogram("missing"), nullptr);
+}
+
+QueryTrace MakeTrace(size_t index, double solve_ms) {
+  QueryTrace trace;
+  trace.query_index = index;
+  trace.solve_ms = solve_ms;
+  return trace;
+}
+
+TEST(SlowQueryLogTest, ThresholdFilters) {
+  SlowQueryLog log(/*capacity=*/8, /*threshold_ms=*/10.0);
+  log.Offer(MakeTrace(0, 5.0));    // fast: dropped
+  log.Offer(MakeTrace(1, 10.0));   // at threshold: kept
+  log.Offer(MakeTrace(2, 100.0));  // slow: kept
+  EXPECT_EQ(log.total_offered(), 3u);
+  EXPECT_EQ(log.total_admitted(), 2u);
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].query_index, 1u);
+  EXPECT_EQ(entries[1].query_index, 2u);
+}
+
+TEST(SlowQueryLogTest, RejectionsAlwaysAdmitted) {
+  SlowQueryLog log(4, /*threshold_ms=*/1e9);
+  QueryTrace trace = MakeTrace(7, 0.0);
+  trace.status = QueryStatus::kRejected;
+  trace.error = "query.graph does not match";
+  log.Offer(trace);
+  ASSERT_EQ(log.Entries().size(), 1u);
+  EXPECT_EQ(log.Entries()[0].error, "query.graph does not match");
+}
+
+TEST(SlowQueryLogTest, RingWraparoundKeepsNewestInOrder) {
+  SlowQueryLog log(/*capacity=*/3, /*threshold_ms=*/0.0);
+  for (size_t i = 0; i < 10; ++i) log.Offer(MakeTrace(i, 1.0));
+  EXPECT_EQ(log.total_offered(), 10u);
+  EXPECT_EQ(log.total_admitted(), 10u);
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Oldest-first of the three most recent offers.
+  EXPECT_EQ(entries[0].query_index, 7u);
+  EXPECT_EQ(entries[1].query_index, 8u);
+  EXPECT_EQ(entries[2].query_index, 9u);
+}
+
+TEST(SlowQueryLogTest, WraparoundExactlyAtCapacityBoundary) {
+  SlowQueryLog log(3, 0.0);
+  for (size_t i = 0; i < 3; ++i) log.Offer(MakeTrace(i, 1.0));
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].query_index, 0u);  // not yet wrapped
+  log.Offer(MakeTrace(3, 1.0));           // evicts exactly #0
+  entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].query_index, 1u);
+  EXPECT_EQ(entries[2].query_index, 3u);
+}
+
+TEST(SlowQueryLogTest, ClearKeepsCounters) {
+  SlowQueryLog log(2, 0.0);
+  log.Offer(MakeTrace(0, 1.0));
+  log.Clear();
+  EXPECT_TRUE(log.Entries().empty());
+  EXPECT_EQ(log.total_admitted(), 1u);
+}
+
+TEST(TraceDumpTest, TextAndJsonCarryTheSchema) {
+  QueryTrace trace;
+  trace.query_index = 3;
+  trace.worker = 1;
+  trace.algorithm = FannAlgorithm::kRList;
+  trace.solve_ms = 12.5;
+  trace.cache_hits = 4;
+  trace.cache_misses = 2;
+  trace.spans = {{"solve", 1.0, 12.5}};
+  const std::string text = obs::FormatTrace(trace);
+  EXPECT_NE(text.find("R-List"), std::string::npos);
+  EXPECT_NE(text.find("worker 1"), std::string::npos);
+  const std::string json = obs::TraceToJson(trace);
+  EXPECT_NE(json.find("\"solve_ms\": 12.500"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hits\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+
+  QueryTrace rejected;
+  rejected.status = QueryStatus::kRejected;
+  rejected.error = "bad \"quote\"";
+  const std::string rejected_json = obs::TraceToJson(rejected);
+  EXPECT_NE(rejected_json.find("\\\"quote\\\""), std::string::npos);
+  EXPECT_NE(obs::FormatTrace(rejected).find("REJECTED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fannr

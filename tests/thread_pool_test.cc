@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -70,6 +72,81 @@ TEST(ThreadPoolTest, PerWorkerScratchIsUnshared) {
   });
   EXPECT_EQ(std::accumulate(per_worker.begin(), per_worker.end(), size_t{0}),
             5000u);
+}
+
+TEST(ThreadPoolTest, BodyExceptionPropagatesToCaller) {
+  // Pre-fix, an exception escaping the body crossed the worker thread's
+  // noexcept boundary and called std::terminate. It must instead surface
+  // on the calling thread.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t index, size_t) {
+                         if (index == 37) throw std::runtime_error("boom 37");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsAndCarriesItsMessage) {
+  ThreadPool pool(2);
+  std::string message;
+  try {
+    pool.ParallelFor(50, [&](size_t index, size_t) {
+      throw std::runtime_error("fail at " + std::to_string(index));
+    });
+    FAIL() << "ParallelFor should have thrown";
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  EXPECT_EQ(message.rfind("fail at ", 0), 0u) << message;
+}
+
+TEST(ThreadPoolTest, ExceptionSkipsUnclaimedIndices) {
+  // A throw drains the remaining work: indices claimed after the failure
+  // are skipped, so a poisoned batch doesn't keep running to completion.
+  ThreadPool pool(1);  // deterministic claim order: 0, 1, 2, ...
+  std::atomic<size_t> executed{0};
+  EXPECT_THROW(pool.ParallelFor(1000,
+                                [&](size_t index, size_t) {
+                                  if (index == 5) throw std::logic_error("x");
+                                  executed.fetch_add(
+                                      1, std::memory_order_relaxed);
+                                }),
+               std::logic_error);
+  EXPECT_EQ(executed.load(), 5u);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  // The pool must neither deadlock nor stay poisoned: the next
+  // ParallelFor runs normally and a second failure is reported again.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   10, [](size_t, size_t) { throw std::runtime_error("a"); }),
+               std::runtime_error);
+
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(500, [&](size_t, size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 500u);
+
+  EXPECT_THROW(pool.ParallelFor(
+                   10, [](size_t, size_t) { throw std::runtime_error("b"); }),
+               std::runtime_error);
+  count.store(0);
+  pool.ParallelFor(77, [&](size_t, size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 77u);
+}
+
+TEST(ThreadPoolTest, StatsCountCallsAndExecutedIndices) {
+  ThreadPool pool(2);
+  pool.ParallelFor(10, [](size_t, size_t) {});
+  pool.ParallelFor(7, [](size_t, size_t) {});
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.parallel_for_calls, 2u);
+  EXPECT_EQ(stats.indices_executed, 17u);
 }
 
 }  // namespace

@@ -11,7 +11,8 @@
 //   --algorithm ALGO       gd | rlist | ier | exactmax | apxsum | ann | omp
 //                          (default rlist)
 //   --engine ENGINE        ine | astar | gtree | phl | ier-astar |
-//                          ier-gtree | ier-phl | ch      (default ine)
+//                          ier-gtree | ier-phl | ch | cached
+//                          (default ine; "cached" = Cached-SSSP oracle)
 //   --agg max|sum          aggregate (default sum)
 //   --phi F                flexibility in (0,1]          (default 0.5)
 //   --k N                  top-k (k-FANN_R; 1 = plain)   (default 1)
@@ -22,6 +23,13 @@
 //   --q-coverage F         coverage ratio A              (default 0.10)
 //   --q-clusters N         clusters C (1 = uniform)      (default 1)
 //   --seed N               workload seed                 (default 1)
+//
+// Observability:
+//   --stats                route the query through the batch engine with
+//                          metrics enabled and print its execution trace
+//                          (worker, phase timings, cache activity) and the
+//                          batch report (k = 1, dispatchable algorithms
+//                          only: gd | rlist | ier | exactmax | apxsum)
 //
 // Prints the answer triple, the flexible subset, and wall-clock timings.
 
@@ -34,6 +42,7 @@
 #include <string>
 
 #include "common/timer.h"
+#include "engine/batch_engine.h"
 #include "fann/fannr.h"
 #include "graph/components.h"
 #include "sp/ch/contraction_hierarchy.h"
@@ -106,7 +115,9 @@ int main(int argc, char** argv) {
       std::printf("see the header of tools/fannr_query.cc for usage\n");
       return 0;
     }
-    if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--stats") == 0) {  // bare flag, no value
+      args.values["stats"] = "1";
+    } else if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
       args.values[argv[i] + 2] = argv[i + 1];
       ++i;
     } else {
@@ -156,8 +167,13 @@ int main(int argc, char** argv) {
 
   // --- engine ------------------------------------------------------------
   const std::string engine_name = args.Get("engine", "ine");
-  const auto kind = ParseEngine(engine_name);
-  if (!kind.has_value()) return Fail("unknown engine");
+  // "cached" selects the batch engine's Cached-SSSP oracle (kind stays
+  // nullopt); everything else is a Table I GphiKind.
+  std::optional<GphiKind> kind;
+  if (engine_name != "cached") {
+    kind = ParseEngine(engine_name);
+    if (!kind.has_value()) return Fail("unknown engine");
+  }
 
   GphiResources resources;
   resources.graph = &*graph;
@@ -166,22 +182,23 @@ int main(int argc, char** argv) {
   std::optional<ContractionHierarchy> ch;
   Timer index_timer;
   const std::string algorithm = args.Get("algorithm", "rlist");
-  if (*kind == GphiKind::kPhl || *kind == GphiKind::kIerPhl) {
+  if (kind == GphiKind::kPhl || kind == GphiKind::kIerPhl) {
     labels = HubLabels::Build(*graph);
     resources.labels = &*labels;
   }
-  if (*kind == GphiKind::kGTree || *kind == GphiKind::kIerGTree) {
+  if (kind == GphiKind::kGTree || kind == GphiKind::kIerGTree) {
     gtree = GTree::Build(*graph);
     resources.gtree = &*gtree;
   }
-  if (*kind == GphiKind::kCh) {
+  if (kind == GphiKind::kCh) {
     ch = ContractionHierarchy::Build(*graph);
     resources.ch = &*ch;
   }
   if (index_timer.Seconds() > 0.01) {
     std::printf("index build: %.2fs\n", index_timer.Seconds());
   }
-  auto engine = MakeGphiEngine(*kind, resources);
+  auto engine = kind.has_value() ? MakeGphiEngine(*kind, resources)
+                                 : MakeCachedSsspEngine(*graph, nullptr);
 
   // --- query ---------------------------------------------------------------
   const double phi = args.GetDouble("phi", 0.5);
@@ -194,6 +211,55 @@ int main(int argc, char** argv) {
               std::string(engine->name()).c_str());
 
   Timer solve_timer;
+  if (args.Has("stats") && top_k > 1) {
+    return Fail("--stats supports single queries only (k = 1)");
+  }
+  if (args.Has("stats")) {
+    // Route through the batch engine so the observability layer (trace,
+    // metrics registry, report) sees exactly one query.
+    FannAlgorithm fann_algorithm;
+    if (algorithm == "gd") {
+      fann_algorithm = FannAlgorithm::kGd;
+    } else if (algorithm == "rlist") {
+      fann_algorithm = FannAlgorithm::kRList;
+    } else if (algorithm == "ier") {
+      fann_algorithm = FannAlgorithm::kIer;
+    } else if (algorithm == "exactmax") {
+      fann_algorithm = FannAlgorithm::kExactMax;
+    } else if (algorithm == "apxsum") {
+      fann_algorithm = FannAlgorithm::kApxSum;
+    } else {
+      return Fail("--stats requires gd | rlist | ier | exactmax | apxsum");
+    }
+
+    BatchOptions options;
+    options.num_threads = 1;
+    options.gphi_kind = kind;  // nullopt (= "cached") uses the shared cache
+    options.enable_metrics = true;
+    options.slow_query_threshold_ms = 0.0;
+    BatchQueryEngine batch_engine(resources, options);
+    FannrQuery job;
+    job.query = query;
+    job.algorithm = fann_algorithm;
+    const auto results = batch_engine.Run({job});
+    const FannResult& result = results[0];
+    if (result.status == QueryStatus::kRejected) {
+      std::fprintf(stderr, "query rejected: %s\n", result.error.c_str());
+      return 1;
+    }
+    if (result.best == kInvalidVertex) {
+      std::printf("no feasible answer (disconnected workload)\n");
+    } else {
+      PrintResultLine(result.best, result.distance, result.subset);
+      std::printf("g_phi evaluations: %zu\n", result.gphi_evaluations);
+    }
+    std::printf("\n--- trace ---\n%s",
+                obs::FormatTrace(batch_engine.last_traces()[0]).c_str());
+    std::printf("--- report ---\n%s",
+                batch_engine.last_report().ToText().c_str());
+    std::printf("\nsolve time: %.2f ms\n", solve_timer.Millis());
+    return 0;
+  }
   if (top_k > 1) {
     std::vector<KFannEntry> entries;
     if (algorithm == "gd") {
