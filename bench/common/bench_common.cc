@@ -94,7 +94,8 @@ Env Env::Load(const EnvNeeds& needs) {
 
   if (needs.labels) {
     load_or_build(
-        "phl", [](std::istream& in) { return HubLabels::Load(in); },
+        "phl",
+        [&](std::istream& in) { return HubLabels::Load(*env.graph_, in); },
         [&] { return HubLabels::Build(*env.graph_); },
         [](const HubLabels& l, std::ostream& out) { return l.Save(out); },
         env.labels_);

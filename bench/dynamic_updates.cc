@@ -1,104 +1,300 @@
 // Dynamic road networks: the motivating scenario for the paper's
-// index-free specific algorithms (Section IV).
+// index-free algorithms (Section IV).
 //
 // "This property is appealing when road networks change frequently,
 //  since we do not need to re-build the index any more, which is usually
 //  time consuming as shown in Fig. 9(b)."
 //
-// We perturb a fraction of edge weights (an accident/closure wave),
-// rebuild the graph (cheap), and compare the time-to-first-answer of the
-// index-free algorithms (Exact-max, APX-sum with INE, R-List with INE)
-// against the index-based path, which must first rebuild its PHL-style
-// labeling before IER-PHL can answer.
+// With the live-update subsystem (dynamic/update.h) a weight change is
+// an in-place UpdateBatch apply, not a graph rebuild, so this benchmark
+// measures the dynamic story end to end:
+//
+//   1. update-apply latency across wave sizes (fraction of edges
+//      rescaled per congestion wave);
+//   2. time-to-first-correct-answer after a wave: the index-free path
+//      (GD over INE, ready immediately) vs the index path, which must
+//      rebuild its PHL labeling before it can answer again — both
+//      answers are verified against a brute-force oracle computed on
+//      the post-update weights;
+//   3. the stale-index diagnosis (fann/dispatch.h) firing on the
+//      pre-update index;
+//   4. the epoch-versioned shared distance cache: a warm
+//      BatchQueryEngine survives an update, reclaims its stale entries
+//      (counted), and keeps answering correctly.
+//
+// Output: a table on stdout plus BENCH_dynamic.json (written to
+// FANNR_OUT_DIR or the working directory); CI gates the JSON with
+// scripts/check_dynamic_json.py.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/bench_common.h"
 #include "common/timer.h"
+#include "dynamic/update.h"
+#include "engine/batch_engine.h"
+#include "fann/dispatch.h"
 #include "graph/builder.h"
+#include "testing/oracle.h"
 
-int main() {
-  using namespace fannr;
-  using namespace fannr::bench;
+namespace fannr::bench {
+namespace {
 
-  Env env = Env::Load({.labels = false, .gtree = false, .ch = false});
-  const Graph& original = env.graph();
-  Params params;  // defaults
+using dynamic::ApplyResult;
+using dynamic::MakeCongestionWave;
+using dynamic::UpdateBatch;
 
-  std::printf("\n=== Dynamic updates: index-free vs rebuild-then-query ===\n");
-  std::printf("dataset=%s  |V|=%zu\n", env.dataset().c_str(),
-              original.NumVertices());
+struct WaveCell {
+  double fraction = 0.0;
+  size_t updates = 0;
+  size_t applied = 0;
+  size_t missing = 0;
+  double build_ms = 0.0;  // MakeCongestionWave (workload generation)
+  double apply_ms = 0.0;  // UpdateBatch::Apply (the measured operation)
+  uint64_t epoch = 0;
+};
 
-  // Perturb 1% of edges (weight increase = congestion; the builder keeps
-  // minima, so apply the perturbation on a fresh edge list).
-  Timer rebuild_timer;
-  Rng rng(0xD12A);
-  GraphBuilder builder;
-  if (original.HasCoordinates()) {
-    for (VertexId v = 0; v < original.NumVertices(); ++v) {
-      builder.AddVertex(original.Coord(v));
-    }
+// Does `result` answer `query` optimally? Checked against the oracle
+// ranking computed on the CURRENT weights: the distance must match the
+// optimum and the vertex must be one of the fp-tied optimal candidates.
+bool MatchesOracle(const FannResult& result,
+                   const std::vector<testing::OracleEntry>& ranking) {
+  if (ranking.empty()) return result.best == kInvalidVertex;
+  if (result.best == kInvalidVertex) return false;
+  const Weight best = ranking.front().distance;
+  const double tol = 1e-9 * std::max(1.0, std::abs(best));
+  if (std::abs(result.distance - best) > tol) return false;
+  for (const auto& entry : ranking) {
+    if (entry.distance > best + tol) break;
+    if (entry.vertex == result.best) return true;
   }
-  for (VertexId u = 0; u < original.NumVertices(); ++u) {
-    for (const Arc& a : original.Neighbors(u)) {
-      if (u >= a.to) continue;
-      const double factor = rng.NextBool(0.01)
-                                ? rng.NextDouble(1.5, 3.0)  // congestion
-                                : 1.0;
-      builder.AddEdge(u, a.to, a.weight * factor);
-    }
-  }
-  Graph updated = builder.Build();
-  const double graph_rebuild_ms = rebuild_timer.Millis();
-  std::printf("graph rebuild after 1%% weight changes: %s\n\n",
-              FormatMs(graph_rebuild_ms).c_str());
-
-  // One default workload on the updated network.
-  Rng wl_rng(0xD12B);
-  IndexedVertexSet p(updated.NumVertices(),
-                     GenerateDataPoints(updated, params.d, wl_rng));
-  IndexedVertexSet q(updated.NumVertices(),
-                     GenerateUniformQueryPoints(updated, params.a, params.m,
-                                                wl_rng));
-  FannQuery max_query{&updated, &p, &q, params.phi, Aggregate::kMax};
-  FannQuery sum_query{&updated, &p, &q, params.phi, Aggregate::kSum};
-
-  GphiResources resources;
-  resources.graph = &updated;
-  auto ine = MakeGphiEngine(GphiKind::kIne, resources);
-
-  std::printf("%-34s %14s\n", "path to first answer", "time");
-  {
-    Timer t;
-    SolveExactMax(max_query);
-    std::printf("%-34s %14s\n", "index-free Exact-max (max)",
-                FormatMs(t.Millis()).c_str());
-  }
-  {
-    Timer t;
-    SolveApxSum(sum_query, *ine);
-    std::printf("%-34s %14s\n", "index-free APX-sum (sum)",
-                FormatMs(t.Millis()).c_str());
-  }
-  {
-    Timer t;
-    SolveRList(max_query, *ine);
-    std::printf("%-34s %14s\n", "index-free R-List (max)",
-                FormatMs(t.Millis()).c_str());
-  }
-  {
-    Timer t;
-    auto labels = HubLabels::Build(updated);
-    resources.labels = &*labels;
-    auto phl = MakeGphiEngine(GphiKind::kIerPhl, resources);
-    const RTree p_tree = BuildDataPointRTree(updated, p);
-    SolveIer(max_query, *phl, p_tree);
-    std::printf("%-34s %14s\n", "rebuild PHL + IER-PHL (max)",
-                FormatMs(t.Millis()).c_str());
-  }
-  std::printf(
-      "\n(the index-free algorithms answer immediately after a network\n"
-      "change; the index-based path pays the full Fig. 9(b) rebuild "
-      "first)\n");
-  return 0;
+  return false;
 }
+
+int Main() {
+  Env env = Env::Load({.labels = false, .gtree = false, .ch = false});
+  // A private mutable copy: Env owns its graph const (shared with the
+  // index cache); updates must not leak into other benches' state.
+  Graph graph = GraphBuilder::FromGraph(env.graph()).Build();
+  Params params;  // paper defaults
+
+  std::printf("\n=== Dynamic updates: in-place apply + "
+              "index-free vs rebuild-then-query ===\n");
+  std::printf("dataset=%s  |V|=%zu  |E|=%zu  epoch=%llu\n",
+              env.dataset().c_str(), graph.NumVertices(), graph.NumEdges(),
+              static_cast<unsigned long long>(graph.epoch()));
+
+  // ---- 1. Update-apply latency across wave sizes -----------------------
+  Rng wave_rng(0xD12A);
+  const std::vector<double> fractions = {0.001, 0.01, 0.05, 0.20};
+  std::vector<WaveCell> waves;
+  std::printf("\n%-10s %10s %10s %12s %12s\n", "fraction", "updates",
+              "applied", "build ms", "apply ms");
+  for (double fraction : fractions) {
+    WaveCell cell;
+    cell.fraction = fraction;
+    Timer build_timer;
+    UpdateBatch wave = MakeCongestionWave(graph, fraction, /*min_factor=*/0.5,
+                                          /*max_factor=*/3.0, wave_rng);
+    cell.build_ms = build_timer.Millis();
+    cell.updates = wave.size();
+    Timer apply_timer;
+    const ApplyResult applied = wave.Apply(graph);
+    cell.apply_ms = apply_timer.Millis();
+    cell.applied = applied.applied;
+    cell.missing = applied.missing;
+    cell.epoch = applied.new_epoch;
+    std::printf("%-10.3f %10zu %10zu %12.3f %12.3f\n", fraction, cell.updates,
+                cell.applied, cell.build_ms, cell.apply_ms);
+    waves.push_back(cell);
+  }
+
+  // ---- 2. Time-to-first-correct-answer after a wave --------------------
+  // Build the index on the current weights, then hit it with one more
+  // wave: the index-free path answers immediately; the index path pays
+  // the full Fig. 9(b) rebuild first. Both must agree with an oracle
+  // computed on the post-update weights.
+  Timer initial_build_timer;
+  auto stale_labels = HubLabels::Build(graph);
+  const double initial_index_build_ms = initial_build_timer.Millis();
+  FANNR_CHECK(stale_labels.has_value());
+
+  UpdateBatch ttfa_wave = MakeCongestionWave(graph, /*fraction=*/0.01,
+                                             /*min_factor=*/0.5,
+                                             /*max_factor=*/3.0, wave_rng);
+  const ApplyResult ttfa_applied = ttfa_wave.Apply(graph);
+
+  GphiResources stale_resources;
+  stale_resources.graph = &graph;
+  stale_resources.labels = &*stale_labels;
+  const std::string stale_reason =
+      StaleIndexReason(GphiKind::kPhl, stale_resources);
+  const bool stale_index_detected = !stale_reason.empty();
+
+  Rng wl_rng(0xD12B);
+  const std::vector<VertexId> p_members =
+      GenerateDataPoints(graph, params.d, wl_rng);
+  const std::vector<VertexId> q_members =
+      GenerateUniformQueryPoints(graph, params.a, params.m, wl_rng);
+  IndexedVertexSet p(graph.NumVertices(), p_members);
+  IndexedVertexSet q(graph.NumVertices(), q_members);
+  FannQuery query{&graph, &p, &q, params.phi, Aggregate::kMax};
+  const auto oracle = testing::OracleRanking(graph, p_members, q_members,
+                                             params.phi, Aggregate::kMax);
+
+  double index_free_ms = 0.0;
+  bool index_free_correct = false;
+  {
+    GphiResources resources;
+    resources.graph = &graph;
+    Timer t;
+    auto ine = MakeGphiEngine(GphiKind::kIne, resources);
+    const FannResult result = SolveGd(query, *ine);
+    index_free_ms = t.Millis();
+    index_free_correct = MatchesOracle(result, oracle);
+  }
+
+  double rebuild_ms = 0.0;
+  double rebuild_index_build_ms = 0.0;
+  bool rebuild_correct = false;
+  {
+    Timer t;
+    Timer build_t;
+    auto labels = HubLabels::Build(graph);
+    rebuild_index_build_ms = build_t.Millis();
+    FANNR_CHECK(labels.has_value());
+    GphiResources resources;
+    resources.graph = &graph;
+    resources.labels = &*labels;
+    auto phl = MakeGphiEngine(GphiKind::kPhl, resources);
+    const FannResult result = SolveGd(query, *phl);
+    rebuild_ms = t.Millis();
+    rebuild_correct = MatchesOracle(result, oracle);
+  }
+
+  std::printf("\n%-44s %14s\n", "path to first correct answer (GD, max)",
+              "time");
+  std::printf("%-44s %14s\n", "index-free (INE, answers immediately)",
+              FormatMs(index_free_ms).c_str());
+  std::printf("%-44s %14s\n", "rebuild PHL + query",
+              FormatMs(rebuild_ms).c_str());
+  std::printf("stale PHL diagnosed: %s\n",
+              stale_index_detected ? "yes" : "NO (BUG)");
+  std::printf("oracle agreement: index-free %s, rebuilt %s\n",
+              index_free_correct ? "ok" : "WRONG",
+              rebuild_correct ? "ok" : "WRONG");
+
+  // ---- 3. Epoch-versioned cache across an update -----------------------
+  // A warm batch engine (shared distance cache) straddles a wave: the
+  // stale entries must be reclaimed (epoch_evictions > 0), and the
+  // post-update answers must match an oracle on the new weights.
+  std::vector<std::vector<VertexId>> batch_q_members;
+  std::vector<std::unique_ptr<IndexedVertexSet>> batch_qs;
+  std::vector<FannrQuery> jobs;
+  Rng batch_rng(0xD12C);
+  for (size_t i = 0; i < 8; ++i) {
+    batch_q_members.push_back(
+        GenerateUniformQueryPoints(graph, params.a, /*m=*/32, batch_rng));
+    batch_qs.push_back(std::make_unique<IndexedVertexSet>(
+        graph.NumVertices(), batch_q_members.back()));
+    FannrQuery job;
+    job.query = FannQuery{&graph, &p, batch_qs.back().get(), params.phi,
+                          Aggregate::kSum};
+    job.algorithm = FannAlgorithm::kGd;
+    jobs.push_back(job);
+  }
+  GphiResources batch_resources;
+  batch_resources.graph = &graph;
+  BatchOptions batch_options;
+  batch_options.num_threads = 2;
+  batch_options.share_distance_cache = true;
+  batch_options.enable_metrics = true;
+  BatchQueryEngine engine(batch_resources, batch_options);
+
+  engine.Run(jobs);  // warm the cache at the current epoch
+  const auto warm_stats = engine.cache_stats();
+
+  UpdateBatch cache_wave = MakeCongestionWave(graph, /*fraction=*/0.05,
+                                              /*min_factor=*/0.5,
+                                              /*max_factor=*/3.0, wave_rng);
+  cache_wave.Apply(graph);
+
+  const std::vector<FannResult> post = engine.Run(jobs);
+  const auto post_stats = engine.cache_stats();
+  const size_t epoch_evictions =
+      post_stats.epoch_evictions - warm_stats.epoch_evictions;
+  bool cache_post_update_correct = true;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const auto job_oracle = testing::OracleRanking(
+        graph, p_members, batch_q_members[i], params.phi, Aggregate::kSum);
+    if (!MatchesOracle(post[i], job_oracle)) cache_post_update_correct = false;
+  }
+  std::printf("\nwarm cache across an update: %zu epoch-stale entries "
+              "reclaimed, post-update answers %s\n",
+              epoch_evictions, cache_post_update_correct ? "ok" : "WRONG");
+
+  // ---- JSON artifact ---------------------------------------------------
+  const std::string out_dir = [] {
+    const char* dir = std::getenv("FANNR_OUT_DIR");
+    return std::string(dir != nullptr ? dir : ".");
+  }();
+  const std::string out_path = out_dir + "/BENCH_dynamic.json";
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"dataset\": \"" << env.dataset() << "\",\n"
+      << "  \"num_vertices\": " << graph.NumVertices() << ",\n"
+      << "  \"num_edges\": " << graph.NumEdges() << ",\n"
+      << "  \"waves\": [\n";
+  for (size_t i = 0; i < waves.size(); ++i) {
+    const WaveCell& w = waves[i];
+    out << "    {\"fraction\": " << w.fraction << ", \"updates\": "
+        << w.updates << ", \"applied\": " << w.applied << ", \"missing\": "
+        << w.missing << ", \"build_ms\": " << w.build_ms << ", \"apply_ms\": "
+        << w.apply_ms << ", \"epoch\": " << w.epoch << "}"
+        << (i + 1 < waves.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"ttfa\": {\n"
+      << "    \"initial_index_build_ms\": " << initial_index_build_ms << ",\n"
+      << "    \"update_applied\": " << ttfa_applied.applied << ",\n"
+      << "    \"index_free_ms\": " << index_free_ms << ",\n"
+      << "    \"rebuild_ms\": " << rebuild_ms << ",\n"
+      << "    \"rebuild_index_build_ms\": " << rebuild_index_build_ms << ",\n"
+      << "    \"index_free_correct\": "
+      << (index_free_correct ? "true" : "false") << ",\n"
+      << "    \"rebuild_correct\": " << (rebuild_correct ? "true" : "false")
+      << ",\n"
+      << "    \"stale_index_detected\": "
+      << (stale_index_detected ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"cache\": {\n"
+      << "    \"epoch_evictions\": " << epoch_evictions << ",\n"
+      << "    \"hits\": " << post_stats.hits << ",\n"
+      << "    \"misses\": " << post_stats.misses << ",\n"
+      << "    \"lookups\": " << post_stats.hits + post_stats.misses << ",\n"
+      << "    \"post_update_correct\": "
+      << (cache_post_update_correct ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"final_epoch\": " << graph.epoch() << "\n"
+      << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // The benchmark doubles as a smoke test: any wrong answer or missed
+  // staleness diagnosis fails the binary (and the CI step running it).
+  const bool ok = index_free_correct && rebuild_correct &&
+                  stale_index_detected && cache_post_update_correct &&
+                  epoch_evictions > 0;
+  if (!ok) std::fprintf(stderr, "dynamic_updates: FAILED correctness gate\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fannr::bench
+
+int main() { return fannr::bench::Main(); }

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validates BENCH_dynamic.json: schema plus sanity invariants.
+
+CI runs this after the dynamic-updates smoke so a benchmark that
+silently produces garbage (a wave that applied nothing, an epoch that
+did not advance, a correctness gate that flipped false, a cache that
+never reclaimed its stale entries) fails the build instead of uploading
+a broken artifact.
+
+Usage: check_dynamic_json.py [path-to-BENCH_dynamic.json]
+"""
+
+import json
+import math
+import sys
+
+REQUIRED_TOP_LEVEL = [
+    "dataset",
+    "num_vertices",
+    "num_edges",
+    "waves",
+    "ttfa",
+    "cache",
+    "final_epoch",
+]
+REQUIRED_WAVE = [
+    "fraction",
+    "updates",
+    "applied",
+    "missing",
+    "build_ms",
+    "apply_ms",
+    "epoch",
+]
+REQUIRED_TTFA = [
+    "initial_index_build_ms",
+    "update_applied",
+    "index_free_ms",
+    "rebuild_ms",
+    "rebuild_index_build_ms",
+    "index_free_correct",
+    "rebuild_correct",
+    "stale_index_detected",
+]
+REQUIRED_CACHE = [
+    "epoch_evictions",
+    "hits",
+    "misses",
+    "lookups",
+    "post_update_correct",
+]
+
+_errors = []
+
+
+def check(condition, message):
+    if not condition:
+        _errors.append(message)
+
+
+def finite_nonneg(value):
+    return (isinstance(value, (int, float)) and math.isfinite(value)
+            and value >= 0)
+
+
+def finite_positive(value):
+    return finite_nonneg(value) and value > 0
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_dynamic.json"
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot parse {path}: {e}", file=sys.stderr)
+        return 1
+
+    for key in REQUIRED_TOP_LEVEL:
+        check(key in data, f"missing top-level key '{key}'")
+    if _errors:
+        print("FAIL:\n  " + "\n  ".join(_errors), file=sys.stderr)
+        return 1
+
+    check(data["num_vertices"] >= 1, "num_vertices must be >= 1")
+    check(data["num_edges"] >= 1, "num_edges must be >= 1")
+
+    waves = data["waves"]
+    check(len(waves) > 0, "waves array is empty")
+    prev_epoch = 0
+    for i, wave in enumerate(waves):
+        for key in REQUIRED_WAVE:
+            check(key in wave, f"wave #{i}: missing key '{key}'")
+        if _errors:
+            break
+        label = f"wave #{i} (fraction {wave['fraction']})"
+        check(0 < wave["fraction"] <= 1, f"{label}: fraction out of (0, 1]")
+        check(wave["applied"] + wave["missing"] <= wave["updates"],
+              f"{label}: applied + missing exceeds the update count")
+        check(finite_nonneg(wave["build_ms"]),
+              f"{label}: build_ms must be finite and >= 0")
+        check(finite_nonneg(wave["apply_ms"]),
+              f"{label}: apply_ms must be finite and >= 0")
+        # Each wave bumps the epoch exactly once (MakeCongestionWave can
+        # legitimately select zero edges only on degenerate graphs, which
+        # the bench's fractions and TEST preset rule out).
+        check(wave["applied"] > 0, f"{label}: wave applied no updates")
+        check(wave["epoch"] == prev_epoch + 1,
+              f"{label}: epoch {wave['epoch']} is not exactly one past "
+              f"the previous epoch {prev_epoch}")
+        prev_epoch = wave["epoch"]
+
+    ttfa = data["ttfa"]
+    for key in REQUIRED_TTFA:
+        check(key in ttfa, f"ttfa: missing key '{key}'")
+    if not _errors:
+        check(finite_positive(ttfa["index_free_ms"]),
+              "ttfa: index_free_ms must be positive")
+        check(finite_positive(ttfa["rebuild_ms"]),
+              "ttfa: rebuild_ms must be positive")
+        check(ttfa["rebuild_index_build_ms"] <= ttfa["rebuild_ms"],
+              "ttfa: rebuild path cannot be faster than its index build")
+        check(ttfa["update_applied"] > 0, "ttfa: the wave applied nothing")
+        check(ttfa["index_free_correct"] is True,
+              "ttfa: index-free answer disagreed with the oracle")
+        check(ttfa["rebuild_correct"] is True,
+              "ttfa: rebuilt-index answer disagreed with the oracle")
+        check(ttfa["stale_index_detected"] is True,
+              "ttfa: the stale index was not diagnosed")
+
+    cache = data["cache"]
+    for key in REQUIRED_CACHE:
+        check(key in cache, f"cache: missing key '{key}'")
+    if not _errors:
+        check(cache["hits"] + cache["misses"] == cache["lookups"],
+              f"cache: hits ({cache['hits']}) + misses ({cache['misses']}) "
+              f"!= lookups ({cache['lookups']})")
+        check(cache["epoch_evictions"] > 0,
+              "cache: a warm cache straddling an update must reclaim "
+              "stale entries")
+        check(cache["post_update_correct"] is True,
+              "cache: post-update answers disagreed with the oracle")
+
+    check(data["final_epoch"] >= len(waves) + 2,
+          "final_epoch below the number of applied waves (sweep + ttfa "
+          "wave + cache wave)")
+
+    if _errors:
+        print("FAIL:\n  " + "\n  ".join(_errors), file=sys.stderr)
+        return 1
+    print(f"OK: {path} passes schema and sanity checks "
+          f"({len(waves)} waves, final epoch {data['final_epoch']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,10 @@
 #ifndef FANNR_COMMON_SERIALIZE_H_
 #define FANNR_COMMON_SERIALIZE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <type_traits>
 #include <vector>
@@ -46,7 +48,9 @@ class BinaryWriter {
 
 /// Reads what BinaryWriter wrote. All methods return false (and leave the
 /// output untouched or partially filled) on stream failure or corrupt
-/// sizes.
+/// sizes. Vec bounds its allocation by the bytes actually remaining in
+/// the stream, so a corrupt 16-byte file claiming a terabyte-sized vector
+/// fails fast instead of triggering a near-OOM resize.
 class BinaryReader {
  public:
   explicit BinaryReader(std::istream& in) : in_(in) {}
@@ -63,12 +67,38 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t size = 0;
     if (!Pod(size)) return false;
-    // Guard against corrupt headers requesting absurd allocations.
+    if (size == 0) {
+      values.clear();
+      return true;
+    }
+    // Absolute backstop against overflow in the byte-count arithmetic.
     if (size > (1ULL << 40) / sizeof(T)) return false;
-    values.resize(size);
-    if (size > 0) {
+    const uint64_t bytes = size * sizeof(T);
+    const std::optional<uint64_t> remaining = RemainingBytes();
+    if (remaining.has_value()) {
+      // Seekable stream: a size header exceeding what is left is corrupt
+      // — reject before allocating anything.
+      if (bytes > *remaining) {
+        in_.setstate(std::ios::failbit);
+        return false;
+      }
+      values.resize(size);
       in_.read(reinterpret_cast<char*>(values.data()),
-               static_cast<std::streamsize>(size * sizeof(T)));
+               static_cast<std::streamsize>(bytes));
+    } else {
+      // Non-seekable stream: grow incrementally in bounded chunks so a
+      // lying header costs at most one chunk of memory past EOF.
+      constexpr uint64_t kChunkElems = (1ULL << 20) / sizeof(T) + 1;
+      values.clear();
+      uint64_t done = 0;
+      while (done < size && in_) {
+        const uint64_t take =
+            std::min<uint64_t>(kChunkElems, size - done);
+        values.resize(static_cast<size_t>(done + take));
+        in_.read(reinterpret_cast<char*>(values.data() + done),
+                 static_cast<std::streamsize>(take * sizeof(T)));
+        done += take;
+      }
     }
     return static_cast<bool>(in_);
   }
@@ -76,6 +106,25 @@ class BinaryReader {
   bool ok() const { return static_cast<bool>(in_); }
 
  private:
+  /// Bytes between the current position and the end of the stream, or
+  /// nullopt when the stream is not seekable.
+  std::optional<uint64_t> RemainingBytes() {
+    const std::istream::pos_type cur = in_.tellg();
+    if (cur == std::istream::pos_type(-1)) {
+      in_.clear();
+      return std::nullopt;
+    }
+    in_.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in_.tellg();
+    in_.seekg(cur);
+    if (end == std::istream::pos_type(-1) || !in_) {
+      in_.clear();
+      in_.seekg(cur);
+      return std::nullopt;
+    }
+    return static_cast<uint64_t>(end - cur);
+  }
+
   std::istream& in_;
 };
 

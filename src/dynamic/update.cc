@@ -1,0 +1,83 @@
+#include "dynamic/update.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace fannr::dynamic {
+
+void UpdateBatch::ScaleWeight(const Graph& graph, VertexId u, VertexId v,
+                              double factor) {
+  FANNR_CHECK(factor > 0.0 && std::isfinite(factor));
+  const std::optional<Weight> current = graph.EdgeWeight(u, v);
+  FANNR_CHECK(current.has_value() && "ScaleWeight requires an existing edge");
+  updates_.push_back({u, v, *current * factor});
+}
+
+std::string UpdateBatch::ValidationError(const Graph& graph) const {
+  const size_t n = graph.NumVertices();
+  for (size_t i = 0; i < updates_.size(); ++i) {
+    const EdgeWeightUpdate& u = updates_[i];
+    const std::string prefix = "update #" + std::to_string(i) + ": ";
+    if (u.u >= n || u.v >= n) {
+      return prefix + "endpoint out of range (|V|=" + std::to_string(n) + ")";
+    }
+    if (u.u == u.v) {
+      return prefix + "self-loop (road networks have none)";
+    }
+    if (!(u.new_weight > 0.0) || !std::isfinite(u.new_weight)) {
+      return prefix + "weight must be positive and finite";
+    }
+  }
+  return std::string();
+}
+
+ApplyResult UpdateBatch::Apply(Graph& graph) const {
+  const std::string error = ValidationError(graph);
+  FANNR_CHECK(error.empty() && "invalid UpdateBatch; screen with "
+                               "ValidationError before Apply");
+  // Deduplicate by undirected edge, last writer wins, preserving the
+  // first-seen order so the apply is deterministic.
+  std::unordered_map<uint64_t, size_t> position;  // edge key -> dedup index
+  std::vector<EdgeWeightUpdate> deduped;
+  deduped.reserve(updates_.size());
+  for (const EdgeWeightUpdate& u : updates_) {
+    const uint64_t lo = std::min(u.u, u.v);
+    const uint64_t hi = std::max(u.u, u.v);
+    const uint64_t key = (lo << 32) | hi;
+    auto [it, inserted] = position.emplace(key, deduped.size());
+    if (inserted) {
+      deduped.push_back(u);
+    } else {
+      deduped[it->second] = u;
+    }
+  }
+
+  ApplyResult result;
+  result.old_epoch = graph.epoch();
+  const Graph::ApplyStats stats = graph.ApplyWeightUpdates(deduped);
+  result.applied = stats.applied;
+  result.missing = stats.missing;
+  result.new_epoch = graph.epoch();
+  return result;
+}
+
+UpdateBatch MakeCongestionWave(const Graph& graph, double fraction,
+                               double min_factor, double max_factor,
+                               Rng& rng) {
+  FANNR_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  FANNR_CHECK(min_factor > 0.0 && min_factor <= max_factor);
+  UpdateBatch batch;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (const Arc& a : graph.Neighbors(u)) {
+      if (u >= a.to) continue;  // visit each undirected edge once
+      if (!rng.NextBool(fraction)) continue;
+      const double factor = rng.NextDouble(min_factor, max_factor);
+      batch.SetWeight(u, a.to, a.weight * factor);
+    }
+  }
+  return batch;
+}
+
+}  // namespace fannr::dynamic

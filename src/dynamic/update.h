@@ -1,0 +1,93 @@
+// Live edge-weight updates: the dynamic-road-network subsystem.
+//
+// The paper's index-free algorithms (Section IV) are motivated by road
+// networks that "change frequently": travel times shift with congestion
+// far faster than a PHL/G-tree/CH rebuild completes. This subsystem
+// turns a weight change from a full graph rebuild into an in-place
+// UpdateBatch apply:
+//
+//   * UpdateBatch collects weight sets (absolute or scaled) against one
+//     graph, deduplicating by edge (last writer wins) and validating
+//     every entry before anything mutates;
+//   * Apply() pushes the batch into the Graph (both arc directions) and
+//     bumps the graph's epoch exactly once;
+//   * everything downstream keys freshness off that epoch: the sharded
+//     source-distance cache stamps entries and lazily rejects stale ones
+//     (engine/distance_cache.h), prebuilt indexes record their build
+//     epoch and the batch engine falls back to index-free solving when
+//     an index is stale (fann/dispatch.h), and the batch engine rejects
+//     jobs whose batch straddled an epoch change (engine/batch_engine.h).
+//
+// See DESIGN.md §2.8 for the full invalidation model.
+
+#ifndef FANNR_DYNAMIC_UPDATE_H_
+#define FANNR_DYNAMIC_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace fannr::dynamic {
+
+/// Outcome of applying one UpdateBatch.
+struct ApplyResult {
+  size_t applied = 0;      ///< Edges whose weight changed.
+  size_t missing = 0;      ///< Updates addressing a non-existent edge.
+  GraphEpoch old_epoch = 0;
+  GraphEpoch new_epoch = 0;  ///< old_epoch + 1 iff applied > 0.
+};
+
+/// A batch of edge-weight changes to apply atomically (one epoch bump).
+/// Collect with SetWeight/ScaleWeight, then Apply() to a graph. Entries
+/// addressing the same undirected edge are deduplicated at Apply time —
+/// the last one added wins, matching "latest traffic reading wins".
+class UpdateBatch {
+ public:
+  /// Sets w(u, v) to `weight` (must be positive and finite; checked at
+  /// Apply). Endpoint order is irrelevant.
+  void SetWeight(VertexId u, VertexId v, Weight weight) {
+    updates_.push_back({u, v, weight});
+  }
+
+  /// Multiplies the edge's CURRENT weight (read from `graph` at call
+  /// time) by `factor` > 0. Convenience for congestion/clearing waves.
+  /// Requires the edge to exist in `graph`.
+  void ScaleWeight(const Graph& graph, VertexId u, VertexId v,
+                   double factor);
+
+  size_t size() const { return updates_.size(); }
+  bool empty() const { return updates_.empty(); }
+  const std::vector<EdgeWeightUpdate>& updates() const { return updates_; }
+
+  /// Explains the first invalid entry (endpoint out of range, self-loop,
+  /// non-positive or non-finite weight) or returns an empty string when
+  /// every entry is applicable to `graph`. Entries addressing a missing
+  /// edge are NOT an error here — Apply reports them in
+  /// ApplyResult::missing.
+  std::string ValidationError(const Graph& graph) const;
+
+  /// Applies the batch to `graph` in place: deduplicates by edge (last
+  /// writer wins), updates both arc directions of every edge, and bumps
+  /// the epoch once iff at least one weight changed. Aborts if
+  /// ValidationError(graph) is non-empty — callers applying untrusted
+  /// batches screen first.
+  ApplyResult Apply(Graph& graph) const;
+
+ private:
+  std::vector<EdgeWeightUpdate> updates_;
+};
+
+/// A random congestion wave: scales the weight of ~`fraction` of the
+/// graph's edges by a factor drawn uniformly from
+/// [min_factor, max_factor]. Factors > 1 model congestion, < 1 model
+/// clearing; mixes are fine. Deterministic in `rng`'s state. Used by the
+/// dynamic benchmark and the update-interleaved fuzz mode.
+UpdateBatch MakeCongestionWave(const Graph& graph, double fraction,
+                               double min_factor, double max_factor,
+                               Rng& rng);
+
+}  // namespace fannr::dynamic
+
+#endif  // FANNR_DYNAMIC_UPDATE_H_

@@ -1,6 +1,7 @@
 #include "engine/batch_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <string>
 #include <utility>
@@ -64,6 +65,16 @@ BatchQueryEngine::BatchQueryEngine(const GphiResources& resources,
                             worker_engines_.back().get())
                       : nullptr);
   }
+  if (options_.gphi_kind.has_value() &&
+      GphiKindUsesIndex(*options_.gphi_kind)) {
+    // The configured oracle can go stale under weight updates; keep an
+    // index-free engine per worker ready so a stale batch still runs.
+    fallback_engines_.reserve(pool_.num_workers());
+    for (size_t i = 0; i < pool_.num_workers(); ++i) {
+      fallback_engines_.push_back(
+          MakeGphiEngine(kFallbackGphiKind, resources_));
+    }
+  }
 
   if (options_.enable_metrics) {
     metrics_ = std::make_unique<obs::MetricsRegistry>(pool_.num_workers());
@@ -77,6 +88,8 @@ BatchQueryEngine::BatchQueryEngine(const GphiResources& resources,
     CachedSsspEngine::MetricHandles cache_handles;
     cache_handles.cache_hits = metrics_->RegisterCounter("cache.hits");
     cache_handles.cache_misses = metrics_->RegisterCounter("cache.misses");
+    cache_handles.cache_epoch_evictions =
+        metrics_->RegisterCounter("cache.epoch_evictions");
     cache_handles.sssp_compute_ms = metrics_->RegisterHistogram(
         "cache.sssp_compute_ms", obs::DefaultLatencyBucketsMs());
     slow_log_ = std::make_unique<obs::SlowQueryLog>(
@@ -88,6 +101,11 @@ BatchQueryEngine::BatchQueryEngine(const GphiResources& resources,
       if (cached_engines_[i] != nullptr) {
         cached_engines_[i]->PublishMetrics(metrics_.get(), cache_handles, i);
       }
+    }
+    fallback_tracing_.reserve(fallback_engines_.size());
+    for (const auto& fallback : fallback_engines_) {
+      fallback_tracing_.push_back(
+          std::make_unique<obs::TracingGphiEngine>(*fallback));
     }
   }
 }
@@ -111,6 +129,21 @@ std::vector<FannResult> BatchQueryEngine::Run(
   const SourceDistanceCache::Stats cache_before =
       cache_ != nullptr ? cache_->stats() : SourceDistanceCache::Stats{};
   const ThreadPool::Stats pool_before = pool_.stats();
+
+  // Admit the whole batch under one graph epoch. Jobs that cannot finish
+  // under it are rejected below rather than answered from torn reads.
+  const GraphEpoch admission_epoch = resources_.graph->epoch();
+  // A stale index is diagnosed once per batch (O(1)): if the configured
+  // oracle's index predates the admission epoch, every job of this batch
+  // runs on the per-worker index-free fallback engines instead.
+  const std::string stale_reason =
+      options_.gphi_kind.has_value()
+          ? StaleIndexReason(*options_.gphi_kind, resources_)
+          : std::string();
+  const bool use_fallback = !stale_reason.empty();
+  FANNR_CHECK(!use_fallback || !fallback_engines_.empty());
+  std::atomic<size_t> mid_batch_rejected{0};
+  std::atomic<size_t> fallback_solves{0};
 
   // Screen every job (rejections fill their result slot and are skipped
   // by the parallel phase) and build the R-trees the runnable IER-kNN
@@ -144,6 +177,14 @@ std::vector<FannResult> BatchQueryEngine::Run(
     }
   }
 
+  auto mid_batch_error = [&]() {
+    return "graph epoch advanced mid-batch (admitted at epoch " +
+           std::to_string(admission_epoch) + ", now " +
+           std::to_string(resources_.graph->epoch()) +
+           "): result would mix weights from different epochs — re-submit "
+           "the query";
+  };
+
   pool_.ParallelFor(queries.size(), [&](size_t index, size_t worker) {
     if (results[index].status == QueryStatus::kRejected) return;
     const FannrQuery& job = queries[index];
@@ -151,9 +192,37 @@ std::vector<FannResult> BatchQueryEngine::Run(
     if (job.algorithm == FannAlgorithm::kIer) {
       p_tree = &p_trees.at(job.query.data_points);
     }
+
+    // A job is only worth solving while the batch's admission epoch is
+    // still the graph's epoch; checked again after the solve because an
+    // update landing mid-solve can tear the weights the solver read.
+    auto reject_mid_batch = [&](obs::QueryTrace* trace) {
+      mid_batch_rejected.fetch_add(1, std::memory_order_relaxed);
+      std::string error = mid_batch_error();
+      if (trace != nullptr) {
+        trace->status = QueryStatus::kRejected;
+        trace->error = error;
+        metrics_->Add(m_rejected_, 1, worker);
+        slow_log_->Offer(*trace);
+      }
+      results[index] = RejectedResult(error);
+    };
+
     if (!tracing) {
-      results[index] = SolveWith(job.algorithm, job.query,
-                                 *worker_engines_[worker], p_tree);
+      if (resources_.graph->epoch() != admission_epoch) {
+        reject_mid_batch(nullptr);
+        return;
+      }
+      GphiEngine& engine = use_fallback ? *fallback_engines_[worker]
+                                        : *worker_engines_[worker];
+      results[index] = SolveWith(job.algorithm, job.query, engine, p_tree);
+      if (resources_.graph->epoch() != admission_epoch) {
+        reject_mid_batch(nullptr);
+        return;
+      }
+      if (use_fallback) {
+        fallback_solves.fetch_add(1, std::memory_order_relaxed);
+      }
       return;
     }
 
@@ -162,21 +231,40 @@ std::vector<FannResult> BatchQueryEngine::Run(
     trace.worker = worker;
     trace.algorithm = job.algorithm;
     trace.dispatch_wait_ms = run_timer.Millis();
+    if (resources_.graph->epoch() != admission_epoch) {
+      reject_mid_batch(&trace);
+      return;
+    }
+    if (use_fallback) {
+      trace.stale_index_fallback = true;
+      trace.fallback_reason = stale_reason;
+    }
     CachedSsspEngine* cached = cached_engines_[worker];
     const CachedSsspEngine::ProbeCounters probes_before =
         cached != nullptr ? cached->probe_counters()
                           : CachedSsspEngine::ProbeCounters{};
-    obs::TracingGphiEngine& engine = *tracing_engines_[worker];
+    obs::TracingGphiEngine& engine = use_fallback
+                                         ? *fallback_tracing_[worker]
+                                         : *tracing_engines_[worker];
     engine.set_trace(&trace);
     Timer solve_timer;
     results[index] = SolveWith(job.algorithm, job.query, engine, p_tree);
     trace.solve_ms = solve_timer.Millis();
     engine.set_trace(nullptr);
+    if (resources_.graph->epoch() != admission_epoch) {
+      reject_mid_batch(&trace);
+      return;
+    }
+    if (use_fallback) {
+      fallback_solves.fetch_add(1, std::memory_order_relaxed);
+    }
 
     if (cached != nullptr) {
       const CachedSsspEngine::ProbeCounters& probes = cached->probe_counters();
       trace.cache_hits = probes.hits - probes_before.hits;
       trace.cache_misses = probes.misses - probes_before.misses;
+      trace.cache_epoch_evictions =
+          probes.epoch_evictions - probes_before.epoch_evictions;
     }
     trace.gphi_evaluations = results[index].gphi_evaluations;
     trace.distance = results[index].distance;
@@ -194,10 +282,16 @@ std::vector<FannResult> BatchQueryEngine::Run(
   if (tracing) {
     obs::BatchReport& report = last_report_;
     report.batch_size = queries.size();
-    report.rejected = rejected;
+    report.rejected =
+        rejected + mid_batch_rejected.load(std::memory_order_relaxed);
+    report.rejected_mid_batch =
+        mid_batch_rejected.load(std::memory_order_relaxed);
+    report.graph_epoch = admission_epoch;
+    report.stale_index_fallbacks =
+        fallback_solves.load(std::memory_order_relaxed);
     report.num_threads = pool_.num_workers();
     report.wall_ms = run_timer.Millis();
-    const size_t executed = queries.size() - rejected;
+    const size_t executed = queries.size() - report.rejected;
     report.queries_per_second =
         report.wall_ms > 0.0
             ? 1000.0 * static_cast<double>(executed) / report.wall_ms
@@ -217,6 +311,8 @@ std::vector<FannResult> BatchQueryEngine::Run(
     report.cache.hits = cache_after.hits - cache_before.hits;
     report.cache.misses = cache_after.misses - cache_before.misses;
     report.cache.evictions = cache_after.evictions - cache_before.evictions;
+    report.cache.epoch_evictions =
+        cache_after.epoch_evictions - cache_before.epoch_evictions;
     report.cache_entries = cache_ != nullptr ? cache_->size() : 0;
     metrics_->Set(m_cache_entries_,
                   static_cast<double>(report.cache_entries));

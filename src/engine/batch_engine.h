@@ -30,6 +30,19 @@
 // behavior (or a process abort) on externally-assembled batches into a
 // per-job error visible in the result and its trace.
 //
+// Update safety (dynamic/update.h): Run() admits the whole batch under
+// one graph epoch, captured at entry. If an UpdateBatch bumps the epoch
+// while the batch is in flight, every job that had not finished solving
+// under the admission epoch is rejected (QueryStatus::kRejected with a
+// mid-batch-update reason) instead of returning a result computed from
+// torn weight reads — the caller re-submits against the new epoch. And
+// when the engine was configured with an index-backed g_phi kind (G-tree,
+// PHL, CH) whose index is stale for the admission epoch, the batch is
+// transparently answered by per-worker index-free fallback engines (INE,
+// exact on the live weights); traces carry stale_index_fallback plus the
+// staleness diagnosis, and the report counts the fallbacks. A stale index
+// therefore costs latency, never correctness.
+//
 // Determinism invariant: Run() output is a pure function of the input
 // batch — identical (bitwise, including work counters) for every thread
 // count, cache configuration, and observation setting. This holds
@@ -164,11 +177,16 @@ class BatchQueryEngine {
   // Typed views of worker_engines_ for cache attribution; entries are
   // null in gphi_kind mode.
   std::vector<CachedSsspEngine*> cached_engines_;
+  // Per-worker index-free fallback engines, created eagerly when the
+  // configured gphi_kind answers from a prebuilt index (empty otherwise),
+  // so a stale index never forces an allocation mid-batch.
+  std::vector<std::unique_ptr<GphiEngine>> fallback_engines_;
 
   // Observation state (allocated only when options.enable_metrics).
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::SlowQueryLog> slow_log_;
   std::vector<std::unique_ptr<obs::TracingGphiEngine>> tracing_engines_;
+  std::vector<std::unique_ptr<obs::TracingGphiEngine>> fallback_tracing_;
   obs::CounterId m_queries_, m_rejected_;
   obs::HistogramId m_solve_ms_, m_dispatch_wait_ms_;
   obs::GaugeId m_cache_entries_;

@@ -21,7 +21,18 @@ GphiResult CachedSsspEngine::Evaluate(VertexId p, size_t k,
   const std::vector<Weight>* sssp = nullptr;
   std::shared_ptr<const std::vector<Weight>> cached;
   if (cache_ != nullptr) {
-    cached = cache_->Lookup(p);
+    // The epoch read here and the SSSP below see the same weights as long
+    // as no update races the solve; the batch engine guarantees that by
+    // rejecting jobs whose batch straddles an epoch change.
+    const GraphEpoch epoch = graph_.epoch();
+    bool stale_evicted = false;
+    cached = cache_->Lookup(p, epoch, &stale_evicted);
+    if (stale_evicted) {
+      ++probes_.epoch_evictions;
+      if (registry_ != nullptr) {
+        registry_->Add(handles_.cache_epoch_evictions, 1, metrics_shard_);
+      }
+    }
     if (cached == nullptr) {
       ++probes_.misses;
       if (registry_ != nullptr) {
@@ -36,7 +47,7 @@ GphiResult CachedSsspEngine::Evaluate(VertexId p, size_t k,
                             metrics_shard_);
         }
       }
-      cached = cache_->Insert(p, std::move(fresh));
+      cached = cache_->Insert(p, epoch, std::move(fresh));
     } else {
       ++probes_.hits;
       if (registry_ != nullptr) {

@@ -12,6 +12,10 @@
 // the INE/A*/PHL engines' up to floating-point summation order, and are
 // bitwise identical to any other CachedSsspEngine on the same graph —
 // regardless of cache hits, sharing, or which thread filled the cache.
+// Under live weight updates (dynamic/update.h) every cache probe carries
+// the graph's current epoch, so a vector computed before an UpdateBatch
+// is lazily reclaimed rather than returned — correctness survives updates
+// without flushing the cache.
 
 #ifndef FANNR_ENGINE_CACHED_SSSP_H_
 #define FANNR_ENGINE_CACHED_SSSP_H_
@@ -37,6 +41,7 @@ class CachedSsspEngine : public GphiEngine {
   struct ProbeCounters {
     size_t hits = 0;
     size_t misses = 0;
+    size_t epoch_evictions = 0;  ///< Misses that reclaimed a stale entry.
   };
 
   /// Registry handles the engine records into when publication is
@@ -45,6 +50,7 @@ class CachedSsspEngine : public GphiEngine {
   struct MetricHandles {
     obs::CounterId cache_hits;
     obs::CounterId cache_misses;
+    obs::CounterId cache_epoch_evictions;
     obs::HistogramId sssp_compute_ms;
   };
 

@@ -19,12 +19,23 @@ SourceDistanceCache::SourceDistanceCache(size_t capacity, size_t num_shards)
 }
 
 std::shared_ptr<const std::vector<Weight>> SourceDistanceCache::Lookup(
-    VertexId source) {
+    VertexId source, GraphEpoch epoch, bool* stale_evicted) {
+  if (stale_evicted != nullptr) *stale_evicted = false;
   Shard& shard = ShardOf(source);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(source);
   if (it == shard.map.end()) {
     ++shard.misses;
+    return nullptr;
+  }
+  if (it->second.epoch != epoch) {
+    // Entry was computed under a different graph epoch: reclaim it lazily
+    // so it can never be returned, and report a miss.
+    shard.lru.erase(it->second.lru_pos);
+    shard.map.erase(it);
+    ++shard.misses;
+    ++shard.epoch_evictions;
+    if (stale_evicted != nullptr) *stale_evicted = true;
     return nullptr;
   }
   ++shard.hits;
@@ -33,14 +44,21 @@ std::shared_ptr<const std::vector<Weight>> SourceDistanceCache::Lookup(
 }
 
 std::shared_ptr<const std::vector<Weight>> SourceDistanceCache::Insert(
-    VertexId source, std::vector<Weight> distances) {
+    VertexId source, GraphEpoch epoch, std::vector<Weight> distances) {
   Shard& shard = ShardOf(source);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(source);
   if (it != shard.map.end()) {
-    // First writer wins; refresh recency and drop the duplicate vector.
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-    return it->second.distances;
+    if (it->second.epoch == epoch) {
+      // First writer wins within an epoch; refresh recency and drop the
+      // duplicate vector.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      return it->second.distances;
+    }
+    // Resident entry is from another epoch: replace it.
+    shard.lru.erase(it->second.lru_pos);
+    shard.map.erase(it);
+    ++shard.epoch_evictions;
   }
   while (shard.map.size() >= shard.capacity) {
     FANNR_CHECK(!shard.lru.empty());
@@ -51,7 +69,7 @@ std::shared_ptr<const std::vector<Weight>> SourceDistanceCache::Insert(
   auto entry = std::make_shared<const std::vector<Weight>>(
       std::move(distances));
   shard.lru.push_front(source);
-  shard.map[source] = {entry, shard.lru.begin()};
+  shard.map[source] = {entry, epoch, shard.lru.begin()};
   return entry;
 }
 
@@ -79,6 +97,7 @@ SourceDistanceCache::Stats SourceDistanceCache::stats() const {
     total.hits += shard.hits;
     total.misses += shard.misses;
     total.evictions += shard.evictions;
+    total.epoch_evictions += shard.epoch_evictions;
   }
   return total;
 }

@@ -21,6 +21,14 @@
 //     returned. Dijkstra is deterministic for a fixed graph and source,
 //     so both vectors are identical and query results never depend on
 //     which thread won the race.
+//   * Every entry is stamped with the graph epoch it was computed under
+//     (see Graph::epoch() and dynamic/update.h). A lookup that presents a
+//     newer epoch treats the entry as absent and lazily reclaims it — no
+//     stop-the-world flush is ever needed after a weight update, and a
+//     stale vector is structurally unreturnable. Reclaims are counted
+//     separately (Stats::epoch_evictions) from capacity evictions.
+//     First-writer-wins only applies within an epoch; an insert carrying
+//     a newer epoch replaces the resident entry.
 
 #ifndef FANNR_ENGINE_DISTANCE_CACHE_H_
 #define FANNR_ENGINE_DISTANCE_CACHE_H_
@@ -45,7 +53,8 @@ class SourceDistanceCache {
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
-    size_t evictions = 0;
+    size_t evictions = 0;        ///< Capacity (LRU) evictions.
+    size_t epoch_evictions = 0;  ///< Lazy reclaims of epoch-stale entries.
   };
 
   /// `capacity` bounds the total resident entries (>= 1 enforced);
@@ -53,16 +62,23 @@ class SourceDistanceCache {
   /// at most `capacity` so every shard can hold an entry).
   explicit SourceDistanceCache(size_t capacity, size_t num_shards = 16);
 
-  /// The cached distance vector of `source`, or nullptr on miss. A hit
-  /// refreshes the entry's LRU position.
-  std::shared_ptr<const std::vector<Weight>> Lookup(VertexId source);
+  /// The distance vector of `source` as computed under graph `epoch`, or
+  /// nullptr on miss. An entry stamped with a different epoch is treated
+  /// as a miss AND erased on the spot (counted in Stats::epoch_evictions;
+  /// `stale_evicted`, when non-null, is set accordingly) — stale
+  /// distances are never returned. A genuine hit refreshes the entry's
+  /// LRU position.
+  std::shared_ptr<const std::vector<Weight>> Lookup(
+      VertexId source, GraphEpoch epoch, bool* stale_evicted = nullptr);
 
-  /// Inserts delta(source, .), evicting the least-recently-used entry of
-  /// the shard if it is full. If the source is already resident the
-  /// existing entry wins and `distances` is discarded; the resident
+  /// Inserts delta(source, .) computed under graph `epoch`, evicting the
+  /// least-recently-used entry of the shard if it is full. If the source
+  /// is already resident at the SAME epoch the existing entry wins and
+  /// `distances` is discarded; if resident at a DIFFERENT epoch the stale
+  /// entry is replaced (counted in Stats::epoch_evictions). The resident
   /// vector is returned either way.
   std::shared_ptr<const std::vector<Weight>> Insert(
-      VertexId source, std::vector<Weight> distances);
+      VertexId source, GraphEpoch epoch, std::vector<Weight> distances);
 
   /// Drops every entry (counters are kept).
   void Clear();
@@ -83,6 +99,7 @@ class SourceDistanceCache {
     std::list<VertexId> lru;
     struct Slot {
       std::shared_ptr<const std::vector<Weight>> distances;
+      GraphEpoch epoch = 0;
       std::list<VertexId>::iterator lru_pos;
     };
     std::unordered_map<VertexId, Slot> map;
@@ -90,6 +107,7 @@ class SourceDistanceCache {
     size_t hits = 0;
     size_t misses = 0;
     size_t evictions = 0;
+    size_t epoch_evictions = 0;
   };
 
   Shard& ShardOf(VertexId source) {

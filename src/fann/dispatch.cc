@@ -1,5 +1,7 @@
 #include "fann/dispatch.h"
 
+#include <string>
+
 #include "fann/apx_sum.h"
 #include "fann/exact_max.h"
 #include "fann/gd.h"
@@ -36,6 +38,56 @@ bool FannAlgorithmSupports(FannAlgorithm algorithm, Aggregate aggregate) {
     default:
       return true;
   }
+}
+
+bool GphiKindUsesIndex(GphiKind kind) {
+  switch (kind) {
+    case GphiKind::kGTree:
+    case GphiKind::kPhl:
+    case GphiKind::kIerGTree:
+    case GphiKind::kIerPhl:
+    case GphiKind::kCh:
+      return true;
+    case GphiKind::kIne:
+    case GphiKind::kAStar:
+    case GphiKind::kIerAStar:
+      return false;
+  }
+  return false;
+}
+
+std::string StaleIndexReason(GphiKind kind, const GphiResources& resources) {
+  if (!GphiKindUsesIndex(kind)) return std::string();
+  FANNR_CHECK(resources.graph != nullptr);
+  const Graph& graph = *resources.graph;
+  auto reason = [&](std::string_view index_name, GraphEpoch build_epoch) {
+    return std::string(GphiKindName(kind)) + ": " + std::string(index_name) +
+           " index built at graph epoch " + std::to_string(build_epoch) +
+           ", graph is at epoch " + std::to_string(graph.epoch()) +
+           " — rebuild the index or use an index-free engine";
+  };
+  switch (kind) {
+    case GphiKind::kGTree:
+    case GphiKind::kIerGTree:
+      if (resources.gtree != nullptr && !resources.gtree->FreshFor(graph)) {
+        return reason("G-tree", resources.gtree->build_epoch());
+      }
+      break;
+    case GphiKind::kPhl:
+    case GphiKind::kIerPhl:
+      if (resources.labels != nullptr && !resources.labels->FreshFor(graph)) {
+        return reason("PHL", resources.labels->build_epoch());
+      }
+      break;
+    case GphiKind::kCh:
+      if (resources.ch != nullptr && !resources.ch->FreshFor(graph)) {
+        return reason("CH", resources.ch->build_epoch());
+      }
+      break;
+    default:
+      break;
+  }
+  return std::string();
 }
 
 FannResult SolveWith(FannAlgorithm algorithm, const FannQuery& query,

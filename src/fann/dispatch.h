@@ -6,6 +6,14 @@
 // wants one switchable entry point with an injected g_phi distance oracle,
 // so the engine subsystem (src/engine/) — and anything else that routes
 // queries dynamically — does not hard-code per-algorithm call sites.
+//
+// Dispatch is also where index freshness is decided under live weight
+// updates (dynamic/update.h): a g_phi kind backed by a prebuilt index
+// (G-tree, PHL, CH) silently returns wrong distances once the graph's
+// weights move past the index's build epoch. StaleIndexReason() detects
+// that in O(1) via the indexes' FreshFor() checks, and kFallbackGphiKind
+// names the index-free kind (INE) routing falls back to — exact on the
+// live weights, always constructible, never wrong.
 
 #ifndef FANNR_FANN_DISPATCH_H_
 #define FANNR_FANN_DISPATCH_H_
@@ -50,6 +58,23 @@ bool FannAlgorithmSupports(FannAlgorithm algorithm, Aggregate aggregate);
 /// support the query's aggregate or a required resource is missing.
 FannResult SolveWith(FannAlgorithm algorithm, const FannQuery& query,
                      GphiEngine& engine, const RTree* p_tree = nullptr);
+
+/// True if `kind` answers from a prebuilt index whose distances go stale
+/// when edge weights change (G-tree, PHL, CH — including their IER
+/// variants). Index-free kinds (INE, A*, IER-A*) always track the live
+/// graph.
+bool GphiKindUsesIndex(GphiKind kind);
+
+/// The index-free g_phi kind stale-index routing falls back to. INE:
+/// exact on the live weights, needs nothing but the graph.
+inline constexpr GphiKind kFallbackGphiKind = GphiKind::kIne;
+
+/// Explains why `kind` cannot safely answer against resources.graph right
+/// now (its index was built/loaded under a different graph epoch or
+/// fingerprint), or returns an empty string when `kind` is index-free,
+/// its index is fresh, or the index pointer is null (construction-time
+/// checks own that case). O(1) — safe to call per batch.
+std::string StaleIndexReason(GphiKind kind, const GphiResources& resources);
 
 }  // namespace fannr
 

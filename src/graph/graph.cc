@@ -1,10 +1,34 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 
 #include "common/serialize.h"
 
 namespace fannr {
+
+namespace internal_graph {
+
+uint64_t ArcChecksum(VertexId from, VertexId to, Weight weight) {
+  // splitmix64-style finalizer over the packed endpoints and the weight's
+  // bit pattern. The per-arc hashes are summed with wrapping addition, so
+  // the total is order-independent and a single weight change adjusts it
+  // by (new hash - old hash).
+  auto mix = [](uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  };
+  const uint64_t endpoints =
+      (static_cast<uint64_t>(from) << 32) | static_cast<uint64_t>(to);
+  return mix(mix(endpoints) ^ std::bit_cast<uint64_t>(weight));
+}
+
+}  // namespace internal_graph
 
 Graph::Graph(std::vector<std::vector<Arc>> adjacency,
              std::vector<Point> coords)
@@ -27,6 +51,85 @@ Graph::Graph(std::vector<std::vector<Arc>> adjacency,
     list.clear();
     list.shrink_to_fit();
   }
+  RecomputeWeightChecksum();
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : offsets_(std::move(other.offsets_)),
+      arcs_(std::move(other.arcs_)),
+      coords_(std::move(other.coords_)),
+      weight_checksum_(other.weight_checksum_),
+      epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    offsets_ = std::move(other.offsets_);
+    arcs_ = std::move(other.arcs_);
+    coords_ = std::move(other.coords_);
+    weight_checksum_ = other.weight_checksum_;
+    epoch_.store(other.epoch_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+void Graph::RecomputeWeightChecksum() {
+  uint64_t sum = 0;
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (const Arc& a : Neighbors(u)) {
+      sum += internal_graph::ArcChecksum(u, a.to, a.weight);
+    }
+  }
+  weight_checksum_ = sum;
+}
+
+std::optional<Weight> Graph::EdgeWeight(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices()) return std::nullopt;
+  for (const Arc& a : Neighbors(u)) {
+    if (a.to == v) return a.weight;
+  }
+  return std::nullopt;
+}
+
+Graph::ApplyStats Graph::ApplyWeightUpdates(
+    std::span<const EdgeWeightUpdate> updates) {
+  ApplyStats stats;
+  for (const EdgeWeightUpdate& update : updates) {
+    FANNR_CHECK(update.u < NumVertices() && update.v < NumVertices() &&
+                update.u != update.v);
+    FANNR_CHECK(update.new_weight > 0.0 && std::isfinite(update.new_weight));
+    // Update both arc directions; the builder deduplicated parallel
+    // edges, so each direction has at most one arc.
+    auto find_arc = [&](VertexId from, VertexId to) -> Arc* {
+      for (size_t i = offsets_[from]; i < offsets_[from + 1]; ++i) {
+        if (arcs_[i].to == to) return &arcs_[i];
+      }
+      return nullptr;
+    };
+    Arc* forward = find_arc(update.u, update.v);
+    if (forward == nullptr) {
+      ++stats.missing;
+      continue;
+    }
+    Arc* backward = find_arc(update.v, update.u);
+    FANNR_CHECK(backward != nullptr &&
+                "undirected invariant violated: arc without its reverse");
+    weight_checksum_ -=
+        internal_graph::ArcChecksum(update.u, update.v, forward->weight);
+    weight_checksum_ -=
+        internal_graph::ArcChecksum(update.v, update.u, backward->weight);
+    forward->weight = update.new_weight;
+    backward->weight = update.new_weight;
+    weight_checksum_ +=
+        internal_graph::ArcChecksum(update.u, update.v, forward->weight);
+    weight_checksum_ +=
+        internal_graph::ArcChecksum(update.v, update.u, backward->weight);
+    ++stats.applied;
+  }
+  if (stats.applied > 0) {
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return stats;
 }
 
 bool Graph::EuclideanConsistent() const {
@@ -58,11 +161,16 @@ void Graph::MakeEuclideanConsistent() {
 
 namespace {
 constexpr uint64_t kGraphMagic = 0xFA22A81A62A9E004ULL;
+// Format history: v1 had no version field (magic straight into the offset
+// vector); v2 adds this version word. Old files are rejected, not misread
+// — their first vector-size word never equals a small version number.
+constexpr uint32_t kGraphFormatVersion = 2;
 }  // namespace
 
 bool Graph::Save(std::ostream& out) const {
   BinaryWriter w(out);
   w.Pod(kGraphMagic);
+  w.Pod(kGraphFormatVersion);
   w.Vec(offsets_);
   w.Vec(arcs_);
   w.Vec(coords_);
@@ -72,7 +180,9 @@ bool Graph::Save(std::ostream& out) const {
 std::optional<Graph> Graph::Load(std::istream& in) {
   BinaryReader r(in);
   uint64_t magic = 0;
+  uint32_t version = 0;
   if (!r.Pod(magic) || magic != kGraphMagic) return std::nullopt;
+  if (!r.Pod(version) || version != kGraphFormatVersion) return std::nullopt;
   Graph graph;
   if (!r.Vec(graph.offsets_) || !r.Vec(graph.arcs_) ||
       !r.Vec(graph.coords_)) {
@@ -94,6 +204,7 @@ std::optional<Graph> Graph::Load(std::istream& in) {
   for (const Arc& a : graph.arcs_) {
     if (a.to >= n || !(a.weight > 0.0)) return std::nullopt;
   }
+  graph.RecomputeWeightChecksum();
   return graph;
 }
 

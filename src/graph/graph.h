@@ -1,4 +1,4 @@
-// Immutable road-network graph in compressed sparse row (CSR) form.
+// Road-network graph in compressed sparse row (CSR) form.
 //
 // A road network is an undirected weighted graph G = (V, E, W) with
 // strictly positive edge weights (paper Section II-A). Vertices optionally
@@ -6,10 +6,19 @@
 // (EuclideanDistance(coord(u), coord(v)) <= w(u, v) for every edge), the
 // Euclidean distance between any two vertices lower-bounds their network
 // distance, which the A* engine and the IER pruning rules rely on.
+//
+// The topology (vertices, edges) is immutable after construction, but
+// edge WEIGHTS may be updated in place through ApplyWeightUpdates — the
+// paper's motivating scenario for the index-free algorithms is road
+// networks whose travel times change frequently (Section IV). Every
+// weight change bumps a monotonically increasing epoch; caches and
+// prebuilt indexes record the epoch they were computed at and treat a
+// mismatch as staleness (see src/dynamic/ and DESIGN.md §2.8).
 
 #ifndef FANNR_GRAPH_GRAPH_H_
 #define FANNR_GRAPH_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
@@ -41,11 +50,44 @@ struct Arc {
   Weight weight = 0.0;
 };
 
-/// Immutable undirected weighted graph with optional vertex coordinates.
-/// Construct via GraphBuilder (graph/builder.h), a loader (graph/io.h), or
-/// a generator (graph/generator.h). Every accessor is const with no
-/// internal scratch, so one Graph may be read concurrently from any
-/// number of threads (the batch engine relies on this).
+/// Monotonically increasing per-Graph version. Epoch 0 is the freshly
+/// constructed (or loaded) graph; every applied weight-update batch
+/// increments it by one.
+using GraphEpoch = uint64_t;
+
+/// One edge-weight change: sets w(u, v) (both arc directions) to
+/// `new_weight`. The edge must already exist — topology never changes.
+struct EdgeWeightUpdate {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Weight new_weight = 0.0;
+};
+
+/// Structural identity of a graph: vertex count, edge count, and an
+/// order-independent checksum over every arc's (endpoints, weight). Two
+/// graphs with equal fingerprints hold the same weighted edge set with
+/// overwhelming probability; a single weight update changes the
+/// checksum. Persisted index files store the fingerprint of the graph
+/// they were built against so Load can reject files saved against a
+/// different (or since-updated) network instead of serving wrong
+/// distances.
+struct GraphFingerprint {
+  uint64_t vertices = 0;
+  uint64_t edges = 0;
+  uint64_t weight_checksum = 0;
+
+  friend bool operator==(const GraphFingerprint&,
+                         const GraphFingerprint&) = default;
+};
+
+/// Undirected weighted graph with optional vertex coordinates and
+/// immutable topology. Construct via GraphBuilder (graph/builder.h), a
+/// loader (graph/io.h), or a generator (graph/generator.h). Every
+/// accessor is const with no internal scratch, so one Graph may be read
+/// concurrently from any number of threads (the batch engine relies on
+/// this). ApplyWeightUpdates is the only mutating operation; it must not
+/// run concurrently with readers (updates happen between query batches —
+/// the batch engine detects and rejects mid-batch epoch changes).
 class Graph {
  public:
   /// Builds the CSR representation from per-vertex adjacency lists.
@@ -56,8 +98,10 @@ class Graph {
 
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
-  Graph(Graph&&) = default;
-  Graph& operator=(Graph&&) = default;
+  // Manual moves: the epoch counter is atomic (readers may poll it from
+  // worker threads) and atomics are not movable by default.
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
 
   /// Number of vertices |V|.
   size_t NumVertices() const { return offsets_.size() - 1; }
@@ -75,6 +119,37 @@ class Graph {
   size_t Degree(VertexId u) const {
     FANNR_DCHECK(u < NumVertices());
     return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Current weight of edge (u, v), or nullopt when no such edge exists.
+  std::optional<Weight> EdgeWeight(VertexId u, VertexId v) const;
+
+  // --- live weight updates (src/dynamic/, DESIGN.md §2.8) ---------------
+
+  /// The graph's version: 0 at construction/load, +1 per applied update
+  /// batch. Safe to read from any thread (relaxed atomic); prebuilt
+  /// indexes and the source-distance cache compare epochs to detect
+  /// staleness in O(1).
+  GraphEpoch epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// Applies edge-weight changes in place and bumps the epoch (once per
+  /// call, iff at least one update applied). Updates addressing a
+  /// non-existent edge are skipped and counted in the return value's
+  /// second member. Every applied update must carry a positive finite
+  /// weight and distinct in-range endpoints (checked). NOT safe to run
+  /// concurrently with readers: callers serialize updates against query
+  /// execution (see the class comment).
+  struct ApplyStats {
+    size_t applied = 0;
+    size_t missing = 0;  ///< updates whose edge does not exist
+  };
+  ApplyStats ApplyWeightUpdates(std::span<const EdgeWeightUpdate> updates);
+
+  /// The graph's structural identity (vertex/edge counts + weight
+  /// checksum). O(1): the checksum is maintained incrementally across
+  /// weight updates.
+  GraphFingerprint Fingerprint() const {
+    return {NumVertices(), NumEdges(), weight_checksum_};
   }
 
   /// True if vertices carry planar coordinates.
@@ -118,10 +193,24 @@ class Graph {
 
  private:
   Graph() = default;
+
+  /// Recomputes weight_checksum_ from scratch (construction and Load).
+  void RecomputeWeightChecksum();
+
   std::vector<size_t> offsets_;  // size NumVertices() + 1
   std::vector<Arc> arcs_;        // grouped by source vertex
   std::vector<Point> coords_;    // empty or size NumVertices()
+  uint64_t weight_checksum_ = 0;
+  std::atomic<GraphEpoch> epoch_{0};
 };
+
+namespace internal_graph {
+
+/// Order-independent per-arc checksum contribution; summed (wrapping)
+/// over all arcs so a weight update adjusts the total in O(1).
+uint64_t ArcChecksum(VertexId from, VertexId to, Weight weight);
+
+}  // namespace internal_graph
 
 }  // namespace fannr
 

@@ -1,0 +1,28 @@
+#include "graph/index_io.h"
+
+namespace fannr {
+
+void WriteIndexHeader(BinaryWriter& writer, uint64_t magic,
+                      const GraphFingerprint& fingerprint) {
+  writer.Pod(magic);
+  writer.Pod(kIndexFormatVersion);
+  writer.Pod(fingerprint.vertices);
+  writer.Pod(fingerprint.edges);
+  writer.Pod(fingerprint.weight_checksum);
+}
+
+bool ReadIndexHeader(BinaryReader& reader, uint64_t magic,
+                     const GraphFingerprint& expected) {
+  uint64_t got_magic = 0;
+  uint32_t version = 0;
+  GraphFingerprint stored;
+  if (!reader.Pod(got_magic) || got_magic != magic) return false;
+  if (!reader.Pod(version) || version != kIndexFormatVersion) return false;
+  if (!reader.Pod(stored.vertices) || !reader.Pod(stored.edges) ||
+      !reader.Pod(stored.weight_checksum)) {
+    return false;
+  }
+  return stored == expected;
+}
+
+}  // namespace fannr

@@ -1,0 +1,41 @@
+// Shared on-disk header for persisted index files (hub labels, G-tree,
+// CH): magic number, format version, and the fingerprint of the graph
+// the index was built against.
+//
+// The fingerprint (vertex count + edge count + weight checksum, see
+// graph/graph.h) is the load-time identity check: an index file saved
+// against a different road network — or against this network before a
+// weight update — is rejected by Load instead of silently serving
+// distances from the wrong graph. Format history: v1 files had no
+// version or fingerprint after the magic; they are rejected (the next
+// word never matches a small version number), never misread.
+
+#ifndef FANNR_GRAPH_INDEX_IO_H_
+#define FANNR_GRAPH_INDEX_IO_H_
+
+#include <cstdint>
+
+#include "common/serialize.h"
+#include "graph/graph.h"
+
+namespace fannr {
+
+/// Current version of every index cache file (bumped in lockstep; a
+/// per-index split is not worth the bookkeeping while the header layout
+/// is shared).
+inline constexpr uint32_t kIndexFormatVersion = 2;
+
+/// Writes `magic`, kIndexFormatVersion, and `fingerprint`.
+void WriteIndexHeader(BinaryWriter& writer, uint64_t magic,
+                      const GraphFingerprint& fingerprint);
+
+/// Reads and validates a header written by WriteIndexHeader: the magic
+/// and version must match exactly and the stored fingerprint must equal
+/// `expected` (the graph the caller wants the index to serve). Returns
+/// false on any mismatch or stream failure.
+bool ReadIndexHeader(BinaryReader& reader, uint64_t magic,
+                     const GraphFingerprint& expected);
+
+}  // namespace fannr
+
+#endif  // FANNR_GRAPH_INDEX_IO_H_

@@ -57,13 +57,21 @@ std::string BatchReport::ToText() const {
   const size_t lookups = cache.hits + cache.misses;
   std::snprintf(line, sizeof(line),
                 "cache: %zu lookups (%zu hits / %zu misses, %.1f%% hit "
-                "rate), %zu evictions, %zu resident\n",
+                "rate), %zu evictions (%zu epoch-stale), %zu resident\n",
                 lookups, cache.hits, cache.misses,
                 lookups == 0 ? 0.0
                              : 100.0 * static_cast<double>(cache.hits) /
                                    static_cast<double>(lookups),
-                cache.evictions, cache_entries);
+                cache.evictions, cache.epoch_evictions, cache_entries);
   out += line;
+  if (rejected_mid_batch > 0 || stale_index_fallbacks > 0) {
+    std::snprintf(line, sizeof(line),
+                  "dynamic: epoch %llu, %zu mid-batch rejections, %zu "
+                  "stale-index fallbacks\n",
+                  static_cast<unsigned long long>(graph_epoch),
+                  rejected_mid_batch, stale_index_fallbacks);
+    out += line;
+  }
   std::snprintf(line, sizeof(line), "pool: %zu indices executed\n",
                 pool_indices_executed);
   out += line;
@@ -76,7 +84,12 @@ std::string BatchReport::ToJson(int indent) const {
   std::string out = "{\n";
   out += in + "\"batch_size\": " + std::to_string(batch_size) + ",\n";
   out += in + "\"rejected\": " + std::to_string(rejected) + ",\n";
+  out += in + "\"rejected_mid_batch\": " + std::to_string(rejected_mid_batch) +
+         ",\n";
   out += in + "\"num_threads\": " + std::to_string(num_threads) + ",\n";
+  out += in + "\"graph_epoch\": " + std::to_string(graph_epoch) + ",\n";
+  out += in + "\"stale_index_fallbacks\": " +
+         std::to_string(stale_index_fallbacks) + ",\n";
   out += in + "\"wall_ms\": " + Num(wall_ms) + ",\n";
   out += in + "\"queries_per_second\": " + Num(queries_per_second) + ",\n";
   out += in + "\"solve_ms\": " + HistogramJson(solve_ms, in) + ",\n";
@@ -84,6 +97,7 @@ std::string BatchReport::ToJson(int indent) const {
          ", \"misses\": " + std::to_string(cache.misses) +
          ", \"lookups\": " + std::to_string(cache.hits + cache.misses) +
          ", \"evictions\": " + std::to_string(cache.evictions) +
+         ", \"epoch_evictions\": " + std::to_string(cache.epoch_evictions) +
          ", \"resident_entries\": " + std::to_string(cache_entries) + "},\n";
   out += in + "\"attributed_cache_hits\": " +
          std::to_string(attributed_cache_hits) + ",\n";

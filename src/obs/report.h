@@ -25,6 +25,16 @@ struct BatchReport {
   size_t rejected = 0;  ///< Jobs that failed validation (status kRejected).
   size_t num_threads = 0;
 
+  /// Graph epoch the batch was admitted under (see dynamic/update.h).
+  /// Every executed query of the batch saw exactly this epoch's weights.
+  GraphEpoch graph_epoch = 0;
+  /// Jobs rejected because an UpdateBatch bumped the epoch after
+  /// admission (these are counted inside `rejected` too).
+  size_t rejected_mid_batch = 0;
+  /// Queries answered by the index-free fallback because the configured
+  /// g_phi kind's index was stale for graph_epoch.
+  size_t stale_index_fallbacks = 0;
+
   double wall_ms = 0.0;  ///< Run() entry to return.
   double queries_per_second = 0.0;
 

@@ -64,7 +64,16 @@ std::string FormatTrace(const QueryTrace& trace) {
          std::to_string(trace.gphi_evaluate_calls) + " calls)\n";
   out += "  counters:      " + std::to_string(trace.gphi_evaluations) +
          " g_phi evaluations, cache " + std::to_string(trace.cache_hits) +
-         " hits / " + std::to_string(trace.cache_misses) + " misses\n";
+         " hits / " + std::to_string(trace.cache_misses) + " misses";
+  if (trace.cache_epoch_evictions > 0) {
+    out += " (" + std::to_string(trace.cache_epoch_evictions) +
+           " epoch-stale reclaimed)";
+  }
+  out += "\n";
+  if (trace.stale_index_fallback) {
+    out += "  fallback:      index-free (stale index: " +
+           trace.fallback_reason + ")\n";
+  }
   out += "  answer:        p* = " +
          (trace.best == kInvalidVertex ? std::string("none")
                                        : "v" + std::to_string(trace.best)) +
@@ -97,6 +106,14 @@ std::string TraceToJson(const QueryTrace& trace) {
   out += ", \"gphi_evaluations\": " + std::to_string(trace.gphi_evaluations);
   out += ", \"cache_hits\": " + std::to_string(trace.cache_hits);
   out += ", \"cache_misses\": " + std::to_string(trace.cache_misses);
+  out += ", \"cache_epoch_evictions\": " +
+         std::to_string(trace.cache_epoch_evictions);
+  out += ", \"stale_index_fallback\": ";
+  out += trace.stale_index_fallback ? "true" : "false";
+  if (!trace.fallback_reason.empty()) {
+    out += ", \"fallback_reason\": \"" +
+           internal_obs::JsonEscape(trace.fallback_reason) + "\"";
+  }
   out += ", \"spans\": [";
   for (size_t i = 0; i < trace.spans.size(); ++i) {
     const TraceSpan& span = trace.spans[i];

@@ -70,9 +70,20 @@ struct QueryTrace {
 
   /// Shared-distance-cache activity attributed to this query (deltas of
   /// the executing worker's cached engine around the solve; zero when
-  /// the cache or the cached oracle is disabled).
+  /// the cache or the cached oracle is disabled). epoch_evictions counts
+  /// the misses that lazily reclaimed an entry stamped with an older
+  /// graph epoch (see dynamic/update.h).
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  size_t cache_epoch_evictions = 0;
+
+  /// Set when the engine's configured g_phi kind depends on a prebuilt
+  /// index that was stale for the graph's current epoch, so this query
+  /// was answered by the index-free fallback engine instead (INE; exact
+  /// on the live weights). fallback_reason carries the staleness
+  /// diagnosis from StaleIndexReason().
+  bool stale_index_fallback = false;
+  std::string fallback_reason;
 };
 
 /// One-line-per-field human dump.

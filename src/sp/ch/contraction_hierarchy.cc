@@ -5,7 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
-#include "common/serialize.h"
+#include "graph/index_io.h"
 
 namespace fannr {
 
@@ -109,6 +109,8 @@ ContractionHierarchy ContractionHierarchy::Build(const Graph& graph,
                                                  const Options& options) {
   const size_t n = graph.NumVertices();
   ContractionHierarchy ch(n);
+  ch.fingerprint_ = graph.Fingerprint();
+  ch.build_epoch_ = graph.epoch();
 
   DynamicAdjacency adj(n);
   for (VertexId u = 0; u < n; ++u) {
@@ -267,8 +269,7 @@ constexpr uint64_t kChMagic = 0xFA22A81AC4000003ULL;
 
 bool ContractionHierarchy::Save(std::ostream& out) const {
   BinaryWriter w(out);
-  w.Pod(kChMagic);
-  w.Pod<uint64_t>(up_offsets_.size() - 1);
+  WriteIndexHeader(w, kChMagic, fingerprint_);
   w.Pod<uint64_t>(num_shortcuts_);
   w.Vec(up_offsets_);
   w.Vec(up_arcs_);
@@ -278,16 +279,30 @@ bool ContractionHierarchy::Save(std::ostream& out) const {
 std::optional<ContractionHierarchy> ContractionHierarchy::Load(
     const Graph& graph, std::istream& in) {
   BinaryReader r(in);
-  uint64_t magic = 0, vertices = 0, shortcuts = 0;
-  if (!r.Pod(magic) || magic != kChMagic) return std::nullopt;
-  if (!r.Pod(vertices) || vertices != graph.NumVertices()) {
+  if (!ReadIndexHeader(r, kChMagic, graph.Fingerprint())) {
     return std::nullopt;
   }
+  const uint64_t vertices = graph.NumVertices();
+  uint64_t shortcuts = 0;
   ContractionHierarchy ch(vertices);
+  ch.fingerprint_ = graph.Fingerprint();
+  ch.build_epoch_ = graph.epoch();
   if (!r.Pod(shortcuts) || !r.Vec(ch.up_offsets_) || !r.Vec(ch.up_arcs_)) {
     return std::nullopt;
   }
+  // The upward CSR must be a monotone prefix array over valid targets —
+  // BidirUpwardSearch follows it without bounds checks.
   if (ch.up_offsets_.size() != vertices + 1) return std::nullopt;
+  if (ch.up_offsets_.front() != 0 ||
+      ch.up_offsets_.back() != ch.up_arcs_.size()) {
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < vertices; ++i) {
+    if (ch.up_offsets_[i] > ch.up_offsets_[i + 1]) return std::nullopt;
+  }
+  for (const Arc& a : ch.up_arcs_) {
+    if (a.to >= vertices || !(a.weight > 0.0)) return std::nullopt;
+  }
   ch.num_shortcuts_ = shortcuts;
   return ch;
 }

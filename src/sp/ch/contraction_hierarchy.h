@@ -69,12 +69,30 @@ class ContractionHierarchy {
   /// Approximate heap bytes of the upward search graph.
   size_t MemoryBytes() const;
 
-  /// Serializes the index (cache format). Returns false on I/O failure.
+  /// Serializes the index (cache format; versioned header carrying the
+  /// source graph's fingerprint — see graph/index_io.h). Returns false on
+  /// I/O failure.
   bool Save(std::ostream& out) const;
 
   /// Reloads an index previously written by Save against the same graph.
+  /// Returns nullopt on corrupt input, a stale format version, or a
+  /// graph-fingerprint mismatch (a file saved against a different or
+  /// since-updated network is rejected).
   static std::optional<ContractionHierarchy> Load(const Graph& graph,
                                                   std::istream& in);
+
+  /// The graph epoch the index was built (or loaded) at.
+  GraphEpoch build_epoch() const { return build_epoch_; }
+
+  /// Fingerprint of the graph the index was built against.
+  const GraphFingerprint& fingerprint() const { return fingerprint_; }
+
+  /// True iff the index still answers for `graph` exactly (no weight
+  /// update since Build/Load). O(1); consulted by fann/dispatch for the
+  /// stale-index query fallback.
+  bool FreshFor(const Graph& graph) const {
+    return build_epoch_ == graph.epoch() && fingerprint_ == graph.Fingerprint();
+  }
 
  private:
   explicit ContractionHierarchy(size_t n);
@@ -84,6 +102,8 @@ class ContractionHierarchy {
   std::vector<size_t> up_offsets_;
   std::vector<Arc> up_arcs_;
   size_t num_shortcuts_ = 0;
+  GraphFingerprint fingerprint_;
+  GraphEpoch build_epoch_ = 0;
 
   // The bidirectional upward search shared by Search::Distance and the
   // convenience Distance(); the scratch arrays are passed in by the

@@ -7,7 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
-#include "common/serialize.h"
+#include "graph/index_io.h"
 #include "sp/gtree/partition.h"
 
 namespace fannr {
@@ -28,6 +28,8 @@ GTree GTree::Build(const Graph& graph, const Options& options) {
   GTree tree;
   tree.graph_ = &graph;
   tree.options_ = options;
+  tree.fingerprint_ = graph.Fingerprint();
+  tree.build_epoch_ = graph.epoch();
   const size_t n = graph.NumVertices();
   tree.leaf_of_.assign(n, 0);
   tree.leaf_pos_.assign(n, 0);
@@ -524,8 +526,7 @@ constexpr uint64_t kGTreeMagic = 0xFA22A81A67BEE002ULL;
 
 bool GTree::Save(std::ostream& out) const {
   BinaryWriter w(out);
-  w.Pod(kGTreeMagic);
-  w.Pod<uint64_t>(graph_->NumVertices());
+  WriteIndexHeader(w, kGTreeMagic, fingerprint_);
   w.Pod<uint64_t>(options_.fanout);
   w.Pod<uint64_t>(options_.leaf_capacity);
   w.Pod<uint64_t>(num_leaves_);
@@ -551,14 +552,15 @@ bool GTree::Save(std::ostream& out) const {
 
 std::optional<GTree> GTree::Load(const Graph& graph, std::istream& in) {
   BinaryReader r(in);
-  uint64_t magic = 0, vertices = 0, fanout = 0, leaf_capacity = 0,
-           num_leaves = 0, num_nodes = 0;
-  if (!r.Pod(magic) || magic != kGTreeMagic) return std::nullopt;
-  if (!r.Pod(vertices) || vertices != graph.NumVertices()) {
+  uint64_t fanout = 0, leaf_capacity = 0, num_leaves = 0, num_nodes = 0;
+  if (!ReadIndexHeader(r, kGTreeMagic, graph.Fingerprint())) {
     return std::nullopt;
   }
+  const uint64_t vertices = graph.NumVertices();
   GTree tree;
   tree.graph_ = &graph;
+  tree.fingerprint_ = graph.Fingerprint();
+  tree.build_epoch_ = graph.epoch();
   if (!r.Pod(fanout) || !r.Pod(leaf_capacity) || !r.Pod(num_leaves)) {
     return std::nullopt;
   }
@@ -569,7 +571,10 @@ std::optional<GTree> GTree::Load(const Graph& graph, std::istream& in) {
       !r.Pod(num_nodes)) {
     return std::nullopt;
   }
-  if (tree.leaf_of_.size() != vertices) return std::nullopt;
+  if (tree.leaf_of_.size() != vertices ||
+      tree.leaf_pos_.size() != vertices) {
+    return std::nullopt;
+  }
   tree.nodes_.resize(num_nodes);
   for (Node& nd : tree.nodes_) {
     uint8_t is_leaf = 0;
@@ -581,6 +586,18 @@ std::optional<GTree> GTree::Load(const Graph& graph, std::istream& in) {
       return std::nullopt;
     }
     nd.is_leaf = is_leaf != 0;
+  }
+  // Per-vertex leaf references must land on a real leaf at a valid
+  // position — Distance() follows them without bounds checks.
+  for (uint64_t v = 0; v < vertices; ++v) {
+    const int32_t leaf = tree.leaf_of_[v];
+    if (leaf < 0 || static_cast<uint64_t>(leaf) >= num_nodes) {
+      return std::nullopt;
+    }
+    const Node& nd = tree.nodes_[leaf];
+    if (!nd.is_leaf || tree.leaf_pos_[v] >= nd.vertices.size()) {
+      return std::nullopt;
+    }
   }
   return tree;
 }

@@ -133,12 +133,29 @@ class GTree {
     std::vector<Weight> within_;            // within-leaf from source
   };
 
-  /// Serializes the index (cache format). Returns false on I/O failure.
+  /// Serializes the index (cache format; versioned header carrying the
+  /// source graph's fingerprint — see graph/index_io.h). Returns false on
+  /// I/O failure.
   bool Save(std::ostream& out) const;
 
   /// Reloads an index previously written by Save against the same graph.
-  /// Returns nullopt on corrupt input or a vertex-count mismatch.
+  /// Returns nullopt on corrupt input, a stale format version, or a
+  /// graph-fingerprint mismatch (a file saved against a different or
+  /// since-updated network is rejected).
   static std::optional<GTree> Load(const Graph& graph, std::istream& in);
+
+  /// The graph epoch the index was built (or loaded) at.
+  GraphEpoch build_epoch() const { return build_epoch_; }
+
+  /// Fingerprint of the graph the index was built against.
+  const GraphFingerprint& fingerprint() const { return fingerprint_; }
+
+  /// True iff the index still answers for `graph` exactly (no weight
+  /// update since Build/Load). O(1); consulted by fann/dispatch for the
+  /// stale-index query fallback.
+  bool FreshFor(const Graph& graph) const {
+    return build_epoch_ == graph.epoch() && fingerprint_ == graph.Fingerprint();
+  }
 
  private:
   GTree() = default;
@@ -154,6 +171,8 @@ class GTree {
   std::vector<int32_t> leaf_of_;    // per graph vertex
   std::vector<uint32_t> leaf_pos_;  // per graph vertex
   size_t num_leaves_ = 0;
+  GraphFingerprint fingerprint_;
+  GraphEpoch build_epoch_ = 0;
 };
 
 }  // namespace fannr

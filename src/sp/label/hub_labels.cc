@@ -4,9 +4,8 @@
 #include <numeric>
 #include <queue>
 
-#include "common/serialize.h"
-
 #include "common/rng.h"
+#include "graph/index_io.h"
 #include "sp/dijkstra.h"
 
 namespace fannr {
@@ -49,6 +48,8 @@ std::optional<HubLabels> HubLabels::Build(const Graph& graph,
                                           const Options& options) {
   const size_t n = graph.NumVertices();
   HubLabels result;
+  result.fingerprint_ = graph.Fingerprint();
+  result.build_epoch_ = graph.epoch();
   if (n == 0) {
     result.offsets_.assign(1, 0);
     return result;
@@ -178,24 +179,40 @@ constexpr uint64_t kHubLabelsMagic = 0xFA22A81A6E150001ULL;
 
 bool HubLabels::Save(std::ostream& out) const {
   BinaryWriter w(out);
-  w.Pod(kHubLabelsMagic);
+  WriteIndexHeader(w, kHubLabelsMagic, fingerprint_);
   w.Vec(offsets_);
   w.Vec(entries_);
   return w.ok();
 }
 
-std::optional<HubLabels> HubLabels::Load(std::istream& in) {
+std::optional<HubLabels> HubLabels::Load(const Graph& graph,
+                                         std::istream& in) {
   BinaryReader r(in);
-  uint64_t magic = 0;
-  if (!r.Pod(magic) || magic != kHubLabelsMagic) return std::nullopt;
+  if (!ReadIndexHeader(r, kHubLabelsMagic, graph.Fingerprint())) {
+    return std::nullopt;
+  }
   HubLabels result;
   if (!r.Vec(result.offsets_) || !r.Vec(result.entries_)) {
     return std::nullopt;
   }
-  if (result.offsets_.empty() ||
+  // Structural validation: one span per vertex, spans non-decreasing and
+  // ending exactly at the entry count — Distance() indexes entries_
+  // straight from offsets_, so a corrupt prefix array would read out of
+  // bounds.
+  if (result.offsets_.size() != graph.NumVertices() + 1) return std::nullopt;
+  if (result.offsets_.front() != 0 ||
       result.offsets_.back() != result.entries_.size()) {
     return std::nullopt;
   }
+  for (size_t i = 0; i + 1 < result.offsets_.size(); ++i) {
+    if (result.offsets_[i] > result.offsets_[i + 1]) return std::nullopt;
+  }
+  // Entry hub ranks must be valid vertex ranks.
+  for (const Entry& e : result.entries_) {
+    if (e.hub_rank >= graph.NumVertices()) return std::nullopt;
+  }
+  result.fingerprint_ = graph.Fingerprint();
+  result.build_epoch_ = graph.epoch();
   return result;
 }
 

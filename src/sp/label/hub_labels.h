@@ -65,12 +65,30 @@ class HubLabels {
   size_t MemoryBytes() const;
 
   /// Serializes the index to a stream (cache format; see
-  /// common/serialize.h). Returns false on I/O failure.
+  /// graph/index_io.h — the header carries a format version and the
+  /// fingerprint of the graph the labels were built against). Returns
+  /// false on I/O failure.
   bool Save(std::ostream& out) const;
 
-  /// Reloads an index previously written by Save. Returns nullopt on
-  /// corrupt or mismatched input.
-  static std::optional<HubLabels> Load(std::istream& in);
+  /// Reloads an index previously written by Save against `graph`.
+  /// Returns nullopt on corrupt input, a stale format version, or a file
+  /// whose stored graph fingerprint does not match `graph` — a hub-label
+  /// file for a different (or since-updated) network is rejected, never
+  /// loaded into service of wrong distances.
+  static std::optional<HubLabels> Load(const Graph& graph, std::istream& in);
+
+  /// The graph epoch the index was built (or loaded) at.
+  GraphEpoch build_epoch() const { return build_epoch_; }
+
+  /// Fingerprint of the graph the index was built against.
+  const GraphFingerprint& fingerprint() const { return fingerprint_; }
+
+  /// True iff the index still answers for `graph` exactly: same identity
+  /// and no weight update has been applied since Build/Load. O(1);
+  /// consulted by fann/dispatch for the stale-index query fallback.
+  bool FreshFor(const Graph& graph) const {
+    return build_epoch_ == graph.epoch() && fingerprint_ == graph.Fingerprint();
+  }
 
  private:
   struct Entry {
@@ -82,6 +100,8 @@ class HubLabels {
 
   std::vector<size_t> offsets_;  // per-vertex spans into entries_
   std::vector<Entry> entries_;
+  GraphFingerprint fingerprint_;
+  GraphEpoch build_epoch_ = 0;
 };
 
 }  // namespace fannr

@@ -1,0 +1,197 @@
+// Corrupt, truncated, and wrong-graph index files must be rejected by
+// the Load paths — never crash, never read out of bounds (the ASan CI
+// job runs this file), and never come back as an index that would serve
+// wrong distances.
+//
+// Shared on-disk layout (graph/index_io.h): magic u64 at offset 0,
+// format version u32 at offset 8, graph fingerprint (3 x u64) at offset
+// 12, index body from offset 36. The fixture family below corrupts each
+// region in turn for all three persisted indexes.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "dynamic/update.h"
+#include "graph/graph.h"
+#include "sp/ch/contraction_hierarchy.h"
+#include "sp/gtree/gtree.h"
+#include "sp/label/hub_labels.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kFingerprintOffset = 12;
+constexpr size_t kBodyOffset = 36;
+
+// One persisted index kind: how to save it and whether a byte stream
+// loads against a given graph. Type-erased so every fixture below runs
+// against all three indexes.
+struct IndexKind {
+  std::string name;
+  std::function<std::string(const Graph&)> save;
+  std::function<bool(const Graph&, const std::string&)> loads;
+};
+
+std::vector<IndexKind> AllIndexKinds() {
+  std::vector<IndexKind> kinds;
+  kinds.push_back(
+      {"HubLabels",
+       [](const Graph& g) {
+         auto labels = HubLabels::Build(g);
+         EXPECT_TRUE(labels.has_value());
+         std::stringstream out;
+         EXPECT_TRUE(labels->Save(out));
+         return out.str();
+       },
+       [](const Graph& g, const std::string& bytes) {
+         std::stringstream in(bytes);
+         return HubLabels::Load(g, in).has_value();
+       }});
+  kinds.push_back(
+      {"GTree",
+       [](const Graph& g) {
+         GTree::Options options;
+         options.leaf_capacity = 16;
+         GTree tree = GTree::Build(g, options);
+         std::stringstream out;
+         EXPECT_TRUE(tree.Save(out));
+         return out.str();
+       },
+       [](const Graph& g, const std::string& bytes) {
+         std::stringstream in(bytes);
+         return GTree::Load(g, in).has_value();
+       }});
+  kinds.push_back(
+      {"ContractionHierarchy",
+       [](const Graph& g) {
+         ContractionHierarchy ch = ContractionHierarchy::Build(g);
+         std::stringstream out;
+         EXPECT_TRUE(ch.Save(out));
+         return out.str();
+       },
+       [](const Graph& g, const std::string& bytes) {
+         std::stringstream in(bytes);
+         return ContractionHierarchy::Load(g, in).has_value();
+       }});
+  return kinds;
+}
+
+class CorruptIndexTest : public ::testing::Test {
+ protected:
+  Graph graph_ = testing::MakeRandomNetwork(200, 51);
+};
+
+TEST_F(CorruptIndexTest, IntactFileLoads) {
+  for (const IndexKind& kind : AllIndexKinds()) {
+    const std::string bytes = kind.save(graph_);
+    ASSERT_GT(bytes.size(), kBodyOffset) << kind.name;
+    EXPECT_TRUE(kind.loads(graph_, bytes)) << kind.name;
+  }
+}
+
+TEST_F(CorruptIndexTest, BitFlippedMagicRejected) {
+  for (const IndexKind& kind : AllIndexKinds()) {
+    std::string bytes = kind.save(graph_);
+    bytes[0] ^= 0x01;
+    EXPECT_FALSE(kind.loads(graph_, bytes)) << kind.name;
+  }
+}
+
+TEST_F(CorruptIndexTest, StaleFormatVersionRejected) {
+  for (const IndexKind& kind : AllIndexKinds()) {
+    std::string bytes = kind.save(graph_);
+    // Rewrite the version word to 1 (the pre-fingerprint format).
+    bytes[kVersionOffset] = 1;
+    bytes[kVersionOffset + 1] = 0;
+    bytes[kVersionOffset + 2] = 0;
+    bytes[kVersionOffset + 3] = 0;
+    EXPECT_FALSE(kind.loads(graph_, bytes)) << kind.name;
+  }
+}
+
+TEST_F(CorruptIndexTest, TruncatedFileRejected) {
+  for (const IndexKind& kind : AllIndexKinds()) {
+    const std::string bytes = kind.save(graph_);
+    // Cut inside the header, just after it, and mid-body: every prefix
+    // must be rejected (a truncated vec may not over-allocate either —
+    // see serialize_test's VecAllocationBoundedByStreamLength).
+    for (size_t keep : {size_t{4}, kBodyOffset - 2, kBodyOffset + 6,
+                        bytes.size() / 2, bytes.size() - 1}) {
+      EXPECT_FALSE(kind.loads(graph_, bytes.substr(0, keep)))
+          << kind.name << " truncated to " << keep << " bytes";
+    }
+  }
+}
+
+TEST_F(CorruptIndexTest, FingerprintMismatchRejected) {
+  Graph other = testing::MakeRandomNetwork(150, 52);
+  for (const IndexKind& kind : AllIndexKinds()) {
+    std::string bytes = kind.save(graph_);
+    // Against a structurally different graph.
+    EXPECT_FALSE(kind.loads(other, bytes)) << kind.name;
+    // A corrupted stored checksum fails against the right graph too.
+    bytes[kFingerprintOffset + 16] ^= 0xFF;
+    EXPECT_FALSE(kind.loads(graph_, bytes)) << kind.name;
+  }
+}
+
+TEST_F(CorruptIndexTest, FileFromPreUpdateGraphRejected) {
+  // The dynamic-network case: an index saved before a weight update must
+  // not load against the updated graph (same topology, new weights).
+  for (const IndexKind& kind : AllIndexKinds()) {
+    Graph g = testing::MakeRandomNetwork(200, 53);
+    const std::string bytes = kind.save(g);
+    dynamic::UpdateBatch batch;
+    batch.ScaleWeight(g, 0, g.Neighbors(0).front().to, 2.0);
+    batch.Apply(g);
+    EXPECT_FALSE(kind.loads(g, bytes)) << kind.name;
+    // Restoring the weight restores the fingerprint; the file is
+    // trustworthy again (weights match bit for bit).
+    dynamic::UpdateBatch restore;
+    restore.ScaleWeight(g, 0, g.Neighbors(0).front().to, 0.5);
+    restore.Apply(g);
+    EXPECT_TRUE(kind.loads(g, bytes)) << kind.name;
+  }
+}
+
+TEST_F(CorruptIndexTest, NonMonotonicHubLabelOffsetsRejected) {
+  auto labels = HubLabels::Build(graph_);
+  ASSERT_TRUE(labels.has_value());
+  std::stringstream out;
+  ASSERT_TRUE(labels->Save(out));
+  std::string bytes = out.str();
+  // Body layout: u64 element count at kBodyOffset, then the offsets
+  // array (offsets_[0] == 0 at kBodyOffset + 8). Blow up offsets_[1] so
+  // the prefix array decreases at the next element; Distance() would
+  // index entries_ out of bounds if Load accepted this.
+  const size_t offset1 = kBodyOffset + 16;
+  ASSERT_LT(offset1 + 8, bytes.size());
+  for (size_t b = 0; b < 8; ++b) bytes[offset1 + b] = '\x7f';
+  std::stringstream in(bytes);
+  EXPECT_FALSE(HubLabels::Load(graph_, in).has_value());
+}
+
+TEST_F(CorruptIndexTest, SingleByteCorruptionNeverCrashes) {
+  // Sweep a single-byte flip across each file. Most positions must be
+  // rejected (header or structure damage); some payload flips survive
+  // validation — the contract here is "no crash, no sanitizer finding",
+  // which the ASan CI job turns into a hard failure.
+  for (const IndexKind& kind : AllIndexKinds()) {
+    const std::string clean = kind.save(graph_);
+    for (size_t pos = 0; pos < clean.size();
+         pos += 1 + pos / 7) {  // dense early (header), sparser in body
+      std::string bytes = clean;
+      bytes[pos] ^= 0x40;
+      (void)kind.loads(graph_, bytes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fannr

@@ -14,22 +14,23 @@ std::vector<Weight> Vec(Weight v) { return std::vector<Weight>{v, v + 1}; }
 
 TEST(SourceDistanceCacheTest, MissThenHit) {
   SourceDistanceCache cache(/*capacity=*/8, /*num_shards=*/2);
-  EXPECT_EQ(cache.Lookup(3), nullptr);
-  auto inserted = cache.Insert(3, Vec(30));
+  EXPECT_EQ(cache.Lookup(3, /*epoch=*/0), nullptr);
+  auto inserted = cache.Insert(3, /*epoch=*/0, Vec(30));
   ASSERT_NE(inserted, nullptr);
-  auto hit = cache.Lookup(3);
+  auto hit = cache.Lookup(3, /*epoch=*/0);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ((*hit)[0], 30.0);
   const auto stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.epoch_evictions, 0u);
 }
 
-TEST(SourceDistanceCacheTest, FirstWriterWins) {
+TEST(SourceDistanceCacheTest, FirstWriterWinsWithinEpoch) {
   SourceDistanceCache cache(4, 1);
-  auto first = cache.Insert(7, Vec(1));
-  auto second = cache.Insert(7, Vec(2));
+  auto first = cache.Insert(7, 0, Vec(1));
+  auto second = cache.Insert(7, 0, Vec(2));
   EXPECT_EQ(first.get(), second.get());
   EXPECT_EQ((*second)[0], 1.0);
 }
@@ -37,22 +38,22 @@ TEST(SourceDistanceCacheTest, FirstWriterWins) {
 TEST(SourceDistanceCacheTest, EvictsLeastRecentlyUsed) {
   // Single shard of capacity 2: inserting a third source evicts the LRU.
   SourceDistanceCache cache(2, 1);
-  cache.Insert(0, Vec(0));
-  cache.Insert(1, Vec(10));
-  ASSERT_NE(cache.Lookup(0), nullptr);  // refresh 0; LRU is now 1
-  cache.Insert(2, Vec(20));
-  EXPECT_EQ(cache.Lookup(1), nullptr);
-  EXPECT_NE(cache.Lookup(0), nullptr);
-  EXPECT_NE(cache.Lookup(2), nullptr);
+  cache.Insert(0, 0, Vec(0));
+  cache.Insert(1, 0, Vec(10));
+  ASSERT_NE(cache.Lookup(0, 0), nullptr);  // refresh 0; LRU is now 1
+  cache.Insert(2, 0, Vec(20));
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_NE(cache.Lookup(0, 0), nullptr);
+  EXPECT_NE(cache.Lookup(2, 0), nullptr);
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
 TEST(SourceDistanceCacheTest, CapacityBoundsResidentEntries) {
   SourceDistanceCache cache(10, 4);
-  for (VertexId v = 0; v < 100; ++v) cache.Insert(v, Vec(v));
+  for (VertexId v = 0; v < 100; ++v) cache.Insert(v, 0, Vec(v));
   size_t resident = 0;
   for (VertexId v = 0; v < 100; ++v) {
-    if (cache.Lookup(v) != nullptr) ++resident;
+    if (cache.Lookup(v, 0) != nullptr) ++resident;
   }
   EXPECT_LE(resident, 10u);
   EXPECT_GT(resident, 0u);
@@ -66,17 +67,55 @@ TEST(SourceDistanceCacheTest, ShardCountClampedToCapacity) {
 
 TEST(SourceDistanceCacheTest, ClearDropsEntries) {
   SourceDistanceCache cache(8, 2);
-  cache.Insert(1, Vec(1));
+  cache.Insert(1, 0, Vec(1));
   cache.Clear();
-  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
 }
 
 TEST(SourceDistanceCacheTest, EntriesSurviveEvictionWhileHeld) {
   SourceDistanceCache cache(1, 1);
-  auto held = cache.Insert(0, Vec(5));
-  cache.Insert(1, Vec(6));  // evicts source 0
-  EXPECT_EQ(cache.Lookup(0), nullptr);
+  auto held = cache.Insert(0, 0, Vec(5));
+  cache.Insert(1, 0, Vec(6));  // evicts source 0
+  EXPECT_EQ(cache.Lookup(0, 0), nullptr);
   EXPECT_EQ((*held)[0], 5.0);  // the shared_ptr keeps the vector alive
+}
+
+TEST(SourceDistanceCacheTest, StaleEpochLookupMissesAndReclaims) {
+  SourceDistanceCache cache(8, 2);
+  cache.Insert(3, /*epoch=*/1, Vec(30));
+  // A lookup at a newer epoch must never see the old vector; the stale
+  // entry is reclaimed on the spot.
+  bool stale_evicted = false;
+  EXPECT_EQ(cache.Lookup(3, /*epoch=*/2, &stale_evicted), nullptr);
+  EXPECT_TRUE(stale_evicted);
+  EXPECT_EQ(cache.stats().epoch_evictions, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // A repeat lookup is a plain miss, not another epoch eviction.
+  EXPECT_EQ(cache.Lookup(3, 2, &stale_evicted), nullptr);
+  EXPECT_FALSE(stale_evicted);
+  EXPECT_EQ(cache.stats().epoch_evictions, 1u);
+}
+
+TEST(SourceDistanceCacheTest, OlderEpochLookupAlsoMisses) {
+  // Epoch mismatch in either direction is a reject: an engine holding a
+  // stale graph snapshot must not be served a newer vector.
+  SourceDistanceCache cache(8, 2);
+  cache.Insert(5, /*epoch=*/4, Vec(50));
+  EXPECT_EQ(cache.Lookup(5, /*epoch=*/3), nullptr);
+  EXPECT_EQ(cache.stats().epoch_evictions, 1u);
+}
+
+TEST(SourceDistanceCacheTest, NewerEpochInsertReplacesStaleEntry) {
+  SourceDistanceCache cache(8, 1);
+  auto old_entry = cache.Insert(9, /*epoch=*/1, Vec(10));
+  auto new_entry = cache.Insert(9, /*epoch=*/2, Vec(20));
+  EXPECT_NE(old_entry.get(), new_entry.get());
+  EXPECT_EQ((*new_entry)[0], 20.0);
+  auto hit = cache.Lookup(9, 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], 20.0);
+  EXPECT_EQ(cache.stats().epoch_evictions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(SourceDistanceCacheTest, ConcurrentMixedAccess) {
@@ -87,9 +126,9 @@ TEST(SourceDistanceCacheTest, ConcurrentMixedAccess) {
   ThreadPool pool(4);
   pool.ParallelFor(4000, [&](size_t index, size_t) {
     const VertexId source = static_cast<VertexId>(index % 32);
-    auto entry = cache.Lookup(source);
+    auto entry = cache.Lookup(source, 0);
     if (entry == nullptr) {
-      entry = cache.Insert(source, Vec(source));
+      entry = cache.Insert(source, 0, Vec(source));
     }
     ASSERT_EQ((*entry)[0], static_cast<Weight>(source));
   });

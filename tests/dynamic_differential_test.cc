@@ -1,0 +1,43 @@
+// Runs the update-interleaved differential checker (the --dynamic fuzz
+// mode) over a fixed seed range: congestion waves mutate each scenario's
+// graph between solves, and every solver path — index-free, cached,
+// batch engines at several thread counts, stale-index fallback, rebuilt
+// index — must agree with a fresh brute-force oracle after every wave.
+
+#include "testing/dynamic_check.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/scenario.h"
+
+namespace fannr::testing {
+namespace {
+
+TEST(DynamicDifferentialTest, FixedSeedsClean) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const Scenario scenario = GenerateScenario(seed);
+    const std::vector<std::string> violations =
+        RunDynamicUpdateChecks(scenario);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ": " << violations.size() << " violations, "
+        << "first: " << violations.front();
+  }
+}
+
+TEST(DynamicDifferentialTest, SingleWaveMinimalOptions) {
+  // A reduced configuration (one wave, one thread count) exercising the
+  // option plumbing; failures here are easier to localize than in the
+  // full sweep above.
+  DynamicCheckOptions options;
+  options.num_waves = 1;
+  options.batch_thread_counts = {2};
+  options.check_rebuilt_index = false;
+  const Scenario scenario = GenerateScenario(77);
+  const std::vector<std::string> violations =
+      RunDynamicUpdateChecks(scenario, options);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: " << violations.front();
+}
+
+}  // namespace
+}  // namespace fannr::testing

@@ -45,6 +45,30 @@ TEST(SerializeTest, ReaderFailsOnTruncation) {
   EXPECT_FALSE(r.Vec(got));
 }
 
+TEST(SerializeTest, VecAllocationBoundedByStreamLength) {
+  // A 16-byte corrupt file whose size header claims ~2^60 elements must
+  // not trigger a near-OOM resize: the reader bounds the allocation by
+  // the bytes actually remaining in the stream.
+  std::stringstream stream;
+  BinaryWriter w(stream);
+  w.Pod<uint64_t>(uint64_t{1} << 60);  // absurd element count
+  w.Pod<uint64_t>(0);                  // 8 bytes of "payload"
+  BinaryReader r(stream);
+  std::vector<double> got;
+  EXPECT_FALSE(r.Vec(got));
+  // The vector must not have ballooned while failing.
+  EXPECT_LT(got.capacity(), size_t{1} << 20);
+}
+
+TEST(SerializeTest, VecSizeOverflowRejected) {
+  std::stringstream stream;
+  BinaryWriter w(stream);
+  w.Pod<uint64_t>(~uint64_t{0});  // size * sizeof(T) would overflow
+  BinaryReader r(stream);
+  std::vector<uint64_t> got;
+  EXPECT_FALSE(r.Vec(got));
+}
+
 TEST(SerializeTest, GraphRoundTrip) {
   Graph original = testing::MakeSmallGrid(8, 9);
   std::stringstream stream;
@@ -79,7 +103,7 @@ TEST(SerializeTest, HubLabelsRoundTrip) {
 
   std::stringstream stream;
   ASSERT_TRUE(labels->Save(stream));
-  auto loaded = HubLabels::Load(stream);
+  auto loaded = HubLabels::Load(g, stream);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->TotalLabelEntries(), labels->TotalLabelEntries());
 
@@ -92,8 +116,19 @@ TEST(SerializeTest, HubLabelsRoundTrip) {
 }
 
 TEST(SerializeTest, HubLabelsRejectsGarbage) {
+  Graph g = testing::MakeSmallGrid(9, 99);
   std::stringstream stream("not a hub label file at all");
-  EXPECT_FALSE(HubLabels::Load(stream).has_value());
+  EXPECT_FALSE(HubLabels::Load(g, stream).has_value());
+}
+
+TEST(SerializeTest, HubLabelsRejectsWrongGraph) {
+  Graph g = testing::MakeRandomNetwork(300, 91);
+  Graph other = testing::MakeRandomNetwork(200, 96);
+  auto labels = HubLabels::Build(g);
+  ASSERT_TRUE(labels.has_value());
+  std::stringstream stream;
+  ASSERT_TRUE(labels->Save(stream));
+  EXPECT_FALSE(HubLabels::Load(other, stream).has_value());
 }
 
 TEST(SerializeTest, GTreeRoundTrip) {

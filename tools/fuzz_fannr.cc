@@ -10,7 +10,16 @@
 // Usage:
 //   fuzz_fannr [--seed-start N] [--num-seeds N] [--budget-seconds S]
 //              [--corpus-dir DIR] [--no-minimize] [--stop-on-first]
+//              [--dynamic]
 //   fuzz_fannr --replay FILE...
+//
+// --dynamic switches to the update-interleaved checker
+// (src/testing/dynamic_check.h): each scenario's graph is mutated by
+// seeded congestion waves between solves, auditing the epoch-versioned
+// cache, the stale-index fallback, and the persistent batch engines
+// against a fresh oracle after every wave. Update waves derive from the
+// scenario seed, so a violating seed reproduces by itself (reproducer
+// files record the base scenario; replay with --dynamic).
 //
 // Exit code 0 = all scenarios clean; 1 = at least one violation;
 // 2 = usage or I/O error.
@@ -24,15 +33,18 @@
 #include <vector>
 
 #include "testing/differential.h"
+#include "testing/dynamic_check.h"
 #include "testing/scenario.h"
 
 namespace {
 
 using fannr::testing::DescribeScenario;
 using fannr::testing::DifferentialOptions;
+using fannr::testing::DynamicCheckOptions;
 using fannr::testing::MinimizeScenario;
 using fannr::testing::ReadScenarioFile;
 using fannr::testing::RunDifferentialChecks;
+using fannr::testing::RunDynamicUpdateChecks;
 using fannr::testing::Scenario;
 using fannr::testing::WriteScenarioFile;
 
@@ -43,6 +55,7 @@ struct Args {
   std::string corpus_dir;
   bool minimize = true;
   bool stop_on_first = false;
+  bool dynamic = false;
   std::vector<std::string> replay_files;
 };
 
@@ -51,8 +64,8 @@ void PrintUsage() {
       stderr,
       "usage: fuzz_fannr [--seed-start N] [--num-seeds N]\n"
       "                  [--budget-seconds S] [--corpus-dir DIR]\n"
-      "                  [--no-minimize] [--stop-on-first]\n"
-      "       fuzz_fannr --replay FILE...\n");
+      "                  [--no-minimize] [--stop-on-first] [--dynamic]\n"
+      "       fuzz_fannr [--dynamic] --replay FILE...\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -83,6 +96,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.corpus_dir = v;
     } else if (flag == "--no-minimize") {
       args.minimize = false;
+    } else if (flag == "--dynamic") {
+      args.dynamic = true;
     } else if (flag == "--stop-on-first") {
       args.stop_on_first = true;
     } else if (flag == "--replay") {
@@ -111,7 +126,9 @@ void ReportFailure(const Args& args, const Scenario& scenario,
   if (args.corpus_dir.empty()) return;
 
   Scenario repro = scenario;
-  if (args.minimize) {
+  // The minimizer shrinks against the static checker; a dynamic failure
+  // depends on the update waves too, so keep the scenario whole.
+  if (args.minimize && !args.dynamic) {
     repro = MinimizeScenario(scenario, options);
     std::fprintf(stderr, "  minimized to %s\n",
                  DescribeScenario(repro).c_str());
@@ -136,6 +153,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   DifferentialOptions options;
+  auto run_checks = [&](const Scenario& scenario) {
+    return args.dynamic ? RunDynamicUpdateChecks(scenario)
+                        : RunDifferentialChecks(scenario, options);
+  };
 
   if (!args.replay_files.empty()) {
     int failures = 0;
@@ -147,7 +168,7 @@ int main(int argc, char** argv) {
                      error.c_str());
         return 2;
       }
-      const auto violations = RunDifferentialChecks(*scenario, options);
+      const auto violations = run_checks(*scenario);
       if (violations.empty()) {
         std::printf("PASS %s (%s)\n", path.c_str(),
                     DescribeScenario(*scenario).c_str());
@@ -180,7 +201,7 @@ int main(int argc, char** argv) {
       break;
     }
     const Scenario scenario = fannr::testing::GenerateScenario(seed);
-    const auto violations = RunDifferentialChecks(scenario, options);
+    const auto violations = run_checks(scenario);
     ++ran;
     if (!violations.empty()) {
       ++failed;
