@@ -1,0 +1,415 @@
+// Server throughput benchmark: queries/sec and end-to-end latency of the
+// FANN_R wire protocol (net/server.h) over loopback TCP, across client
+// connection counts, with and without concurrent UPDATE_WEIGHTS waves.
+//
+// Four measurements:
+//   * steady cells — C synchronous clients (C in {1, 2, 8}) each stream
+//     queries; qps is ok-answers per wall second, latency is per-request
+//     end-to-end (client send to response decode), reported as p50/p95/p99;
+//   * wave cells — the same, with an updater connection applying
+//     congestion waves concurrently. Queries whose admission epoch went
+//     stale are rejected per the protocol contract and re-submitted once
+//     (re-submits are counted, and count toward latency like any request);
+//   * an overload cell — a deliberately tiny admission queue behind a
+//     slowed executor, hammered by 8 connections, to demonstrate
+//     explicit OVERLOADED shedding (the CI gate requires a nonzero count);
+//   * a drain cell — a SHUTDOWN frame races queued work; the DrainStats
+//     must come back within the drain deadline.
+//
+// Output: a table on stdout plus BENCH_server.json (FANNR_OUT_DIR or the
+// working directory), gated in CI by scripts/check_server_json.py.
+//
+// Environment: FANNR_DATASET (preset name, default TEST),
+// FANNR_SERVER_QUERIES (queries per connection per cell, default 40),
+// FANNR_SERVER_THREADS (engine worker threads, default 2).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "dynamic/update.h"
+#include "fann/fannr.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace fannr::bench {
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr
+             ? static_cast<size_t>(std::strtoull(value, nullptr, 10))
+             : fallback;
+}
+
+struct Cell {
+  size_t connections = 0;
+  bool waves = false;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  size_t ok = 0, rejected = 0, timed_out = 0, resubmitted = 0;
+  size_t waves_applied = 0;
+  uint64_t final_epoch = 0;
+};
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(q * static_cast<double>(
+                                                  sorted.size() - 1));
+  return sorted[rank];
+}
+
+/// Per-connection query stream: every client draws its own workload from
+/// a seed derived from its id, so connections do not send identical
+/// byte streams.
+struct ClientOutcome {
+  std::vector<double> latencies_ms;
+  size_t ok = 0, rejected = 0, timed_out = 0, resubmitted = 0;
+  uint64_t last_epoch = 0;
+  bool transport_error = false;
+  size_t overloaded = 0;
+};
+
+ClientOutcome DriveClient(const Graph& graph, uint16_t port, size_t id,
+                          size_t num_queries,
+                          const std::vector<uint32_t>& p_ids,
+                          bool retry_overloaded) {
+  ClientOutcome outcome;
+  net::FannClient client;
+  if (!client.Connect("127.0.0.1", port)) {
+    outcome.transport_error = true;
+    return outcome;
+  }
+  Rng rng(0x5EED5000u + id);
+  for (size_t i = 0; i < num_queries; ++i) {
+    net::WireQuery query;
+    query.algorithm = static_cast<uint8_t>(FannAlgorithm::kGd);
+    query.aggregate = static_cast<uint8_t>(Aggregate::kSum);
+    query.phi = 0.5;
+    query.p = p_ids;
+    const std::vector<VertexId> q_ids =
+        GenerateUniformQueryPoints(graph, 0.10, 16, rng);
+    query.q = std::vector<uint32_t>(q_ids.begin(), q_ids.end());
+
+    Timer t;
+    net::QueryResponse response;
+    bool sent = client.Query(query, response);
+    if (!sent && client.last_error_code() == net::ErrorCode::kOverloaded) {
+      ++outcome.overloaded;
+      if (!retry_overloaded) continue;
+      // Brief backoff, then one retry so the cell still measures real
+      // completions under pressure.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      sent = client.Query(query, response);
+      if (!sent && client.last_error_code() == net::ErrorCode::kOverloaded) {
+        ++outcome.overloaded;
+        continue;
+      }
+    }
+    if (!sent) {
+      outcome.transport_error = true;
+      return outcome;
+    }
+    if (response.result.status ==
+        static_cast<uint8_t>(QueryStatus::kRejected)) {
+      // Stale admission epoch (an update landed in between): re-submit
+      // once, per the contract.
+      ++outcome.rejected;
+      ++outcome.resubmitted;
+      if (!client.Query(query, response)) {
+        outcome.transport_error = true;
+        return outcome;
+      }
+    }
+    outcome.latencies_ms.push_back(t.Millis());
+    switch (static_cast<QueryStatus>(response.result.status)) {
+      case QueryStatus::kOk:
+        ++outcome.ok;
+        break;
+      case QueryStatus::kRejected:
+        ++outcome.rejected;
+        break;
+      case QueryStatus::kTimedOut:
+        ++outcome.timed_out;
+        break;
+    }
+    outcome.last_epoch = response.graph_epoch;
+  }
+  return outcome;
+}
+
+/// Runs one steady/wave cell against a fresh server.
+Cell RunCell(const std::string& dataset, size_t connections, bool waves,
+             size_t queries_per_conn, size_t engine_threads) {
+  // The server owns a mutable copy (UPDATE_WEIGHTS mutates it); clients
+  // share a pristine copy for workload generation only.
+  Graph server_graph = BuildPreset(dataset);
+  const Graph client_graph = BuildPreset(dataset);
+
+  GphiResources resources;
+  resources.graph = &server_graph;
+  net::ServerConfig config;
+  config.engine_options.num_threads = engine_threads;
+  net::FannServer server(&server_graph, resources, std::move(config));
+  std::string error;
+  FANNR_CHECK(server.Start(&error));
+  const uint16_t port = server.port();
+
+  Rng p_rng(0xBA5E0001u);
+  const std::vector<VertexId> p_vertices =
+      GenerateDataPoints(client_graph, 0.01, p_rng);
+  const std::vector<uint32_t> p_ids(p_vertices.begin(), p_vertices.end());
+
+  std::atomic<bool> stop_waves{false};
+  std::atomic<size_t> waves_applied{0};
+  std::thread wave_thread;
+  if (waves) {
+    wave_thread = std::thread([&] {
+      net::FannClient updater;
+      if (!updater.Connect("127.0.0.1", port)) return;
+      Rng wave_rng(0xCA11AB1Eu);
+      while (!stop_waves.load(std::memory_order_relaxed)) {
+        const dynamic::UpdateBatch wave = dynamic::MakeCongestionWave(
+            client_graph, 0.02, 0.5, 3.0, wave_rng);
+        net::UpdateWeightsRequest request;
+        for (const EdgeWeightUpdate& u : wave.updates()) {
+          request.entries.push_back({u.u, u.v, u.new_weight});
+        }
+        net::UpdateWeightsResponse applied;
+        if (!updater.UpdateWeights(request, applied)) return;
+        if (applied.status == 0) {
+          waves_applied.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+
+  std::vector<ClientOutcome> outcomes(connections);
+  Timer wall;
+  {
+    std::vector<std::thread> drivers;
+    for (size_t c = 0; c < connections; ++c) {
+      drivers.emplace_back([&, c] {
+        outcomes[c] = DriveClient(client_graph, port, c, queries_per_conn,
+                                  p_ids, /*retry_overloaded=*/true);
+      });
+    }
+    for (std::thread& t : drivers) t.join();
+  }
+  const double wall_ms = wall.Millis();
+
+  if (waves) {
+    stop_waves.store(true, std::memory_order_relaxed);
+    wave_thread.join();
+  }
+  net::FannClient admin;
+  FANNR_CHECK(admin.Connect("127.0.0.1", port) && admin.Shutdown());
+  server.Wait();
+
+  Cell cell;
+  cell.connections = connections;
+  cell.waves = waves;
+  cell.wall_ms = wall_ms;
+  cell.waves_applied = waves_applied.load(std::memory_order_relaxed);
+  std::vector<double> latencies;
+  for (const ClientOutcome& o : outcomes) {
+    FANNR_CHECK(!o.transport_error);
+    cell.ok += o.ok;
+    cell.rejected += o.rejected;
+    cell.timed_out += o.timed_out;
+    cell.resubmitted += o.resubmitted;
+    cell.final_epoch = std::max(cell.final_epoch, o.last_epoch);
+    latencies.insert(latencies.end(), o.latencies_ms.begin(),
+                     o.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  cell.p50_ms = Percentile(latencies, 0.50);
+  cell.p95_ms = Percentile(latencies, 0.95);
+  cell.p99_ms = Percentile(latencies, 0.99);
+  cell.qps = 1000.0 * static_cast<double>(cell.ok) / wall_ms;
+  return cell;
+}
+
+struct OverloadResult {
+  size_t overloaded = 0;
+  size_t ok = 0;
+};
+
+/// Saturates a deliberately tiny admission queue behind a slowed
+/// executor to force explicit shedding.
+OverloadResult RunOverload(const std::string& dataset,
+                           size_t queries_per_conn) {
+  Graph server_graph = BuildPreset(dataset);
+  const Graph client_graph = BuildPreset(dataset);
+  GphiResources resources;
+  resources.graph = &server_graph;
+  net::ServerConfig config;
+  config.engine_options.num_threads = 1;
+  config.max_queue_depth = 2;
+  config.test_execution_gate = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  };
+  net::FannServer server(&server_graph, resources, std::move(config));
+  std::string error;
+  FANNR_CHECK(server.Start(&error));
+  const uint16_t port = server.port();
+
+  Rng p_rng(0xBA5E0001u);
+  const std::vector<VertexId> p_vertices =
+      GenerateDataPoints(client_graph, 0.01, p_rng);
+  const std::vector<uint32_t> p_ids(p_vertices.begin(), p_vertices.end());
+
+  const size_t connections = 8;
+  std::vector<ClientOutcome> outcomes(connections);
+  {
+    std::vector<std::thread> drivers;
+    for (size_t c = 0; c < connections; ++c) {
+      drivers.emplace_back([&, c] {
+        outcomes[c] = DriveClient(client_graph, port, c, queries_per_conn,
+                                  p_ids, /*retry_overloaded=*/false);
+      });
+    }
+    for (std::thread& t : drivers) t.join();
+  }
+  net::FannClient admin;
+  FANNR_CHECK(admin.Connect("127.0.0.1", port) && admin.Shutdown());
+  server.Wait();
+
+  OverloadResult result;
+  for (const ClientOutcome& o : outcomes) {
+    FANNR_CHECK(!o.transport_error);
+    result.overloaded += o.overloaded;
+    result.ok += o.ok;
+  }
+  return result;
+}
+
+/// A SHUTDOWN frame racing in-flight work: the drain must finish the
+/// queued items (or abort them past the deadline) and report on time.
+net::DrainStats RunDrain(const std::string& dataset) {
+  Graph server_graph = BuildPreset(dataset);
+  const Graph client_graph = BuildPreset(dataset);
+  GphiResources resources;
+  resources.graph = &server_graph;
+  net::ServerConfig config;
+  config.engine_options.num_threads = 1;
+  config.drain_deadline_ms = 10'000.0;
+  net::FannServer server(&server_graph, resources, std::move(config));
+  std::string error;
+  FANNR_CHECK(server.Start(&error));
+  const uint16_t port = server.port();
+
+  Rng p_rng(0xBA5E0001u);
+  const std::vector<VertexId> p_vertices =
+      GenerateDataPoints(client_graph, 0.01, p_rng);
+  const std::vector<uint32_t> p_ids(p_vertices.begin(), p_vertices.end());
+
+  std::vector<std::thread> drivers;
+  for (size_t c = 0; c < 4; ++c) {
+    drivers.emplace_back([&, c] {
+      DriveClient(client_graph, port, c, 10, p_ids,
+                  /*retry_overloaded=*/false);
+    });
+  }
+  // Fire the shutdown while the drivers are mid-stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  net::FannClient admin;
+  FANNR_CHECK(admin.Connect("127.0.0.1", port) && admin.Shutdown());
+  const net::DrainStats stats = server.Wait();
+  for (std::thread& t : drivers) t.join();
+  return stats;
+}
+
+int Main() {
+  const char* dataset_env = std::getenv("FANNR_DATASET");
+  const std::string dataset = dataset_env != nullptr ? dataset_env : "TEST";
+  FANNR_CHECK(IsPresetName(dataset));
+  const size_t queries_per_conn =
+      std::max<size_t>(1, EnvSize("FANNR_SERVER_QUERIES", 40));
+  const size_t engine_threads =
+      std::max<size_t>(1, EnvSize("FANNR_SERVER_THREADS", 2));
+
+  std::printf("Server throughput — dataset %s, %zu queries/conn, "
+              "%zu engine threads\n",
+              dataset.c_str(), queries_per_conn, engine_threads);
+  std::printf("%5s %6s %10s %9s %9s %9s %6s %5s %6s %7s\n", "conns", "waves",
+              "qps", "p50 ms", "p95 ms", "p99 ms", "ok", "rej", "t/out",
+              "epochs");
+
+  std::vector<Cell> cells;
+  for (const bool waves : {false, true}) {
+    for (const size_t connections : {size_t{1}, size_t{2}, size_t{8}}) {
+      Cell cell = RunCell(dataset, connections, waves, queries_per_conn,
+                          engine_threads);
+      std::printf("%5zu %6s %10.1f %9.2f %9.2f %9.2f %6zu %5zu %6zu %7zu\n",
+                  cell.connections, cell.waves ? "yes" : "no", cell.qps,
+                  cell.p50_ms, cell.p95_ms, cell.p99_ms, cell.ok,
+                  cell.rejected, cell.timed_out,
+                  static_cast<size_t>(cell.final_epoch));
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const OverloadResult overload = RunOverload(dataset, 25);
+  std::printf("\noverload (queue depth 2, slowed executor, 8 conns): "
+              "%zu OVERLOADED, %zu ok\n",
+              overload.overloaded, overload.ok);
+
+  const net::DrainStats drain = RunDrain(dataset);
+  std::printf("drain: %.1f ms, %zu executed, %zu aborted, %s deadline\n",
+              drain.drain_ms, drain.drained_items, drain.aborted_items,
+              drain.within_deadline ? "within" : "PAST");
+
+  const std::string out_dir = [] {
+    const char* dir = std::getenv("FANNR_OUT_DIR");
+    return std::string(dir != nullptr ? dir : ".");
+  }();
+  const std::string out_path = out_dir + "/BENCH_server.json";
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"dataset\": \"" << dataset << "\",\n"
+      << "  \"queries_per_connection\": " << queries_per_conn << ",\n"
+      << "  \"engine_threads\": " << engine_threads << ",\n"
+      << "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    out << "    {\"connections\": " << cell.connections
+        << ", \"waves\": " << (cell.waves ? "true" : "false")
+        << ", \"qps\": " << cell.qps << ", \"wall_ms\": " << cell.wall_ms
+        << ", \"p50_ms\": " << cell.p50_ms << ", \"p95_ms\": " << cell.p95_ms
+        << ", \"p99_ms\": " << cell.p99_ms << ", \"ok\": " << cell.ok
+        << ", \"rejected\": " << cell.rejected
+        << ", \"timed_out\": " << cell.timed_out
+        << ", \"resubmitted\": " << cell.resubmitted
+        << ", \"waves_applied\": " << cell.waves_applied
+        << ", \"final_epoch\": " << cell.final_epoch << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"overload\": {\"connections\": 8, \"queue_depth\": 2, "
+      << "\"overloaded\": " << overload.overloaded
+      << ", \"ok\": " << overload.ok << "},\n"
+      << "  \"drain\": {\"drain_ms\": " << drain.drain_ms
+      << ", \"drained_items\": " << drain.drained_items
+      << ", \"aborted_items\": " << drain.aborted_items
+      << ", \"within_deadline\": "
+      << (drain.within_deadline ? "true" : "false") << "}\n"
+      << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fannr::bench
+
+int main() { return fannr::bench::Main(); }

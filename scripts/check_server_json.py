@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validates BENCH_server.json: schema plus sanity invariants.
+
+CI runs this after the server throughput smoke so a run that silently
+produces garbage (zero qps, no OVERLOADED shedding under saturation, a
+drain past its deadline) fails the build instead of uploading a broken
+artifact.
+
+Usage: check_server_json.py [path-to-BENCH_server.json]
+"""
+
+import json
+import math
+import sys
+
+REQUIRED_TOP_LEVEL = [
+    "dataset",
+    "queries_per_connection",
+    "engine_threads",
+    "cells",
+    "overload",
+    "drain",
+]
+REQUIRED_CELL = [
+    "connections",
+    "waves",
+    "qps",
+    "wall_ms",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "ok",
+    "rejected",
+    "timed_out",
+    "resubmitted",
+    "waves_applied",
+    "final_epoch",
+]
+
+_errors = []
+
+
+def check(condition, message):
+    if not condition:
+        _errors.append(message)
+
+
+def finite_positive(value):
+    return isinstance(value, (int, float)) and math.isfinite(value) and value > 0
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_server.json"
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot parse {path}: {e}", file=sys.stderr)
+        return 1
+
+    for key in REQUIRED_TOP_LEVEL:
+        check(key in data, f"missing top-level key '{key}'")
+    if _errors:
+        print("FAIL:\n  " + "\n  ".join(_errors), file=sys.stderr)
+        return 1
+
+    cells = data["cells"]
+    check(len(cells) >= 2, "need at least one steady and one wave cell")
+    saw_waves = False
+    for cell in cells:
+        for key in REQUIRED_CELL:
+            check(key in cell,
+                  f"cell conns={cell.get('connections', '?')}: "
+                  f"missing key '{key}'")
+        if _errors:
+            break
+        label = (f"cell conns={cell['connections']} "
+                 f"waves={'on' if cell['waves'] else 'off'}")
+        check(finite_positive(cell["qps"]), f"{label}: qps must be positive")
+        check(cell["ok"] > 0, f"{label}: no query succeeded")
+        check(cell["p50_ms"] <= cell["p95_ms"] <= cell["p99_ms"],
+              f"{label}: latency percentiles not monotone")
+        if cell["waves"]:
+            saw_waves = True
+            check(cell["waves_applied"] > 0,
+                  f"{label}: wave cell applied no update waves")
+            check(cell["final_epoch"] > 0,
+                  f"{label}: wave cell never advanced the graph epoch")
+        else:
+            check(cell["rejected"] == 0,
+                  f"{label}: steady cell saw stale-admission rejections")
+            check(cell["final_epoch"] == 0,
+                  f"{label}: steady cell advanced the graph epoch")
+    check(saw_waves, "no cell ran with update waves")
+
+    overload = data["overload"]
+    check(overload.get("overloaded", 0) > 0,
+          "overload cell shed nothing: saturation must produce at least "
+          "one OVERLOADED response")
+
+    drain = data["drain"]
+    check(drain.get("within_deadline") is True,
+          f"drain missed its deadline ({drain.get('drain_ms')} ms)")
+    check(isinstance(drain.get("drain_ms"), (int, float)) and
+          math.isfinite(drain.get("drain_ms", math.nan)) and
+          drain.get("drain_ms", -1) >= 0,
+          "drain_ms must be a finite non-negative number")
+
+    if _errors:
+        print("FAIL:\n  " + "\n  ".join(_errors), file=sys.stderr)
+        return 1
+    print(f"OK: {path} passes schema and sanity checks "
+          f"({len(cells)} cells, {overload['overloaded']} OVERLOADED under "
+          f"saturation, drain in {drain['drain_ms']:.1f} ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CI smoke test for the wire-protocol server: start fannr_server on the
+# TEST preset, drive the fannr_client smoke workload (queries interleaved
+# with UPDATE_WEIGHTS waves), then SIGTERM the server and assert a clean
+# drain within the deadline.
+#
+# Usage: server_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: server_smoke.sh <build-dir>}"
+SERVER="$BUILD_DIR/tools/fannr_server"
+CLIENT="$BUILD_DIR/tools/fannr_client"
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+"$SERVER" --preset TEST --port 0 --threads 2 --drain-deadline-ms 10000 \
+  > "$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The server prints "listening on HOST:PORT" once ready.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG"; echo "FAIL: server died before listening"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { cat "$LOG"; echo "FAIL: server never reported its port"; exit 1; }
+echo "server up on port $PORT (pid $SERVER_PID)"
+
+"$CLIENT" --port "$PORT" --ping 3
+"$CLIENT" --port "$PORT" --smoke --preset TEST --queries 60 --update-waves 2
+
+# Clean SIGTERM drain: the server must exit 0 (drain within deadline).
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+  SERVER_EXIT=0
+else
+  SERVER_EXIT=$?
+fi
+echo "--- server log ---"
+cat "$LOG"
+if [ "$SERVER_EXIT" -ne 0 ]; then
+  echo "FAIL: server exited $SERVER_EXIT after SIGTERM"
+  exit 1
+fi
+grep -q "within deadline" "$LOG" || { echo "FAIL: drain not within deadline"; exit 1; }
+echo "OK: server smoke passed (clean SIGTERM drain)"

@@ -35,7 +35,21 @@ FannResult RejectedResult(const std::string& error) {
   return result;
 }
 
+FannResult TimedOutResult(const std::string& error) {
+  FannResult result;
+  result.status = QueryStatus::kTimedOut;
+  result.error = error;
+  return result;
+}
+
 }  // namespace
+
+std::string MidBatchEpochError(GraphEpoch admitted, GraphEpoch now) {
+  return "graph epoch advanced mid-batch (admitted at epoch " +
+         std::to_string(admitted) + ", now " + std::to_string(now) +
+         "): result would mix weights from different epochs — re-submit "
+         "the query";
+}
 
 BatchQueryEngine::BatchQueryEngine(const GphiResources& resources,
                                    const BatchOptions& options)
@@ -80,6 +94,7 @@ BatchQueryEngine::BatchQueryEngine(const GphiResources& resources,
     metrics_ = std::make_unique<obs::MetricsRegistry>(pool_.num_workers());
     m_queries_ = metrics_->RegisterCounter("engine.queries");
     m_rejected_ = metrics_->RegisterCounter("engine.rejected_queries");
+    m_timed_out_ = metrics_->RegisterCounter("engine.timed_out_queries");
     m_solve_ms_ = metrics_->RegisterHistogram("engine.solve_ms",
                                               obs::DefaultLatencyBucketsMs());
     m_dispatch_wait_ms_ = metrics_->RegisterHistogram(
@@ -144,6 +159,7 @@ std::vector<FannResult> BatchQueryEngine::Run(
   FANNR_CHECK(!use_fallback || !fallback_engines_.empty());
   std::atomic<size_t> mid_batch_rejected{0};
   std::atomic<size_t> fallback_solves{0};
+  std::atomic<size_t> timed_out{0};
 
   // Screen every job (rejections fill their result slot and are skipped
   // by the parallel phase) and build the R-trees the runnable IER-kNN
@@ -178,11 +194,7 @@ std::vector<FannResult> BatchQueryEngine::Run(
   }
 
   auto mid_batch_error = [&]() {
-    return "graph epoch advanced mid-batch (admitted at epoch " +
-           std::to_string(admission_epoch) + ", now " +
-           std::to_string(resources_.graph->epoch()) +
-           "): result would mix weights from different epochs — re-submit "
-           "the query";
+    return MidBatchEpochError(admission_epoch, resources_.graph->epoch());
   };
 
   pool_.ParallelFor(queries.size(), [&](size_t index, size_t worker) {
@@ -192,6 +204,34 @@ std::vector<FannResult> BatchQueryEngine::Run(
     if (job.algorithm == FannAlgorithm::kIer) {
       p_tree = &p_trees.at(job.query.data_points);
     }
+
+    // Wall-clock deadline, measured from Run() entry. Checked before the
+    // solve (a job already past its deadline is not worth starting) and
+    // after it (a result computed past the deadline is discarded so the
+    // caller sees a consistent kTimedOut outcome either way).
+    const std::optional<double> deadline =
+        job.deadline_ms.has_value() ? job.deadline_ms : options_.deadline_ms;
+    auto deadline_exceeded = [&](bool strictly_after) {
+      if (!deadline.has_value()) return false;
+      const double elapsed = run_timer.Millis();
+      return strictly_after ? elapsed > *deadline : elapsed >= *deadline;
+    };
+    auto timeout_error = [&](const char* when) {
+      return "deadline of " + std::to_string(*deadline) + " ms exceeded " +
+             when + " (" + std::to_string(run_timer.Millis()) +
+             " ms since batch start)";
+    };
+    auto record_timeout = [&](obs::QueryTrace* trace, const char* when) {
+      timed_out.fetch_add(1, std::memory_order_relaxed);
+      std::string error = timeout_error(when);
+      if (trace != nullptr) {
+        trace->status = QueryStatus::kTimedOut;
+        trace->error = error;
+        metrics_->Add(m_timed_out_, 1, worker);
+        slow_log_->Offer(*trace);
+      }
+      results[index] = TimedOutResult(error);
+    };
 
     // A job is only worth solving while the batch's admission epoch is
     // still the graph's epoch; checked again after the solve because an
@@ -213,11 +253,19 @@ std::vector<FannResult> BatchQueryEngine::Run(
         reject_mid_batch(nullptr);
         return;
       }
+      if (deadline_exceeded(/*strictly_after=*/false)) {
+        record_timeout(nullptr, "before solve");
+        return;
+      }
       GphiEngine& engine = use_fallback ? *fallback_engines_[worker]
                                         : *worker_engines_[worker];
       results[index] = SolveWith(job.algorithm, job.query, engine, p_tree);
       if (resources_.graph->epoch() != admission_epoch) {
         reject_mid_batch(nullptr);
+        return;
+      }
+      if (deadline_exceeded(/*strictly_after=*/true)) {
+        record_timeout(nullptr, "during solve");
         return;
       }
       if (use_fallback) {
@@ -233,6 +281,10 @@ std::vector<FannResult> BatchQueryEngine::Run(
     trace.dispatch_wait_ms = run_timer.Millis();
     if (resources_.graph->epoch() != admission_epoch) {
       reject_mid_batch(&trace);
+      return;
+    }
+    if (deadline_exceeded(/*strictly_after=*/false)) {
+      record_timeout(&trace, "before solve");
       return;
     }
     if (use_fallback) {
@@ -253,6 +305,10 @@ std::vector<FannResult> BatchQueryEngine::Run(
     engine.set_trace(nullptr);
     if (resources_.graph->epoch() != admission_epoch) {
       reject_mid_batch(&trace);
+      return;
+    }
+    if (deadline_exceeded(/*strictly_after=*/true)) {
+      record_timeout(&trace, "during solve");
       return;
     }
     if (use_fallback) {
@@ -286,12 +342,14 @@ std::vector<FannResult> BatchQueryEngine::Run(
         rejected + mid_batch_rejected.load(std::memory_order_relaxed);
     report.rejected_mid_batch =
         mid_batch_rejected.load(std::memory_order_relaxed);
+    report.timed_out = timed_out.load(std::memory_order_relaxed);
     report.graph_epoch = admission_epoch;
     report.stale_index_fallbacks =
         fallback_solves.load(std::memory_order_relaxed);
     report.num_threads = pool_.num_workers();
     report.wall_ms = run_timer.Millis();
-    const size_t executed = queries.size() - report.rejected;
+    const size_t executed =
+        queries.size() - report.rejected - report.timed_out;
     report.queries_per_second =
         report.wall_ms > 0.0
             ? 1000.0 * static_cast<double>(executed) / report.wall_ms

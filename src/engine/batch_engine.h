@@ -81,6 +81,14 @@ namespace fannr {
 struct FannrQuery {
   FannQuery query;
   FannAlgorithm algorithm = FannAlgorithm::kGd;
+  /// Per-job wall-clock deadline in milliseconds, measured from Run()
+  /// entry; overrides BatchOptions::deadline_ms. nullopt inherits the
+  /// batch default. A job whose deadline has passed before it is picked
+  /// up is not solved; a job whose solve finishes past its deadline has
+  /// its answer discarded. Either way the result carries
+  /// QueryStatus::kTimedOut (and a reason in `error`), and batch-mates
+  /// are unaffected. Values <= 0 time out immediately.
+  std::optional<double> deadline_ms;
 };
 
 struct BatchOptions {
@@ -118,7 +126,21 @@ struct BatchOptions {
 
   /// Ring capacity of the slow-query log.
   size_t slow_query_log_capacity = 64;
+
+  /// Batch-wide wall-clock deadline in milliseconds, measured from
+  /// Run() entry, applied to every job without a per-job override.
+  /// nullopt (default) = no deadline. Deadline outcomes are inherently
+  /// timing-dependent, so the bitwise determinism invariant above only
+  /// covers runs with no deadline configured (the default).
+  std::optional<double> deadline_ms;
 };
+
+/// The canonical rejection reason for work admitted under epoch
+/// `admitted` that can no longer be answered because the graph has
+/// moved to `now`. Shared by Run()'s mid-batch check and the network
+/// server's admission-queue check (src/net/server.h) so both layers
+/// reject with the identical re-submit contract.
+std::string MidBatchEpochError(GraphEpoch admitted, GraphEpoch now);
 
 /// Parallel batch executor. Construct once per (graph, indexes); Run()
 /// any number of batches. Run() itself must not be called concurrently.
@@ -187,7 +209,7 @@ class BatchQueryEngine {
   std::unique_ptr<obs::SlowQueryLog> slow_log_;
   std::vector<std::unique_ptr<obs::TracingGphiEngine>> tracing_engines_;
   std::vector<std::unique_ptr<obs::TracingGphiEngine>> fallback_tracing_;
-  obs::CounterId m_queries_, m_rejected_;
+  obs::CounterId m_queries_, m_rejected_, m_timed_out_;
   obs::HistogramId m_solve_ms_, m_dispatch_wait_ms_;
   obs::GaugeId m_cache_entries_;
   std::vector<obs::QueryTrace> last_traces_;

@@ -6,6 +6,18 @@
 
 namespace fannr {
 
+std::string_view QueryStatusName(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk:
+      return "ok";
+    case QueryStatus::kRejected:
+      return "rejected";
+    case QueryStatus::kTimedOut:
+      return "timed_out";
+  }
+  return "unknown";
+}
+
 std::string QueryValidationError(const FannQuery& query) {
   if (query.graph == nullptr) return "query.graph is null";
   if (query.data_points == nullptr) return "query.data_points (P) is null";

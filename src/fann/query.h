@@ -4,6 +4,7 @@
 #define FANNR_FANN_QUERY_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fann/aggregate.h"
@@ -31,11 +32,18 @@ struct FannQuery {
 /// FANNR_CHECK their preconditions and abort on API misuse); batch
 /// execution, which receives externally-assembled jobs, validates each
 /// job and reports violations as kRejected results instead of undefined
-/// behavior (see BatchQueryEngine::Run).
+/// behavior (see BatchQueryEngine::Run). kTimedOut marks a job whose
+/// wall-clock deadline (BatchOptions::deadline_ms or the per-job
+/// override) expired before a result could be returned.
 enum class QueryStatus {
   kOk,
   kRejected,
+  kTimedOut,
 };
+
+/// Short lowercase name ("ok" / "rejected" / "timed_out") for logs and
+/// wire encodings.
+std::string_view QueryStatusName(QueryStatus status);
 
 /// The answer triple (p*, Q*_phi, d*), plus work counters for the
 /// experiments. best == kInvalidVertex (and distance == kInfWeight) when

@@ -1,0 +1,149 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace fannr::net {
+
+bool FannClient::Fail(std::string message) {
+  last_error_ = std::move(message);
+  return false;
+}
+
+bool FannClient::Connect(const std::string& host, uint16_t port) {
+  last_error_code_ = ErrorCode::kNone;
+  std::string error;
+  sock_ = TcpConnect(host, port, &error);
+  if (!sock_.valid()) return Fail(error);
+  return true;
+}
+
+bool FannClient::RoundTrip(Opcode request,
+                           std::span<const uint8_t> request_payload,
+                           Opcode expect, std::vector<uint8_t>& payload) {
+  last_error_code_ = ErrorCode::kNone;
+  last_error_.clear();
+  if (!sock_.valid()) return Fail("not connected");
+
+  const uint64_t id = next_request_id_++;
+  const std::vector<uint8_t> frame =
+      EncodeFrame(static_cast<uint16_t>(request), id, request_payload);
+  if (!sock_.WriteFull(frame.data(), frame.size())) {
+    sock_.Close();
+    return Fail("write failed (connection lost)");
+  }
+
+  while (true) {
+    uint8_t header_bytes[kFrameHeaderBytes];
+    if (!sock_.ReadFull(header_bytes, sizeof(header_bytes))) {
+      sock_.Close();
+      return Fail("connection closed while awaiting response");
+    }
+    FrameHeader header;
+    DecodeFrameHeader(header_bytes, header);
+    bool fatal = false;
+    const std::string envelope_error = FrameEnvelopeError(header, &fatal);
+    if (fatal || header.version != kProtocolVersion) {
+      sock_.Close();
+      return Fail("bad response frame: " + envelope_error);
+    }
+    payload.resize(header.payload_length);
+    if (header.payload_length > 0 &&
+        !sock_.ReadFull(payload.data(), payload.size())) {
+      sock_.Close();
+      return Fail("connection closed mid-payload");
+    }
+    // A response to an older request (possible only after a prior
+    // timeout/desync) is skipped, not misattributed.
+    if (header.request_id != id) continue;
+
+    const Opcode opcode = static_cast<Opcode>(header.opcode);
+    if (opcode == Opcode::kError) {
+      ErrorResponse error;
+      if (!DecodeErrorResponse(payload, error)) {
+        sock_.Close();
+        return Fail("undecodable error frame");
+      }
+      last_error_code_ = error.code;
+      return Fail(std::string(ErrorCodeName(error.code)) + ": " +
+                  error.message);
+    }
+    if (opcode != expect) {
+      sock_.Close();
+      return Fail("unexpected response opcode " +
+                  std::string(OpcodeName(header.opcode)));
+    }
+    return true;
+  }
+}
+
+bool FannClient::Ping() {
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(Opcode::kPing, {}, Opcode::kPong, payload)) return false;
+  if (!payload.empty()) return Fail("PONG carried an unexpected payload");
+  return true;
+}
+
+bool FannClient::Query(const WireQuery& query, QueryResponse& response) {
+  QueryRequest request;
+  request.query = query;
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(Opcode::kQuery, EncodeQueryRequest(request),
+                 Opcode::kQueryResult, payload)) {
+    return false;
+  }
+  if (!DecodeQueryResponse(payload, response)) {
+    return Fail("undecodable QUERY_RESULT payload");
+  }
+  return true;
+}
+
+bool FannClient::Batch(const BatchRequest& request, BatchResponse& response) {
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(Opcode::kBatch, EncodeBatchRequest(request),
+                 Opcode::kBatchResult, payload)) {
+    return false;
+  }
+  if (!DecodeBatchResponse(payload, response)) {
+    return Fail("undecodable BATCH_RESULT payload");
+  }
+  if (response.results.size() != request.jobs.size()) {
+    return Fail("BATCH_RESULT result count mismatch");
+  }
+  return true;
+}
+
+bool FannClient::UpdateWeights(const UpdateWeightsRequest& request,
+                               UpdateWeightsResponse& response) {
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(Opcode::kUpdateWeights, EncodeUpdateWeightsRequest(request),
+                 Opcode::kUpdateResult, payload)) {
+    return false;
+  }
+  if (!DecodeUpdateWeightsResponse(payload, response)) {
+    return Fail("undecodable UPDATE_RESULT payload");
+  }
+  return true;
+}
+
+bool FannClient::Stats(std::string& json) {
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(Opcode::kStats, {}, Opcode::kStatsResult, payload)) {
+    return false;
+  }
+  StatsResponse response;
+  if (!DecodeStatsResponse(payload, response)) {
+    return Fail("undecodable STATS_RESULT payload");
+  }
+  json = std::move(response.json);
+  return true;
+}
+
+bool FannClient::Shutdown() {
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(Opcode::kShutdown, {}, Opcode::kShutdownAck, payload)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fannr::net

@@ -1,0 +1,80 @@
+// FannClient: a synchronous client for the FANN_R wire protocol.
+//
+// One connection, one outstanding request at a time: each call encodes
+// a frame, writes it, and blocks for the matching response (request ids
+// are checked, so a desynchronized stream surfaces as an error instead
+// of a misattributed answer). Error frames (net/protocol.h ErrorCode)
+// make the call return false with the code and message retained — the
+// bench counts OVERLOADED shed through exactly this surface.
+//
+// Thread-compatibility: a FannClient is not thread-safe; open one per
+// thread (the throughput bench does).
+
+#ifndef FANNR_NET_CLIENT_H_
+#define FANNR_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace fannr::net {
+
+class FannClient {
+ public:
+  FannClient() = default;
+
+  /// Connects to a running FannServer. False (reason in last_error())
+  /// on failure; the client may retry Connect.
+  bool Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return sock_.valid(); }
+  void Close() { sock_.Close(); }
+
+  /// Round-trips a PING.
+  bool Ping();
+
+  /// Runs one query; on true, `response` holds the result and the graph
+  /// epoch it was computed under.
+  bool Query(const WireQuery& query, QueryResponse& response);
+
+  /// Runs a batch of queries in one frame (one engine Run server-side).
+  bool Batch(const BatchRequest& request, BatchResponse& response);
+
+  /// Applies edge-weight updates. True when the frame round-tripped and
+  /// the server answered (response.status says whether it applied).
+  bool UpdateWeights(const UpdateWeightsRequest& request,
+                     UpdateWeightsResponse& response);
+
+  /// Fetches the server's observability snapshot as JSON.
+  bool Stats(std::string& json);
+
+  /// Requests a graceful server drain; true once the ack arrives.
+  bool Shutdown();
+
+  /// After a false return: the error code of the server's error frame
+  /// (kNone for transport/decode failures) and a human-readable reason.
+  ErrorCode last_error_code() const { return last_error_code_; }
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  /// Writes one request frame and reads frames until the response with
+  /// the matching id arrives. On success fills `payload` and returns
+  /// true iff the response opcode equals `expect` (an error frame sets
+  /// last_error_* and returns false).
+  bool RoundTrip(Opcode request, std::span<const uint8_t> request_payload,
+                 Opcode expect, std::vector<uint8_t>& payload);
+
+  bool Fail(std::string message);
+
+  Socket sock_;
+  uint64_t next_request_id_ = 1;
+  ErrorCode last_error_code_ = ErrorCode::kNone;
+  std::string last_error_;
+};
+
+}  // namespace fannr::net
+
+#endif  // FANNR_NET_CLIENT_H_

@@ -1,0 +1,645 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <utility>
+
+#include "common/timer.h"
+#include "dynamic/update.h"
+#include "obs/trace.h"
+
+namespace fannr::net {
+
+namespace {
+
+/// Effective deadline of one wire job: its own value when positive and
+/// finite, else the batch default, else the server default; 0 = none.
+double EffectiveDeadlineMs(double job_ms, double batch_ms,
+                          double server_default_ms) {
+  auto usable = [](double v) { return std::isfinite(v) && v > 0.0; };
+  if (usable(job_ms)) return job_ms;
+  if (usable(batch_ms)) return batch_ms;
+  if (usable(server_default_ms)) return server_default_ms;
+  return 0.0;
+}
+
+WireResult RejectedWire(std::string error) {
+  WireResult r;
+  r.status = static_cast<uint8_t>(QueryStatus::kRejected);
+  r.error = std::move(error);
+  return r;
+}
+
+WireResult TimedOutWire(std::string error) {
+  WireResult r;
+  r.status = static_cast<uint8_t>(QueryStatus::kTimedOut);
+  r.error = std::move(error);
+  return r;
+}
+
+std::string Num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string HistogramStatsJson(const obs::HistogramSnapshot& h) {
+  return "{\"count\": " + std::to_string(h.count) +
+         ", \"mean\": " + Num(h.Mean()) + ", \"p50\": " + Num(h.Percentile(50)) +
+         ", \"p95\": " + Num(h.Percentile(95)) +
+         ", \"p99\": " + Num(h.Percentile(99)) + ", \"max\": " + Num(h.max) +
+         "}";
+}
+
+}  // namespace
+
+/// One accepted client connection. The reader thread owns the receive
+/// side; the executor (and the reader, for inline errors) share the
+/// send side through WriteFrame's mutex so frames never interleave.
+struct FannServer::Connection {
+  Socket sock;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+
+  bool WriteFrame(Opcode opcode, uint64_t request_id,
+                  std::span<const uint8_t> payload) {
+    const std::vector<uint8_t> frame =
+        EncodeFrame(static_cast<uint16_t>(opcode), request_id, payload);
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!open.load(std::memory_order_relaxed)) return false;
+    if (!sock.WriteFull(frame.data(), frame.size())) {
+      open.store(false, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  void WriteError(uint64_t request_id, ErrorCode code, std::string message) {
+    ErrorResponse response;
+    response.code = code;
+    response.message = std::move(message);
+    WriteFrame(Opcode::kError, request_id, EncodeErrorResponse(response));
+  }
+};
+
+/// One admitted unit of work, queued FIFO for the executor.
+struct FannServer::WorkItem {
+  std::shared_ptr<Connection> conn;
+  Opcode opcode = Opcode::kPing;
+  uint64_t request_id = 0;
+  QueryRequest query;
+  BatchRequest batch;
+  UpdateWeightsRequest update;
+  /// Graph epoch at admission; QUERY/BATCH items are rejected at
+  /// execution if the epoch has moved (an update was processed in
+  /// between), mirroring the engine's mid-batch contract.
+  GraphEpoch admission_epoch = 0;
+  Timer e2e_timer;  ///< Started at admission; measures queue wait + solve.
+};
+
+FannServer::FannServer(Graph* graph, const GphiResources& resources,
+                       ServerConfig config)
+    : graph_(graph), resources_(resources), config_(std::move(config)) {
+  FANNR_CHECK(graph_ != nullptr && resources_.graph == graph_);
+  // STATS, the slow-query log, and drain reporting all read the engine's
+  // observation state; the server runs with it on unconditionally.
+  config_.engine_options.enable_metrics = true;
+  engine_ = std::make_unique<BatchQueryEngine>(resources_,
+                                               config_.engine_options);
+
+  m_req_query_ = metrics_.RegisterCounter("server.requests.query");
+  m_req_batch_ = metrics_.RegisterCounter("server.requests.batch");
+  m_req_update_ = metrics_.RegisterCounter("server.requests.update_weights");
+  m_req_stats_ = metrics_.RegisterCounter("server.requests.stats");
+  m_req_ping_ = metrics_.RegisterCounter("server.requests.ping");
+  m_req_shutdown_ = metrics_.RegisterCounter("server.requests.shutdown");
+  m_errors_ = metrics_.RegisterCounter("server.responses.error");
+  m_overloaded_ = metrics_.RegisterCounter("server.overloaded");
+  m_bad_frames_ = metrics_.RegisterCounter("server.bad_frames");
+  m_connections_ = metrics_.RegisterCounter("server.connections");
+  m_stale_admission_ =
+      metrics_.RegisterCounter("server.rejected_stale_admission");
+  m_queue_depth_ = metrics_.RegisterGauge("server.queue_depth");
+  m_e2e_query_ms_ = metrics_.RegisterHistogram(
+      "server.e2e_ms.query", obs::DefaultLatencyBucketsMs());
+  m_e2e_batch_ms_ = metrics_.RegisterHistogram(
+      "server.e2e_ms.batch", obs::DefaultLatencyBucketsMs());
+  m_e2e_update_ms_ = metrics_.RegisterHistogram(
+      "server.e2e_ms.update", obs::DefaultLatencyBucketsMs());
+  m_queue_wait_ms_ = metrics_.RegisterHistogram(
+      "server.queue_wait_ms", obs::DefaultLatencyBucketsMs());
+}
+
+FannServer::~FannServer() {
+  if (started_.load(std::memory_order_relaxed)) {
+    RequestShutdown();
+    if (accept_thread_.joinable()) Wait();
+  }
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+bool FannServer::Start(std::string* error) {
+  FANNR_CHECK(!started_.load(std::memory_order_relaxed));
+  if (::pipe(wake_pipe_) != 0) {
+    if (error != nullptr) *error = "pipe failed";
+    return false;
+  }
+  listener_ = TcpListen(config_.host, config_.port, &port_, error);
+  if (!listener_.valid()) return false;
+  started_.store(true, std::memory_order_relaxed);
+  accept_thread_ = std::thread(&FannServer::AcceptMain, this);
+  executor_thread_ = std::thread(&FannServer::ExecutorMain, this);
+  return true;
+}
+
+void FannServer::RequestShutdown() {
+  draining_.store(true, std::memory_order_relaxed);
+  // One byte on the pipe wakes the accept loop; write(2) is
+  // async-signal-safe, so this whole method may run in a SIGTERM
+  // handler. A full pipe (EAGAIN after repeated calls) is fine — the
+  // first byte already woke the loop.
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void FannServer::AcceptMain() {
+  while (true) {
+    pollfd fds[2];
+    fds[0] = {listener_.fd(), POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || draining()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    std::string accept_error;
+    Socket sock = TcpAccept(listener_, &accept_error);
+    if (!sock.valid()) {
+      if (accept_error.empty()) break;  // listener shut down
+      continue;
+    }
+    metrics_.Add(m_connections_, 1);
+
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(sock);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    const size_t live = static_cast<size_t>(
+        std::count_if(connections_.begin(), connections_.end(),
+                      [](const std::shared_ptr<Connection>& c) {
+                        return c->open.load(std::memory_order_relaxed);
+                      }));
+    if (live >= config_.max_connections) {
+      metrics_.Add(m_overloaded_, 1);
+      conn->WriteError(0, ErrorCode::kOverloaded,
+                       "connection limit reached — retry later");
+      continue;  // conn (and its socket) dies here
+    }
+    connections_.push_back(conn);
+    connection_threads_.emplace_back(&FannServer::ConnectionMain, this, conn);
+  }
+}
+
+void FannServer::ConnectionMain(std::shared_ptr<Connection> conn) {
+  std::vector<uint8_t> payload;
+  while (conn->open.load(std::memory_order_relaxed)) {
+    uint8_t header_bytes[kFrameHeaderBytes];
+    if (!conn->sock.ReadFull(header_bytes, sizeof(header_bytes))) break;
+    FrameHeader header;
+    DecodeFrameHeader(header_bytes, header);
+
+    bool fatal = false;
+    const std::string envelope_error = FrameEnvelopeError(header, &fatal);
+    if (fatal) {
+      // Bad magic / oversized payload / nonzero reserved: the stream has
+      // no trustworthy frame boundary left. Close, never crash.
+      metrics_.Add(m_bad_frames_, 1);
+      break;
+    }
+
+    payload.resize(header.payload_length);
+    if (header.payload_length > 0 &&
+        !conn->sock.ReadFull(payload.data(), payload.size())) {
+      break;
+    }
+
+    if (header.version != kProtocolVersion) {
+      metrics_.Add(m_errors_, 1);
+      conn->WriteError(header.request_id, ErrorCode::kUnsupportedVersion,
+                       envelope_error);
+      continue;
+    }
+    if (!IsRequestOpcode(header.opcode)) {
+      metrics_.Add(m_errors_, 1);
+      conn->WriteError(header.request_id, ErrorCode::kUnknownOpcode,
+                       "opcode " + std::to_string(header.opcode) +
+                           " is not a request opcode");
+      continue;
+    }
+
+    const Opcode opcode = static_cast<Opcode>(header.opcode);
+    if (opcode == Opcode::kPing) {
+      metrics_.Add(m_req_ping_, 1);
+      conn->WriteFrame(Opcode::kPong, header.request_id, {});
+      continue;
+    }
+    if (opcode == Opcode::kShutdown) {
+      metrics_.Add(m_req_shutdown_, 1);
+      conn->WriteFrame(Opcode::kShutdownAck, header.request_id, {});
+      RequestShutdown();
+      continue;
+    }
+
+    // Work frame: decode, then admit (or shed).
+    WorkItem item;
+    item.conn = conn;
+    item.opcode = opcode;
+    item.request_id = header.request_id;
+    bool decoded = false;
+    switch (opcode) {
+      case Opcode::kQuery:
+        metrics_.Add(m_req_query_, 1);
+        decoded = DecodeQueryRequest(payload, item.query);
+        break;
+      case Opcode::kBatch:
+        metrics_.Add(m_req_batch_, 1);
+        decoded = DecodeBatchRequest(payload, item.batch);
+        break;
+      case Opcode::kUpdateWeights:
+        metrics_.Add(m_req_update_, 1);
+        decoded = DecodeUpdateWeightsRequest(payload, item.update);
+        break;
+      case Opcode::kStats:
+        metrics_.Add(m_req_stats_, 1);
+        decoded = payload.empty();
+        break;
+      default:
+        break;
+    }
+    if (!decoded) {
+      metrics_.Add(m_errors_, 1);
+      conn->WriteError(header.request_id, ErrorCode::kMalformedPayload,
+                       std::string(OpcodeName(header.opcode)) +
+                           " payload failed to decode");
+      continue;
+    }
+    if (draining()) {
+      metrics_.Add(m_errors_, 1);
+      conn->WriteError(header.request_id, ErrorCode::kShuttingDown,
+                       "server is draining — no new work accepted");
+      continue;
+    }
+
+    item.admission_epoch = graph_->epoch();
+    item.e2e_timer.Reset();
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() < config_.max_queue_depth) {
+        queue_.push_back(std::move(item));
+        metrics_.Set(m_queue_depth_, static_cast<double>(queue_.size()));
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+    } else {
+      // Bounded admission: shed the request explicitly instead of
+      // buffering without limit. The client retries with backoff.
+      metrics_.Add(m_overloaded_, 1);
+      conn->WriteError(header.request_id, ErrorCode::kOverloaded,
+                       "admission queue full (" +
+                           std::to_string(config_.max_queue_depth) +
+                           " pending) — retry later");
+    }
+  }
+  conn->open.store(false, std::memory_order_relaxed);
+  // A peer may be parked in read(2) waiting for a reply that will never
+  // come (e.g. its frame was fatally malformed). shutdown(2) hands it a
+  // clean EOF; idempotent with the drain path in Wait().
+  conn->sock.ShutdownBoth();
+}
+
+void FannServer::ExecutorMain() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return !queue_.empty() || executor_stop_; });
+      if (queue_.empty()) break;  // executor_stop_ with a drained queue
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      metrics_.Set(m_queue_depth_, static_cast<double>(queue_.size()));
+    }
+    if (config_.test_execution_gate) config_.test_execution_gate();
+    // Read the stop flag after the gate, not at dequeue: Wait() arms the
+    // drain timer before setting it, so when `stopping` is observed the
+    // deadline check below is measuring the actual drain — including for
+    // an item that was dequeued before the drain began.
+    bool stopping = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stopping = executor_stop_;
+    }
+    if (stopping && drain_timer_.Millis() > config_.drain_deadline_ms) {
+      // Past the drain budget: answer, don't compute.
+      aborted_items_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.Add(m_errors_, 1);
+      item.conn->WriteError(item.request_id, ErrorCode::kShuttingDown,
+                            "drain deadline exceeded — request aborted");
+      continue;
+    }
+    Execute(item);
+    if (stopping) drained_items_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FannServer::Execute(WorkItem& item) {
+  metrics_.Record(m_queue_wait_ms_, item.e2e_timer.Millis());
+  switch (item.opcode) {
+    case Opcode::kQuery:
+      ExecuteQuery(item);
+      metrics_.Record(m_e2e_query_ms_, item.e2e_timer.Millis());
+      break;
+    case Opcode::kBatch:
+      ExecuteBatch(item);
+      metrics_.Record(m_e2e_batch_ms_, item.e2e_timer.Millis());
+      break;
+    case Opcode::kUpdateWeights:
+      ExecuteUpdate(item);
+      metrics_.Record(m_e2e_update_ms_, item.e2e_timer.Millis());
+      break;
+    case Opcode::kStats:
+      ExecuteStats(item);
+      break;
+    default:
+      break;
+  }
+}
+
+std::string FannServer::MaterializeSets(
+    const WireQuery& wire, std::unique_ptr<IndexedVertexSet>& p,
+    std::unique_ptr<IndexedVertexSet>& q) const {
+  const size_t num_vertices = graph_->NumVertices();
+  auto screen = [&](const std::vector<uint32_t>& ids, const char* which)
+      -> std::string {
+    for (uint32_t id : ids) {
+      if (id >= num_vertices) {
+        return std::string(which) + " vertex id " + std::to_string(id) +
+               " out of range (graph has " + std::to_string(num_vertices) +
+               " vertices)";
+      }
+    }
+    std::vector<uint32_t> sorted(ids);
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return std::string(which) + " contains a duplicate vertex id";
+    }
+    return std::string();
+  };
+  std::string error = screen(wire.p, "data point set P");
+  if (error.empty()) error = screen(wire.q, "query point set Q");
+  if (!error.empty()) return error;
+  p = std::make_unique<IndexedVertexSet>(
+      num_vertices, std::vector<VertexId>(wire.p.begin(), wire.p.end()));
+  q = std::make_unique<IndexedVertexSet>(
+      num_vertices, std::vector<VertexId>(wire.q.begin(), wire.q.end()));
+  return std::string();
+}
+
+void FannServer::ExecuteQuery(WorkItem& item) {
+  BatchRequest batch;
+  batch.deadline_ms = 0.0;
+  batch.jobs.push_back(std::move(item.query.query));
+  WorkItem wrapped = std::move(item);
+  wrapped.batch = std::move(batch);
+
+  // A QUERY is a one-job BATCH with a QUERY_RESULT envelope.
+  const GraphEpoch now = graph_->epoch();
+  if (now != wrapped.admission_epoch) {
+    metrics_.Add(m_stale_admission_, 1);
+    QueryResponse response;
+    response.graph_epoch = now;
+    response.result =
+        RejectedWire(MidBatchEpochError(wrapped.admission_epoch, now));
+    wrapped.conn->WriteFrame(Opcode::kQueryResult, wrapped.request_id,
+                             EncodeQueryResponse(response));
+    return;
+  }
+  BatchResponse executed = RunJobs(wrapped);
+  QueryResponse response;
+  response.graph_epoch = executed.graph_epoch;
+  response.result = std::move(executed.results[0]);
+  wrapped.conn->WriteFrame(Opcode::kQueryResult, wrapped.request_id,
+                           EncodeQueryResponse(response));
+}
+
+void FannServer::ExecuteBatch(WorkItem& item) {
+  const GraphEpoch now = graph_->epoch();
+  if (now != item.admission_epoch) {
+    metrics_.Add(m_stale_admission_, 1);
+    BatchResponse response;
+    response.graph_epoch = now;
+    response.results.assign(
+        item.batch.jobs.size(),
+        RejectedWire(MidBatchEpochError(item.admission_epoch, now)));
+    item.conn->WriteFrame(Opcode::kBatchResult, item.request_id,
+                          EncodeBatchResponse(response));
+    return;
+  }
+  BatchResponse response = RunJobs(item);
+  item.conn->WriteFrame(Opcode::kBatchResult, item.request_id,
+                        EncodeBatchResponse(response));
+}
+
+BatchResponse FannServer::RunJobs(WorkItem& item) {
+  const std::vector<WireQuery>& jobs = item.batch.jobs;
+  BatchResponse response;
+  response.graph_epoch = graph_->epoch();
+  response.results.resize(jobs.size());
+
+  // Net-level screening (id validity, enum ranges, expired deadlines)
+  // fills result slots directly; everything else goes to the engine in
+  // one Run so in-process semantics — validation reasons, epoch checks,
+  // fallbacks, tracing — apply verbatim.
+  std::vector<std::unique_ptr<IndexedVertexSet>> sets;
+  std::vector<FannrQuery> runnable;
+  std::vector<size_t> runnable_slot;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const WireQuery& wire = jobs[i];
+    if (wire.algorithm > static_cast<uint8_t>(FannAlgorithm::kApxSum)) {
+      response.results[i] = RejectedWire(
+          "unknown algorithm enumerator " + std::to_string(wire.algorithm));
+      continue;
+    }
+    if (wire.aggregate > static_cast<uint8_t>(Aggregate::kSum)) {
+      response.results[i] = RejectedWire(
+          "unknown aggregate enumerator " + std::to_string(wire.aggregate));
+      continue;
+    }
+    std::unique_ptr<IndexedVertexSet> p;
+    std::unique_ptr<IndexedVertexSet> q;
+    std::string error = MaterializeSets(wire, p, q);
+    if (!error.empty()) {
+      response.results[i] = RejectedWire(std::move(error));
+      continue;
+    }
+    const double deadline_ms =
+        EffectiveDeadlineMs(wire.deadline_ms, item.batch.deadline_ms,
+                            config_.default_deadline_ms);
+    std::optional<double> engine_deadline;
+    if (deadline_ms > 0.0) {
+      // End-to-end: the time already spent queued counts against the
+      // deadline; the engine measures the rest from Run() entry.
+      const double remaining = deadline_ms - item.e2e_timer.Millis();
+      if (remaining <= 0.0) {
+        response.results[i] = TimedOutWire(
+            "deadline of " + std::to_string(deadline_ms) +
+            " ms exceeded in the admission queue");
+        continue;
+      }
+      engine_deadline = remaining;
+    }
+
+    FannrQuery job;
+    job.query.graph = graph_;
+    job.query.data_points = p.get();
+    job.query.query_points = q.get();
+    job.query.phi = wire.phi;
+    job.query.aggregate = static_cast<Aggregate>(wire.aggregate);
+    job.algorithm = static_cast<FannAlgorithm>(wire.algorithm);
+    job.deadline_ms = engine_deadline;
+    sets.push_back(std::move(p));
+    sets.push_back(std::move(q));
+    runnable.push_back(job);
+    runnable_slot.push_back(i);
+  }
+
+  if (!runnable.empty()) {
+    const std::vector<FannResult> results = engine_->Run(runnable);
+    for (size_t j = 0; j < results.size(); ++j) {
+      response.results[runnable_slot[j]] = ToWire(results[j]);
+    }
+  }
+  return response;
+}
+
+void FannServer::ExecuteUpdate(WorkItem& item) {
+  UpdateWeightsResponse response;
+  dynamic::UpdateBatch batch;
+  for (const UpdateWeightsRequest::Entry& e : item.update.entries) {
+    batch.SetWeight(e.u, e.v, e.weight);
+  }
+  // Screen before Apply — Apply aborts on invalid entries by contract,
+  // and frames are untrusted input.
+  const std::string error = batch.ValidationError(*graph_);
+  if (!error.empty()) {
+    response.status = 1;
+    response.error = error;
+  } else {
+    // Safe to mutate: the executor is the only thread running queries,
+    // so no reader can race this apply (Graph's contract).
+    const dynamic::ApplyResult applied = batch.Apply(*graph_);
+    response.status = 0;
+    response.applied = applied.applied;
+    response.missing = applied.missing;
+    response.old_epoch = applied.old_epoch;
+    response.new_epoch = applied.new_epoch;
+  }
+  item.conn->WriteFrame(Opcode::kUpdateResult, item.request_id,
+                        EncodeUpdateWeightsResponse(response));
+}
+
+void FannServer::ExecuteStats(WorkItem& item) {
+  StatsResponse response;
+  response.json = StatsJson();
+  item.conn->WriteFrame(Opcode::kStatsResult, item.request_id,
+                        EncodeStatsResponse(response));
+}
+
+std::string FannServer::StatsJson() const {
+  const obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  const SourceDistanceCache::Stats cache = engine_->cache_stats();
+  std::string out = "{\n  \"server\": {\n    \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += std::string(i ? ", " : "") + "\"" +
+           obs::internal_obs::JsonEscape(snapshot.counters[i].first) +
+           "\": " + std::to_string(snapshot.counters[i].second);
+  }
+  out += "},\n    \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += std::string(i ? ", " : "") + "\"" +
+           obs::internal_obs::JsonEscape(snapshot.gauges[i].first) +
+           "\": " + Num(snapshot.gauges[i].second);
+  }
+  out += "},\n    \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    out += std::string(i ? ", " : "") + "\"" +
+           obs::internal_obs::JsonEscape(snapshot.histograms[i].first) +
+           "\": " + HistogramStatsJson(snapshot.histograms[i].second);
+  }
+  out += "}\n  },\n";
+  out += "  \"graph_epoch\": " + std::to_string(graph_->epoch()) + ",\n";
+  out += "  \"draining\": " + std::string(draining() ? "true" : "false") +
+         ",\n";
+  out += "  \"cache\": {\"hits\": " + std::to_string(cache.hits) +
+         ", \"misses\": " + std::to_string(cache.misses) +
+         ", \"evictions\": " + std::to_string(cache.evictions) +
+         ", \"epoch_evictions\": " + std::to_string(cache.epoch_evictions) +
+         "}\n}";
+  return out;
+}
+
+DrainStats FannServer::Wait() {
+  FANNR_CHECK(started_.load(std::memory_order_relaxed));
+  // The accept thread exits when RequestShutdown pokes the wakeup pipe
+  // (or the listener dies); joining it marks the start of the drain.
+  accept_thread_.join();
+  drain_timer_.Reset();
+  listener_.Close();
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    executor_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  executor_thread_.join();
+  const double drain_ms = drain_timer_.Millis();
+
+  // Responses for all drained work are flushed; now unblock and join
+  // every reader.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::shared_ptr<Connection>& conn : connections_) {
+      conn->open.store(false, std::memory_order_relaxed);
+      conn->sock.ShutdownBoth();
+    }
+  }
+  for (std::thread& t : connection_threads_) t.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    connections_.clear();
+    connection_threads_.clear();
+  }
+  started_.store(false, std::memory_order_relaxed);
+
+  DrainStats stats;
+  stats.drain_ms = drain_ms;
+  stats.drained_items = drained_items_.load(std::memory_order_relaxed);
+  stats.aborted_items = aborted_items_.load(std::memory_order_relaxed);
+  stats.within_deadline = drain_ms <= config_.drain_deadline_ms;
+  stats.final_stats_json = StatsJson();
+  return stats;
+}
+
+}  // namespace fannr::net

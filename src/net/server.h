@@ -1,0 +1,212 @@
+// FannServer: the FANN_R query engine behind a TCP socket.
+//
+// A production deployment answers streams of queries arriving over time
+// from many clients, interleaved with live weight updates — the setting
+// the epoch machinery of src/dynamic/ exists for. The server speaks the
+// length-prefixed binary protocol of net/protocol.h and is structured as
+// three thread roles:
+//
+//   * one accept thread, parked in poll() on the listener and a wakeup
+//     pipe (so shutdown never races a blocking accept);
+//   * one reader thread per connection, which validates frame envelopes,
+//     decodes payloads, answers PING inline, and admits work into the
+//     queue — or answers OVERLOADED when the queue is at capacity
+//     (bounded admission: the server sheds load explicitly instead of
+//     buffering without limit);
+//   * one executor thread, which drains the queue FIFO and is the only
+//     thread that touches the BatchQueryEngine or applies weight
+//     updates. This serialization is load-bearing: the Graph contract
+//     forbids ApplyWeightUpdates racing readers, and Run() must not be
+//     called concurrently. Queries never see torn weights by
+//     construction, and every response reports the epoch it was
+//     computed under.
+//
+// Admission epochs: a QUERY/BATCH item records the graph epoch at
+// enqueue. If an UPDATE_WEIGHTS lands in between (FIFO order), the item
+// is rejected with the engine's canonical mid-batch reason instead of
+// being silently answered under weights the client never observed at
+// admission — the same re-submit contract in-process callers get.
+//
+// Deadlines are end-to-end: a request's deadline_ms counts from
+// admission, queue wait is subtracted before the engine runs, and
+// expiry anywhere along the path yields QueryStatus::kTimedOut.
+//
+// Graceful drain (SIGTERM via RequestShutdown, or a SHUTDOWN frame):
+// stop accepting connections, refuse new work frames (SHUTTING_DOWN),
+// finish queued work until the drain deadline (aborting the remainder),
+// flush responses, close connections, and expose the final
+// observability snapshot in the DrainStats.
+
+#ifndef FANNR_NET_SERVER_H_
+#define FANNR_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "engine/batch_engine.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace fannr::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = kernel assigns an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+
+  /// Connections beyond this are answered with OVERLOADED and closed.
+  size_t max_connections = 64;
+
+  /// Bounded admission queue: work frames arriving while `queue_depth`
+  /// items are pending are answered with OVERLOADED instead of buffered.
+  size_t max_queue_depth = 128;
+
+  /// Default end-to-end deadline for work items without their own
+  /// (<= 0 = none). Counted from admission into the queue.
+  double default_deadline_ms = 0.0;
+
+  /// Wall-clock budget for finishing queued work during drain; items
+  /// still queued past it are answered with SHUTTING_DOWN.
+  double drain_deadline_ms = 10'000.0;
+
+  /// Engine configuration (worker threads, g_phi oracle, cache sizing,
+  /// metrics). The server forces enable_metrics on so STATS and the
+  /// slow-query log always work.
+  BatchOptions engine_options;
+
+  /// Test-only: invoked by the executor thread before processing each
+  /// dequeued item. Lets tests hold the executor to fill the admission
+  /// queue deterministically. Leave empty in production.
+  std::function<void()> test_execution_gate;
+};
+
+/// Final accounting of a graceful drain, returned by Wait().
+struct DrainStats {
+  double drain_ms = 0.0;      ///< RequestShutdown to fully drained.
+  size_t drained_items = 0;   ///< Queued items executed during drain.
+  size_t aborted_items = 0;   ///< Queued items past the drain deadline.
+  bool within_deadline = false;
+  std::string final_stats_json;  ///< Last observability snapshot.
+};
+
+/// The server. Construct, Start(), then Wait() (blocks until a shutdown
+/// is requested and the drain completes). `graph` is mutated by
+/// UPDATE_WEIGHTS frames and must outlive the server, as must every
+/// index inside `resources` (resources.graph must equal `graph`).
+class FannServer {
+ public:
+  FannServer(Graph* graph, const GphiResources& resources,
+             ServerConfig config);
+  ~FannServer();
+
+  FannServer(const FannServer&) = delete;
+  FannServer& operator=(const FannServer&) = delete;
+
+  /// Binds, listens, and spawns the accept + executor threads. False
+  /// (with a reason) on socket errors; the server is then inert.
+  bool Start(std::string* error);
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Initiates graceful drain. Async-signal-safe (one write(2) to the
+  /// wakeup pipe plus a relaxed atomic store) — call it straight from a
+  /// SIGTERM handler. Idempotent.
+  void RequestShutdown();
+
+  /// Blocks until the drain completes, joins every thread, and returns
+  /// the drain accounting. Call at most once, after Start().
+  DrainStats Wait();
+
+  /// True once a shutdown has been requested.
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Current observability snapshot (server registry + engine) as JSON.
+  /// Safe to call from any thread; counters may be mid-update while
+  /// traffic flows (exact once quiesced).
+  std::string StatsJson() const;
+
+  /// The underlying engine (test/bench access; do not call Run on it
+  /// while the server is serving).
+  BatchQueryEngine& engine() { return *engine_; }
+
+  /// Server-side registry: per-opcode request counters, queue depth
+  /// gauge, end-to-end latency histograms.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  struct Connection;
+  struct WorkItem;
+
+  void AcceptMain();
+  void ConnectionMain(std::shared_ptr<Connection> conn);
+  void ExecutorMain();
+  void Execute(WorkItem& item);
+  void ExecuteQuery(WorkItem& item);
+  void ExecuteBatch(WorkItem& item);
+  /// Screens and executes the wire jobs of `item.batch` through one
+  /// engine Run; slots screened out at the net layer (bad ids, unknown
+  /// enumerators, expired deadlines) carry their rejection in place.
+  BatchResponse RunJobs(WorkItem& item);
+  void ExecuteUpdate(WorkItem& item);
+  void ExecuteStats(WorkItem& item);
+  /// Validates a WireQuery's ids against the graph and materializes the
+  /// vertex sets; empty return = ok. Mirrors in-process screening: any
+  /// violation becomes a kRejected result, never UB.
+  std::string MaterializeSets(const WireQuery& wire,
+                              std::unique_ptr<IndexedVertexSet>& p,
+                              std::unique_ptr<IndexedVertexSet>& q) const;
+
+  Graph* graph_;
+  GphiResources resources_;
+  ServerConfig config_;
+  std::unique_ptr<BatchQueryEngine> engine_;
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+
+  std::thread accept_thread_;
+  std::thread executor_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> connection_threads_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+  bool executor_stop_ = false;  // set once drain wants the executor out
+
+  // Drain accounting (written by Wait/executor, read by Wait).
+  Timer drain_timer_;
+  std::atomic<size_t> drained_items_{0};
+  std::atomic<size_t> aborted_items_{0};
+
+  // Server registry (single shard: reader threads contend only on
+  // relaxed atomics, never a lock).
+  obs::MetricsRegistry metrics_{1};
+  obs::CounterId m_req_query_, m_req_batch_, m_req_update_, m_req_stats_,
+      m_req_ping_, m_req_shutdown_, m_errors_, m_overloaded_, m_bad_frames_,
+      m_connections_, m_stale_admission_;
+  obs::GaugeId m_queue_depth_;
+  obs::HistogramId m_e2e_query_ms_, m_e2e_batch_ms_, m_e2e_update_ms_,
+      m_queue_wait_ms_;
+};
+
+}  // namespace fannr::net
+
+#endif  // FANNR_NET_SERVER_H_

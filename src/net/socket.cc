@@ -1,0 +1,158 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fannr::net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool Socket::ReadFull(void* data, size_t size, bool* eof) const {
+  if (eof != nullptr) *eof = false;
+  char* p = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd_, p + done, size - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (eof != nullptr) *eof = done == 0;
+      return false;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool Socket::WriteFull(const void* data, size_t size) const {
+  const char* p = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd_, p + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+Socket TcpListen(const std::string& host, uint16_t port,
+                 uint16_t* bound_port, std::string* error) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    if (error != nullptr) *error = Errno("socket");
+    return Socket();
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid IPv4 address: " + host;
+    return Socket();
+  }
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = Errno("bind");
+    return Socket();
+  }
+  if (::listen(sock.fd(), SOMAXCONN) != 0) {
+    if (error != nullptr) *error = Errno("listen");
+    return Socket();
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      if (error != nullptr) *error = Errno("getsockname");
+      return Socket();
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Socket TcpAccept(const Socket& listener, std::string* error) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    if (error != nullptr) {
+      // A closed/shutdown listener surfaces as EBADF/EINVAL — the normal
+      // drain path, reported as an empty error.
+      *error = (errno == EBADF || errno == EINVAL) ? "" : Errno("accept");
+    }
+    return Socket();
+  }
+}
+
+Socket TcpConnect(const std::string& host, uint16_t port,
+                  std::string* error) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    if (error != nullptr) *error = Errno("socket");
+    return Socket();
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid IPv4 address: " + host;
+    return Socket();
+  }
+  while (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    if (error != nullptr) *error = Errno("connect");
+    return Socket();
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+}  // namespace fannr::net

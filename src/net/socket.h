@@ -1,0 +1,70 @@
+// Thin POSIX TCP wrappers for the FANN_R server and client.
+//
+// Deliberately minimal: RAII ownership of a file descriptor, loopback/
+// INADDR listen with ephemeral-port support (tests and CI bind port 0
+// and read the kernel-assigned port back), and full-buffer read/write
+// that handles partial transfers and EINTR. Everything returns errors
+// by value — no exceptions, no global state.
+
+#ifndef FANNR_NET_SOCKET_H_
+#define FANNR_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fannr::net {
+
+/// Owns one file descriptor; closes it on destruction. Movable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the descriptor (idempotent).
+  void Close();
+
+  /// shutdown(2) both directions: unblocks a peer thread parked in
+  /// ReadFull on this socket without racing the close. Safe to call from
+  /// a different thread than the reader.
+  void ShutdownBoth();
+
+  /// Reads exactly `size` bytes. Returns false on EOF or error (with
+  /// `eof` distinguishing a clean close before the first byte).
+  bool ReadFull(void* data, size_t size, bool* eof = nullptr) const;
+
+  /// Writes exactly `size` bytes. Returns false on error (e.g. the peer
+  /// closed); SIGPIPE is suppressed via MSG_NOSIGNAL.
+  bool WriteFull(const void* data, size_t size) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `host:port` (IPv4 dotted quad; port 0 = kernel
+/// picks). On success returns a valid socket and stores the actual port
+/// in `bound_port`; on failure returns an invalid socket with a reason
+/// in `error`.
+Socket TcpListen(const std::string& host, uint16_t port,
+                 uint16_t* bound_port, std::string* error);
+
+/// Accepts one connection. Returns an invalid socket on error (check
+/// errno semantics in `error`; an invalid socket with empty error means
+/// the listener was shut down).
+Socket TcpAccept(const Socket& listener, std::string* error);
+
+/// Connects to `host:port`. Invalid socket + `error` on failure.
+Socket TcpConnect(const std::string& host, uint16_t port, std::string* error);
+
+}  // namespace fannr::net
+
+#endif  // FANNR_NET_SOCKET_H_

@@ -42,9 +42,9 @@ std::string BatchReport::ToText() const {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof(line),
-                "batch: %zu queries (%zu rejected), %zu threads, %.2f ms "
-                "wall, %.1f queries/s\n",
-                batch_size, rejected, num_threads, wall_ms,
+                "batch: %zu queries (%zu rejected, %zu timed out), %zu "
+                "threads, %.2f ms wall, %.1f queries/s\n",
+                batch_size, rejected, timed_out, num_threads, wall_ms,
                 queries_per_second);
   out += line;
   std::snprintf(line, sizeof(line),
@@ -84,6 +84,7 @@ std::string BatchReport::ToJson(int indent) const {
   std::string out = "{\n";
   out += in + "\"batch_size\": " + std::to_string(batch_size) + ",\n";
   out += in + "\"rejected\": " + std::to_string(rejected) + ",\n";
+  out += in + "\"timed_out\": " + std::to_string(timed_out) + ",\n";
   out += in + "\"rejected_mid_batch\": " + std::to_string(rejected_mid_batch) +
          ",\n";
   out += in + "\"num_threads\": " + std::to_string(num_threads) + ",\n";

@@ -23,6 +23,7 @@ namespace fannr::obs {
 struct BatchReport {
   size_t batch_size = 0;
   size_t rejected = 0;  ///< Jobs that failed validation (status kRejected).
+  size_t timed_out = 0;  ///< Jobs whose wall-clock deadline expired.
   size_t num_threads = 0;
 
   /// Graph epoch the batch was admitted under (see dynamic/update.h).

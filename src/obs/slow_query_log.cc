@@ -9,7 +9,7 @@ SlowQueryLog::SlowQueryLog(size_t capacity, double threshold_ms)
 
 void SlowQueryLog::Offer(const QueryTrace& trace) {
   const bool admit =
-      trace.status == QueryStatus::kRejected || trace.solve_ms >= threshold_ms_;
+      trace.status != QueryStatus::kOk || trace.solve_ms >= threshold_ms_;
   std::lock_guard<std::mutex> lock(mu_);
   ++offered_;
   if (!admit) return;

@@ -21,8 +21,9 @@
 namespace fannr::obs {
 
 /// Thread-safe fixed-capacity ring of QueryTraces over a latency
-/// threshold. Rejected queries are always admitted regardless of solve
-/// time: a rejection is exactly the kind of event triage wants to see.
+/// threshold. Rejected and timed-out queries are always admitted
+/// regardless of solve time: a non-ok outcome is exactly the kind of
+/// event triage wants to see.
 class SlowQueryLog {
  public:
   /// `capacity` >= 1 enforced. `threshold_ms` <= 0 admits every offered

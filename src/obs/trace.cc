@@ -57,6 +57,10 @@ std::string FormatTrace(const QueryTrace& trace) {
     out += "  status: REJECTED — " + trace.error + "\n";
     return out;
   }
+  if (trace.status == QueryStatus::kTimedOut) {
+    out += "  status: TIMED OUT — " + trace.error + "\n";
+    return out;
+  }
   out += "  dispatch wait: " + Ms(trace.dispatch_wait_ms) + " ms\n";
   out += "  solve:         " + Ms(trace.solve_ms) + " ms  (g_phi prepare " +
          Ms(trace.gphi_prepare_ms) + " ms, evaluate " +
@@ -92,7 +96,7 @@ std::string TraceToJson(const QueryTrace& trace) {
          std::string(FannAlgorithmName(trace.algorithm)) + "\"";
   out += ", \"worker\": " + std::to_string(trace.worker);
   out += ", \"status\": \"";
-  out += trace.status == QueryStatus::kOk ? "ok" : "rejected";
+  out += QueryStatusName(trace.status);
   out += "\"";
   if (!trace.error.empty()) {
     out += ", \"error\": \"" + internal_obs::JsonEscape(trace.error) + "\"";

@@ -207,6 +207,65 @@ TEST(BatchEngineTest, EmptyBatch) {
   EXPECT_TRUE(engine.Run({}).empty());
 }
 
+TEST(BatchEngineTest, PerJobDeadlineTimesOutWithoutAffectingBatchMates) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  Batch batch(graph, Aggregate::kSum, 0xD3AD);
+
+  BatchOptions options;
+  options.num_threads = 4;
+  BatchQueryEngine engine(world.Resources(), options);
+  const auto no_deadline = engine.Run(batch.jobs);
+
+  // The slow job: its budget is already spent when the batch starts
+  // (values <= 0 time out immediately by contract) — the deterministic
+  // stand-in for a solve that cannot finish in time. Batch-mates carry
+  // no deadline and must return exactly what they returned before.
+  const size_t slow = batch.jobs.size() / 2;
+  batch.jobs[slow].deadline_ms = 0.0;
+  const auto got = engine.Run(batch.jobs);
+
+  ASSERT_EQ(got.size(), no_deadline.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (i == slow) {
+      EXPECT_EQ(got[i].status, QueryStatus::kTimedOut);
+      EXPECT_EQ(got[i].best, kInvalidVertex);
+      EXPECT_EQ(std::bit_cast<uint64_t>(got[i].distance),
+                std::bit_cast<uint64_t>(kInfWeight));
+      EXPECT_TRUE(got[i].subset.empty());
+      EXPECT_NE(got[i].error.find("deadline"), std::string::npos)
+          << got[i].error;
+    } else {
+      EXPECT_EQ(got[i].status, QueryStatus::kOk) << got[i].error;
+      ExpectBitwiseEqual(got[i], no_deadline[i],
+                         "batch-mate " + std::to_string(i));
+    }
+  }
+}
+
+TEST(BatchEngineTest, PerJobDeadlineOverridesBatchDefault) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  Batch batch(graph, Aggregate::kMax, 0xD3AE, /*instances=*/1);
+
+  // Batch default already expired; one job overrides with a generous
+  // budget and must be the only one that solves.
+  BatchOptions options;
+  options.num_threads = 2;
+  options.deadline_ms = 0.0;
+  batch.jobs[0].deadline_ms = 60000.0;
+  BatchQueryEngine engine(world.Resources(), options);
+  const auto got = engine.Run(batch.jobs);
+
+  ASSERT_EQ(got.size(), batch.jobs.size());
+  EXPECT_EQ(got[0].status, QueryStatus::kOk) << got[0].error;
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].status, QueryStatus::kTimedOut);
+    EXPECT_NE(got[i].error.find("deadline"), std::string::npos)
+        << got[i].error;
+  }
+}
+
 TEST(DispatchTest, NamesAndSupport) {
   EXPECT_EQ(FannAlgorithmName(FannAlgorithm::kGd), "GD");
   EXPECT_EQ(FannAlgorithmName(FannAlgorithm::kExactMax), "Exact-max");

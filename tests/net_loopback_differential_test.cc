@@ -1,0 +1,311 @@
+// Loopback differential: a seeded scenario answered in-process by
+// BatchQueryEngine and through a FannServer over real loopback sockets
+// must produce bitwise-identical wire results — same (distance bits,
+// vertex id, subset, work counters, error text) — at every engine
+// thread count, before and after a concurrent UPDATE_WEIGHTS wave.
+// Queries admitted before the wave executes must be rejected with the
+// engine's canonical mid-batch reason (MidBatchEpochError), i.e. the
+// exact string an in-process caller would see.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dynamic/update.h"
+#include "engine/batch_engine.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "test_util.h"
+
+namespace fannr::net {
+namespace {
+
+/// Same rendezvous gate as net_server_test.cc: the executor dequeues an
+/// item and parks here while held, so tests can order queue states.
+class ExecutorGate {
+ public:
+  void Hold() {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_ = true;
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      held_ = false;
+    }
+    cv_.notify_all();
+  }
+  void AwaitEntered(size_t count) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return entered_ >= count; });
+  }
+  std::function<void()> AsHook() {
+    return [this] {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return !held_; });
+    };
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool held_ = false;
+  size_t entered_ = 0;
+};
+
+void AwaitQueueDepth(const FannServer& server, double depth) {
+  for (int spin = 0; spin < 1000; ++spin) {
+    if (server.metrics().Snapshot().gauge("server.queue_depth") >= depth) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  FAIL() << "queue depth never reached " << depth;
+}
+
+constexpr uint64_t kGraphSeed = 1234;
+constexpr size_t kGraphVertices = 300;
+
+/// The seeded scenario: a diverse batch spanning every solver and both
+/// aggregates, plus one unsupported (algorithm, aggregate) pairing so
+/// the engine's rejection text is also compared across the wire.
+std::vector<WireQuery> BuildWireJobs(const Graph& graph) {
+  const FannAlgorithm algorithms[] = {
+      FannAlgorithm::kNaive,    FannAlgorithm::kGd, FannAlgorithm::kRList,
+      FannAlgorithm::kExactMax, FannAlgorithm::kApxSum,
+  };
+  const double phis[] = {0.3, 0.5, 1.0};
+  std::vector<WireQuery> jobs;
+  for (size_t i = 0; i < 10; ++i) {
+    const FannAlgorithm algorithm = algorithms[i % 5];
+    Aggregate aggregate = (i % 2 == 0) ? Aggregate::kMax : Aggregate::kSum;
+    if (algorithm == FannAlgorithm::kExactMax) aggregate = Aggregate::kMax;
+    if (algorithm == FannAlgorithm::kApxSum) aggregate = Aggregate::kSum;
+
+    Rng rng(7000 + i);
+    const std::vector<VertexId> p = testing::SampleVertices(graph, 15, rng);
+    const std::vector<VertexId> q = testing::SampleVertices(graph, 8, rng);
+    WireQuery job;
+    job.algorithm = static_cast<uint8_t>(algorithm);
+    job.aggregate = static_cast<uint8_t>(aggregate);
+    job.phi = phis[i % 3];
+    job.p = std::vector<uint32_t>(p.begin(), p.end());
+    job.q = std::vector<uint32_t>(q.begin(), q.end());
+    jobs.push_back(std::move(job));
+  }
+  // An unsupported pairing: both sides must reject with the engine's
+  // reason, verbatim.
+  jobs[9].algorithm = static_cast<uint8_t>(FannAlgorithm::kApxSum);
+  jobs[9].aggregate = static_cast<uint8_t>(Aggregate::kMax);
+  return jobs;
+}
+
+/// Answers the wire jobs in-process and converts through the same
+/// lossless ToWire mapping the server uses.
+std::vector<WireResult> RunReference(BatchQueryEngine& engine,
+                                     const Graph& graph,
+                                     const std::vector<WireQuery>& jobs) {
+  std::vector<std::unique_ptr<IndexedVertexSet>> sets;
+  std::vector<FannrQuery> batch;
+  for (const WireQuery& wire : jobs) {
+    auto p = std::make_unique<IndexedVertexSet>(
+        graph.NumVertices(), std::vector<VertexId>(wire.p.begin(),
+                                                   wire.p.end()));
+    auto q = std::make_unique<IndexedVertexSet>(
+        graph.NumVertices(), std::vector<VertexId>(wire.q.begin(),
+                                                   wire.q.end()));
+    FannrQuery job;
+    job.query.graph = &graph;
+    job.query.data_points = p.get();
+    job.query.query_points = q.get();
+    job.query.phi = wire.phi;
+    job.query.aggregate = static_cast<Aggregate>(wire.aggregate);
+    job.algorithm = static_cast<FannAlgorithm>(wire.algorithm);
+    sets.push_back(std::move(p));
+    sets.push_back(std::move(q));
+    batch.push_back(job);
+  }
+  const std::vector<FannResult> results = engine.Run(batch);
+  std::vector<WireResult> wire_results;
+  wire_results.reserve(results.size());
+  for (const FannResult& r : results) wire_results.push_back(ToWire(r));
+  return wire_results;
+}
+
+uint64_t DistanceBits(double distance) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(distance));
+  std::memcpy(&bits, &distance, sizeof(bits));
+  return bits;
+}
+
+void ExpectBitwiseEqual(const WireResult& server, const WireResult& reference,
+                        const std::string& label) {
+  EXPECT_EQ(server.status, reference.status) << label;
+  EXPECT_EQ(server.best, reference.best) << label;
+  EXPECT_EQ(DistanceBits(server.distance), DistanceBits(reference.distance))
+      << label << ": server distance " << server.distance << " vs reference "
+      << reference.distance;
+  EXPECT_EQ(server.gphi_evaluations, reference.gphi_evaluations) << label;
+  EXPECT_EQ(server.subset, reference.subset) << label;
+  EXPECT_EQ(server.error, reference.error) << label;
+}
+
+void ExpectAllBitwiseEqual(const std::vector<WireResult>& server,
+                           const std::vector<WireResult>& reference,
+                           const std::string& label) {
+  ASSERT_EQ(server.size(), reference.size()) << label;
+  for (size_t i = 0; i < server.size(); ++i) {
+    ExpectBitwiseEqual(server[i], reference[i],
+                       label + " job " + std::to_string(i));
+  }
+}
+
+TEST(NetLoopbackDifferential, BitwiseIdenticalAcrossThreadsAndUpdates) {
+  // Baselines from the first thread count; every other thread count must
+  // reproduce them bitwise (the engine's determinism invariant, observed
+  // through the wire).
+  std::vector<WireResult> steady_baseline;
+  std::vector<WireResult> updated_baseline;
+
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SCOPED_TRACE("engine threads = " + std::to_string(threads));
+
+    // The same seed materializes the scenario twice: Graph is move-only,
+    // so the server's (mutable) copy and the reference copy are rebuilt
+    // deterministically rather than shared.
+    Graph ref_graph = testing::MakeRandomNetwork(kGraphVertices, kGraphSeed);
+    Graph srv_graph = testing::MakeRandomNetwork(kGraphVertices, kGraphSeed);
+    const std::vector<WireQuery> jobs = BuildWireJobs(ref_graph);
+
+    GphiResources ref_resources;
+    ref_resources.graph = &ref_graph;
+    BatchOptions ref_options;
+    ref_options.num_threads = threads;
+    BatchQueryEngine reference(ref_resources, ref_options);
+
+    ExecutorGate gate;
+    GphiResources srv_resources;
+    srv_resources.graph = &srv_graph;
+    ServerConfig config;
+    config.engine_options.num_threads = threads;
+    config.test_execution_gate = gate.AsHook();
+    FannServer server(&srv_graph, srv_resources, std::move(config));
+    std::string error;
+    ASSERT_TRUE(server.Start(&error)) << error;
+
+    FannClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()))
+        << client.last_error();
+
+    // --- steady state: epoch 0, no updates ---------------------------
+    BatchRequest request;
+    request.jobs = jobs;
+    BatchResponse steady;
+    ASSERT_TRUE(client.Batch(request, steady)) << client.last_error();
+    EXPECT_EQ(steady.graph_epoch, 0u);
+    const std::vector<WireResult> steady_reference =
+        RunReference(reference, ref_graph, jobs);
+    ExpectAllBitwiseEqual(steady.results, steady_reference, "steady");
+    if (steady_baseline.empty()) {
+      steady_baseline = steady.results;
+    } else {
+      ExpectAllBitwiseEqual(steady.results, steady_baseline,
+                            "steady vs thread baseline");
+    }
+
+    // --- concurrent UPDATE_WEIGHTS wave ------------------------------
+    // The wave is generated from the pre-update graph (both copies are
+    // identical), sent to the server, and applied to the reference.
+    Rng wave_rng(99);
+    const dynamic::UpdateBatch wave =
+        dynamic::MakeCongestionWave(ref_graph, 0.05, 0.5, 3.0, wave_rng);
+    ASSERT_FALSE(wave.empty());
+
+    // Order deterministically with the gate: the update is dequeued and
+    // held, then the batch is admitted at epoch 0 behind it. FIFO makes
+    // the update apply first, so the batch must be rejected stale.
+    gate.Hold();
+    std::thread updater([&] {
+      FannClient update_client;
+      ASSERT_TRUE(update_client.Connect("127.0.0.1", server.port()))
+          << update_client.last_error();
+      UpdateWeightsRequest update;
+      for (const EdgeWeightUpdate& u : wave.updates()) {
+        update.entries.push_back({u.u, u.v, u.new_weight});
+      }
+      UpdateWeightsResponse response;
+      ASSERT_TRUE(update_client.UpdateWeights(update, response))
+          << update_client.last_error();
+      EXPECT_EQ(response.status, 0);
+      EXPECT_GT(response.applied, 0u);
+      EXPECT_EQ(response.new_epoch, 1u);
+    });
+    gate.AwaitEntered(2);  // steady batch was 1; the update is now held
+
+    BatchResponse stale;
+    std::thread querier([&] {
+      FannClient stale_client;
+      ASSERT_TRUE(stale_client.Connect("127.0.0.1", server.port()))
+          << stale_client.last_error();
+      ASSERT_TRUE(stale_client.Batch(request, stale))
+          << stale_client.last_error();
+    });
+    AwaitQueueDepth(server, 1.0);
+    gate.Release();
+    updater.join();
+    querier.join();
+
+    // Every job admitted at epoch 0 is rejected with the engine's
+    // canonical mid-batch reason — the identical string an in-process
+    // Run() straddling the epoch change reports.
+    EXPECT_EQ(stale.graph_epoch, 1u);
+    ASSERT_EQ(stale.results.size(), jobs.size());
+    const std::string canonical = MidBatchEpochError(0, 1);
+    for (size_t i = 0; i < stale.results.size(); ++i) {
+      EXPECT_EQ(stale.results[i].status,
+                static_cast<uint8_t>(QueryStatus::kRejected))
+          << "stale job " << i;
+      EXPECT_EQ(stale.results[i].error, canonical) << "stale job " << i;
+    }
+    EXPECT_EQ(
+        server.metrics().Snapshot().counter("server.rejected_stale_admission"),
+        1u);
+
+    // --- re-submit under the new epoch -------------------------------
+    BatchResponse updated;
+    ASSERT_TRUE(client.Batch(request, updated)) << client.last_error();
+    EXPECT_EQ(updated.graph_epoch, 1u);
+
+    const dynamic::ApplyResult applied = wave.Apply(ref_graph);
+    EXPECT_GT(applied.applied, 0u);
+    EXPECT_EQ(applied.new_epoch, 1u);
+    const std::vector<WireResult> updated_reference =
+        RunReference(reference, ref_graph, jobs);
+    ExpectAllBitwiseEqual(updated.results, updated_reference, "updated");
+    if (updated_baseline.empty()) {
+      updated_baseline = updated.results;
+    } else {
+      ExpectAllBitwiseEqual(updated.results, updated_baseline,
+                            "updated vs thread baseline");
+    }
+
+    server.RequestShutdown();
+    const DrainStats stats = server.Wait();
+    EXPECT_TRUE(stats.within_deadline);
+  }
+}
+
+}  // namespace
+}  // namespace fannr::net

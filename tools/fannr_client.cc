@@ -1,0 +1,269 @@
+// fannr_client — drive a running fannr_server from the command line.
+//
+//   fannr_client --port N [options] MODE
+//
+// Connection:
+//   --host ADDR        server address               (default 127.0.0.1)
+//   --port N           server port                  (required)
+//
+// Modes (pick one):
+//   --ping N           round-trip N PING frames
+//   --stats            fetch and print the server's stats JSON
+//   --shutdown         request a graceful drain
+//   --smoke            the CI smoke workload: generate a query stream
+//                      against the server's preset and interleave
+//                      UPDATE_WEIGHTS congestion waves; prints a summary
+//                      and exits nonzero unless every frame round-tripped
+//                      and at least one query succeeded
+//
+// Smoke workload shape (client-side generation must match the graph the
+// server loaded — pass the same --preset):
+//   --preset NAME      preset the server was started with (default TEST)
+//   --queries N        queries to send               (default 60)
+//   --update-waves N   congestion waves interleaved  (default 2)
+//   --algorithm ALGO   gd | rlist | ier | exactmax | apxsum (default rlist)
+//   --agg max|sum      aggregate                     (default sum)
+//   --phi F            flexibility                   (default 0.5)
+//   --seed N           workload seed                 (default 1)
+//
+// A query rejected for a stale admission epoch (an update landed between
+// admission and execution) is re-submitted once — exactly the re-submit
+// contract the protocol documents.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dynamic/update.h"
+#include "fann/fannr.h"
+#include "net/client.h"
+
+namespace {
+
+using namespace fannr;
+
+struct Args {
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it != values.end() ? it->second : fallback;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    return it != values.end() ? std::strtod(it->second.c_str(), nullptr)
+                              : fallback;
+  }
+  size_t GetSize(const std::string& key, size_t fallback) const {
+    auto it = values.find(key);
+    return it != values.end()
+               ? std::strtoull(it->second.c_str(), nullptr, 10)
+               : fallback;
+  }
+};
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "fannr_client: %s (run with --help)\n", message);
+  return 2;
+}
+
+std::optional<uint8_t> ParseAlgorithm(const std::string& name) {
+  if (name == "naive") return static_cast<uint8_t>(FannAlgorithm::kNaive);
+  if (name == "gd") return static_cast<uint8_t>(FannAlgorithm::kGd);
+  if (name == "rlist") return static_cast<uint8_t>(FannAlgorithm::kRList);
+  if (name == "ier") return static_cast<uint8_t>(FannAlgorithm::kIer);
+  if (name == "exactmax") {
+    return static_cast<uint8_t>(FannAlgorithm::kExactMax);
+  }
+  if (name == "apxsum") return static_cast<uint8_t>(FannAlgorithm::kApxSum);
+  return std::nullopt;
+}
+
+int RunSmoke(net::FannClient& client, const Args& args) {
+  const std::string preset = args.Get("preset", "TEST");
+  if (!IsPresetName(preset)) return Fail("unknown preset");
+  // The local copy exists only to generate valid vertex ids and edge
+  // endpoints; all answers come from the server.
+  const Graph graph = BuildPreset(preset);
+
+  const size_t num_queries = args.GetSize("queries", 60);
+  const size_t num_waves = args.GetSize("update-waves", 2);
+  const double phi = args.GetDouble("phi", 0.5);
+  const std::optional<uint8_t> algorithm =
+      ParseAlgorithm(args.Get("algorithm", "rlist"));
+  if (!algorithm.has_value()) return Fail("unknown algorithm");
+  const uint8_t aggregate =
+      args.Get("agg", "sum") == "max"
+          ? static_cast<uint8_t>(Aggregate::kMax)
+          : static_cast<uint8_t>(Aggregate::kSum);
+
+  Rng rng(args.GetSize("seed", 1));
+  const std::vector<VertexId> p_ids = GenerateDataPoints(graph, 0.01, rng);
+
+  size_t ok = 0, rejected = 0, timed_out = 0, resubmitted = 0;
+  size_t waves_applied = 0;
+  uint64_t last_epoch = 0;
+  const size_t wave_stride =
+      num_waves > 0 ? std::max<size_t>(1, num_queries / (num_waves + 1)) : 0;
+
+  for (size_t i = 0; i < num_queries; ++i) {
+    if (num_waves > 0 && waves_applied < num_waves && i > 0 &&
+        i % wave_stride == 0) {
+      const dynamic::UpdateBatch wave =
+          dynamic::MakeCongestionWave(graph, 0.05, 0.5, 3.0, rng);
+      net::UpdateWeightsRequest update;
+      for (const EdgeWeightUpdate& u : wave.updates()) {
+        update.entries.push_back({u.u, u.v, u.new_weight});
+      }
+      net::UpdateWeightsResponse applied;
+      if (!client.UpdateWeights(update, applied)) {
+        std::fprintf(stderr, "UPDATE_WEIGHTS failed: %s\n",
+                     client.last_error().c_str());
+        return 1;
+      }
+      if (applied.status != 0) {
+        std::fprintf(stderr, "UPDATE_WEIGHTS rejected: %s\n",
+                     applied.error.c_str());
+        return 1;
+      }
+      ++waves_applied;
+      std::printf("wave %zu: %" PRIu64 " edges updated, epoch %" PRIu64
+                  " -> %" PRIu64 "\n",
+                  waves_applied, applied.applied, applied.old_epoch,
+                  applied.new_epoch);
+    }
+
+    net::WireQuery query;
+    query.algorithm = *algorithm;
+    query.aggregate = aggregate;
+    query.phi = phi;
+    query.p = std::vector<uint32_t>(p_ids.begin(), p_ids.end());
+    const std::vector<VertexId> q_ids =
+        GenerateUniformQueryPoints(graph, 0.25, 16, rng);
+    query.q = std::vector<uint32_t>(q_ids.begin(), q_ids.end());
+
+    net::QueryResponse response;
+    if (!client.Query(query, response)) {
+      std::fprintf(stderr, "QUERY failed: %s\n", client.last_error().c_str());
+      return 1;
+    }
+    if (response.result.status ==
+        static_cast<uint8_t>(QueryStatus::kRejected)) {
+      // Stale-admission rejection: re-submit once per the contract.
+      ++rejected;
+      ++resubmitted;
+      if (!client.Query(query, response)) {
+        std::fprintf(stderr, "re-submitted QUERY failed: %s\n",
+                     client.last_error().c_str());
+        return 1;
+      }
+    }
+    switch (static_cast<QueryStatus>(response.result.status)) {
+      case QueryStatus::kOk:
+        ++ok;
+        break;
+      case QueryStatus::kRejected:
+        ++rejected;
+        std::fprintf(stderr, "query %zu rejected: %s\n", i,
+                     response.result.error.c_str());
+        break;
+      case QueryStatus::kTimedOut:
+        ++timed_out;
+        break;
+    }
+    last_epoch = response.graph_epoch;
+  }
+
+  std::string stats_json;
+  if (!client.Stats(stats_json)) {
+    std::fprintf(stderr, "STATS failed: %s\n", client.last_error().c_str());
+    return 1;
+  }
+  std::printf(
+      "smoke: %zu queries (%zu ok, %zu rejected, %zu timed out, "
+      "%zu re-submitted), %zu/%zu waves, final epoch %" PRIu64 "\n",
+      num_queries, ok, rejected, timed_out, resubmitted, waves_applied,
+      num_waves, last_epoch);
+  std::printf("server stats:\n%s\n", stats_json.c_str());
+
+  if (ok == 0) {
+    std::fprintf(stderr, "smoke failed: no query succeeded\n");
+    return 1;
+  }
+  if (num_waves > 0 && waves_applied != num_waves) {
+    std::fprintf(stderr, "smoke failed: only %zu/%zu waves applied\n",
+                 waves_applied, num_waves);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("see the header of tools/fannr_client.cc for usage\n");
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--stats") == 0 ||
+        std::strcmp(argv[i], "--shutdown") == 0 ||
+        std::strcmp(argv[i], "--smoke") == 0) {
+      args.values[argv[i] + 2] = "1";
+    } else if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+      args.values[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else {
+      return Fail("malformed arguments");
+    }
+  }
+  if (!args.Has("port")) return Fail("--port is required");
+
+  net::FannClient client;
+  if (!client.Connect(args.Get("host", "127.0.0.1"),
+                      static_cast<uint16_t>(args.GetSize("port", 0)))) {
+    std::fprintf(stderr, "connect failed: %s\n", client.last_error().c_str());
+    return 1;
+  }
+
+  if (args.Has("ping")) {
+    const size_t count = args.GetSize("ping", 1);
+    for (size_t i = 0; i < count; ++i) {
+      if (!client.Ping()) {
+        std::fprintf(stderr, "ping failed: %s\n",
+                     client.last_error().c_str());
+        return 1;
+      }
+    }
+    std::printf("%zu ping%s ok\n", count, count == 1 ? "" : "s");
+    return 0;
+  }
+  if (args.Has("stats")) {
+    std::string json;
+    if (!client.Stats(json)) {
+      std::fprintf(stderr, "stats failed: %s\n", client.last_error().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  if (args.Has("shutdown")) {
+    if (!client.Shutdown()) {
+      std::fprintf(stderr, "shutdown failed: %s\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+    std::printf("shutdown acknowledged\n");
+    return 0;
+  }
+  if (args.Has("smoke")) return RunSmoke(client, args);
+  return Fail("pick a mode: --ping N | --stats | --shutdown | --smoke");
+}

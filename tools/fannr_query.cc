@@ -30,6 +30,10 @@
 //                          (worker, phase timings, cache activity) and the
 //                          batch report (k = 1, dispatchable algorithms
 //                          only: gd | rlist | ier | exactmax | apxsum)
+//   --slow-log FILE        with --stats: after the run, dump the engine's
+//                          slow-query log ring as JSON to FILE ("-" =
+//                          stdout). The threshold is 0 here, so the ring
+//                          retains the query regardless of its solve time.
 //
 // Prints the answer triple, the flexible subset, and wall-clock timings.
 
@@ -257,8 +261,28 @@ int main(int argc, char** argv) {
                 obs::FormatTrace(batch_engine.last_traces()[0]).c_str());
     std::printf("--- report ---\n%s",
                 batch_engine.last_report().ToText().c_str());
+    if (args.Has("slow-log")) {
+      const std::string path = args.Get("slow-log", "-");
+      const std::string json = batch_engine.slow_query_log()->DumpJson();
+      if (path == "-") {
+        std::printf("--- slow-query log ---\n%s\n", json.c_str());
+      } else {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "cannot write slow-query log to %s\n",
+                       path.c_str());
+          return 1;
+        }
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+        std::printf("slow-query log written to %s\n", path.c_str());
+      }
+    }
     std::printf("\nsolve time: %.2f ms\n", solve_timer.Millis());
     return 0;
+  }
+  if (args.Has("slow-log")) {
+    return Fail("--slow-log requires --stats");
   }
   if (top_k > 1) {
     std::vector<KFannEntry> entries;
