@@ -32,7 +32,16 @@ REQUIRED_CELL = [
     "qps",
     "cache_hits",
     "cache_misses",
+    "heap_grows",
 ]
+
+# Thread-scaling gate: each engine-nocache step may lose at most 10% qps
+# vs the previous thread count. On a single-core host the curve is flat
+# (so this passes trivially); on multicore it catches a scaling collapse
+# from lock/allocator contention or false sharing. The 0.9 floor leaves
+# room for benchmark noise without letting a real regression through.
+NOCACHE_STEP_FLOOR = 0.9
+NOCACHE_REQUIRED_THREADS = [1, 2, 4, 8]
 REQUIRED_REPORT = [
     "batch_size",
     "rejected",
@@ -113,11 +122,31 @@ def main():
         check(finite_positive(cell["qps"]), f"{label}: qps must be positive")
         check(finite_positive(cell["mean_ms"]),
               f"{label}: mean_ms must be positive")
+        check(isinstance(cell["heap_grows"], int) and cell["heap_grows"] >= 0,
+              f"{label}: heap_grows must be a non-negative integer")
         if not cell["cached"]:
             check(cell["cache_hits"] + cell["cache_misses"] == 0,
                   f"{label}: uncached cell reports cache activity")
-    for expected in ("seq-uncached", "engine-cached", "engine-cached+obs"):
+    for expected in ("seq-uncached", "engine-nocache", "engine-cached",
+                     "engine-cached+obs"):
         check(expected in configs, f"missing cell config '{expected}'")
+
+    # Thread-scaling gate over the engine-nocache ladder.
+    nocache = sorted((c for c in cells
+                      if c.get("config") == "engine-nocache"),
+                     key=lambda c: c["threads"])
+    nocache_threads = [c["threads"] for c in nocache]
+    check(nocache_threads == NOCACHE_REQUIRED_THREADS,
+          f"engine-nocache ladder must cover threads "
+          f"{NOCACHE_REQUIRED_THREADS}, got {nocache_threads}")
+    for prev, cur in zip(nocache, nocache[1:]):
+        if not (finite_positive(prev["qps"]) and finite_positive(cur["qps"])):
+            continue  # already reported above
+        check(cur["qps"] >= NOCACHE_STEP_FLOOR * prev["qps"],
+              f"thread scaling regression: engine-nocache qps drops from "
+              f"{prev['qps']:.1f} (T={prev['threads']}) to "
+              f"{cur['qps']:.1f} (T={cur['threads']}); each step must stay "
+              f">= {NOCACHE_STEP_FLOOR}x the previous")
 
     report = data["report"]
     for key in REQUIRED_REPORT:

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/timer.h"
@@ -197,7 +199,11 @@ std::vector<FannResult> BatchQueryEngine::Run(
     return MidBatchEpochError(admission_epoch, resources_.graph->epoch());
   };
 
-  pool_.ParallelFor(queries.size(), [&](size_t index, size_t worker) {
+  // The per-job solve body, shared by both schedules. A job is solved
+  // entirely by one worker against that worker's engine; results land by
+  // job index. Scheduling therefore only decides WHICH worker runs a job
+  // and in what order — never what the job computes.
+  auto solve_one = [&](size_t index, size_t worker) {
     if (results[index].status == QueryStatus::kRejected) return;
     const FannrQuery& job = queries[index];
     const RTree* p_tree = nullptr;
@@ -333,7 +339,66 @@ std::vector<FannResult> BatchQueryEngine::Run(
     metrics_->Record(m_solve_ms_, trace.solve_ms, worker);
     metrics_->Record(m_dispatch_wait_ms_, trace.dispatch_wait_ms, worker);
     slow_log_->Offer(trace);
-  });
+  };
+
+  if (options_.schedule == BatchSchedule::kDynamic ||
+      pool_.num_workers() <= 1) {
+    pool_.ParallelFor(queries.size(), solve_one);
+  } else {
+    // Locality schedule: group runnable jobs by P-set signature and pin
+    // each group to one worker slot, so queries over the same data set
+    // revisit that worker's warm solver scratch back to back instead of
+    // interleaving unrelated P sets across workers. The construction is
+    // fully deterministic — signatures hash the SORTED member ids (not
+    // pointers), groups are visited in signature order, and ties in the
+    // greedy balance break toward the lowest slot — and results still
+    // land by job index, so the answers are bitwise identical to
+    // kDynamic (tests/batch_schedule_test.cc enforces this).
+    auto p_signature = [](const IndexedVertexSet& p) {
+      std::vector<VertexId> ids(p.members().begin(), p.members().end());
+      std::sort(ids.begin(), ids.end());
+      uint64_t h = 1469598103934665603ull;  // FNV-1a over the sorted ids
+      for (VertexId v : ids) {
+        h ^= static_cast<uint64_t>(v);
+        h *= 1099511628211ull;
+      }
+      return h;
+    };
+    std::unordered_map<const IndexedVertexSet*, uint64_t> sig_of_set;
+    std::map<uint64_t, std::vector<size_t>> groups;  // ordered => stable
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (results[i].status == QueryStatus::kRejected) continue;
+      const IndexedVertexSet* p = queries[i].query.data_points;
+      auto [it, inserted] = sig_of_set.emplace(p, uint64_t{0});
+      if (inserted) it->second = p_signature(*p);
+      groups[it->second].push_back(i);
+    }
+    // Largest groups first (each group's job list is ascending by
+    // construction; ties break on the smallest contained job index),
+    // then greedy least-loaded assignment to worker slots.
+    std::vector<const std::vector<size_t>*> ordered;
+    ordered.reserve(groups.size());
+    for (const auto& [sig, jobs] : groups) ordered.push_back(&jobs);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const std::vector<size_t>* a, const std::vector<size_t>* b) {
+                if (a->size() != b->size()) return a->size() > b->size();
+                return a->front() < b->front();
+              });
+    if (!ordered.empty()) {
+      std::vector<std::vector<size_t>> slots(
+          std::min(pool_.num_workers(), ordered.size()));
+      for (const std::vector<size_t>* jobs : ordered) {
+        size_t target = 0;
+        for (size_t s = 1; s < slots.size(); ++s) {
+          if (slots[s].size() < slots[target].size()) target = s;
+        }
+        slots[target].insert(slots[target].end(), jobs->begin(), jobs->end());
+      }
+      pool_.ParallelFor(slots.size(), [&](size_t slot, size_t worker) {
+        for (size_t index : slots[slot]) solve_one(index, worker);
+      });
+    }
+  }
 
   if (tracing) {
     obs::BatchReport& report = last_report_;

@@ -91,9 +91,28 @@ struct FannrQuery {
   std::optional<double> deadline_ms;
 };
 
+/// How Run() maps jobs onto workers. Either way the output is bitwise
+/// identical (the determinism invariant in the header comment): results
+/// land by job index and each job is solved end to end by one worker, so
+/// scheduling only moves work, never changes it.
+enum class BatchSchedule {
+  /// Workers pull job indices from a shared atomic counter (dynamic load
+  /// balancing; good when query costs vary wildly).
+  kDynamic,
+  /// Jobs are grouped by P-set signature (hash of the sorted data point
+  /// ids) and each group is pinned to one worker slot, so queries sharing
+  /// P land on the same worker and hit that worker's warm solver scratch
+  /// (and cache shard affinity) instead of relying on the shared LRU.
+  /// Slots are balanced greedily by group size, deterministically.
+  kLocality,
+};
+
 struct BatchOptions {
   /// Worker threads (0 = hardware_concurrency).
   size_t num_threads = 1;
+
+  /// Job-to-worker mapping policy; see BatchSchedule.
+  BatchSchedule schedule = BatchSchedule::kDynamic;
 
   /// Which g_phi oracle the workers use. nullopt (default) selects the
   /// Cached-SSSP oracle, which shares settled distances through the

@@ -68,7 +68,7 @@ GphiResult CachedSsspEngine::Evaluate(VertexId p, size_t k,
     q_distances_[i] = (*sssp)[(*query_points_)[i]];
   }
   return internal_gphi::SelectAndFold(*query_points_, q_distances_, k,
-                                      aggregate);
+                                      aggregate, &select_scratch_);
 }
 
 void CachedSsspEngine::PublishMetrics(obs::MetricsRegistry* registry,

@@ -78,6 +78,7 @@ class CachedSsspEngine : public GphiEngine {
   const IndexedVertexSet* query_points_ = nullptr;
   std::vector<Weight> scratch_sssp_;   // miss path without a cache
   std::vector<Weight> q_distances_;    // gather target, |Q| entries
+  internal_gphi::SelectScratch select_scratch_;
   ProbeCounters probes_;
   obs::MetricsRegistry* registry_ = nullptr;  // null = no publication
   MetricHandles handles_;

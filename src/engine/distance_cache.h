@@ -92,7 +92,10 @@ class SourceDistanceCache {
   size_t num_shards() const { return shards_.size(); }
 
  private:
-  struct Shard {
+  // Cache-line aligned: adjacent shards' mutexes and counters must not
+  // share a line, or un-contended locks on different shards still
+  // ping-pong the line between cores (false sharing).
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     // LRU list of sources, most recent at front; map values hold the
     // entry plus its list position for O(1) refresh.

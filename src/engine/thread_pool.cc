@@ -9,6 +9,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
+  worker_slots_ = std::make_unique<WorkerSlot[]>(num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerMain(i); });
@@ -52,8 +53,12 @@ void ThreadPool::ParallelFor(
 }
 
 ThreadPool::Stats ThreadPool::stats() const {
-  return Stats{stat_calls_.load(std::memory_order_relaxed),
-               stat_indices_.load(std::memory_order_relaxed)};
+  uint64_t indices = 0;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    indices +=
+        worker_slots_[i].indices_executed.load(std::memory_order_relaxed);
+  }
+  return Stats{stat_calls_.load(std::memory_order_relaxed), indices};
 }
 
 void ThreadPool::WorkerMain(size_t worker_id) {
@@ -76,7 +81,8 @@ void ThreadPool::WorkerMain(size_t worker_id) {
       if (index >= count) break;
       try {
         (*body)(index, worker_id);
-        stat_indices_.fetch_add(1, std::memory_order_relaxed);
+        worker_slots_[worker_id].indices_executed.fetch_add(
+            1, std::memory_order_relaxed);
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(mu_);

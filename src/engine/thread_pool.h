@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -81,12 +82,21 @@ class ThreadPool {
   size_t count_ = 0;
   uint64_t generation_ = 0;     // bumped per loop so workers see new work
   size_t active_workers_ = 0;   // workers still inside the current loop
-  std::atomic<size_t> next_index_{0};
   std::exception_ptr first_exception_;  // first throw of the current loop
   bool shutdown_ = false;
 
-  std::atomic<uint64_t> stat_calls_{0};
-  std::atomic<uint64_t> stat_indices_{0};
+  // The index counter every worker hammers lives on its own cache line;
+  // each worker's stat counter lives on its own line too. Without the
+  // alignment the relaxed increments false-share one line and the
+  // "dynamic load balancing" counter becomes a cross-core bottleneck.
+  alignas(64) std::atomic<size_t> next_index_{0};
+
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint64_t> indices_executed{0};
+  };
+  std::unique_ptr<WorkerSlot[]> worker_slots_;  // one per worker
+
+  alignas(64) std::atomic<uint64_t> stat_calls_{0};
 };
 
 }  // namespace fannr

@@ -1,11 +1,11 @@
 #include "fann/exact_max.h"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/flat_heap.h"
 #include "sp/incremental_nn.h"
 
 namespace fannr {
@@ -34,7 +34,8 @@ Saturation RunCounters(const FannQuery& query, size_t k) {
 
   // Global queue over list heads: pops occur in nondecreasing distance.
   using Head = std::pair<Weight, uint32_t>;  // (head distance, list index)
-  std::priority_queue<Head, std::vector<Head>, std::greater<>> heads;
+  FlatHeap<Head> heads;
+  heads.reserve(lists.size());
   for (uint32_t i = 0; i < lists.size(); ++i) {
     const auto* head = lists[i].Peek();
     if (head != nullptr) heads.push({head->distance, i});

@@ -43,6 +43,11 @@ FannResult SolveOmp(const Graph& graph,
     return SolveExactMax(query);
   }
 
+  // One reusable search runs every per-query-point SSSP below: the heap
+  // and distance scratch are allocated once, not once per |Q|.
+  DijkstraSearch search(graph);
+  std::vector<Weight> sssp;
+
   FannResult best;
   if (k == m) {
     // Classic sum-OMP: accumulate distance sums over |Q| SSSPs; O(|V|)
@@ -50,10 +55,10 @@ FannResult SolveOmp(const Graph& graph,
     std::vector<Weight> total(n, 0.0);
     std::vector<uint32_t> reached(n, 0);
     for (VertexId q : query_points.members()) {
-      const std::vector<Weight> dist = DijkstraSssp(graph, q);
+      search.SsspInto(q, sssp);
       for (VertexId v = 0; v < n; ++v) {
-        if (dist[v] == kInfWeight) continue;
-        total[v] += dist[v];
+        if (sssp[v] == kInfWeight) continue;
+        total[v] += sssp[v];
         ++reached[v];
       }
     }
@@ -78,7 +83,8 @@ FannResult SolveOmp(const Graph& graph,
   std::vector<std::vector<Weight>> dist;
   dist.reserve(m);
   for (VertexId q : query_points.members()) {
-    dist.push_back(DijkstraSssp(graph, q));
+    search.SsspInto(q, sssp);
+    dist.push_back(sssp);
   }
   std::vector<Weight> scratch(m);
   for (VertexId v = 0; v < n; ++v) {

@@ -1,7 +1,6 @@
 #include "fann/gphi.h"
 
 #include <algorithm>
-#include <numeric>
 
 namespace fannr {
 
@@ -31,37 +30,50 @@ namespace internal_gphi {
 
 GphiResult SelectAndFold(const IndexedVertexSet& query_points,
                          const std::vector<Weight>& distances, size_t k,
-                         Aggregate aggregate) {
+                         Aggregate aggregate, SelectScratch* scratch) {
   FANNR_CHECK(distances.size() == query_points.size());
   GphiResult result;
+  SelectScratch local;
+  SelectScratch& s = scratch != nullptr ? *scratch : local;
+
+  // Pack (distance, id) records contiguously; the selection below then
+  // works on one flat array instead of permuting indexes into two.
+  s.entries.resize(distances.size());
+  for (size_t i = 0; i < distances.size(); ++i) {
+    s.entries[i] = {distances[i], query_points[i]};
+  }
   // Canonical order: (distance, query point id). The id tie-break makes
   // the selected subset — and thus every solver built on top of this
   // fold — independent of Q's iteration order.
-  auto canonical = [&](uint32_t a, uint32_t b) {
-    return distances[a] != distances[b] ? distances[a] < distances[b]
-                                        : query_points[a] < query_points[b];
+  auto canonical = [](const SelectScratch::Entry& a,
+                      const SelectScratch::Entry& b) {
+    return a.distance != b.distance ? a.distance < b.distance
+                                    : a.vertex < b.vertex;
   };
-  std::vector<uint32_t> order(distances.size());
-  std::iota(order.begin(), order.end(), 0u);
-  if (k < order.size()) {
-    std::nth_element(order.begin(), order.begin() + k, order.end(),
-                     canonical);
-    order.resize(k);
+  const size_t take = std::min(k, s.entries.size());
+  if (take < s.entries.size()) {
+    std::nth_element(s.entries.begin(), s.entries.begin() + take,
+                     s.entries.end(), canonical);
   }
-  std::sort(order.begin(), order.end(), canonical);
+  std::sort(s.entries.begin(), s.entries.begin() + take, canonical);
 
-  std::vector<Weight> nearest;
-  nearest.reserve(order.size());
-  for (uint32_t idx : order) {
-    if (distances[idx] == kInfWeight) break;
-    nearest.push_back(distances[idx]);
-    result.subset.push_back(query_points[idx]);
+  // Branchless count of the reachable prefix (kInfWeight sorts last, so
+  // the finite entries are exactly a prefix of the sorted range).
+  size_t finite = 0;
+  for (size_t i = 0; i < take; ++i) {
+    finite += s.entries[i].distance < kInfWeight ? 1 : 0;
   }
-  if (nearest.size() < k) {
+  s.nearest.resize(finite);
+  result.subset.resize(finite);
+  for (size_t i = 0; i < finite; ++i) {
+    s.nearest[i] = s.entries[i].distance;
+    result.subset[i] = s.entries[i].vertex;
+  }
+  if (finite < k) {
     result.distance = kInfWeight;  // fewer than k reachable
     return result;
   }
-  result.distance = FoldSorted(nearest.data(), nearest.size(), aggregate);
+  result.distance = FoldSorted(s.nearest.data(), finite, aggregate);
   return result;
 }
 

@@ -105,11 +105,29 @@ std::unique_ptr<GphiEngine> MakeGphiEngine(GphiKind kind,
 
 namespace internal_gphi {
 
+/// Reusable scratch for SelectAndFold. Engines that evaluate many
+/// candidates hold one of these so the per-candidate selection runs
+/// allocation-free after the first call.
+struct SelectScratch {
+  /// Contiguous (distance, id) records: the selection sorts these
+  /// directly instead of permuting an index array, so the comparator
+  /// touches one flat array instead of gathering from two.
+  struct Entry {
+    Weight distance;
+    VertexId vertex;
+  };
+  std::vector<Entry> entries;
+  std::vector<Weight> nearest;  // the k selected distances, contiguous
+};
+
 /// Shared helper: given the distances from p to every member of Q
-/// (aligned with query_points.members()), selects the k nearest and folds.
+/// (aligned with query_points.members()), selects the k nearest and
+/// folds. `scratch` may be null (a local scratch is used); passing an
+/// engine-owned scratch makes repeat calls allocation-free.
 GphiResult SelectAndFold(const IndexedVertexSet& query_points,
                          const std::vector<Weight>& distances, size_t k,
-                         Aggregate aggregate);
+                         Aggregate aggregate,
+                         SelectScratch* scratch = nullptr);
 
 }  // namespace internal_gphi
 

@@ -67,7 +67,7 @@ class PointToPointEngine : public GphiEngine {
       distances_[i] = oracle_((*query_points_)[i], p);
     }
     return internal_gphi::SelectAndFold(*query_points_, distances_, k,
-                                        aggregate);
+                                        aggregate, &select_scratch_);
   }
 
   std::string_view name() const override { return name_; }
@@ -77,6 +77,7 @@ class PointToPointEngine : public GphiEngine {
   std::string_view name_;
   const IndexedVertexSet* query_points_ = nullptr;
   std::vector<Weight> distances_;
+  internal_gphi::SelectScratch select_scratch_;
 };
 
 template <typename Oracle>

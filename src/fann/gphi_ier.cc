@@ -14,8 +14,8 @@
 
 #include <algorithm>
 #include <optional>
-#include <queue>
 
+#include "common/flat_heap.h"
 #include "fann/gphi.h"
 #include "sp/astar.h"
 #include "spatial/rtree.h"
@@ -24,12 +24,19 @@ namespace fannr {
 
 namespace {
 
-// Max-heap entry holding one verified candidate.
+// Max-heap entry holding one verified candidate. The heap orders by the
+// canonical (distance, vertex id) total order, inverted so top() is the
+// worst kept candidate — the same convention as kfann.cc's TopK.
 struct Verified {
   Weight network_distance;
   VertexId vertex;
-  bool operator<(const Verified& o) const {
-    return network_distance < o.network_distance;
+};
+struct VerifiedInverted {
+  bool operator()(const Verified& a, const Verified& b) const {
+    if (a.network_distance != b.network_distance) {
+      return a.network_distance > b.network_distance;
+    }
+    return a.vertex > b.vertex;
   }
 };
 
@@ -58,8 +65,10 @@ class IerEngine : public GphiEngine {
     FANNR_CHECK(query_points_ != nullptr);
     auto verifier = factory_(p);
     auto nn = q_tree_.NearestNeighbors(graph_.Coord(p));
-    // Max-heap of the k best verified network distances so far.
-    std::priority_queue<Verified> best;
+    // Max-heap of the k best verified network distances so far; persists
+    // across Evaluate calls so repeat candidates run allocation-free.
+    FlatHeap<Verified, VerifiedInverted>& best = best_;
+    best.clear();
     while (true) {
       const double next_euclid = nn.PeekDistance();
       if (best.size() == k &&
@@ -105,6 +114,7 @@ class IerEngine : public GphiEngine {
   std::string_view name_;
   const IndexedVertexSet* query_points_ = nullptr;
   RTree q_tree_;
+  FlatHeap<Verified, VerifiedInverted> best_;
 };
 
 template <typename VerifierFactory>

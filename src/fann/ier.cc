@@ -1,7 +1,8 @@
 #include "fann/ier.h"
 
 #include <algorithm>
-#include <queue>
+
+#include "common/flat_heap.h"
 
 namespace fannr {
 
@@ -89,9 +90,13 @@ FannResult SolveIer(const FannQuery& query, GphiEngine& engine,
     bool is_point;
     RTree::NodeId node;
     VertexId vertex;
-    bool operator>(const Entry& o) const { return bound > o.bound; }
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  struct BoundLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.bound < b.bound;
+    }
+  };
+  FlatHeap<Entry, BoundLess> heap;
   heap.push({bound_of_mbr(p_tree.NodeMbr(p_tree.Root())), false,
              p_tree.Root(), kInvalidVertex});
 

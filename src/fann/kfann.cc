@@ -1,10 +1,10 @@
 #include "fann/kfann.h"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/flat_heap.h"
 #include "fann/ier.h"
 #include "sp/incremental_nn.h"
 
@@ -57,14 +57,15 @@ class TopK {
     return a.distance != b.distance ? a.distance < b.distance
                                     : a.vertex < b.vertex;
   }
-  struct ByDistanceThenId {
+  // FlatHeap is a min-heap on its comparator; inverting the canonical
+  // order puts the WORST collected entry at top(), i.e. a max-heap.
+  struct ByDistanceThenIdInverted {
     bool operator()(const KFannEntry& a, const KFannEntry& b) const {
-      return Less(a, b);
+      return Less(b, a);
     }
   };
   size_t capacity_;
-  std::priority_queue<KFannEntry, std::vector<KFannEntry>, ByDistanceThenId>
-      heap_;
+  FlatHeap<KFannEntry, ByDistanceThenIdInverted> heap_;
 };
 
 }  // namespace
@@ -171,9 +172,13 @@ std::vector<KFannEntry> SolveKIer(const FannQuery& query, size_t k_results,
     bool is_point;
     RTree::NodeId node;
     VertexId vertex;
-    bool operator>(const Entry& o) const { return bound > o.bound; }
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  struct BoundLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.bound < b.bound;
+    }
+  };
+  FlatHeap<Entry, BoundLess> heap;
   heap.push({EuclidGphiBound(q_points, p_tree.NodeMbr(p_tree.Root()), k,
                              query.aggregate),
              false, p_tree.Root(), kInvalidVertex});
@@ -221,7 +226,8 @@ std::vector<KFannEntry> SolveKExactMax(const FannQuery& query,
   }
 
   using Head = std::pair<Weight, uint32_t>;
-  std::priority_queue<Head, std::vector<Head>, std::greater<>> heads;
+  FlatHeap<Head> heads;
+  heads.reserve(lists.size());
   for (uint32_t i = 0; i < lists.size(); ++i) {
     const auto* head = lists[i].Peek();
     if (head != nullptr) heads.push({head->distance, i});

@@ -144,7 +144,9 @@ class MetricsRegistry {
   };
   struct GaugeMetric {
     std::string name;
-    std::atomic<double> value{0.0};
+    // Same one-line-per-writer rule as the sharded slots: gauges are
+    // unsharded, so keep the atomic off the neighboring metric's line.
+    alignas(64) std::atomic<double> value{0.0};
   };
   struct HistogramMetric {
     std::string name;

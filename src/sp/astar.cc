@@ -1,6 +1,5 @@
 #include "sp/astar.h"
 
-#include <queue>
 #include <utility>
 
 namespace fannr {
@@ -23,20 +22,12 @@ Weight AStarSearch::Distance(VertexId source, VertexId target) {
     return EuclideanDistance(graph_.Coord(v), goal);
   };
 
-  // Min-heap over f = g + h; g rides along to detect stale entries.
-  struct HeapEntry {
-    Weight f;
-    Weight g;
-    VertexId vertex;
-    bool operator>(const HeapEntry& o) const { return f > o.f; }
-  };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      heap;
+  heap_.clear();
   dist_.Set(source, 0.0);
-  heap.push({heuristic(source), 0.0, source});
-  while (!heap.empty()) {
-    auto [f, g, u] = heap.top();
-    heap.pop();
+  heap_.push({heuristic(source), 0.0, source});
+  while (!heap_.empty()) {
+    auto [f, g, u] = heap_.top();
+    heap_.pop();
     if (g > dist_.Get(u)) continue;  // stale
     ++last_settled_count_;
     if (u == target) return g;
@@ -44,7 +35,7 @@ Weight AStarSearch::Distance(VertexId source, VertexId target) {
       const Weight ng = g + a.weight;
       if (ng < dist_.Get(a.to)) {
         dist_.Set(a.to, ng);
-        heap.push({ng + heuristic(a.to), ng, a.to});
+        heap_.push({ng + heuristic(a.to), ng, a.to});
       }
     }
   }

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/flat_heap.h"
 #include "common/timestamped.h"
 #include "graph/graph.h"
 
@@ -30,8 +31,21 @@ class AStarSearch {
   size_t last_settled_count() const { return last_settled_count_; }
 
  private:
+  // Min-heap over f = g + h; g rides along to detect stale entries.
+  struct HeapEntry {
+    Weight f;
+    Weight g;
+    VertexId vertex;
+  };
+  struct FLess {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return a.f < b.f;
+    }
+  };
+
   const Graph& graph_;
   TimestampedArray<Weight> dist_;
+  FlatHeap<HeapEntry, FLess> heap_;
   size_t last_settled_count_ = 0;
 };
 

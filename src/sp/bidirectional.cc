@@ -1,7 +1,6 @@
 #include "sp/bidirectional.h"
 
 #include <algorithm>
-#include <queue>
 #include <utility>
 
 namespace fannr {
@@ -18,10 +17,11 @@ Weight BidirectionalSearch::Distance(VertexId source, VertexId target) {
   dist_forward_.NewEpoch();
   dist_backward_.NewEpoch();
 
-  using HeapEntry = std::pair<Weight, VertexId>;
-  using MinHeap =
-      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
-  MinHeap forward, backward;
+  using MinHeap = FlatHeap<std::pair<Weight, VertexId>>;
+  MinHeap& forward = forward_heap_;
+  MinHeap& backward = backward_heap_;
+  forward.clear();
+  backward.clear();
   dist_forward_.Set(source, 0.0);
   dist_backward_.Set(target, 0.0);
   forward.push({0.0, source});

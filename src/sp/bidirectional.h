@@ -6,6 +6,9 @@
 #ifndef FANNR_SP_BIDIRECTIONAL_H_
 #define FANNR_SP_BIDIRECTIONAL_H_
 
+#include <utility>
+
+#include "common/flat_heap.h"
 #include "common/timestamped.h"
 #include "graph/graph.h"
 
@@ -24,6 +27,8 @@ class BidirectionalSearch {
   const Graph& graph_;
   TimestampedArray<Weight> dist_forward_;
   TimestampedArray<Weight> dist_backward_;
+  FlatHeap<std::pair<Weight, VertexId>> forward_heap_;
+  FlatHeap<std::pair<Weight, VertexId>> backward_heap_;
 };
 
 }  // namespace fannr

@@ -1,10 +1,10 @@
 #include "sp/ch/contraction_hierarchy.h"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 #include <utility>
 
+#include "common/flat_heap.h"
 #include "graph/index_io.h"
 
 namespace fannr {
@@ -12,8 +12,7 @@ namespace fannr {
 namespace {
 
 using HeapEntry = std::pair<Weight, VertexId>;
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+using MinHeap = FlatHeap<HeapEntry>;
 
 // Mutable adjacency during contraction: per-vertex map neighbor -> weight
 // (keeping the minimum weight per neighbor pair).
@@ -36,13 +35,13 @@ class WitnessSearch {
   // not proven <= limit).
   void Run(VertexId source, VertexId excluded, Weight limit) {
     dist_.NewEpoch();
-    MinHeap heap;
+    heap_.clear();
     dist_.Set(source, 0.0);
-    heap.push({0.0, source});
+    heap_.push({0.0, source});
     size_t settled = 0;
-    while (!heap.empty() && settled < settle_limit_) {
-      auto [d, u] = heap.top();
-      heap.pop();
+    while (!heap_.empty() && settled < settle_limit_) {
+      auto [d, u] = heap_.top();
+      heap_.pop();
       if (d > dist_.Get(u)) continue;
       if (d > limit) break;
       ++settled;
@@ -51,7 +50,7 @@ class WitnessSearch {
         const Weight nd = d + w;
         if (nd < dist_.Get(v)) {
           dist_.Set(v, nd);
-          heap.push({nd, v});
+          heap_.push({nd, v});
         }
       }
     }
@@ -64,6 +63,7 @@ class WitnessSearch {
   const std::vector<bool>& contracted_;
   size_t settle_limit_;
   TimestampedArray<Weight> dist_;
+  MinHeap heap_;  // persists across the O(n) Run calls of one build
 };
 
 // Shortcuts needed to contract `v` right now.
@@ -140,7 +140,8 @@ ContractionHierarchy ContractionHierarchy::Build(const Graph& graph,
 
   // Lazy priority queue of (priority, vertex).
   using PqEntry = std::pair<double, VertexId>;
-  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<>> pq;
+  FlatHeap<PqEntry> pq;
+  pq.reserve(n);
   for (VertexId v = 0; v < n; ++v) {
     const auto shortcuts = SimulateContraction(adj, contracted, witness, v);
     pq.push({priority(v, shortcuts.size()), v});
@@ -211,7 +212,8 @@ ContractionHierarchy ContractionHierarchy::Build(const Graph& graph,
 }
 
 Weight ContractionHierarchy::Distance(VertexId u, VertexId v) const {
-  return BidirUpwardSearch(*this, u, v, dist_forward_, dist_backward_);
+  return BidirUpwardSearch(*this, u, v, dist_forward_, dist_backward_,
+                           heap_forward_, heap_backward_);
 }
 
 ContractionHierarchy::Search::Search(const ContractionHierarchy& ch)
@@ -220,12 +222,15 @@ ContractionHierarchy::Search::Search(const ContractionHierarchy& ch)
       dist_backward_(ch.up_offsets_.size() - 1, kInfWeight) {}
 
 Weight ContractionHierarchy::Search::Distance(VertexId u, VertexId v) {
-  return BidirUpwardSearch(*ch_, u, v, dist_forward_, dist_backward_);
+  return BidirUpwardSearch(*ch_, u, v, dist_forward_, dist_backward_,
+                           heap_forward_, heap_backward_);
 }
 
 Weight ContractionHierarchy::BidirUpwardSearch(
     const ContractionHierarchy& ch, VertexId u, VertexId v,
-    TimestampedArray<Weight>& forward, TimestampedArray<Weight>& backward) {
+    TimestampedArray<Weight>& forward, TimestampedArray<Weight>& backward,
+    FlatHeap<std::pair<Weight, VertexId>>& forward_heap,
+    FlatHeap<std::pair<Weight, VertexId>>& backward_heap) {
   FANNR_CHECK(u + 1 < ch.up_offsets_.size() &&
               v + 1 < ch.up_offsets_.size());
   if (u == v) return 0.0;
@@ -239,8 +244,8 @@ Weight ContractionHierarchy::BidirUpwardSearch(
 
   Weight best = kInfWeight;
   auto run = [&](VertexId source, TimestampedArray<Weight>& mine,
-                 TimestampedArray<Weight>& other) {
-    MinHeap heap;
+                 TimestampedArray<Weight>& other, MinHeap& heap) {
+    heap.clear();
     mine.Set(source, 0.0);
     heap.push({0.0, source});
     while (!heap.empty()) {
@@ -258,8 +263,8 @@ Weight ContractionHierarchy::BidirUpwardSearch(
       }
     }
   };
-  run(u, forward, backward);
-  run(v, backward, forward);
+  run(u, forward, backward, forward_heap);
+  run(v, backward, forward, backward_heap);
   return best;
 }
 

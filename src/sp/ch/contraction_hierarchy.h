@@ -14,8 +14,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "common/flat_heap.h"
 #include "common/timestamped.h"
 #include "graph/graph.h"
 
@@ -50,6 +52,8 @@ class ContractionHierarchy {
     const ContractionHierarchy* ch_;
     TimestampedArray<Weight> dist_forward_;
     TimestampedArray<Weight> dist_backward_;
+    FlatHeap<std::pair<Weight, VertexId>> heap_forward_;
+    FlatHeap<std::pair<Weight, VertexId>> heap_backward_;
   };
 
   static ContractionHierarchy Build(const Graph& graph) {
@@ -106,17 +110,20 @@ class ContractionHierarchy {
   GraphEpoch build_epoch_ = 0;
 
   // The bidirectional upward search shared by Search::Distance and the
-  // convenience Distance(); the scratch arrays are passed in by the
-  // caller.
-  static Weight BidirUpwardSearch(const ContractionHierarchy& ch,
-                                  VertexId u, VertexId v,
-                                  TimestampedArray<Weight>& forward,
-                                  TimestampedArray<Weight>& backward);
+  // convenience Distance(); the scratch arrays and frontiers are passed
+  // in by the caller so repeat queries reuse their grown storage.
+  static Weight BidirUpwardSearch(
+      const ContractionHierarchy& ch, VertexId u, VertexId v,
+      TimestampedArray<Weight>& forward, TimestampedArray<Weight>& backward,
+      FlatHeap<std::pair<Weight, VertexId>>& forward_heap,
+      FlatHeap<std::pair<Weight, VertexId>>& backward_heap);
 
   // Scratch of the convenience Distance(); the reason that method is not
   // thread-safe.
   mutable TimestampedArray<Weight> dist_forward_;
   mutable TimestampedArray<Weight> dist_backward_;
+  mutable FlatHeap<std::pair<Weight, VertexId>> heap_forward_;
+  mutable FlatHeap<std::pair<Weight, VertexId>> heap_backward_;
 };
 
 }  // namespace fannr

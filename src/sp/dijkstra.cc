@@ -1,18 +1,19 @@
 #include "sp/dijkstra.h"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 #include <utility>
+
+#include "common/flat_heap.h"
 
 namespace fannr {
 
 namespace {
 
-// Min-heap entry: (distance, vertex), ordered by distance.
+// Min-heap entry: (distance, vertex), ordered by distance with vertex id
+// as the tiebreaker (lexicographic pair comparison).
 using HeapEntry = std::pair<Weight, VertexId>;
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+using MinHeap = FlatHeap<HeapEntry>;
 
 }  // namespace
 
@@ -108,19 +109,19 @@ Weight DijkstraSearch::Distance(VertexId source, VertexId target) {
               target < graph_.NumVertices());
   if (source == target) return 0.0;
   dist_.NewEpoch();
-  MinHeap heap;
+  heap_.clear();
   dist_.Set(source, 0.0);
-  heap.push({0.0, source});
-  while (!heap.empty()) {
-    auto [d, u] = heap.top();
-    heap.pop();
+  heap_.push({0.0, source});
+  while (!heap_.empty()) {
+    auto [d, u] = heap_.top();
+    heap_.pop();
     if (d > dist_.Get(u)) continue;
     if (u == target) return d;
     for (const Arc& a : graph_.Neighbors(u)) {
       const Weight nd = d + a.weight;
       if (nd < dist_.Get(a.to)) {
         dist_.Set(a.to, nd);
-        heap.push({nd, a.to});
+        heap_.push({nd, a.to});
       }
     }
   }
@@ -129,25 +130,24 @@ Weight DijkstraSearch::Distance(VertexId source, VertexId target) {
 
 void DijkstraSearch::SsspInto(VertexId source, std::vector<Weight>& out) {
   FANNR_CHECK(source < graph_.NumVertices());
-  dist_.NewEpoch();
-  MinHeap heap;
-  dist_.Set(source, 0.0);
-  heap.push({0.0, source});
-  while (!heap.empty()) {
-    auto [d, u] = heap.top();
-    heap.pop();
-    if (d > dist_.Get(u)) continue;
+  // A full SSSP writes every vertex, so `out` itself serves as the
+  // distance array — no TimestampedArray indirection and no copy-out
+  // pass. assign() on an already-|V|-sized vector reuses its storage.
+  out.assign(graph_.NumVertices(), kInfWeight);
+  heap_.clear();
+  out[source] = 0.0;
+  heap_.push({0.0, source});
+  while (!heap_.empty()) {
+    auto [d, u] = heap_.top();
+    heap_.pop();
+    if (d > out[u]) continue;
     for (const Arc& a : graph_.Neighbors(u)) {
       const Weight nd = d + a.weight;
-      if (nd < dist_.Get(a.to)) {
-        dist_.Set(a.to, nd);
-        heap.push({nd, a.to});
+      if (nd < out[a.to]) {
+        out[a.to] = nd;
+        heap_.push({nd, a.to});
       }
     }
-  }
-  out.resize(graph_.NumVertices());
-  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
-    out[v] = dist_.Get(v);
   }
 }
 
@@ -165,12 +165,12 @@ std::vector<Weight> DijkstraSearch::Distances(
       ++remaining;
     }
   }
-  MinHeap heap;
+  heap_.clear();
   dist_.Set(source, 0.0);
-  heap.push({0.0, source});
-  while (!heap.empty() && remaining > 0) {
-    auto [d, u] = heap.top();
-    heap.pop();
+  heap_.push({0.0, source});
+  while (!heap_.empty() && remaining > 0) {
+    auto [d, u] = heap_.top();
+    heap_.pop();
     if (d > dist_.Get(u)) continue;
     if (settled_.Get(u) == 1) {
       settled_.Set(u, 2);  // 2 = "settled target"
@@ -180,7 +180,7 @@ std::vector<Weight> DijkstraSearch::Distances(
       const Weight nd = d + a.weight;
       if (nd < dist_.Get(a.to)) {
         dist_.Set(a.to, nd);
-        heap.push({nd, a.to});
+        heap_.push({nd, a.to});
       }
     }
   }

@@ -6,8 +6,10 @@
 #ifndef FANNR_SP_DIJKSTRA_H_
 #define FANNR_SP_DIJKSTRA_H_
 
+#include <utility>
 #include <vector>
 
+#include "common/flat_heap.h"
 #include "common/timestamped.h"
 #include "graph/graph.h"
 
@@ -61,6 +63,9 @@ class DijkstraSearch {
   const Graph& graph_;
   TimestampedArray<Weight> dist_;
   TimestampedArray<uint8_t> settled_;
+  // Persistent frontier: clear() keeps capacity, so steady-state queries
+  // run with zero heap allocations.
+  FlatHeap<std::pair<Weight, VertexId>> heap_;
 };
 
 }  // namespace fannr

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <functional>
 #include <numeric>
-#include <queue>
 #include <unordered_map>
 #include <utility>
 
+#include "common/flat_heap.h"
 #include "graph/index_io.h"
 #include "sp/gtree/partition.h"
 
@@ -15,8 +15,7 @@ namespace fannr {
 namespace {
 
 using HeapEntry = std::pair<Weight, uint32_t>;
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+using MinHeap = FlatHeap<HeapEntry>;
 
 }  // namespace
 

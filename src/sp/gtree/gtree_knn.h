@@ -10,10 +10,10 @@
 #define FANNR_SP_GTREE_GTREE_KNN_H_
 
 #include <optional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_heap.h"
 #include "graph/vertex_set.h"
 #include "sp/gtree/gtree.h"
 
@@ -55,11 +55,15 @@ class GTreeKnn {
       bool is_object;
       VertexId vertex;  // valid when is_object
       int32_t node;     // valid when !is_object
-      bool operator>(const Entry& o) const { return key > o.key; }
+    };
+    struct KeyLess {
+      bool operator()(const Entry& a, const Entry& b) const {
+        return a.key < b.key;
+      }
     };
 
     const GTreeKnn& owner_;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    FlatHeap<Entry, KeyLess> heap_;
     // Exact distances from the source to each entered node's occupants.
     std::unordered_map<int32_t, std::vector<Weight>> occ_dist_;
   };

@@ -20,10 +20,10 @@
 #define FANNR_SP_INCREMENTAL_NN_H_
 
 #include <optional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_heap.h"
 #include "graph/graph.h"
 #include "graph/vertex_set.h"
 
@@ -66,14 +66,17 @@ class IncrementalNnSearch {
   struct HeapEntry {
     Weight dist;
     VertexId vertex;
-    bool operator>(const HeapEntry& o) const { return dist > o.dist; }
+  };
+  struct DistLess {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return a.dist < b.dist;
+    }
   };
 
   const Graph& graph_;
   const IndexedVertexSet& targets_;
   VertexId source_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      frontier_;
+  FlatHeap<HeapEntry, DistLess> frontier_;
   std::unordered_map<VertexId, Weight> dist_;
   std::optional<Hit> buffered_;
   size_t settled_count_ = 0;

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
-#include <queue>
 
+#include "common/flat_heap.h"
 #include "common/rng.h"
 #include "graph/index_io.h"
 #include "sp/dijkstra.h"
@@ -77,8 +77,7 @@ std::optional<HubLabels> HubLabels::Build(const Graph& graph,
   std::vector<Weight> root_hub_dist(n, kInfWeight);
 
   using HeapEntry = std::pair<Weight, VertexId>;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      heap;
+  FlatHeap<HeapEntry> heap;  // drained every rank; capacity persists
 
   for (uint32_t rank = 0; rank < n; ++rank) {
     const VertexId root = order[rank];

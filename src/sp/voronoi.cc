@@ -1,9 +1,9 @@
 #include "sp/voronoi.h"
 
-#include <queue>
 #include <utility>
 
 #include "common/check.h"
+#include "common/flat_heap.h"
 
 namespace fannr {
 
@@ -15,8 +15,8 @@ NetworkVoronoi::NetworkVoronoi(const Graph& graph,
   dist_.assign(n, kInfWeight);
 
   using HeapEntry = std::pair<Weight, VertexId>;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      heap;
+  FlatHeap<HeapEntry> heap;
+  heap.reserve(sites.size());
   for (VertexId s : sites.members()) {
     dist_[s] = 0.0;
     site_[s] = s;

@@ -16,10 +16,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <queue>
 #include <span>
 #include <vector>
 
+#include "common/flat_heap.h"
 #include "geo/mbr.h"
 #include "geo/point.h"
 
@@ -123,12 +123,16 @@ class RTree {
       bool is_item;
       NodeId node;   // valid when !is_item
       Item item;     // valid when is_item
-      bool operator>(const Entry& o) const { return distance > o.distance; }
+    };
+    struct DistanceLess {
+      bool operator()(const Entry& a, const Entry& b) const {
+        return a.distance < b.distance;
+      }
     };
 
     const RTree& tree_;
     Point query_;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    FlatHeap<Entry, DistanceLess> heap_;
   };
 
   /// Starts incremental NN iteration from `query`.
