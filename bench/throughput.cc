@@ -44,11 +44,16 @@ struct Cell {
   double mean_ms = 0.0;
   size_t cache_hits = 0;
   size_t cache_misses = 0;
-  // FlatHeap regrowths across ALL timed repetitions of the cell,
-  // including each repetition's cold first batch (fresh engine per rep).
-  // The steady-state claim "allocation-free after warmup" shows up here
-  // as this number staying flat when the batch size grows.
+  // FlatHeap regrowths across ALL timed repetitions of the cell, split
+  // by phase. Construction (engine + prewarm) is where all growth is
+  // allowed to happen; the solve phase must never regrow a heap —
+  // workers reserve their worst case up front
+  // (BatchOptions::prewarm_scratch), so heap_grows_solve is exactly 0
+  // for every (threads, schedule) configuration, which the CI gate
+  // asserts. heap_grows keeps the legacy total for trend tracking.
   uint64_t heap_grows = 0;
+  uint64_t heap_grows_construct = 0;
+  uint64_t heap_grows_solve = 0;
   std::string report_json;  // last run's BatchReport (observed cells only)
 };
 
@@ -87,6 +92,53 @@ BatchWorkload MakeBatch(const Graph& graph, size_t batch_size) {
   return w;
 }
 
+// Observability overhead, measured pairwise: each repetition runs the
+// plain engine and the observed engine back to back (fresh engines, cold
+// caches, same jobs), then the medians of the two per-rep series are
+// compared. Interleaving keeps both sides under the same ambient load,
+// and medians shrug off scheduler outliers — comparing the means of two
+// cells run minutes apart (the old method) had a noise floor bigger
+// than the overhead itself on busy single-core hosts.
+struct ObsOverhead {
+  double plain_median_ms = 0.0;
+  double obs_median_ms = 0.0;
+  double percent = 0.0;
+};
+
+double Median(std::vector<double> values) {
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+ObsOverhead MeasureObsOverhead(const GphiResources& resources,
+                               const std::vector<FannrQuery>& jobs,
+                               size_t threads, size_t reps) {
+  BatchOptions options;
+  options.num_threads = threads;
+  options.share_distance_cache = true;
+  options.cache_capacity = 4096;
+  std::vector<double> plain_ms, obs_ms;
+  plain_ms.reserve(reps);
+  obs_ms.reserve(reps);
+  for (size_t rep = 0; rep < reps; ++rep) {
+    for (const bool observed : {false, true}) {
+      options.enable_metrics = observed;
+      BatchQueryEngine engine(resources, options);
+      Timer t;
+      engine.Run(jobs);
+      (observed ? obs_ms : plain_ms).push_back(t.Millis());
+    }
+  }
+  ObsOverhead overhead;
+  overhead.plain_median_ms = Median(std::move(plain_ms));
+  overhead.obs_median_ms = Median(std::move(obs_ms));
+  overhead.percent = 100.0 *
+                     (overhead.obs_median_ms - overhead.plain_median_ms) /
+                     overhead.plain_median_ms;
+  return overhead;
+}
+
 Cell TimeConfig(const std::string& label, const GphiResources& resources,
                 const std::vector<FannrQuery>& jobs, size_t threads,
                 bool cached, size_t reps, bool observed = false,
@@ -105,22 +157,25 @@ Cell TimeConfig(const std::string& label, const GphiResources& resources,
   cell.observed = observed;
   double total_ms = 0.0;
   size_t runs = 0;
-  const uint64_t grows_before = FlatHeapAllocStats().grows;
   for (size_t rep = 0; rep < reps; ++rep) {
     // Fresh engine per repetition: each timed run starts with a cold
     // cache, so cached cells measure within-batch reuse, not leftover
     // state from a previous repetition.
+    const uint64_t grows_start = FlatHeapAllocStats().grows;
     BatchQueryEngine engine(resources, options);
+    const uint64_t grows_constructed = FlatHeapAllocStats().grows;
     Timer t;
     engine.Run(jobs);
     total_ms += t.Millis();
     ++runs;
+    cell.heap_grows_construct += grows_constructed - grows_start;
+    cell.heap_grows_solve += FlatHeapAllocStats().grows - grows_constructed;
     const auto stats = engine.cache_stats();
     cell.cache_hits = stats.hits;
     cell.cache_misses = stats.misses;
     if (observed) cell.report_json = engine.last_report().ToJson(2);
   }
-  cell.heap_grows = FlatHeapAllocStats().grows - grows_before;
+  cell.heap_grows = cell.heap_grows_construct + cell.heap_grows_solve;
   cell.mean_ms = total_ms / static_cast<double>(runs);
   cell.qps = 1000.0 * static_cast<double>(jobs.size()) / cell.mean_ms;
   return cell;
@@ -141,8 +196,9 @@ int Main() {
   std::printf("Batch throughput — dataset %s, batch %zu x GD(sum), |P|=%zu, "
               "|Q|=32, reps %zu\n",
               env.dataset().c_str(), batch_size, workload.p->size(), reps);
-  std::printf("%-24s %8s %10s %12s %10s %11s\n", "config", "threads",
-              "mean ms", "queries/s", "hit rate", "heap grows");
+  std::printf("%-24s %8s %10s %12s %10s %11s %11s\n", "config", "threads",
+              "mean ms", "queries/s", "hit rate", "grows:build",
+              "grows:solve");
 
   std::vector<Cell> cells;
   const std::vector<size_t> thread_counts = {1, 2, 4, 8};
@@ -168,20 +224,22 @@ int Main() {
                              workload.jobs, 8, /*cached=*/true, reps,
                              /*observed=*/false, BatchSchedule::kLocality));
   // The production configuration with full observation (metrics, traces,
-  // slow-query log) enabled — its distance to the matching untraced cell
-  // is the observability overhead the acceptance bar caps at 5%.
+  // slow-query log) enabled. The overhead number itself comes from the
+  // paired-median measurement below (capped at 3% by CI); this cell is
+  // kept for the table and for embedding a real BatchReport in the JSON.
   cells.push_back(TimeConfig("engine-cached+obs", resources, workload.jobs, 8,
                              /*cached=*/true, reps, /*observed=*/true));
 
   for (const Cell& cell : cells) {
     const size_t lookups = cell.cache_hits + cell.cache_misses;
-    std::printf("%-24s %8zu %10.2f %12.1f %9.1f%% %11llu\n",
+    std::printf("%-24s %8zu %10.2f %12.1f %9.1f%% %11llu %11llu\n",
                 cell.label.c_str(), cell.threads, cell.mean_ms, cell.qps,
                 lookups == 0
                     ? 0.0
                     : 100.0 * static_cast<double>(cell.cache_hits) /
                           static_cast<double>(lookups),
-                static_cast<unsigned long long>(cell.heap_grows));
+                static_cast<unsigned long long>(cell.heap_grows_construct),
+                static_cast<unsigned long long>(cell.heap_grows_solve));
   }
 
   const Cell& baseline = cells.front();
@@ -197,11 +255,12 @@ int Main() {
   std::printf("\nengine (8 threads, shared cache) vs sequential uncached "
               "baseline: %.2fx\n",
               speedup);
-  const double obs_overhead_percent =
-      100.0 * (engine8_obs->mean_ms - engine8->mean_ms) / engine8->mean_ms;
-  std::printf("observability overhead (engine-cached+obs vs engine-cached, "
-              "T=8): %.2f%%\n",
-              obs_overhead_percent);
+  const ObsOverhead obs = MeasureObsOverhead(resources, workload.jobs,
+                                             /*threads=*/8, reps);
+  const double obs_overhead_percent = obs.percent;
+  std::printf("observability overhead (paired medians, T=8): %.2f%% "
+              "(%.2f ms -> %.2f ms)\n",
+              obs_overhead_percent, obs.plain_median_ms, obs.obs_median_ms);
 
   const std::string out_dir = [] {
     const char* dir = std::getenv("FANNR_OUT_DIR");
@@ -216,6 +275,9 @@ int Main() {
       << "  \"reps\": " << reps << ",\n"
       << "  \"speedup_engine8_cached_vs_seq_uncached\": " << speedup << ",\n"
       << "  \"obs_overhead_percent\": " << obs_overhead_percent << ",\n"
+      << "  \"obs_overhead_plain_median_ms\": " << obs.plain_median_ms
+      << ",\n"
+      << "  \"obs_overhead_obs_median_ms\": " << obs.obs_median_ms << ",\n"
       << "  \"cells\": [\n";
   for (size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];
@@ -225,7 +287,9 @@ int Main() {
         << ", \"mean_ms\": " << cell.mean_ms << ", \"qps\": " << cell.qps
         << ", \"cache_hits\": " << cell.cache_hits
         << ", \"cache_misses\": " << cell.cache_misses
-        << ", \"heap_grows\": " << cell.heap_grows << "}"
+        << ", \"heap_grows\": " << cell.heap_grows
+        << ", \"heap_grows_construct\": " << cell.heap_grows_construct
+        << ", \"heap_grows_solve\": " << cell.heap_grows_solve << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   // Full BatchReport of the observed cell's last run: the solve-latency

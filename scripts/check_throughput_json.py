@@ -33,6 +33,8 @@ REQUIRED_CELL = [
     "cache_hits",
     "cache_misses",
     "heap_grows",
+    "heap_grows_construct",
+    "heap_grows_solve",
 ]
 
 # Thread-scaling gate: each engine-nocache step may lose at most 10% qps
@@ -42,6 +44,16 @@ REQUIRED_CELL = [
 # room for benchmark noise without letting a real regression through.
 NOCACHE_STEP_FLOOR = 0.9
 NOCACHE_REQUIRED_THREADS = [1, 2, 4, 8]
+
+# Observability-overhead bar, on the bench's paired-median measurement
+# (plain and observed engines run back to back each rep; medians
+# compared). The tracing decorator plus the slow-query log's lock-free
+# drop path keep the observed run within a couple percent of the plain
+# one; 3% still catches a lock reintroduced on the per-query path. (The
+# old 5% bar dated from when SlowQueryLog::Offer serialized every worker
+# on one mutex just to count the offer, and from a noisier methodology —
+# comparing the means of two cells run minutes apart.)
+OBS_OVERHEAD_MAX_PERCENT = 3.0
 REQUIRED_REPORT = [
     "batch_size",
     "rejected",
@@ -105,6 +117,10 @@ def main():
     check(data["batch_size"] >= 1, "batch_size must be >= 1")
     check(math.isfinite(data["obs_overhead_percent"]),
           "obs_overhead_percent is not finite")
+    if math.isfinite(data.get("obs_overhead_percent", math.nan)):
+        check(data["obs_overhead_percent"] <= OBS_OVERHEAD_MAX_PERCENT,
+              f"observability overhead {data['obs_overhead_percent']:.2f}% "
+              f"exceeds the {OBS_OVERHEAD_MAX_PERCENT}% bar")
     check(finite_positive(data["speedup_engine8_cached_vs_seq_uncached"]),
           "speedup is not a positive finite number")
 
@@ -112,11 +128,12 @@ def main():
     check(len(cells) > 0, "cells array is empty")
     configs = set()
     for cell in cells:
-        for key in REQUIRED_CELL:
-            check(key in cell, f"cell {cell.get('config', '?')}: "
-                               f"missing key '{key}'")
-        if _errors:
-            break
+        missing = [key for key in REQUIRED_CELL if key not in cell]
+        for key in missing:
+            check(False, f"cell {cell.get('config', '?')}: "
+                         f"missing key '{key}'")
+        if missing:
+            continue  # skip value checks, but keep validating other cells
         label = f"cell {cell['config']} T={cell['threads']}"
         configs.add(cell["config"])
         check(finite_positive(cell["qps"]), f"{label}: qps must be positive")
@@ -124,6 +141,20 @@ def main():
               f"{label}: mean_ms must be positive")
         check(isinstance(cell["heap_grows"], int) and cell["heap_grows"] >= 0,
               f"{label}: heap_grows must be a non-negative integer")
+        # Solve-phase allocation gate: workers prewarm their search
+        # scratch to the NumArcs()+1 worst case at engine construction
+        # (BatchOptions::prewarm_scratch), so the solve phase never grows
+        # a heap — for ANY (threads, schedule) cell. A nonzero value
+        # means an un-prewarmed heap crept back onto the query path and
+        # heap_grows is race-dependent again.
+        check(cell.get("heap_grows_solve") == 0,
+              f"{label}: heap_grows_solve is "
+              f"{cell.get('heap_grows_solve')}, must be exactly 0 "
+              f"(solve phase regrew a heap)")
+        check(cell.get("heap_grows_construct", -1) >= 0 and
+              cell.get("heap_grows_construct", 0) +
+              cell.get("heap_grows_solve", 0) == cell["heap_grows"],
+              f"{label}: heap_grows must equal construct + solve split")
         if not cell["cached"]:
             check(cell["cache_hits"] + cell["cache_misses"] == 0,
                   f"{label}: uncached cell reports cache activity")

@@ -1,0 +1,44 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace fannr {
+
+std::optional<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  MmapFile result;
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_PRIVATE,
+                        fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    result.data_ = static_cast<std::byte*>(addr);
+    result.size_ = size;
+  }
+  // The mapping keeps its own reference to the file; the descriptor is
+  // not needed past this point.
+  ::close(fd);
+  return result;
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace fannr

@@ -1,0 +1,61 @@
+// RAII wrapper around a private, writable file mapping.
+//
+// Index cache files (graph/index_io.h format v3) are opened by mapping
+// the whole file and pointing index data structures directly into the
+// mapping, so "load" costs one mmap plus an O(header) validation pass
+// instead of reading and checksumming every byte. The mapping is
+// MAP_PRIVATE with PROT_READ|PROT_WRITE: readers get copy-on-write
+// pages, so in-place mutation of mapped data (e.g. a live weight update
+// against an mmap-loaded graph) dirties anonymous copies and never
+// touches the file on disk.
+
+#ifndef FANNR_COMMON_MMAP_FILE_H_
+#define FANNR_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fannr {
+
+/// Move-only owner of one file mapping. A default-constructed instance
+/// is empty (data() == nullptr, size() == 0).
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(MmapFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` MAP_PRIVATE with PROT_READ|PROT_WRITE. Returns nullopt
+  /// if the file cannot be opened, statted, or mapped. A zero-length
+  /// file maps successfully to an empty view.
+  static std::optional<MmapFile> Open(const std::string& path);
+
+  std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  void Reset();
+
+  std::byte* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace fannr
+
+#endif  // FANNR_COMMON_MMAP_FILE_H_

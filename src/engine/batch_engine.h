@@ -124,6 +124,16 @@ struct BatchOptions {
   /// and batches. Disabled, each evaluation recomputes its SSSP.
   bool share_distance_cache = true;
 
+  /// Call PrewarmScratch() on every worker engine at construction: each
+  /// worker's search scratch (notably the Dijkstra frontier, up to
+  /// NumArcs() + 1 entries) is grown to its worst case before the first
+  /// batch, so Run() itself never regrows a heap and the solve phase is
+  /// allocation-free and deterministic in its allocation behavior.
+  /// Costs O(NumArcs()) bytes per worker up front; disable on
+  /// memory-tight deployments with very large graphs. Never affects
+  /// results.
+  bool prewarm_scratch = true;
+
   /// Shared cache sizing: resident entries (each one |V| Weights) and
   /// lock stripes. capacity 0 (default) auto-sizes from
   /// cache_memory_budget_bytes and the graph's vertex count, so the
@@ -186,7 +196,19 @@ class BatchQueryEngine {
   // --- Observability (all empty/no-op unless options.enable_metrics) ---
 
   /// Report for the most recent Run(). Reset at the start of each Run.
-  const obs::BatchReport& last_report() const { return last_report_; }
+  /// The embedded registry snapshot (report.metrics) is assembled on
+  /// first access rather than inside Run() — snapshotting walks every
+  /// shard of every metric and allocates the name maps, and doing that
+  /// inside Run() charged report assembly to the batch's own wall time
+  /// (it showed up in the measured observability overhead). Everything
+  /// else in the report is captured at Run() end as cheap scalars.
+  const obs::BatchReport& last_report() const {
+    if (metrics_ != nullptr && !last_report_metrics_fresh_) {
+      last_report_.metrics = metrics_->Snapshot();
+      last_report_metrics_fresh_ = true;
+    }
+    return last_report_;
+  }
 
   /// Traces of the most recent Run(), aligned with its input batch.
   /// Cleared at the start of each Run; empty when metrics are disabled.
@@ -232,7 +254,11 @@ class BatchQueryEngine {
   obs::HistogramId m_solve_ms_, m_dispatch_wait_ms_;
   obs::GaugeId m_cache_entries_;
   std::vector<obs::QueryTrace> last_traces_;
-  obs::BatchReport last_report_;
+  // Mutable: last_report() lazily fills in the metrics snapshot (see its
+  // doc comment). Safe because Run() must not be called concurrently and
+  // accessors share that external synchronization.
+  mutable obs::BatchReport last_report_;
+  mutable bool last_report_metrics_fresh_ = true;
 };
 
 }  // namespace fannr

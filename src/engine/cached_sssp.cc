@@ -15,6 +15,8 @@ void CachedSsspEngine::Prepare(const IndexedVertexSet& query_points) {
   q_distances_.resize(query_points.size());
 }
 
+void CachedSsspEngine::PrewarmScratch() { search_.ReserveFullSearch(); }
+
 GphiResult CachedSsspEngine::Evaluate(VertexId p, size_t k,
                                       Aggregate aggregate) {
   FANNR_CHECK(query_points_ != nullptr);
@@ -29,15 +31,9 @@ GphiResult CachedSsspEngine::Evaluate(VertexId p, size_t k,
     cached = cache_->Lookup(p, epoch, &stale_evicted);
     if (stale_evicted) {
       ++probes_.epoch_evictions;
-      if (registry_ != nullptr) {
-        registry_->Add(handles_.cache_epoch_evictions, 1, metrics_shard_);
-      }
     }
     if (cached == nullptr) {
       ++probes_.misses;
-      if (registry_ != nullptr) {
-        registry_->Add(handles_.cache_misses, 1, metrics_shard_);
-      }
       std::vector<Weight> fresh;
       {
         Timer sssp_timer;
@@ -50,9 +46,6 @@ GphiResult CachedSsspEngine::Evaluate(VertexId p, size_t k,
       cached = cache_->Insert(p, epoch, std::move(fresh));
     } else {
       ++probes_.hits;
-      if (registry_ != nullptr) {
-        registry_->Add(handles_.cache_hits, 1, metrics_shard_);
-      }
     }
     sssp = cached.get();
   } else {
@@ -76,6 +69,24 @@ void CachedSsspEngine::PublishMetrics(obs::MetricsRegistry* registry,
   registry_ = registry;
   handles_ = handles;
   metrics_shard_ = shard;
+}
+
+void CachedSsspEngine::FlushMetrics() {
+  if (registry_ == nullptr) return;
+  if (probes_.hits != published_.hits) {
+    registry_->Add(handles_.cache_hits, probes_.hits - published_.hits,
+                   metrics_shard_);
+  }
+  if (probes_.misses != published_.misses) {
+    registry_->Add(handles_.cache_misses, probes_.misses - published_.misses,
+                   metrics_shard_);
+  }
+  if (probes_.epoch_evictions != published_.epoch_evictions) {
+    registry_->Add(handles_.cache_epoch_evictions,
+                   probes_.epoch_evictions - published_.epoch_evictions,
+                   metrics_shard_);
+  }
+  published_ = probes_;
 }
 
 std::unique_ptr<GphiEngine> MakeCachedSsspEngine(

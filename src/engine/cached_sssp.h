@@ -61,6 +61,10 @@ class CachedSsspEngine : public GphiEngine {
 
   void Prepare(const IndexedVertexSet& query_points) override;
   GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override;
+  /// Reserves the Dijkstra frontier for a full-graph search (see
+  /// DijkstraSearch::ReserveFullSearch), making miss-path SSSP
+  /// computations heap-regrowth-free from the first call.
+  void PrewarmScratch() override;
   std::string_view name() const override { return "Cached-SSSP"; }
 
   /// Enables publication into `registry` (nullptr disables): cache
@@ -68,6 +72,15 @@ class CachedSsspEngine : public GphiEngine {
   /// written to shard `shard`. Observation only — never affects results.
   void PublishMetrics(obs::MetricsRegistry* registry, MetricHandles handles,
                       size_t shard);
+
+  /// Publishes probe counts accumulated since the last flush into the
+  /// registry. Hit/miss/eviction counters are NOT written per probe —
+  /// the hit path is the hottest line of a cached batch, and a registry
+  /// write per probe is measurable there — so the owner flushes once
+  /// per query (and once at end of batch, so registry totals match the
+  /// cache's own counters whenever a report is assembled). No-op when
+  /// publication is disabled.
+  void FlushMetrics();
 
   const ProbeCounters& probe_counters() const { return probes_; }
 
@@ -80,6 +93,7 @@ class CachedSsspEngine : public GphiEngine {
   std::vector<Weight> q_distances_;    // gather target, |Q| entries
   internal_gphi::SelectScratch select_scratch_;
   ProbeCounters probes_;
+  ProbeCounters published_;  // values already flushed to the registry
   obs::MetricsRegistry* registry_ = nullptr;  // null = no publication
   MetricHandles handles_;
   size_t metrics_shard_ = 0;

@@ -60,6 +60,13 @@ class GphiEngine {
   /// Computes g_phi(p, Q) with subset size k. Requires a prior Prepare().
   virtual GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) = 0;
 
+  /// Grows the engine's search scratch (heaps, distance arrays) to its
+  /// worst-case size up front, trading memory for an allocation-free
+  /// solve phase from the very first query. Optional: the default does
+  /// nothing, and engines stay correct either way — they grow lazily on
+  /// demand. Never affects results.
+  virtual void PrewarmScratch() {}
+
   /// Display name matching the paper's legends (e.g. "IER-PHL").
   virtual std::string_view name() const = 0;
 };

@@ -23,6 +23,10 @@ GraphBuilder GraphBuilder::FromGraph(const Graph& graph) {
 }
 
 void GraphBuilder::Resize(size_t n) {
+  // Ids are VertexId (uint32_t) with kInvalidVertex reserved as a
+  // sentinel: a count past that would make AddVertex/AddEdge silently
+  // wrap instead of failing, so it is a hard error here.
+  FANNR_CHECK(n <= static_cast<size_t>(kInvalidVertex));
   if (n > num_vertices_) {
     if (!coords_.empty()) has_uncoordinated_vertex_ = true;
     num_vertices_ = n;
@@ -30,6 +34,7 @@ void GraphBuilder::Resize(size_t n) {
 }
 
 VertexId GraphBuilder::AddVertex(Point coord) {
+  FANNR_CHECK(num_vertices_ < static_cast<size_t>(kInvalidVertex));
   if (num_vertices_ != coords_.size()) {
     // Some earlier vertex had no coordinate; coordinates will be dropped.
     has_uncoordinated_vertex_ = true;
@@ -40,6 +45,7 @@ VertexId GraphBuilder::AddVertex(Point coord) {
 }
 
 VertexId GraphBuilder::AddVertex() {
+  FANNR_CHECK(num_vertices_ < static_cast<size_t>(kInvalidVertex));
   if (!coords_.empty()) has_uncoordinated_vertex_ = true;
   return static_cast<VertexId>(num_vertices_++);
 }

@@ -14,6 +14,9 @@ Graph GenerateGridNetwork(const GridNetworkOptions& options, Rng& rng) {
   FANNR_CHECK(options.detour >= 0.0);
   const size_t rows = options.rows;
   const size_t cols = options.cols;
+  // rows * cols must fit VertexId before the id() lambda casts — checked
+  // by division so the product itself cannot overflow size_t either.
+  FANNR_CHECK(rows <= static_cast<size_t>(kInvalidVertex) / cols);
   const double cell = options.cell_size;
 
   GraphBuilder builder;
@@ -61,6 +64,9 @@ Graph GenerateGeometricNetwork(const GeometricNetworkOptions& options,
   FANNR_CHECK(options.num_vertices >= 2);
   FANNR_CHECK(options.radius > 0.0 && options.extent > 0.0);
   const size_t n = options.num_vertices;
+  // The `VertexId i < n` loops below would never terminate (and the
+  // builder would wrap ids) past the VertexId range.
+  FANNR_CHECK(n <= static_cast<size_t>(kInvalidVertex));
   std::vector<Point> coords;
   coords.reserve(n);
   GraphBuilder builder;

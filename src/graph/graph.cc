@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "common/serialize.h"
 
@@ -34,19 +35,19 @@ Graph::Graph(std::vector<std::vector<Arc>> adjacency,
              std::vector<Point> coords)
     : coords_(std::move(coords)) {
   FANNR_CHECK(coords_.empty() || coords_.size() == adjacency.size());
-  offsets_.resize(adjacency.size() + 1, 0);
+  offsets_.vec().resize(adjacency.size() + 1, 0);
   size_t total = 0;
   for (size_t u = 0; u < adjacency.size(); ++u) {
     offsets_[u] = total;
     total += adjacency[u].size();
   }
   offsets_[adjacency.size()] = total;
-  arcs_.reserve(total);
+  arcs_.vec().reserve(total);
   for (auto& list : adjacency) {
     for (const Arc& a : list) {
       FANNR_CHECK(a.to < adjacency.size());
       FANNR_CHECK(a.weight > 0.0);
-      arcs_.push_back(a);
+      arcs_.vec().push_back(a);
     }
     list.clear();
     list.shrink_to_fit();
@@ -59,7 +60,8 @@ Graph::Graph(Graph&& other) noexcept
       arcs_(std::move(other.arcs_)),
       coords_(std::move(other.coords_)),
       weight_checksum_(other.weight_checksum_),
-      epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
+      epoch_(other.epoch_.load(std::memory_order_relaxed)),
+      arena_(std::move(other.arena_)) {}
 
 Graph& Graph::operator=(Graph&& other) noexcept {
   if (this != &other) {
@@ -69,6 +71,7 @@ Graph& Graph::operator=(Graph&& other) noexcept {
     weight_checksum_ = other.weight_checksum_;
     epoch_.store(other.epoch_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
+    arena_ = std::move(other.arena_);
   }
   return *this;
 }
@@ -153,9 +156,9 @@ void Graph::MakeEuclideanConsistent() {
   }
   if (max_ratio <= 1.0) return;
   const double scale = 1.0 / (max_ratio * (1.0 + 1e-9));
-  for (Point& p : coords_) {
-    p.x *= scale;
-    p.y *= scale;
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    coords_[i].x *= scale;
+    coords_[i].y *= scale;
   }
 }
 
@@ -171,11 +174,33 @@ bool Graph::Save(std::ostream& out) const {
   BinaryWriter w(out);
   w.Pod(kGraphMagic);
   w.Pod(kGraphFormatVersion);
-  w.Vec(offsets_);
-  w.Vec(arcs_);
-  w.Vec(coords_);
+  w.Span(offsets_.data(), offsets_.size());
+  w.Span(arcs_.data(), arcs_.size());
+  w.Span(coords_.data(), coords_.size());
   return w.ok();
 }
+
+namespace {
+
+/// Shared structural validation for both load paths: offsets must be a
+/// monotone prefix array ending at the arc count, coordinates empty or
+/// per-vertex, targets in range with positive weights.
+bool ValidGraphStructure(const Column<size_t>& offsets,
+                         const Column<Arc>& arcs,
+                         const Column<Point>& coords) {
+  if (offsets.empty() || offsets.back() != arcs.size()) return false;
+  const size_t n = offsets.size() - 1;
+  for (size_t i = 0; i < n; ++i) {
+    if (offsets[i] > offsets[i + 1]) return false;
+  }
+  if (!coords.empty() && coords.size() != n) return false;
+  for (const Arc& a : arcs) {
+    if (a.to >= n || !(a.weight > 0.0)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::optional<Graph> Graph::Load(std::istream& in) {
   BinaryReader r(in);
@@ -184,33 +209,73 @@ std::optional<Graph> Graph::Load(std::istream& in) {
   if (!r.Pod(magic) || magic != kGraphMagic) return std::nullopt;
   if (!r.Pod(version) || version != kGraphFormatVersion) return std::nullopt;
   Graph graph;
-  if (!r.Vec(graph.offsets_) || !r.Vec(graph.arcs_) ||
-      !r.Vec(graph.coords_)) {
+  if (!r.Vec(graph.offsets_.vec()) || !r.Vec(graph.arcs_.vec()) ||
+      !r.Vec(graph.coords_.vec())) {
     return std::nullopt;
   }
-  // Structural sanity: offsets must be a monotone prefix array ending at
-  // the arc count, coordinates empty or per-vertex, targets in range.
-  if (graph.offsets_.empty() ||
-      graph.offsets_.back() != graph.arcs_.size()) {
+  if (!ValidGraphStructure(graph.offsets_, graph.arcs_, graph.coords_)) {
     return std::nullopt;
-  }
-  const size_t n = graph.offsets_.size() - 1;
-  for (size_t i = 0; i < n; ++i) {
-    if (graph.offsets_[i] > graph.offsets_[i + 1]) return std::nullopt;
-  }
-  if (!graph.coords_.empty() && graph.coords_.size() != n) {
-    return std::nullopt;
-  }
-  for (const Arc& a : graph.arcs_) {
-    if (a.to >= n || !(a.weight > 0.0)) return std::nullopt;
   }
   graph.RecomputeWeightChecksum();
   return graph;
 }
 
+bool Graph::SaveV3(const std::string& path) const {
+  ArenaWriter writer;
+  // Arc has 4 padding bytes after `to`; a field-wise copy into zeroed
+  // storage makes the section bytes (and so the file and its checksum)
+  // deterministic.
+  std::vector<Arc> clean_arcs(arcs_.size());
+  std::memset(clean_arcs.data(), 0, clean_arcs.size() * sizeof(Arc));
+  for (size_t i = 0; i < arcs_.size(); ++i) {
+    clean_arcs[i].to = arcs_[i].to;
+    clean_arcs[i].weight = arcs_[i].weight;
+  }
+  writer.Add(offsets_);
+  writer.Add(clean_arcs);
+  writer.Add(coords_);
+  return writer.Write(path, kGraphMagic, Fingerprint());
+}
+
+std::optional<Graph> Graph::LoadMmap(const std::string& path,
+                                     ArenaValidation validation) {
+  std::optional<ArenaFile> arena =
+      ArenaFile::Open(path, kGraphMagic, validation);
+  if (!arena.has_value() || arena->NumSections() != 3) return std::nullopt;
+
+  size_t num_offsets = 0, num_arcs = 0, num_coords = 0;
+  size_t* offsets = arena->SectionArray<size_t>(0, num_offsets);
+  Arc* arcs = arena->SectionArray<Arc>(1, num_arcs);
+  Point* coords = arena->SectionArray<Point>(2, num_coords);
+  if (offsets == nullptr || arcs == nullptr || coords == nullptr) {
+    return std::nullopt;
+  }
+
+  Graph graph;
+  graph.offsets_ = Column<size_t>::Borrow(offsets, num_offsets);
+  graph.arcs_ = Column<Arc>::Borrow(arcs, num_arcs);
+  graph.coords_ = Column<Point>::Borrow(coords, num_coords);
+  // The structural scan keeps queries on a corrupt payload memory-safe
+  // without copying anything; it is the only O(V + E) work on this path.
+  if (!ValidGraphStructure(graph.offsets_, graph.arcs_, graph.coords_)) {
+    return std::nullopt;
+  }
+  const GraphFingerprint stored = arena->fingerprint();
+  if (stored.vertices != graph.offsets_.size() - 1 ||
+      stored.edges != num_arcs / 2) {
+    return std::nullopt;
+  }
+  // Trust the stored weight checksum instead of recomputing it per-arc:
+  // under kFull the arena checksum certifies the header and every
+  // payload byte, and a SaveV3 writer always stores the true value.
+  graph.weight_checksum_ = stored.weight_checksum;
+  graph.arena_ = std::make_shared<ArenaFile>(std::move(*arena));
+  return graph;
+}
+
 size_t Graph::MemoryBytes() const {
-  return offsets_.capacity() * sizeof(size_t) +
-         arcs_.capacity() * sizeof(Arc) + coords_.capacity() * sizeof(Point);
+  return offsets_.memory_bytes() + arcs_.memory_bytes() +
+         coords_.memory_bytes();
 }
 
 }  // namespace fannr

@@ -22,12 +22,17 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/column.h"
 #include "geo/point.h"
+#include "graph/fingerprint.h"
+#include "graph/index_io.h"
 
 namespace fannr {
 
@@ -63,23 +68,6 @@ struct EdgeWeightUpdate {
   Weight new_weight = 0.0;
 };
 
-/// Structural identity of a graph: vertex count, edge count, and an
-/// order-independent checksum over every arc's (endpoints, weight). Two
-/// graphs with equal fingerprints hold the same weighted edge set with
-/// overwhelming probability; a single weight update changes the
-/// checksum. Persisted index files store the fingerprint of the graph
-/// they were built against so Load can reject files saved against a
-/// different (or since-updated) network instead of serving wrong
-/// distances.
-struct GraphFingerprint {
-  uint64_t vertices = 0;
-  uint64_t edges = 0;
-  uint64_t weight_checksum = 0;
-
-  friend bool operator==(const GraphFingerprint&,
-                         const GraphFingerprint&) = default;
-};
-
 /// Undirected weighted graph with optional vertex coordinates and
 /// immutable topology. Construct via GraphBuilder (graph/builder.h), a
 /// loader (graph/io.h), or a generator (graph/generator.h). Every
@@ -108,6 +96,11 @@ class Graph {
 
   /// Number of undirected edges |E| (each stored as two arcs).
   size_t NumEdges() const { return arcs_.size() / 2; }
+
+  /// Number of stored arcs (2|E|). Upper-bounds the entries a
+  /// lazy-delete Dijkstra can ever push, so scratch heaps reserved to
+  /// NumArcs() + 1 run allocation-free (see DijkstraSearch).
+  size_t NumArcs() const { return arcs_.size(); }
 
   /// Outgoing arcs of `u`.
   std::span<const Arc> Neighbors(VertexId u) const {
@@ -162,7 +155,9 @@ class Graph {
   }
 
   /// All coordinates (empty if none).
-  std::span<const Point> Coords() const { return coords_; }
+  std::span<const Point> Coords() const {
+    return {coords_.data(), coords_.size()};
+  }
 
   /// Euclidean distance between two vertices. Requires HasCoordinates().
   double EuclideanDistance(VertexId u, VertexId v) const {
@@ -191,17 +186,40 @@ class Graph {
   /// Reloads a graph written by Save. Returns nullopt on corrupt input.
   static std::optional<Graph> Load(std::istream& in);
 
+  /// Writes the arena (format v3, graph/index_io.h) cache file: the CSR
+  /// arrays as 64-byte-aligned sections behind the shared header, with
+  /// arc padding bytes zeroed so the file is bit-deterministic. Returns
+  /// false on I/O failure.
+  bool SaveV3(const std::string& path) const;
+
+  /// Opens a SaveV3 file by mmap: the returned graph's CSR arrays point
+  /// into the (copy-on-write private) mapping, so load cost is the map
+  /// plus one structural scan — no copy, no per-arc checksum. The weight
+  /// checksum is taken from the stored fingerprint; kFull additionally
+  /// verifies the arena payload checksum over every byte. Returns
+  /// nullopt on unreadable/corrupt/structurally invalid input.
+  static std::optional<Graph> LoadMmap(
+      const std::string& path,
+      ArenaValidation validation = ArenaValidation::kHeaderOnly);
+
+  /// True when the CSR arrays live in an mmap-ed index file rather than
+  /// heap vectors.
+  bool MemoryMapped() const { return arena_ != nullptr; }
+
  private:
   Graph() = default;
 
   /// Recomputes weight_checksum_ from scratch (construction and Load).
   void RecomputeWeightChecksum();
 
-  std::vector<size_t> offsets_;  // size NumVertices() + 1
-  std::vector<Arc> arcs_;        // grouped by source vertex
-  std::vector<Point> coords_;    // empty or size NumVertices()
+  Column<size_t> offsets_;  // size NumVertices() + 1
+  Column<Arc> arcs_;        // grouped by source vertex
+  Column<Point> coords_;    // empty or size NumVertices()
   uint64_t weight_checksum_ = 0;
   std::atomic<GraphEpoch> epoch_{0};
+  // Keeps the mapping alive when the columns above are borrowed views
+  // into a v3 index file (type-erased to keep this header light).
+  std::shared_ptr<void> arena_;
 };
 
 namespace internal_graph {

@@ -8,15 +8,28 @@
 // weight update — is rejected by Load instead of silently serving
 // distances from the wrong graph. Format history: v1 files had no
 // version or fingerprint after the magic; they are rejected (the next
-// word never matches a small version number), never misread.
+// word never matches a small version number), never misread. v2 is the
+// stream format below (WriteIndexHeader + per-index body). v3 is the
+// arena format (ArenaWriter/ArenaFile): the same magic/version/
+// fingerprint words at the same byte offsets, followed by a section
+// table of 64-byte-aligned flat POD arrays, designed to be opened via
+// mmap with O(header) validation. A v2 loader opening a v3 file fails
+// on the version word, and vice versa — never a misparse.
 
 #ifndef FANNR_GRAPH_INDEX_IO_H_
 #define FANNR_GRAPH_INDEX_IO_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
 
+#include "common/column.h"
+#include "common/mmap_file.h"
 #include "common/serialize.h"
-#include "graph/graph.h"
+#include "graph/fingerprint.h"
 
 namespace fannr {
 
@@ -24,6 +37,9 @@ namespace fannr {
 /// per-index split is not worth the bookkeeping while the header layout
 /// is shared).
 inline constexpr uint32_t kIndexFormatVersion = 2;
+
+/// Version word written by the arena (mmap) format.
+inline constexpr uint32_t kArenaFormatVersion = 3;
 
 /// Writes `magic`, kIndexFormatVersion, and `fingerprint`.
 void WriteIndexHeader(BinaryWriter& writer, uint64_t magic,
@@ -35,6 +51,168 @@ void WriteIndexHeader(BinaryWriter& writer, uint64_t magic,
 /// false on any mismatch or stream failure.
 bool ReadIndexHeader(BinaryReader& reader, uint64_t magic,
                      const GraphFingerprint& expected);
+
+// ---------------------------------------------------------------------------
+// Format v3: relocatable arena files.
+//
+// Layout (all fields little-endian native, offsets in bytes):
+//
+//   0   u64  magic                 (same per-index magics as v2)
+//   8   u32  version               (= kArenaFormatVersion)
+//   12  u64  fingerprint.vertices         (same offsets as v2)
+//   20  u64  fingerprint.edges            (same offsets as v2)
+//   28  u64  fingerprint.weight_checksum  (same offsets as v2)
+//   36  u32  section_count
+//   40  u64  flags                 (bit 0: payload checksum present)
+//   48  u64  payload_checksum      (over bytes [64, file_bytes))
+//   56  u64  file_bytes            (total file size; must match the map)
+//   64  {u64 offset, u64 bytes} x section_count   (the section table)
+//   ... sections, each offset 64-byte aligned, zero padding between
+//
+// Opening is O(header): map the file, check magic/version/fingerprint,
+// check the section table is monotone, aligned, and in bounds. The
+// payload checksum over every byte past the header is verified only
+// under ArenaValidation::kFull — the explicit trade of the v3 format is
+// that a default open trusts the payload bytes structurally validated
+// by the per-index Load and defers whole-file integrity to the caller.
+// ---------------------------------------------------------------------------
+
+/// How much of an arena file Open verifies before handing out views.
+enum class ArenaValidation {
+  kHeaderOnly,  // magic/version/fingerprint + section-table bounds
+  kFull,        // kHeaderOnly + payload checksum over [64, file_bytes)
+};
+
+/// Order-dependent 64-bit checksum used for the v3 payload, streamable
+/// in arbitrary chunk sizes.
+class ArenaChecksum {
+ public:
+  void Absorb(const void* data, size_t bytes);
+  uint64_t Finish() const;
+
+ private:
+  uint64_t state_ = 0xFA22A81A00000003ULL;
+  uint64_t total_ = 0;
+  unsigned char pending_[8] = {};
+  size_t pending_len_ = 0;
+};
+
+/// Collects flat POD sections and writes one v3 arena file. Sections
+/// added by pointer/vector/Column are NOT copied — they must stay alive
+/// until Write returns. AddScalar copies its argument.
+class ArenaWriter {
+ public:
+  template <typename T>
+  void Add(const T* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    sections_.push_back(
+        {reinterpret_cast<const void*>(data), count * sizeof(T), SIZE_MAX});
+  }
+  template <typename T>
+  void Add(const std::vector<T>& values) {
+    Add(values.data(), values.size());
+  }
+  template <typename T>
+  void Add(const Column<T>& values) {
+    Add(values.data(), values.size());
+  }
+  /// Copies `value` into writer-owned storage and adds it as a
+  /// one-element section.
+  template <typename T>
+  void AddScalar(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    owned_.emplace_back(reinterpret_cast<const char*>(&value),
+                        reinterpret_cast<const char*>(&value) + sizeof(T));
+    sections_.push_back({nullptr, sizeof(T), owned_.size() - 1});
+  }
+
+  /// Writes header + section table + aligned sections + checksum to
+  /// `path` (truncating). Returns false on any I/O failure.
+  bool Write(const std::string& path, uint64_t magic,
+             const GraphFingerprint& fingerprint) const;
+
+ private:
+  struct Section {
+    const void* data;    // null when owned_index is set
+    uint64_t bytes;
+    size_t owned_index;  // SIZE_MAX when external
+  };
+  std::vector<Section> sections_;
+  std::vector<std::string> owned_;
+};
+
+/// An opened v3 arena file: the mapping plus the validated section
+/// table. Views returned by SectionArray point into the mapping and are
+/// valid for the lifetime of this object (indexes keep the ArenaFile as
+/// a member next to their borrowed Columns).
+class ArenaFile {
+ public:
+  /// Maps `path` and validates per `validation`. Returns nullopt on any
+  /// failure: unreadable file, bad magic/version, malformed section
+  /// table, or (under kFull) checksum mismatch / checksum absent.
+  /// The caller checks fingerprint() against its own expectation.
+  static std::optional<ArenaFile> Open(const std::string& path,
+                                       uint64_t magic,
+                                       ArenaValidation validation);
+
+  const GraphFingerprint& fingerprint() const { return fingerprint_; }
+  size_t NumSections() const { return sections_.size(); }
+  uint64_t SectionBytes(size_t i) const { return sections_[i].bytes; }
+
+  /// Typed view of section `i`. Returns nullptr (count = 0) if the
+  /// section's byte size is not a multiple of sizeof(T). An empty
+  /// section yields a non-null placeholder pointer with count = 0 so
+  /// Column::Borrow on the result is well-defined.
+  template <typename T>
+  T* SectionArray(size_t i, size_t& count) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    count = 0;
+    if (i >= sections_.size()) return nullptr;
+    const auto& s = sections_[i];
+    if (s.bytes % sizeof(T) != 0) return nullptr;
+    count = static_cast<size_t>(s.bytes / sizeof(T));
+    return reinterpret_cast<T*>(map_.data() + s.offset);
+  }
+
+  /// Borrow section `i` as a Column<T>; aborts on a malformed section
+  /// (callers validate with SectionArray first when the file is
+  /// untrusted).
+  template <typename T>
+  Column<T> BorrowColumn(size_t i) const {
+    size_t count = 0;
+    T* p = SectionArray<T>(i, count);
+    FANNR_CHECK(p != nullptr);
+    return Column<T>::Borrow(p, count);
+  }
+
+  /// Reads the one-element section `i` written by AddScalar into `out`.
+  /// Returns false on size mismatch.
+  template <typename T>
+  bool ReadScalar(size_t i, T& out) const {
+    size_t count = 0;
+    const T* p = SectionArray<T>(i, count);
+    if (p == nullptr || count != 1) return false;
+    std::memcpy(&out, p, sizeof(T));
+    return true;
+  }
+
+ private:
+  struct Section {
+    uint64_t offset;
+    uint64_t bytes;
+  };
+
+  MmapFile map_;
+  GraphFingerprint fingerprint_;
+  std::vector<Section> sections_;
+};
+
+/// Reads just the stored fingerprint of a v2 or v3 index file without
+/// validating the body. Returns nullopt when the file cannot be read or
+/// the magic/version is unrecognized. Used by tooling to report what a
+/// cache file was built against.
+std::optional<GraphFingerprint> PeekIndexFingerprint(const std::string& path,
+                                                     uint64_t magic);
 
 }  // namespace fannr
 

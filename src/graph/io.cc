@@ -1,12 +1,17 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <string_view>
 #include <vector>
 
+#include "common/mmap_file.h"
+#include "engine/thread_pool.h"
 #include "graph/builder.h"
 
 namespace fannr {
@@ -22,17 +27,21 @@ LoadResult Fail(std::string message) {
 /// "<path>:<line>: <message>: '<line text>'" — every parse error names
 /// its exact source line so corrupt multi-gigabyte inputs are debuggable.
 LoadResult FailAt(const std::string& path, size_t line_number,
-                  const std::string& message, const std::string& line) {
+                  const std::string& message, std::string_view line) {
   return Fail(path + ":" + std::to_string(line_number) + ": " + message +
-              ": '" + line + "'");
+              ": '" + std::string(line) + "'");
 }
 
-/// Splits on runs of spaces/tabs (DIMACS is whitespace-delimited).
-std::vector<std::string> Tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
+/// Splits on runs of spaces/tabs (DIMACS is whitespace-delimited) into
+/// `out`, stopping early once more than `max_tokens` exist (every valid
+/// DIMACS line has at most 4; callers only need "too many" to reject).
+size_t TokenizeView(std::string_view line, std::string_view* out,
+                    size_t max_tokens) {
+  size_t count = 0;
   size_t i = 0;
   while (i < line.size()) {
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
       ++i;
     }
     const size_t start = i;
@@ -40,15 +49,18 @@ std::vector<std::string> Tokenize(const std::string& line) {
            !std::isspace(static_cast<unsigned char>(line[i]))) {
       ++i;
     }
-    if (i > start) tokens.push_back(line.substr(start, i - start));
+    if (i > start) {
+      if (count == max_tokens) return count + 1;  // "too many" marker
+      out[count++] = line.substr(start, i - start);
+    }
   }
-  return tokens;
+  return count;
 }
 
 /// Strict unsigned parse: the whole token must be a decimal number.
 /// Unlike sscanf("%zu"), a leading '-' is rejected instead of silently
 /// wrapping around, and trailing junk ("12x") is an error.
-bool ParseSize(const std::string& token, size_t* out) {
+bool ParseSize(std::string_view token, size_t* out) {
   if (token.empty()) return false;
   const char* begin = token.data();
   const char* end = begin + token.size();
@@ -58,134 +70,383 @@ bool ParseSize(const std::string& token, size_t* out) {
 
 /// Strict double parse: whole token consumed, and the value is finite
 /// (NaN/inf tokens parse under strtod but are meaningless as weights or
-/// coordinates).
-bool ParseFiniteDouble(const std::string& token, double* out) {
+/// coordinates). strtod needs a NUL terminator, so the token is copied
+/// to a small stack buffer — tokens are views into the file mapping.
+bool ParseFiniteDouble(std::string_view token, double* out) {
   if (token.empty() ||
       std::isspace(static_cast<unsigned char>(token.front()))) {
     return false;
   }
+  char stack_buf[64];
+  std::string heap_buf;
+  const char* cstr;
+  if (token.size() < sizeof(stack_buf)) {
+    std::memcpy(stack_buf, token.data(), token.size());
+    stack_buf[token.size()] = '\0';
+    cstr = stack_buf;
+  } else {
+    heap_buf.assign(token);
+    cstr = heap_buf.c_str();
+  }
   char* parse_end = nullptr;
-  *out = std::strtod(token.c_str(), &parse_end);
-  return parse_end == token.c_str() + token.size() && std::isfinite(*out);
+  *out = std::strtod(cstr, &parse_end);
+  return parse_end == cstr + token.size() && std::isfinite(*out);
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-line classifiers. The sequential prefix scan and every
+// parallel chunk worker go through the same functions, so the two modes
+// cannot drift: same accepted lines, same error messages.
+// ---------------------------------------------------------------------------
+
+struct EdgeRec {
+  VertexId u;  // 0-based
+  VertexId v;
+  Weight w;
+};
+
+enum class GrLine { kSkip, kProblem, kEdge, kError };
+
+/// Classifies one `.gr` line. On kEdge fills `edge` (already validated
+/// and 0-based); on kError fills `message`. `have_problem_line` is true
+/// once the problem line was consumed by the prefix scan — any further
+/// 'p' line is a duplicate.
+GrLine ClassifyGrLine(std::string_view line, bool have_problem_line,
+                      size_t declared_vertices, EdgeRec* edge,
+                      std::string* message) {
+  if (line.empty()) return GrLine::kSkip;
+  switch (line[0]) {
+    case 'c':  // comment
+      return GrLine::kSkip;
+    case 'p':
+      if (have_problem_line) {
+        *message = "duplicate problem line";
+        return GrLine::kError;
+      }
+      return GrLine::kProblem;
+    case 'a': {
+      if (!have_problem_line) {
+        *message = "arc line before the problem line";
+        return GrLine::kError;
+      }
+      std::string_view tokens[4];
+      size_t u = 0, v = 0;
+      double w = 0.0;
+      if (TokenizeView(line, tokens, 4) != 4 || !ParseSize(tokens[1], &u) ||
+          !ParseSize(tokens[2], &v)) {
+        *message = "malformed arc line";
+        return GrLine::kError;
+      }
+      if (u == 0 || v == 0 || u > declared_vertices ||
+          v > declared_vertices) {
+        *message = "arc references undeclared vertex (ids are 1.." +
+                   std::to_string(declared_vertices) + ")";
+        return GrLine::kError;
+      }
+      if (!ParseFiniteDouble(tokens[3], &w)) {
+        *message = "arc weight is not a finite number";
+        return GrLine::kError;
+      }
+      if (w <= 0.0) {
+        *message = "non-positive arc weight";
+        return GrLine::kError;
+      }
+      // DIMACS ids are 1-based.
+      edge->u = static_cast<VertexId>(u - 1);
+      edge->v = static_cast<VertexId>(v - 1);
+      edge->w = w;
+      return GrLine::kEdge;
+    }
+    default:
+      *message = "unrecognized line";
+      return GrLine::kError;
+  }
+}
+
+/// Parses "p sp <n> <m>". Fills `n` or `message`.
+bool ParseProblemLine(std::string_view line, size_t* n, std::string* message) {
+  std::string_view tokens[4];
+  size_t m = 0;
+  if (TokenizeView(line, tokens, 4) != 4 || tokens[1] != "sp" ||
+      !ParseSize(tokens[2], n) || !ParseSize(tokens[3], &m)) {
+    *message = "malformed problem line";
+    return false;
+  }
+  if (*n == 0) {
+    *message = "problem line declares zero vertices";
+    return false;
+  }
+  // Vertex ids are VertexId (uint32_t) with kInvalidVertex reserved as a
+  // sentinel; a declared count beyond that would silently truncate in
+  // the 1-based -> 0-based cast below, so it is rejected here with the
+  // line that declared it.
+  if (*n > static_cast<size_t>(kInvalidVertex)) {
+    *message = "problem line declares more vertices than supported (max " +
+               std::to_string(kInvalidVertex) + ")";
+    return false;
+  }
+  return true;
+}
+
+struct CoordRec {
+  size_t id = 0;  // 1-based, validated in range
+  Point p;
+  size_t local_line = 0;    // 1-based within the chunk
+  std::string_view text;    // the source line, for apply-time errors
+};
+
+enum class CoLine { kSkip, kCoord, kError };
+
+/// Classifies one `.co` line. On kCoord fills id/p of `rec`; on kError
+/// fills `message`. Duplicate detection is stateful and happens at
+/// apply time, in file order.
+CoLine ClassifyCoLine(std::string_view line, size_t num_vertices,
+                      CoordRec* rec, std::string* message) {
+  if (line.empty() || line[0] == 'c' || line[0] == 'p') return CoLine::kSkip;
+  if (line[0] != 'v') {
+    *message = "unrecognized coordinate line";
+    return CoLine::kError;
+  }
+  std::string_view tokens[4];
+  size_t id = 0;
+  double x = 0.0, y = 0.0;
+  if (TokenizeView(line, tokens, 4) != 4 || !ParseSize(tokens[1], &id)) {
+    *message = "malformed coordinate line";
+    return CoLine::kError;
+  }
+  if (id == 0 || id > num_vertices) {
+    *message = "coordinate for undeclared vertex (ids are 1.." +
+               std::to_string(num_vertices) + ")";
+    return CoLine::kError;
+  }
+  if (!ParseFiniteDouble(tokens[2], &x) || !ParseFiniteDouble(tokens[3], &y)) {
+    *message = "coordinate is not a finite number";
+    return CoLine::kError;
+  }
+  rec->id = id;
+  rec->p = Point{x, y};
+  return CoLine::kCoord;
+}
+
+// ---------------------------------------------------------------------------
+// Chunked parallel parse.
+// ---------------------------------------------------------------------------
+
+/// Splits `text` into about `target_chunks` newline-aligned pieces (each
+/// at least 1 MiB so tiny files stay single-chunk). Every byte of `text`
+/// lands in exactly one chunk and no line straddles a boundary.
+std::vector<std::string_view> SplitChunks(std::string_view text,
+                                          size_t target_chunks) {
+  std::vector<std::string_view> chunks;
+  if (text.empty()) return chunks;
+  constexpr size_t kMinChunkBytes = size_t{1} << 20;
+  const size_t per = std::max(
+      kMinChunkBytes, text.size() / std::max<size_t>(1, target_chunks) + 1);
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = std::min(text.size(), pos + per);
+    if (end < text.size()) {
+      const size_t nl = text.find('\n', end);
+      end = (nl == std::string_view::npos) ? text.size() : nl + 1;
+    }
+    chunks.push_back(text.substr(pos, end - pos));
+    pos = end;
+  }
+  return chunks;
+}
+
+/// Per-chunk parse output. `num_lines` counts every line in the chunk
+/// (getline framing: a trailing '\n' does not start an empty extra
+/// line) so global line numbers prefix-sum across chunks. A worker
+/// stops at its first error; chunks are in file order, so the first
+/// errored chunk holds the earliest offending line of the whole file.
+template <typename Rec>
+struct ChunkResult {
+  std::vector<Rec> recs;
+  size_t num_lines = 0;
+  bool has_error = false;
+  size_t error_line = 0;  // 1-based within the chunk
+  std::string error_message;
+  std::string error_text;
+};
+
+/// Runs `parse_line(line, chunk_result)` (returning false on error) for
+/// each line of each chunk, inline when `pool` is null.
+template <typename Rec, typename ParseLine>
+std::vector<ChunkResult<Rec>> ParseChunks(
+    const std::vector<std::string_view>& chunks, ThreadPool* pool,
+    const ParseLine& parse_line) {
+  std::vector<ChunkResult<Rec>> results(chunks.size());
+  auto parse_chunk = [&](size_t ci) {
+    std::string_view text = chunks[ci];
+    ChunkResult<Rec>& out = results[ci];
+    size_t pos = 0;
+    while (pos < text.size()) {
+      const size_t eol = text.find('\n', pos);
+      const size_t end = (eol == std::string_view::npos) ? text.size() : eol;
+      const std::string_view line = text.substr(pos, end - pos);
+      pos = (eol == std::string_view::npos) ? text.size() : eol + 1;
+      ++out.num_lines;
+      std::string message;
+      if (!parse_line(line, &out, &message)) {
+        out.has_error = true;
+        out.error_line = out.num_lines;
+        out.error_message = std::move(message);
+        out.error_text = std::string(line);
+        // Keep counting lines? Not needed: later chunks' line counts
+        // are independent, and the earliest error is in an earlier
+        // chunk or this line.
+        break;
+      }
+    }
+    return;
+  };
+  if (pool == nullptr || chunks.size() <= 1) {
+    for (size_t ci = 0; ci < chunks.size(); ++ci) parse_chunk(ci);
+  } else {
+    pool->ParallelFor(chunks.size(),
+                      [&](size_t ci, size_t /*worker*/) { parse_chunk(ci); });
+  }
+  return results;
 }
 
 }  // namespace
 
-LoadResult LoadDimacs(const std::string& gr_path,
-                      const std::string& co_path) {
-  std::ifstream gr(gr_path);
-  if (!gr) return Fail("cannot open graph file: " + gr_path);
+LoadResult LoadDimacs(const std::string& gr_path, const std::string& co_path,
+                      ThreadPool* pool) {
+  auto gr_map = MmapFile::Open(gr_path);
+  if (!gr_map) return Fail("cannot open graph file: " + gr_path);
+  const std::string_view gr_text(reinterpret_cast<const char*>(gr_map->data()),
+                                 gr_map->size());
 
+  // Sequential prefix: comments up to and including the problem line.
+  // Everything before the 'p' line is cheap to scan inline, and doing so
+  // keeps the "arc line before the problem line" / "no problem line"
+  // contract trivially identical to the v1 loader.
   GraphBuilder builder;
-  bool have_problem_line = false;
   size_t declared_vertices = 0;
-  size_t line_number = 0;
-  std::string line;
-  while (std::getline(gr, line)) {
-    ++line_number;
-    if (line.empty()) continue;
-    switch (line[0]) {
-      case 'c':  // comment
-        break;
-      case 'p': {
-        // "p sp <n> <m>"
-        if (have_problem_line) {
-          return FailAt(gr_path, line_number, "duplicate problem line", line);
+  size_t prefix_lines = 0;  // lines consumed, including the 'p' line
+  size_t body_offset = std::string_view::npos;
+  {
+    size_t pos = 0;
+    bool found_problem = false;
+    while (pos < gr_text.size()) {
+      const size_t eol = gr_text.find('\n', pos);
+      const size_t end = (eol == std::string_view::npos) ? gr_text.size() : eol;
+      const std::string_view line = gr_text.substr(pos, end - pos);
+      pos = (eol == std::string_view::npos) ? gr_text.size() : eol + 1;
+      ++prefix_lines;
+      EdgeRec edge;
+      std::string message;
+      switch (ClassifyGrLine(line, /*have_problem_line=*/false,
+                             declared_vertices, &edge, &message)) {
+        case GrLine::kSkip:
+          break;
+        case GrLine::kProblem: {
+          if (!ParseProblemLine(line, &declared_vertices, &message)) {
+            return FailAt(gr_path, prefix_lines, message, line);
+          }
+          builder.Resize(declared_vertices);
+          found_problem = true;
+          body_offset = pos;
+          break;
         }
-        const auto tokens = Tokenize(line);
-        size_t n = 0, m = 0;
-        if (tokens.size() != 4 || tokens[1] != "sp" ||
-            !ParseSize(tokens[2], &n) || !ParseSize(tokens[3], &m)) {
-          return FailAt(gr_path, line_number, "malformed problem line", line);
-        }
-        if (n == 0) {
-          return FailAt(gr_path, line_number,
-                        "problem line declares zero vertices", line);
-        }
-        have_problem_line = true;
-        declared_vertices = n;
-        builder.Resize(n);
-        break;
+        case GrLine::kEdge:  // unreachable before the problem line
+        case GrLine::kError:
+          return FailAt(gr_path, prefix_lines, message, line);
       }
-      case 'a': {
-        if (!have_problem_line) {
-          return FailAt(gr_path, line_number,
-                        "arc line before the problem line", line);
-        }
-        const auto tokens = Tokenize(line);
-        size_t u = 0, v = 0;
-        double w = 0.0;
-        if (tokens.size() != 4 || !ParseSize(tokens[1], &u) ||
-            !ParseSize(tokens[2], &v)) {
-          return FailAt(gr_path, line_number, "malformed arc line", line);
-        }
-        if (u == 0 || v == 0 || u > declared_vertices ||
-            v > declared_vertices) {
-          return FailAt(gr_path, line_number,
-                        "arc references undeclared vertex (ids are 1.." +
-                            std::to_string(declared_vertices) + ")",
-                        line);
-        }
-        if (!ParseFiniteDouble(tokens[3], &w)) {
-          return FailAt(gr_path, line_number,
-                        "arc weight is not a finite number", line);
-        }
-        if (w <= 0.0) {
-          return FailAt(gr_path, line_number, "non-positive arc weight", line);
-        }
-        // DIMACS ids are 1-based.
-        builder.AddEdge(static_cast<VertexId>(u - 1),
-                        static_cast<VertexId>(v - 1), w);
-        break;
+      if (found_problem) break;
+    }
+    if (!found_problem) return Fail("no problem line in " + gr_path);
+  }
+
+  // Body: newline-aligned chunks parsed independently, fed to the
+  // builder in file order (bitwise-identical graph to a sequential
+  // parse; the builder sees the exact same edge sequence).
+  {
+    const std::string_view body = gr_text.substr(body_offset);
+    const size_t target = pool ? pool->num_workers() * 4 : 1;
+    const std::vector<std::string_view> chunks = SplitChunks(body, target);
+    auto results = ParseChunks<EdgeRec>(
+        chunks, pool,
+        [&](std::string_view line, ChunkResult<EdgeRec>* out,
+            std::string* message) {
+          EdgeRec edge;
+          switch (ClassifyGrLine(line, /*have_problem_line=*/true,
+                                 declared_vertices, &edge, message)) {
+            case GrLine::kSkip:
+              return true;
+            case GrLine::kEdge:
+              out->recs.push_back(edge);
+              return true;
+            default:
+              return false;
+          }
+        });
+    size_t line_base = prefix_lines;
+    for (const auto& cr : results) {
+      if (cr.has_error) {
+        return FailAt(gr_path, line_base + cr.error_line, cr.error_message,
+                      cr.error_text);
       }
-      default:
-        return FailAt(gr_path, line_number, "unrecognized line", line);
+      line_base += cr.num_lines;
+    }
+    for (const auto& cr : results) {
+      for (const EdgeRec& e : cr.recs) builder.AddEdge(e.u, e.v, e.w);
     }
   }
-  if (!have_problem_line) return Fail("no problem line in " + gr_path);
 
   Graph graph = builder.Build();
+  gr_map.reset();  // drop the mapping before the (optional) .co pass
 
   if (!co_path.empty()) {
-    std::ifstream co(co_path);
-    if (!co) return Fail("cannot open coordinate file: " + co_path);
+    auto co_map = MmapFile::Open(co_path);
+    if (!co_map) return Fail("cannot open coordinate file: " + co_path);
+    const std::string_view co_text(
+        reinterpret_cast<const char*>(co_map->data()), co_map->size());
+
+    const size_t target = pool ? pool->num_workers() * 4 : 1;
+    const std::vector<std::string_view> chunks = SplitChunks(co_text, target);
+    auto results = ParseChunks<CoordRec>(
+        chunks, pool,
+        [&](std::string_view line, ChunkResult<CoordRec>* out,
+            std::string* message) {
+          CoordRec rec;
+          switch (ClassifyCoLine(line, graph.NumVertices(), &rec, message)) {
+            case CoLine::kSkip:
+              return true;
+            case CoLine::kCoord:
+              rec.local_line = out->num_lines;
+              rec.text = line;
+              out->recs.push_back(rec);
+              return true;
+            default:
+              return false;
+          }
+        });
+
+    // Apply in file order: duplicate detection is stateful, and running
+    // it here (instead of inside the workers) reports the same
+    // second-occurrence line a sequential scan would.
     std::vector<Point> coords(graph.NumVertices());
     std::vector<bool> seen(graph.NumVertices(), false);
-    line_number = 0;
-    while (std::getline(co, line)) {
-      ++line_number;
-      if (line.empty() || line[0] == 'c' || line[0] == 'p') continue;
-      if (line[0] == 'v') {
-        const auto tokens = Tokenize(line);
-        size_t id = 0;
-        double x = 0.0, y = 0.0;
-        if (tokens.size() != 4 || !ParseSize(tokens[1], &id)) {
-          return FailAt(co_path, line_number, "malformed coordinate line",
-                        line);
-        }
-        if (id == 0 || id > coords.size()) {
-          return FailAt(co_path, line_number,
-                        "coordinate for undeclared vertex (ids are 1.." +
-                            std::to_string(coords.size()) + ")",
-                        line);
-        }
-        if (!ParseFiniteDouble(tokens[2], &x) ||
-            !ParseFiniteDouble(tokens[3], &y)) {
-          return FailAt(co_path, line_number,
-                        "coordinate is not a finite number", line);
-        }
-        if (seen[id - 1]) {
-          return FailAt(co_path, line_number,
-                        "duplicate coordinate for vertex " +
-                            std::to_string(id),
-                        line);
-        }
-        coords[id - 1] = Point{x, y};
-        seen[id - 1] = true;
-      } else {
-        return FailAt(co_path, line_number, "unrecognized coordinate line",
-                      line);
+    size_t line_base = 0;
+    for (const auto& cr : results) {
+      if (cr.has_error) {
+        return FailAt(co_path, line_base + cr.error_line, cr.error_message,
+                      cr.error_text);
       }
+      for (const CoordRec& rec : cr.recs) {
+        if (seen[rec.id - 1]) {
+          return FailAt(
+              co_path, line_base + rec.local_line,
+              "duplicate coordinate for vertex " + std::to_string(rec.id),
+              rec.text);
+        }
+        coords[rec.id - 1] = rec.p;
+        seen[rec.id - 1] = true;
+      }
+      line_base += cr.num_lines;
     }
     for (size_t i = 0; i < seen.size(); ++i) {
       if (!seen[i]) {

@@ -14,6 +14,8 @@
 
 namespace fannr {
 
+class ThreadPool;
+
 /// Result of a load attempt; `error` is non-empty iff loading failed.
 struct LoadResult {
   std::optional<Graph> graph;
@@ -26,7 +28,15 @@ struct LoadResult {
 /// file (pass an empty string to skip coordinates). Duplicate arcs and
 /// self-loops are cleaned up; the reverse arc implied by the undirected
 /// road network is added automatically.
-LoadResult LoadDimacs(const std::string& gr_path, const std::string& co_path);
+///
+/// With a non-null `pool`, the line parse (the dominant cost on
+/// continent-scale inputs) is fanned over newline-aligned chunks; the
+/// resulting graph is identical to the sequential load (chunks feed the
+/// builder in file order), and so is the error contract — every parse
+/// error still reads "<path>:<line>: <message>: '<line text>'" with the
+/// earliest offending line winning.
+LoadResult LoadDimacs(const std::string& gr_path, const std::string& co_path,
+                      ThreadPool* pool = nullptr);
 
 /// Writes `graph` in DIMACS format. Returns false on I/O failure. When the
 /// graph has coordinates and `co_path` is non-empty, also writes the

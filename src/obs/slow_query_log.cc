@@ -8,11 +8,13 @@ SlowQueryLog::SlowQueryLog(size_t capacity, double threshold_ms)
     : capacity_(std::max<size_t>(1, capacity)), threshold_ms_(threshold_ms) {}
 
 void SlowQueryLog::Offer(const QueryTrace& trace) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  // Fast path: a quick, successful query is dropped without touching
+  // the mutex, so workers offering every trace never serialize here.
   const bool admit =
       trace.status != QueryStatus::kOk || trace.solve_ms >= threshold_ms_;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++offered_;
   if (!admit) return;
+  std::lock_guard<std::mutex> lock(mu_);
   ++admitted_;
   if (ring_.size() < capacity_) {
     ring_.push_back(trace);
@@ -34,8 +36,7 @@ std::vector<QueryTrace> SlowQueryLog::Entries() const {
 }
 
 size_t SlowQueryLog::total_offered() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return offered_;
+  return offered_.load(std::memory_order_relaxed);
 }
 
 size_t SlowQueryLog::total_admitted() const {

@@ -4,13 +4,16 @@
 // answer must survive the batch that produced it without retaining a
 // trace per query forever. The log keeps the most recent `capacity`
 // completed traces whose solve time reached the threshold, overwriting
-// the oldest on wraparound. Offer() takes a mutex — admission is rare by
-// construction (slow queries) and the copied trace is small — so the
-// query hot path never spins on log internals.
+// the oldest on wraparound. Offer() checks the threshold BEFORE taking
+// the mutex: the common case — a fast, successful query — costs one
+// relaxed atomic increment and a branch, so concurrent workers never
+// serialize on the log. Only admissions (rare by construction) lock,
+// and the copied trace is small.
 
 #ifndef FANNR_OBS_SLOW_QUERY_LOG_H_
 #define FANNR_OBS_SLOW_QUERY_LOG_H_
 
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <string>
@@ -58,10 +61,13 @@ class SlowQueryLog {
   const size_t capacity_;
   const double threshold_ms_;
 
+  // Offers are counted lock-free so the drop path (fast queries) never
+  // touches mu_.
+  std::atomic<size_t> offered_{0};
+
   mutable std::mutex mu_;
   std::vector<QueryTrace> ring_;  // grows to capacity_, then wraps
   size_t next_ = 0;               // overwrite position once full
-  size_t offered_ = 0;
   size_t admitted_ = 0;
 };
 

@@ -64,8 +64,9 @@ std::string FormatTrace(const QueryTrace& trace) {
   out += "  dispatch wait: " + Ms(trace.dispatch_wait_ms) + " ms\n";
   out += "  solve:         " + Ms(trace.solve_ms) + " ms  (g_phi prepare " +
          Ms(trace.gphi_prepare_ms) + " ms, evaluate " +
-         Ms(trace.gphi_evaluate_ms) + " ms over " +
-         std::to_string(trace.gphi_evaluate_calls) + " calls)\n";
+         Ms(trace.gphi_evaluate_ms) + " ms est. over " +
+         std::to_string(trace.gphi_evaluate_calls) + " calls, " +
+         std::to_string(trace.gphi_evaluate_timed_calls) + " timed)\n";
   out += "  counters:      " + std::to_string(trace.gphi_evaluations) +
          " g_phi evaluations, cache " + std::to_string(trace.cache_hits) +
          " hits / " + std::to_string(trace.cache_misses) + " misses";
@@ -107,6 +108,8 @@ std::string TraceToJson(const QueryTrace& trace) {
   out += ", \"gphi_evaluate_ms\": " + Ms(trace.gphi_evaluate_ms);
   out += ", \"gphi_evaluate_calls\": " +
          std::to_string(trace.gphi_evaluate_calls);
+  out += ", \"gphi_evaluate_timed_calls\": " +
+         std::to_string(trace.gphi_evaluate_timed_calls);
   out += ", \"gphi_evaluations\": " + std::to_string(trace.gphi_evaluations);
   out += ", \"cache_hits\": " + std::to_string(trace.cache_hits);
   out += ", \"cache_misses\": " + std::to_string(trace.cache_misses);

@@ -59,9 +59,19 @@ struct QueryTrace {
 
   /// g_phi phase breakdown accumulated by the tracing engine across the
   /// whole solve (a solver calls Prepare once and Evaluate many times).
+  /// Prepare is timed exactly. Evaluate time is SAMPLED: a solver makes
+  /// tens of Evaluate calls per query and each one is microseconds, so
+  /// timing every call costs more than everything else observation does
+  /// combined (two clock reads per call dominated the measured
+  /// observability overhead). The tracing engine times one call in
+  /// kEvaluateSamplePeriod (the first is always timed) and scales the
+  /// sum by calls/timed on trace finalization; gphi_evaluate_ms is that
+  /// estimate, clamped into the solve span by the batch engine.
+  /// gphi_evaluate_calls is always exact.
   double gphi_prepare_ms = 0.0;
   double gphi_evaluate_ms = 0.0;
   size_t gphi_evaluate_calls = 0;
+  size_t gphi_evaluate_timed_calls = 0;  ///< Calls behind the estimate.
 
   /// Copied solver counters / answer summary.
   size_t gphi_evaluations = 0;
@@ -111,10 +121,22 @@ class ScopedTimerMs {
 /// every GphiEngine; each worker wraps its own engine.
 class TracingGphiEngine : public GphiEngine {
  public:
+  /// Evaluate calls are timed at this period (see QueryTrace's phase
+  /// breakdown doc): call 0 of every query is timed, then every
+  /// kEvaluateSamplePeriod-th. Evaluations within one query are
+  /// homogeneous (same |Q|, same oracle), so the extrapolated estimate
+  /// tracks the true sum while the untimed calls cost one increment.
+  static constexpr size_t kEvaluateSamplePeriod = 16;
+
   explicit TracingGphiEngine(GphiEngine& inner) : inner_(inner) {}
 
-  /// Redirects recording; nullptr disables (pure forwarding).
-  void set_trace(QueryTrace* trace) { trace_ = trace; }
+  /// Redirects recording; nullptr disables (pure forwarding). Switching
+  /// away from a trace finalizes it: the sampled Evaluate time is scaled
+  /// to an estimate covering all calls.
+  void set_trace(QueryTrace* trace) {
+    FinalizeTrace();
+    trace_ = trace;
+  }
 
   void Prepare(const IndexedVertexSet& query_points) override {
     if (trace_ == nullptr) return inner_.Prepare(query_points);
@@ -124,14 +146,35 @@ class TracingGphiEngine : public GphiEngine {
 
   GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override {
     if (trace_ == nullptr) return inner_.Evaluate(p, k, aggregate);
-    ++trace_->gphi_evaluate_calls;
+    const size_t call = trace_->gphi_evaluate_calls++;
+    if (call % kEvaluateSamplePeriod != 0) {
+      return inner_.Evaluate(p, k, aggregate);
+    }
+    ++trace_->gphi_evaluate_timed_calls;
     ScopedTimerMs t(&trace_->gphi_evaluate_ms);
     return inner_.Evaluate(p, k, aggregate);
   }
 
+  // Pure forwarding: prewarming is part of construction, not solving,
+  // so it is never timed into a trace.
+  void PrewarmScratch() override { inner_.PrewarmScratch(); }
+
   std::string_view name() const override { return inner_.name(); }
 
  private:
+  // Scales the sampled Evaluate-time sum up to all calls. Idempotent per
+  // trace because set_trace detaches the trace it finalizes.
+  void FinalizeTrace() {
+    if (trace_ == nullptr) return;
+    if (trace_->gphi_evaluate_timed_calls > 0 &&
+        trace_->gphi_evaluate_calls > trace_->gphi_evaluate_timed_calls) {
+      trace_->gphi_evaluate_ms *=
+          static_cast<double>(trace_->gphi_evaluate_calls) /
+          static_cast<double>(trace_->gphi_evaluate_timed_calls);
+    }
+    trace_ = nullptr;
+  }
+
   GphiEngine& inner_;
   QueryTrace* trace_ = nullptr;
 };

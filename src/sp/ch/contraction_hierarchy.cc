@@ -1,6 +1,7 @@
 #include "sp/ch/contraction_hierarchy.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
 #include <utility>
 
@@ -197,16 +198,17 @@ ContractionHierarchy ContractionHierarchy::Build(const Graph& graph,
       up[e.to].push_back({e.from, e.weight});
     }
   }
-  ch.up_offsets_.resize(n + 1);
+  ch.up_offsets_.vec().resize(n + 1);
   size_t total = 0;
   for (VertexId v = 0; v < n; ++v) {
     ch.up_offsets_[v] = total;
     total += up[v].size();
   }
   ch.up_offsets_[n] = total;
-  ch.up_arcs_.reserve(total);
+  ch.up_arcs_.vec().reserve(total);
   for (VertexId v = 0; v < n; ++v) {
-    ch.up_arcs_.insert(ch.up_arcs_.end(), up[v].begin(), up[v].end());
+    ch.up_arcs_.vec().insert(ch.up_arcs_.vec().end(), up[v].begin(),
+                             up[v].end());
   }
   return ch;
 }
@@ -270,14 +272,30 @@ Weight ContractionHierarchy::BidirUpwardSearch(
 
 namespace {
 constexpr uint64_t kChMagic = 0xFA22A81AC4000003ULL;
+
+/// The upward CSR must be a monotone prefix array over valid targets —
+/// BidirUpwardSearch follows it without bounds checks. Shared by both
+/// load paths.
+bool ValidUpwardCsr(uint64_t vertices, const Column<size_t>& offsets,
+                    const Column<Arc>& arcs) {
+  if (offsets.size() != vertices + 1) return false;
+  if (offsets.front() != 0 || offsets.back() != arcs.size()) return false;
+  for (size_t i = 0; i < vertices; ++i) {
+    if (offsets[i] > offsets[i + 1]) return false;
+  }
+  for (const Arc& a : arcs) {
+    if (a.to >= vertices || !(a.weight > 0.0)) return false;
+  }
+  return true;
+}
 }  // namespace
 
 bool ContractionHierarchy::Save(std::ostream& out) const {
   BinaryWriter w(out);
   WriteIndexHeader(w, kChMagic, fingerprint_);
   w.Pod<uint64_t>(num_shortcuts_);
-  w.Vec(up_offsets_);
-  w.Vec(up_arcs_);
+  w.Span(up_offsets_.data(), up_offsets_.size());
+  w.Span(up_arcs_.data(), up_arcs_.size());
   return w.ok();
 }
 
@@ -292,29 +310,61 @@ std::optional<ContractionHierarchy> ContractionHierarchy::Load(
   ContractionHierarchy ch(vertices);
   ch.fingerprint_ = graph.Fingerprint();
   ch.build_epoch_ = graph.epoch();
-  if (!r.Pod(shortcuts) || !r.Vec(ch.up_offsets_) || !r.Vec(ch.up_arcs_)) {
+  if (!r.Pod(shortcuts) || !r.Vec(ch.up_offsets_.vec()) ||
+      !r.Vec(ch.up_arcs_.vec())) {
     return std::nullopt;
   }
-  // The upward CSR must be a monotone prefix array over valid targets —
-  // BidirUpwardSearch follows it without bounds checks.
-  if (ch.up_offsets_.size() != vertices + 1) return std::nullopt;
-  if (ch.up_offsets_.front() != 0 ||
-      ch.up_offsets_.back() != ch.up_arcs_.size()) {
+  if (!ValidUpwardCsr(vertices, ch.up_offsets_, ch.up_arcs_)) {
     return std::nullopt;
-  }
-  for (size_t i = 0; i < vertices; ++i) {
-    if (ch.up_offsets_[i] > ch.up_offsets_[i + 1]) return std::nullopt;
-  }
-  for (const Arc& a : ch.up_arcs_) {
-    if (a.to >= vertices || !(a.weight > 0.0)) return std::nullopt;
   }
   ch.num_shortcuts_ = shortcuts;
   return ch;
 }
 
+bool ContractionHierarchy::SaveV3(const std::string& path) const {
+  ArenaWriter writer;
+  std::vector<Arc> clean_arcs(up_arcs_.size());
+  std::memset(clean_arcs.data(), 0, clean_arcs.size() * sizeof(Arc));
+  for (size_t i = 0; i < up_arcs_.size(); ++i) {
+    clean_arcs[i].to = up_arcs_[i].to;
+    clean_arcs[i].weight = up_arcs_[i].weight;
+  }
+  writer.AddScalar<uint64_t>(num_shortcuts_);
+  writer.Add(up_offsets_);
+  writer.Add(clean_arcs);
+  return writer.Write(path, kChMagic, fingerprint_);
+}
+
+std::optional<ContractionHierarchy> ContractionHierarchy::LoadMmap(
+    const Graph& graph, const std::string& path, ArenaValidation validation) {
+  std::optional<ArenaFile> arena =
+      ArenaFile::Open(path, kChMagic, validation);
+  if (!arena.has_value() || arena->NumSections() != 3) return std::nullopt;
+  if (arena->fingerprint() != graph.Fingerprint()) return std::nullopt;
+
+  uint64_t shortcuts = 0;
+  if (!arena->ReadScalar(0, shortcuts)) return std::nullopt;
+  size_t num_offsets = 0, num_arcs = 0;
+  size_t* offsets = arena->SectionArray<size_t>(1, num_offsets);
+  Arc* arcs = arena->SectionArray<Arc>(2, num_arcs);
+  if (offsets == nullptr || arcs == nullptr) return std::nullopt;
+
+  const uint64_t vertices = graph.NumVertices();
+  ContractionHierarchy ch(vertices);
+  ch.fingerprint_ = graph.Fingerprint();
+  ch.build_epoch_ = graph.epoch();
+  ch.up_offsets_ = Column<size_t>::Borrow(offsets, num_offsets);
+  ch.up_arcs_ = Column<Arc>::Borrow(arcs, num_arcs);
+  if (!ValidUpwardCsr(vertices, ch.up_offsets_, ch.up_arcs_)) {
+    return std::nullopt;
+  }
+  ch.num_shortcuts_ = shortcuts;
+  ch.arena_ = std::make_shared<ArenaFile>(std::move(*arena));
+  return ch;
+}
+
 size_t ContractionHierarchy::MemoryBytes() const {
-  return up_offsets_.capacity() * sizeof(size_t) +
-         up_arcs_.capacity() * sizeof(Arc);
+  return up_offsets_.memory_bytes() + up_arcs_.memory_bytes();
 }
 
 }  // namespace fannr

@@ -13,10 +13,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/column.h"
 #include "common/flat_heap.h"
 #include "common/timestamped.h"
 #include "graph/graph.h"
@@ -85,6 +88,18 @@ class ContractionHierarchy {
   static std::optional<ContractionHierarchy> Load(const Graph& graph,
                                                   std::istream& in);
 
+  /// Writes the arena (format v3, graph/index_io.h) cache file with
+  /// zeroed arc padding (bit-deterministic). Returns false on I/O
+  /// failure.
+  bool SaveV3(const std::string& path) const;
+
+  /// Opens a SaveV3 file by mmap; the upward CSR points into the
+  /// mapping. Same rejection contract as Load; the payload checksum is
+  /// verified only under ArenaValidation::kFull.
+  static std::optional<ContractionHierarchy> LoadMmap(
+      const Graph& graph, const std::string& path,
+      ArenaValidation validation = ArenaValidation::kHeaderOnly);
+
   /// The graph epoch the index was built (or loaded) at.
   GraphEpoch build_epoch() const { return build_epoch_; }
 
@@ -103,11 +118,12 @@ class ContractionHierarchy {
 
   // Upward graph in CSR form: arcs from each vertex to higher-ranked
   // vertices only (original edges and shortcuts).
-  std::vector<size_t> up_offsets_;
-  std::vector<Arc> up_arcs_;
+  Column<size_t> up_offsets_;
+  Column<Arc> up_arcs_;
   size_t num_shortcuts_ = 0;
   GraphFingerprint fingerprint_;
   GraphEpoch build_epoch_ = 0;
+  std::shared_ptr<void> arena_;  // keeps an mmap-backed file alive
 
   // The bidirectional upward search shared by Search::Distance and the
   // convenience Distance(); the scratch arrays and frontiers are passed

@@ -104,6 +104,12 @@ DijkstraSearch::DijkstraSearch(const Graph& graph)
       dist_(graph.NumVertices(), kInfWeight),
       settled_(graph.NumVertices(), 0) {}
 
+void DijkstraSearch::ReserveFullSearch() {
+  // One initial push plus at most one push per strict distance
+  // improvement, of which there are at most NumArcs().
+  heap_.reserve(graph_.NumArcs() + 1);
+}
+
 Weight DijkstraSearch::Distance(VertexId source, VertexId target) {
   FANNR_CHECK(source < graph_.NumVertices() &&
               target < graph_.NumVertices());

@@ -57,6 +57,15 @@ class DijkstraSearch {
   /// given graph and source regardless of which search object ran it.
   void SsspInto(VertexId source, std::vector<Weight>& out);
 
+  /// Grows the frontier to the worst case of a full search up front:
+  /// lazy-deletion Dijkstra pushes once per strict improvement, at most
+  /// NumArcs() + 1 times, so after this call no search on this object
+  /// ever regrows the heap. Costs O(NumArcs()) bytes of memory; called
+  /// by batch workers at construction so the solve phase is
+  /// allocation-free from the first query (see
+  /// BatchOptions::prewarm_scratch).
+  void ReserveFullSearch();
+
   const Graph& graph() const { return graph_; }
 
  private:

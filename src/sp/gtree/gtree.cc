@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/flat_heap.h"
+#include "engine/thread_pool.h"
 #include "graph/index_io.h"
 #include "sp/gtree/partition.h"
 
@@ -19,7 +20,8 @@ using MinHeap = FlatHeap<HeapEntry>;
 
 }  // namespace
 
-GTree GTree::Build(const Graph& graph, const Options& options) {
+GTree GTree::Build(const Graph& graph, const Options& options,
+                   ThreadPool* pool) {
   FANNR_CHECK(options.fanout >= 2 &&
               (options.fanout & (options.fanout - 1)) == 0);
   FANNR_CHECK(options.leaf_capacity >= options.fanout);
@@ -30,8 +32,8 @@ GTree GTree::Build(const Graph& graph, const Options& options) {
   tree.fingerprint_ = graph.Fingerprint();
   tree.build_epoch_ = graph.epoch();
   const size_t n = graph.NumVertices();
-  tree.leaf_of_.assign(n, 0);
-  tree.leaf_pos_.assign(n, 0);
+  tree.leaf_of_.vec().assign(n, 0);
+  tree.leaf_pos_.vec().assign(n, 0);
 
   // Phase 1: recursive partitioning into the tree structure.
   tree.nodes_.emplace_back();  // root
@@ -71,7 +73,7 @@ GTree GTree::Build(const Graph& graph, const Options& options) {
       tree.nodes_.emplace_back();
       tree.nodes_[child_id].parent = frame.node;
       tree.nodes_[child_id].depth = child_depth;
-      tree.nodes_[frame.node].children.push_back(child_id);
+      tree.nodes_[frame.node].children.vec().push_back(child_id);
       stack.push_back({child_id, std::move(child_verts)});
     }
   }
@@ -110,7 +112,7 @@ GTree GTree::Build(const Graph& graph, const Options& options) {
       for (VertexId v : nd.vertices) {
         for (const Arc& a : graph.Neighbors(v)) {
           if (!in_node(nd, a.to)) {
-            nd.borders.push_back(v);
+            nd.borders.vec().push_back(v);
             break;
           }
         }
@@ -125,11 +127,11 @@ GTree GTree::Build(const Graph& graph, const Options& options) {
           const VertexId v = child.borders[bi];
           const uint32_t occ_pos = static_cast<uint32_t>(
               nd.occupants.size());
-          nd.occupants.push_back(v);
+          nd.occupants.vec().push_back(v);
           for (const Arc& a : graph.Neighbors(v)) {
             if (!in_node(nd, a.to)) {
-              nd.borders.push_back(v);
-              nd.border_occ_pos.push_back(occ_pos);
+              nd.borders.vec().push_back(v);
+              nd.border_occ_pos.vec().push_back(occ_pos);
               break;
             }
           }
@@ -138,45 +140,66 @@ GTree GTree::Build(const Graph& graph, const Options& options) {
     }
   }
 
-  // Phase 4: leaf matrices (within-leaf border-to-vertex distances).
-  for (Node& nd : tree.nodes_) {
-    if (nd.is_leaf) tree.ComputeLeafMatrix(nd);
+  // Phases 4-6 do all the matrix work. Each node's matrix is a pure
+  // function of already-complete inputs (the graph, its children's
+  // matrices, its parent's refined matrix), so nodes of one kind/depth
+  // level are independent and may run in any order — including fanned
+  // over a pool — with bitwise-identical results.
+  std::vector<int32_t> leaf_ids;
+  uint32_t max_depth = 0;
+  for (const Node& nd : tree.nodes_) max_depth = std::max(max_depth, nd.depth);
+  std::vector<std::vector<int32_t>> internal_by_depth(max_depth + 1);
+  for (int32_t id = 0; id < static_cast<int32_t>(tree.nodes_.size()); ++id) {
+    const Node& nd = tree.nodes_[id];
+    if (nd.is_leaf) {
+      leaf_ids.push_back(id);
+    } else {
+      internal_by_depth[nd.depth].push_back(id);
+    }
   }
+  auto run = [&](const std::vector<int32_t>& ids, auto&& fn) {
+    if (pool == nullptr) {
+      for (int32_t id : ids) fn(id);
+    } else {
+      pool->ParallelFor(ids.size(),
+                        [&](size_t i, size_t /*worker*/) { fn(ids[i]); });
+    }
+  };
 
-  // Phase 5: bottom-up assembly (within-subgraph distances).
-  for (int32_t id = static_cast<int32_t>(tree.nodes_.size()) - 1; id >= 0;
-       --id) {
-    if (!tree.nodes_[id].is_leaf) {
+  // Phase 4: leaf matrices (within-leaf border-to-vertex distances);
+  // every leaf independent.
+  run(leaf_ids, [&](int32_t id) { tree.ComputeLeafMatrix(tree.nodes_[id]); });
+
+  // Phase 5: bottom-up assembly (within-subgraph distances), one depth
+  // level at a time from the deepest up — a node only reads its
+  // children's (one level deeper, already complete) matrices.
+  for (size_t d = internal_by_depth.size(); d-- > 0;) {
+    run(internal_by_depth[d], [&](int32_t id) {
       tree.AssembleInternalMatrix(tree.nodes_[id], /*refine=*/false);
-    }
+    });
   }
 
-  // Phase 6: top-down refinement (global distances). Parents are refined
-  // before their children; children's matrices read during a node's
-  // refinement are still the bottom-up within-child versions, as the
-  // correctness argument requires.
-  std::vector<int32_t> by_depth(tree.nodes_.size());
-  std::iota(by_depth.begin(), by_depth.end(), 0);
-  std::stable_sort(by_depth.begin(), by_depth.end(),
-                   [&](int32_t a, int32_t b) {
-                     return tree.nodes_[a].depth < tree.nodes_[b].depth;
-                   });
-  for (int32_t id : by_depth) {
-    Node& nd = tree.nodes_[id];
-    if (!nd.is_leaf && nd.parent >= 0) {
-      tree.AssembleInternalMatrix(nd, /*refine=*/true);
-    }
+  // Phase 6: top-down refinement (global distances) by increasing
+  // depth. A node reads its parent's refined matrix (previous level,
+  // complete) and its children's matrices (still the bottom-up
+  // within-child versions until the NEXT level runs — exactly what the
+  // correctness argument requires), so each level is internally
+  // independent. The root's bottom-up matrix is already global.
+  for (size_t d = 1; d < internal_by_depth.size(); ++d) {
+    run(internal_by_depth[d], [&](int32_t id) {
+      tree.AssembleInternalMatrix(tree.nodes_[id], /*refine=*/true);
+    });
   }
   return tree;
 }
 
 void GTree::ComputeLeafMatrix(Node& leaf) {
   const size_t cols = leaf.vertices.size();
-  leaf.matrix.assign(leaf.borders.size() * cols, kInfWeight);
+  leaf.matrix.vec().assign(leaf.borders.size() * cols, kInfWeight);
   for (size_t row = 0; row < leaf.borders.size(); ++row) {
     std::vector<Weight> dist =
         WithinLeafDistancesImpl(leaf, leaf.borders[row]);
-    std::copy(dist.begin(), dist.end(), leaf.matrix.begin() + row * cols);
+    std::copy(dist.begin(), dist.end(), leaf.matrix.data() + row * cols);
   }
 }
 
@@ -213,7 +236,7 @@ std::vector<Weight> GTree::WithinLeafDistancesImpl(const Node& leaf,
 
 void GTree::AssembleInternalMatrix(Node& nd, bool refine) {
   const size_t m = nd.occupants.size();
-  nd.matrix.assign(m * m, kInfWeight);
+  nd.matrix.vec().assign(m * m, kInfWeight);
   if (m == 0) return;
 
   std::unordered_map<VertexId, uint32_t> occ_index;
@@ -289,7 +312,7 @@ void GTree::AssembleInternalMatrix(Node& nd, bool refine) {
         }
       }
     }
-    std::copy(dist.begin(), dist.end(), nd.matrix.begin() + src * m);
+    std::copy(dist.begin(), dist.end(), nd.matrix.data() + src * m);
   }
 }
 
@@ -520,7 +543,104 @@ Weight GTree::SourceOracle::DistanceTo(VertexId target) const {
 }
 
 namespace {
+
 constexpr uint64_t kGTreeMagic = 0xFA22A81A67BEE002ULL;
+
+// POD mirrors of the v3 scalar/meta sections (see SaveV3 below).
+struct GTreeParamsPod {
+  uint64_t fanout;
+  uint64_t leaf_capacity;
+  uint64_t num_leaves;
+  uint64_t num_nodes;
+};
+static_assert(sizeof(GTreeParamsPod) == 32);
+
+struct GTreeNodePod {
+  int32_t parent;
+  uint32_t depth;
+  uint32_t is_leaf;
+  uint32_t occ_offset;
+  uint32_t leaf_begin;
+  uint32_t leaf_end;
+};
+static_assert(sizeof(GTreeNodePod) == 24);
+
+// Structural checks shared by Load and LoadMmap: every array reference
+// that Distance(), SourceOracle and the kNN engine follow without
+// bounds checks must be internally consistent, so a corrupt payload can
+// never cause an out-of-range read or a non-terminating parent walk.
+bool ValidTreeStructure(size_t vertices,
+                        const std::vector<GTree::Node>& nodes,
+                        const Column<int32_t>& leaf_of,
+                        const Column<uint32_t>& leaf_pos) {
+  if (leaf_of.size() != vertices || leaf_pos.size() != vertices) return false;
+  const size_t n = nodes.size();
+  if (n == 0) return vertices == 0;
+  for (size_t id = 0; id < n; ++id) {
+    const GTree::Node& nd = nodes[id];
+    if (id == 0) {
+      if (nd.parent != -1 || nd.depth != 0) return false;
+    } else {
+      // Parents precede their children and sit one level up, so every
+      // upward walk strictly decreases depth and terminates at node 0.
+      if (nd.parent < 0 || static_cast<size_t>(nd.parent) >= id) return false;
+      if (nd.depth != nodes[nd.parent].depth + 1) return false;
+      // The node's border rows live at [occ_offset, occ_offset + |B|)
+      // inside the parent's occupant-indexed matrix.
+      if (uint64_t{nd.occ_offset} + nd.borders.size() >
+          nodes[nd.parent].occupants.size()) {
+        return false;
+      }
+    }
+    for (VertexId b : nd.borders) {
+      if (b >= vertices) return false;
+    }
+    if (nd.is_leaf) {
+      if (!nd.children.empty()) return false;
+      for (VertexId v : nd.vertices) {
+        if (v >= vertices) return false;
+      }
+      // Leaf border rows index within[] arrays sized by the leaf's own
+      // vertex list, so each border must be a member of this leaf.
+      for (VertexId b : nd.borders) {
+        if (static_cast<size_t>(leaf_of[b]) != id) return false;
+      }
+      const uint64_t rows = nd.borders.size();
+      const uint64_t cols = nd.vertices.size();
+      if (rows != 0 && cols != 0) {
+        if (nd.matrix.size() % rows != 0 || nd.matrix.size() / rows != cols) {
+          return false;
+        }
+      } else if (!nd.matrix.empty()) {
+        return false;
+      }
+    } else {
+      const uint64_t m = nd.occupants.size();
+      if (m == 0) {
+        if (!nd.matrix.empty()) return false;
+      } else if (nd.matrix.size() % m != 0 || nd.matrix.size() / m != m) {
+        return false;
+      }
+      if (nd.border_occ_pos.size() != nd.borders.size()) return false;
+      for (uint32_t pos : nd.border_occ_pos) {
+        if (pos >= m) return false;
+      }
+      for (int32_t cid : nd.children) {
+        if (cid <= 0 || static_cast<size_t>(cid) >= n) return false;
+      }
+    }
+  }
+  // Per-vertex leaf references must land on a real leaf at a valid
+  // position — queries follow them without bounds checks.
+  for (size_t v = 0; v < vertices; ++v) {
+    const int32_t leaf = leaf_of[v];
+    if (leaf < 0 || static_cast<size_t>(leaf) >= n) return false;
+    const GTree::Node& nd = nodes[leaf];
+    if (!nd.is_leaf || leaf_pos[v] >= nd.vertices.size()) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool GTree::Save(std::ostream& out) const {
@@ -529,8 +649,8 @@ bool GTree::Save(std::ostream& out) const {
   w.Pod<uint64_t>(options_.fanout);
   w.Pod<uint64_t>(options_.leaf_capacity);
   w.Pod<uint64_t>(num_leaves_);
-  w.Vec(leaf_of_);
-  w.Vec(leaf_pos_);
+  w.Span(leaf_of_.data(), leaf_of_.size());
+  w.Span(leaf_pos_.data(), leaf_pos_.size());
   w.Pod<uint64_t>(nodes_.size());
   for (const Node& nd : nodes_) {
     w.Pod(nd.parent);
@@ -539,12 +659,12 @@ bool GTree::Save(std::ostream& out) const {
     w.Pod(nd.occ_offset);
     w.Pod(nd.leaf_begin);
     w.Pod(nd.leaf_end);
-    w.Vec(nd.children);
-    w.Vec(nd.vertices);
-    w.Vec(nd.borders);
-    w.Vec(nd.occupants);
-    w.Vec(nd.border_occ_pos);
-    w.Vec(nd.matrix);
+    w.Span(nd.children.data(), nd.children.size());
+    w.Span(nd.vertices.data(), nd.vertices.size());
+    w.Span(nd.borders.data(), nd.borders.size());
+    w.Span(nd.occupants.data(), nd.occupants.size());
+    w.Span(nd.border_occ_pos.data(), nd.border_occ_pos.size());
+    w.Span(nd.matrix.data(), nd.matrix.size());
   }
   return w.ok();
 }
@@ -566,12 +686,8 @@ std::optional<GTree> GTree::Load(const Graph& graph, std::istream& in) {
   tree.options_.fanout = fanout;
   tree.options_.leaf_capacity = leaf_capacity;
   tree.num_leaves_ = num_leaves;
-  if (!r.Vec(tree.leaf_of_) || !r.Vec(tree.leaf_pos_) ||
+  if (!r.Vec(tree.leaf_of_.vec()) || !r.Vec(tree.leaf_pos_.vec()) ||
       !r.Pod(num_nodes)) {
-    return std::nullopt;
-  }
-  if (tree.leaf_of_.size() != vertices ||
-      tree.leaf_pos_.size() != vertices) {
     return std::nullopt;
   }
   tree.nodes_.resize(num_nodes);
@@ -579,39 +695,161 @@ std::optional<GTree> GTree::Load(const Graph& graph, std::istream& in) {
     uint8_t is_leaf = 0;
     if (!r.Pod(nd.parent) || !r.Pod(nd.depth) || !r.Pod(is_leaf) ||
         !r.Pod(nd.occ_offset) || !r.Pod(nd.leaf_begin) ||
-        !r.Pod(nd.leaf_end) || !r.Vec(nd.children) || !r.Vec(nd.vertices) ||
-        !r.Vec(nd.borders) || !r.Vec(nd.occupants) ||
-        !r.Vec(nd.border_occ_pos) || !r.Vec(nd.matrix)) {
+        !r.Pod(nd.leaf_end) || !r.Vec(nd.children.vec()) ||
+        !r.Vec(nd.vertices.vec()) || !r.Vec(nd.borders.vec()) ||
+        !r.Vec(nd.occupants.vec()) || !r.Vec(nd.border_occ_pos.vec()) ||
+        !r.Vec(nd.matrix.vec())) {
       return std::nullopt;
     }
     nd.is_leaf = is_leaf != 0;
   }
-  // Per-vertex leaf references must land on a real leaf at a valid
-  // position — Distance() follows them without bounds checks.
-  for (uint64_t v = 0; v < vertices; ++v) {
-    const int32_t leaf = tree.leaf_of_[v];
-    if (leaf < 0 || static_cast<uint64_t>(leaf) >= num_nodes) {
-      return std::nullopt;
-    }
-    const Node& nd = tree.nodes_[leaf];
-    if (!nd.is_leaf || tree.leaf_pos_[v] >= nd.vertices.size()) {
-      return std::nullopt;
-    }
+  if (!ValidTreeStructure(vertices, tree.nodes_, tree.leaf_of_,
+                          tree.leaf_pos_)) {
+    return std::nullopt;
   }
   return tree;
 }
 
-size_t GTree::MemoryBytes() const {
-  size_t bytes = nodes_.capacity() * sizeof(Node) +
-                 leaf_of_.capacity() * sizeof(int32_t) +
-                 leaf_pos_.capacity() * sizeof(uint32_t);
+bool GTree::SaveV3(const std::string& path) const {
+  // Sixteen sections: params, leaf_of, leaf_pos, node metas, then a
+  // (u64 prefix-offset array of length num_nodes + 1, concatenated
+  // payload) pair per ragged per-node field. LoadMmap borrows node i's
+  // slice as payload[offs[i], offs[i + 1]).
+  const size_t n = nodes_.size();
+  std::vector<GTreeNodePod> metas;
+  metas.reserve(n);
+  std::vector<uint64_t> children_off(1, 0), vertices_off(1, 0),
+      borders_off(1, 0), occupants_off(1, 0), bop_off(1, 0), matrix_off(1, 0);
+  std::vector<int32_t> children_all;
+  std::vector<VertexId> vertices_all, borders_all, occupants_all;
+  std::vector<uint32_t> bop_all;
+  std::vector<Weight> matrix_all;
   for (const Node& nd : nodes_) {
-    bytes += nd.children.capacity() * sizeof(int32_t) +
-             nd.vertices.capacity() * sizeof(VertexId) +
-             nd.borders.capacity() * sizeof(VertexId) +
-             nd.occupants.capacity() * sizeof(VertexId) +
-             nd.border_occ_pos.capacity() * sizeof(uint32_t) +
-             nd.matrix.capacity() * sizeof(Weight);
+    metas.push_back({nd.parent, nd.depth, nd.is_leaf ? 1u : 0u,
+                     nd.occ_offset, nd.leaf_begin, nd.leaf_end});
+    children_all.insert(children_all.end(), nd.children.begin(),
+                        nd.children.end());
+    vertices_all.insert(vertices_all.end(), nd.vertices.begin(),
+                        nd.vertices.end());
+    borders_all.insert(borders_all.end(), nd.borders.begin(),
+                       nd.borders.end());
+    occupants_all.insert(occupants_all.end(), nd.occupants.begin(),
+                         nd.occupants.end());
+    bop_all.insert(bop_all.end(), nd.border_occ_pos.begin(),
+                   nd.border_occ_pos.end());
+    matrix_all.insert(matrix_all.end(), nd.matrix.begin(), nd.matrix.end());
+    children_off.push_back(children_all.size());
+    vertices_off.push_back(vertices_all.size());
+    borders_off.push_back(borders_all.size());
+    occupants_off.push_back(occupants_all.size());
+    bop_off.push_back(bop_all.size());
+    matrix_off.push_back(matrix_all.size());
+  }
+  ArenaWriter w;
+  w.AddScalar(GTreeParamsPod{options_.fanout, options_.leaf_capacity,
+                             num_leaves_, n});
+  w.Add(leaf_of_);
+  w.Add(leaf_pos_);
+  w.Add(metas);
+  w.Add(children_off);
+  w.Add(children_all);
+  w.Add(vertices_off);
+  w.Add(vertices_all);
+  w.Add(borders_off);
+  w.Add(borders_all);
+  w.Add(occupants_off);
+  w.Add(occupants_all);
+  w.Add(bop_off);
+  w.Add(bop_all);
+  w.Add(matrix_off);
+  w.Add(matrix_all);
+  return w.Write(path, kGTreeMagic, fingerprint_);
+}
+
+std::optional<GTree> GTree::LoadMmap(const Graph& graph,
+                                     const std::string& path,
+                                     ArenaValidation validation) {
+  auto arena = ArenaFile::Open(path, kGTreeMagic, validation);
+  if (!arena || arena->fingerprint() != graph.Fingerprint() ||
+      arena->NumSections() != 16) {
+    return std::nullopt;
+  }
+  GTreeParamsPod params{};
+  if (!arena->ReadScalar(0, params)) return std::nullopt;
+  const size_t n = params.num_nodes;
+
+  GTree tree;
+  tree.graph_ = &graph;
+  tree.options_.fanout = params.fanout;
+  tree.options_.leaf_capacity = params.leaf_capacity;
+  tree.num_leaves_ = params.num_leaves;
+  tree.fingerprint_ = graph.Fingerprint();
+  tree.build_epoch_ = graph.epoch();
+
+  size_t count = 0;
+  int32_t* leaf_of = arena->SectionArray<int32_t>(1, count);
+  if (leaf_of == nullptr) return std::nullopt;
+  tree.leaf_of_ = Column<int32_t>::Borrow(leaf_of, count);
+  uint32_t* leaf_pos = arena->SectionArray<uint32_t>(2, count);
+  if (leaf_pos == nullptr) return std::nullopt;
+  tree.leaf_pos_ = Column<uint32_t>::Borrow(leaf_pos, count);
+  GTreeNodePod* metas = arena->SectionArray<GTreeNodePod>(3, count);
+  if (metas == nullptr || count != n) return std::nullopt;
+
+  // Each ragged field: the prefix array must have num_nodes + 1 entries,
+  // start at zero, grow monotonically, and end exactly at the payload
+  // count — then every per-node slice is a valid in-bounds view.
+  tree.nodes_.resize(n);
+  auto borrow_field = [&](size_t off_section, auto tag,
+                          auto member) -> bool {
+    using Elem = decltype(tag);
+    size_t off_count = 0;
+    const uint64_t* offs =
+        arena->SectionArray<uint64_t>(off_section, off_count);
+    if (offs == nullptr || off_count != n + 1) return false;
+    size_t payload_count = 0;
+    Elem* payload = arena->SectionArray<Elem>(off_section + 1, payload_count);
+    if (payload == nullptr) return false;
+    if (offs[0] != 0 || offs[n] != payload_count) return false;
+    for (size_t i = 0; i < n; ++i) {
+      if (offs[i] > offs[i + 1]) return false;
+      tree.nodes_[i].*member = Column<Elem>::Borrow(
+          payload + offs[i], static_cast<size_t>(offs[i + 1] - offs[i]));
+    }
+    return true;
+  };
+  if (!borrow_field(4, int32_t{}, &Node::children) ||
+      !borrow_field(6, VertexId{}, &Node::vertices) ||
+      !borrow_field(8, VertexId{}, &Node::borders) ||
+      !borrow_field(10, VertexId{}, &Node::occupants) ||
+      !borrow_field(12, uint32_t{}, &Node::border_occ_pos) ||
+      !borrow_field(14, Weight{}, &Node::matrix)) {
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Node& nd = tree.nodes_[i];
+    nd.parent = metas[i].parent;
+    nd.depth = metas[i].depth;
+    nd.is_leaf = metas[i].is_leaf != 0;
+    nd.occ_offset = metas[i].occ_offset;
+    nd.leaf_begin = metas[i].leaf_begin;
+    nd.leaf_end = metas[i].leaf_end;
+  }
+  if (!ValidTreeStructure(graph.NumVertices(), tree.nodes_, tree.leaf_of_,
+                          tree.leaf_pos_)) {
+    return std::nullopt;
+  }
+  tree.arena_ = std::make_shared<ArenaFile>(std::move(*arena));
+  return tree;
+}
+
+size_t GTree::MemoryBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node) + leaf_of_.memory_bytes() +
+                 leaf_pos_.memory_bytes();
+  for (const Node& nd : nodes_) {
+    bytes += nd.children.memory_bytes() + nd.vertices.memory_bytes() +
+             nd.borders.memory_bytes() + nd.occupants.memory_bytes() +
+             nd.border_occ_pos.memory_bytes() + nd.matrix.memory_bytes();
   }
   return bytes;
 }

@@ -21,12 +21,17 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/column.h"
 #include "graph/graph.h"
 
 namespace fannr {
+
+class ThreadPool;
 
 /// Hierarchical road-network index; see file comment.
 ///
@@ -45,25 +50,27 @@ class GTree {
     size_t leaf_capacity = 64;
   };
 
-  /// Tree node. Exposed (read-only) for the kNN engine and tests.
+  /// Tree node. Exposed (read-only) for the kNN engine and tests. The
+  /// per-node arrays are Columns: owned vectors after Build/Load, views
+  /// into the mapped file after LoadMmap (graph/index_io.h format v3).
   struct Node {
     int32_t parent = -1;
     uint32_t depth = 0;
     bool is_leaf = true;
-    std::vector<int32_t> children;
+    Column<int32_t> children;
     /// Leaf only: the vertices in this leaf.
-    std::vector<VertexId> vertices;
+    Column<VertexId> vertices;
     /// Border vertices: members with an edge leaving this node's subgraph.
-    std::vector<VertexId> borders;
+    Column<VertexId> borders;
     /// Internal only: concatenation of children's border lists.
-    std::vector<VertexId> occupants;
+    Column<VertexId> occupants;
     /// Internal only: position of borders[i] within occupants.
-    std::vector<uint32_t> border_occ_pos;
+    Column<uint32_t> border_occ_pos;
     /// Offset of this node's borders inside the parent's occupants.
     uint32_t occ_offset = 0;
     /// Leaf: |borders| x |vertices| within-leaf distances.
     /// Internal: |occupants| x |occupants| global network distances.
-    std::vector<Weight> matrix;
+    Column<Weight> matrix;
     /// Leaves covered by this subtree: DFS leaf-order interval
     /// [leaf_begin, leaf_end).
     uint32_t leaf_begin = 0;
@@ -79,9 +86,14 @@ class GTree {
 
   /// Builds the index. The graph must outlive the tree and must not be
   /// moved or destroyed while the tree exists (the tree stores a pointer
-  /// into it).
+  /// into it). With a non-null `pool`, the expensive matrix phases (leaf
+  /// matrices, per-depth-level bottom-up assembly and top-down
+  /// refinement) fan over the pool's workers; each node's matrix is a
+  /// pure function of already-complete inputs, so the result is bitwise
+  /// identical to the sequential build.
   static GTree Build(const Graph& graph) { return Build(graph, Options{}); }
-  static GTree Build(const Graph& graph, const Options& options);
+  static GTree Build(const Graph& graph, const Options& options,
+                     ThreadPool* pool = nullptr);
 
   /// Exact network distance (kInfWeight if disconnected). Thread-safe.
   Weight Distance(VertexId u, VertexId v) const;
@@ -144,6 +156,22 @@ class GTree {
   /// since-updated network is rejected).
   static std::optional<GTree> Load(const Graph& graph, std::istream& in);
 
+  /// Writes the arena (format v3, graph/index_io.h) cache file: the
+  /// per-node arrays are flattened into per-field (prefix offsets,
+  /// concatenated payload) section pairs, so LoadMmap can point every
+  /// node's Columns into the mapping without copying. Returns false on
+  /// I/O failure.
+  bool SaveV3(const std::string& path) const;
+
+  /// Opens a SaveV3 file by mmap. Same rejection contract as Load, plus
+  /// O(nodes) structural checks (prefix arrays monotone, matrix sizes
+  /// consistent with border/occupant counts) so queries on the views
+  /// stay memory-safe; the payload checksum is verified only under
+  /// ArenaValidation::kFull.
+  static std::optional<GTree> LoadMmap(
+      const Graph& graph, const std::string& path,
+      ArenaValidation validation = ArenaValidation::kHeaderOnly);
+
   /// The graph epoch the index was built (or loaded) at.
   GraphEpoch build_epoch() const { return build_epoch_; }
 
@@ -168,11 +196,12 @@ class GTree {
   const Graph* graph_ = nullptr;
   Options options_;
   std::vector<Node> nodes_;
-  std::vector<int32_t> leaf_of_;    // per graph vertex
-  std::vector<uint32_t> leaf_pos_;  // per graph vertex
+  Column<int32_t> leaf_of_;    // per graph vertex
+  Column<uint32_t> leaf_pos_;  // per graph vertex
   size_t num_leaves_ = 0;
   GraphFingerprint fingerprint_;
   GraphEpoch build_epoch_ = 0;
+  std::shared_ptr<void> arena_;  // keeps an mmap-backed file alive
 };
 
 }  // namespace fannr

@@ -1,10 +1,12 @@
 #include "sp/label/hub_labels.h"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 
 #include "common/flat_heap.h"
 #include "common/rng.h"
+#include "engine/thread_pool.h"
 #include "graph/index_io.h"
 #include "sp/dijkstra.h"
 
@@ -12,32 +14,59 @@ namespace fannr {
 
 namespace {
 
+// One sample's contribution to the importance scores: the size of every
+// vertex's shortest-path-tree subtree under `source`, accumulated into
+// `score` (which the caller guards when sampling in parallel).
+void AccumulateTreeScore(const Graph& graph, VertexId source,
+                         std::vector<uint64_t>& score, std::mutex* mu) {
+  const size_t n = graph.NumVertices();
+  SsspTree tree = DijkstraSsspTree(graph, source);
+  // Process vertices from far to near so each vertex's subtree size is
+  // complete before being added to its parent.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return tree.dist[a] > tree.dist[b];
+  });
+  std::vector<uint64_t> subtree(n, 1);
+  std::unique_lock<std::mutex> lock;
+  if (mu != nullptr) lock = std::unique_lock<std::mutex>(*mu);
+  for (VertexId v : order) {
+    if (tree.dist[v] == kInfWeight) continue;
+    score[v] += subtree[v];
+    if (tree.parent[v] != kInvalidVertex) {
+      subtree[tree.parent[v]] += subtree[v];
+    }
+  }
+}
+
 // Importance score per vertex: how often it appears on sampled shortest
 // paths, estimated as the sum of its shortest-path-tree subtree sizes over
 // a few random sources. High-score vertices make good (early) hubs.
+//
+// The sources are pre-drawn from one sequential RNG stream, and the
+// per-sample contributions are wrapping uint64 additions, so the result
+// is bitwise identical whether the samples run sequentially or fanned
+// over a pool.
 std::vector<uint64_t> SampledTreeScores(const Graph& graph,
-                                        size_t num_samples, uint64_t seed) {
+                                        size_t num_samples, uint64_t seed,
+                                        ThreadPool* pool) {
   const size_t n = graph.NumVertices();
   std::vector<uint64_t> score(n, 0);
   Rng rng(seed);
+  std::vector<VertexId> sources(num_samples);
   for (size_t s = 0; s < num_samples; ++s) {
-    const VertexId source = static_cast<VertexId>(rng.NextIndex(n));
-    SsspTree tree = DijkstraSsspTree(graph, source);
-    // Process vertices from far to near so each vertex's subtree size is
-    // complete before being added to its parent.
-    std::vector<VertexId> order(n);
-    std::iota(order.begin(), order.end(), VertexId{0});
-    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-      return tree.dist[a] > tree.dist[b];
-    });
-    std::vector<uint64_t> subtree(n, 1);
-    for (VertexId v : order) {
-      if (tree.dist[v] == kInfWeight) continue;
-      score[v] += subtree[v];
-      if (tree.parent[v] != kInvalidVertex) {
-        subtree[tree.parent[v]] += subtree[v];
-      }
+    sources[s] = static_cast<VertexId>(rng.NextIndex(n));
+  }
+  if (pool == nullptr) {
+    for (VertexId source : sources) {
+      AccumulateTreeScore(graph, source, score, nullptr);
     }
+  } else {
+    std::mutex mu;
+    pool->ParallelFor(sources.size(), [&](size_t s, size_t /*worker*/) {
+      AccumulateTreeScore(graph, sources[s], score, &mu);
+    });
   }
   return score;
 }
@@ -45,19 +74,20 @@ std::vector<uint64_t> SampledTreeScores(const Graph& graph,
 }  // namespace
 
 std::optional<HubLabels> HubLabels::Build(const Graph& graph,
-                                          const Options& options) {
+                                          const Options& options,
+                                          ThreadPool* pool) {
   const size_t n = graph.NumVertices();
   HubLabels result;
   result.fingerprint_ = graph.Fingerprint();
   result.build_epoch_ = graph.epoch();
   if (n == 0) {
-    result.offsets_.assign(1, 0);
+    result.offsets_.vec().assign(1, 0);
     return result;
   }
 
   // Vertex order: decreasing importance; rank[v] = position in the order.
   std::vector<uint64_t> score =
-      SampledTreeScores(graph, options.num_order_samples, options.seed);
+      SampledTreeScores(graph, options.num_order_samples, options.seed, pool);
   std::vector<VertexId> order(n);
   std::iota(order.begin(), order.end(), VertexId{0});
   std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
@@ -130,12 +160,12 @@ std::optional<HubLabels> HubLabels::Build(const Graph& graph,
   }
 
   // Flatten.
-  result.offsets_.resize(n + 1);
-  result.entries_.reserve(total_entries);
+  result.offsets_.vec().resize(n + 1);
+  result.entries_.vec().reserve(total_entries);
   for (VertexId v = 0; v < n; ++v) {
     result.offsets_[v] = result.entries_.size();
-    result.entries_.insert(result.entries_.end(), labels[v].begin(),
-                           labels[v].end());
+    result.entries_.vec().insert(result.entries_.vec().end(),
+                                 labels[v].begin(), labels[v].end());
     labels[v].clear();
     labels[v].shrink_to_fit();
   }
@@ -174,13 +204,32 @@ double HubLabels::AverageLabelSize() const {
 
 namespace {
 constexpr uint64_t kHubLabelsMagic = 0xFA22A81A6E150001ULL;
+
+/// Structural validation shared by both load paths: one span per
+/// vertex, spans non-decreasing and ending exactly at the entry count —
+/// Distance() indexes entries straight from offsets, so a corrupt
+/// prefix array would read out of bounds. Entry hub ranks must be valid
+/// vertex ranks.
+bool ValidLabelStructure(const Graph& graph, const Column<size_t>& offsets,
+                         const Column<HubLabels::Entry>& entries) {
+  if (offsets.size() != graph.NumVertices() + 1) return false;
+  if (offsets.front() != 0 || offsets.back() != entries.size()) return false;
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) return false;
+  }
+  for (const HubLabels::Entry& e : entries) {
+    if (e.hub_rank >= graph.NumVertices()) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool HubLabels::Save(std::ostream& out) const {
   BinaryWriter w(out);
   WriteIndexHeader(w, kHubLabelsMagic, fingerprint_);
-  w.Vec(offsets_);
-  w.Vec(entries_);
+  w.Span(offsets_.data(), offsets_.size());
+  w.Span(entries_.data(), entries_.size());
   return w.ok();
 }
 
@@ -191,33 +240,59 @@ std::optional<HubLabels> HubLabels::Load(const Graph& graph,
     return std::nullopt;
   }
   HubLabels result;
-  if (!r.Vec(result.offsets_) || !r.Vec(result.entries_)) {
+  if (!r.Vec(result.offsets_.vec()) || !r.Vec(result.entries_.vec())) {
     return std::nullopt;
   }
-  // Structural validation: one span per vertex, spans non-decreasing and
-  // ending exactly at the entry count — Distance() indexes entries_
-  // straight from offsets_, so a corrupt prefix array would read out of
-  // bounds.
-  if (result.offsets_.size() != graph.NumVertices() + 1) return std::nullopt;
-  if (result.offsets_.front() != 0 ||
-      result.offsets_.back() != result.entries_.size()) {
+  if (!ValidLabelStructure(graph, result.offsets_, result.entries_)) {
     return std::nullopt;
-  }
-  for (size_t i = 0; i + 1 < result.offsets_.size(); ++i) {
-    if (result.offsets_[i] > result.offsets_[i + 1]) return std::nullopt;
-  }
-  // Entry hub ranks must be valid vertex ranks.
-  for (const Entry& e : result.entries_) {
-    if (e.hub_rank >= graph.NumVertices()) return std::nullopt;
   }
   result.fingerprint_ = graph.Fingerprint();
   result.build_epoch_ = graph.epoch();
   return result;
 }
 
+bool HubLabels::SaveV3(const std::string& path) const {
+  ArenaWriter writer;
+  // Entry has 4 padding bytes after hub_rank; zero them so the section
+  // bytes (and the payload checksum) are deterministic.
+  std::vector<Entry> clean_entries(entries_.size());
+  std::memset(clean_entries.data(), 0, clean_entries.size() * sizeof(Entry));
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    clean_entries[i].hub_rank = entries_[i].hub_rank;
+    clean_entries[i].dist = entries_[i].dist;
+  }
+  writer.Add(offsets_);
+  writer.Add(clean_entries);
+  return writer.Write(path, kHubLabelsMagic, fingerprint_);
+}
+
+std::optional<HubLabels> HubLabels::LoadMmap(const Graph& graph,
+                                             const std::string& path,
+                                             ArenaValidation validation) {
+  std::optional<ArenaFile> arena =
+      ArenaFile::Open(path, kHubLabelsMagic, validation);
+  if (!arena.has_value() || arena->NumSections() != 2) return std::nullopt;
+  if (arena->fingerprint() != graph.Fingerprint()) return std::nullopt;
+
+  size_t num_offsets = 0, num_entries = 0;
+  size_t* offsets = arena->SectionArray<size_t>(0, num_offsets);
+  Entry* entries = arena->SectionArray<Entry>(1, num_entries);
+  if (offsets == nullptr || entries == nullptr) return std::nullopt;
+
+  HubLabels result;
+  result.offsets_ = Column<size_t>::Borrow(offsets, num_offsets);
+  result.entries_ = Column<Entry>::Borrow(entries, num_entries);
+  if (!ValidLabelStructure(graph, result.offsets_, result.entries_)) {
+    return std::nullopt;
+  }
+  result.fingerprint_ = graph.Fingerprint();
+  result.build_epoch_ = graph.epoch();
+  result.arena_ = std::make_shared<ArenaFile>(std::move(*arena));
+  return result;
+}
+
 size_t HubLabels::MemoryBytes() const {
-  return offsets_.capacity() * sizeof(size_t) +
-         entries_.capacity() * sizeof(Entry);
+  return offsets_.memory_bytes() + entries_.memory_bytes();
 }
 
 }  // namespace fannr

@@ -20,18 +20,30 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/column.h"
 #include "graph/graph.h"
 
 namespace fannr {
+
+class ThreadPool;
 
 /// Exact 2-hop-labeling distance oracle. Immutable after Build/Load;
 /// Distance is a pure two-pointer scan over the label arrays, so the
 /// whole query surface is safe for concurrent readers.
 class HubLabels {
  public:
+  /// One label entry: (hub's importance rank, distance to that hub).
+  /// Flat POD so label arrays serialize as raw sections.
+  struct Entry {
+    uint32_t hub_rank;
+    Weight dist;
+  };
+
   struct Options {
     /// Number of sampled shortest-path trees used to compute the vertex
     /// importance order. More samples = better order = smaller labels.
@@ -44,12 +56,17 @@ class HubLabels {
   };
 
   /// Preprocesses `graph`. Returns nullopt iff the memory budget was
-  /// exceeded.
+  /// exceeded. With a non-null `pool` the importance-order sampling
+  /// phase fans its shortest-path trees over the pool's workers; the
+  /// result is bitwise identical to the sequential build (the sampled
+  /// sources come from the same pre-drawn sequence and the per-vertex
+  /// scores are integer sums, so accumulation order cannot matter).
   static std::optional<HubLabels> Build(const Graph& graph) {
     return Build(graph, Options{});
   }
   static std::optional<HubLabels> Build(const Graph& graph,
-                                        const Options& options);
+                                        const Options& options,
+                                        ThreadPool* pool = nullptr);
 
   /// Exact network distance between `u` and `v` (kInfWeight if
   /// disconnected). Thread-safe after construction.
@@ -77,6 +94,19 @@ class HubLabels {
   /// loaded into service of wrong distances.
   static std::optional<HubLabels> Load(const Graph& graph, std::istream& in);
 
+  /// Writes the arena (format v3, graph/index_io.h) cache file. Entry
+  /// padding bytes are zeroed so the file is bit-deterministic. Returns
+  /// false on I/O failure.
+  bool SaveV3(const std::string& path) const;
+
+  /// Opens a SaveV3 file by mmap: the label arrays point into the
+  /// mapping (no copy). Same rejection contract as Load — wrong graph,
+  /// wrong version, or structurally invalid tables return nullopt; the
+  /// payload checksum is verified only under ArenaValidation::kFull.
+  static std::optional<HubLabels> LoadMmap(
+      const Graph& graph, const std::string& path,
+      ArenaValidation validation = ArenaValidation::kHeaderOnly);
+
   /// The graph epoch the index was built (or loaded) at.
   GraphEpoch build_epoch() const { return build_epoch_; }
 
@@ -91,17 +121,13 @@ class HubLabels {
   }
 
  private:
-  struct Entry {
-    uint32_t hub_rank;
-    Weight dist;
-  };
-
   HubLabels() = default;
 
-  std::vector<size_t> offsets_;  // per-vertex spans into entries_
-  std::vector<Entry> entries_;
+  Column<size_t> offsets_;  // per-vertex spans into entries_
+  Column<Entry> entries_;
   GraphFingerprint fingerprint_;
   GraphEpoch build_epoch_ = 0;
+  std::shared_ptr<void> arena_;  // keeps an mmap-backed file alive
 };
 
 }  // namespace fannr

@@ -13,6 +13,9 @@
 
 #include "common/flat_heap.h"
 #include "common/rng.h"
+#include "engine/batch_engine.h"
+#include "fann_world.h"
+#include "test_util.h"
 
 namespace fannr {
 namespace {
@@ -152,6 +155,52 @@ TEST(FlatHeapTest, ReserveGrowsOnceAndCountsOnce) {
   }
   EXPECT_EQ(FlatHeapAllocStats().grows, before + 1)
       << "pushes within reserved capacity must not grow";
+}
+
+// --- Solve-phase allocation determinism ----------------------------------
+// BatchOptions::prewarm_scratch (default on) grows every worker's
+// Dijkstra frontier to its worst case — NumArcs() + 1 entries, the
+// lazy-deletion push bound — at engine construction. The solve phase
+// therefore performs EXACTLY ZERO heap growths under every (threads,
+// schedule) configuration, which makes the heap_grows counter a
+// deterministic per-configuration quantity instead of a race-dependent
+// one. bench/throughput.cc splits the counter by phase and
+// scripts/check_throughput_json.py asserts the solve half stays 0; this
+// test pins the same invariant at unit scope.
+TEST(FlatHeapTest, BatchSolvePhasePerformsZeroGrowsForEveryConfig) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+
+  Rng rng(0x9E47u);
+  const IndexedVertexSet p(graph.NumVertices(),
+                           testing::SampleVertices(graph, 24, rng));
+  const IndexedVertexSet q(graph.NumVertices(),
+                           testing::SampleVertices(graph, 8, rng));
+  std::vector<FannrQuery> jobs;
+  for (int i = 0; i < 16; ++i) {
+    FannrQuery job;
+    job.query = FannQuery{&graph, &p, &q, 0.5, Aggregate::kSum};
+    job.algorithm = FannAlgorithm::kGd;
+    jobs.push_back(job);
+  }
+
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    for (const BatchSchedule schedule :
+         {BatchSchedule::kDynamic, BatchSchedule::kLocality}) {
+      for (const bool cached : {false, true}) {
+        BatchOptions options;
+        options.num_threads = threads;
+        options.schedule = schedule;
+        options.share_distance_cache = cached;
+        BatchQueryEngine engine(world.Resources(), options);
+        const uint64_t before = FlatHeapAllocStats().grows;
+        engine.Run(jobs);
+        EXPECT_EQ(FlatHeapAllocStats().grows, before)
+            << "threads=" << threads << " cached=" << cached << " schedule="
+            << (schedule == BatchSchedule::kDynamic ? "dynamic" : "locality");
+      }
+    }
+  }
 }
 
 TEST(FlatHeapTest, SingleElementAndSelfMoveSafety) {

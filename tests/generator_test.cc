@@ -74,6 +74,25 @@ TEST(GeneratorTest, FullLatticeKeepsAllVertices) {
   EXPECT_EQ(g.NumVertices(), 72u);
 }
 
+// Lattice dimensions whose product exceeds the VertexId range used to
+// overflow the id() lambda's uint32_t cast, silently folding far-apart
+// lattice points onto the same vertex. Both generators now abort before
+// allocating anything, so these death tests are cheap.
+TEST(GeneratorDeathTest, GridRejectsLatticesPastVertexIdSpace) {
+  GridNetworkOptions options;
+  options.rows = size_t{1} << 16;
+  options.cols = (size_t{1} << 16) + 1;  // rows * cols = 2^32 + 2^16
+  Rng rng(1);
+  EXPECT_DEATH(GenerateGridNetwork(options, rng), "");
+}
+
+TEST(GeneratorDeathTest, GeometricRejectsCountsPastVertexIdSpace) {
+  GeometricNetworkOptions options;
+  options.num_vertices = size_t{1} << 32;
+  Rng rng(1);
+  EXPECT_DEATH(GenerateGeometricNetwork(options, rng), "");
+}
+
 TEST(PresetTest, TestPresetBuildsDeterministically) {
   ASSERT_TRUE(IsPresetName("TEST"));
   Graph a = BuildPreset("TEST");

@@ -153,5 +153,24 @@ TEST(GraphTest, MemoryBytesIsPositive) {
   EXPECT_GT(g.MemoryBytes(), 0u);
 }
 
+// --- VertexId-space bounds (32-bit truncation regressions) ---------------
+// Ids are uint32_t with kInvalidVertex reserved as a sentinel. A count
+// past that range used to narrow silently in AddVertex's cast, aliasing
+// distinct vertices; the builder now aborts at the point of overflow.
+// Resize does not allocate, so declaring the full id space is cheap and
+// these death tests run in microseconds.
+
+TEST(GraphBuilderDeathTest, ResizeRejectsCountsPastVertexIdSpace) {
+  GraphBuilder builder;
+  EXPECT_DEATH(builder.Resize(static_cast<size_t>(kInvalidVertex) + 1), "");
+}
+
+TEST(GraphBuilderDeathTest, AddVertexRejectsMintingTheSentinelId) {
+  GraphBuilder builder;
+  builder.Resize(static_cast<size_t>(kInvalidVertex));
+  // The next vertex would receive id kInvalidVertex ("no vertex").
+  EXPECT_DEATH(builder.AddVertex(), "");
+}
+
 }  // namespace
 }  // namespace fannr

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "engine/thread_pool.h"
 #include "test_util.h"
 
 namespace fannr {
@@ -222,6 +224,97 @@ TEST_F(IoTest, SelfLoopsInFileAreDropped) {
   LoadResult r = LoadDimacs(gr, "");
   ASSERT_TRUE(r.ok()) << r.error;
   EXPECT_EQ(r.graph->NumEdges(), 1u);
+}
+
+// --- Parallel (chunked) loading ------------------------------------------
+// LoadDimacs with a ThreadPool must be indistinguishable from the
+// sequential path: identical graph, identical error strings. Both modes
+// share one per-line classifier, and these tests pin that contract.
+
+TEST_F(IoTest, ParallelLoadMatchesSequential) {
+  // Large enough (a few MB) that the chunker actually splits the file
+  // across workers instead of degenerating to one inline chunk.
+  Graph original = testing::MakeSmallGrid(220, 220);
+  const std::string gr = TempPath("par.gr");
+  const std::string co = TempPath("par.co");
+  ASSERT_TRUE(SaveDimacs(original, gr, co, /*coord_scale=*/1000.0));
+
+  LoadResult seq = LoadDimacs(gr, co);
+  ASSERT_TRUE(seq.ok()) << seq.error;
+  ThreadPool pool(4);
+  LoadResult par = LoadDimacs(gr, co, &pool);
+  ASSERT_TRUE(par.ok()) << par.error;
+
+  EXPECT_EQ(par.graph->NumVertices(), seq.graph->NumVertices());
+  EXPECT_EQ(par.graph->NumEdges(), seq.graph->NumEdges());
+  EXPECT_EQ(par.graph->Fingerprint(), seq.graph->Fingerprint());
+  ASSERT_TRUE(par.graph->HasCoordinates());
+  for (VertexId v = 0; v < par.graph->NumVertices(); ++v) {
+    EXPECT_DOUBLE_EQ(par.graph->Coord(v).x, seq.graph->Coord(v).x);
+    EXPECT_DOUBLE_EQ(par.graph->Coord(v).y, seq.graph->Coord(v).y);
+  }
+}
+
+TEST_F(IoTest, ParallelErrorsMatchSequential) {
+  // Every corrupt fixture must produce the exact same
+  // "<path>:<line>: <message>: '<text>'" string in both modes, including
+  // earliest-error-wins when several lines are bad.
+  const std::vector<std::string> fixtures = {
+      "p sp 2 1\na 1 oops 3\n",
+      "p sp 2 1\np sp 3 1\n",
+      "a 1 2 5\np sp 2 1\n",
+      "p sp 2 1\na 1 5 3\n",
+      "p sp 2 1\na 1 2 nan\n",
+      "p sp 2 1\na 1 2 0\n",
+      "p sp 2 1\nx junk\n",
+      "p sp 2 1\na 1 2 3\na 9 9 1\na also bad\n",
+  };
+  ThreadPool pool(4);
+  for (size_t i = 0; i < fixtures.size(); ++i) {
+    const std::string gr = TempPath("parerr" + std::to_string(i) + ".gr");
+    WriteFile(gr, fixtures[i]);
+    LoadResult seq = LoadDimacs(gr, "");
+    LoadResult par = LoadDimacs(gr, "", &pool);
+    ASSERT_FALSE(seq.ok()) << "fixture " << i;
+    ASSERT_FALSE(par.ok()) << "fixture " << i;
+    EXPECT_EQ(par.error, seq.error) << "fixture " << i;
+  }
+}
+
+TEST_F(IoTest, ParallelCoordinateErrorsMatchSequential) {
+  const std::string gr = TempPath("parco.gr");
+  WriteFile(gr, "p sp 2 1\na 1 2 5\n");
+  const std::vector<std::string> fixtures = {
+      "v 1 0 0\nv 1 9 9\nv 2 3 4\n",  // duplicate (second occurrence named)
+      "v 1 nan 0\nv 2 3 4\n",
+      "v 3 0 0\n",
+      "v 1 0 0\n",  // vertex 2 missing
+  };
+  ThreadPool pool(4);
+  for (size_t i = 0; i < fixtures.size(); ++i) {
+    const std::string co = TempPath("parco" + std::to_string(i) + ".co");
+    WriteFile(co, fixtures[i]);
+    LoadResult seq = LoadDimacs(gr, co);
+    LoadResult par = LoadDimacs(gr, co, &pool);
+    ASSERT_FALSE(seq.ok()) << "fixture " << i;
+    ASSERT_FALSE(par.ok()) << "fixture " << i;
+    EXPECT_EQ(par.error, seq.error) << "fixture " << i;
+  }
+}
+
+// --- VertexId-space bound (32-bit truncation regression) -----------------
+// A declared vertex count above 2^32 - 1 used to truncate when narrowed
+// to VertexId, silently remapping every arc. The loader now rejects the
+// problem line itself.
+
+TEST_F(IoTest, RejectsMoreVerticesThanVertexIdSpace) {
+  const std::string gr = TempPath("huge.gr");
+  WriteFile(gr, "p sp 4294967296 1\na 1 2 3\n");
+  LoadResult r = LoadDimacs(gr, "");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("more vertices than supported"), std::string::npos)
+      << r.error;
+  EXPECT_NE(r.error.find(":1:"), std::string::npos) << r.error;
 }
 
 }  // namespace

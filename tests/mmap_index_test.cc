@@ -1,0 +1,469 @@
+// The v3 arena (mmap) index format, end to end: bitwise round-trips vs
+// the in-memory builds, v2 stream compatibility, rejection of
+// truncated/corrupt/mismatched maps (the ASan CI job turns any stray
+// read into a hard failure), and a differential proving that answers
+// computed on mmap-loaded indexes are byte-identical to the in-memory
+// ones at 1 and 8 threads.
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/batch_engine.h"
+#include "graph/graph.h"
+#include "graph/index_io.h"
+#include "sp/ch/contraction_hierarchy.h"
+#include "sp/gtree/gtree.h"
+#include "sp/label/hub_labels.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+// v3 header layout (graph/index_io.h): 64 bytes, payload checksum over
+// [64, file_bytes).
+constexpr size_t kV3VersionOffset = 8;
+constexpr size_t kV3FingerprintOffset = 12;
+constexpr size_t kV3HeaderBytes = 64;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "fannr_mmap_" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Bitwise equality for Weights: the differential contract is "the same
+// bits", not "approximately equal".
+void ExpectSameBits(Weight a, Weight b, const std::string& label) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b)) << label;
+}
+
+std::vector<std::pair<VertexId, VertexId>> SamplePairs(const Graph& graph,
+                                                       size_t count,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(
+        static_cast<VertexId>(rng.NextBounded(graph.NumVertices())),
+        static_cast<VertexId>(rng.NextBounded(graph.NumVertices())));
+  }
+  return pairs;
+}
+
+class MmapIndexTest : public ::testing::Test {
+ protected:
+  Graph graph_ = testing::MakeRandomNetwork(300, 91);
+};
+
+// --- Graph --------------------------------------------------------------
+
+TEST_F(MmapIndexTest, GraphV3RoundTripIsBitwiseIdentical) {
+  const std::string path = TempPath("graph.v3");
+  ASSERT_TRUE(graph_.SaveV3(path));
+  auto mapped = Graph::LoadMmap(path);
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_TRUE(mapped->MemoryMapped());
+  EXPECT_FALSE(graph_.MemoryMapped());
+
+  EXPECT_EQ(mapped->Fingerprint(), graph_.Fingerprint());
+  ASSERT_EQ(mapped->NumVertices(), graph_.NumVertices());
+  ASSERT_EQ(mapped->NumArcs(), graph_.NumArcs());
+  for (VertexId u = 0; u < graph_.NumVertices(); ++u) {
+    const auto a = graph_.Neighbors(u);
+    const auto b = mapped->Neighbors(u);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << u;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to);
+      ExpectSameBits(a[i].weight, b[i].weight, "arc weight");
+    }
+  }
+  ASSERT_EQ(mapped->HasCoordinates(), graph_.HasCoordinates());
+  for (VertexId u = 0; u < graph_.NumVertices(); ++u) {
+    ExpectSameBits(mapped->Coord(u).x, graph_.Coord(u).x, "coord x");
+    ExpectSameBits(mapped->Coord(u).y, graph_.Coord(u).y, "coord y");
+  }
+}
+
+TEST_F(MmapIndexTest, SaveV3IsByteDeterministic) {
+  // Arc structs carry 4 padding bytes; SaveV3 zeroes them so two saves
+  // of the same graph produce identical files (required for cache
+  // dedup/rsync and for this suite's flip tests to be meaningful).
+  const std::string path_a = TempPath("det_a.v3");
+  const std::string path_b = TempPath("det_b.v3");
+  ASSERT_TRUE(graph_.SaveV3(path_a));
+  ASSERT_TRUE(graph_.SaveV3(path_b));
+  EXPECT_EQ(ReadFileBytes(path_a), ReadFileBytes(path_b));
+}
+
+TEST_F(MmapIndexTest, MappedGraphSurvivesWriteAfterLoad) {
+  // The mapping is MAP_PRIVATE copy-on-write: in-place weight updates on
+  // a mapped graph must work and must not touch the file.
+  const std::string path = TempPath("cow.v3");
+  ASSERT_TRUE(graph_.SaveV3(path));
+  const std::string before = ReadFileBytes(path);
+  auto mapped = Graph::LoadMmap(path);
+  ASSERT_TRUE(mapped.has_value());
+  const VertexId u = 0;
+  const VertexId v = mapped->Neighbors(0).front().to;
+  const Weight w = mapped->Neighbors(0).front().weight;
+  EdgeWeightUpdate update{u, v, w * 2.0};
+  const auto stats = mapped->ApplyWeightUpdates({&update, 1});
+  EXPECT_EQ(stats.applied, 1u);
+  EXPECT_EQ(mapped->EdgeWeight(u, v).value(), w * 2.0);
+  EXPECT_EQ(ReadFileBytes(path), before) << "file mutated through the map";
+}
+
+// --- Index kinds, type-erased like corrupt_index_test.cc ----------------
+
+struct V3Kind {
+  std::string name;
+  // Builds the index in memory and saves it to `path` (v3).
+  std::function<bool(const Graph&, const std::string& path)> save;
+  // Attempts an mmap load against `graph`.
+  std::function<bool(const Graph&, const std::string& path, ArenaValidation)>
+      loads;
+  // Distance through the in-memory index / through the mapped index.
+  std::function<Weight(const Graph&, VertexId, VertexId)> mem_distance;
+  std::function<Weight(const Graph&, const std::string& path, VertexId,
+                       VertexId)>
+      map_distance;
+};
+
+std::vector<V3Kind> AllV3Kinds() {
+  std::vector<V3Kind> kinds;
+  kinds.push_back(
+      {"HubLabels",
+       [](const Graph& g, const std::string& path) {
+         auto labels = HubLabels::Build(g);
+         return labels.has_value() && labels->SaveV3(path);
+       },
+       [](const Graph& g, const std::string& path, ArenaValidation v) {
+         return HubLabels::LoadMmap(g, path, v).has_value();
+       },
+       [](const Graph& g, VertexId u, VertexId v) {
+         return HubLabels::Build(g)->Distance(u, v);
+       },
+       [](const Graph& g, const std::string& path, VertexId u, VertexId v) {
+         return HubLabels::LoadMmap(g, path)->Distance(u, v);
+       }});
+  kinds.push_back(
+      {"GTree",
+       [](const Graph& g, const std::string& path) {
+         GTree::Options options;
+         options.leaf_capacity = 16;
+         return GTree::Build(g, options).SaveV3(path);
+       },
+       [](const Graph& g, const std::string& path, ArenaValidation v) {
+         return GTree::LoadMmap(g, path, v).has_value();
+       },
+       [](const Graph& g, VertexId u, VertexId v) {
+         GTree::Options options;
+         options.leaf_capacity = 16;
+         return GTree::Build(g, options).Distance(u, v);
+       },
+       [](const Graph& g, const std::string& path, VertexId u, VertexId v) {
+         return GTree::LoadMmap(g, path)->Distance(u, v);
+       }});
+  kinds.push_back(
+      {"ContractionHierarchy",
+       [](const Graph& g, const std::string& path) {
+         return ContractionHierarchy::Build(g).SaveV3(path);
+       },
+       [](const Graph& g, const std::string& path, ArenaValidation v) {
+         return ContractionHierarchy::LoadMmap(g, path, v).has_value();
+       },
+       [](const Graph& g, VertexId u, VertexId v) {
+         return ContractionHierarchy::Build(g).Distance(u, v);
+       },
+       [](const Graph& g, const std::string& path, VertexId u, VertexId v) {
+         return ContractionHierarchy::LoadMmap(g, path)->Distance(u, v);
+       }});
+  return kinds;
+}
+
+TEST_F(MmapIndexTest, IndexV3DistancesAreBitwiseIdenticalToInMemory) {
+  const auto pairs = SamplePairs(graph_, 64, 0xA11Au);
+  for (const V3Kind& kind : AllV3Kinds()) {
+    const std::string path = TempPath(kind.name + ".v3");
+    ASSERT_TRUE(kind.save(graph_, path)) << kind.name;
+    ASSERT_TRUE(kind.loads(graph_, path, ArenaValidation::kFull)) << kind.name;
+    for (const auto& [u, v] : pairs) {
+      ExpectSameBits(kind.mem_distance(graph_, u, v),
+                     kind.map_distance(graph_, path, u, v),
+                     kind.name + " distance");
+    }
+  }
+}
+
+TEST_F(MmapIndexTest, V2StreamAndV3ArenaAgree) {
+  // v2 (stream Save/Load) remains the portable format; an index
+  // round-tripped through v2 must answer bit-for-bit like the mmap of
+  // its v3 file. Guards against the two serializers drifting apart.
+  const auto pairs = SamplePairs(graph_, 32, 0xBEE5u);
+
+  auto labels = HubLabels::Build(graph_);
+  ASSERT_TRUE(labels.has_value());
+  std::stringstream v2;
+  ASSERT_TRUE(labels->Save(v2));
+  auto from_v2 = HubLabels::Load(graph_, v2);
+  ASSERT_TRUE(from_v2.has_value());
+  const std::string path = TempPath("phl_agree.v3");
+  ASSERT_TRUE(labels->SaveV3(path));
+  auto from_v3 = HubLabels::LoadMmap(graph_, path);
+  ASSERT_TRUE(from_v3.has_value());
+  for (const auto& [u, v] : pairs) {
+    ExpectSameBits(from_v2->Distance(u, v), from_v3->Distance(u, v),
+                   "v2 vs v3 PHL distance");
+  }
+}
+
+TEST_F(MmapIndexTest, V3RejectsV2StreamFileAndViceVersa) {
+  // The formats are self-identifying: handing a v2 stream file to
+  // LoadMmap (or a v3 arena to the stream Load) must fail cleanly, not
+  // misparse.
+  auto labels = HubLabels::Build(graph_);
+  ASSERT_TRUE(labels.has_value());
+
+  std::stringstream v2;
+  ASSERT_TRUE(labels->Save(v2));
+  const std::string v2_path = TempPath("v2_as_v3.bin");
+  WriteFileBytes(v2_path, v2.str());
+  EXPECT_FALSE(HubLabels::LoadMmap(graph_, v2_path).has_value());
+
+  const std::string v3_path = TempPath("v3_as_v2.bin");
+  ASSERT_TRUE(labels->SaveV3(v3_path));
+  std::stringstream v3_stream(ReadFileBytes(v3_path));
+  EXPECT_FALSE(HubLabels::Load(graph_, v3_stream).has_value());
+}
+
+// --- Corruption ---------------------------------------------------------
+
+TEST_F(MmapIndexTest, TruncatedMapsAreRejected) {
+  for (const V3Kind& kind : AllV3Kinds()) {
+    const std::string path = TempPath(kind.name + "_trunc.v3");
+    ASSERT_TRUE(kind.save(graph_, path));
+    const std::string clean = ReadFileBytes(path);
+    ASSERT_GT(clean.size(), kV3HeaderBytes);
+    for (size_t keep :
+         {size_t{0}, size_t{4}, kV3HeaderBytes - 1, kV3HeaderBytes + 8,
+          clean.size() / 2, clean.size() - 1}) {
+      const std::string cut_path = TempPath(kind.name + "_cut.v3");
+      WriteFileBytes(cut_path, clean.substr(0, keep));
+      EXPECT_FALSE(kind.loads(graph_, cut_path, ArenaValidation::kHeaderOnly))
+          << kind.name << " truncated to " << keep << " bytes";
+    }
+  }
+}
+
+TEST_F(MmapIndexTest, BadHeadersAreRejected) {
+  for (const V3Kind& kind : AllV3Kinds()) {
+    const std::string path = TempPath(kind.name + "_hdr.v3");
+    ASSERT_TRUE(kind.save(graph_, path));
+    const std::string clean = ReadFileBytes(path);
+
+    std::string bad_magic = clean;
+    bad_magic[0] ^= 0x01;
+    const std::string magic_path = TempPath(kind.name + "_magic.v3");
+    WriteFileBytes(magic_path, bad_magic);
+    EXPECT_FALSE(kind.loads(graph_, magic_path, ArenaValidation::kHeaderOnly))
+        << kind.name;
+
+    std::string bad_version = clean;
+    bad_version[kV3VersionOffset] = 2;  // the stream format's version
+    const std::string version_path = TempPath(kind.name + "_ver.v3");
+    WriteFileBytes(version_path, bad_version);
+    EXPECT_FALSE(kind.loads(graph_, version_path, ArenaValidation::kHeaderOnly))
+        << kind.name;
+  }
+}
+
+TEST_F(MmapIndexTest, FingerprintMismatchIsRejectedInOHeaderTime) {
+  // The O(header) open must still reject an index built against a
+  // different graph — that check reads only the 64-byte header, never
+  // the payload.
+  Graph other = testing::MakeRandomNetwork(250, 92);
+  for (const V3Kind& kind : AllV3Kinds()) {
+    const std::string path = TempPath(kind.name + "_fp.v3");
+    ASSERT_TRUE(kind.save(graph_, path));
+    EXPECT_FALSE(kind.loads(other, path, ArenaValidation::kHeaderOnly))
+        << kind.name;
+
+    std::string bytes = ReadFileBytes(path);
+    bytes[kV3FingerprintOffset + 16] ^= 0xFF;  // stored weight checksum
+    const std::string flip_path = TempPath(kind.name + "_fpflip.v3");
+    WriteFileBytes(flip_path, bytes);
+    EXPECT_FALSE(kind.loads(graph_, flip_path, ArenaValidation::kHeaderOnly))
+        << kind.name;
+  }
+}
+
+TEST_F(MmapIndexTest, FullValidationCatchesEveryPayloadFlip) {
+  // The payload checksum covers [64, file_bytes): under kFull, ANY
+  // flipped payload byte must be caught. (kHeaderOnly intentionally
+  // skips this — that trade is the point of the format — but then the
+  // structural validators below still keep us memory-safe.)
+  for (const V3Kind& kind : AllV3Kinds()) {
+    const std::string path = TempPath(kind.name + "_full.v3");
+    ASSERT_TRUE(kind.save(graph_, path));
+    const std::string clean = ReadFileBytes(path);
+    for (size_t pos = kV3HeaderBytes; pos < clean.size();
+         pos += 1 + pos / 7) {
+      std::string bytes = clean;
+      bytes[pos] ^= 0x40;
+      const std::string flip_path = TempPath(kind.name + "_pflip.v3");
+      WriteFileBytes(flip_path, bytes);
+      EXPECT_FALSE(kind.loads(graph_, flip_path, ArenaValidation::kFull))
+          << kind.name << " flip at " << pos << " survived kFull";
+    }
+  }
+}
+
+TEST_F(MmapIndexTest, SingleByteCorruptionNeverCrashesUnderHeaderOnly) {
+  // The ASan contract for the fast path: a flipped byte anywhere in the
+  // file may be rejected or may load (payload flips are invisible to the
+  // O(header) open), but it must never crash, read out of bounds, or
+  // abort. Structure validators run on every load exactly so that a
+  // survivor is still memory-safe to query.
+  const auto pairs = SamplePairs(graph_, 4, 0xC0DEu);
+  for (const V3Kind& kind : AllV3Kinds()) {
+    const std::string path = TempPath(kind.name + "_sweep.v3");
+    ASSERT_TRUE(kind.save(graph_, path));
+    const std::string clean = ReadFileBytes(path);
+    for (size_t pos = 0; pos < clean.size(); pos += 1 + pos / 7) {
+      std::string bytes = clean;
+      bytes[pos] ^= 0x40;
+      const std::string flip_path = TempPath(kind.name + "_sflip.v3");
+      WriteFileBytes(flip_path, bytes);
+      if (!kind.loads(graph_, flip_path, ArenaValidation::kHeaderOnly)) {
+        continue;
+      }
+      // Survivor: exercise the query path. Answers may be wrong (the
+      // flip hit payload data); reads must stay in bounds.
+      for (const auto& [u, v] : pairs) {
+        (void)kind.map_distance(graph_, flip_path, u, v);
+      }
+    }
+  }
+}
+
+// --- Differential: mmap-loaded vs in-memory through the batch engine ----
+
+TEST_F(MmapIndexTest, BatchAnswersOnMappedIndexesAreByteIdentical) {
+  GTree::Options gtree_options;
+  gtree_options.leaf_capacity = 16;
+  GTree gtree = GTree::Build(graph_, gtree_options);
+  auto labels = HubLabels::Build(graph_);
+  ASSERT_TRUE(labels.has_value());
+  ContractionHierarchy ch = ContractionHierarchy::Build(graph_);
+
+  const std::string gtree_path = TempPath("diff_gtree.v3");
+  const std::string labels_path = TempPath("diff_phl.v3");
+  const std::string ch_path = TempPath("diff_ch.v3");
+  ASSERT_TRUE(gtree.SaveV3(gtree_path));
+  ASSERT_TRUE(labels->SaveV3(labels_path));
+  ASSERT_TRUE(ch.SaveV3(ch_path));
+  auto mapped_gtree = GTree::LoadMmap(graph_, gtree_path);
+  auto mapped_labels = HubLabels::LoadMmap(graph_, labels_path);
+  auto mapped_ch = ContractionHierarchy::LoadMmap(graph_, ch_path);
+  ASSERT_TRUE(mapped_gtree.has_value());
+  ASSERT_TRUE(mapped_labels.has_value());
+  ASSERT_TRUE(mapped_ch.has_value());
+
+  Rng rng(0xD1FFu);
+  const IndexedVertexSet p(graph_.NumVertices(),
+                           testing::SampleVertices(graph_, 24, rng));
+  const IndexedVertexSet q(graph_.NumVertices(),
+                           testing::SampleVertices(graph_, 8, rng));
+  std::vector<FannrQuery> jobs;
+  for (int i = 0; i < 12; ++i) {
+    FannrQuery job;
+    job.query = FannQuery{&graph_, &p, &q, i % 2 == 0 ? 0.5 : 0.75,
+                          i % 3 == 0 ? Aggregate::kMax : Aggregate::kSum};
+    job.algorithm = FannAlgorithm::kGd;
+    jobs.push_back(job);
+  }
+
+  GphiResources in_memory;
+  in_memory.graph = &graph_;
+  in_memory.gtree = &gtree;
+  in_memory.labels = &*labels;
+  in_memory.ch = &ch;
+  GphiResources mapped = in_memory;
+  mapped.gtree = &*mapped_gtree;
+  mapped.labels = &*mapped_labels;
+  mapped.ch = &*mapped_ch;
+
+  for (const GphiKind kind :
+       {GphiKind::kGTree, GphiKind::kPhl, GphiKind::kCh}) {
+    for (const size_t threads : {size_t{1}, size_t{8}}) {
+      BatchOptions options;
+      options.num_threads = threads;
+      options.gphi_kind = kind;
+      BatchQueryEngine mem_engine(in_memory, options);
+      BatchQueryEngine map_engine(mapped, options);
+      const auto mem_results = mem_engine.Run(jobs);
+      const auto map_results = map_engine.Run(jobs);
+      ASSERT_EQ(mem_results.size(), map_results.size());
+      for (size_t i = 0; i < mem_results.size(); ++i) {
+        const std::string label = "kind " + std::string(GphiKindName(kind)) +
+                                  " threads " + std::to_string(threads) +
+                                  " job " + std::to_string(i);
+        EXPECT_EQ(mem_results[i].best, map_results[i].best) << label;
+        ExpectSameBits(mem_results[i].distance, map_results[i].distance,
+                       label);
+        EXPECT_EQ(mem_results[i].subset, map_results[i].subset) << label;
+      }
+    }
+  }
+}
+
+// --- Parallel build determinism -----------------------------------------
+
+TEST_F(MmapIndexTest, ParallelIndexBuildsAreBitwiseIdenticalToSequential) {
+  // GTree and HubLabels accept a ThreadPool; the parallel build must be
+  // indistinguishable from the sequential one. Compare through SaveV3
+  // bytes — the strictest possible equality.
+  ThreadPool pool(4);
+
+  GTree::Options gtree_options;
+  gtree_options.leaf_capacity = 16;
+  const std::string seq_g = TempPath("seq_gtree.v3");
+  const std::string par_g = TempPath("par_gtree.v3");
+  ASSERT_TRUE(GTree::Build(graph_, gtree_options).SaveV3(seq_g));
+  ASSERT_TRUE(GTree::Build(graph_, gtree_options, &pool).SaveV3(par_g));
+  EXPECT_EQ(ReadFileBytes(seq_g), ReadFileBytes(par_g))
+      << "parallel G-tree build diverged from sequential";
+
+  const std::string seq_l = TempPath("seq_phl.v3");
+  const std::string par_l = TempPath("par_phl.v3");
+  auto seq_labels = HubLabels::Build(graph_);
+  auto par_labels = HubLabels::Build(graph_, HubLabels::Options{}, &pool);
+  ASSERT_TRUE(seq_labels.has_value());
+  ASSERT_TRUE(par_labels.has_value());
+  ASSERT_TRUE(seq_labels->SaveV3(seq_l));
+  ASSERT_TRUE(par_labels->SaveV3(par_l));
+  EXPECT_EQ(ReadFileBytes(seq_l), ReadFileBytes(par_l))
+      << "parallel hub-label build diverged from sequential";
+}
+
+}  // namespace
+}  // namespace fannr
