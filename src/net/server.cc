@@ -1,6 +1,7 @@
 #include "net/server.h"
 
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -139,14 +140,14 @@ FannServer::~FannServer() {
     RequestShutdown();
     if (accept_thread_.joinable()) Wait();
   }
-  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
-  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
 }
 
 bool FannServer::Start(std::string* error) {
   FANNR_CHECK(!started_.load(std::memory_order_relaxed));
-  if (::pipe(wake_pipe_) != 0) {
-    if (error != nullptr) *error = "pipe failed";
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    if (error != nullptr) *error = "eventfd failed";
     return false;
   }
   listener_ = TcpListen(config_.host, config_.port, &port_, error);
@@ -159,21 +160,51 @@ bool FannServer::Start(std::string* error) {
 
 void FannServer::RequestShutdown() {
   draining_.store(true, std::memory_order_relaxed);
-  // One byte on the pipe wakes the accept loop; write(2) is
+  // Adding to the eventfd counter wakes the accept loop; write(2) is
   // async-signal-safe, so this whole method may run in a SIGTERM
-  // handler. A full pipe (EAGAIN after repeated calls) is fine — the
-  // first byte already woke the loop.
-  if (wake_pipe_[1] >= 0) {
-    const char byte = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  // handler. Unlike a pipe — whose 64 KiB buffer fills after enough
+  // unconsumed wakes, after which writes are dropped and a wake can be
+  // lost — the eventfd counter stays level-triggered readable until
+  // read: however many callers race here, POLLIN remains asserted and
+  // the loop cannot miss the wake. (EAGAIN is only possible at counter
+  // overflow, which still leaves the counter nonzero and readable.)
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
   }
+}
+
+void FannServer::ReapFinishedConnections() {
+  // Joining under conns_mu_ would hold admissions hostage to a reader's
+  // last instructions; move the finished threads out first.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (uint64_t id : finished_threads_) {
+      auto it = connection_threads_.find(id);
+      if (it != connection_threads_.end()) {
+        to_join.push_back(std::move(it->second));
+        connection_threads_.erase(it);
+      }
+    }
+    finished_threads_.clear();
+    std::erase_if(connections_, [](const std::shared_ptr<Connection>& c) {
+      return !c->open.load(std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : to_join) t.join();
+}
+
+size_t FannServer::tracked_connection_threads() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return connection_threads_.size();
 }
 
 void FannServer::AcceptMain() {
   while (true) {
     pollfd fds[2];
     fds[0] = {listener_.fd(), POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    fds[1] = {wake_fd_, POLLIN, 0};
     const int rc = ::poll(fds, 2, -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
@@ -189,6 +220,10 @@ void FannServer::AcceptMain() {
       continue;
     }
     metrics_.Add(m_connections_, 1);
+    // A long-lived server churns through connections; joining finished
+    // readers here keeps thread (and Connection) accounting bounded by
+    // the live set instead of growing until shutdown.
+    ReapFinishedConnections();
 
     auto conn = std::make_shared<Connection>();
     conn->sock = std::move(sock);
@@ -205,11 +240,15 @@ void FannServer::AcceptMain() {
       continue;  // conn (and its socket) dies here
     }
     connections_.push_back(conn);
-    connection_threads_.emplace_back(&FannServer::ConnectionMain, this, conn);
+    const uint64_t thread_id = next_thread_id_++;
+    connection_threads_.emplace(
+        thread_id,
+        std::thread(&FannServer::ConnectionMain, this, conn, thread_id));
   }
 }
 
-void FannServer::ConnectionMain(std::shared_ptr<Connection> conn) {
+void FannServer::ConnectionMain(std::shared_ptr<Connection> conn,
+                                uint64_t thread_id) {
   std::vector<uint8_t> payload;
   while (conn->open.load(std::memory_order_relaxed)) {
     uint8_t header_bytes[kFrameHeaderBytes];
@@ -327,6 +366,10 @@ void FannServer::ConnectionMain(std::shared_ptr<Connection> conn) {
   // come (e.g. its frame was fatally malformed). shutdown(2) hands it a
   // clean EOF; idempotent with the drain path in Wait().
   conn->sock.ShutdownBoth();
+  // Mark this thread joinable-without-blocking; the accept loop (or
+  // Wait) reaps it. Nothing below this line touches `this`.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  finished_threads_.push_back(thread_id);
 }
 
 void FannServer::ExecutorMain() {
@@ -617,20 +660,21 @@ DrainStats FannServer::Wait() {
   const double drain_ms = drain_timer_.Millis();
 
   // Responses for all drained work are flushed; now unblock and join
-  // every reader.
+  // every reader (including ones that already finished and are merely
+  // unreaped).
+  std::unordered_map<uint64_t, std::thread> readers;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (const std::shared_ptr<Connection>& conn : connections_) {
       conn->open.store(false, std::memory_order_relaxed);
       conn->sock.ShutdownBoth();
     }
-  }
-  for (std::thread& t : connection_threads_) t.join();
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    connections_.clear();
+    readers = std::move(connection_threads_);
     connection_threads_.clear();
+    connections_.clear();
+    finished_threads_.clear();
   }
+  for (auto& [id, t] : readers) t.join();
   started_.store(false, std::memory_order_relaxed);
 
   DrainStats stats;

@@ -49,6 +49,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/timer.h"
@@ -138,6 +139,13 @@ class FannServer {
   /// traffic flows (exact once quiesced).
   std::string StatsJson() const;
 
+  /// Connection-serving threads currently tracked (live plus finished-
+  /// but-unreaped). Bounded over any churn of connect/disconnect cycles:
+  /// finished reader threads are joined opportunistically as new
+  /// connections arrive instead of accumulating until shutdown
+  /// (tests/net_server_test.cc asserts the bound under churn).
+  size_t tracked_connection_threads() const;
+
   /// The underlying engine (test/bench access; do not call Run on it
   /// while the server is serving).
   BatchQueryEngine& engine() { return *engine_; }
@@ -151,7 +159,11 @@ class FannServer {
   struct WorkItem;
 
   void AcceptMain();
-  void ConnectionMain(std::shared_ptr<Connection> conn);
+  void ConnectionMain(std::shared_ptr<Connection> conn, uint64_t thread_id);
+  /// Joins reader threads whose ConnectionMain has finished and drops
+  /// their closed Connection records. Called from the accept loop (so a
+  /// long-lived server reaps as it churns) and from Wait().
+  void ReapFinishedConnections();
   void ExecutorMain();
   void Execute(WorkItem& item);
   void ExecuteQuery(WorkItem& item);
@@ -176,15 +188,21 @@ class FannServer {
 
   Socket listener_;
   uint16_t port_ = 0;
-  int wake_pipe_[2] = {-1, -1};
+  /// Self-wake eventfd: RequestShutdown adds to its counter, which is
+  /// level-triggered readable until drained — a wake can never be
+  /// silently dropped the way a full pipe drops writes, and writing it
+  /// stays async-signal-safe.
+  int wake_fd_ = -1;
   std::atomic<bool> draining_{false};
   std::atomic<bool> started_{false};
 
   std::thread accept_thread_;
   std::thread executor_thread_;
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> connection_threads_;
+  std::unordered_map<uint64_t, std::thread> connection_threads_;
+  std::vector<uint64_t> finished_threads_;  ///< Ready to join + erase.
+  uint64_t next_thread_id_ = 0;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -8,6 +8,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+
 namespace fannr::net {
 
 namespace {
@@ -16,7 +18,41 @@ std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
+// Test-only transmit faults (see ScopedWriteFaultInjection). Relaxed
+// atomics: tests install them before traffic and remove them after.
+std::atomic<size_t> g_fault_max_chunk{0};
+std::atomic<size_t> g_fault_eintr_period{0};
+std::atomic<size_t> g_fault_transmit_count{0};
+
+/// Caps `want` per the installed fault and reports whether this
+/// transmit attempt should instead fail with a synthetic EINTR.
+bool FaultyTransmit(size_t& want) {
+  const size_t cap = g_fault_max_chunk.load(std::memory_order_relaxed);
+  if (cap > 0 && want > cap) want = cap;
+  const size_t period = g_fault_eintr_period.load(std::memory_order_relaxed);
+  if (period > 0 &&
+      g_fault_transmit_count.fetch_add(1, std::memory_order_relaxed) %
+              period ==
+          period - 1) {
+    errno = EINTR;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+ScopedWriteFaultInjection::ScopedWriteFaultInjection(
+    const WriteFaultInjection& faults) {
+  g_fault_transmit_count.store(0, std::memory_order_relaxed);
+  g_fault_max_chunk.store(faults.max_chunk_bytes, std::memory_order_relaxed);
+  g_fault_eintr_period.store(faults.eintr_period, std::memory_order_relaxed);
+}
+
+ScopedWriteFaultInjection::~ScopedWriteFaultInjection() {
+  g_fault_max_chunk.store(0, std::memory_order_relaxed);
+  g_fault_eintr_period.store(0, std::memory_order_relaxed);
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
@@ -62,7 +98,15 @@ bool Socket::WriteFull(const void* data, size_t size) const {
   const char* p = static_cast<const char*>(data);
   size_t done = 0;
   while (done < size) {
-    const ssize_t n = ::send(fd_, p + done, size - done, MSG_NOSIGNAL);
+    // A blocking send(2) may still transmit fewer bytes than asked (a
+    // signal after a partial transfer, a small SO_SNDBUF) — the loop
+    // continues from wherever the kernel stopped, so a frame can never
+    // interleave with a concurrent writer's bytes mid-way. MSG_NOSIGNAL
+    // turns a dead peer into EPIPE instead of a process-killing SIGPIPE.
+    size_t want = size - done;
+    const ssize_t n = FaultyTransmit(want)
+                          ? -1
+                          : ::send(fd_, p + done, want, MSG_NOSIGNAL);
     if (n > 0) {
       done += static_cast<size_t>(n);
       continue;

@@ -65,6 +65,29 @@ Socket TcpAccept(const Socket& listener, std::string* error);
 /// Connects to `host:port`. Invalid socket + `error` on failure.
 Socket TcpConnect(const std::string& host, uint16_t port, std::string* error);
 
+/// Test-only fault injection for the transmit path. While installed,
+/// every send(2) issued by WriteFull/SendSome is capped to
+/// `max_chunk_bytes` (forcing the short-write continuation paths to
+/// run) and a synthetic EINTR is reported before every
+/// `eintr_period`-th transmit attempt (0 disables either fault).
+/// Process-global; tests install it through the RAII guard below so it
+/// never leaks across tests.
+struct WriteFaultInjection {
+  size_t max_chunk_bytes = 0;
+  size_t eintr_period = 0;
+};
+
+/// Installs `faults` for the lifetime of the guard, restoring clean
+/// transmission on destruction.
+class ScopedWriteFaultInjection {
+ public:
+  explicit ScopedWriteFaultInjection(const WriteFaultInjection& faults);
+  ~ScopedWriteFaultInjection();
+  ScopedWriteFaultInjection(const ScopedWriteFaultInjection&) = delete;
+  ScopedWriteFaultInjection& operator=(const ScopedWriteFaultInjection&) =
+      delete;
+};
+
 }  // namespace fannr::net
 
 #endif  // FANNR_NET_SOCKET_H_

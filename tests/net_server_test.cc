@@ -516,6 +516,103 @@ TEST_F(NetServerTest, RequestShutdownIsIdempotent) {
   EXPECT_TRUE(stats.within_deadline);
 }
 
+TEST_F(NetServerTest, RequestShutdownFloodNeverLosesTheWake) {
+  StartServer();
+  // A pipe-backed wake drops writes once 64 KiB of unconsumed bytes
+  // accumulate; 100k racing requests from several threads would exceed
+  // that many times over. The eventfd wake must still shut down
+  // promptly — the test timeout is the regression detector.
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < 4; ++t) {
+    hammers.emplace_back([&] {
+      for (int i = 0; i < 25'000; ++i) server_->RequestShutdown();
+    });
+  }
+  for (std::thread& t : hammers) t.join();
+  const DrainStats stats = server_->Wait();
+  EXPECT_TRUE(stats.within_deadline);
+}
+
+// --- connection lifecycle hygiene -----------------------------------------
+
+TEST_F(NetServerTest, ConnectionChurnDoesNotAccumulateThreads) {
+  StartServer();
+  // 60 connect → query → disconnect cycles. Finished reader threads are
+  // reaped as later connections arrive, so tracked threads stay bounded
+  // by the (tiny) live set instead of growing with total connections
+  // served.
+  for (size_t i = 0; i < 60; ++i) {
+    FannClient client = Connect();
+    QueryResponse response;
+    ASSERT_TRUE(client.Query(MakeQuery(500 + i), response))
+        << client.last_error();
+    client.Close();
+  }
+  // The last few closes may not have been followed by an accept (which
+  // is what triggers a reap); everything before must have been.
+  EXPECT_LE(server_->tracked_connection_threads(), 4u)
+      << "finished connection threads are accumulating";
+  EXPECT_EQ(server_->metrics().Snapshot().counter("server.connections"), 60u);
+  ShutdownAndWait();
+}
+
+TEST_F(NetServerTest, MidResponseDisconnectDoesNotKillServer) {
+  ExecutorGate gate;
+  gate.Hold();
+  ServerConfig config;
+  config.test_execution_gate = gate.AsHook();
+  StartServer(std::move(config));
+
+  // The query is dequeued and held at the gate; the client then
+  // vanishes. When the executor finally writes the response, the peer
+  // is gone — the send must fail with EPIPE/ECONNRESET, not raise a
+  // process-killing SIGPIPE.
+  {
+    std::string error;
+    Socket raw = TcpConnect("127.0.0.1", server_->port(), &error);
+    ASSERT_TRUE(raw.valid()) << error;
+    const std::vector<uint8_t> frame =
+        EncodeFrame(static_cast<uint16_t>(Opcode::kQuery), 77,
+                    EncodeQueryRequest({MakeQuery()}));
+    ASSERT_TRUE(raw.WriteFull(frame.data(), frame.size()));
+    gate.AwaitEntered(1);  // the executor holds this request
+    raw.Close();           // disconnect between request and response
+  }
+  gate.Release();
+
+  // The server is still alive and serving.
+  FannClient client = Connect();
+  EXPECT_TRUE(client.Ping()) << client.last_error();
+  QueryResponse response;
+  ASSERT_TRUE(client.Query(MakeQuery(), response)) << client.last_error();
+  EXPECT_EQ(response.result.status, static_cast<uint8_t>(QueryStatus::kOk));
+  ShutdownAndWait();
+}
+
+// --- transmit faults ------------------------------------------------------
+
+TEST_F(NetServerTest, RoundTripSurvivesInjectedShortWrites) {
+  StartServer();
+  // Every send(2) in the process — server responses and client requests
+  // alike — is capped to 9 bytes with periodic synthetic EINTRs. Frames
+  // are much larger than 9 bytes, so any missing short-write
+  // continuation desyncs the stream and fails the round-trip.
+  ScopedWriteFaultInjection faults({.max_chunk_bytes = 9,
+                                    .eintr_period = 6});
+  FannClient client = Connect();
+  BatchRequest request;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    request.jobs.push_back(MakeQuery(seed));
+  }
+  BatchResponse response;
+  ASSERT_TRUE(client.Batch(request, response)) << client.last_error();
+  ASSERT_EQ(response.results.size(), 6u);
+  for (const WireResult& result : response.results) {
+    EXPECT_EQ(result.status, static_cast<uint8_t>(QueryStatus::kOk));
+  }
+  ShutdownAndWait();
+}
+
 TEST_F(NetServerTest, DrainingServerRefusesNewWork) {
   ExecutorGate gate;
   gate.Hold();
