@@ -2,7 +2,7 @@
 // FANN_R wire protocol (net/server.h) over loopback TCP, across client
 // connection counts, with and without concurrent UPDATE_WEIGHTS waves.
 //
-// Four measurements:
+// Measurements:
 //   * steady cells — C synchronous clients (C in {1, 2, 8}) each stream
 //     queries; qps is ok-answers per wall second, latency is per-request
 //     end-to-end (client send to response decode), reported as p50/p95/p99;
@@ -10,6 +10,16 @@
 //     congestion waves concurrently. Queries whose admission epoch went
 //     stale are rejected per the protocol contract and re-submitted once
 //     (re-submits are counted, and count toward latency like any request);
+//   * pipelined cells — C connections (C in {128, 1024}) driven by one
+//     poll(2) event loop with several in-flight frames per connection
+//     (the protocol's request_id correlation), the workload the epoll
+//     server core exists for. The CI gate requires the 128-connection
+//     pipelined cell to beat the 8-connection synchronous cell ≥ 2× on
+//     qps;
+//   * a pipelined differential — the pipelined path's answers compared
+//     bitwise (status, vertex id, distance bits, work counters, error
+//     text) against an in-process BatchQueryEngine run of the same
+//     queries, before and after a weight wave (gated: zero mismatches);
 //   * an overload cell — a deliberately tiny admission queue behind a
 //     slowed executor, hammered by 8 connections, to demonstrate
 //     explicit OVERLOADED shedding (the CI gate requires a nonzero count);
@@ -23,12 +33,18 @@
 // FANNR_SERVER_QUERIES (queries per connection per cell, default 40),
 // FANNR_SERVER_THREADS (engine worker threads, default 2).
 
+#include <poll.h>
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -36,8 +52,10 @@
 
 #include "common/timer.h"
 #include "dynamic/update.h"
+#include "engine/batch_engine.h"
 #include "fann/fannr.h"
 #include "net/client.h"
+#include "net/iobuf.h"
 #include "net/server.h"
 
 namespace fannr::bench {
@@ -53,6 +71,8 @@ size_t EnvSize(const char* name, size_t fallback) {
 struct Cell {
   size_t connections = 0;
   bool waves = false;
+  bool pipelined = false;
+  size_t depth = 1;  ///< In-flight frames per connection (1 = synchronous).
   double wall_ms = 0.0;
   double qps = 0.0;
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
@@ -79,9 +99,72 @@ struct ClientOutcome {
   size_t overloaded = 0;
 };
 
-ClientOutcome DriveClient(const Graph& graph, uint16_t port, size_t id,
-                          size_t num_queries,
-                          const std::vector<uint32_t>& p_ids,
+/// One cell query: the kGd/kSum workload every driver (synchronous and
+/// pipelined) draws, so cells differ only in how the wire is driven.
+/// Small (4 query points): the cells measure the serving path — dispatch,
+/// framing, scheduling — not solver asymptotics, which the solver benches
+/// own. A small query is also the regime where pipelining matters: when
+/// per-query engine compute dominates, no wire discipline can help.
+net::WireQuery MakeQuery(const Graph& graph,
+                         const std::vector<uint32_t>& p_ids, Rng& rng) {
+  net::WireQuery query;
+  query.algorithm = static_cast<uint8_t>(FannAlgorithm::kGd);
+  query.aggregate = static_cast<uint8_t>(Aggregate::kSum);
+  query.phi = 0.5;
+  query.p = p_ids;
+  const std::vector<VertexId> q_ids =
+      GenerateUniformQueryPoints(graph, 0.10, 4, rng);
+  query.q = std::vector<uint32_t>(q_ids.begin(), q_ids.end());
+  return query;
+}
+
+/// Pre-draws every connection's query stream (seeded per connection, so
+/// connections do not send identical byte streams). Generation runs
+/// before each cell's wall timer: the cells measure the serving path,
+/// not client-side workload synthesis, which costs more per query than
+/// the server does and would otherwise mask any serving-side change.
+std::vector<std::vector<net::WireQuery>> MakeWorkload(
+    const Graph& graph, const std::vector<uint32_t>& p_ids,
+    size_t connections, size_t queries_per_conn) {
+  std::vector<std::vector<net::WireQuery>> workload(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    Rng rng(0x5EED5000u + c);
+    workload[c].reserve(queries_per_conn);
+    for (size_t i = 0; i < queries_per_conn; ++i) {
+      workload[c].push_back(MakeQuery(graph, p_ids, rng));
+    }
+  }
+  return workload;
+}
+
+/// Applies congestion waves through a dedicated updater connection until
+/// told to stop (shared by the synchronous and pipelined wave cells).
+std::thread StartWaveThread(const Graph& client_graph, uint16_t port,
+                            std::atomic<bool>& stop,
+                            std::atomic<size_t>& applied) {
+  return std::thread([&client_graph, port, &stop, &applied] {
+    net::FannClient updater;
+    if (!updater.Connect("127.0.0.1", port)) return;
+    Rng wave_rng(0xCA11AB1Eu);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const dynamic::UpdateBatch wave = dynamic::MakeCongestionWave(
+          client_graph, 0.02, 0.5, 3.0, wave_rng);
+      net::UpdateWeightsRequest request;
+      for (const EdgeWeightUpdate& u : wave.updates()) {
+        request.entries.push_back({u.u, u.v, u.new_weight});
+      }
+      net::UpdateWeightsResponse response;
+      if (!updater.UpdateWeights(request, response)) return;
+      if (response.status == 0) {
+        applied.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+}
+
+ClientOutcome DriveClient(uint16_t port,
+                          const std::vector<net::WireQuery>& queries,
                           bool retry_overloaded) {
   ClientOutcome outcome;
   net::FannClient client;
@@ -89,17 +172,7 @@ ClientOutcome DriveClient(const Graph& graph, uint16_t port, size_t id,
     outcome.transport_error = true;
     return outcome;
   }
-  Rng rng(0x5EED5000u + id);
-  for (size_t i = 0; i < num_queries; ++i) {
-    net::WireQuery query;
-    query.algorithm = static_cast<uint8_t>(FannAlgorithm::kGd);
-    query.aggregate = static_cast<uint8_t>(Aggregate::kSum);
-    query.phi = 0.5;
-    query.p = p_ids;
-    const std::vector<VertexId> q_ids =
-        GenerateUniformQueryPoints(graph, 0.10, 16, rng);
-    query.q = std::vector<uint32_t>(q_ids.begin(), q_ids.end());
-
+  for (const net::WireQuery& query : queries) {
     Timer t;
     net::QueryResponse response;
     bool sent = client.Query(query, response);
@@ -168,30 +241,15 @@ Cell RunCell(const std::string& dataset, size_t connections, bool waves,
   const std::vector<VertexId> p_vertices =
       GenerateDataPoints(client_graph, 0.01, p_rng);
   const std::vector<uint32_t> p_ids(p_vertices.begin(), p_vertices.end());
+  const std::vector<std::vector<net::WireQuery>> workload =
+      MakeWorkload(client_graph, p_ids, connections, queries_per_conn);
 
   std::atomic<bool> stop_waves{false};
   std::atomic<size_t> waves_applied{0};
   std::thread wave_thread;
   if (waves) {
-    wave_thread = std::thread([&] {
-      net::FannClient updater;
-      if (!updater.Connect("127.0.0.1", port)) return;
-      Rng wave_rng(0xCA11AB1Eu);
-      while (!stop_waves.load(std::memory_order_relaxed)) {
-        const dynamic::UpdateBatch wave = dynamic::MakeCongestionWave(
-            client_graph, 0.02, 0.5, 3.0, wave_rng);
-        net::UpdateWeightsRequest request;
-        for (const EdgeWeightUpdate& u : wave.updates()) {
-          request.entries.push_back({u.u, u.v, u.new_weight});
-        }
-        net::UpdateWeightsResponse applied;
-        if (!updater.UpdateWeights(request, applied)) return;
-        if (applied.status == 0) {
-          waves_applied.fetch_add(1, std::memory_order_relaxed);
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      }
-    });
+    wave_thread = StartWaveThread(client_graph, port, stop_waves,
+                                  waves_applied);
   }
 
   std::vector<ClientOutcome> outcomes(connections);
@@ -200,8 +258,8 @@ Cell RunCell(const std::string& dataset, size_t connections, bool waves,
     std::vector<std::thread> drivers;
     for (size_t c = 0; c < connections; ++c) {
       drivers.emplace_back([&, c] {
-        outcomes[c] = DriveClient(client_graph, port, c, queries_per_conn,
-                                  p_ids, /*retry_overloaded=*/true);
+        outcomes[c] = DriveClient(port, workload[c],
+                                  /*retry_overloaded=*/true);
       });
     }
     for (std::thread& t : drivers) t.join();
@@ -240,6 +298,462 @@ Cell RunCell(const std::string& dataset, size_t connections, bool waves,
   return cell;
 }
 
+/// One nonblocking connection in the pipelined driver: an outbound byte
+/// queue, an inbound byte queue cut into frames incrementally, and the
+/// window of requests awaiting a response, keyed by request_id.
+struct PipeConn {
+  net::Socket sock;
+  net::ByteQueue in;
+  net::ByteQueue out;
+  struct InFlight {
+    Timer timer;             ///< Started at first submission (resubmits
+                             ///< inherit it, like the synchronous driver).
+    net::WireQuery query;    ///< Kept for the one allowed resubmission.
+    bool resubmitted = false;
+  };
+  std::map<uint64_t, InFlight> inflight;
+  const std::vector<net::WireQuery>* queries = nullptr;  ///< Pre-drawn.
+  uint64_t next_id = 1;
+  size_t issued = 0;     ///< Queries submitted so far.
+  size_t completed = 0;  ///< Final responses recorded.
+  bool failed = false;
+  bool finished = false;
+
+  bool Done(size_t target) const {
+    return failed || (issued >= target && inflight.empty());
+  }
+};
+
+/// Drains as much of the outbound queue as the socket accepts right now.
+void PumpOut(PipeConn& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t sent = conn.sock.SendSome(conn.out.data(), conn.out.size());
+    if (sent > 0) {
+      conn.out.Consume(static_cast<size_t>(sent));
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    conn.failed = true;
+    return;
+  }
+}
+
+/// Encodes and queues one QUERY frame, tracking it in the in-flight map.
+void SubmitQuery(PipeConn& conn, const net::WireQuery& query, Timer timer,
+                 bool resubmitted) {
+  const uint64_t id = conn.next_id++;
+  net::QueryRequest request;
+  request.query = query;
+  const std::vector<uint8_t> frame =
+      net::EncodeFrame(static_cast<uint16_t>(net::Opcode::kQuery), id,
+                       net::EncodeQueryRequest(request));
+  conn.out.Append(frame.data(), frame.size());
+  conn.inflight.emplace(id, PipeConn::InFlight{timer, query, resubmitted});
+}
+
+/// Consumes one cut response frame; updates the in-flight window and the
+/// per-connection outcome.
+void HandleResponseFrame(PipeConn& conn, const net::FrameHeader& header,
+                         const std::vector<uint8_t>& payload,
+                         ClientOutcome& outcome) {
+  auto it = conn.inflight.find(header.request_id);
+  if (it == conn.inflight.end()) {
+    conn.failed = true;  // a response for nothing we sent: desync
+    return;
+  }
+  if (header.opcode == static_cast<uint16_t>(net::Opcode::kError)) {
+    net::ErrorResponse error;
+    if (!net::DecodeErrorResponse(payload, error) ||
+        error.code != net::ErrorCode::kOverloaded) {
+      conn.failed = true;
+      return;
+    }
+    ++outcome.overloaded;
+    if (!it->second.resubmitted) {
+      // One retry, like the synchronous driver (minus its backoff — a
+      // sleep here would stall every other connection on this loop).
+      SubmitQuery(conn, it->second.query, it->second.timer, true);
+    } else {
+      ++conn.completed;  // shed twice: dropped, counted only as overload
+    }
+    conn.inflight.erase(it);
+    return;
+  }
+  if (header.opcode != static_cast<uint16_t>(net::Opcode::kQueryResult)) {
+    conn.failed = true;
+    return;
+  }
+  net::QueryResponse response;
+  if (!net::DecodeQueryResponse(payload, response)) {
+    conn.failed = true;
+    return;
+  }
+  const auto status = static_cast<QueryStatus>(response.result.status);
+  if (status == QueryStatus::kRejected && !it->second.resubmitted) {
+    // Stale admission epoch: re-submit once under the new epoch, keeping
+    // the original timer so the retry costs latency like any request.
+    ++outcome.rejected;
+    ++outcome.resubmitted;
+    SubmitQuery(conn, it->second.query, it->second.timer, true);
+    conn.inflight.erase(it);
+    return;
+  }
+  outcome.latencies_ms.push_back(it->second.timer.Millis());
+  switch (status) {
+    case QueryStatus::kOk:
+      ++outcome.ok;
+      break;
+    case QueryStatus::kRejected:
+      ++outcome.rejected;
+      break;
+    case QueryStatus::kTimedOut:
+      ++outcome.timed_out;
+      break;
+  }
+  outcome.last_epoch = response.graph_epoch;
+  ++conn.completed;
+  conn.inflight.erase(it);
+}
+
+/// Raises the soft RLIMIT_NOFILE toward what `connections` needs (both
+/// socket ends live in this process) and returns the connection count
+/// that actually fits. CI raises the limit before running (see the
+/// server job); this is the belt-and-suspenders for other environments.
+size_t ClampConnectionsToFdLimit(size_t connections) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return connections;
+  const rlim_t needed = 2 * static_cast<rlim_t>(connections) + 128;
+  if (limit.rlim_cur < needed &&
+      (limit.rlim_max == RLIM_INFINITY || limit.rlim_max >= needed)) {
+    rlimit raised = limit;
+    raised.rlim_cur = needed;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) return connections;
+  }
+  if (limit.rlim_cur >= needed) return connections;
+  const size_t fit = limit.rlim_cur > 192
+                         ? (static_cast<size_t>(limit.rlim_cur) - 128) / 2
+                         : 32;
+  std::fprintf(stderr,
+               "warning: RLIMIT_NOFILE %llu too low for %zu connections; "
+               "clamping to %zu\n",
+               static_cast<unsigned long long>(limit.rlim_cur), connections,
+               fit);
+  return std::min(connections, fit);
+}
+
+/// Runs one pipelined cell: `connections` nonblocking sockets driven by
+/// a single poll(2) loop, each keeping up to `depth` frames in flight.
+Cell RunPipelinedCell(const std::string& dataset, size_t connections,
+                      bool waves, size_t queries_per_conn, size_t depth,
+                      size_t engine_threads) {
+  connections = ClampConnectionsToFdLimit(connections);
+  Graph server_graph = BuildPreset(dataset);
+  const Graph client_graph = BuildPreset(dataset);
+
+  GphiResources resources;
+  resources.graph = &server_graph;
+  net::ServerConfig config;
+  config.engine_options.num_threads = engine_threads;
+  // The point of the cell is pipelining pressure, not admission-queue
+  // shedding (the overload cell covers that): size connection and queue
+  // limits to the offered load.
+  config.max_connections = connections + 8;
+  config.max_queue_depth = connections * depth + 64;
+  net::FannServer server(&server_graph, resources, std::move(config));
+  std::string error;
+  FANNR_CHECK(server.Start(&error));
+  const uint16_t port = server.port();
+
+  Rng p_rng(0xBA5E0001u);
+  const std::vector<VertexId> p_vertices =
+      GenerateDataPoints(client_graph, 0.01, p_rng);
+  const std::vector<uint32_t> p_ids(p_vertices.begin(), p_vertices.end());
+  const std::vector<std::vector<net::WireQuery>> workload =
+      MakeWorkload(client_graph, p_ids, connections, queries_per_conn);
+
+  std::atomic<bool> stop_waves{false};
+  std::atomic<size_t> waves_applied{0};
+  std::thread wave_thread;
+  if (waves) {
+    wave_thread = StartWaveThread(client_graph, port, stop_waves,
+                                  waves_applied);
+  }
+
+  std::vector<std::unique_ptr<PipeConn>> conns;
+  conns.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    auto conn = std::make_unique<PipeConn>();
+    std::string connect_error;
+    conn->sock = net::TcpConnect("127.0.0.1", port, &connect_error);
+    FANNR_CHECK(conn->sock.valid());
+    FANNR_CHECK(conn->sock.SetNonBlocking());
+    conn->queries = &workload[c];
+    conns.push_back(std::move(conn));
+  }
+
+  std::vector<ClientOutcome> outcomes(connections);
+  std::vector<pollfd> fds;
+  std::vector<size_t> fd_conn;
+  size_t active = connections;
+  uint8_t scratch[64 * 1024];
+
+  Timer wall;
+  while (active > 0) {
+    // Top up every window and push whatever the sockets will take.
+    for (size_t c = 0; c < connections; ++c) {
+      PipeConn& conn = *conns[c];
+      if (conn.finished) continue;
+      while (!conn.failed && conn.issued < queries_per_conn &&
+             conn.inflight.size() < depth) {
+        SubmitQuery(conn, (*conn.queries)[conn.issued], Timer(), false);
+        ++conn.issued;
+      }
+      if (!conn.failed) PumpOut(conn);
+      if (conn.Done(queries_per_conn)) {
+        conn.finished = true;
+        --active;
+      }
+    }
+    if (active == 0) break;
+
+    fds.clear();
+    fd_conn.clear();
+    for (size_t c = 0; c < connections; ++c) {
+      const PipeConn& conn = *conns[c];
+      if (conn.finished) continue;
+      short events = POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back({conn.sock.fd(), events, 0});
+      fd_conn.push_back(c);
+    }
+    const int rc = ::poll(fds.data(), fds.size(), 5000);
+    if (rc < 0) {
+      FANNR_CHECK(errno == EINTR);
+      continue;
+    }
+
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      PipeConn& conn = *conns[fd_conn[i]];
+      ClientOutcome& outcome = outcomes[fd_conn[i]];
+      if ((fds[i].revents & POLLOUT) != 0) PumpOut(conn);
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        while (!conn.failed) {
+          const ssize_t got = conn.sock.RecvSome(scratch, sizeof(scratch));
+          if (got > 0) {
+            conn.in.Append(scratch, static_cast<size_t>(got));
+            if (static_cast<size_t>(got) < sizeof(scratch)) break;
+            continue;
+          }
+          if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          conn.failed = true;  // EOF or error with responses outstanding
+        }
+        while (!conn.failed) {
+          net::FrameCut cut = net::CutFrame(conn.in);
+          if (cut.kind == net::FrameCut::Kind::kNeedMore) break;
+          if (cut.kind == net::FrameCut::Kind::kPoisoned) {
+            conn.failed = true;
+            break;
+          }
+          HandleResponseFrame(conn, cut.header, cut.payload, outcome);
+        }
+        // A resubmission queued by a response must leave this iteration
+        // on the wire, not wait for the next poll round.
+        if (!conn.failed) PumpOut(conn);
+      }
+      if (!conn.finished && conn.Done(queries_per_conn)) {
+        conn.finished = true;
+        --active;
+      }
+    }
+  }
+  const double wall_ms = wall.Millis();
+
+  if (waves) {
+    stop_waves.store(true, std::memory_order_relaxed);
+    wave_thread.join();
+  }
+  for (std::unique_ptr<PipeConn>& conn : conns) {
+    FANNR_CHECK(!conn->failed);
+    conn->sock.Close();
+  }
+  net::FannClient admin;
+  FANNR_CHECK(admin.Connect("127.0.0.1", port) && admin.Shutdown());
+  server.Wait();
+
+  Cell cell;
+  cell.connections = connections;
+  cell.waves = waves;
+  cell.pipelined = true;
+  cell.depth = depth;
+  cell.wall_ms = wall_ms;
+  cell.waves_applied = waves_applied.load(std::memory_order_relaxed);
+  std::vector<double> latencies;
+  for (const ClientOutcome& o : outcomes) {
+    cell.ok += o.ok;
+    cell.rejected += o.rejected;
+    cell.timed_out += o.timed_out;
+    cell.resubmitted += o.resubmitted;
+    cell.final_epoch = std::max(cell.final_epoch, o.last_epoch);
+    latencies.insert(latencies.end(), o.latencies_ms.begin(),
+                     o.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  cell.p50_ms = Percentile(latencies, 0.50);
+  cell.p95_ms = Percentile(latencies, 0.95);
+  cell.p99_ms = Percentile(latencies, 0.99);
+  cell.qps = 1000.0 * static_cast<double>(cell.ok) / wall_ms;
+  return cell;
+}
+
+struct DifferentialOutcome {
+  size_t queries = 0;
+  size_t mismatches = 0;
+};
+
+/// Compares pipelined wire answers bitwise against an in-process
+/// BatchQueryEngine run of the same queries — the bench-level echo of
+/// tests/net_loopback_differential_test.cc, gated in CI via the JSON.
+/// Phase 1 runs at epoch 0; a congestion wave is then applied to both
+/// sides and phase 2 repeats the comparison at epoch 1.
+DifferentialOutcome RunPipelinedDifferential(const std::string& dataset,
+                                             size_t engine_threads) {
+  Graph server_graph = BuildPreset(dataset);
+  Graph ref_graph = BuildPreset(dataset);
+  const Graph client_graph = BuildPreset(dataset);
+
+  GphiResources resources;
+  resources.graph = &server_graph;
+  net::ServerConfig config;
+  config.engine_options.num_threads = engine_threads;
+  net::FannServer server(&server_graph, resources, std::move(config));
+  std::string error;
+  FANNR_CHECK(server.Start(&error));
+  const uint16_t port = server.port();
+
+  GphiResources ref_resources;
+  ref_resources.graph = &ref_graph;
+  BatchOptions ref_options;
+  ref_options.num_threads = engine_threads;
+  BatchQueryEngine reference(ref_resources, ref_options);
+
+  Rng p_rng(0xBA5E0001u);
+  const std::vector<VertexId> p_vertices =
+      GenerateDataPoints(client_graph, 0.01, p_rng);
+  const std::vector<uint32_t> p_ids(p_vertices.begin(), p_vertices.end());
+  Rng q_rng(0xD1FF0001u);
+  std::vector<net::WireQuery> jobs;
+  for (size_t i = 0; i < 24; ++i) {
+    jobs.push_back(MakeQuery(client_graph, p_ids, q_rng));
+  }
+
+  DifferentialOutcome outcome;
+  const auto run_phase = [&](uint64_t expected_epoch) {
+    // In-process reference: one Run over all jobs. The server is free to
+    // merge the pipelined frames into whatever bursts it likes — per-job
+    // answers must not depend on batch composition.
+    std::vector<std::unique_ptr<IndexedVertexSet>> sets;
+    std::vector<FannrQuery> batch;
+    for (const net::WireQuery& wire : jobs) {
+      auto p = std::make_unique<IndexedVertexSet>(
+          ref_graph.NumVertices(),
+          std::vector<VertexId>(wire.p.begin(), wire.p.end()));
+      auto q = std::make_unique<IndexedVertexSet>(
+          ref_graph.NumVertices(),
+          std::vector<VertexId>(wire.q.begin(), wire.q.end()));
+      FannrQuery job;
+      job.query.graph = &ref_graph;
+      job.query.data_points = p.get();
+      job.query.query_points = q.get();
+      job.query.phi = wire.phi;
+      job.query.aggregate = static_cast<Aggregate>(wire.aggregate);
+      job.algorithm = static_cast<FannAlgorithm>(wire.algorithm);
+      sets.push_back(std::move(p));
+      sets.push_back(std::move(q));
+      batch.push_back(job);
+    }
+    const std::vector<FannResult> results = reference.Run(batch);
+    std::vector<net::WireResult> expected;
+    expected.reserve(results.size());
+    for (const FannResult& r : results) expected.push_back(net::ToWire(r));
+
+    // Pipelined: all frames on the wire before any response is read.
+    std::string connect_error;
+    net::Socket sock = net::TcpConnect("127.0.0.1", port, &connect_error);
+    FANNR_CHECK(sock.valid());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      net::QueryRequest request;
+      request.query = jobs[i];
+      const std::vector<uint8_t> frame = net::EncodeFrame(
+          static_cast<uint16_t>(net::Opcode::kQuery), expected_epoch * 1000 + i,
+          net::EncodeQueryRequest(request));
+      FANNR_CHECK(sock.WriteFull(frame.data(), frame.size()));
+    }
+    std::map<uint64_t, net::WireResult> by_id;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      uint8_t header_bytes[net::kFrameHeaderBytes];
+      FANNR_CHECK(sock.ReadFull(header_bytes, sizeof(header_bytes)));
+      net::FrameHeader header;
+      net::DecodeFrameHeader(header_bytes, header);
+      FANNR_CHECK(header.opcode ==
+                  static_cast<uint16_t>(net::Opcode::kQueryResult));
+      std::vector<uint8_t> payload(header.payload_length);
+      if (!payload.empty()) {
+        FANNR_CHECK(sock.ReadFull(payload.data(), payload.size()));
+      }
+      net::QueryResponse response;
+      FANNR_CHECK(net::DecodeQueryResponse(payload, response));
+      FANNR_CHECK(response.graph_epoch == expected_epoch);
+      by_id.emplace(header.request_id, response.result);
+    }
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      ++outcome.queries;
+      const auto it = by_id.find(expected_epoch * 1000 + i);
+      if (it == by_id.end()) {
+        ++outcome.mismatches;
+        continue;
+      }
+      const net::WireResult& got = it->second;
+      const net::WireResult& want = expected[i];
+      const bool equal =
+          got.status == want.status && got.best == want.best &&
+          std::memcmp(&got.distance, &want.distance,
+                      sizeof(got.distance)) == 0 &&
+          got.gphi_evaluations == want.gphi_evaluations &&
+          got.subset == want.subset && got.error == want.error;
+      if (!equal) ++outcome.mismatches;
+    }
+  };
+
+  run_phase(0);
+
+  // The same wave on both sides: over the wire to the server, in-process
+  // to the reference graph.
+  Rng wave_rng(0xCA11AB1Eu);
+  const dynamic::UpdateBatch wave =
+      dynamic::MakeCongestionWave(client_graph, 0.02, 0.5, 3.0, wave_rng);
+  {
+    net::FannClient updater;
+    FANNR_CHECK(updater.Connect("127.0.0.1", port));
+    net::UpdateWeightsRequest request;
+    for (const EdgeWeightUpdate& u : wave.updates()) {
+      request.entries.push_back({u.u, u.v, u.new_weight});
+    }
+    net::UpdateWeightsResponse applied;
+    FANNR_CHECK(updater.UpdateWeights(request, applied));
+    FANNR_CHECK(applied.status == 0);
+  }
+  const dynamic::ApplyResult applied = wave.Apply(ref_graph);
+  FANNR_CHECK(applied.new_epoch == 1);
+
+  run_phase(1);
+
+  net::FannClient admin;
+  FANNR_CHECK(admin.Connect("127.0.0.1", port) && admin.Shutdown());
+  server.Wait();
+  return outcome;
+}
+
 struct OverloadResult {
   size_t overloaded = 0;
   size_t ok = 0;
@@ -270,13 +784,15 @@ OverloadResult RunOverload(const std::string& dataset,
   const std::vector<uint32_t> p_ids(p_vertices.begin(), p_vertices.end());
 
   const size_t connections = 8;
+  const std::vector<std::vector<net::WireQuery>> workload =
+      MakeWorkload(client_graph, p_ids, connections, queries_per_conn);
   std::vector<ClientOutcome> outcomes(connections);
   {
     std::vector<std::thread> drivers;
     for (size_t c = 0; c < connections; ++c) {
       drivers.emplace_back([&, c] {
-        outcomes[c] = DriveClient(client_graph, port, c, queries_per_conn,
-                                  p_ids, /*retry_overloaded=*/false);
+        outcomes[c] = DriveClient(port, workload[c],
+                                  /*retry_overloaded=*/false);
       });
     }
     for (std::thread& t : drivers) t.join();
@@ -313,12 +829,13 @@ net::DrainStats RunDrain(const std::string& dataset) {
   const std::vector<VertexId> p_vertices =
       GenerateDataPoints(client_graph, 0.01, p_rng);
   const std::vector<uint32_t> p_ids(p_vertices.begin(), p_vertices.end());
+  const std::vector<std::vector<net::WireQuery>> workload =
+      MakeWorkload(client_graph, p_ids, 4, 10);
 
   std::vector<std::thread> drivers;
   for (size_t c = 0; c < 4; ++c) {
     drivers.emplace_back([&, c] {
-      DriveClient(client_graph, port, c, 10, p_ids,
-                  /*retry_overloaded=*/false);
+      DriveClient(port, workload[c], /*retry_overloaded=*/false);
     });
   }
   // Fire the shutdown while the drivers are mid-stream.
@@ -342,23 +859,53 @@ int Main() {
   std::printf("Server throughput — dataset %s, %zu queries/conn, "
               "%zu engine threads\n",
               dataset.c_str(), queries_per_conn, engine_threads);
-  std::printf("%5s %6s %10s %9s %9s %9s %6s %5s %6s %7s\n", "conns", "waves",
-              "qps", "p50 ms", "p95 ms", "p99 ms", "ok", "rej", "t/out",
-              "epochs");
+  std::printf("%5s %6s %5s %10s %9s %9s %9s %6s %5s %6s %7s\n", "conns",
+              "waves", "depth", "qps", "p50 ms", "p95 ms", "p99 ms", "ok",
+              "rej", "t/out", "epochs");
+  const auto print_cell = [](const Cell& cell) {
+    std::printf(
+        "%5zu %6s %5zu %10.1f %9.2f %9.2f %9.2f %6zu %5zu %6zu %7zu\n",
+        cell.connections, cell.waves ? "yes" : "no", cell.depth, cell.qps,
+        cell.p50_ms, cell.p95_ms, cell.p99_ms, cell.ok, cell.rejected,
+        cell.timed_out, static_cast<size_t>(cell.final_epoch));
+  };
 
   std::vector<Cell> cells;
   for (const bool waves : {false, true}) {
     for (const size_t connections : {size_t{1}, size_t{2}, size_t{8}}) {
       Cell cell = RunCell(dataset, connections, waves, queries_per_conn,
                           engine_threads);
-      std::printf("%5zu %6s %10.1f %9.2f %9.2f %9.2f %6zu %5zu %6zu %7zu\n",
-                  cell.connections, cell.waves ? "yes" : "no", cell.qps,
-                  cell.p50_ms, cell.p95_ms, cell.p99_ms, cell.ok,
-                  cell.rejected, cell.timed_out,
-                  static_cast<size_t>(cell.final_epoch));
+      print_cell(cell);
       cells.push_back(std::move(cell));
     }
   }
+
+  // Pipelined cells: the event-loop workload. The 1024-connection cell
+  // keeps total queries comparable by shrinking the per-connection
+  // stream; its depth is lower so the offered load stays bounded.
+  struct PipelinedSpec {
+    size_t connections;
+    bool waves;
+    size_t queries;
+    size_t depth;
+  };
+  const PipelinedSpec pipelined_specs[] = {
+      {128, false, queries_per_conn, 8},
+      {128, true, queries_per_conn, 8},
+      {1024, false, std::max<size_t>(1, queries_per_conn / 10), 4},
+  };
+  for (const PipelinedSpec& spec : pipelined_specs) {
+    Cell cell = RunPipelinedCell(dataset, spec.connections, spec.waves,
+                                 spec.queries, spec.depth, engine_threads);
+    print_cell(cell);
+    cells.push_back(std::move(cell));
+  }
+
+  const DifferentialOutcome differential =
+      RunPipelinedDifferential(dataset, engine_threads);
+  std::printf("\npipelined differential vs in-process engine: "
+              "%zu queries, %zu mismatches\n",
+              differential.queries, differential.mismatches);
 
   const OverloadResult overload = RunOverload(dataset, 25);
   std::printf("\noverload (queue depth 2, slowed executor, 8 conns): "
@@ -385,6 +932,8 @@ int Main() {
     const Cell& cell = cells[i];
     out << "    {\"connections\": " << cell.connections
         << ", \"waves\": " << (cell.waves ? "true" : "false")
+        << ", \"pipelined\": " << (cell.pipelined ? "true" : "false")
+        << ", \"depth\": " << cell.depth
         << ", \"qps\": " << cell.qps << ", \"wall_ms\": " << cell.wall_ms
         << ", \"p50_ms\": " << cell.p50_ms << ", \"p95_ms\": " << cell.p95_ms
         << ", \"p99_ms\": " << cell.p99_ms << ", \"ok\": " << cell.ok
@@ -396,6 +945,9 @@ int Main() {
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"pipelined_differential\": {\"queries\": "
+      << differential.queries
+      << ", \"mismatches\": " << differential.mismatches << "},\n"
       << "  \"overload\": {\"connections\": 8, \"queue_depth\": 2, "
       << "\"overloaded\": " << overload.overloaded
       << ", \"ok\": " << overload.ok << "},\n"

@@ -3,8 +3,9 @@
 
 CI runs this after the server throughput smoke so a run that silently
 produces garbage (zero qps, no OVERLOADED shedding under saturation, a
-drain past its deadline) fails the build instead of uploading a broken
-artifact.
+drain past its deadline, a pipelined path slower than thread-per-
+connection ever was, or a pipelined answer differing from the in-process
+engine) fails the build instead of uploading a broken artifact.
 
 Usage: check_server_json.py [path-to-BENCH_server.json]
 """
@@ -18,12 +19,15 @@ REQUIRED_TOP_LEVEL = [
     "queries_per_connection",
     "engine_threads",
     "cells",
+    "pipelined_differential",
     "overload",
     "drain",
 ]
 REQUIRED_CELL = [
     "connections",
     "waves",
+    "pipelined",
+    "depth",
     "qps",
     "wall_ms",
     "p50_ms",
@@ -36,6 +40,11 @@ REQUIRED_CELL = [
     "waves_applied",
     "final_epoch",
 ]
+
+# The epoll rebuild exists to beat the old thread-per-connection model:
+# the 128-connection pipelined steady cell must deliver at least this
+# multiple of the 8-connection synchronous steady cell's qps.
+PIPELINED_QPS_MULTIPLE = 2.0
 
 _errors = []
 
@@ -75,11 +84,16 @@ def main():
         if _errors:
             break
         label = (f"cell conns={cell['connections']} "
-                 f"waves={'on' if cell['waves'] else 'off'}")
+                 f"waves={'on' if cell['waves'] else 'off'} "
+                 f"{'pipelined' if cell['pipelined'] else 'sync'}")
         check(finite_positive(cell["qps"]), f"{label}: qps must be positive")
         check(cell["ok"] > 0, f"{label}: no query succeeded")
         check(cell["p50_ms"] <= cell["p95_ms"] <= cell["p99_ms"],
               f"{label}: latency percentiles not monotone")
+        check(cell["depth"] >= 1, f"{label}: depth must be >= 1")
+        if cell["pipelined"]:
+            check(cell["depth"] > 1,
+                  f"{label}: a pipelined cell should keep >1 frame in flight")
         if cell["waves"]:
             saw_waves = True
             check(cell["waves_applied"] > 0,
@@ -92,6 +106,44 @@ def main():
             check(cell["final_epoch"] == 0,
                   f"{label}: steady cell advanced the graph epoch")
     check(saw_waves, "no cell ran with update waves")
+
+    def find_cell(connections, waves, pipelined):
+        for cell in cells:
+            if (cell.get("connections") == connections and
+                    cell.get("waves") == waves and
+                    cell.get("pipelined") == pipelined):
+                return cell
+        return None
+
+    # Pipelined coverage: the cells the event loop exists for must be
+    # present (128 steady + waves, and the 1024-connection scale point).
+    pipelined_steady = find_cell(128, False, True)
+    check(pipelined_steady is not None,
+          "missing the 128-connection pipelined steady cell")
+    check(find_cell(128, True, True) is not None,
+          "missing the 128-connection pipelined wave cell")
+    check(any(c.get("pipelined") and not c.get("waves") and
+              c.get("connections", 0) >= 1024 for c in cells),
+          "missing the 1024-connection pipelined cell (fd limit too low?)")
+
+    # The headline gate: pipelining at 128 connections must beat the
+    # 8-connection synchronous baseline by the required multiple.
+    sync_baseline = find_cell(8, False, False)
+    check(sync_baseline is not None,
+          "missing the 8-connection synchronous steady cell")
+    if pipelined_steady is not None and sync_baseline is not None:
+        need = PIPELINED_QPS_MULTIPLE * sync_baseline["qps"]
+        check(pipelined_steady["qps"] >= need,
+              f"pipelined 128-conn qps {pipelined_steady['qps']:.1f} < "
+              f"{PIPELINED_QPS_MULTIPLE}x the 8-conn synchronous baseline "
+              f"({sync_baseline['qps']:.1f} qps, need {need:.1f})")
+
+    differential = data["pipelined_differential"]
+    check(differential.get("queries", 0) > 0,
+          "pipelined differential ran no queries")
+    check(differential.get("mismatches", -1) == 0,
+          f"pipelined differential: {differential.get('mismatches')} answers "
+          f"differed from the in-process engine (must be bitwise identical)")
 
     overload = data["overload"]
     check(overload.get("overloaded", 0) > 0,
@@ -109,8 +161,12 @@ def main():
     if _errors:
         print("FAIL:\n  " + "\n  ".join(_errors), file=sys.stderr)
         return 1
+    speedup = (pipelined_steady["qps"] / sync_baseline["qps"]
+               if sync_baseline["qps"] > 0 else float("nan"))
     print(f"OK: {path} passes schema and sanity checks "
-          f"({len(cells)} cells, {overload['overloaded']} OVERLOADED under "
+          f"({len(cells)} cells, pipelined/sync speedup {speedup:.2f}x, "
+          f"{differential['queries']} differential queries with 0 "
+          f"mismatches, {overload['overloaded']} OVERLOADED under "
           f"saturation, drain in {drain['drain_ms']:.1f} ms)")
     return 0
 

@@ -76,6 +76,62 @@ bool FannClient::RoundTrip(Opcode request,
   }
 }
 
+bool FannClient::SendFrame(Opcode request,
+                           std::span<const uint8_t> request_payload,
+                           uint64_t* request_id) {
+  last_error_code_ = ErrorCode::kNone;
+  last_error_.clear();
+  if (!sock_.valid()) return Fail("not connected");
+  const uint64_t id = next_request_id_++;
+  const std::vector<uint8_t> frame =
+      EncodeFrame(static_cast<uint16_t>(request), id, request_payload);
+  if (!sock_.WriteFull(frame.data(), frame.size())) {
+    sock_.Close();
+    return Fail("write failed (connection lost)");
+  }
+  if (request_id != nullptr) *request_id = id;
+  return true;
+}
+
+bool FannClient::SendQuery(const WireQuery& query, uint64_t* request_id) {
+  QueryRequest request;
+  request.query = query;
+  return SendFrame(Opcode::kQuery, EncodeQueryRequest(request), request_id);
+}
+
+bool FannClient::SendPing(uint64_t* request_id) {
+  return SendFrame(Opcode::kPing, {}, request_id);
+}
+
+bool FannClient::SendShutdown(uint64_t* request_id) {
+  return SendFrame(Opcode::kShutdown, {}, request_id);
+}
+
+bool FannClient::ReadAny(FrameHeader& header, std::vector<uint8_t>& payload) {
+  last_error_code_ = ErrorCode::kNone;
+  last_error_.clear();
+  if (!sock_.valid()) return Fail("not connected");
+  uint8_t header_bytes[kFrameHeaderBytes];
+  if (!sock_.ReadFull(header_bytes, sizeof(header_bytes))) {
+    sock_.Close();
+    return Fail("connection closed while awaiting response");
+  }
+  DecodeFrameHeader(header_bytes, header);
+  bool fatal = false;
+  const std::string envelope_error = FrameEnvelopeError(header, &fatal);
+  if (fatal || header.version != kProtocolVersion) {
+    sock_.Close();
+    return Fail("bad response frame: " + envelope_error);
+  }
+  payload.resize(header.payload_length);
+  if (header.payload_length > 0 &&
+      !sock_.ReadFull(payload.data(), payload.size())) {
+    sock_.Close();
+    return Fail("connection closed mid-payload");
+  }
+  return true;
+}
+
 bool FannClient::Ping() {
   std::vector<uint8_t> payload;
   if (!RoundTrip(Opcode::kPing, {}, Opcode::kPong, payload)) return false;

@@ -54,6 +54,33 @@ class FannClient {
   /// Requests a graceful server drain; true once the ack arrives.
   bool Shutdown();
 
+  // --- Pipelined mode ---
+  //
+  // Send* writes a request frame WITHOUT waiting for its response, so
+  // many requests can be in flight on the one connection; ReadAny then
+  // collects responses in whatever order the server completes them.
+  // The caller correlates by request_id — the server may answer out of
+  // order (a PING overtakes queued work; work responses themselves
+  // arrive FIFO per connection). Do not interleave pipelined calls with
+  // the synchronous API above while responses are outstanding.
+
+  /// Writes one QUERY frame; on true, `*request_id` identifies the
+  /// eventual QUERY_RESULT (or error) frame.
+  bool SendQuery(const WireQuery& query, uint64_t* request_id);
+
+  /// Writes one PING frame (answered inline by the server's event loop,
+  /// ahead of queued work — a pipelined liveness probe).
+  bool SendPing(uint64_t* request_id);
+
+  /// Writes one SHUTDOWN frame.
+  bool SendShutdown(uint64_t* request_id);
+
+  /// Blocks for the next response frame of any request. Validates the
+  /// envelope; a fatal envelope or EOF closes the socket and returns
+  /// false. Error frames are returned (opcode kError in `header`), not
+  /// converted to false — pipelined callers decode per id.
+  bool ReadAny(FrameHeader& header, std::vector<uint8_t>& payload);
+
   /// After a false return: the error code of the server's error frame
   /// (kNone for transport/decode failures) and a human-readable reason.
   ErrorCode last_error_code() const { return last_error_code_; }
@@ -66,6 +93,11 @@ class FannClient {
   /// last_error_* and returns false).
   bool RoundTrip(Opcode request, std::span<const uint8_t> request_payload,
                  Opcode expect, std::vector<uint8_t>& payload);
+
+  /// Writes one request frame without reading anything back; assigns
+  /// and reports the request id.
+  bool SendFrame(Opcode request, std::span<const uint8_t> request_payload,
+                 uint64_t* request_id);
 
   bool Fail(std::string message);
 

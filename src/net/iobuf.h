@@ -1,0 +1,120 @@
+// Byte queues and incremental frame cutting for the event-loop server.
+//
+// A nonblocking socket delivers bytes in arbitrary cuts: a read may end
+// mid-header, mid-payload, or carry a dozen pipelined frames at once.
+// ByteQueue accumulates those cuts in one contiguous, amortized-O(1)
+// buffer (the same structure backs the transmit side, where a frame is
+// appended whole and drained by however many short writes the kernel
+// takes). CutFrame lifts the two-tier envelope validation of
+// net/protocol.h onto that stream: it yields complete frames one at a
+// time, reports "need more bytes" without consuming anything, and
+// flags poisoned streams (bad magic, oversized payload) whose framing
+// can no longer be trusted.
+
+#ifndef FANNR_NET_IOBUF_H_
+#define FANNR_NET_IOBUF_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace fannr::net {
+
+/// A FIFO byte buffer with contiguous storage: appends go to the tail,
+/// consumes advance a head offset, and the dead prefix is compacted
+/// once it dominates the buffer — so steady-state streaming neither
+/// reallocates nor memmoves per frame.
+class ByteQueue {
+ public:
+  size_t size() const { return buf_.size() - head_; }
+  bool empty() const { return head_ == buf_.size(); }
+
+  /// The queued bytes, contiguous, starting at the oldest unconsumed.
+  const uint8_t* data() const { return buf_.data() + head_; }
+
+  void Append(const void* bytes, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(bytes);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  /// Drops the oldest `n` bytes (n <= size()).
+  void Consume(size_t n) {
+    head_ += n;
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ >= kCompactAt && head_ >= buf_.size() - head_) {
+      // The consumed prefix outweighs the live bytes: slide them down
+      // so the buffer cannot grow without bound on a long-lived stream.
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  /// Copies the oldest `n` bytes without consuming (n <= size()).
+  void Peek(void* out, size_t n) const { std::memcpy(out, data(), n); }
+
+  void Clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+ private:
+  static constexpr size_t kCompactAt = 4096;
+  std::vector<uint8_t> buf_;
+  size_t head_ = 0;
+};
+
+/// The outcome of trying to cut one frame off the head of a stream.
+struct FrameCut {
+  enum class Kind {
+    kNeedMore,  ///< Not enough bytes yet; nothing consumed.
+    kFrame,     ///< One frame consumed; header/payload/envelope_error set.
+    kPoisoned,  ///< Fatal envelope (bad magic, oversized, reserved bits):
+                ///< the stream has no trustworthy frame boundary left.
+  };
+  Kind kind = Kind::kNeedMore;
+  FrameHeader header;
+  std::vector<uint8_t> payload;
+  /// Non-fatal envelope problems (unknown version/opcode) the server
+  /// answers in-band while the connection continues; empty when clean.
+  /// For kPoisoned: the reason the stream is unframeable.
+  std::string envelope_error;
+};
+
+/// Cuts the next complete frame off `in`. Consumes bytes only when a
+/// whole frame (header + declared payload) is present, so a caller can
+/// retry verbatim after the next socket read.
+inline FrameCut CutFrame(ByteQueue& in) {
+  FrameCut cut;
+  if (in.size() < kFrameHeaderBytes) return cut;
+  uint8_t header_bytes[kFrameHeaderBytes];
+  in.Peek(header_bytes, sizeof(header_bytes));
+  DecodeFrameHeader(header_bytes, cut.header);
+
+  bool fatal = false;
+  cut.envelope_error = FrameEnvelopeError(cut.header, &fatal);
+  if (fatal) {
+    cut.kind = FrameCut::Kind::kPoisoned;
+    return cut;
+  }
+  if (in.size() < kFrameHeaderBytes + cut.header.payload_length) {
+    cut.envelope_error.clear();
+    return cut;  // kNeedMore
+  }
+  in.Consume(kFrameHeaderBytes);
+  cut.payload.resize(cut.header.payload_length);
+  if (cut.header.payload_length > 0) {
+    in.Peek(cut.payload.data(), cut.payload.size());
+    in.Consume(cut.payload.size());
+  }
+  cut.kind = FrameCut::Kind::kFrame;
+  return cut;
+}
+
+}  // namespace fannr::net
+
+#endif  // FANNR_NET_IOBUF_H_

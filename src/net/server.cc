@@ -1,12 +1,16 @@
 #include "net/server.h"
 
-#include <poll.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <unordered_map>
 #include <utility>
 
 #include "common/timer.h"
@@ -56,34 +60,58 @@ std::string HistogramStatsJson(const obs::HistogramSnapshot& h) {
          "}";
 }
 
+/// epoll user-data tags for the two non-connection descriptors each
+/// loop watches. Real heap Connection pointers can never collide with
+/// these values.
+constexpr uint64_t kWakeTag = 1;
+constexpr uint64_t kListenerTag = 2;
+
+/// Cap on the post-io_stop_ flush of remaining transmit queues. Only a
+/// peer that stops reading mid-drain can make us wait this long.
+constexpr double kDrainFlushCapMs = 2'000.0;
+
 }  // namespace
 
-/// One accepted client connection. The reader thread owns the receive
-/// side; the executor (and the reader, for inline errors) share the
-/// send side through WriteFrame's mutex so frames never interleave.
+/// One accepted client connection, owned by exactly one event loop.
+/// Receive-side state (`in`, read_paused, registered, want_write) is
+/// touched only by that loop's thread; the transmit queue is shared
+/// with the executor under out_mu (appended anywhere, flushed only by
+/// the loop thread so socket writes never interleave).
 struct FannServer::Connection {
   Socket sock;
-  std::mutex write_mu;
+  size_t loop_index = 0;
   std::atomic<bool> open{true};
 
-  bool WriteFrame(Opcode opcode, uint64_t request_id,
-                  std::span<const uint8_t> payload) {
-    const std::vector<uint8_t> frame =
-        EncodeFrame(static_cast<uint16_t>(opcode), request_id, payload);
-    std::lock_guard<std::mutex> lock(write_mu);
-    if (!open.load(std::memory_order_relaxed)) return false;
-    if (!sock.WriteFull(frame.data(), frame.size())) {
-      open.store(false, std::memory_order_relaxed);
-      return false;
-    }
-    return true;
-  }
+  // Loop-thread-only.
+  ByteQueue in;
+  bool read_paused = false;   ///< Backpressure: EPOLLIN disarmed.
+  bool registered = false;    ///< In the loop's epoll set and conns map.
+  bool want_write = false;    ///< EPOLLOUT armed (transmit queue nonempty).
 
-  void WriteError(uint64_t request_id, ErrorCode code, std::string message) {
-    ErrorResponse response;
-    response.code = code;
-    response.message = std::move(message);
-    WriteFrame(Opcode::kError, request_id, EncodeErrorResponse(response));
+  // Shared with response writers.
+  std::mutex out_mu;
+  ByteQueue out;
+};
+
+/// One epoll event loop. `conns` is keyed by raw pointer so a stale
+/// data.ptr from an event batch that already closed the connection is
+/// detected by lookup instead of dereferenced. The mailbox
+/// (pending_add/dirty) is how other threads hand this loop work.
+struct FannServer::IoLoop {
+  int epoll_fd = -1;
+  int wake_fd = -1;  ///< Nonblocking eventfd; readable until drained.
+  std::thread thread;
+  std::atomic<std::thread::id> thread_id{};
+  bool accepting = false;  ///< Loop 0 watches the listener until drain.
+  std::unordered_map<Connection*, std::shared_ptr<Connection>> conns;
+
+  std::mutex mail_mu;
+  std::vector<std::shared_ptr<Connection>> pending_add;
+  std::vector<std::shared_ptr<Connection>> dirty;
+
+  ~IoLoop() {
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (wake_fd >= 0) ::close(wake_fd);
   }
 };
 
@@ -138,282 +166,569 @@ FannServer::FannServer(Graph* graph, const GphiResources& resources,
 FannServer::~FannServer() {
   if (started_.load(std::memory_order_relaxed)) {
     RequestShutdown();
-    if (accept_thread_.joinable()) Wait();
+    if (executor_thread_.joinable()) Wait();
   }
-  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (drain_wake_fd_ >= 0) ::close(drain_wake_fd_);
 }
 
 bool FannServer::Start(std::string* error) {
   FANNR_CHECK(!started_.load(std::memory_order_relaxed));
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (wake_fd_ < 0) {
+  // Blocking mode: Wait() parks in read(2) on it until RequestShutdown.
+  drain_wake_fd_ = ::eventfd(0, EFD_CLOEXEC);
+  if (drain_wake_fd_ < 0) {
     if (error != nullptr) *error = "eventfd failed";
     return false;
   }
   listener_ = TcpListen(config_.host, config_.port, &port_, error);
   if (!listener_.valid()) return false;
+  if (!listener_.SetNonBlocking()) {
+    if (error != nullptr) *error = "could not set listener nonblocking";
+    return false;
+  }
+
+  const size_t num_loops = std::max<size_t>(config_.num_io_threads, 1);
+  io_loops_.clear();
+  for (size_t i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<IoLoop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
+      if (error != nullptr) *error = "epoll/eventfd setup failed";
+      io_loops_.clear();
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev);
+    if (i == 0) {
+      ev.data.u64 = kListenerTag;
+      ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listener_.fd(), &ev);
+      loop->accepting = true;
+    }
+    io_loops_.push_back(std::move(loop));
+  }
+
   started_.store(true, std::memory_order_relaxed);
-  accept_thread_ = std::thread(&FannServer::AcceptMain, this);
+  io_stop_.store(false, std::memory_order_relaxed);
+  for (size_t i = 0; i < io_loops_.size(); ++i) {
+    io_loops_[i]->thread = std::thread(&FannServer::IoLoopMain, this, i);
+  }
   executor_thread_ = std::thread(&FannServer::ExecutorMain, this);
   return true;
 }
 
 void FannServer::RequestShutdown() {
   draining_.store(true, std::memory_order_relaxed);
-  // Adding to the eventfd counter wakes the accept loop; write(2) is
-  // async-signal-safe, so this whole method may run in a SIGTERM
-  // handler. Unlike a pipe — whose 64 KiB buffer fills after enough
-  // unconsumed wakes, after which writes are dropped and a wake can be
-  // lost — the eventfd counter stays level-triggered readable until
-  // read: however many callers race here, POLLIN remains asserted and
-  // the loop cannot miss the wake. (EAGAIN is only possible at counter
-  // overflow, which still leaves the counter nonzero and readable.)
-  if (wake_fd_ >= 0) {
-    const uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  // Everything below is async-signal-safe (write(2) on eventfds over an
+  // immutable vector), so this whole method may run in a SIGTERM
+  // handler. An eventfd counter stays level-triggered readable until
+  // consumed: however many callers race here, the wake cannot be
+  // silently dropped the way a full pipe drops writes. (EAGAIN is only
+  // possible at counter overflow, which still leaves it readable.)
+  const uint64_t one = 1;
+  if (drain_wake_fd_ >= 0) {
+    [[maybe_unused]] ssize_t n = ::write(drain_wake_fd_, &one, sizeof(one));
   }
-}
-
-void FannServer::ReapFinishedConnections() {
-  // Joining under conns_mu_ would hold admissions hostage to a reader's
-  // last instructions; move the finished threads out first.
-  std::vector<std::thread> to_join;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (uint64_t id : finished_threads_) {
-      auto it = connection_threads_.find(id);
-      if (it != connection_threads_.end()) {
-        to_join.push_back(std::move(it->second));
-        connection_threads_.erase(it);
-      }
-    }
-    finished_threads_.clear();
-    std::erase_if(connections_, [](const std::shared_ptr<Connection>& c) {
-      return !c->open.load(std::memory_order_relaxed);
-    });
+  for (const std::unique_ptr<IoLoop>& loop : io_loops_) {
+    [[maybe_unused]] ssize_t n = ::write(loop->wake_fd, &one, sizeof(one));
   }
-  for (std::thread& t : to_join) t.join();
 }
 
 size_t FannServer::tracked_connection_threads() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  return connection_threads_.size();
+  return io_loops_.size();
 }
 
-void FannServer::AcceptMain() {
-  while (true) {
-    pollfd fds[2];
-    fds[0] = {listener_.fd(), POLLIN, 0};
-    fds[1] = {wake_fd_, POLLIN, 0};
-    const int rc = ::poll(fds, 2, -1);
-    if (rc < 0) {
+void FannServer::WakeLoop(IoLoop& loop) {
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(loop.wake_fd, &one, sizeof(one));
+}
+
+void FannServer::IoLoopMain(size_t index) {
+  IoLoop& loop = *io_loops_[index];
+  loop.thread_id.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  std::vector<epoll_event> events(128);
+  while (!io_stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(loop.epoll_fd, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if ((fds[1].revents & POLLIN) != 0 || draining()) break;
-    if ((fds[0].revents & POLLIN) == 0) continue;
-
-    std::string accept_error;
-    Socket sock = TcpAccept(listener_, &accept_error);
-    if (!sock.valid()) {
-      if (accept_error.empty()) break;  // listener shut down
-      continue;
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.u64 == kWakeTag) {
+        uint64_t counter = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(loop.wake_fd, &counter, sizeof(counter));
+        continue;
+      }
+      if (ev.data.u64 == kListenerTag) {
+        if (!draining()) AcceptReady(loop);
+        continue;
+      }
+      // An earlier event in this same batch may have closed the
+      // connection; the map lookup catches the stale pointer.
+      auto it = loop.conns.find(static_cast<Connection*>(ev.data.ptr));
+      if (it == loop.conns.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if ((ev.events & EPOLLERR) != 0) {
+        CloseConnection(loop, *conn);
+        continue;
+      }
+      if ((ev.events & EPOLLOUT) != 0) FlushConnection(loop, conn);
+      if (conn->registered && (ev.events & (EPOLLIN | EPOLLHUP)) != 0) {
+        ReadConnection(loop, conn);
+      }
     }
-    metrics_.Add(m_connections_, 1);
-    // A long-lived server churns through connections; joining finished
-    // readers here keeps thread (and Connection) accounting bounded by
-    // the live set instead of growing until shutdown.
-    ReapFinishedConnections();
+    if (loop.accepting && draining()) {
+      // Drain: stop accepting, but keep serving existing connections
+      // (their in-flight work still gets answered).
+      ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+      loop.accepting = false;
+    }
+    ProcessMail(loop);
+  }
+  DrainLoopAndClose(loop);
+}
 
+void FannServer::AcceptReady(IoLoop& loop) {
+  while (true) {
+    const int fd = ::accept4(listener_.fd(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: accepted everything pending
+    }
+    Socket sock(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    metrics_.Add(m_connections_, 1);
+
+    if (live_connections_.load(std::memory_order_relaxed) >=
+        config_.max_connections) {
+      metrics_.Add(m_overloaded_, 1);
+      ErrorResponse err;
+      err.code = ErrorCode::kOverloaded;
+      err.message = "connection limit reached — retry later";
+      const std::vector<uint8_t> frame =
+          EncodeFrame(static_cast<uint16_t>(Opcode::kError), 0,
+                      EncodeErrorResponse(err));
+      // Best effort on the fresh nonblocking socket: a tiny frame fits
+      // the empty send buffer; if it somehow doesn't, the close below
+      // still sheds the connection.
+      (void)sock.SendSome(frame.data(), frame.size());
+      continue;  // sock dies here
+    }
+
+    live_connections_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<Connection>();
     conn->sock = std::move(sock);
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    const size_t live = static_cast<size_t>(
-        std::count_if(connections_.begin(), connections_.end(),
-                      [](const std::shared_ptr<Connection>& c) {
-                        return c->open.load(std::memory_order_relaxed);
-                      }));
-    if (live >= config_.max_connections) {
-      metrics_.Add(m_overloaded_, 1);
-      conn->WriteError(0, ErrorCode::kOverloaded,
-                       "connection limit reached — retry later");
-      continue;  // conn (and its socket) dies here
+    conn->loop_index = next_loop_.fetch_add(1, std::memory_order_relaxed) %
+                       io_loops_.size();
+    IoLoop& dest = *io_loops_[conn->loop_index];
+    if (&dest == &loop) {
+      RegisterConnection(dest, conn);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(dest.mail_mu);
+        dest.pending_add.push_back(std::move(conn));
+      }
+      WakeLoop(dest);
     }
-    connections_.push_back(conn);
-    const uint64_t thread_id = next_thread_id_++;
-    connection_threads_.emplace(
-        thread_id,
-        std::thread(&FannServer::ConnectionMain, this, conn, thread_id));
   }
 }
 
-void FannServer::ConnectionMain(std::shared_ptr<Connection> conn,
-                                uint64_t thread_id) {
-  std::vector<uint8_t> payload;
-  while (conn->open.load(std::memory_order_relaxed)) {
-    uint8_t header_bytes[kFrameHeaderBytes];
-    if (!conn->sock.ReadFull(header_bytes, sizeof(header_bytes))) break;
-    FrameHeader header;
-    DecodeFrameHeader(header_bytes, header);
+void FannServer::RegisterConnection(IoLoop& loop,
+                                    const std::shared_ptr<Connection>& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = conn.get();
+  if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, conn->sock.fd(), &ev) != 0) {
+    conn->open.store(false, std::memory_order_relaxed);
+    live_connections_.fetch_sub(1, std::memory_order_relaxed);
+    return;  // conn dies with the caller's reference
+  }
+  conn->registered = true;
+  loop.conns.emplace(conn.get(), conn);
+}
 
-    bool fatal = false;
-    const std::string envelope_error = FrameEnvelopeError(header, &fatal);
-    if (fatal) {
-      // Bad magic / oversized payload / nonzero reserved: the stream has
-      // no trustworthy frame boundary left. Close, never crash.
-      metrics_.Add(m_bad_frames_, 1);
-      break;
-    }
-
-    payload.resize(header.payload_length);
-    if (header.payload_length > 0 &&
-        !conn->sock.ReadFull(payload.data(), payload.size())) {
-      break;
-    }
-
-    if (header.version != kProtocolVersion) {
-      metrics_.Add(m_errors_, 1);
-      conn->WriteError(header.request_id, ErrorCode::kUnsupportedVersion,
-                       envelope_error);
+void FannServer::ReadConnection(IoLoop& loop,
+                                const std::shared_ptr<Connection>& conn) {
+  if (!conn->registered || conn->read_paused) return;
+  uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = conn->sock.RecvSome(buf, sizeof(buf));
+    if (n > 0) {
+      conn->in.Append(buf, static_cast<size_t>(n));
+      if (!ParseAndDispatch(loop, conn)) return;  // closed or paused
+      if (static_cast<size_t>(n) < sizeof(buf)) return;  // likely drained
       continue;
     }
-    if (!IsRequestOpcode(header.opcode)) {
-      metrics_.Add(m_errors_, 1);
-      conn->WriteError(header.request_id, ErrorCode::kUnknownOpcode,
-                       "opcode " + std::to_string(header.opcode) +
-                           " is not a request opcode");
-      continue;
+    if (n == 0) {  // peer EOF
+      CloseConnection(loop, *conn);
+      return;
     }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseConnection(loop, *conn);
+    return;
+  }
+}
 
-    const Opcode opcode = static_cast<Opcode>(header.opcode);
-    if (opcode == Opcode::kPing) {
-      metrics_.Add(m_req_ping_, 1);
-      conn->WriteFrame(Opcode::kPong, header.request_id, {});
-      continue;
-    }
-    if (opcode == Opcode::kShutdown) {
-      metrics_.Add(m_req_shutdown_, 1);
-      conn->WriteFrame(Opcode::kShutdownAck, header.request_id, {});
-      RequestShutdown();
-      continue;
-    }
-
-    // Work frame: decode, then admit (or shed).
-    WorkItem item;
-    item.conn = conn;
-    item.opcode = opcode;
-    item.request_id = header.request_id;
-    bool decoded = false;
-    switch (opcode) {
-      case Opcode::kQuery:
-        metrics_.Add(m_req_query_, 1);
-        decoded = DecodeQueryRequest(payload, item.query);
-        break;
-      case Opcode::kBatch:
-        metrics_.Add(m_req_batch_, 1);
-        decoded = DecodeBatchRequest(payload, item.batch);
-        break;
-      case Opcode::kUpdateWeights:
-        metrics_.Add(m_req_update_, 1);
-        decoded = DecodeUpdateWeightsRequest(payload, item.update);
-        break;
-      case Opcode::kStats:
-        metrics_.Add(m_req_stats_, 1);
-        decoded = payload.empty();
-        break;
-      default:
-        break;
-    }
-    if (!decoded) {
-      metrics_.Add(m_errors_, 1);
-      conn->WriteError(header.request_id, ErrorCode::kMalformedPayload,
-                       std::string(OpcodeName(header.opcode)) +
-                           " payload failed to decode");
-      continue;
-    }
-    if (draining()) {
-      metrics_.Add(m_errors_, 1);
-      conn->WriteError(header.request_id, ErrorCode::kShuttingDown,
-                       "server is draining — no new work accepted");
-      continue;
-    }
-
-    item.admission_epoch = graph_->epoch();
-    item.e2e_timer.Reset();
-    bool admitted = false;
+bool FannServer::ParseAndDispatch(IoLoop& loop,
+                                  const std::shared_ptr<Connection>& conn) {
+  while (conn->registered) {
+    // Write-side backpressure: a connection that has stopped reading
+    // its responses stops being read itself, before its next frame is
+    // even cut — the transmit backlog, not the kernel's buffers, is
+    // the bound.
+    size_t backlog = 0;
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      if (queue_.size() < config_.max_queue_depth) {
-        queue_.push_back(std::move(item));
-        metrics_.Set(m_queue_depth_, static_cast<double>(queue_.size()));
-        admitted = true;
-      }
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      backlog = conn->out.size();
     }
-    if (admitted) {
-      queue_cv_.notify_one();
-    } else {
-      // Bounded admission: shed the request explicitly instead of
-      // buffering without limit. The client retries with backoff.
-      metrics_.Add(m_overloaded_, 1);
-      conn->WriteError(header.request_id, ErrorCode::kOverloaded,
-                       "admission queue full (" +
-                           std::to_string(config_.max_queue_depth) +
-                           " pending) — retry later");
+    if (backlog > config_.max_outbound_bytes) {
+      conn->read_paused = true;
+      UpdateInterest(loop, *conn);
+      return false;
+    }
+
+    FrameCut cut = CutFrame(conn->in);
+    if (cut.kind == FrameCut::Kind::kNeedMore) return true;
+    if (cut.kind == FrameCut::Kind::kPoisoned) {
+      // Bad magic / oversized payload / nonzero reserved: the stream
+      // has no trustworthy frame boundary left. Close, never crash.
+      metrics_.Add(m_bad_frames_, 1);
+      CloseConnection(loop, *conn);
+      return false;
+    }
+    DispatchFrame(conn, cut);
+  }
+  return false;
+}
+
+void FannServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                               FrameCut& cut) {
+  const FrameHeader& header = cut.header;
+  if (header.version != kProtocolVersion) {
+    metrics_.Add(m_errors_, 1);
+    EnqueueError(conn, header.request_id, ErrorCode::kUnsupportedVersion,
+                 cut.envelope_error);
+    return;
+  }
+  if (!IsRequestOpcode(header.opcode)) {
+    metrics_.Add(m_errors_, 1);
+    EnqueueError(conn, header.request_id, ErrorCode::kUnknownOpcode,
+                 "opcode " + std::to_string(header.opcode) +
+                     " is not a request opcode");
+    return;
+  }
+
+  const Opcode opcode = static_cast<Opcode>(header.opcode);
+  if (opcode == Opcode::kPing) {
+    metrics_.Add(m_req_ping_, 1);
+    EnqueueFrame(conn, Opcode::kPong, header.request_id, {});
+    return;
+  }
+  if (opcode == Opcode::kShutdown) {
+    metrics_.Add(m_req_shutdown_, 1);
+    EnqueueFrame(conn, Opcode::kShutdownAck, header.request_id, {});
+    RequestShutdown();
+    return;
+  }
+
+  // Work frame: decode, then admit (or shed).
+  WorkItem item;
+  item.conn = conn;
+  item.opcode = opcode;
+  item.request_id = header.request_id;
+  bool decoded = false;
+  switch (opcode) {
+    case Opcode::kQuery:
+      metrics_.Add(m_req_query_, 1);
+      decoded = DecodeQueryRequest(cut.payload, item.query);
+      break;
+    case Opcode::kBatch:
+      metrics_.Add(m_req_batch_, 1);
+      decoded = DecodeBatchRequest(cut.payload, item.batch);
+      break;
+    case Opcode::kUpdateWeights:
+      metrics_.Add(m_req_update_, 1);
+      decoded = DecodeUpdateWeightsRequest(cut.payload, item.update);
+      break;
+    case Opcode::kStats:
+      metrics_.Add(m_req_stats_, 1);
+      decoded = cut.payload.empty();
+      break;
+    default:
+      break;
+  }
+  if (!decoded) {
+    metrics_.Add(m_errors_, 1);
+    EnqueueError(conn, header.request_id, ErrorCode::kMalformedPayload,
+                 std::string(OpcodeName(header.opcode)) +
+                     " payload failed to decode");
+    return;
+  }
+  if (draining()) {
+    metrics_.Add(m_errors_, 1);
+    EnqueueError(conn, header.request_id, ErrorCode::kShuttingDown,
+                 "server is draining — no new work accepted");
+    return;
+  }
+
+  item.admission_epoch = graph_->epoch();
+  item.e2e_timer.Reset();
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() < config_.max_queue_depth) {
+      queue_.push_back(std::move(item));
+      metrics_.Set(m_queue_depth_, static_cast<double>(queue_.size()));
+      admitted = true;
     }
   }
-  conn->open.store(false, std::memory_order_relaxed);
+  if (admitted) {
+    queue_cv_.notify_one();
+  } else {
+    // Bounded admission: shed the request explicitly instead of
+    // buffering without limit. The client retries with backoff.
+    metrics_.Add(m_overloaded_, 1);
+    EnqueueError(conn, header.request_id, ErrorCode::kOverloaded,
+                 "admission queue full (" +
+                     std::to_string(config_.max_queue_depth) +
+                     " pending) — retry later");
+  }
+}
+
+void FannServer::EnqueueFrame(const std::shared_ptr<Connection>& conn,
+                              Opcode opcode, uint64_t request_id,
+                              std::span<const uint8_t> payload) {
+  if (!conn->open.load(std::memory_order_relaxed)) return;
+  const std::vector<uint8_t> frame =
+      EncodeFrame(static_cast<uint16_t>(opcode), request_id, payload);
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->out.Append(frame.data(), frame.size());
+  }
+  IoLoop& loop = *io_loops_[conn->loop_index];
+  {
+    std::lock_guard<std::mutex> lock(loop.mail_mu);
+    loop.dirty.push_back(conn);
+  }
+  // The loop flushes its dirty list before re-entering epoll_wait, so
+  // when already on the loop thread (inline PING/error replies) no wake
+  // is needed; anyone else must interrupt the wait.
+  if (std::this_thread::get_id() !=
+      loop.thread_id.load(std::memory_order_relaxed)) {
+    WakeLoop(loop);
+  }
+}
+
+void FannServer::EnqueueError(const std::shared_ptr<Connection>& conn,
+                              uint64_t request_id, ErrorCode code,
+                              std::string message) {
+  ErrorResponse response;
+  response.code = code;
+  response.message = std::move(message);
+  EnqueueFrame(conn, Opcode::kError, request_id,
+               EncodeErrorResponse(response));
+}
+
+void FannServer::FlushConnection(IoLoop& loop,
+                                 const std::shared_ptr<Connection>& conn) {
+  if (!conn->registered) return;
+  bool failed = false;
+  size_t remaining = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    while (!conn->out.empty()) {
+      const ssize_t n = conn->sock.SendSome(conn->out.data(),
+                                            conn->out.size());
+      if (n > 0) {
+        conn->out.Consume(static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      failed = true;  // peer closed mid-response or hard error
+      break;
+    }
+    remaining = conn->out.size();
+  }
+  if (failed) {
+    CloseConnection(loop, *conn);
+    return;
+  }
+
+  bool interest_changed = false;
+  const bool want_write = remaining > 0;
+  if (want_write != conn->want_write) {
+    conn->want_write = want_write;
+    interest_changed = true;
+  }
+  const bool resume =
+      conn->read_paused && remaining <= config_.max_outbound_bytes / 2;
+  if (resume) {
+    conn->read_paused = false;
+    interest_changed = true;
+  }
+  if (interest_changed) UpdateInterest(loop, *conn);
+  if (resume) {
+    // Frames already buffered while paused parse now; anything still in
+    // the kernel re-fires the (level-triggered) EPOLLIN we just armed.
+    ParseAndDispatch(loop, conn);
+  }
+}
+
+void FannServer::UpdateInterest(IoLoop& loop, Connection& conn) {
+  if (!conn.registered) return;
+  epoll_event ev{};
+  ev.events = (conn.read_paused ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+              (conn.want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.ptr = &conn;
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn.sock.fd(), &ev);
+}
+
+void FannServer::CloseConnection(IoLoop& loop, Connection& conn) {
+  if (!conn.registered) return;  // idempotent
+  conn.registered = false;
+  conn.open.store(false, std::memory_order_relaxed);
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, conn.sock.fd(), nullptr);
   // A peer may be parked in read(2) waiting for a reply that will never
-  // come (e.g. its frame was fatally malformed). shutdown(2) hands it a
-  // clean EOF; idempotent with the drain path in Wait().
-  conn->sock.ShutdownBoth();
-  // Mark this thread joinable-without-blocking; the accept loop (or
-  // Wait) reaps it. Nothing below this line touches `this`.
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  finished_threads_.push_back(thread_id);
+  // come (e.g. its frame was fatally malformed); shutdown(2) hands it a
+  // clean EOF before the descriptor goes away.
+  conn.sock.ShutdownBoth();
+  conn.sock.Close();
+  live_connections_.fetch_sub(1, std::memory_order_relaxed);
+  loop.conns.erase(&conn);  // may free conn — must be the last touch
+}
+
+void FannServer::ProcessMail(IoLoop& loop) {
+  std::vector<std::shared_ptr<Connection>> add;
+  std::vector<std::shared_ptr<Connection>> dirty;
+  {
+    std::lock_guard<std::mutex> lock(loop.mail_mu);
+    add.swap(loop.pending_add);
+    dirty.swap(loop.dirty);
+  }
+  for (const std::shared_ptr<Connection>& conn : add) {
+    RegisterConnection(loop, conn);
+  }
+  for (const std::shared_ptr<Connection>& conn : dirty) {
+    FlushConnection(loop, conn);
+  }
+}
+
+void FannServer::DrainLoopAndClose(IoLoop& loop) {
+  // The executor is already gone, so the transmit queues hold the final
+  // bytes of every drained/aborted response. Flush them (bounded — only
+  // a peer that stopped reading can hold us up), then close everything.
+  Timer cap;
+  while (cap.Millis() < kDrainFlushCapMs) {
+    ProcessMail(loop);
+    std::vector<std::shared_ptr<Connection>> conns;
+    conns.reserve(loop.conns.size());
+    for (const auto& [ptr, sp] : loop.conns) conns.push_back(sp);
+    bool pending = false;
+    for (const std::shared_ptr<Connection>& conn : conns) {
+      FlushConnection(loop, conn);
+      if (!conn->registered) continue;
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      if (!conn->out.empty()) pending = true;
+    }
+    if (!pending) break;
+    epoll_event ev;
+    ::epoll_wait(loop.epoll_fd, &ev, 1, 10);
+  }
+  std::vector<std::shared_ptr<Connection>> conns;
+  conns.reserve(loop.conns.size());
+  for (const auto& [ptr, sp] : loop.conns) conns.push_back(sp);
+  for (const std::shared_ptr<Connection>& conn : conns) {
+    CloseConnection(loop, *conn);
+  }
 }
 
 void FannServer::ExecutorMain() {
   while (true) {
-    WorkItem item;
+    WorkItem first;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
                      [&] { return !queue_.empty() || executor_stop_; });
       if (queue_.empty()) break;  // executor_stop_ with a drained queue
-      item = std::move(queue_.front());
+      first = std::move(queue_.front());
       queue_.pop_front();
       metrics_.Set(m_queue_depth_, static_cast<double>(queue_.size()));
     }
     if (config_.test_execution_gate) config_.test_execution_gate();
-    // Read the stop flag after the gate, not at dequeue: Wait() arms the
-    // drain timer before setting it, so when `stopping` is observed the
-    // deadline check below is measuring the actual drain — including for
-    // an item that was dequeued before the drain began.
+
+    // Pipelining amortization: run consecutive QUERY items admitted
+    // under the same epoch (possibly from different connections)
+    // through one engine Run. Only the queue front is ever taken, so
+    // FIFO order — and therefore the epoch/update interleaving
+    // semantics — is untouched. Per-job answers are bitwise-independent
+    // of batch composition by the engine's determinism contract.
+    std::vector<WorkItem> burst;
+    burst.push_back(std::move(first));
+    if (burst[0].opcode == Opcode::kQuery) {
+      const size_t budget = std::max<size_t>(config_.merge_budget, 1);
+      while (burst.size() < budget) {
+        WorkItem extra;
+        {
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          if (queue_.empty() || queue_.front().opcode != Opcode::kQuery ||
+              queue_.front().admission_epoch != burst[0].admission_epoch) {
+            break;
+          }
+          extra = std::move(queue_.front());
+          queue_.pop_front();
+          metrics_.Set(m_queue_depth_, static_cast<double>(queue_.size()));
+        }
+        // The gate contract — one entry per dequeued item — holds for
+        // merged items too.
+        if (config_.test_execution_gate) config_.test_execution_gate();
+        burst.push_back(std::move(extra));
+      }
+    }
+
+    // Read the stop flag after the gate(s), not at dequeue: Wait() arms
+    // the drain timer before setting it, so when `stopping` is observed
+    // the deadline check below is measuring the actual drain —
+    // including for an item that was dequeued before the drain began.
     bool stopping = false;
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       stopping = executor_stop_;
     }
-    if (stopping && drain_timer_.Millis() > config_.drain_deadline_ms) {
-      // Past the drain budget: answer, don't compute.
-      aborted_items_.fetch_add(1, std::memory_order_relaxed);
-      metrics_.Add(m_errors_, 1);
-      item.conn->WriteError(item.request_id, ErrorCode::kShuttingDown,
-                            "drain deadline exceeded — request aborted");
-      continue;
+    std::vector<WorkItem*> live;
+    live.reserve(burst.size());
+    for (WorkItem& item : burst) {
+      if (stopping && drain_timer_.Millis() > config_.drain_deadline_ms) {
+        // Past the drain budget: answer, don't compute.
+        aborted_items_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.Add(m_errors_, 1);
+        EnqueueError(item.conn, item.request_id, ErrorCode::kShuttingDown,
+                     "drain deadline exceeded — request aborted");
+        continue;
+      }
+      live.push_back(&item);
     }
-    Execute(item);
-    if (stopping) drained_items_.fetch_add(1, std::memory_order_relaxed);
+    if (!live.empty()) {
+      if (burst[0].opcode == Opcode::kQuery) {
+        ExecuteQueryBurst(live);
+      } else {
+        Execute(*live[0]);
+      }
+      if (stopping) {
+        drained_items_.fetch_add(live.size(), std::memory_order_relaxed);
+      }
+    }
   }
 }
 
 void FannServer::Execute(WorkItem& item) {
   metrics_.Record(m_queue_wait_ms_, item.e2e_timer.Millis());
   switch (item.opcode) {
-    case Opcode::kQuery:
-      ExecuteQuery(item);
-      metrics_.Record(m_e2e_query_ms_, item.e2e_timer.Millis());
-      break;
     case Opcode::kBatch:
       ExecuteBatch(item);
       metrics_.Record(m_e2e_batch_ms_, item.e2e_timer.Millis());
@@ -460,31 +775,99 @@ std::string FannServer::MaterializeSets(
   return std::string();
 }
 
-void FannServer::ExecuteQuery(WorkItem& item) {
-  BatchRequest batch;
-  batch.deadline_ms = 0.0;
-  batch.jobs.push_back(std::move(item.query.query));
-  WorkItem wrapped = std::move(item);
-  wrapped.batch = std::move(batch);
+bool FannServer::ScreenJob(const WireQuery& wire, double batch_deadline_ms,
+                           const Timer& e2e_timer,
+                           std::vector<std::unique_ptr<IndexedVertexSet>>& sets,
+                           std::vector<FannrQuery>& runnable,
+                           WireResult* rejected) {
+  if (wire.algorithm > static_cast<uint8_t>(FannAlgorithm::kApxSum)) {
+    *rejected = RejectedWire("unknown algorithm enumerator " +
+                             std::to_string(wire.algorithm));
+    return false;
+  }
+  if (wire.aggregate > static_cast<uint8_t>(Aggregate::kSum)) {
+    *rejected = RejectedWire("unknown aggregate enumerator " +
+                             std::to_string(wire.aggregate));
+    return false;
+  }
+  std::unique_ptr<IndexedVertexSet> p;
+  std::unique_ptr<IndexedVertexSet> q;
+  std::string error = MaterializeSets(wire, p, q);
+  if (!error.empty()) {
+    *rejected = RejectedWire(std::move(error));
+    return false;
+  }
+  const double deadline_ms = EffectiveDeadlineMs(
+      wire.deadline_ms, batch_deadline_ms, config_.default_deadline_ms);
+  std::optional<double> engine_deadline;
+  if (deadline_ms > 0.0) {
+    // End-to-end: the time already spent queued counts against the
+    // deadline; the engine measures the rest from Run() entry.
+    const double remaining = deadline_ms - e2e_timer.Millis();
+    if (remaining <= 0.0) {
+      *rejected = TimedOutWire("deadline of " + std::to_string(deadline_ms) +
+                               " ms exceeded in the admission queue");
+      return false;
+    }
+    engine_deadline = remaining;
+  }
 
-  // A QUERY is a one-job BATCH with a QUERY_RESULT envelope.
+  FannrQuery job;
+  job.query.graph = graph_;
+  job.query.data_points = p.get();
+  job.query.query_points = q.get();
+  job.query.phi = wire.phi;
+  job.query.aggregate = static_cast<Aggregate>(wire.aggregate);
+  job.algorithm = static_cast<FannAlgorithm>(wire.algorithm);
+  job.deadline_ms = engine_deadline;
+  sets.push_back(std::move(p));
+  sets.push_back(std::move(q));
+  runnable.push_back(job);
+  return true;
+}
+
+void FannServer::ExecuteQueryBurst(const std::vector<WorkItem*>& items) {
+  for (const WorkItem* item : items) {
+    metrics_.Record(m_queue_wait_ms_, item->e2e_timer.Millis());
+  }
+
   const GraphEpoch now = graph_->epoch();
-  if (now != wrapped.admission_epoch) {
-    metrics_.Add(m_stale_admission_, 1);
+  std::vector<WireResult> results(items.size());
+  std::vector<std::unique_ptr<IndexedVertexSet>> sets;
+  std::vector<FannrQuery> runnable;
+  std::vector<size_t> runnable_slot;
+  for (size_t i = 0; i < items.size(); ++i) {
+    WorkItem& item = *items[i];
+    if (now != item.admission_epoch) {
+      metrics_.Add(m_stale_admission_, 1);
+      results[i] = RejectedWire(MidBatchEpochError(item.admission_epoch, now));
+      continue;
+    }
+    WireResult rejected;
+    if (ScreenJob(item.query.query, /*batch_deadline_ms=*/0.0, item.e2e_timer,
+                  sets, runnable, &rejected)) {
+      runnable_slot.push_back(i);
+    } else {
+      results[i] = std::move(rejected);
+    }
+  }
+
+  if (!runnable.empty()) {
+    const std::vector<FannResult> solved = engine_->Run(runnable);
+    for (size_t j = 0; j < solved.size(); ++j) {
+      results[runnable_slot[j]] = ToWire(solved[j]);
+    }
+  }
+
+  for (size_t i = 0; i < items.size(); ++i) {
+    WorkItem& item = *items[i];
     QueryResponse response;
     response.graph_epoch = now;
-    response.result =
-        RejectedWire(MidBatchEpochError(wrapped.admission_epoch, now));
-    wrapped.conn->WriteFrame(Opcode::kQueryResult, wrapped.request_id,
-                             EncodeQueryResponse(response));
-    return;
+    response.result = std::move(results[i]);
+    EnqueueFrame(item.conn, Opcode::kQueryResult, item.request_id,
+                 EncodeQueryResponse(response));
+    metrics_.Record(m_e2e_query_ms_, item.e2e_timer.Millis());
   }
-  BatchResponse executed = RunJobs(wrapped);
-  QueryResponse response;
-  response.graph_epoch = executed.graph_epoch;
-  response.result = std::move(executed.results[0]);
-  wrapped.conn->WriteFrame(Opcode::kQueryResult, wrapped.request_id,
-                           EncodeQueryResponse(response));
 }
 
 void FannServer::ExecuteBatch(WorkItem& item) {
@@ -496,13 +879,13 @@ void FannServer::ExecuteBatch(WorkItem& item) {
     response.results.assign(
         item.batch.jobs.size(),
         RejectedWire(MidBatchEpochError(item.admission_epoch, now)));
-    item.conn->WriteFrame(Opcode::kBatchResult, item.request_id,
-                          EncodeBatchResponse(response));
+    EnqueueFrame(item.conn, Opcode::kBatchResult, item.request_id,
+                 EncodeBatchResponse(response));
     return;
   }
   BatchResponse response = RunJobs(item);
-  item.conn->WriteFrame(Opcode::kBatchResult, item.request_id,
-                        EncodeBatchResponse(response));
+  EnqueueFrame(item.conn, Opcode::kBatchResult, item.request_id,
+               EncodeBatchResponse(response));
 }
 
 BatchResponse FannServer::RunJobs(WorkItem& item) {
@@ -519,53 +902,13 @@ BatchResponse FannServer::RunJobs(WorkItem& item) {
   std::vector<FannrQuery> runnable;
   std::vector<size_t> runnable_slot;
   for (size_t i = 0; i < jobs.size(); ++i) {
-    const WireQuery& wire = jobs[i];
-    if (wire.algorithm > static_cast<uint8_t>(FannAlgorithm::kApxSum)) {
-      response.results[i] = RejectedWire(
-          "unknown algorithm enumerator " + std::to_string(wire.algorithm));
-      continue;
+    WireResult rejected;
+    if (ScreenJob(jobs[i], item.batch.deadline_ms, item.e2e_timer, sets,
+                  runnable, &rejected)) {
+      runnable_slot.push_back(i);
+    } else {
+      response.results[i] = std::move(rejected);
     }
-    if (wire.aggregate > static_cast<uint8_t>(Aggregate::kSum)) {
-      response.results[i] = RejectedWire(
-          "unknown aggregate enumerator " + std::to_string(wire.aggregate));
-      continue;
-    }
-    std::unique_ptr<IndexedVertexSet> p;
-    std::unique_ptr<IndexedVertexSet> q;
-    std::string error = MaterializeSets(wire, p, q);
-    if (!error.empty()) {
-      response.results[i] = RejectedWire(std::move(error));
-      continue;
-    }
-    const double deadline_ms =
-        EffectiveDeadlineMs(wire.deadline_ms, item.batch.deadline_ms,
-                            config_.default_deadline_ms);
-    std::optional<double> engine_deadline;
-    if (deadline_ms > 0.0) {
-      // End-to-end: the time already spent queued counts against the
-      // deadline; the engine measures the rest from Run() entry.
-      const double remaining = deadline_ms - item.e2e_timer.Millis();
-      if (remaining <= 0.0) {
-        response.results[i] = TimedOutWire(
-            "deadline of " + std::to_string(deadline_ms) +
-            " ms exceeded in the admission queue");
-        continue;
-      }
-      engine_deadline = remaining;
-    }
-
-    FannrQuery job;
-    job.query.graph = graph_;
-    job.query.data_points = p.get();
-    job.query.query_points = q.get();
-    job.query.phi = wire.phi;
-    job.query.aggregate = static_cast<Aggregate>(wire.aggregate);
-    job.algorithm = static_cast<FannAlgorithm>(wire.algorithm);
-    job.deadline_ms = engine_deadline;
-    sets.push_back(std::move(p));
-    sets.push_back(std::move(q));
-    runnable.push_back(job);
-    runnable_slot.push_back(i);
   }
 
   if (!runnable.empty()) {
@@ -599,15 +942,15 @@ void FannServer::ExecuteUpdate(WorkItem& item) {
     response.old_epoch = applied.old_epoch;
     response.new_epoch = applied.new_epoch;
   }
-  item.conn->WriteFrame(Opcode::kUpdateResult, item.request_id,
-                        EncodeUpdateWeightsResponse(response));
+  EnqueueFrame(item.conn, Opcode::kUpdateResult, item.request_id,
+               EncodeUpdateWeightsResponse(response));
 }
 
 void FannServer::ExecuteStats(WorkItem& item) {
   StatsResponse response;
   response.json = StatsJson();
-  item.conn->WriteFrame(Opcode::kStatsResult, item.request_id,
-                        EncodeStatsResponse(response));
+  EnqueueFrame(item.conn, Opcode::kStatsResult, item.request_id,
+               EncodeStatsResponse(response));
 }
 
 std::string FannServer::StatsJson() const {
@@ -645,12 +988,21 @@ std::string FannServer::StatsJson() const {
 
 DrainStats FannServer::Wait() {
   FANNR_CHECK(started_.load(std::memory_order_relaxed));
-  // The accept thread exits when RequestShutdown pokes the wakeup pipe
-  // (or the listener dies); joining it marks the start of the drain.
-  accept_thread_.join();
+  // Park until a shutdown is requested. The eventfd is in blocking
+  // mode and its counter survives until read, so a RequestShutdown
+  // from before this call (or from a signal handler mid-read) is never
+  // missed.
+  uint64_t counter = 0;
+  while (::read(drain_wake_fd_, &counter, sizeof(counter)) < 0 &&
+         errno == EINTR) {
+  }
   drain_timer_.Reset();
-  listener_.Close();
 
+  // Drain order: finish (or abort) queued work first — every response
+  // lands in a transmit queue — then tell the loops to flush those
+  // queues and close. The loops keep serving reads during the drain;
+  // new work frames are refused with SHUTTING_DOWN (DispatchFrame), so
+  // the admission queue only shrinks.
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     executor_stop_ = true;
@@ -659,22 +1011,12 @@ DrainStats FannServer::Wait() {
   executor_thread_.join();
   const double drain_ms = drain_timer_.Millis();
 
-  // Responses for all drained work are flushed; now unblock and join
-  // every reader (including ones that already finished and are merely
-  // unreaped).
-  std::unordered_map<uint64_t, std::thread> readers;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (const std::shared_ptr<Connection>& conn : connections_) {
-      conn->open.store(false, std::memory_order_relaxed);
-      conn->sock.ShutdownBoth();
-    }
-    readers = std::move(connection_threads_);
-    connection_threads_.clear();
-    connections_.clear();
-    finished_threads_.clear();
+  io_stop_.store(true, std::memory_order_release);
+  for (const std::unique_ptr<IoLoop>& loop : io_loops_) WakeLoop(*loop);
+  for (const std::unique_ptr<IoLoop>& loop : io_loops_) {
+    loop->thread.join();
   }
-  for (auto& [id, t] : readers) t.join();
+  listener_.Close();
   started_.store(false, std::memory_order_relaxed);
 
   DrainStats stats;

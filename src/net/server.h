@@ -4,22 +4,41 @@
 // from many clients, interleaved with live weight updates — the setting
 // the epoch machinery of src/dynamic/ exists for. The server speaks the
 // length-prefixed binary protocol of net/protocol.h and is structured as
-// three thread roles:
+// two thread roles:
 //
-//   * one accept thread, parked in poll() on the listener and a wakeup
-//     pipe (so shutdown never races a blocking accept);
-//   * one reader thread per connection, which validates frame envelopes,
-//     decodes payloads, answers PING inline, and admits work into the
-//     queue — or answers OVERLOADED when the queue is at capacity
-//     (bounded admission: the server sheds load explicitly instead of
-//     buffering without limit);
-//   * one executor thread, which drains the queue FIFO and is the only
-//     thread that touches the BatchQueryEngine or applies weight
-//     updates. This serialization is load-bearing: the Graph contract
-//     forbids ApplyWeightUpdates racing readers, and Run() must not be
-//     called concurrently. Queries never see torn weights by
-//     construction, and every response reports the epoch it was
-//     computed under.
+//   * a small fixed pool of epoll event-loop threads (num_io_threads,
+//     default 1) owning every socket in nonblocking mode. Each
+//     connection accumulates bytes in a receive queue and has frames
+//     cut off it incrementally (net/iobuf.h), so a client may
+//     **pipeline**: many request frames in flight on one connection,
+//     responses tagged by request_id and allowed to complete out of
+//     order (a PING answered inline can overtake a queued QUERY's
+//     response; work responses themselves stay FIFO per connection
+//     because one executor drains the queue in order). Responses are
+//     appended to a per-connection transmit queue and flushed as the
+//     kernel accepts them (EPOLLOUT only while bytes remain). A
+//     connection whose transmit backlog exceeds max_outbound_bytes
+//     stops being read — write-side backpressure — until the backlog
+//     drains below half the bound, so a client that never reads
+//     responses cannot buffer the server to death. Loop 0 also owns
+//     the listener and sheds connections over max_connections with
+//     OVERLOADED;
+//   * one executor thread, which drains the admission queue FIFO and
+//     is the only thread that touches the BatchQueryEngine or applies
+//     weight updates. This serialization is load-bearing: the Graph
+//     contract forbids ApplyWeightUpdates racing readers, and Run()
+//     must not be called concurrently. Queries never see torn weights
+//     by construction, and every response reports the epoch it was
+//     computed under. Runs of consecutive QUERY items admitted under
+//     the same epoch (up to merge_budget, across connections) are
+//     executed through ONE engine Run so pipelined small queries
+//     amortize dispatch — per-job results are bitwise-independent of
+//     batch composition (the engine's determinism contract), so
+//     merging never changes an answer.
+//
+// Admission into the bounded queue happens on the event-loop thread as
+// frames decode; a full queue is answered with OVERLOADED (the server
+// sheds load explicitly instead of buffering without limit).
 //
 // Admission epochs: a QUERY/BATCH item records the graph epoch at
 // enqueue. If an UPDATE_WEIGHTS lands in between (FIFO order), the item
@@ -49,11 +68,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/timer.h"
 #include "engine/batch_engine.h"
+#include "net/iobuf.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -65,12 +84,25 @@ struct ServerConfig {
   /// 0 = kernel assigns an ephemeral port (read it back via port()).
   uint16_t port = 0;
 
+  /// Event-loop threads. One loop comfortably serves hundreds of
+  /// connections (the engine, not I/O, is the bottleneck); raise only
+  /// when profiles show the loop saturated.
+  size_t num_io_threads = 1;
+
   /// Connections beyond this are answered with OVERLOADED and closed.
   size_t max_connections = 64;
 
   /// Bounded admission queue: work frames arriving while `queue_depth`
   /// items are pending are answered with OVERLOADED instead of buffered.
   size_t max_queue_depth = 128;
+
+  /// Write-side backpressure: a connection whose un-flushed transmit
+  /// backlog exceeds this stops being read until it drains below half.
+  size_t max_outbound_bytes = 4u << 20;
+
+  /// Max consecutive same-epoch QUERY items merged into one engine Run
+  /// (pipelining dispatch amortization). 1 disables merging.
+  size_t merge_budget = 64;
 
   /// Default end-to-end deadline for work items without their own
   /// (<= 0 = none). Counted from admission into the queue.
@@ -86,8 +118,9 @@ struct ServerConfig {
   BatchOptions engine_options;
 
   /// Test-only: invoked by the executor thread before processing each
-  /// dequeued item. Lets tests hold the executor to fill the admission
-  /// queue deterministically. Leave empty in production.
+  /// dequeued item (including each item merged into a query burst).
+  /// Lets tests hold the executor to fill the admission queue
+  /// deterministically. Leave empty in production.
   std::function<void()> test_execution_gate;
 };
 
@@ -113,20 +146,21 @@ class FannServer {
   FannServer(const FannServer&) = delete;
   FannServer& operator=(const FannServer&) = delete;
 
-  /// Binds, listens, and spawns the accept + executor threads. False
-  /// (with a reason) on socket errors; the server is then inert.
+  /// Binds, listens, and spawns the event-loop + executor threads.
+  /// False (with a reason) on socket errors; the server is then inert.
   bool Start(std::string* error);
 
   /// The bound port (valid after a successful Start).
   uint16_t port() const { return port_; }
 
-  /// Initiates graceful drain. Async-signal-safe (one write(2) to the
-  /// wakeup pipe plus a relaxed atomic store) — call it straight from a
-  /// SIGTERM handler. Idempotent.
+  /// Initiates graceful drain. Async-signal-safe (eventfd writes plus a
+  /// relaxed atomic store) — call it straight from a SIGTERM handler.
+  /// Idempotent.
   void RequestShutdown();
 
-  /// Blocks until the drain completes, joins every thread, and returns
-  /// the drain accounting. Call at most once, after Start().
+  /// Blocks until a shutdown is requested and the drain completes,
+  /// joins every thread, and returns the drain accounting. Call at most
+  /// once, after Start().
   DrainStats Wait();
 
   /// True once a shutdown has been requested.
@@ -139,10 +173,8 @@ class FannServer {
   /// traffic flows (exact once quiesced).
   std::string StatsJson() const;
 
-  /// Connection-serving threads currently tracked (live plus finished-
-  /// but-unreaped). Bounded over any churn of connect/disconnect cycles:
-  /// finished reader threads are joined opportunistically as new
-  /// connections arrive instead of accumulating until shutdown
+  /// Threads serving connections — the fixed event-loop pool, sized at
+  /// Start() and independent of connection count or churn
   /// (tests/net_server_test.cc asserts the bound under churn).
   size_t tracked_connection_threads() const;
 
@@ -156,22 +188,56 @@ class FannServer {
 
  private:
   struct Connection;
+  struct IoLoop;
   struct WorkItem;
 
-  void AcceptMain();
-  void ConnectionMain(std::shared_ptr<Connection> conn, uint64_t thread_id);
-  /// Joins reader threads whose ConnectionMain has finished and drops
-  /// their closed Connection records. Called from the accept loop (so a
-  /// long-lived server reaps as it churns) and from Wait().
-  void ReapFinishedConnections();
+  // --- Event-loop side (each method runs on the loop's own thread
+  // unless noted) ---
+  void IoLoopMain(size_t index);
+  void AcceptReady(IoLoop& loop);
+  void RegisterConnection(IoLoop& loop,
+                          const std::shared_ptr<Connection>& conn);
+  void ReadConnection(IoLoop& loop, const std::shared_ptr<Connection>& conn);
+  /// Cuts and dispatches every complete frame buffered on `conn`.
+  /// Returns false when reading must stop (connection closed or
+  /// backpressure paused it).
+  bool ParseAndDispatch(IoLoop& loop, const std::shared_ptr<Connection>& conn);
+  void DispatchFrame(const std::shared_ptr<Connection>& conn, FrameCut& cut);
+  /// Appends an encoded frame to the connection's transmit queue and
+  /// notifies its loop. Callable from any thread (the executor responds
+  /// through this).
+  void EnqueueFrame(const std::shared_ptr<Connection>& conn, Opcode opcode,
+                    uint64_t request_id, std::span<const uint8_t> payload);
+  void EnqueueError(const std::shared_ptr<Connection>& conn,
+                    uint64_t request_id, ErrorCode code, std::string message);
+  void FlushConnection(IoLoop& loop, const std::shared_ptr<Connection>& conn);
+  void UpdateInterest(IoLoop& loop, Connection& conn);
+  void CloseConnection(IoLoop& loop, Connection& conn);
+  /// Adopts mailed-in connections and flushes ones marked dirty by
+  /// writers on other threads.
+  void ProcessMail(IoLoop& loop);
+  /// End of a loop's life: flush remaining transmit queues (bounded),
+  /// then close every connection.
+  void DrainLoopAndClose(IoLoop& loop);
+  static void WakeLoop(IoLoop& loop);
+
+  // --- Executor side ---
   void ExecutorMain();
   void Execute(WorkItem& item);
-  void ExecuteQuery(WorkItem& item);
+  /// Executes a run of same-epoch QUERY items through one engine Run
+  /// and scatters per-item QUERY_RESULT responses.
+  void ExecuteQueryBurst(const std::vector<WorkItem*>& items);
   void ExecuteBatch(WorkItem& item);
   /// Screens and executes the wire jobs of `item.batch` through one
   /// engine Run; slots screened out at the net layer (bad ids, unknown
   /// enumerators, expired deadlines) carry their rejection in place.
   BatchResponse RunJobs(WorkItem& item);
+  /// Screens one wire job; true = appended to `runnable` (with its
+  /// vertex sets kept alive in `sets`), false = `*rejected` filled.
+  bool ScreenJob(const WireQuery& wire, double batch_deadline_ms,
+                 const Timer& e2e_timer,
+                 std::vector<std::unique_ptr<IndexedVertexSet>>& sets,
+                 std::vector<FannrQuery>& runnable, WireResult* rejected);
   void ExecuteUpdate(WorkItem& item);
   void ExecuteStats(WorkItem& item);
   /// Validates a WireQuery's ids against the graph and materializes the
@@ -188,21 +254,24 @@ class FannServer {
 
   Socket listener_;
   uint16_t port_ = 0;
-  /// Self-wake eventfd: RequestShutdown adds to its counter, which is
-  /// level-triggered readable until drained — a wake can never be
-  /// silently dropped the way a full pipe drops writes, and writing it
-  /// stays async-signal-safe.
-  int wake_fd_ = -1;
+  /// Blocking eventfd RequestShutdown writes and Wait() reads: a wake
+  /// can never be silently dropped the way a full pipe drops writes
+  /// (the counter stays readable until consumed), and writing it stays
+  /// async-signal-safe.
+  int drain_wake_fd_ = -1;
   std::atomic<bool> draining_{false};
   std::atomic<bool> started_{false};
+  /// Tells the event loops to flush and exit (set by Wait after the
+  /// executor has drained, so every response is already enqueued).
+  std::atomic<bool> io_stop_{false};
 
-  std::thread accept_thread_;
+  /// Fixed at Start(); the vector itself is immutable afterwards, which
+  /// is what lets RequestShutdown walk it from a signal handler.
+  std::vector<std::unique_ptr<IoLoop>> io_loops_;
+  std::atomic<size_t> live_connections_{0};
+  std::atomic<size_t> next_loop_{0};  ///< Round-robin placement.
+
   std::thread executor_thread_;
-  mutable std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Connection>> connections_;
-  std::unordered_map<uint64_t, std::thread> connection_threads_;
-  std::vector<uint64_t> finished_threads_;  ///< Ready to join + erase.
-  uint64_t next_thread_id_ = 0;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -214,7 +283,7 @@ class FannServer {
   std::atomic<size_t> drained_items_{0};
   std::atomic<size_t> aborted_items_{0};
 
-  // Server registry (single shard: reader threads contend only on
+  // Server registry (single shard: event-loop threads contend only on
   // relaxed atomics, never a lock).
   obs::MetricsRegistry metrics_{1};
   obs::CounterId m_req_query_, m_req_batch_, m_req_update_, m_req_stats_,

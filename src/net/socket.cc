@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -115,6 +116,34 @@ bool Socket::WriteFull(const void* data, size_t size) const {
     return false;
   }
   return true;
+}
+
+bool Socket::SetNonBlocking() const {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+ssize_t Socket::SendSome(const void* data, size_t size) const {
+  while (true) {
+    // The same fault hooks as WriteFull: a capped chunk exercises the
+    // partial-flush/EPOLLOUT continuation in the event loop, and a
+    // synthetic EINTR must be retried here, not surfaced as an error.
+    size_t want = size;
+    const ssize_t n = FaultyTransmit(want)
+                          ? -1
+                          : ::send(fd_, data, want, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+ssize_t Socket::RecvSome(void* data, size_t size) const {
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
 }
 
 Socket TcpListen(const std::string& host, uint16_t port,

@@ -9,6 +9,8 @@
 #ifndef FANNR_NET_SOCKET_H_
 #define FANNR_NET_SOCKET_H_
 
+#include <sys/types.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -45,6 +47,21 @@ class Socket {
   /// Writes exactly `size` bytes. Returns false on error (e.g. the peer
   /// closed); SIGPIPE is suppressed via MSG_NOSIGNAL.
   bool WriteFull(const void* data, size_t size) const;
+
+  /// Puts the descriptor in O_NONBLOCK mode (event-loop sockets).
+  bool SetNonBlocking() const;
+
+  /// One best-effort send for nonblocking sockets: transmits whatever
+  /// the kernel accepts right now. Returns bytes sent (> 0), or -1 with
+  /// errno set (EAGAIN/EWOULDBLOCK = kernel buffer full, try after
+  /// EPOLLOUT). EINTR — real or fault-injected — is retried internally;
+  /// SIGPIPE is suppressed via MSG_NOSIGNAL.
+  ssize_t SendSome(const void* data, size_t size) const;
+
+  /// One best-effort recv for nonblocking sockets. Returns bytes read
+  /// (> 0), 0 on peer EOF, or -1 with errno set (EAGAIN = drained).
+  /// EINTR is retried internally.
+  ssize_t RecvSome(void* data, size_t size) const;
 
  private:
   int fd_ = -1;

@@ -1,0 +1,147 @@
+// net/iobuf.h: incremental frame cutting over arbitrary byte cuts.
+// These are the invariants the event loop leans on — a frame is never
+// consumed until complete, a poisoned stream is flagged without
+// consuming (the server closes it), and the byte queue neither loses
+// nor reorders bytes across any append/consume interleaving.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "net/iobuf.h"
+#include "net/protocol.h"
+
+namespace fannr::net {
+namespace {
+
+TEST(ByteQueue, AppendConsumeRoundTripsAcrossCompaction) {
+  ByteQueue q;
+  std::vector<uint8_t> expected;
+  std::vector<uint8_t> drained;
+  uint8_t next = 0;
+  // Feed 1 MiB through in ragged chunks while draining in different
+  // ragged chunks, crossing the compaction threshold many times.
+  size_t fed = 0;
+  const size_t total = 1 << 20;
+  size_t feed_size = 1;
+  size_t drain_size = 3;
+  while (drained.size() < total) {
+    if (fed < total) {
+      std::vector<uint8_t> chunk(std::min(feed_size, total - fed));
+      for (uint8_t& b : chunk) b = next++;
+      expected.insert(expected.end(), chunk.begin(), chunk.end());
+      q.Append(chunk.data(), chunk.size());
+      fed += chunk.size();
+      feed_size = feed_size % 8191 + 1;
+    }
+    const size_t take = std::min(drain_size, q.size());
+    if (take > 0) {
+      drained.insert(drained.end(), q.data(), q.data() + take);
+      q.Consume(take);
+      drain_size = drain_size % 6011 + 1;
+    }
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(drained, expected);
+}
+
+TEST(NetIobuf, CutFrameNeedsWholeFrameBeforeConsuming) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5, 6, 7};
+  const std::vector<uint8_t> frame =
+      EncodeFrame(static_cast<uint16_t>(Opcode::kQuery), 42, payload);
+
+  ByteQueue in;
+  // Feed the frame one byte at a time: every prefix must report
+  // kNeedMore and leave the buffer intact.
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    in.Append(&frame[i], 1);
+    FrameCut cut = CutFrame(in);
+    ASSERT_EQ(cut.kind, FrameCut::Kind::kNeedMore) << "at byte " << i;
+    ASSERT_EQ(in.size(), i + 1) << "partial frame was consumed";
+  }
+  in.Append(&frame.back(), 1);
+  FrameCut cut = CutFrame(in);
+  ASSERT_EQ(cut.kind, FrameCut::Kind::kFrame);
+  EXPECT_EQ(cut.header.opcode, static_cast<uint16_t>(Opcode::kQuery));
+  EXPECT_EQ(cut.header.request_id, 42u);
+  EXPECT_EQ(cut.payload, payload);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(NetIobuf, CutFrameYieldsPipelinedFramesInOrder) {
+  ByteQueue in;
+  for (uint64_t id = 1; id <= 12; ++id) {
+    std::vector<uint8_t> payload(id * 19);
+    for (size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<uint8_t>(id + i);
+    }
+    const std::vector<uint8_t> frame =
+        EncodeFrame(static_cast<uint16_t>(Opcode::kQuery), id, payload);
+    in.Append(frame.data(), frame.size());
+  }
+  for (uint64_t id = 1; id <= 12; ++id) {
+    FrameCut cut = CutFrame(in);
+    ASSERT_EQ(cut.kind, FrameCut::Kind::kFrame) << "frame " << id;
+    EXPECT_EQ(cut.header.request_id, id);
+    ASSERT_EQ(cut.payload.size(), id * 19);
+    EXPECT_EQ(cut.payload[0], static_cast<uint8_t>(id));
+  }
+  EXPECT_EQ(CutFrame(in).kind, FrameCut::Kind::kNeedMore);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(NetIobuf, PoisonedStreamIsFlaggedNotConsumed) {
+  std::vector<uint8_t> frame =
+      EncodeFrame(static_cast<uint16_t>(Opcode::kPing), 7, {});
+  frame[0] = 'X';  // corrupt the magic
+  ByteQueue in;
+  in.Append(frame.data(), frame.size());
+  FrameCut cut = CutFrame(in);
+  EXPECT_EQ(cut.kind, FrameCut::Kind::kPoisoned);
+  EXPECT_FALSE(cut.envelope_error.empty());
+  // Nothing consumed: the caller closes the connection, and the bytes
+  // are still there for a post-mortem if it wants one.
+  EXPECT_EQ(in.size(), frame.size());
+}
+
+TEST(NetIobuf, OversizedPayloadPoisonsBeforeBuffering) {
+  // A header declaring a payload over the cap must poison immediately —
+  // the loop must not wait for (or allocate) 4 GiB first.
+  std::vector<uint8_t> frame =
+      EncodeFrame(static_cast<uint16_t>(Opcode::kQuery), 9, {});
+  const uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(frame.data() + 16, &huge, sizeof(huge));
+  ByteQueue in;
+  in.Append(frame.data(), kFrameHeaderBytes);  // header only, no payload
+  EXPECT_EQ(CutFrame(in).kind, FrameCut::Kind::kPoisoned);
+}
+
+TEST(NetIobuf, NonFatalEnvelopeStillCutsTheFrame) {
+  // Unknown version: answered in-band by the server, so the cutter must
+  // hand the frame over (with the reason) and keep the stream usable.
+  std::vector<uint8_t> bad =
+      EncodeFrame(static_cast<uint16_t>(Opcode::kPing), 3, {});
+  const uint16_t version = 99;
+  std::memcpy(bad.data() + 4, &version, sizeof(version));
+  const std::vector<uint8_t> good =
+      EncodeFrame(static_cast<uint16_t>(Opcode::kPing), 4, {});
+
+  ByteQueue in;
+  in.Append(bad.data(), bad.size());
+  in.Append(good.data(), good.size());
+
+  FrameCut first = CutFrame(in);
+  ASSERT_EQ(first.kind, FrameCut::Kind::kFrame);
+  EXPECT_EQ(first.header.version, 99);
+  EXPECT_FALSE(first.envelope_error.empty());
+
+  FrameCut second = CutFrame(in);
+  ASSERT_EQ(second.kind, FrameCut::Kind::kFrame);
+  EXPECT_EQ(second.header.request_id, 4u);
+  EXPECT_TRUE(second.envelope_error.empty());
+}
+
+}  // namespace
+}  // namespace fannr::net

@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -305,6 +306,219 @@ TEST(NetLoopbackDifferential, BitwiseIdenticalAcrossThreadsAndUpdates) {
     const DrainStats stats = server.Wait();
     EXPECT_TRUE(stats.within_deadline);
   }
+}
+
+/// Reads one whole response frame off a raw socket (blocking).
+bool ReadFrame(const Socket& sock, FrameHeader& header,
+               std::vector<uint8_t>& payload) {
+  uint8_t header_bytes[kFrameHeaderBytes];
+  if (!sock.ReadFull(header_bytes, sizeof(header_bytes))) return false;
+  DecodeFrameHeader(header_bytes, header);
+  payload.resize(header.payload_length);
+  if (header.payload_length > 0 &&
+      !sock.ReadFull(payload.data(), payload.size())) {
+    return false;
+  }
+  return true;
+}
+
+TEST(NetLoopbackDifferential, PipelinedShuffledIdsBitwiseIdentical) {
+  // The steady scenario again, but pushed through the pipelined path:
+  // three connections each write all ten jobs as individual QUERY
+  // frames — with shuffled, colliding-across-connections request ids —
+  // before reading a single response. Answers correlated by id must be
+  // bitwise-identical to one in-process Run of the same jobs, which
+  // also proves the server's burst merging (whatever run of queries it
+  // groups into one engine Run) cannot change an answer. Repeated after
+  // a weight wave so the post-update epoch is covered too.
+  Graph ref_graph = testing::MakeRandomNetwork(kGraphVertices, kGraphSeed);
+  Graph srv_graph = testing::MakeRandomNetwork(kGraphVertices, kGraphSeed);
+  const std::vector<WireQuery> jobs = BuildWireJobs(ref_graph);
+
+  GphiResources ref_resources;
+  ref_resources.graph = &ref_graph;
+  BatchOptions ref_options;
+  ref_options.num_threads = 2;
+  BatchQueryEngine reference(ref_resources, ref_options);
+
+  GphiResources srv_resources;
+  srv_resources.graph = &srv_graph;
+  ServerConfig config;
+  config.engine_options.num_threads = 2;
+  FannServer server(&srv_graph, srv_resources, std::move(config));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  constexpr size_t kConnections = 3;
+  auto run_pipelined_wave = [&](uint64_t id_salt, GraphEpoch expected_epoch,
+                                const std::vector<WireResult>& expected) {
+    std::vector<Socket> conns;
+    // Per connection: a shuffled job order under ids that deliberately
+    // repeat across connections (ids are per-connection namespace).
+    std::vector<std::vector<std::pair<uint64_t, size_t>>> sent(kConnections);
+    for (size_t c = 0; c < kConnections; ++c) {
+      std::string connect_error;
+      Socket sock = TcpConnect("127.0.0.1", server.port(), &connect_error);
+      ASSERT_TRUE(sock.valid()) << connect_error;
+
+      std::vector<size_t> order(jobs.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      Rng rng(id_salt * 100 + c);
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextBounded(i)]);
+      }
+      for (size_t i = 0; i < order.size(); ++i) {
+        // Sparse, shuffled, connection-independent ids.
+        const uint64_t id = id_salt + order[i] * 7919 + 13;
+        QueryRequest request;
+        request.query = jobs[order[i]];
+        const std::vector<uint8_t> frame =
+            EncodeFrame(static_cast<uint16_t>(Opcode::kQuery), id,
+                        EncodeQueryRequest(request));
+        ASSERT_TRUE(sock.WriteFull(frame.data(), frame.size()));
+        sent[c].push_back({id, order[i]});
+      }
+      conns.push_back(std::move(sock));
+    }
+
+    // Only now read anything: every connection has its full window in
+    // flight. Responses may arrive in any order; correlate by id.
+    for (size_t c = 0; c < kConnections; ++c) {
+      std::map<uint64_t, WireResult> by_id;
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        FrameHeader header;
+        std::vector<uint8_t> payload;
+        ASSERT_TRUE(ReadFrame(conns[c], header, payload))
+            << "connection " << c << " response " << i;
+        ASSERT_EQ(header.opcode,
+                  static_cast<uint16_t>(Opcode::kQueryResult));
+        QueryResponse response;
+        ASSERT_TRUE(DecodeQueryResponse(payload, response));
+        EXPECT_EQ(response.graph_epoch, expected_epoch);
+        ASSERT_TRUE(by_id.emplace(header.request_id,
+                                  response.result).second)
+            << "duplicate response id " << header.request_id;
+      }
+      for (const auto& [id, job_index] : sent[c]) {
+        auto it = by_id.find(id);
+        ASSERT_NE(it, by_id.end()) << "id " << id << " unanswered";
+        ExpectBitwiseEqual(it->second, expected[job_index],
+                           "conn " + std::to_string(c) + " job " +
+                               std::to_string(job_index));
+      }
+    }
+  };
+
+  run_pipelined_wave(1000, 0, RunReference(reference, ref_graph, jobs));
+
+  // Weight wave: server applies over the wire, reference in-process.
+  Rng wave_rng(99);
+  const dynamic::UpdateBatch wave =
+      dynamic::MakeCongestionWave(ref_graph, 0.05, 0.5, 3.0, wave_rng);
+  ASSERT_FALSE(wave.empty());
+  {
+    FannClient update_client;
+    ASSERT_TRUE(update_client.Connect("127.0.0.1", server.port()))
+        << update_client.last_error();
+    UpdateWeightsRequest update;
+    for (const EdgeWeightUpdate& u : wave.updates()) {
+      update.entries.push_back({u.u, u.v, u.new_weight});
+    }
+    UpdateWeightsResponse response;
+    ASSERT_TRUE(update_client.UpdateWeights(update, response))
+        << update_client.last_error();
+    EXPECT_EQ(response.status, 0);
+  }
+  const dynamic::ApplyResult applied = wave.Apply(ref_graph);
+  EXPECT_EQ(applied.new_epoch, 1u);
+
+  run_pipelined_wave(5000, 1, RunReference(reference, ref_graph, jobs));
+
+  server.RequestShutdown();
+  const DrainStats stats = server.Wait();
+  EXPECT_TRUE(stats.within_deadline);
+}
+
+TEST(NetLoopbackDifferential, PipelinedDrainMidLoadAnswersBitwise) {
+  // Mid-load drain: a connection with six pipelined queries in flight
+  // (one held at the executor gate, five queued) receives the drain.
+  // All six must still be answered — bitwise equal to in-process — as
+  // *drained* work, then the connection closes cleanly.
+  Graph ref_graph = testing::MakeRandomNetwork(kGraphVertices, kGraphSeed);
+  Graph srv_graph = testing::MakeRandomNetwork(kGraphVertices, kGraphSeed);
+  std::vector<WireQuery> jobs = BuildWireJobs(ref_graph);
+  jobs.resize(6);
+
+  GphiResources ref_resources;
+  ref_resources.graph = &ref_graph;
+  BatchQueryEngine reference(ref_resources, BatchOptions{});
+
+  ExecutorGate gate;
+  gate.Hold();
+  GphiResources srv_resources;
+  srv_resources.graph = &srv_graph;
+  ServerConfig config;
+  config.test_execution_gate = gate.AsHook();
+  FannServer server(&srv_graph, srv_resources, std::move(config));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  FannClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()))
+      << client.last_error();
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    uint64_t id = 0;
+    ASSERT_TRUE(client.SendQuery(jobs[i], &id)) << client.last_error();
+    ids.push_back(id);
+  }
+  gate.AwaitEntered(1);  // first query held; five queued behind it
+
+  uint64_t shutdown_id = 0;
+  ASSERT_TRUE(client.SendShutdown(&shutdown_id));
+  for (int spin = 0; spin < 200 && !server.draining(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(server.draining());
+
+  // Let Wait() arm the drain while the executor is still parked, so all
+  // six items are accounted as drained work.
+  DrainStats stats;
+  std::thread wait_thread([&] { stats = server.Wait(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  gate.Release();
+
+  // Collect everything in flight: the shutdown ack plus six results.
+  std::map<uint64_t, WireResult> by_id;
+  bool acked = false;
+  for (size_t i = 0; i < jobs.size() + 1; ++i) {
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(client.ReadAny(header, payload)) << client.last_error();
+    if (header.opcode == static_cast<uint16_t>(Opcode::kShutdownAck)) {
+      EXPECT_EQ(header.request_id, shutdown_id);
+      acked = true;
+      continue;
+    }
+    ASSERT_EQ(header.opcode, static_cast<uint16_t>(Opcode::kQueryResult));
+    QueryResponse response;
+    ASSERT_TRUE(DecodeQueryResponse(payload, response));
+    EXPECT_TRUE(by_id.emplace(header.request_id, response.result).second);
+  }
+  EXPECT_TRUE(acked);
+  wait_thread.join();
+
+  const std::vector<WireResult> expected =
+      RunReference(reference, ref_graph, jobs);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    auto it = by_id.find(ids[i]);
+    ASSERT_NE(it, by_id.end()) << "query " << i << " unanswered in drain";
+    ExpectBitwiseEqual(it->second, expected[i],
+                       "drained job " + std::to_string(i));
+  }
+  EXPECT_EQ(stats.drained_items, jobs.size());
+  EXPECT_EQ(stats.aborted_items, 0u);
+  EXPECT_TRUE(stats.within_deadline);
 }
 
 }  // namespace

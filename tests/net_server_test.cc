@@ -10,7 +10,9 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -635,6 +637,123 @@ TEST_F(NetServerTest, DrainingServerRefusesNewWork) {
       << client.last_error();
   gate.Release();
   server_->Wait();
+}
+
+// --- pipelining -----------------------------------------------------------
+
+TEST_F(NetServerTest, PipelinedQueriesAnswerEveryShuffledId) {
+  StartServer();
+  FannClient client = Connect();
+
+  // 32 queries written back-to-back with shuffled, sparse request ids
+  // before a single response is read. Every id must be answered exactly
+  // once, correlated by id (not arrival order), and each answer must
+  // match what the same query gets over a fresh synchronous connection.
+  constexpr size_t kInFlight = 32;
+  std::vector<WireQuery> queries;
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < kInFlight; ++i) {
+    queries.push_back(MakeQuery(100 + i));
+  }
+  for (size_t i = 0; i < kInFlight; ++i) {
+    uint64_t id = 0;
+    ASSERT_TRUE(client.SendQuery(queries[i], &id)) << client.last_error();
+    ids.push_back(id);
+  }
+
+  std::map<uint64_t, QueryResponse> by_id;
+  for (size_t i = 0; i < kInFlight; ++i) {
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(client.ReadAny(header, payload)) << client.last_error();
+    ASSERT_EQ(header.opcode, static_cast<uint16_t>(Opcode::kQueryResult));
+    QueryResponse response;
+    ASSERT_TRUE(DecodeQueryResponse(payload, response));
+    EXPECT_TRUE(by_id.emplace(header.request_id, response).second)
+        << "request id " << header.request_id << " answered twice";
+  }
+
+  FannClient reference = Connect();
+  for (size_t i = 0; i < kInFlight; ++i) {
+    auto it = by_id.find(ids[i]);
+    ASSERT_NE(it, by_id.end()) << "request id " << ids[i] << " unanswered";
+    QueryResponse expected;
+    ASSERT_TRUE(reference.Query(queries[i], expected))
+        << reference.last_error();
+    EXPECT_EQ(it->second.result.status, expected.result.status);
+    EXPECT_EQ(it->second.result.best, expected.result.best);
+    EXPECT_EQ(it->second.result.distance, expected.result.distance);
+  }
+  ShutdownAndWait();
+}
+
+TEST_F(NetServerTest, PipelinedPingOvertakesHeldWork) {
+  ExecutorGate gate;
+  gate.Hold();
+  ServerConfig config;
+  config.test_execution_gate = gate.AsHook();
+  StartServer(std::move(config));
+
+  // A QUERY is parked at the executor gate; a PING sent afterwards on
+  // the same connection is answered inline by the event loop — the
+  // documented out-of-order completion pipelining allows.
+  FannClient client = Connect();
+  uint64_t query_id = 0;
+  uint64_t ping_id = 0;
+  ASSERT_TRUE(client.SendQuery(MakeQuery(), &query_id));
+  gate.AwaitEntered(1);
+  ASSERT_TRUE(client.SendPing(&ping_id));
+
+  FrameHeader header;
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(client.ReadAny(header, payload)) << client.last_error();
+  EXPECT_EQ(header.request_id, ping_id) << "PONG did not overtake the query";
+  EXPECT_EQ(header.opcode, static_cast<uint16_t>(Opcode::kPong));
+
+  gate.Release();
+  ASSERT_TRUE(client.ReadAny(header, payload)) << client.last_error();
+  EXPECT_EQ(header.request_id, query_id);
+  EXPECT_EQ(header.opcode, static_cast<uint16_t>(Opcode::kQueryResult));
+  ShutdownAndWait();
+}
+
+TEST_F(NetServerTest, BackpressureBoundsUnreadResponsesWithoutLoss) {
+  ServerConfig config;
+  // A transmit backlog this small pauses reading after the first few
+  // responses queue up un-read; the admission queue must still be deep
+  // enough to hold what gets through before the pause.
+  config.max_outbound_bytes = 512;
+  config.max_queue_depth = 256;
+  StartServer(std::move(config));
+
+  FannClient client = Connect();
+  constexpr size_t kQueries = 64;
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < kQueries; ++i) {
+    uint64_t id = 0;
+    ASSERT_TRUE(client.SendQuery(MakeQuery(50 + i), &id))
+        << client.last_error();
+    ids.push_back(id);
+  }
+
+  // Only now start reading: the server has long since stopped reading
+  // this connection (backlog > 512 bytes), and resumes as we drain. No
+  // response may be lost or duplicated across the pause/resume cycles.
+  std::set<uint64_t> answered;
+  for (size_t i = 0; i < kQueries; ++i) {
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(client.ReadAny(header, payload)) << client.last_error();
+    ASSERT_EQ(header.opcode, static_cast<uint16_t>(Opcode::kQueryResult));
+    QueryResponse response;
+    ASSERT_TRUE(DecodeQueryResponse(payload, response));
+    EXPECT_EQ(response.result.status,
+              static_cast<uint8_t>(QueryStatus::kOk));
+    EXPECT_TRUE(answered.insert(header.request_id).second);
+  }
+  EXPECT_EQ(answered.size(), kQueries);
+  for (uint64_t id : ids) EXPECT_TRUE(answered.count(id)) << id;
+  ShutdownAndWait();
 }
 
 }  // namespace
