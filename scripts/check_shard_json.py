@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Validates BENCH_shard.json: schema plus sanity invariants.
+
+CI runs this after the shard throughput bench so a run that silently
+produces garbage (zero qps, a routed answer differing from the
+in-process engine, a replica that never caught up after its restart)
+fails the build instead of uploading a broken artifact.
+
+Usage: check_shard_json.py [path-to-BENCH_shard.json]
+"""
+
+import json
+import math
+import sys
+
+REQUIRED_TOP_LEVEL = [
+    "dataset",
+    "num_shards",
+    "queries_per_connection",
+    "engine_threads",
+    "cells",
+    "differential",
+    "catch_up",
+]
+REQUIRED_CELL = [
+    "mode",
+    "connections",
+    "waves",
+    "qps",
+    "wall_ms",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "ok",
+    "rejected",
+    "timed_out",
+    "resubmitted",
+    "waves_applied",
+    "final_epoch",
+]
+
+_errors = []
+
+
+def check(condition, message):
+    if not condition:
+        _errors.append(message)
+
+
+def finite_positive(value):
+    return isinstance(value, (int, float)) and math.isfinite(value) and value > 0
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_shard.json"
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot parse {path}: {e}", file=sys.stderr)
+        return 1
+
+    for key in REQUIRED_TOP_LEVEL:
+        check(key in data, f"missing top-level key '{key}'")
+    if _errors:
+        print("FAIL:\n  " + "\n  ".join(_errors), file=sys.stderr)
+        return 1
+
+    check(data["num_shards"] >= 2, "a sharded bench needs >= 2 shards")
+
+    cells = data["cells"]
+    check(len(cells) >= 4, "need single and routed cells, steady and waves")
+    seen = set()
+    for cell in cells:
+        for key in REQUIRED_CELL:
+            check(key in cell,
+                  f"cell mode={cell.get('mode', '?')} "
+                  f"conns={cell.get('connections', '?')}: missing key '{key}'")
+        if _errors:
+            break
+        label = (f"cell {cell['mode']} conns={cell['connections']} "
+                 f"waves={'on' if cell['waves'] else 'off'}")
+        check(cell["mode"] in ("single", "routed"),
+              f"{label}: unknown mode")
+        seen.add((cell["mode"], cell["connections"], cell["waves"]))
+        check(finite_positive(cell["qps"]), f"{label}: qps must be positive")
+        check(cell["ok"] > 0, f"{label}: no query succeeded")
+        check(cell["timed_out"] == 0, f"{label}: queries timed out")
+        check(cell["p50_ms"] <= cell["p95_ms"] <= cell["p99_ms"],
+              f"{label}: latency percentiles not monotone")
+        if cell["waves"]:
+            check(cell["waves_applied"] > 0,
+                  f"{label}: wave cell applied no update waves")
+            check(cell["final_epoch"] > 0,
+                  f"{label}: wave cell never advanced the graph epoch")
+        else:
+            check(cell["rejected"] == 0,
+                  f"{label}: steady cell saw stale-admission rejections")
+            check(cell["final_epoch"] == 0,
+                  f"{label}: steady cell advanced the graph epoch")
+
+    # Every routed cell needs its single-node twin (and vice versa): the
+    # comparison is the product, not either column alone.
+    for (mode, connections, waves) in sorted(seen):
+        twin = ("routed" if mode == "single" else "single", connections, waves)
+        check(twin in seen,
+              f"cell {mode} conns={connections} waves={waves} "
+              f"has no {twin[0]} twin")
+    check(any(mode == "routed" and waves for (mode, _, waves) in seen),
+          "no routed wave cell: replication under load went unmeasured")
+
+    # The headline gate: the fleet must answer exactly what one node
+    # answers, before and after a replicated weight wave.
+    differential = data["differential"]
+    check(differential.get("queries", 0) > 0,
+          "routed differential ran no queries")
+    check(differential.get("mismatches", -1) == 0,
+          f"routed differential: {differential.get('mismatches')} answers "
+          f"differed from the in-process engine (must be bitwise identical)")
+
+    # And a killed replica must rejoin the fleet epoch via catch-up.
+    catch_up = data["catch_up"]
+    check(catch_up.get("records", 0) > 0,
+          "catch-up replayed no history records — the restarted replica "
+          "was never behind, so the cell tested nothing")
+    check(catch_up.get("recovered") is True,
+          "restarted replica did not recover to the fleet epoch")
+    check(catch_up.get("final_epoch", 0) > 0,
+          "catch-up cell ended at epoch 0")
+
+    if _errors:
+        print("FAIL:\n  " + "\n  ".join(_errors), file=sys.stderr)
+        return 1
+
+    def qps_of(mode, connections, waves):
+        for cell in cells:
+            if (cell["mode"] == mode and cell["connections"] == connections
+                    and cell["waves"] == waves):
+                return cell["qps"]
+        return float("nan")
+
+    overhead = qps_of("single", 1, False) / qps_of("routed", 1, False)
+    print(f"OK: {path} passes schema and sanity checks "
+          f"({len(cells)} cells, single/routed 1-conn qps ratio "
+          f"{overhead:.2f}x, {differential['queries']} differential queries "
+          f"with 0 mismatches, catch-up replayed {catch_up['records']} "
+          f"record(s) to epoch {catch_up['final_epoch']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+#include "dynamic/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "dynamic/update.h"
+#include "graph/index_io.h"
+
+namespace fannr::dynamic {
+
+namespace {
+
+constexpr uint64_t kWalMagic = 0xFA22A81A77A10006ULL;
+constexpr uint32_t kWalVersion = 1;
+
+/// Header: magic u64, version u32, reserved u32 (zero), fingerprint
+/// 3 x u64. 40 bytes total.
+constexpr size_t kHeaderBytes = 40;
+
+/// Fixed part of a record: position u64, new_epoch u64, count u32.
+constexpr size_t kRecordFixedBytes = 20;
+constexpr size_t kEntryBytes = 16;
+constexpr size_t kChecksumBytes = 8;
+
+template <typename T>
+void Put(std::vector<uint8_t>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+template <typename T>
+T Get(const uint8_t* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+/// Serializes one record (without its trailing checksum).
+std::vector<uint8_t> SerializeRecordBody(const WalRecord& record) {
+  std::vector<uint8_t> out;
+  out.reserve(kRecordFixedBytes + record.entries.size() * kEntryBytes);
+  Put(out, record.position);
+  Put(out, record.new_epoch);
+  Put(out, static_cast<uint32_t>(record.entries.size()));
+  for (const WalRecord::Entry& e : record.entries) {
+    Put(out, e.u);
+    Put(out, e.v);
+    Put(out, e.weight);
+  }
+  return out;
+}
+
+uint64_t BodyChecksum(const std::vector<uint8_t>& body) {
+  ArenaChecksum sum;
+  sum.Absorb(body.data(), body.size());
+  return sum.Finish();
+}
+
+bool WriteFullFd(int fd, const void* data, size_t bytes) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd, p, bytes);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    bytes -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+UpdateWal::~UpdateWal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<UpdateWal> UpdateWal::Open(const std::string& path,
+                                           const GraphFingerprint& fingerprint,
+                                           std::string* error) {
+  auto fail = [&](const std::string& reason) -> std::unique_ptr<UpdateWal> {
+    if (error != nullptr) *error = reason;
+    return nullptr;
+  };
+
+  std::unique_ptr<UpdateWal> wal(new UpdateWal());
+  wal->fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (wal->fd_ < 0) return fail("could not open WAL " + path);
+
+  const off_t file_size = ::lseek(wal->fd_, 0, SEEK_END);
+  if (file_size < 0) return fail("could not size WAL " + path);
+
+  if (file_size == 0) {
+    // Fresh log: stamp the header for the graph we will record.
+    std::vector<uint8_t> header;
+    Put(header, kWalMagic);
+    Put(header, kWalVersion);
+    Put(header, uint32_t{0});
+    Put(header, fingerprint.vertices);
+    Put(header, fingerprint.edges);
+    Put(header, fingerprint.weight_checksum);
+    FANNR_CHECK(header.size() == kHeaderBytes);
+    if (!WriteFullFd(wal->fd_, header.data(), header.size()) ||
+        ::fsync(wal->fd_) != 0) {
+      return fail("could not write WAL header to " + path);
+    }
+    return wal;
+  }
+
+  // Existing log: read it whole (WALs are bounded by update volume, not
+  // graph size) and parse records until the first torn/corrupt one.
+  if (static_cast<size_t>(file_size) < kHeaderBytes) {
+    return fail("WAL " + path + " is shorter than its header");
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(file_size));
+  if (::lseek(wal->fd_, 0, SEEK_SET) != 0) {
+    return fail("could not rewind WAL " + path);
+  }
+  size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t n = ::read(wal->fd_, bytes.data() + got, bytes.size() - got);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return fail("could not read WAL " + path);
+    got += static_cast<size_t>(n);
+  }
+
+  if (Get<uint64_t>(bytes.data()) != kWalMagic ||
+      Get<uint32_t>(bytes.data() + 8) != kWalVersion) {
+    return fail(path + " is not an update WAL this build can read");
+  }
+  const GraphFingerprint stored{Get<uint64_t>(bytes.data() + 16),
+                                Get<uint64_t>(bytes.data() + 24),
+                                Get<uint64_t>(bytes.data() + 32)};
+  if (!(stored == fingerprint)) {
+    return fail("WAL " + path +
+                " was written against a different graph (fingerprint "
+                "mismatch) — refusing to replay it");
+  }
+
+  size_t at = kHeaderBytes;
+  while (at < bytes.size()) {
+    // A record is torn when the remaining bytes cannot hold it or its
+    // checksum disagrees; either way everything from here on is the
+    // debris of an interrupted append.
+    if (bytes.size() - at < kRecordFixedBytes + kChecksumBytes) break;
+    WalRecord record;
+    record.position = Get<uint64_t>(bytes.data() + at);
+    record.new_epoch = Get<uint64_t>(bytes.data() + at + 8);
+    const uint32_t count = Get<uint32_t>(bytes.data() + at + 16);
+    const size_t body_bytes =
+        kRecordFixedBytes + static_cast<size_t>(count) * kEntryBytes;
+    if (bytes.size() - at < body_bytes + kChecksumBytes) break;
+    ArenaChecksum sum;
+    sum.Absorb(bytes.data() + at, body_bytes);
+    if (Get<uint64_t>(bytes.data() + at + body_bytes) != sum.Finish()) break;
+    record.entries.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint8_t* p = bytes.data() + at + kRecordFixedBytes +
+                         static_cast<size_t>(i) * kEntryBytes;
+      record.entries[i].u = Get<uint32_t>(p);
+      record.entries[i].v = Get<uint32_t>(p + 4);
+      record.entries[i].weight = Get<double>(p + 8);
+    }
+    wal->records_.push_back(std::move(record));
+    at += body_bytes + kChecksumBytes;
+  }
+
+  if (at < bytes.size()) {
+    wal->truncated_bytes_ = bytes.size() - at;
+    if (::ftruncate(wal->fd_, static_cast<off_t>(at)) != 0) {
+      return fail("could not truncate torn tail of WAL " + path);
+    }
+  }
+  if (::lseek(wal->fd_, 0, SEEK_END) < 0) {
+    return fail("could not seek to end of WAL " + path);
+  }
+  return wal;
+}
+
+bool UpdateWal::Append(const WalRecord& record) {
+  if (fd_ < 0) return false;
+  std::vector<uint8_t> body = SerializeRecordBody(record);
+  const uint64_t checksum = BodyChecksum(body);
+  Put(body, checksum);
+  // One write + one flush: a crash leaves either no trace of this
+  // record or a torn tail the next Open truncates — never a prefix that
+  // parses as valid.
+  if (!WriteFullFd(fd_, body.data(), body.size())) return false;
+  if (::fdatasync(fd_) != 0) return false;
+  records_.push_back(record);
+  return true;
+}
+
+size_t UpdateWal::ReplayInto(Graph& graph, std::string* error) const {
+  size_t applied = 0;
+  for (const WalRecord& record : records_) {
+    if (graph.epoch() != record.position) continue;
+    UpdateBatch batch;
+    for (const WalRecord::Entry& e : record.entries) {
+      batch.SetWeight(e.u, e.v, e.weight);
+    }
+    const std::string validation = batch.ValidationError(graph);
+    if (!validation.empty()) {
+      if (error != nullptr) {
+        *error = "WAL record at position " + std::to_string(record.position) +
+                 " does not fit this graph: " + validation;
+      }
+      return applied;
+    }
+    batch.Apply(graph);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace fannr::dynamic

@@ -1,0 +1,101 @@
+// UpdateWal: a minimal append-only log of applied weight-update
+// batches, positioned by graph epoch.
+//
+// The dynamic subsystem gives a graph a linear weight history: epoch 0
+// at load, +1 per applied batch (dynamic/update.h). The WAL records
+// that history durably — one record per applied batch, carrying the
+// epoch the batch applied on top of (its *position*) and the absolute
+// weight entries — so a restarted process can replay its way from the
+// freshly loaded epoch-0 graph back to the epoch it crashed at, instead
+// of rebuilding or resyncing the full weight state.
+//
+// Replay is position-keyed and therefore idempotent: a record applies
+// only when the graph is exactly at the record's position, and entries
+// are absolute weight sets. Batches that applied zero updates do not
+// bump the epoch, so consecutive records may legitimately share a
+// position; replaying them in order reproduces the identical epoch
+// sequence.
+//
+// The file begins with the fingerprint of the *epoch-0* graph it logs
+// updates for. Open() rejects a WAL written against a different
+// network; callers check it before replaying on top of the wrong graph.
+// A torn final record (crash mid-append) is detected by its checksum or
+// short length and truncated away on open — everything before it is
+// intact by construction (records are appended with a single write and
+// flushed before Append returns).
+
+#ifndef FANNR_DYNAMIC_WAL_H_
+#define FANNR_DYNAMIC_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/fingerprint.h"
+#include "graph/graph.h"
+
+namespace fannr::dynamic {
+
+/// One applied update batch as logged.
+struct WalRecord {
+  struct Entry {
+    uint32_t u = 0;
+    uint32_t v = 0;
+    double weight = 0.0;  ///< Absolute weight (idempotent re-apply).
+  };
+  uint64_t position = 0;   ///< Graph epoch the batch applied on top of.
+  uint64_t new_epoch = 0;  ///< Epoch after apply (== position iff no-op).
+  std::vector<Entry> entries;
+};
+
+class UpdateWal {
+ public:
+  /// Opens the WAL at `path`, creating it (with a header stamped by
+  /// `fingerprint`) when absent. An existing file must carry the same
+  /// fingerprint; its records are loaded and a torn tail truncated.
+  /// Returns nullptr with a reason on I/O failure or mismatch.
+  static std::unique_ptr<UpdateWal> Open(const std::string& path,
+                                         const GraphFingerprint& fingerprint,
+                                         std::string* error);
+  ~UpdateWal();
+
+  UpdateWal(const UpdateWal&) = delete;
+  UpdateWal& operator=(const UpdateWal&) = delete;
+
+  /// Appends one record and flushes it to disk before returning, so a
+  /// batch acknowledged to a client is never lost to a crash.
+  bool Append(const WalRecord& record);
+
+  /// Replays the log onto `graph`: walks records in order, applying
+  /// each one whose position matches the graph's current epoch (others
+  /// are skipped — already part of the graph's history). Returns the
+  /// number of records applied; false-positive-free because positions
+  /// gate every apply. On a validation failure (a record's entries do
+  /// not fit the graph) replay stops and `error` explains.
+  size_t ReplayInto(Graph& graph, std::string* error) const;
+
+  /// Every record currently in the log, oldest first. The router reads
+  /// this tail to catch a restarted replica up from its last epoch.
+  const std::vector<WalRecord>& records() const { return records_; }
+
+  /// The epoch the log ends at (0 when empty): the epoch a full replay
+  /// onto an epoch-0 graph reaches.
+  uint64_t end_epoch() const {
+    return records_.empty() ? 0 : records_.back().new_epoch;
+  }
+
+  /// Bytes dropped from a torn tail at Open (0 for a clean file).
+  size_t truncated_bytes() const { return truncated_bytes_; }
+
+ private:
+  UpdateWal() = default;
+
+  int fd_ = -1;
+  std::vector<WalRecord> records_;
+  size_t truncated_bytes_ = 0;
+};
+
+}  // namespace fannr::dynamic
+
+#endif  // FANNR_DYNAMIC_WAL_H_

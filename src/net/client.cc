@@ -99,6 +99,10 @@ bool FannClient::SendQuery(const WireQuery& query, uint64_t* request_id) {
   return SendFrame(Opcode::kQuery, EncodeQueryRequest(request), request_id);
 }
 
+bool FannClient::SendBatch(const BatchRequest& request, uint64_t* request_id) {
+  return SendFrame(Opcode::kBatch, EncodeBatchRequest(request), request_id);
+}
+
 bool FannClient::SendPing(uint64_t* request_id) {
   return SendFrame(Opcode::kPing, {}, request_id);
 }
@@ -177,6 +181,19 @@ bool FannClient::UpdateWeights(const UpdateWeightsRequest& request,
   }
   if (!DecodeUpdateWeightsResponse(payload, response)) {
     return Fail("undecodable UPDATE_RESULT payload");
+  }
+  return true;
+}
+
+bool FannClient::ReplApply(const ReplApplyRequest& request,
+                           UpdateWeightsResponse& response) {
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(Opcode::kReplApply, EncodeReplApplyRequest(request),
+                 Opcode::kReplApplyResult, payload)) {
+    return false;
+  }
+  if (!DecodeUpdateWeightsResponse(payload, response)) {
+    return Fail("undecodable REPL_APPLY_RESULT payload");
   }
   return true;
 }

@@ -48,6 +48,13 @@ class FannClient {
   bool UpdateWeights(const UpdateWeightsRequest& request,
                      UpdateWeightsResponse& response);
 
+  /// Replicates an update batch at an exact graph epoch (router →
+  /// shard). True when the frame round-tripped; response.status is 0
+  /// (applied / position probe ok), 1 (rejected), or 2 (position
+  /// mismatch, response.new_epoch = the replica's current epoch).
+  bool ReplApply(const ReplApplyRequest& request,
+                 UpdateWeightsResponse& response);
+
   /// Fetches the server's observability snapshot as JSON.
   bool Stats(std::string& json);
 
@@ -67,6 +74,10 @@ class FannClient {
   /// Writes one QUERY frame; on true, `*request_id` identifies the
   /// eventual QUERY_RESULT (or error) frame.
   bool SendQuery(const WireQuery& query, uint64_t* request_id);
+
+  /// Writes one BATCH frame (the router's per-shard fan-out overlaps
+  /// the shards' work by sending every sub-batch before reading any).
+  bool SendBatch(const BatchRequest& request, uint64_t* request_id);
 
   /// Writes one PING frame (answered inline by the server's event loop,
   /// ahead of queued work — a pipelined liveness probe).

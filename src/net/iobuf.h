@@ -32,6 +32,10 @@ class ByteQueue {
   size_t size() const { return buf_.size() - head_; }
   bool empty() const { return head_ == buf_.size(); }
 
+  /// Heap bytes currently held by the queue (tests and capacity
+  /// accounting; see MaybeShrink for the retention policy).
+  size_t capacity() const { return buf_.capacity(); }
+
   /// The queued bytes, contiguous, starting at the oldest unconsumed.
   const uint8_t* data() const { return buf_.data() + head_; }
 
@@ -46,11 +50,13 @@ class ByteQueue {
     if (head_ == buf_.size()) {
       buf_.clear();
       head_ = 0;
+      MaybeShrink();
     } else if (head_ >= kCompactAt && head_ >= buf_.size() - head_) {
       // The consumed prefix outweighs the live bytes: slide them down
       // so the buffer cannot grow without bound on a long-lived stream.
       buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(head_));
       head_ = 0;
+      MaybeShrink();
     }
   }
 
@@ -60,10 +66,28 @@ class ByteQueue {
   void Clear() {
     buf_.clear();
     head_ = 0;
+    MaybeShrink();
   }
 
  private:
   static constexpr size_t kCompactAt = 4096;
+  /// Buffers below this never shrink — reallocating a few KiB back and
+  /// forth on every steady-state frame would cost more than it saves.
+  static constexpr size_t kShrinkAt = 256 * 1024;
+
+  /// clear()/erase() never release vector capacity, so one near-64MiB
+  /// frame would otherwise pin that allocation on a long-lived
+  /// connection forever. Release the storage once live bytes occupy
+  /// less than a quarter of a large buffer; the 4x hysteresis keeps a
+  /// stream of large frames from reallocating per frame.
+  void MaybeShrink() {
+    if (buf_.capacity() < kShrinkAt || buf_.size() > buf_.capacity() / 4) {
+      return;
+    }
+    std::vector<uint8_t> tight(buf_.begin(), buf_.end());
+    buf_.swap(tight);
+  }
+
   std::vector<uint8_t> buf_;
   size_t head_ = 0;
 };

@@ -57,6 +57,7 @@ bool IsRequestOpcode(uint16_t opcode) {
     case Opcode::kStats:
     case Opcode::kPing:
     case Opcode::kShutdown:
+    case Opcode::kReplApply:
       return true;
     default:
       return false;
@@ -77,6 +78,8 @@ std::string_view OpcodeName(uint16_t opcode) {
       return "PING";
     case Opcode::kShutdown:
       return "SHUTDOWN";
+    case Opcode::kReplApply:
+      return "REPL_APPLY";
     case Opcode::kQueryResult:
       return "QUERY_RESULT";
     case Opcode::kBatchResult:
@@ -89,6 +92,8 @@ std::string_view OpcodeName(uint16_t opcode) {
       return "PONG";
     case Opcode::kShutdownAck:
       return "SHUTDOWN_ACK";
+    case Opcode::kReplApplyResult:
+      return "REPL_APPLY_RESULT";
     case Opcode::kError:
       return "ERROR";
   }
@@ -199,6 +204,18 @@ std::vector<uint8_t> EncodeUpdateWeightsRequest(
   return w.Take();
 }
 
+std::vector<uint8_t> EncodeReplApplyRequest(const ReplApplyRequest& request) {
+  WireWriter w;
+  w.U64(request.position);
+  w.U32(static_cast<uint32_t>(request.entries.size()));
+  for (const UpdateWeightsRequest::Entry& e : request.entries) {
+    w.U32(e.u);
+    w.U32(e.v);
+    w.F64(e.weight);
+  }
+  return w.Take();
+}
+
 std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response) {
   WireWriter w;
   w.U64(response.graph_epoch);
@@ -223,6 +240,11 @@ std::vector<uint8_t> EncodeUpdateWeightsResponse(
     w.U64(response.missing);
     w.U64(response.old_epoch);
     w.U64(response.new_epoch);
+  } else if (response.status == 2) {
+    // Replication position mismatch: the replica's current epoch rides
+    // along so the sender can decide how far behind/ahead it is.
+    w.U64(response.new_epoch);
+    w.String(response.error);
   } else {
     w.String(response.error);
   }
@@ -276,6 +298,19 @@ bool DecodeUpdateWeightsRequest(std::span<const uint8_t> payload,
   return r.AtEnd();
 }
 
+bool DecodeReplApplyRequest(std::span<const uint8_t> payload,
+                            ReplApplyRequest& request) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  if (!r.U64(request.position) || !r.U32(count)) return false;
+  if (static_cast<uint64_t>(count) * 16 > r.Remaining()) return false;
+  request.entries.resize(count);
+  for (UpdateWeightsRequest::Entry& e : request.entries) {
+    if (!r.U32(e.u) || !r.U32(e.v) || !r.F64(e.weight)) return false;
+  }
+  return r.AtEnd();
+}
+
 bool DecodeQueryResponse(std::span<const uint8_t> payload,
                          QueryResponse& response) {
   WireReader r(payload);
@@ -305,6 +340,8 @@ bool DecodeUpdateWeightsResponse(std::span<const uint8_t> payload,
         !r.U64(response.old_epoch) || !r.U64(response.new_epoch)) {
       return false;
     }
+  } else if (response.status == 2) {
+    if (!r.U64(response.new_epoch) || !r.String(response.error)) return false;
   } else if (!r.String(response.error)) {
     return false;
   }

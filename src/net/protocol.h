@@ -74,6 +74,11 @@ enum class Opcode : uint16_t {
   kStats = 4,
   kPing = 5,
   kShutdown = 6,
+  /// Replication: apply an update batch at an exact graph epoch. Sent
+  /// by the router to shard replicas so every replica walks the same
+  /// epoch sequence; a replica whose epoch != position answers status 2
+  /// with its current epoch instead of applying out of order.
+  kReplApply = 7,
   // Responses.
   kQueryResult = 0x81,
   kBatchResult = 0x82,
@@ -81,6 +86,7 @@ enum class Opcode : uint16_t {
   kStatsResult = 0x84,
   kPong = 0x85,
   kShutdownAck = 0x86,
+  kReplApplyResult = 0x87,
   kError = 0xFF,
 };
 
@@ -138,6 +144,17 @@ struct UpdateWeightsRequest {
   std::vector<Entry> entries;
 };
 
+/// Positioned replication of one update batch: "apply these entries to
+/// a graph currently at epoch `position`". Entries are absolute weight
+/// sets (idempotent), so a batch may be re-sent safely — the position
+/// check is what prevents double-application and reordering. An empty
+/// entry list is a pure position probe: it never applies anything and
+/// never bumps the epoch, but still reports mismatches.
+struct ReplApplyRequest {
+  uint64_t position = 0;  ///< Graph epoch the entries apply on top of.
+  std::vector<UpdateWeightsRequest::Entry> entries;
+};
+
 /// One query's answer on the wire.
 struct WireResult {
   uint8_t status = 0;  ///< QueryStatus enumerator value.
@@ -161,8 +178,13 @@ struct BatchResponse {
   std::vector<WireResult> results;
 };
 
+/// Answers both kUpdateWeights and kReplApply (same shape, different
+/// opcode). Status 2 is only ever produced for kReplApply.
 struct UpdateWeightsResponse {
-  uint8_t status = 0;  ///< 0 = applied, 1 = rejected (reason in error).
+  /// 0 = applied, 1 = rejected (reason in error), 2 = replication
+  /// position mismatch (new_epoch = the replica's current epoch, error
+  /// explains; nothing was applied).
+  uint8_t status = 0;
   uint64_t applied = 0;
   uint64_t missing = 0;
   uint64_t old_epoch = 0;
@@ -204,6 +226,7 @@ std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request);
 std::vector<uint8_t> EncodeBatchRequest(const BatchRequest& request);
 std::vector<uint8_t> EncodeUpdateWeightsRequest(
     const UpdateWeightsRequest& request);
+std::vector<uint8_t> EncodeReplApplyRequest(const ReplApplyRequest& request);
 std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response);
 std::vector<uint8_t> EncodeBatchResponse(const BatchResponse& response);
 std::vector<uint8_t> EncodeUpdateWeightsResponse(
@@ -219,6 +242,8 @@ bool DecodeBatchRequest(std::span<const uint8_t> payload,
                         BatchRequest& request);
 bool DecodeUpdateWeightsRequest(std::span<const uint8_t> payload,
                                 UpdateWeightsRequest& request);
+bool DecodeReplApplyRequest(std::span<const uint8_t> payload,
+                            ReplApplyRequest& request);
 bool DecodeQueryResponse(std::span<const uint8_t> payload,
                          QueryResponse& response);
 bool DecodeBatchResponse(std::span<const uint8_t> payload,

@@ -1,0 +1,769 @@
+#include "net/router.h"
+
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "engine/batch_engine.h"
+#include "fann/query.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fannr::net {
+
+namespace {
+
+WireResult RejectedWire(std::string error) {
+  WireResult r;
+  r.status = static_cast<uint8_t>(QueryStatus::kRejected);
+  r.error = std::move(error);
+  return r;
+}
+
+/// Canonical total order over feasible answers: the exact solvers all
+/// return the (distance, vertex id)-minimal answer within their P, so
+/// the same comparison over the shard winners reproduces the
+/// single-node answer bitwise. An infeasible answer (best ==
+/// kInvalidVertex) loses to any feasible one.
+bool AnswerBeats(const WireResult& a, const WireResult& b) {
+  const bool a_feasible = a.best != 0xFFFFFFFFu;
+  const bool b_feasible = b.best != 0xFFFFFFFFu;
+  if (a_feasible != b_feasible) return a_feasible;
+  if (!a_feasible) return false;  // both infeasible: equivalent
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.best < b.best;
+}
+
+}  // namespace
+
+MergedAnswer MergeShardAnswers(const std::vector<ShardAnswer>& answers) {
+  FANNR_CHECK(!answers.empty());
+  MergedAnswer merged;
+
+  // Severity scan, all selections by lowest shard id so that the merge
+  // is a pure function of the answer *set*.
+  const ShardAnswer* transport_failed = nullptr;
+  const ShardAnswer* overloaded = nullptr;
+  const ShardAnswer* other_error = nullptr;
+  for (const ShardAnswer& a : answers) {
+    if (!a.transport_ok) {
+      if (transport_failed == nullptr || a.shard < transport_failed->shard) {
+        transport_failed = &a;
+      }
+    } else if (a.is_error) {
+      if (a.error_code == ErrorCode::kOverloaded) {
+        if (overloaded == nullptr || a.shard < overloaded->shard) {
+          overloaded = &a;
+        }
+      } else if (other_error == nullptr || a.shard < other_error->shard) {
+        other_error = &a;
+      }
+    }
+  }
+  if (transport_failed != nullptr) {
+    merged.is_error = true;
+    merged.error_code = ErrorCode::kInternal;
+    merged.error_message =
+        "shard " + std::to_string(transport_failed->shard) +
+        " unreachable: " + transport_failed->error_message;
+    return merged;
+  }
+  if (overloaded != nullptr) {
+    merged.is_error = true;
+    merged.error_code = ErrorCode::kOverloaded;
+    merged.error_message = overloaded->error_message;
+    return merged;
+  }
+  if (other_error != nullptr) {
+    merged.is_error = true;
+    merged.error_code = other_error->error_code;
+    merged.error_message = "shard " + std::to_string(other_error->shard) +
+                           ": " + other_error->error_message;
+    return merged;
+  }
+
+  uint64_t min_epoch = answers.front().graph_epoch;
+  uint64_t max_epoch = answers.front().graph_epoch;
+  for (const ShardAnswer& a : answers) {
+    min_epoch = std::min(min_epoch, a.graph_epoch);
+    max_epoch = std::max(max_epoch, a.graph_epoch);
+  }
+  merged.graph_epoch = max_epoch;
+  merged.epochs_disagree = min_epoch != max_epoch;
+
+  // Per-job status: a rejection or timeout anywhere poisons the job
+  // (the winner could be hiding in the failed shard's P-subset).
+  const ShardAnswer* rejected = nullptr;
+  const ShardAnswer* timed_out = nullptr;
+  for (const ShardAnswer& a : answers) {
+    const auto status = static_cast<QueryStatus>(a.result.status);
+    if (status == QueryStatus::kRejected) {
+      if (rejected == nullptr || a.shard < rejected->shard) rejected = &a;
+    } else if (status == QueryStatus::kTimedOut) {
+      if (timed_out == nullptr || a.shard < timed_out->shard) timed_out = &a;
+    }
+  }
+  if (rejected != nullptr) {
+    merged.result = rejected->result;
+    return merged;
+  }
+  if (timed_out != nullptr) {
+    merged.result = timed_out->result;
+    return merged;
+  }
+
+  // All ok: canonical minimum across the shard winners, work summed.
+  const ShardAnswer* best = &answers.front();
+  uint64_t gphi = 0;
+  for (const ShardAnswer& a : answers) {
+    gphi += a.result.gphi_evaluations;
+    if (AnswerBeats(a.result, best->result)) best = &a;
+  }
+  merged.result = best->result;
+  merged.result.gphi_evaluations = gphi;
+  return merged;
+}
+
+/// Per-connection state: the accepted socket, its service thread, and
+/// this connection's private query clients (one per shard, connected
+/// lazily; FannClient is not thread-safe, so they are never shared).
+struct FannRouter::ConnEntry {
+  Socket sock;
+  std::thread thread;
+  std::atomic<bool> done{false};
+  std::vector<FannClient> shard_clients;
+};
+
+FannRouter::FannRouter(const ShardPlan& plan, RouterConfig config)
+    : plan_(plan), config_(std::move(config)) {
+  m_queries_ = metrics_.RegisterCounter("router.requests.query");
+  m_batches_ = metrics_.RegisterCounter("router.requests.batch");
+  m_updates_ = metrics_.RegisterCounter("router.requests.update");
+  m_fanouts_ = metrics_.RegisterCounter("router.fanout.sub_batches");
+  m_retries_ = metrics_.RegisterCounter("router.fanout.epoch_retries");
+  m_stale_rejections_ = metrics_.RegisterCounter("router.stale_rejections");
+  m_catch_up_records_ = metrics_.RegisterCounter("router.catch_up.records");
+  m_shard_errors_ = metrics_.RegisterCounter("router.shard_errors");
+}
+
+FannRouter::~FannRouter() {
+  RequestShutdown();
+  Wait();
+  if (stop_event_ >= 0) ::close(stop_event_);
+}
+
+bool FannRouter::Start(std::string* error) {
+  auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = reason;
+    return false;
+  };
+  if (config_.shards.size() != plan_.num_shards()) {
+    return fail("router config lists " + std::to_string(config_.shards.size()) +
+                " shards but the plan has " +
+                std::to_string(plan_.num_shards()));
+  }
+
+  // Adopt the durable history: the fleet position is wherever the last
+  // acknowledged update left it.
+  if (config_.wal != nullptr) {
+    history_ = config_.wal->records();
+    repl_epoch_.store(config_.wal->end_epoch());
+  }
+
+  // Every shard must be reachable at start, and none may be ahead of
+  // the history (an ahead shard means this router's history is stale —
+  // serving through it would silently fork the epoch sequence).
+  {
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    repl_clients_.resize(config_.shards.size());
+    for (size_t s = 0; s < config_.shards.size(); ++s) {
+      std::string catch_up_error;
+      if (!EnsureReplClientLocked(s)) {
+        return fail("shard " + std::to_string(s) + " at " +
+                    config_.shards[s].host + ":" +
+                    std::to_string(config_.shards[s].port) + " is unreachable");
+      }
+      if (!CatchUpShardLocked(s, &catch_up_error)) {
+        return fail("shard " + std::to_string(s) +
+                    " could not be brought to epoch " +
+                    std::to_string(repl_epoch_.load()) + ": " +
+                    catch_up_error);
+      }
+    }
+  }
+
+  stop_event_ = ::eventfd(0, EFD_CLOEXEC);
+  if (stop_event_ < 0) return fail("eventfd failed");
+  std::string listen_error;
+  listener_ = TcpListen(config_.host, config_.port, &port_, &listen_error);
+  if (!listener_.valid()) return fail("listen failed: " + listen_error);
+  accept_thread_ = std::thread(&FannRouter::AcceptLoop, this);
+  return true;
+}
+
+void FannRouter::RequestShutdown() {
+  if (stop_.exchange(true)) return;
+  if (stop_event_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(stop_event_, &one, sizeof(one));
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (const std::unique_ptr<ConnEntry>& conn : conns_) {
+    conn->sock.ShutdownBoth();
+  }
+}
+
+void FannRouter::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Joining while holding conn_mu_ would deadlock against the very
+  // connection thread that delivered the SHUTDOWN frame: it still needs
+  // conn_mu_ (inside RequestShutdown) before it can exit. Detach the
+  // entries under the lock, join outside it.
+  std::vector<std::unique_ptr<ConnEntry>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conns_);
+  }
+  for (const std::unique_ptr<ConnEntry>& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void FannRouter::ReapFinishedLocked() {
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FannRouter::AcceptLoop() {
+  while (!stop_.load()) {
+    struct pollfd fds[2];
+    fds[0] = {listener_.fd(), POLLIN, 0};
+    fds[1] = {stop_event_, POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0 || stop_.load()) break;
+    if (fds[0].revents == 0) continue;
+    std::string accept_error;
+    Socket sock = TcpAccept(listener_, &accept_error);
+    if (!sock.valid()) continue;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ReapFinishedLocked();
+    conns_.push_back(std::make_unique<ConnEntry>());
+    ConnEntry* entry = conns_.back().get();
+    entry->sock = std::move(sock);
+    entry->shard_clients.resize(config_.shards.size());
+    entry->thread = std::thread(&FannRouter::ServeConnection, this, entry);
+  }
+  listener_.Close();
+}
+
+FannRouter::JobSplit FannRouter::SplitJob(const WireQuery& job) const {
+  JobSplit split;
+  // Jobs the plan cannot place — empty P or ids outside the graph —
+  // pass through to shard 0 whole, so the client sees the identical
+  // screening rejection a single server would produce.
+  bool splittable = !job.p.empty();
+  for (uint32_t v : job.p) {
+    if (v >= plan_.num_vertices()) splittable = false;
+  }
+  if (!splittable) {
+    split.targets.push_back(0);
+    split.sub_p.push_back(job.p);
+    return split;
+  }
+  std::vector<std::vector<uint32_t>> parts = plan_.SplitByShard(job.p);
+  for (uint32_t s = 0; s < parts.size(); ++s) {
+    if (parts[s].empty()) continue;
+    split.targets.push_back(s);
+    split.sub_p.push_back(std::move(parts[s]));
+  }
+  return split;
+}
+
+FannRouter::FanOutOutcome FannRouter::FanOutOnce(
+    ConnEntry& conn, const std::vector<WireQuery>& jobs,
+    double batch_deadline_ms) {
+  FanOutOutcome outcome;
+  const size_t num_shards = config_.shards.size();
+
+  // Build one sub-batch per shard: job j contributes its shard-owned
+  // P-slice to every shard that owns part of its P.
+  std::vector<BatchRequest> sub_batches(num_shards);
+  std::vector<std::vector<size_t>> sub_jobs(num_shards);  // -> job index
+  std::vector<size_t> fan_degree(jobs.size(), 0);
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const JobSplit split = SplitJob(jobs[j]);
+    for (size_t i = 0; i < split.targets.size(); ++i) {
+      const uint32_t s = split.targets[i];
+      WireQuery sub = jobs[j];
+      sub.p = split.sub_p[i];
+      sub_batches[s].jobs.push_back(std::move(sub));
+      sub_jobs[s].push_back(j);
+      ++fan_degree[j];
+    }
+  }
+
+  // Write every sub-batch before reading any response: the shards
+  // solve concurrently while the router waits.
+  struct ShardWave {
+    uint32_t shard = 0;
+    uint64_t request_id = 0;
+    bool sent = false;
+    ShardAnswer batch_level;  // transport / error-frame outcome
+    BatchResponse response;
+  };
+  std::vector<ShardWave> wave;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (sub_batches[s].jobs.empty()) continue;
+    sub_batches[s].deadline_ms = batch_deadline_ms;
+    ShardWave w;
+    w.shard = s;
+    w.batch_level.shard = s;
+    FannClient& client = conn.shard_clients[s];
+    if (!client.connected() &&
+        !client.Connect(config_.shards[s].host, config_.shards[s].port)) {
+      w.batch_level.transport_ok = false;
+      w.batch_level.error_message = client.last_error();
+      wave.push_back(std::move(w));
+      continue;
+    }
+    if (!client.SendBatch(sub_batches[s], &w.request_id)) {
+      w.batch_level.transport_ok = false;
+      w.batch_level.error_message = client.last_error();
+      client.Close();
+      wave.push_back(std::move(w));
+      continue;
+    }
+    w.sent = true;
+    metrics_.Add(m_fanouts_, 1);
+    wave.push_back(std::move(w));
+  }
+
+  for (ShardWave& w : wave) {
+    if (!w.sent) continue;
+    FannClient& client = conn.shard_clients[w.shard];
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    bool got = false;
+    while (client.ReadAny(header, payload)) {
+      if (header.request_id != w.request_id) continue;  // stray frame
+      got = true;
+      break;
+    }
+    if (!got) {
+      w.batch_level.transport_ok = false;
+      w.batch_level.error_message = client.last_error();
+      client.Close();
+      continue;
+    }
+    w.batch_level.transport_ok = true;
+    if (static_cast<Opcode>(header.opcode) == Opcode::kError) {
+      ErrorResponse err;
+      if (DecodeErrorResponse(payload, err)) {
+        w.batch_level.is_error = true;
+        w.batch_level.error_code = err.code;
+        w.batch_level.error_message = std::move(err.message);
+      } else {
+        w.batch_level.transport_ok = false;
+        w.batch_level.error_message = "undecodable error frame";
+        client.Close();
+      }
+      continue;
+    }
+    if (!DecodeBatchResponse(payload, w.response) ||
+        w.response.results.size() != sub_batches[w.shard].jobs.size()) {
+      w.batch_level.transport_ok = false;
+      w.batch_level.error_message = "undecodable BATCH_RESULT payload";
+      client.Close();
+      continue;
+    }
+    w.batch_level.graph_epoch = w.response.graph_epoch;
+  }
+
+  // Batch-level severity first: a transport failure or an error frame
+  // (overload, drain) anywhere fails the whole request, exactly as a
+  // single server fails the whole batch with one kError frame.
+  {
+    std::vector<ShardAnswer> batch_level;
+    batch_level.reserve(wave.size());
+    for (const ShardWave& w : wave) batch_level.push_back(w.batch_level);
+    if (!batch_level.empty()) {
+      const MergedAnswer verdict = MergeShardAnswers(batch_level);
+      if (verdict.is_error) {
+        metrics_.Add(m_shard_errors_, 1);
+        outcome.is_error = true;
+        outcome.error_code = verdict.error_code;
+        outcome.error_message = verdict.error_message;
+        return outcome;
+      }
+      outcome.graph_epoch = verdict.graph_epoch;
+      outcome.epochs_disagree = verdict.epochs_disagree;
+    }
+  }
+
+  // Per-job canonical merge.
+  outcome.results.resize(jobs.size());
+  std::vector<std::vector<ShardAnswer>> per_job(jobs.size());
+  for (size_t j = 0; j < jobs.size(); ++j) per_job[j].reserve(fan_degree[j]);
+  for (const ShardWave& w : wave) {
+    for (size_t i = 0; i < sub_jobs[w.shard].size(); ++i) {
+      ShardAnswer a;
+      a.shard = w.shard;
+      a.transport_ok = true;
+      a.graph_epoch = w.response.graph_epoch;
+      a.result = w.response.results[i];
+      per_job[sub_jobs[w.shard][i]].push_back(std::move(a));
+    }
+  }
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    FANNR_CHECK(!per_job[j].empty());
+    outcome.results[j] = MergeShardAnswers(per_job[j]).result;
+  }
+  return outcome;
+}
+
+FannRouter::FanOutOutcome FannRouter::FanOut(ConnEntry& conn,
+                                             const std::vector<WireQuery>& jobs,
+                                             double batch_deadline_ms) {
+  const uint64_t admitted = repl_epoch_.load();
+  FanOutOutcome outcome = FanOutOnce(conn, jobs, batch_deadline_ms);
+  if (outcome.is_error || !outcome.epochs_disagree) return outcome;
+
+  // Shards answered under different epochs: a straggler replica (or an
+  // update racing the fan-out). Bring the fleet back in step and retry
+  // once; if the disagreement persists, reject rather than return a
+  // result mixing weights from different epochs.
+  metrics_.Add(m_retries_, 1);
+  SyncShards();
+  outcome = FanOutOnce(conn, jobs, batch_deadline_ms);
+  if (outcome.is_error || !outcome.epochs_disagree) return outcome;
+
+  metrics_.Add(m_stale_rejections_, 1);
+  const std::string reason = MidBatchEpochError(admitted, outcome.graph_epoch);
+  for (WireResult& result : outcome.results) result = RejectedWire(reason);
+  outcome.epochs_disagree = false;
+  return outcome;
+}
+
+bool FannRouter::EnsureReplClientLocked(size_t shard) {
+  FannClient& client = repl_clients_[shard];
+  if (client.connected()) return true;
+  return client.Connect(config_.shards[shard].host,
+                        config_.shards[shard].port);
+}
+
+bool FannRouter::CatchUpShardLocked(size_t shard, std::string* error) {
+  auto fail = [&](const std::string& reason) {
+    if (error != nullptr) *error = reason;
+    metrics_.Add(m_shard_errors_, 1);
+    return false;
+  };
+  if (!EnsureReplClientLocked(shard)) {
+    return fail("unreachable");
+  }
+  FannClient& client = repl_clients_[shard];
+
+  // An empty REPL_APPLY is a pure position probe: status 0 means the
+  // shard is exactly at the fleet epoch, status 2 reports where it
+  // actually is.
+  ReplApplyRequest probe;
+  probe.position = repl_epoch_.load();
+  UpdateWeightsResponse response;
+  if (!client.ReplApply(probe, response)) {
+    client.Close();
+    return fail("position probe failed: " + client.last_error());
+  }
+  if (response.status == 0) return true;
+  if (response.status != 2) {
+    return fail("position probe rejected: " + response.error);
+  }
+  const uint64_t shard_epoch = response.new_epoch;
+  if (shard_epoch > repl_epoch_.load()) {
+    return fail("replica is at epoch " + std::to_string(shard_epoch) +
+                ", ahead of the router history (epoch " +
+                std::to_string(repl_epoch_.load()) +
+                ") — this router's WAL is stale");
+  }
+
+  // Replay the history tail from the replica's epoch forward. Records
+  // below its epoch are already part of its past; everything at or
+  // above replays in order and walks it to the fleet epoch.
+  size_t replayed = 0;
+  for (const dynamic::WalRecord& record : history_) {
+    if (record.position < shard_epoch) continue;
+    ReplApplyRequest apply;
+    apply.position = record.position;
+    apply.entries.reserve(record.entries.size());
+    for (const dynamic::WalRecord::Entry& e : record.entries) {
+      apply.entries.push_back({e.u, e.v, e.weight});
+    }
+    UpdateWeightsResponse applied;
+    if (!client.ReplApply(apply, applied)) {
+      client.Close();
+      return fail("catch-up replay failed: " + client.last_error());
+    }
+    if (applied.status != 0) {
+      return fail("catch-up replay of position " +
+                  std::to_string(record.position) +
+                  " rejected: " + applied.error);
+    }
+    ++replayed;
+  }
+  metrics_.Add(m_catch_up_records_, replayed);
+
+  // The tail must have landed the replica on the fleet epoch.
+  if (!client.ReplApply(probe, response)) {
+    client.Close();
+    return fail("post-replay probe failed: " + client.last_error());
+  }
+  if (response.status != 0) {
+    return fail("replica still at epoch " + std::to_string(response.new_epoch) +
+                " after replaying " + std::to_string(replayed) + " records");
+  }
+  return true;
+}
+
+void FannRouter::SyncShards() {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  for (size_t s = 0; s < config_.shards.size(); ++s) {
+    std::string sync_error;
+    (void)CatchUpShardLocked(s, &sync_error);  // unreachable shards wait
+  }
+}
+
+void FannRouter::HandleUpdate(const UpdateWeightsRequest& request,
+                              UpdateWeightsResponse& response,
+                              ErrorCode* error_code,
+                              std::string* error_message) {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  ReplApplyRequest repl;
+  repl.position = repl_epoch_.load();
+  repl.entries = request.entries;
+
+  bool have_outcome = false;
+  for (size_t s = 0; s < config_.shards.size(); ++s) {
+    if (!EnsureReplClientLocked(s)) {
+      metrics_.Add(m_shard_errors_, 1);
+      continue;  // down replica: the history will catch it up later
+    }
+    FannClient& client = repl_clients_[s];
+    UpdateWeightsResponse shard_response;
+    if (!client.ReplApply(repl, shard_response)) {
+      client.Close();
+      metrics_.Add(m_shard_errors_, 1);
+      continue;
+    }
+    if (shard_response.status == 2) {
+      // Behind (it restarted): walk it to the fleet epoch, then retry.
+      std::string catch_up_error;
+      if (!CatchUpShardLocked(s, &catch_up_error) ||
+          !client.ReplApply(repl, shard_response) ||
+          shard_response.status == 2) {
+        metrics_.Add(m_shard_errors_, 1);
+        continue;
+      }
+    }
+    if (shard_response.status == 1) {
+      // Validation rejection is deterministic — every replica would
+      // answer identically and nothing was applied anywhere.
+      response = shard_response;
+      return;
+    }
+    if (!have_outcome) {
+      // Replicas apply the identical batch to the identical graph, so
+      // the first applied response is authoritative for all.
+      response = shard_response;
+      have_outcome = true;
+    }
+  }
+
+  if (!have_outcome) {
+    *error_code = ErrorCode::kInternal;
+    *error_message = "update reached no shard: all replicas unreachable";
+    return;
+  }
+
+  dynamic::WalRecord record;
+  record.position = repl.position;
+  record.new_epoch = response.new_epoch;
+  record.entries.reserve(request.entries.size());
+  for (const UpdateWeightsRequest::Entry& e : request.entries) {
+    record.entries.push_back({e.u, e.v, e.weight});
+  }
+  if (config_.wal != nullptr) (void)config_.wal->Append(record);
+  history_.push_back(std::move(record));
+  repl_epoch_.store(response.new_epoch);
+}
+
+void FannRouter::ServeConnection(ConnEntry* entry) {
+  Socket& sock = entry->sock;
+  auto write_frame = [&](Opcode opcode, uint64_t request_id,
+                         std::span<const uint8_t> payload) {
+    const std::vector<uint8_t> frame =
+        EncodeFrame(static_cast<uint16_t>(opcode), request_id, payload);
+    return sock.WriteFull(frame.data(), frame.size());
+  };
+  auto write_error = [&](uint64_t request_id, ErrorCode code,
+                         std::string message) {
+    ErrorResponse err;
+    err.code = code;
+    err.message = std::move(message);
+    return write_frame(Opcode::kError, request_id, EncodeErrorResponse(err));
+  };
+
+  while (!stop_.load()) {
+    uint8_t header_bytes[kFrameHeaderBytes];
+    if (!sock.ReadFull(header_bytes, sizeof(header_bytes))) break;
+    FrameHeader header;
+    if (!DecodeFrameHeader(header_bytes, header)) break;
+    bool fatal = false;
+    const std::string envelope_error = FrameEnvelopeError(header, &fatal);
+    if (fatal) break;
+    std::vector<uint8_t> payload(header.payload_length);
+    if (header.payload_length > 0 &&
+        !sock.ReadFull(payload.data(), payload.size())) {
+      break;
+    }
+    if (!envelope_error.empty()) {
+      if (!write_error(header.request_id,
+                       header.version != kProtocolVersion
+                           ? ErrorCode::kUnsupportedVersion
+                           : ErrorCode::kUnknownOpcode,
+                       envelope_error)) {
+        break;
+      }
+      continue;
+    }
+
+    bool ok = true;
+    switch (static_cast<Opcode>(header.opcode)) {
+      case Opcode::kPing:
+        ok = write_frame(Opcode::kPong, header.request_id, {});
+        break;
+      case Opcode::kStats: {
+        StatsResponse stats;
+        stats.json = StatsJson();
+        ok = write_frame(Opcode::kStatsResult, header.request_id,
+                         EncodeStatsResponse(stats));
+        break;
+      }
+      case Opcode::kShutdown:
+        ok = write_frame(Opcode::kShutdownAck, header.request_id, {});
+        RequestShutdown();
+        break;
+      case Opcode::kQuery: {
+        metrics_.Add(m_queries_, 1);
+        QueryRequest request;
+        if (!DecodeQueryRequest(payload, request)) {
+          ok = write_error(header.request_id, ErrorCode::kMalformedPayload,
+                           "undecodable QUERY payload");
+          break;
+        }
+        const FanOutOutcome outcome =
+            FanOut(*entry, {request.query}, request.query.deadline_ms);
+        if (outcome.is_error) {
+          ok = write_error(header.request_id, outcome.error_code,
+                           outcome.error_message);
+          break;
+        }
+        QueryResponse response;
+        response.graph_epoch = outcome.graph_epoch;
+        response.result = outcome.results.front();
+        ok = write_frame(Opcode::kQueryResult, header.request_id,
+                         EncodeQueryResponse(response));
+        break;
+      }
+      case Opcode::kBatch: {
+        metrics_.Add(m_batches_, 1);
+        BatchRequest request;
+        if (!DecodeBatchRequest(payload, request)) {
+          ok = write_error(header.request_id, ErrorCode::kMalformedPayload,
+                           "undecodable BATCH payload");
+          break;
+        }
+        if (request.jobs.empty()) {
+          BatchResponse response;
+          response.graph_epoch = repl_epoch_.load();
+          ok = write_frame(Opcode::kBatchResult, header.request_id,
+                           EncodeBatchResponse(response));
+          break;
+        }
+        const FanOutOutcome outcome =
+            FanOut(*entry, request.jobs, request.deadline_ms);
+        if (outcome.is_error) {
+          ok = write_error(header.request_id, outcome.error_code,
+                           outcome.error_message);
+          break;
+        }
+        BatchResponse response;
+        response.graph_epoch = outcome.graph_epoch;
+        response.results = outcome.results;
+        ok = write_frame(Opcode::kBatchResult, header.request_id,
+                         EncodeBatchResponse(response));
+        break;
+      }
+      case Opcode::kUpdateWeights: {
+        metrics_.Add(m_updates_, 1);
+        UpdateWeightsRequest request;
+        if (!DecodeUpdateWeightsRequest(payload, request)) {
+          ok = write_error(header.request_id, ErrorCode::kMalformedPayload,
+                           "undecodable UPDATE_WEIGHTS payload");
+          break;
+        }
+        UpdateWeightsResponse response;
+        ErrorCode code = ErrorCode::kNone;
+        std::string message;
+        HandleUpdate(request, response, &code, &message);
+        ok = code != ErrorCode::kNone
+                 ? write_error(header.request_id, code, std::move(message))
+                 : write_frame(Opcode::kUpdateResult, header.request_id,
+                               EncodeUpdateWeightsResponse(response));
+        break;
+      }
+      case Opcode::kReplApply:
+        // Replication is router -> shard; a client replicating through
+        // the router would fork the epoch sequence.
+        ok = write_error(header.request_id, ErrorCode::kUnknownOpcode,
+                         "REPL_APPLY is not served by the router");
+        break;
+      default:
+        ok = write_error(header.request_id, ErrorCode::kUnknownOpcode,
+                         "opcode " + std::to_string(header.opcode) +
+                             " is not a request opcode");
+        break;
+    }
+    if (!ok) break;
+  }
+  entry->done.store(true);
+}
+
+std::string FannRouter::StatsJson() const {
+  const obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  std::string out = "{\n  \"router\": {\n    \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += std::string(i ? ", " : "") + "\"" +
+           obs::internal_obs::JsonEscape(snapshot.counters[i].first) +
+           "\": " + std::to_string(snapshot.counters[i].second);
+  }
+  out += "}\n  },\n";
+  out += "  \"num_shards\": " + std::to_string(config_.shards.size()) + ",\n";
+  out += "  \"repl_epoch\": " + std::to_string(repl_epoch_.load()) + ",\n";
+  out += "  \"draining\": " + std::string(stop_.load() ? "true" : "false") +
+         "\n}";
+  return out;
+}
+
+}  // namespace fannr::net

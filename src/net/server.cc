@@ -15,6 +15,7 @@
 
 #include "common/timer.h"
 #include "dynamic/update.h"
+#include "dynamic/wal.h"
 #include "obs/trace.h"
 
 namespace fannr::net {
@@ -70,6 +71,12 @@ constexpr uint64_t kListenerTag = 2;
 /// peer that stops reading mid-drain can make us wait this long.
 constexpr double kDrainFlushCapMs = 2'000.0;
 
+/// Backoff after an accept failure that does not clear the listener's
+/// readability (EMFILE/ENFILE/ENOBUFS/...): the listener is deregistered
+/// for this long, then re-armed. Bounds the accept loop to ~20 wakeups/s
+/// while the fd table stays exhausted instead of a 100% CPU spin.
+constexpr double kAcceptBackoffMs = 50.0;
+
 }  // namespace
 
 /// One accepted client connection, owned by exactly one event loop.
@@ -103,6 +110,10 @@ struct FannServer::IoLoop {
   std::thread thread;
   std::atomic<std::thread::id> thread_id{};
   bool accepting = false;  ///< Loop 0 watches the listener until drain.
+  /// Listener temporarily deregistered after EMFILE-class accept
+  /// failures; re-armed once accept_backoff passes kAcceptBackoffMs.
+  bool accept_paused = false;
+  Timer accept_backoff;
   std::unordered_map<Connection*, std::shared_ptr<Connection>> conns;
 
   std::mutex mail_mu;
@@ -123,6 +134,7 @@ struct FannServer::WorkItem {
   QueryRequest query;
   BatchRequest batch;
   UpdateWeightsRequest update;
+  ReplApplyRequest repl;
   /// Graph epoch at admission; QUERY/BATCH items are rejected at
   /// execution if the epoch has moved (an update was processed in
   /// between), mirroring the engine's mid-batch contract.
@@ -146,10 +158,12 @@ FannServer::FannServer(Graph* graph, const GphiResources& resources,
   m_req_stats_ = metrics_.RegisterCounter("server.requests.stats");
   m_req_ping_ = metrics_.RegisterCounter("server.requests.ping");
   m_req_shutdown_ = metrics_.RegisterCounter("server.requests.shutdown");
+  m_req_repl_ = metrics_.RegisterCounter("server.requests.repl_apply");
   m_errors_ = metrics_.RegisterCounter("server.responses.error");
   m_overloaded_ = metrics_.RegisterCounter("server.overloaded");
   m_bad_frames_ = metrics_.RegisterCounter("server.bad_frames");
   m_connections_ = metrics_.RegisterCounter("server.connections");
+  m_accept_errors_ = metrics_.RegisterCounter("server.accept_errors");
   m_stale_admission_ =
       metrics_.RegisterCounter("server.rejected_stale_admission");
   m_queue_depth_ = metrics_.RegisterGauge("server.queue_depth");
@@ -249,8 +263,13 @@ void FannServer::IoLoopMain(size_t index) {
   loop.thread_id.store(std::this_thread::get_id(), std::memory_order_relaxed);
   std::vector<epoll_event> events(128);
   while (!io_stop_.load(std::memory_order_acquire)) {
+    int timeout = -1;
+    if (loop.accepting && loop.accept_paused) {
+      const double remaining = kAcceptBackoffMs - loop.accept_backoff.Millis();
+      timeout = remaining <= 0.0 ? 0 : static_cast<int>(remaining) + 1;
+    }
     const int n = ::epoll_wait(loop.epoll_fd, events.data(),
-                               static_cast<int>(events.size()), -1);
+                               static_cast<int>(events.size()), timeout);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -283,9 +302,21 @@ void FannServer::IoLoopMain(size_t index) {
     }
     if (loop.accepting && draining()) {
       // Drain: stop accepting, but keep serving existing connections
-      // (their in-flight work still gets answered).
-      ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+      // (their in-flight work still gets answered). A paused listener
+      // is already out of the epoll set.
+      if (!loop.accept_paused) {
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+      }
+      loop.accept_paused = false;
       loop.accepting = false;
+    }
+    if (loop.accepting && loop.accept_paused &&
+        loop.accept_backoff.Millis() >= kAcceptBackoffMs) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = kListenerTag;
+      ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, listener_.fd(), &ev);
+      loop.accept_paused = false;
     }
     ProcessMail(loop);
   }
@@ -298,7 +329,25 @@ void FannServer::AcceptReady(IoLoop& loop) {
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // EAGAIN: accepted everything pending
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;  // accepted everything pending
+      }
+      if (errno == ECONNABORTED || errno == EPROTO) {
+        // That one pending connection died before we got to it; the
+        // rest of the backlog is still fine.
+        metrics_.Add(m_accept_errors_, 1);
+        continue;
+      }
+      // EMFILE/ENFILE/ENOBUFS/ENOMEM: the failure does not consume the
+      // pending connection, so the level-triggered listener stays
+      // readable and returning here would re-fire epoll_wait
+      // immediately — a 100% CPU spin for as long as the fd table is
+      // exhausted. Park the listener and re-arm it after a backoff.
+      metrics_.Add(m_accept_errors_, 1);
+      ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+      loop.accept_paused = true;
+      loop.accept_backoff.Reset();
+      return;
     }
     Socket sock(fd);
     const int one = 1;
@@ -455,6 +504,10 @@ void FannServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
     case Opcode::kUpdateWeights:
       metrics_.Add(m_req_update_, 1);
       decoded = DecodeUpdateWeightsRequest(cut.payload, item.update);
+      break;
+    case Opcode::kReplApply:
+      metrics_.Add(m_req_repl_, 1);
+      decoded = DecodeReplApplyRequest(cut.payload, item.repl);
       break;
     case Opcode::kStats:
       metrics_.Add(m_req_stats_, 1);
@@ -737,6 +790,10 @@ void FannServer::Execute(WorkItem& item) {
       ExecuteUpdate(item);
       metrics_.Record(m_e2e_update_ms_, item.e2e_timer.Millis());
       break;
+    case Opcode::kReplApply:
+      ExecuteReplApply(item);
+      metrics_.Record(m_e2e_update_ms_, item.e2e_timer.Millis());
+      break;
     case Opcode::kStats:
       ExecuteStats(item);
       break;
@@ -941,8 +998,65 @@ void FannServer::ExecuteUpdate(WorkItem& item) {
     response.missing = applied.missing;
     response.old_epoch = applied.old_epoch;
     response.new_epoch = applied.new_epoch;
+    LogToWal(item.update.entries, applied);
   }
   EnqueueFrame(item.conn, Opcode::kUpdateResult, item.request_id,
+               EncodeUpdateWeightsResponse(response));
+}
+
+void FannServer::LogToWal(
+    const std::vector<UpdateWeightsRequest::Entry>& entries,
+    const dynamic::ApplyResult& applied) {
+  if (config_.wal == nullptr) return;
+  dynamic::WalRecord record;
+  record.position = applied.old_epoch;
+  record.new_epoch = applied.new_epoch;
+  record.entries.reserve(entries.size());
+  for (const UpdateWeightsRequest::Entry& e : entries) {
+    record.entries.push_back({e.u, e.v, e.weight});
+  }
+  // Durability failure is not an answer-path failure: the batch IS
+  // applied; a lost record only costs replay depth after a crash.
+  (void)config_.wal->Append(record);
+}
+
+void FannServer::ExecuteReplApply(WorkItem& item) {
+  UpdateWeightsResponse response;
+  const GraphEpoch now = graph_->epoch();
+  if (now != item.repl.position) {
+    // Out-of-position batch: applying it would fork this replica's
+    // weight history from the others'. Refuse and report where we are;
+    // the sender decides whether to rewind or catch us up.
+    response.status = 2;
+    response.new_epoch = now;
+    response.error = "replication position " +
+                     std::to_string(item.repl.position) +
+                     " does not match graph epoch " + std::to_string(now);
+  } else if (item.repl.entries.empty()) {
+    // Pure position probe: confirm without touching the graph.
+    response.status = 0;
+    response.old_epoch = now;
+    response.new_epoch = now;
+  } else {
+    dynamic::UpdateBatch batch;
+    for (const UpdateWeightsRequest::Entry& e : item.repl.entries) {
+      batch.SetWeight(e.u, e.v, e.weight);
+    }
+    const std::string error = batch.ValidationError(*graph_);
+    if (!error.empty()) {
+      response.status = 1;
+      response.error = error;
+    } else {
+      const dynamic::ApplyResult applied = batch.Apply(*graph_);
+      response.status = 0;
+      response.applied = applied.applied;
+      response.missing = applied.missing;
+      response.old_epoch = applied.old_epoch;
+      response.new_epoch = applied.new_epoch;
+      LogToWal(item.repl.entries, applied);
+    }
+  }
+  EnqueueFrame(item.conn, Opcode::kReplApplyResult, item.request_id,
                EncodeUpdateWeightsResponse(response));
 }
 

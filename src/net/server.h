@@ -77,6 +77,11 @@
 #include "net/socket.h"
 #include "obs/metrics.h"
 
+namespace fannr::dynamic {
+class UpdateWal;
+struct ApplyResult;
+}  // namespace fannr::dynamic
+
 namespace fannr::net {
 
 struct ServerConfig {
@@ -116,6 +121,13 @@ struct ServerConfig {
   /// metrics). The server forces enable_metrics on so STATS and the
   /// slow-query log always work.
   BatchOptions engine_options;
+
+  /// Optional durability: when set, every applied update batch
+  /// (UPDATE_WEIGHTS and REPL_APPLY alike) is appended — with its epoch
+  /// position — before the response is sent, so a restarted server
+  /// replays its way back to the epoch it crashed at. Not owned; must
+  /// outlive the server. Only the executor thread touches it.
+  dynamic::UpdateWal* wal = nullptr;
 
   /// Test-only: invoked by the executor thread before processing each
   /// dequeued item (including each item merged into a query burst).
@@ -239,6 +251,14 @@ class FannServer {
                  std::vector<std::unique_ptr<IndexedVertexSet>>& sets,
                  std::vector<FannrQuery>& runnable, WireResult* rejected);
   void ExecuteUpdate(WorkItem& item);
+  /// Appends an applied batch to the configured WAL (no-op without
+  /// one). Executor thread only.
+  void LogToWal(const std::vector<UpdateWeightsRequest::Entry>& entries,
+                const dynamic::ApplyResult& applied);
+  /// Applies a positioned replication batch: entries apply only when
+  /// the graph is exactly at the requested epoch (status 2 otherwise),
+  /// which keeps every replica walking the same epoch sequence.
+  void ExecuteReplApply(WorkItem& item);
   void ExecuteStats(WorkItem& item);
   /// Validates a WireQuery's ids against the graph and materializes the
   /// vertex sets; empty return = ok. Mirrors in-process screening: any
@@ -287,8 +307,8 @@ class FannServer {
   // relaxed atomics, never a lock).
   obs::MetricsRegistry metrics_{1};
   obs::CounterId m_req_query_, m_req_batch_, m_req_update_, m_req_stats_,
-      m_req_ping_, m_req_shutdown_, m_errors_, m_overloaded_, m_bad_frames_,
-      m_connections_, m_stale_admission_;
+      m_req_ping_, m_req_shutdown_, m_req_repl_, m_errors_, m_overloaded_,
+      m_bad_frames_, m_connections_, m_stale_admission_, m_accept_errors_;
   obs::GaugeId m_queue_depth_;
   obs::HistogramId m_e2e_query_ms_, m_e2e_batch_ms_, m_e2e_update_ms_,
       m_queue_wait_ms_;

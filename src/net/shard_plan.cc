@@ -1,0 +1,101 @@
+#include "net/shard_plan.h"
+
+#include <numeric>
+
+#include "graph/index_io.h"
+#include "sp/gtree/partition.h"
+
+namespace fannr::net {
+
+namespace {
+
+/// Arena magic for shard plan files (same 0xFA22A81A family as the
+/// index caches, distinct low word).
+constexpr uint64_t kShardPlanMagic = 0xFA22A81A54A2D005ULL;
+
+bool IsPowerOfTwoShardCount(uint32_t n) {
+  return n >= 2 && (n & (n - 1)) == 0;
+}
+
+}  // namespace
+
+ShardPlan ShardPlan::Build(const Graph& graph, uint32_t num_shards) {
+  FANNR_CHECK(IsPowerOfTwoShardCount(num_shards));
+  FANNR_CHECK(graph.NumVertices() >= num_shards);
+  std::vector<VertexId> vertices(graph.NumVertices());
+  std::iota(vertices.begin(), vertices.end(), VertexId{0});
+
+  ShardPlan plan;
+  plan.num_shards_ = num_shards;
+  plan.fingerprint_ = graph.Fingerprint();
+  plan.owner_ = MultiwayPartition(graph, vertices, num_shards);
+  return plan;
+}
+
+bool ShardPlan::Save(const std::string& path, std::string* error) const {
+  ArenaWriter writer;
+  writer.AddScalar(num_shards_);
+  writer.Add(owner_);
+  if (!writer.Write(path, kShardPlanMagic, fingerprint_)) {
+    if (error != nullptr) *error = "could not write shard plan to " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<ShardPlan> ShardPlan::Load(const std::string& path,
+                                         std::string* error) {
+  auto fail = [&](const std::string& reason) -> std::optional<ShardPlan> {
+    if (error != nullptr) *error = reason;
+    return std::nullopt;
+  };
+  // Full validation: plan files are small and corruption here silently
+  // mis-routes queries, so the payload checksum is always verified.
+  std::optional<ArenaFile> file =
+      ArenaFile::Open(path, kShardPlanMagic, ArenaValidation::kFull);
+  if (!file.has_value()) {
+    return fail("could not open shard plan " + path +
+                " (missing, not a shard plan file, or corrupt)");
+  }
+  if (file->NumSections() != 2) {
+    return fail("shard plan " + path + " has a malformed section table");
+  }
+
+  ShardPlan plan;
+  plan.fingerprint_ = file->fingerprint();
+  if (!file->ReadScalar(0, plan.num_shards_) ||
+      !IsPowerOfTwoShardCount(plan.num_shards_)) {
+    return fail("shard plan " + path + " has an invalid shard count");
+  }
+  size_t count = 0;
+  const uint32_t* owner = file->SectionArray<const uint32_t>(1, count);
+  if (owner == nullptr || count != plan.fingerprint_.vertices) {
+    return fail("shard plan " + path +
+                " owner table does not match its fingerprint's vertex count");
+  }
+  plan.owner_.assign(owner, owner + count);
+  for (uint32_t shard : plan.owner_) {
+    if (shard >= plan.num_shards_) {
+      return fail("shard plan " + path +
+                  " assigns a vertex to a nonexistent shard");
+    }
+  }
+  return plan;
+}
+
+std::vector<std::vector<uint32_t>> ShardPlan::SplitByShard(
+    const std::vector<uint32_t>& p) const {
+  std::vector<std::vector<uint32_t>> split(num_shards_);
+  for (uint32_t v : p) {
+    if (v < owner_.size()) split[owner_[v]].push_back(v);
+  }
+  return split;
+}
+
+std::vector<size_t> ShardPlan::ShardSizes() const {
+  std::vector<size_t> sizes(num_shards_, 0);
+  for (uint32_t shard : owner_) ++sizes[shard];
+  return sizes;
+}
+
+}  // namespace fannr::net

@@ -1,0 +1,85 @@
+// ShardPlan: the static assignment of vertices to shards that the
+// router and every shard server agree on.
+//
+// Sharding in this codebase partitions the *object space*: every shard
+// holds the full road network (queries need arbitrary shortest-path
+// distances), but each shard answers a FANN query only over the data
+// points (P) it owns. The router splits an incoming query's P by
+// ownership, fans the pieces out, and merges per-shard answers with the
+// canonical (distance, vertex id) total order — so the merged top
+// answer is bitwise-identical to a single-node evaluation over the full
+// P. The assignment reuses the G-tree partitioner (sp/gtree/
+// partition.h): shards get spatially coherent vertex sets, which keeps
+// each shard's candidate pruning as effective as the single-node
+// index's.
+//
+// A plan is persisted in the v3 arena format with the fingerprint of
+// the epoch-0 graph it was derived from. Router and shards each load
+// the plan file and check the fingerprint against their own graph
+// before serving, so a router can never split queries with one plan
+// while a shard owns vertices under another. The fingerprint includes
+// the weight checksum, so the check is made against the freshly loaded
+// graph — before any update WAL is replayed on top.
+
+#ifndef FANNR_NET_SHARD_PLAN_H_
+#define FANNR_NET_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/fingerprint.h"
+#include "graph/graph.h"
+
+namespace fannr::net {
+
+class ShardPlan {
+ public:
+  /// Derives a plan for `num_shards` shards (power of two >= 2) by
+  /// running the G-tree multiway partitioner over every vertex.
+  /// Deterministic for a given graph: router and shards may each call
+  /// Build instead of sharing a file and still agree.
+  static ShardPlan Build(const Graph& graph, uint32_t num_shards);
+
+  /// Writes the plan to `path` in the v3 arena format, stamped with
+  /// the fingerprint captured at Build time.
+  bool Save(const std::string& path, std::string* error) const;
+
+  /// Loads and structurally validates a plan file (full payload
+  /// checksum; owner table sized to the fingerprint's vertex count and
+  /// every entry < num_shards). The caller must still check
+  /// fingerprint() against its own epoch-0 graph.
+  static std::optional<ShardPlan> Load(const std::string& path,
+                                       std::string* error);
+
+  uint32_t num_shards() const { return num_shards_; }
+  size_t num_vertices() const { return owner_.size(); }
+
+  /// Fingerprint of the graph the plan was built against (epoch 0).
+  const GraphFingerprint& fingerprint() const { return fingerprint_; }
+
+  /// The shard owning vertex `v` (v < num_vertices()).
+  uint32_t OwnerOf(uint32_t v) const { return owner_[v]; }
+
+  /// Splits a data-point set by ownership: result[s] holds the members
+  /// of `p` owned by shard s, in their original order. Vertices >=
+  /// num_vertices() are dropped (the shard rejects them as out of
+  /// range anyway; the router relays that rejection via the shard that
+  /// sees them — callers should screen ids first).
+  std::vector<std::vector<uint32_t>> SplitByShard(
+      const std::vector<uint32_t>& p) const;
+
+  /// Vertices owned per shard (diagnostics; the partitioner's balance
+  /// contract bounds the spread).
+  std::vector<size_t> ShardSizes() const;
+
+ private:
+  uint32_t num_shards_ = 0;
+  GraphFingerprint fingerprint_;
+  std::vector<uint32_t> owner_;  ///< Per-vertex shard id.
+};
+
+}  // namespace fannr::net
+
+#endif  // FANNR_NET_SHARD_PLAN_H_

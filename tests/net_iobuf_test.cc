@@ -47,6 +47,93 @@ TEST(ByteQueue, AppendConsumeRoundTripsAcrossCompaction) {
   EXPECT_EQ(drained, expected);
 }
 
+TEST(ByteQueue, ReleasesCapacityAfterLargeFrameBurst) {
+  // Regression: compaction via erase/clear never released vector
+  // capacity, so one near-64MiB frame pinned that allocation on the
+  // connection for its whole lifetime.
+  ByteQueue q;
+  const std::vector<uint8_t> big(8u << 20, 0xAB);
+  q.Append(big.data(), big.size());
+  ASSERT_GE(q.capacity(), big.size());
+  q.Consume(q.size());
+  EXPECT_TRUE(q.empty());
+  EXPECT_LT(q.capacity(), 1u << 20) << "consume retained the big buffer";
+
+  // Same via the mid-stream compaction path: a large consumed prefix
+  // with a small live tail must shrink, and the tail must survive.
+  std::vector<uint8_t> tail(100);
+  std::iota(tail.begin(), tail.end(), uint8_t{1});
+  q.Append(big.data(), big.size());
+  q.Append(tail.data(), tail.size());
+  q.Consume(big.size());
+  EXPECT_EQ(q.size(), tail.size());
+  EXPECT_LT(q.capacity(), 1u << 20) << "compaction retained the big buffer";
+  std::vector<uint8_t> out(q.size());
+  q.Peek(out.data(), out.size());
+  EXPECT_EQ(out, tail);
+
+  // Clear() is the third retention path (connection close with bytes
+  // still queued).
+  q.Append(big.data(), big.size());
+  q.Clear();
+  EXPECT_LT(q.capacity(), 1u << 20) << "Clear retained the big buffer";
+}
+
+TEST(ByteQueue, SteadyStateSmallFramesDoNotShrinkThrash) {
+  // Small buffers must never reallocate on the shrink path: capacity
+  // settles and stays put across thousands of frame-sized cycles.
+  ByteQueue q;
+  std::vector<uint8_t> frame(512, 0x5A);
+  for (int i = 0; i < 100; ++i) {  // warm up with the same cycle
+    q.Append(frame.data(), frame.size());
+    q.Consume(frame.size());
+  }
+  const size_t settled = q.capacity();
+  for (int i = 0; i < 5000; ++i) {
+    q.Append(frame.data(), frame.size());
+    q.Consume(frame.size());
+  }
+  EXPECT_EQ(q.capacity(), settled);
+}
+
+TEST(ByteQueue, ShrinkKeepsPipelinedDecodingBitwiseIdentical) {
+  // A burst of frames big enough to trigger shrinking, cut via ragged
+  // appends, must decode to exactly the same frames as a one-shot
+  // feed-then-cut reference.
+  std::vector<uint8_t> stream;
+  std::vector<std::vector<uint8_t>> expected_payloads;
+  for (uint64_t id = 1; id <= 6; ++id) {
+    std::vector<uint8_t> payload(id % 2 == 0 ? (1u << 20) : 37);
+    for (size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<uint8_t>(id * 31 + i);
+    }
+    const std::vector<uint8_t> frame =
+        EncodeFrame(static_cast<uint16_t>(Opcode::kQuery), id, payload);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    expected_payloads.push_back(std::move(payload));
+  }
+
+  ByteQueue in;
+  size_t fed = 0;
+  size_t chunk = 1;
+  uint64_t next_id = 1;
+  while (next_id <= 6) {
+    if (fed < stream.size()) {
+      const size_t n = std::min(chunk, stream.size() - fed);
+      in.Append(stream.data() + fed, n);
+      fed += n;
+      chunk = chunk * 7 % 65521 + 1;
+    }
+    FrameCut cut = CutFrame(in);
+    if (cut.kind != FrameCut::Kind::kFrame) continue;
+    ASSERT_EQ(cut.header.request_id, next_id);
+    EXPECT_EQ(cut.payload, expected_payloads[next_id - 1]);
+    ++next_id;
+  }
+  EXPECT_TRUE(in.empty());
+  EXPECT_LT(in.capacity(), 1u << 20);
+}
+
 TEST(NetIobuf, CutFrameNeedsWholeFrameBeforeConsuming) {
   const std::vector<uint8_t> payload = {1, 2, 3, 4, 5, 6, 7};
   const std::vector<uint8_t> frame =

@@ -78,6 +78,15 @@ std::vector<PayloadKind> AllPayloadKinds() {
                      return DecodeUpdateWeightsRequest(bytes, out);
                    }});
 
+  ReplApplyRequest repl_request;
+  repl_request.position = 41;
+  repl_request.entries = {{0, 1, 2.5}, {3, 4, 0.125}};
+  kinds.push_back({"ReplApplyRequest", EncodeReplApplyRequest(repl_request),
+                   [](std::span<const uint8_t> bytes) {
+                     ReplApplyRequest out;
+                     return DecodeReplApplyRequest(bytes, out);
+                   }});
+
   QueryResponse query_response;
   query_response.graph_epoch = 7;
   query_response.result.status = 0;
@@ -112,6 +121,17 @@ std::vector<PayloadKind> AllPayloadKinds() {
   update_response.new_epoch = 3;
   kinds.push_back({"UpdateWeightsResponse",
                    EncodeUpdateWeightsResponse(update_response),
+                   [](std::span<const uint8_t> bytes) {
+                     UpdateWeightsResponse out;
+                     return DecodeUpdateWeightsResponse(bytes, out);
+                   }});
+
+  UpdateWeightsResponse mismatch_response;
+  mismatch_response.status = 2;  // replication position mismatch
+  mismatch_response.new_epoch = 9;
+  mismatch_response.error = "position 5 does not match graph epoch 9";
+  kinds.push_back({"UpdateWeightsResponse(status=2)",
+                   EncodeUpdateWeightsResponse(mismatch_response),
                    [](std::span<const uint8_t> bytes) {
                      UpdateWeightsResponse out;
                      return DecodeUpdateWeightsResponse(bytes, out);
@@ -173,6 +193,44 @@ TEST(NetProtocolTest, UpdateWeightsRoundTrips) {
     EXPECT_EQ(decoded.entries[i].v, request.entries[i].v);
     EXPECT_EQ(decoded.entries[i].weight, request.entries[i].weight);
   }
+}
+
+TEST(NetProtocolTest, ReplApplyRoundTrips) {
+  ReplApplyRequest request;
+  request.position = 0xABCDEF0123456789ull;
+  request.entries = {{0, 1, 2.5}, {7, 9, 0.001}};
+  ReplApplyRequest decoded;
+  ASSERT_TRUE(DecodeReplApplyRequest(EncodeReplApplyRequest(request),
+                                     decoded));
+  EXPECT_EQ(decoded.position, request.position);
+  ASSERT_EQ(decoded.entries.size(), request.entries.size());
+  for (size_t i = 0; i < request.entries.size(); ++i) {
+    EXPECT_EQ(decoded.entries[i].u, request.entries[i].u);
+    EXPECT_EQ(decoded.entries[i].v, request.entries[i].v);
+    EXPECT_EQ(decoded.entries[i].weight, request.entries[i].weight);
+  }
+
+  // The empty entry list (a pure position probe) is a valid encoding.
+  ReplApplyRequest probe;
+  probe.position = 3;
+  ReplApplyRequest probe_decoded;
+  ASSERT_TRUE(DecodeReplApplyRequest(EncodeReplApplyRequest(probe),
+                                     probe_decoded));
+  EXPECT_EQ(probe_decoded.position, 3u);
+  EXPECT_TRUE(probe_decoded.entries.empty());
+}
+
+TEST(NetProtocolTest, PositionMismatchResponseRoundTrips) {
+  UpdateWeightsResponse response;
+  response.status = 2;
+  response.new_epoch = 17;
+  response.error = "position 12 does not match graph epoch 17";
+  UpdateWeightsResponse decoded;
+  ASSERT_TRUE(DecodeUpdateWeightsResponse(
+      EncodeUpdateWeightsResponse(response), decoded));
+  EXPECT_EQ(decoded.status, 2);
+  EXPECT_EQ(decoded.new_epoch, 17u);
+  EXPECT_EQ(decoded.error, response.error);
 }
 
 TEST(NetProtocolTest, FannResultConvertsLosslessly) {

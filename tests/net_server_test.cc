@@ -7,7 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <map>
@@ -20,6 +26,17 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "test_util.h"
+
+// The fd-exhaustion test starves the whole process's fd table, which
+// the sanitizer runtimes do not tolerate.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define FANNR_UNDER_SANITIZER 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FANNR_UNDER_SANITIZER 1
+#endif
 
 namespace fannr::net {
 namespace {
@@ -589,6 +606,77 @@ TEST_F(NetServerTest, MidResponseDisconnectDoesNotKillServer) {
   ASSERT_TRUE(client.Query(MakeQuery(), response)) << client.last_error();
   EXPECT_EQ(response.result.status, static_cast<uint8_t>(QueryStatus::kOk));
   ShutdownAndWait();
+}
+
+// --- accept-loop failure handling -----------------------------------------
+
+TEST_F(NetServerTest, FdExhaustionBacksOffAndRecovers) {
+#ifdef FANNR_UNDER_SANITIZER
+  GTEST_SKIP() << "fd-table exhaustion starves the sanitizer runtime";
+#else
+  // gtest_discover_tests runs each test in its own process, so the
+  // rlimit games below cannot leak into other tests.
+  StartServer();
+  FannClient control = Connect();
+  ASSERT_TRUE(control.Ping()) << control.last_error();
+
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  rlimit low = saved;
+  low.rlim_cur = 256;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &low), 0);
+
+  // A connecting socket created *before* the table is exhausted: its
+  // TCP handshake completes in the kernel's listener backlog without
+  // consuming another process fd, so this is the pending connection
+  // accept4 will repeatedly fail to take.
+  const int pending = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(pending, 0);
+
+  std::vector<int> hogs;
+  int hog;
+  while ((hog = ::dup(pending)) >= 0) hogs.push_back(hog);
+  ASSERT_EQ(errno, EMFILE);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(pending, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  // The listener is now readable but every accept4 fails with EMFILE.
+  // Under level-triggered epoll an unthrottled loop wakes ~100k times a
+  // second here; the backoff bounds it to ~20/s, each failure counted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const uint64_t errors =
+      server_->metrics().Snapshot().counter("server.accept_errors");
+  EXPECT_GE(errors, 1u) << "EMFILE accept failure was not counted";
+  EXPECT_LT(errors, 100u) << "accept loop is busy-spinning on EMFILE";
+
+  for (int fd : hogs) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+
+  // Recovery: the parked listener re-arms after the backoff and accepts
+  // the connection that waited in the backlog the whole time.
+  Socket pending_sock(pending);
+  const std::vector<uint8_t> ping =
+      EncodeFrame(static_cast<uint16_t>(Opcode::kPing), 31, {});
+  ASSERT_TRUE(pending_sock.WriteFull(ping.data(), ping.size()));
+  uint8_t header_bytes[kFrameHeaderBytes];
+  ASSERT_TRUE(pending_sock.ReadFull(header_bytes, sizeof(header_bytes)));
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(header_bytes, header));
+  EXPECT_EQ(header.opcode, static_cast<uint16_t>(Opcode::kPong));
+  EXPECT_EQ(header.request_id, 31u);
+
+  // Both a fresh connection and the pre-exhaustion one keep working.
+  FannClient fresh = Connect();
+  EXPECT_TRUE(fresh.Ping()) << fresh.last_error();
+  EXPECT_TRUE(control.Ping()) << control.last_error();
+  ShutdownAndWait();
+#endif
 }
 
 // --- transmit faults ------------------------------------------------------

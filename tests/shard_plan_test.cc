@@ -1,0 +1,148 @@
+// ShardPlan: the partition-derived vertex->shard assignment must be
+// deterministic, cover every vertex, round-trip through its arena file
+// bit-exactly, and refuse structurally corrupt or truncated files —
+// a router splitting queries with a damaged plan would silently drop
+// P-candidates, which the full-payload checksum rules out.
+
+#include "net/shard_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace fannr::net {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "fannr_shard_plan_" + name;
+}
+
+TEST(ShardPlan, CoversEveryVertexAndBalances) {
+  const Graph graph = testing::MakeRandomNetwork(300, 77);
+  for (const uint32_t shards : {2u, 4u, 8u}) {
+    const ShardPlan plan = ShardPlan::Build(graph, shards);
+    EXPECT_EQ(plan.num_shards(), shards);
+    ASSERT_EQ(plan.num_vertices(), graph.NumVertices());
+    std::vector<size_t> sizes = plan.ShardSizes();
+    ASSERT_EQ(sizes.size(), shards);
+    size_t total = 0;
+    for (size_t s = 0; s < shards; ++s) {
+      EXPECT_GT(sizes[s], 0u) << "empty shard " << s;
+      total += sizes[s];
+    }
+    EXPECT_EQ(total, graph.NumVertices());
+    for (uint32_t v = 0; v < graph.NumVertices(); ++v) {
+      EXPECT_LT(plan.OwnerOf(v), shards);
+    }
+  }
+}
+
+TEST(ShardPlan, BuildIsDeterministic) {
+  const Graph a = testing::MakeRandomNetwork(300, 77);
+  const Graph b = testing::MakeRandomNetwork(300, 77);
+  const ShardPlan plan_a = ShardPlan::Build(a, 4);
+  const ShardPlan plan_b = ShardPlan::Build(b, 4);
+  ASSERT_EQ(plan_a.num_vertices(), plan_b.num_vertices());
+  for (uint32_t v = 0; v < plan_a.num_vertices(); ++v) {
+    ASSERT_EQ(plan_a.OwnerOf(v), plan_b.OwnerOf(v)) << "vertex " << v;
+  }
+}
+
+TEST(ShardPlan, SplitByShardPreservesOrderAndOwnership) {
+  const Graph graph = testing::MakeRandomNetwork(200, 5);
+  const ShardPlan plan = ShardPlan::Build(graph, 4);
+
+  Rng rng(11);
+  const std::vector<VertexId> sample = testing::SampleVertices(graph, 40, rng);
+  std::vector<uint32_t> p(sample.begin(), sample.end());
+  const std::vector<std::vector<uint32_t>> parts = plan.SplitByShard(p);
+  ASSERT_EQ(parts.size(), 4u);
+
+  size_t total = 0;
+  for (uint32_t s = 0; s < parts.size(); ++s) {
+    total += parts[s].size();
+    for (uint32_t v : parts[s]) EXPECT_EQ(plan.OwnerOf(v), s);
+    // Original relative order survives within each part.
+    std::vector<uint32_t> expected;
+    for (uint32_t v : p) {
+      if (plan.OwnerOf(v) == s) expected.push_back(v);
+    }
+    EXPECT_EQ(parts[s], expected) << "shard " << s;
+  }
+  EXPECT_EQ(total, p.size());
+
+  // Out-of-range ids have no owner and are dropped.
+  p.push_back(static_cast<uint32_t>(graph.NumVertices()) + 5);
+  const std::vector<std::vector<uint32_t>> reparts = plan.SplitByShard(p);
+  size_t retotal = 0;
+  for (const std::vector<uint32_t>& part : reparts) retotal += part.size();
+  EXPECT_EQ(retotal, p.size() - 1);
+}
+
+TEST(ShardPlan, SaveLoadRoundTripsBitExactly) {
+  const Graph graph = testing::MakeRandomNetwork(250, 42);
+  const ShardPlan plan = ShardPlan::Build(graph, 4);
+  const std::string path = TempPath("roundtrip.plan");
+
+  std::string error;
+  ASSERT_TRUE(plan.Save(path, &error)) << error;
+  const std::optional<ShardPlan> loaded = ShardPlan::Load(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  EXPECT_EQ(loaded->num_shards(), plan.num_shards());
+  EXPECT_TRUE(loaded->fingerprint() == graph.Fingerprint());
+  ASSERT_EQ(loaded->num_vertices(), plan.num_vertices());
+  for (uint32_t v = 0; v < plan.num_vertices(); ++v) {
+    ASSERT_EQ(loaded->OwnerOf(v), plan.OwnerOf(v)) << "vertex " << v;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardPlan, LoadRejectsCorruptionAnywhere) {
+  const Graph graph = testing::MakeRandomNetwork(120, 9);
+  const ShardPlan plan = ShardPlan::Build(graph, 2);
+  const std::string path = TempPath("corrupt.plan");
+  std::string error;
+  ASSERT_TRUE(plan.Save(path, &error)) << error;
+
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 64u);
+
+  // Flip one byte at a spread of offsets — magic (0), version (9), the
+  // fingerprint's vertex count (13, breaks the owner-table size check),
+  // and two payload positions caught by the full checksum. Every
+  // variant must be refused.
+  for (const size_t at : {size_t{0}, size_t{9}, size_t{13}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    std::string mutated = bytes;
+    mutated[at] = static_cast<char>(mutated[at] ^ 0x20);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    out.close();
+    std::string load_error;
+    EXPECT_FALSE(ShardPlan::Load(path, &load_error).has_value())
+        << "byte " << at << " flip was accepted";
+    EXPECT_FALSE(load_error.empty());
+  }
+
+  // Truncation at any point is refused too.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    out.close();
+    std::string load_error;
+    EXPECT_FALSE(ShardPlan::Load(path, &load_error).has_value());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fannr::net

@@ -1,0 +1,219 @@
+// UpdateWal: the append-only, epoch-positioned update log. A restarted
+// process must replay its way from a freshly loaded epoch-0 graph to
+// the exact weight state (fingerprint-identical) it crashed at; a torn
+// final record must be truncated away, never half-applied; and a WAL
+// written against a different graph must be refused outright.
+
+#include "dynamic/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "dynamic/update.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace fannr::dynamic {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "fannr_wal_" + name;
+}
+
+/// Applies `waves` congestion waves to `graph`, logging each applied
+/// batch the way the server does (position = epoch applied on top of).
+void ApplyAndLogWaves(Graph& graph, UpdateWal& wal, size_t waves,
+                      uint64_t seed) {
+  for (size_t i = 0; i < waves; ++i) {
+    Rng rng(seed + i);
+    const UpdateBatch wave = MakeCongestionWave(graph, 0.05, 0.5, 3.0, rng);
+    ASSERT_FALSE(wave.empty());
+    WalRecord record;
+    record.position = graph.epoch();
+    for (const EdgeWeightUpdate& u : wave.updates()) {
+      record.entries.push_back({u.u, u.v, u.new_weight});
+    }
+    const ApplyResult applied = wave.Apply(graph);
+    record.new_epoch = applied.new_epoch;
+    ASSERT_TRUE(wal.Append(record));
+  }
+}
+
+TEST(UpdateWal, ReplayReproducesTheExactWeightState) {
+  const std::string path = TempPath("replay.wal");
+  std::remove(path.c_str());
+
+  Graph graph = testing::MakeRandomNetwork(200, 31);
+  const GraphFingerprint epoch0 = graph.Fingerprint();
+  {
+    std::string error;
+    std::unique_ptr<UpdateWal> wal = UpdateWal::Open(path, epoch0, &error);
+    ASSERT_NE(wal, nullptr) << error;
+    EXPECT_EQ(wal->end_epoch(), 0u);
+    ApplyAndLogWaves(graph, *wal, 3, 900);
+    EXPECT_EQ(wal->end_epoch(), graph.epoch());
+  }
+
+  // "Restart": a fresh epoch-0 copy of the same network replays the
+  // reopened log and must land on the identical weight state.
+  Graph restarted = testing::MakeRandomNetwork(200, 31);
+  ASSERT_TRUE(restarted.Fingerprint() == epoch0);
+  std::string error;
+  std::unique_ptr<UpdateWal> wal = UpdateWal::Open(path, epoch0, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  ASSERT_EQ(wal->records().size(), 3u);
+  EXPECT_EQ(wal->truncated_bytes(), 0u);
+
+  const size_t applied = wal->ReplayInto(restarted, &error);
+  EXPECT_EQ(applied, 3u) << error;
+  EXPECT_EQ(restarted.epoch(), graph.epoch());
+  EXPECT_TRUE(restarted.Fingerprint() == graph.Fingerprint());
+
+  // Replay is position-gated, hence idempotent: a second replay on the
+  // caught-up graph applies nothing and changes nothing.
+  EXPECT_EQ(wal->ReplayInto(restarted, &error), 0u);
+  EXPECT_TRUE(restarted.Fingerprint() == graph.Fingerprint());
+  std::remove(path.c_str());
+}
+
+TEST(UpdateWal, PartialReplayFromMidHistory) {
+  const std::string path = TempPath("partial.wal");
+  std::remove(path.c_str());
+
+  Graph graph = testing::MakeRandomNetwork(150, 8);
+  const GraphFingerprint epoch0 = graph.Fingerprint();
+  std::string error;
+  std::unique_ptr<UpdateWal> wal = UpdateWal::Open(path, epoch0, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  ApplyAndLogWaves(graph, *wal, 4, 1234);
+
+  // A replica that crashed at epoch 2 replays only the tail: records
+  // below its position are skipped as already-owned history.
+  Graph replica = testing::MakeRandomNetwork(150, 8);
+  for (size_t i = 0; i < 2; ++i) {
+    Rng rng(1234 + i);
+    MakeCongestionWave(replica, 0.05, 0.5, 3.0, rng).Apply(replica);
+  }
+  ASSERT_EQ(replica.epoch(), 2u);
+
+  EXPECT_EQ(wal->ReplayInto(replica, &error), 2u) << error;
+  EXPECT_EQ(replica.epoch(), 4u);
+  EXPECT_TRUE(replica.Fingerprint() == graph.Fingerprint());
+  std::remove(path.c_str());
+}
+
+TEST(UpdateWal, TornTailIsTruncatedNotApplied) {
+  const std::string path = TempPath("torn.wal");
+  std::remove(path.c_str());
+
+  Graph graph = testing::MakeRandomNetwork(150, 21);
+  const GraphFingerprint epoch0 = graph.Fingerprint();
+  {
+    std::string error;
+    std::unique_ptr<UpdateWal> wal = UpdateWal::Open(path, epoch0, &error);
+    ASSERT_NE(wal, nullptr) << error;
+    ApplyAndLogWaves(graph, *wal, 2, 55);
+  }
+
+  // Simulate a crash mid-append: chop the file inside the last record,
+  // then graft garbage on. Both must disappear on open.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 7);
+  bytes += "\x13garbage-after-the-tear";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  std::string error;
+  std::unique_ptr<UpdateWal> wal = UpdateWal::Open(path, epoch0, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  EXPECT_EQ(wal->records().size(), 1u);
+  EXPECT_GT(wal->truncated_bytes(), 0u);
+  EXPECT_EQ(wal->end_epoch(), 1u);
+
+  // The truncation is durable: a second open sees a clean one-record
+  // log, and appending resumes from there.
+  wal.reset();
+  wal = UpdateWal::Open(path, epoch0, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  EXPECT_EQ(wal->records().size(), 1u);
+  EXPECT_EQ(wal->truncated_bytes(), 0u);
+  WalRecord next;
+  next.position = 1;
+  next.new_epoch = 2;
+  next.entries.push_back({0, 1, 9.5});
+  EXPECT_TRUE(wal->Append(next));
+  wal.reset();
+  wal = UpdateWal::Open(path, epoch0, &error);
+  ASSERT_NE(wal, nullptr) << error;
+  EXPECT_EQ(wal->records().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(UpdateWal, RefusesAForeignGraph) {
+  const std::string path = TempPath("foreign.wal");
+  std::remove(path.c_str());
+
+  Graph graph = testing::MakeRandomNetwork(150, 3);
+  std::string error;
+  std::unique_ptr<UpdateWal> wal =
+      UpdateWal::Open(path, graph.Fingerprint(), &error);
+  ASSERT_NE(wal, nullptr) << error;
+  ApplyAndLogWaves(graph, *wal, 1, 7);
+  wal.reset();
+
+  const Graph other = testing::MakeRandomNetwork(150, 4);
+  EXPECT_FALSE(UpdateWal::Open(path, other.Fingerprint(), &error));
+  EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(UpdateWal, NoOpRecordsShareAPositionAndReplayCleanly) {
+  const std::string path = TempPath("noop.wal");
+  std::remove(path.c_str());
+
+  Graph graph = testing::MakeRandomNetwork(100, 61);
+  const GraphFingerprint epoch0 = graph.Fingerprint();
+  std::string error;
+  std::unique_ptr<UpdateWal> wal = UpdateWal::Open(path, epoch0, &error);
+  ASSERT_NE(wal, nullptr) << error;
+
+  // A batch whose every entry addresses a non-existent edge applies
+  // nothing and does not bump the epoch, so its record and the next
+  // real batch legitimately share position 0.
+  VertexId non_neighbor = kInvalidVertex;
+  for (VertexId v = 1; v < graph.NumVertices(); ++v) {
+    if (!graph.EdgeWeight(0, v).has_value()) {
+      non_neighbor = v;
+      break;
+    }
+  }
+  ASSERT_NE(non_neighbor, kInvalidVertex);
+  UpdateBatch noop;
+  noop.SetWeight(0, non_neighbor, 1.0);
+  WalRecord noop_record;
+  noop_record.position = graph.epoch();
+  noop_record.entries.push_back({0, non_neighbor, 1.0});
+  const ApplyResult noop_applied = noop.Apply(graph);
+  EXPECT_EQ(noop_applied.applied, 0u);
+  EXPECT_EQ(noop_applied.missing, 1u);
+  noop_record.new_epoch = noop_applied.new_epoch;
+  ASSERT_EQ(noop_record.new_epoch, noop_record.position);
+  ASSERT_TRUE(wal->Append(noop_record));
+  ApplyAndLogWaves(graph, *wal, 1, 62);
+  ASSERT_EQ(graph.epoch(), 1u);
+
+  Graph restarted = testing::MakeRandomNetwork(100, 61);
+  EXPECT_EQ(wal->ReplayInto(restarted, &error), 2u) << error;
+  EXPECT_EQ(restarted.epoch(), 1u);
+  EXPECT_TRUE(restarted.Fingerprint() == graph.Fingerprint());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fannr::dynamic

@@ -15,6 +15,10 @@
 //                      UPDATE_WEIGHTS congestion waves; prints a summary
 //                      and exits nonzero unless every frame round-tripped
 //                      and at least one query succeeded
+//   --waves N          apply N UPDATE_WEIGHTS congestion waves and
+//                      nothing else — the multi-node smoke uses this to
+//                      advance the fleet epoch while a replica is down
+//                      (a query stream would need every shard alive)
 //
 // Smoke workload shape (client-side generation must match the graph the
 // server loaded — pass the same --preset):
@@ -205,6 +209,38 @@ int RunSmoke(net::FannClient& client, const Args& args) {
   return 0;
 }
 
+int RunWaves(net::FannClient& client, const Args& args) {
+  const std::string preset = args.Get("preset", "TEST");
+  if (!IsPresetName(preset)) return Fail("unknown preset");
+  const Graph graph = BuildPreset(preset);
+  const size_t num_waves = std::max<size_t>(1, args.GetSize("waves", 1));
+
+  Rng rng(args.GetSize("seed", 1));
+  for (size_t i = 0; i < num_waves; ++i) {
+    const dynamic::UpdateBatch wave =
+        dynamic::MakeCongestionWave(graph, 0.05, 0.5, 3.0, rng);
+    net::UpdateWeightsRequest update;
+    for (const EdgeWeightUpdate& u : wave.updates()) {
+      update.entries.push_back({u.u, u.v, u.new_weight});
+    }
+    net::UpdateWeightsResponse applied;
+    if (!client.UpdateWeights(update, applied)) {
+      std::fprintf(stderr, "UPDATE_WEIGHTS failed: %s\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+    if (applied.status != 0) {
+      std::fprintf(stderr, "UPDATE_WEIGHTS rejected: %s\n",
+                   applied.error.c_str());
+      return 1;
+    }
+    std::printf("wave %zu: %" PRIu64 " edges updated, epoch %" PRIu64
+                " -> %" PRIu64 "\n",
+                i + 1, applied.applied, applied.old_epoch, applied.new_epoch);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,5 +301,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (args.Has("smoke")) return RunSmoke(client, args);
-  return Fail("pick a mode: --ping N | --stats | --shutdown | --smoke");
+  if (args.Has("waves")) return RunWaves(client, args);
+  return Fail(
+      "pick a mode: --ping N | --stats | --shutdown | --smoke | --waves N");
 }

@@ -19,6 +19,14 @@
 //   --default-deadline-ms F  server-wide e2e deadline; 0 = none
 //   --drain-deadline-ms F    drain budget on shutdown (default 10000)
 //
+// Multi-node (DESIGN.md §2.13):
+//   --wal FILE               durable update log: replayed onto the
+//                            freshly loaded graph at startup, then
+//                            appended to for every applied batch
+//   --shard-plan FILE        refuse to serve unless the plan was built
+//                            for this exact graph (fingerprint check,
+//                            made at epoch 0 — before the WAL replay)
+//
 // Prints "listening on HOST:PORT" once ready (scripts parse this line),
 // then blocks until SIGTERM/SIGINT or a SHUTDOWN frame, drains, prints
 // the drain accounting, and exits 0 iff the drain met its deadline.
@@ -28,13 +36,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "common/timer.h"
+#include "dynamic/wal.h"
 #include "fann/fannr.h"
 #include "graph/components.h"
 #include "net/server.h"
+#include "net/shard_plan.h"
 #include "sp/ch/contraction_hierarchy.h"
 #include "sp/gtree/gtree.h"
 #include "sp/label/hub_labels.h"
@@ -128,6 +139,48 @@ int main(int argc, char** argv) {
   std::printf("graph: %zu vertices, %zu edges (loaded in %.2fs)\n",
               graph->NumVertices(), graph->NumEdges(), load_timer.Seconds());
 
+  // --- multi-node: shard-plan agreement, then WAL catch-up -----------------
+  // Both checks run against the epoch-0 fingerprint: the plan was built
+  // from the pristine graph, and the WAL's own header is stamped with
+  // it — replaying first would break both comparisons.
+  if (args.Has("shard-plan")) {
+    std::string plan_error;
+    const std::optional<net::ShardPlan> plan =
+        net::ShardPlan::Load(args.Get("shard-plan", ""), &plan_error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "fannr_server: shard plan: %s\n",
+                   plan_error.c_str());
+      return 1;
+    }
+    if (!(plan->fingerprint() == graph->Fingerprint())) {
+      std::fprintf(stderr,
+                   "fannr_server: shard plan was built for a different graph "
+                   "(fingerprint mismatch) — refusing to serve\n");
+      return 1;
+    }
+    std::printf("shard plan: %u shards, fingerprint ok\n",
+                plan->num_shards());
+  }
+  std::unique_ptr<dynamic::UpdateWal> wal;
+  if (args.Has("wal")) {
+    std::string wal_error;
+    wal = dynamic::UpdateWal::Open(args.Get("wal", ""), graph->Fingerprint(),
+                                   &wal_error);
+    if (wal == nullptr) {
+      std::fprintf(stderr, "fannr_server: wal: %s\n", wal_error.c_str());
+      return 1;
+    }
+    const size_t replayed = wal->ReplayInto(*graph, &wal_error);
+    if (!wal_error.empty()) {
+      std::fprintf(stderr, "fannr_server: wal replay: %s\n",
+                   wal_error.c_str());
+      return 1;
+    }
+    std::printf("wal: replayed %zu record%s, graph at epoch %llu\n", replayed,
+                replayed == 1 ? "" : "s",
+                static_cast<unsigned long long>(graph->epoch()));
+  }
+
   // --- engine resources ----------------------------------------------------
   const std::string engine_name = args.Get("engine", "cached");
   std::optional<GphiKind> kind;
@@ -167,6 +220,7 @@ int main(int argc, char** argv) {
   config.drain_deadline_ms = args.GetDouble("drain-deadline-ms", 10'000.0);
   config.engine_options.num_threads = args.GetSize("threads", 1);
   config.engine_options.gphi_kind = kind;
+  config.wal = wal.get();
 
   net::FannServer server(&*graph, resources, std::move(config));
   std::string error;

@@ -1,0 +1,129 @@
+// fannr_shardplan — build (or inspect) the vertex->shard assignment a
+// sharded deployment agrees on.
+//
+//   fannr_shardplan --preset NAME --shards N --out FILE.plan
+//   fannr_shardplan --graph FILE.gr [--coords FILE.co] --shards N --out F
+//   fannr_shardplan --describe FILE.plan
+//
+// The plan is derived from the G-tree multiway partitioner, so shards
+// receive spatially coherent vertex sets, and is stamped with the
+// epoch-0 graph fingerprint. Router and every shard server load the
+// same file and refuse to serve on a fingerprint mismatch — see
+// DESIGN.md §2.13 and tools/fannr_router.cc.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "fann/fannr.h"
+#include "graph/components.h"
+#include "net/shard_plan.h"
+
+namespace {
+
+using namespace fannr;
+
+struct Args {
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it != values.end() ? it->second : fallback;
+  }
+  size_t GetSize(const std::string& key, size_t fallback) const {
+    auto it = values.find(key);
+    return it != values.end()
+               ? std::strtoull(it->second.c_str(), nullptr, 10)
+               : fallback;
+  }
+};
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "fannr_shardplan: %s (run with --help)\n", message);
+  return 2;
+}
+
+void Describe(const net::ShardPlan& plan) {
+  std::printf("shards: %u\n", plan.num_shards());
+  std::printf("vertices: %zu\n", plan.num_vertices());
+  std::printf("fingerprint: {vertices: %llu, edges: %llu, weights: %llu}\n",
+              static_cast<unsigned long long>(plan.fingerprint().vertices),
+              static_cast<unsigned long long>(plan.fingerprint().edges),
+              static_cast<unsigned long long>(
+                  plan.fingerprint().weight_checksum));
+  const std::vector<size_t> sizes = plan.ShardSizes();
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    std::printf("shard %zu: %zu vertices\n", s, sizes[s]);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("see the header of tools/fannr_shardplan.cc for usage\n");
+      return 0;
+    }
+    if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+      args.values[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else {
+      return Fail("malformed arguments");
+    }
+  }
+
+  if (args.Has("describe")) {
+    std::string error;
+    const std::optional<net::ShardPlan> plan =
+        net::ShardPlan::Load(args.Get("describe", ""), &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "fannr_shardplan: %s\n", error.c_str());
+      return 1;
+    }
+    Describe(*plan);
+    return 0;
+  }
+
+  std::optional<Graph> graph;
+  if (args.Has("preset")) {
+    const std::string name = args.Get("preset", "TEST");
+    if (!IsPresetName(name)) return Fail("unknown preset");
+    graph = BuildPreset(name);
+  } else if (args.Has("graph")) {
+    LoadResult r = LoadDimacs(args.Get("graph", ""), args.Get("coords", ""));
+    if (!r.ok()) {
+      std::fprintf(stderr, "fannr_shardplan: load failed: %s\n",
+                   r.error.c_str());
+      return 1;
+    }
+    LargestComponent lc = ExtractLargestComponent(*r.graph);
+    graph = std::move(lc.graph);
+    if (graph->HasCoordinates()) graph->MakeEuclideanConsistent();
+  } else {
+    return Fail("pick a graph: --preset, --graph, or --describe a plan");
+  }
+
+  const size_t shards = args.GetSize("shards", 0);
+  if (shards < 2 || (shards & (shards - 1)) != 0) {
+    return Fail("--shards must be a power of two >= 2");
+  }
+  const std::string out = args.Get("out", "");
+  if (out.empty()) return Fail("--out FILE.plan is required");
+
+  const net::ShardPlan plan =
+      net::ShardPlan::Build(*graph, static_cast<uint32_t>(shards));
+  std::string error;
+  if (!plan.Save(out, &error)) {
+    std::fprintf(stderr, "fannr_shardplan: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  Describe(plan);
+  return 0;
+}
