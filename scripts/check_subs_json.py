@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validates BENCH_subs.json: schema plus sanity invariants.
+
+CI runs this after the subscription throughput bench so a run that
+silently produces garbage (no pushes, no suppression despite the
+re-sent waves, backpressure drops, unordered percentiles, or — above
+all — any push differing bitwise from the in-process engine at the
+pushed epoch) fails the build instead of uploading a broken artifact.
+
+Usage: check_subs_json.py [path-to-BENCH_subs.json]
+"""
+
+import json
+import math
+import sys
+
+REQUIRED_TOP_LEVEL = [
+    "dataset",
+    "waves_per_cell",
+    "engine_threads",
+    "cells",
+    "differential",
+]
+REQUIRED_CELL = [
+    "connections",
+    "subscriptions",
+    "waves",
+    "pushes",
+    "suppressed",
+    "suppression_rate",
+    "push_p50_ms",
+    "push_p95_ms",
+    "final_epoch",
+    "dropped_backpressure",
+    "differential_answers",
+    "differential_mismatches",
+]
+
+_errors = []
+
+
+def check(condition, message):
+    if not condition:
+        _errors.append(message)
+
+
+def finite_nonnegative(value):
+    return (isinstance(value, (int, float)) and math.isfinite(value) and
+            value >= 0)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_subs.json"
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot parse {path}: {e}", file=sys.stderr)
+        return 1
+
+    for key in REQUIRED_TOP_LEVEL:
+        check(key in data, f"missing top-level key '{key}'")
+    if _errors:
+        print("FAIL:\n  " + "\n  ".join(_errors), file=sys.stderr)
+        return 1
+
+    cells = data["cells"]
+    check(len(cells) >= 2, "need at least two cells (single- and "
+                           "multi-connection)")
+    for cell in cells:
+        for key in REQUIRED_CELL:
+            check(key in cell,
+                  f"cell conns={cell.get('connections', '?')}: "
+                  f"missing key '{key}'")
+        if _errors:
+            break
+        label = (f"cell conns={cell['connections']} "
+                 f"subs={cell['subscriptions']}")
+        check(cell["pushes"] > 0, f"{label}: no push was ever delivered")
+        # Half the waves are exact re-sends: the epoch advances but no
+        # answer changes, so suppression must have fired.
+        check(cell["suppressed"] > 0,
+              f"{label}: delta suppression never fired despite the "
+              f"re-sent waves")
+        decisions = cell["pushes"] + cell["suppressed"]
+        check(decisions == cell["waves"] * cell["subscriptions"],
+              f"{label}: pushes + suppressed != waves * subscriptions "
+              f"(a re-evaluation skipped a subscription)")
+        check(abs(cell["suppression_rate"] -
+                  cell["suppressed"] / decisions) < 1e-9,
+              f"{label}: suppression_rate inconsistent with its counters")
+        check(0.0 < cell["suppression_rate"] < 1.0,
+              f"{label}: suppression_rate out of (0, 1)")
+        check(finite_nonnegative(cell["push_p50_ms"]) and
+              finite_nonnegative(cell["push_p95_ms"]),
+              f"{label}: push latency percentiles must be finite and "
+              f"non-negative")
+        check(cell["push_p50_ms"] <= cell["push_p95_ms"],
+              f"{label}: push latency percentiles not monotone")
+        check(cell["push_p95_ms"] > 0,
+              f"{label}: p95 push latency is zero (no latency measured)")
+        check(cell["final_epoch"] == cell["waves"],
+              f"{label}: final epoch {cell['final_epoch']} != waves "
+              f"{cell['waves']} (a wave failed to apply)")
+        check(cell["dropped_backpressure"] == 0,
+              f"{label}: {cell['dropped_backpressure']} pushes dropped to "
+              f"backpressure under benign load")
+        check(cell["differential_answers"] > 0,
+              f"{label}: differential checked no answers")
+        check(cell["differential_mismatches"] == 0,
+              f"{label}: {cell['differential_mismatches']} answers differed "
+              f"from the in-process engine (must be bitwise identical)")
+    check(any(c.get("connections", 0) > 1 for c in cells),
+          "no multi-connection cell")
+
+    differential = data["differential"]
+    check(differential.get("answers", 0) > 0, "differential ran no answers")
+    check(differential.get("answers", 0) ==
+          sum(c.get("differential_answers", 0) for c in cells),
+          "top-level differential answers != sum over cells")
+    check(differential.get("mismatches", -1) == 0,
+          f"differential: {differential.get('mismatches')} answers differed "
+          f"from the in-process engine (must be bitwise identical)")
+
+    if _errors:
+        print("FAIL:\n  " + "\n  ".join(_errors), file=sys.stderr)
+        return 1
+    total_pushes = sum(c["pushes"] for c in cells)
+    rates = ", ".join(f"{c['suppression_rate']:.2f}" for c in cells)
+    print(f"OK: {path} passes schema and sanity checks ({len(cells)} cells, "
+          f"{total_pushes} pushes, suppression rates [{rates}], "
+          f"{differential['answers']} differential answers with 0 "
+          f"mismatches)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# CI smoke test for continuous subscriptions: start fannr_server on the
+# TEST preset, attach two subscribing fannr_client processes (distinct
+# standing queries, --force-push so every wave produces exactly one push
+# each), drive UPDATE_WEIGHTS waves from a third client, and assert that
+# both subscribers saw strictly increasing pushed epochs, that their
+# final one-shot answers matched the last push, and that the server
+# drains cleanly on SIGTERM afterwards. The epoch-monotonicity and
+# one-shot checks live inside fannr_client --subscribe, which exits
+# nonzero if either fails.
+#
+# Usage: subs_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: subs_smoke.sh <build-dir>}"
+SERVER="$BUILD_DIR/tools/fannr_server"
+CLIENT="$BUILD_DIR/tools/fannr_client"
+LOG="$(mktemp)"
+SUB1_LOG="$(mktemp)"
+SUB2_LOG="$(mktemp)"
+trap 'rm -f "$LOG" "$SUB1_LOG" "$SUB2_LOG"' EXIT
+
+WAVES=3
+
+"$SERVER" --preset TEST --port 0 --threads 2 --drain-deadline-ms 10000 \
+  > "$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The server prints "listening on HOST:PORT" once ready.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG"; echo "FAIL: server died before listening"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { cat "$LOG"; echo "FAIL: server never reported its port"; exit 1; }
+echo "server up on port $PORT (pid $SERVER_PID)"
+
+# Two subscribers with distinct standing queries. Each blocks until it
+# has received WAVES pushes, then one-shots and unsubscribes.
+"$CLIENT" --port "$PORT" --subscribe "$WAVES" --force-push --preset TEST \
+  --seed 11 --algorithm gd --agg sum > "$SUB1_LOG" 2>&1 &
+SUB1_PID=$!
+"$CLIENT" --port "$PORT" --subscribe "$WAVES" --force-push --preset TEST \
+  --seed 22 --algorithm rlist --agg max > "$SUB2_LOG" 2>&1 &
+SUB2_PID=$!
+
+# Both subscriptions must be live before the first wave, or its pushes
+# would be missed.
+for _ in $(seq 1 100); do
+  grep -q "^subscribed: id" "$SUB1_LOG" && grep -q "^subscribed: id" "$SUB2_LOG" && break
+  kill -0 "$SUB1_PID" 2>/dev/null || { cat "$SUB1_LOG"; echo "FAIL: subscriber 1 died before registering"; exit 1; }
+  kill -0 "$SUB2_PID" 2>/dev/null || { cat "$SUB2_LOG"; echo "FAIL: subscriber 2 died before registering"; exit 1; }
+  sleep 0.1
+done
+grep -q "^subscribed: id" "$SUB1_LOG" || { cat "$SUB1_LOG"; echo "FAIL: subscriber 1 never registered"; exit 1; }
+grep -q "^subscribed: id" "$SUB2_LOG" || { cat "$SUB2_LOG"; echo "FAIL: subscriber 2 never registered"; exit 1; }
+echo "both subscribers registered"
+
+# The wave driver: each wave bumps the graph epoch and triggers one
+# forced push per subscriber.
+"$CLIENT" --port "$PORT" --waves "$WAVES" --preset TEST --seed 99
+
+SUB_FAIL=0
+wait "$SUB1_PID" || SUB_FAIL=1
+wait "$SUB2_PID" || SUB_FAIL=1
+echo "--- subscriber 1 ---"; cat "$SUB1_LOG"
+echo "--- subscriber 2 ---"; cat "$SUB2_LOG"
+[ "$SUB_FAIL" -eq 0 ] || { echo "FAIL: a subscriber exited nonzero"; exit 1; }
+
+for SUB_LOG in "$SUB1_LOG" "$SUB2_LOG"; do
+  PUSHES="$(grep -c "^push @epoch" "$SUB_LOG" || true)"
+  [ "$PUSHES" -eq "$WAVES" ] || { echo "FAIL: expected $WAVES pushes in $SUB_LOG, saw $PUSHES"; exit 1; }
+  grep -q "^final one-shot matches @epoch $WAVES\$" "$SUB_LOG" \
+    || { echo "FAIL: final one-shot did not match at epoch $WAVES"; exit 1; }
+  grep -q "^unsubscribed after $WAVES pushes\$" "$SUB_LOG" \
+    || { echo "FAIL: unsubscribe push count != $WAVES"; exit 1; }
+done
+
+# Clean SIGTERM drain: the server must exit 0 (drain within deadline).
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+  SERVER_EXIT=0
+else
+  SERVER_EXIT=$?
+fi
+echo "--- server log ---"
+cat "$LOG"
+if [ "$SERVER_EXIT" -ne 0 ]; then
+  echo "FAIL: server exited $SERVER_EXIT after SIGTERM"
+  exit 1
+fi
+grep -q "within deadline" "$LOG" || { echo "FAIL: drain not within deadline"; exit 1; }
+echo "OK: subscription smoke passed ($WAVES monotone pushes per subscriber, one-shot match, clean drain)"

@@ -1,0 +1,190 @@
+// Continuous FANN_R query subscriptions.
+//
+// A subscription is a standing FANN_R query registered over a server
+// connection (wire opcode kSubscribe): the server answers it once at
+// registration, then re-evaluates it after every applied weight update
+// and pushes the new answer (opcode kPushAnswer) to the owning
+// connection — unless the answer is unchanged since the last delivery,
+// in which case the push is suppressed (delta semantics; force_push
+// opts a subscription out of suppression).
+//
+// SubscriptionTable is the registry behind that: the set of live
+// subscriptions keyed by (owning connection, subscription id), with the
+// per-delivery state suppression needs (the last answer the client saw
+// and the epoch it was solved at) and per-subscription accounting.
+//
+// Threading: the table is owned and touched by exactly one thread — the
+// server's executor — which is also the only thread that applies weight
+// updates and runs the engine. That single-threaded discipline is what
+// makes re-evaluation coherent (a push is always solved at the exact
+// epoch it is stamped with) and lets the table go lock-free. The table
+// holds connections as opaque shared_ptr<void> owners so this subsystem
+// does not depend on the server's connection type; the server casts
+// them back when pushing.
+//
+// Bounds: registrations are capped per connection and globally
+// (Add() reports which limit tripped; the server answers OVERLOADED),
+// so a subscriber cannot grow executor-side state without limit — the
+// same explicit-shedding stance the admission queue takes.
+
+#ifndef FANNR_CONT_SUBSCRIPTION_H_
+#define FANNR_CONT_SUBSCRIPTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace fannr::cont {
+
+/// One standing query and its delivery state.
+struct Subscription {
+  /// The SUBSCRIBE frame's request_id; unique among the owning
+  /// connection's live subscriptions and echoed in every PUSH_ANSWER's
+  /// header.request_id.
+  uint64_t id = 0;
+
+  /// Opaque handle on the owning connection, kept alive by the table so
+  /// a pushed frame never targets freed connection state. The server
+  /// decides liveness (Reap) and casts the handle back for pushing.
+  std::shared_ptr<void> owner;
+
+  /// The standing query, exactly as registered (weights included). The
+  /// vectors inside are stable for the subscription's lifetime, so
+  /// re-evaluation jobs may point into them.
+  net::WireQuery query;
+
+  /// True = push every re-evaluation; false = suppress pushes whose
+  /// visible answer (net::SameVisibleAnswer) equals the last delivery.
+  bool force_push = false;
+
+  /// Delta state: the last answer delivered to the client (the initial
+  /// SUBSCRIBE_RESULT counts as a delivery) and the graph epoch it was
+  /// solved under. Not advanced by suppressed or backpressure-dropped
+  /// pushes, so a drop is retried by the next re-evaluation.
+  bool has_last = false;
+  net::WireResult last;
+  uint64_t last_epoch = 0;
+
+  /// Accounting, reported in UNSUBSCRIBE_RESULT and the stats snapshot.
+  uint64_t pushes_sent = 0;
+  uint64_t pushes_suppressed = 0;
+  uint64_t pushes_dropped_backpressure = 0;
+};
+
+/// Why an Add() was refused (kOk = it was not).
+enum class SubscribeOutcome {
+  kOk,
+  /// The owning connection already has a live subscription under this
+  /// id. Client bug; the registration is refused, the existing
+  /// subscription is untouched.
+  kDuplicateId,
+  kPerConnectionLimit,
+  kGlobalLimit,
+};
+
+/// The live-subscription registry. Single-threaded (see header comment);
+/// iteration order is registration order, which keeps re-evaluation
+/// batch composition deterministic for a given subscribe history.
+class SubscriptionTable {
+ public:
+  /// Either limit == 0 means "no limit of that kind".
+  SubscriptionTable(size_t max_per_connection, size_t max_total)
+      : max_per_connection_(max_per_connection), max_total_(max_total) {}
+
+  /// Registers `sub` (moved from on success). Capacity checks happen
+  /// before the duplicate check so an over-limit client gets the
+  /// retryable OVERLOADED outcome even when it also reused an id.
+  SubscribeOutcome Add(Subscription sub) {
+    if (max_total_ != 0 && subs_.size() >= max_total_) {
+      return SubscribeOutcome::kGlobalLimit;
+    }
+    if (max_per_connection_ != 0 &&
+        OwnerCount(sub.owner.get()) >= max_per_connection_) {
+      return SubscribeOutcome::kPerConnectionLimit;
+    }
+    if (Find(sub.owner.get(), sub.id) != nullptr) {
+      return SubscribeOutcome::kDuplicateId;
+    }
+    subs_.push_back(std::move(sub));
+    return SubscribeOutcome::kOk;
+  }
+
+  /// Removes the subscription `id` owned by `owner`; false if there is
+  /// no such subscription. `*removed` (optional) receives the final
+  /// state for unsubscribe accounting.
+  bool Remove(const void* owner, uint64_t id,
+              Subscription* removed = nullptr) {
+    for (size_t i = 0; i < subs_.size(); ++i) {
+      if (subs_[i].owner.get() == owner && subs_[i].id == id) {
+        retired_pushes_sent_ += subs_[i].pushes_sent;
+        if (removed != nullptr) *removed = std::move(subs_[i]);
+        subs_.erase(subs_.begin() + static_cast<ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Drops every subscription whose owner fails `alive` (a closed
+  /// connection takes its subscriptions with it). Returns how many died.
+  size_t Reap(const std::function<bool(const std::shared_ptr<void>&)>& alive) {
+    const size_t before = subs_.size();
+    std::erase_if(subs_, [&](const Subscription& s) {
+      if (alive(s.owner)) return false;
+      retired_pushes_sent_ += s.pushes_sent;
+      return true;
+    });
+    return before - subs_.size();
+  }
+
+  /// Live subscriptions owned by `owner`.
+  size_t OwnerCount(const void* owner) const {
+    size_t n = 0;
+    for (const Subscription& s : subs_) {
+      if (s.owner.get() == owner) ++n;
+    }
+    return n;
+  }
+
+  size_t size() const { return subs_.size(); }
+  bool empty() const { return subs_.empty(); }
+
+  /// Registration-ordered access for the re-evaluation pass (mutable:
+  /// the pass updates delivery state in place).
+  std::vector<Subscription>& subscriptions() { return subs_; }
+  const std::vector<Subscription>& subscriptions() const { return subs_; }
+
+  /// Lookup by (owner, id); nullptr if absent.
+  Subscription* Find(const void* owner, uint64_t id) {
+    for (Subscription& s : subs_) {
+      if (s.owner.get() == owner && s.id == id) return &s;
+    }
+    return nullptr;
+  }
+
+  /// Sum of pushes_sent over live subscriptions plus those of removed
+  /// ones — kept so totals in stats do not shrink when clients leave.
+  uint64_t total_pushes_sent() const {
+    uint64_t n = retired_pushes_sent_;
+    for (const Subscription& s : subs_) n += s.pushes_sent;
+    return n;
+  }
+
+ private:
+  size_t max_per_connection_;
+  size_t max_total_;
+  // Linear storage: both limits are small (hundreds to a few thousand),
+  // every operation is executor-thread-only, and the hot path — the
+  // re-evaluation sweep — wants exactly this flat registration-ordered
+  // walk. No map earns its keep at these sizes.
+  std::vector<Subscription> subs_;
+  uint64_t retired_pushes_sent_ = 0;
+};
+
+}  // namespace fannr::cont
+
+#endif  // FANNR_CONT_SUBSCRIPTION_H_

@@ -15,8 +15,13 @@ namespace fannr {
 
 namespace {
 
-/// Screens one job against the engine's graph. Empty string = runnable.
-std::string JobValidationError(const FannrQuery& job, const Graph* graph) {
+/// Screens one job against the engine's graph and configuration. Empty
+/// string = runnable. `gphi_kind` is the engine's configured oracle
+/// (nullopt = cached SSSP, always weight-capable) and `stale_fallback`
+/// whether this batch runs on the index-free fallback engines.
+std::string JobValidationError(const FannrQuery& job, const Graph* graph,
+                               const std::optional<GphiKind>& gphi_kind,
+                               bool stale_fallback) {
   std::string error = QueryValidationError(job.query);
   if (!error.empty()) return error;
   if (job.query.graph != graph) {
@@ -26,6 +31,26 @@ std::string JobValidationError(const FannrQuery& job, const Graph* graph) {
     return std::string(FannAlgorithmName(job.algorithm)) +
            " does not support aggregate " +
            std::string(AggregateName(job.query.aggregate));
+  }
+  if (job.query.Weighted()) {
+    // Weighted jobs are screened here rather than aborting later on the
+    // solvers' BindWeights check: an externally-assembled batch must see
+    // a per-job rejection, never a process abort.
+    if (!FannAlgorithmSupportsWeights(job.algorithm)) {
+      return std::string(FannAlgorithmName(job.algorithm)) +
+             " does not support per-query-point weights";
+    }
+    if (gphi_kind.has_value() && !GphiKindSupportsWeights(*gphi_kind)) {
+      return std::string(GphiKindName(*gphi_kind)) +
+             " engines do not support per-query-point weights";
+    }
+    if (stale_fallback) {
+      return "weighted query cannot run on the stale-index fallback "
+             "engine (" +
+             std::string(GphiKindName(kFallbackGphiKind)) +
+             " terminates early on raw distances) — rebuild the index or "
+             "re-submit after it is fresh";
+    }
   }
   return std::string();
 }
@@ -148,12 +173,25 @@ std::unique_ptr<GphiEngine> BatchQueryEngine::MakeWorkerEngine() const {
 
 std::vector<FannResult> BatchQueryEngine::Run(
     const std::vector<FannrQuery>& queries) {
+  return Run(queries, std::string_view());
+}
+
+std::vector<FannResult> BatchQueryEngine::Run(
+    const std::vector<FannrQuery>& queries, std::string_view tag) {
   const bool tracing = options_.enable_metrics;
   Timer run_timer;
   last_traces_.clear();
   last_report_ = obs::BatchReport{};
+  last_report_.tag = std::string(tag);
   last_report_metrics_fresh_ = true;  // empty report, nothing to snapshot
-  if (tracing) last_traces_.resize(queries.size());
+  if (tracing) {
+    last_traces_.resize(queries.size());
+    if (!tag.empty()) {
+      for (obs::QueryTrace& trace : last_traces_) {
+        trace.batch_tag = std::string(tag);
+      }
+    }
+  }
   const SourceDistanceCache::Stats cache_before =
       cache_ != nullptr ? cache_->stats() : SourceDistanceCache::Stats{};
   const ThreadPool::Stats pool_before = pool_.stats();
@@ -183,7 +221,8 @@ std::vector<FannResult> BatchQueryEngine::Run(
   std::map<const IndexedVertexSet*, RTree> p_trees;
   for (size_t i = 0; i < queries.size(); ++i) {
     const FannrQuery& job = queries[i];
-    std::string error = JobValidationError(job, resources_.graph);
+    std::string error = JobValidationError(job, resources_.graph,
+                                           options_.gphi_kind, use_fallback);
     if (!error.empty()) {
       ++rejected;
       results[i] = RejectedResult(error);

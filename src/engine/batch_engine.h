@@ -187,6 +187,15 @@ class BatchQueryEngine {
   /// set before the parallel phase (shared, read-only during it).
   std::vector<FannResult> Run(const std::vector<FannrQuery>& queries);
 
+  /// Same as Run(), with a caller attribution tag written into the
+  /// batch's report (BatchReport::tag) and every trace
+  /// (QueryTrace::batch_tag). The server tags subscription
+  /// re-evaluation batches "subscription-reeval" so push-driven work is
+  /// attributable in metrics dumps and slow-query logs. The tag is pure
+  /// observation: results are bitwise identical to an untagged Run.
+  std::vector<FannResult> Run(const std::vector<FannrQuery>& queries,
+                              std::string_view tag);
+
   size_t num_threads() const { return pool_.num_workers(); }
 
   /// Cumulative shared-cache counters (zero when the cache is disabled

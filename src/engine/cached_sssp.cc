@@ -13,6 +13,15 @@ CachedSsspEngine::CachedSsspEngine(
 void CachedSsspEngine::Prepare(const IndexedVertexSet& query_points) {
   query_points_ = &query_points;
   q_distances_.resize(query_points.size());
+  weights_ = {};
+}
+
+bool CachedSsspEngine::BindWeights(std::span<const double> weights) {
+  // The cache stores RAW SSSP vectors — weights are applied at the
+  // gather/fold, never baked into cached distances, so weighted and
+  // unweighted queries share the same cache entries.
+  weights_ = weights;
+  return true;
 }
 
 void CachedSsspEngine::PrewarmScratch() { search_.ReserveFullSearch(); }
@@ -61,7 +70,7 @@ GphiResult CachedSsspEngine::Evaluate(VertexId p, size_t k,
     q_distances_[i] = (*sssp)[(*query_points_)[i]];
   }
   return internal_gphi::SelectAndFold(*query_points_, q_distances_, k,
-                                      aggregate, &select_scratch_);
+                                      aggregate, &select_scratch_, weights_);
 }
 
 void CachedSsspEngine::PublishMetrics(obs::MetricsRegistry* registry,

@@ -60,6 +60,7 @@ class CachedSsspEngine : public GphiEngine {
                    std::shared_ptr<SourceDistanceCache> cache);
 
   void Prepare(const IndexedVertexSet& query_points) override;
+  bool BindWeights(std::span<const double> weights) override;
   GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override;
   /// Reserves the Dijkstra frontier for a full-graph search (see
   /// DijkstraSearch::ReserveFullSearch), making miss-path SSSP
@@ -89,6 +90,7 @@ class CachedSsspEngine : public GphiEngine {
   std::shared_ptr<SourceDistanceCache> cache_;
   DijkstraSearch search_;
   const IndexedVertexSet* query_points_ = nullptr;
+  std::span<const double> weights_;    // per-q weights; empty = unweighted
   std::vector<Weight> scratch_sssp_;   // miss path without a cache
   std::vector<Weight> q_distances_;    // gather target, |Q| entries
   internal_gphi::SelectScratch select_scratch_;

@@ -10,6 +10,9 @@ namespace fannr {
 
 FannResult SolveApxSum(const FannQuery& query, GphiEngine& engine) {
   ValidateQuery(query);
+  FANNR_CHECK(!query.Weighted() &&
+              "APX-sum's bound proof folds raw distances and cannot honor "
+              "per-query-point weights");
   FANNR_CHECK(query.aggregate == Aggregate::kSum &&
               "APX-sum's approximation guarantee holds for sum-FANN_R");
 

@@ -40,6 +40,36 @@ bool FannAlgorithmSupports(FannAlgorithm algorithm, Aggregate aggregate) {
   }
 }
 
+bool FannAlgorithmSupportsWeights(FannAlgorithm algorithm) {
+  switch (algorithm) {
+    case FannAlgorithm::kNaive:
+    case FannAlgorithm::kGd:
+    case FannAlgorithm::kRList:
+      return true;
+    case FannAlgorithm::kIer:
+    case FannAlgorithm::kExactMax:
+    case FannAlgorithm::kApxSum:
+      return false;
+  }
+  return false;
+}
+
+bool GphiKindSupportsWeights(GphiKind kind) {
+  switch (kind) {
+    case GphiKind::kAStar:
+    case GphiKind::kPhl:
+    case GphiKind::kCh:
+      return true;
+    case GphiKind::kIne:
+    case GphiKind::kGTree:
+    case GphiKind::kIerAStar:
+    case GphiKind::kIerGTree:
+    case GphiKind::kIerPhl:
+      return false;
+  }
+  return false;
+}
+
 bool GphiKindUsesIndex(GphiKind kind) {
   switch (kind) {
     case GphiKind::kGTree:
@@ -93,6 +123,7 @@ std::string StaleIndexReason(GphiKind kind, const GphiResources& resources) {
 FannResult SolveWith(FannAlgorithm algorithm, const FannQuery& query,
                      GphiEngine& engine, const RTree* p_tree) {
   FANNR_CHECK(FannAlgorithmSupports(algorithm, query.aggregate));
+  FANNR_CHECK(!query.Weighted() || FannAlgorithmSupportsWeights(algorithm));
   switch (algorithm) {
     case FannAlgorithm::kNaive:
       return SolveNaive(query);

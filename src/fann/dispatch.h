@@ -51,6 +51,20 @@ std::string_view FannAlgorithmName(FannAlgorithm algorithm);
 /// APX-sum is sum-only, the rest are universal).
 bool FannAlgorithmSupports(FannAlgorithm algorithm, Aggregate aggregate);
 
+/// True if `algorithm` can answer weighted queries (FannQuery::weights).
+/// Naive enumerates subsets outright, and GD / R-List delegate distance
+/// ranking to a weight-bound engine; IER-kNN's Euclidean lower bound and
+/// the Exact-max / APX-sum expansions prune by RAW network distance, so
+/// they reject weighted jobs rather than answer wrong.
+bool FannAlgorithmSupportsWeights(FannAlgorithm algorithm);
+
+/// True if engines of `kind` accept a non-empty BindWeights: the
+/// point-to-point family (A*, PHL, CH) computes all |Q| distances before
+/// selection, so weighting is a fold-time multiply. The early-terminating
+/// kNN engines (INE, G-tree, IER-*) stop at the k-th raw-distance hit and
+/// would miss weighted-near points.
+bool GphiKindSupportsWeights(GphiKind kind);
+
 /// Solves `query` with `algorithm`, evaluating g_phi through `engine`
 /// (the injected distance oracle). `p_tree` is required for kIer — an
 /// R-tree over exactly query.data_points (see BuildDataPointRTree) — and

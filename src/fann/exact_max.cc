@@ -82,6 +82,9 @@ Saturation RunCounters(const FannQuery& query, size_t k) {
 
 FannResult SolveExactMax(const FannQuery& query) {
   ValidateQuery(query);
+  FANNR_CHECK(!query.Weighted() &&
+              "Exact-max's saturation counters pop by raw distance and "
+              "cannot honor per-query-point weights");
   FANNR_CHECK(query.aggregate == Aggregate::kMax &&
               "Exact-max answers max-FANN_R only (see the paper's sum "
               "counterexample, Table II)");
@@ -97,6 +100,7 @@ FannResult SolveExactMax(const FannQuery& query) {
 
 FannResult SolveExactMax(const FannQuery& query, GphiEngine& engine) {
   ValidateQuery(query);
+  FANNR_CHECK(!query.Weighted());
   FANNR_CHECK(query.aggregate == Aggregate::kMax);
   const size_t k = query.FlexSubsetSize();
   Saturation sat = RunCounters(query, k);

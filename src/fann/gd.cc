@@ -6,6 +6,8 @@ FannResult SolveGd(const FannQuery& query, GphiEngine& engine) {
   ValidateQuery(query);
   const size_t k = query.FlexSubsetSize();
   engine.Prepare(*query.query_points);
+  FANNR_CHECK(engine.BindWeights(query.WeightsSpan()) &&
+              "engine cannot honor per-query-point weights");
 
   FannResult best;
   for (VertexId p : query.data_points->members()) {

@@ -30,17 +30,28 @@ namespace internal_gphi {
 
 GphiResult SelectAndFold(const IndexedVertexSet& query_points,
                          const std::vector<Weight>& distances, size_t k,
-                         Aggregate aggregate, SelectScratch* scratch) {
+                         Aggregate aggregate, SelectScratch* scratch,
+                         std::span<const double> weights) {
   FANNR_CHECK(distances.size() == query_points.size());
+  FANNR_CHECK(weights.empty() || weights.size() == distances.size());
   GphiResult result;
   SelectScratch local;
   SelectScratch& s = scratch != nullptr ? *scratch : local;
 
   // Pack (distance, id) records contiguously; the selection below then
-  // works on one flat array instead of permuting indexes into two.
+  // works on one flat array instead of permuting indexes into two. A
+  // weighted query scales here, once, so selection, tie-breaking, and
+  // the fold all see w_i * d_i (validation guarantees w_i finite > 0,
+  // which keeps +inf distances +inf).
   s.entries.resize(distances.size());
-  for (size_t i = 0; i < distances.size(); ++i) {
-    s.entries[i] = {distances[i], query_points[i]};
+  if (weights.empty()) {
+    for (size_t i = 0; i < distances.size(); ++i) {
+      s.entries[i] = {distances[i], query_points[i]};
+    }
+  } else {
+    for (size_t i = 0; i < distances.size(); ++i) {
+      s.entries[i] = {distances[i] * weights[i], query_points[i]};
+    }
   }
   // Canonical order: (distance, query point id). The id tie-break makes
   // the selected subset — and thus every solver built on top of this

@@ -22,6 +22,7 @@
 #define FANNR_FANN_GPHI_H_
 
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -59,6 +60,19 @@ class GphiEngine {
 
   /// Computes g_phi(p, Q) with subset size k. Requires a prior Prepare().
   virtual GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) = 0;
+
+  /// Binds per-query-point weights (aligned with the Prepare()d Q) so
+  /// subsequent Evaluate() calls select and fold w_i * d(p, q_i) instead
+  /// of raw distances. Call after Prepare() (which clears any previous
+  /// binding); an empty span means unweighted. Returns false when the
+  /// engine cannot honor a non-empty binding — the early-terminating
+  /// kNN engines (INE, G-tree occurrence lists, the IER family) prune by
+  /// raw network distance and would silently drop weighted-near points,
+  /// so they refuse instead of answering wrong. `weights` must outlive
+  /// the binding.
+  virtual bool BindWeights(std::span<const double> weights) {
+    return weights.empty();
+  }
 
   /// Grows the engine's search scratch (heaps, distance arrays) to its
   /// worst-case size up front, trading memory for an allocation-free
@@ -130,11 +144,14 @@ struct SelectScratch {
 /// Shared helper: given the distances from p to every member of Q
 /// (aligned with query_points.members()), selects the k nearest and
 /// folds. `scratch` may be null (a local scratch is used); passing an
-/// engine-owned scratch makes repeat calls allocation-free.
+/// engine-owned scratch makes repeat calls allocation-free. A non-empty
+/// `weights` (aligned with Q) scales each distance to w_i * d_i before
+/// selection, so both the chosen subset and the fold are weighted.
 GphiResult SelectAndFold(const IndexedVertexSet& query_points,
                          const std::vector<Weight>& distances, size_t k,
                          Aggregate aggregate,
-                         SelectScratch* scratch = nullptr);
+                         SelectScratch* scratch = nullptr,
+                         std::span<const double> weights = {});
 
 }  // namespace internal_gphi
 

@@ -59,6 +59,14 @@ class PointToPointEngine : public GphiEngine {
   void Prepare(const IndexedVertexSet& query_points) override {
     query_points_ = &query_points;
     distances_.resize(query_points.size());
+    weights_ = {};
+  }
+
+  bool BindWeights(std::span<const double> weights) override {
+    // All |Q| distances are computed before selection, so weighting is
+    // one multiply inside SelectAndFold — no pruning to invalidate.
+    weights_ = weights;
+    return true;
   }
 
   GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override {
@@ -67,7 +75,7 @@ class PointToPointEngine : public GphiEngine {
       distances_[i] = oracle_((*query_points_)[i], p);
     }
     return internal_gphi::SelectAndFold(*query_points_, distances_, k,
-                                        aggregate, &select_scratch_);
+                                        aggregate, &select_scratch_, weights_);
   }
 
   std::string_view name() const override { return name_; }
@@ -77,6 +85,7 @@ class PointToPointEngine : public GphiEngine {
   std::string_view name_;
   const IndexedVertexSet* query_points_ = nullptr;
   std::vector<Weight> distances_;
+  std::span<const double> weights_;
   internal_gphi::SelectScratch select_scratch_;
 };
 

@@ -56,6 +56,9 @@ FannResult SolveIer(const FannQuery& query, GphiEngine& engine,
 FannResult SolveIer(const FannQuery& query, GphiEngine& engine,
                     const RTree& p_tree, const IerOptions& options) {
   ValidateQuery(query);
+  FANNR_CHECK(!query.Weighted() &&
+              "IER-kNN prunes by raw Euclidean bounds and cannot honor "
+              "per-query-point weights");
   FANNR_CHECK(query.graph->HasCoordinates());
   FANNR_CHECK(query.graph->EuclideanConsistent());
   FANNR_CHECK(p_tree.size() == query.data_points->size());

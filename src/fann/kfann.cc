@@ -76,6 +76,8 @@ std::vector<KFannEntry> SolveKGd(const FannQuery& query, size_t k_results,
   FANNR_CHECK(k_results > 0);
   const size_t k = query.FlexSubsetSize();
   engine.Prepare(*query.query_points);
+  FANNR_CHECK(engine.BindWeights(query.WeightsSpan()) &&
+              "engine cannot honor per-query-point weights");
   TopK top(k_results);
   for (VertexId p : query.data_points->members()) {
     GphiResult r = engine.Evaluate(p, k, query.aggregate);
@@ -91,6 +93,9 @@ std::vector<KFannEntry> SolveKRList(const FannQuery& query,
   FANNR_CHECK(k_results > 0);
   const size_t k = query.FlexSubsetSize();
   engine.Prepare(*query.query_points);
+  FANNR_CHECK(engine.BindWeights(query.WeightsSpan()) &&
+              "engine cannot honor per-query-point weights");
+  const std::span<const double> weights = query.WeightsSpan();
 
   std::vector<IncrementalNnSearch> lists;
   lists.reserve(query.query_points->size());
@@ -109,6 +114,11 @@ std::vector<KFannEntry> SolveKRList(const FannQuery& query,
     for (size_t i = 0; i < lists.size(); ++i) {
       const auto* head = lists[i].Peek();
       heads[i] = head == nullptr ? kInfWeight : head->distance;
+      // Weighted heads bound weighted g_phi terms exactly as in
+      // SolveRList: w_i * d(q_i, p) >= w_i * head_i for unseen p.
+      if (!weights.empty() && heads[i] != kInfWeight) {
+        heads[i] *= weights[i];
+      }
       if (heads[i] < min_head) {
         min_head = heads[i];
         min_list = i;
@@ -156,6 +166,9 @@ std::vector<KFannEntry> SolveKIer(const FannQuery& query, size_t k_results,
                                   GphiEngine& engine, const RTree& p_tree) {
   ValidateQuery(query);
   FANNR_CHECK(k_results > 0);
+  FANNR_CHECK(!query.Weighted() &&
+              "IER-kNN prunes by raw Euclidean bounds and cannot honor "
+              "per-query-point weights");
   FANNR_CHECK(query.graph->HasCoordinates() &&
               query.graph->EuclideanConsistent());
   const size_t k = query.FlexSubsetSize();
@@ -216,6 +229,9 @@ std::vector<KFannEntry> SolveKExactMax(const FannQuery& query,
                                        size_t k_results) {
   ValidateQuery(query);
   FANNR_CHECK(k_results > 0);
+  FANNR_CHECK(!query.Weighted() &&
+              "Exact-max's saturation counters pop by raw distance and "
+              "cannot honor per-query-point weights");
   FANNR_CHECK(query.aggregate == Aggregate::kMax);
   const size_t k = query.FlexSubsetSize();
 

@@ -51,11 +51,15 @@ FannResult SolveNaive(const FannQuery& query) {
       bool reachable = true;
       fold_scratch.clear();
       for (size_t qi : subset) {
-        const Weight d = dist_to_p[qi][pi];
+        Weight d = dist_to_p[qi][pi];
         if (d == kInfWeight) {
           reachable = false;
           break;
         }
+        // Weighted queries aggregate w_i * d(p, q_i) (the same transform
+        // SelectAndFold applies), keeping this enumeration a valid
+        // second oracle for the weighted solvers.
+        if (query.Weighted()) d *= (*query.weights)[qi];
         fold_scratch.push_back(d);
       }
       if (!reachable) continue;

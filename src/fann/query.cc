@@ -28,6 +28,22 @@ std::string QueryValidationError(const FannQuery& query) {
   if (!(query.phi > 0.0 && query.phi <= 1.0)) {
     return "phi must be in (0, 1], got " + std::to_string(query.phi);
   }
+  if (query.Weighted()) {
+    if (query.weights->size() != query.query_points->size()) {
+      return "weights size " + std::to_string(query.weights->size()) +
+             " != |Q| = " + std::to_string(query.query_points->size());
+    }
+    for (size_t i = 0; i < query.weights->size(); ++i) {
+      const double w = (*query.weights)[i];
+      // Finite and strictly positive: w <= 0 breaks the k-smallest
+      // structural fact, and w * kInfWeight must stay +inf (0 * inf is
+      // NaN). Written so NaN fails.
+      if (!(w > 0.0) || !std::isfinite(w)) {
+        return "weights[" + std::to_string(i) + "] must be finite and > 0, "
+               "got " + std::to_string(w);
+      }
+    }
+  }
   return std::string();
 }
 

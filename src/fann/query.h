@@ -3,6 +3,7 @@
 #ifndef FANNR_FANN_QUERY_H_
 #define FANNR_FANN_QUERY_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,10 +22,29 @@ struct FannQuery {
   const IndexedVertexSet* query_points = nullptr;  // Q
   double phi = 0.5;
   Aggregate aggregate = Aggregate::kSum;
+  /// Optional per-query-point weights w_i, aligned with Q's members
+  /// (Wang & Zhang's weighted generalization): every distance d(p, q_i)
+  /// is replaced by w_i * d(p, q_i) before subset selection and folding.
+  /// Both sum and max are monotone in each term, so the optimal flexible
+  /// subset is still the k smallest weighted distances — the existing
+  /// SelectAndFold structure carries over unchanged. Null or empty means
+  /// unweighted; otherwise size must equal |Q| with every weight finite
+  /// and positive (validated like the other invariants).
+  const std::vector<double>* weights = nullptr;
 
   /// The flexible subset size k = phi * |Q|.
   size_t FlexSubsetSize() const {
     return FlexK(phi, query_points->size());
+  }
+
+  /// True when the query carries per-query-point weights.
+  bool Weighted() const { return weights != nullptr && !weights->empty(); }
+
+  /// The weights as a span (empty when unweighted) — the shape
+  /// GphiEngine::BindWeights takes.
+  std::span<const double> WeightsSpan() const {
+    return Weighted() ? std::span<const double>(*weights)
+                      : std::span<const double>();
   }
 };
 

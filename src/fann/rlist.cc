@@ -1,6 +1,7 @@
 #include "fann/rlist.h"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "sp/incremental_nn.h"
@@ -16,6 +17,9 @@ FannResult SolveRList(const FannQuery& query, GphiEngine& engine,
   ValidateQuery(query);
   const size_t k = query.FlexSubsetSize();
   engine.Prepare(*query.query_points);
+  FANNR_CHECK(engine.BindWeights(query.WeightsSpan()) &&
+              "engine cannot honor per-query-point weights");
+  const std::span<const double> weights = query.WeightsSpan();
 
   // One list (switchable Dijkstra expansion over P) per query point.
   std::vector<IncrementalNnSearch> lists;
@@ -39,6 +43,13 @@ FannResult SolveRList(const FannQuery& query, GphiEngine& engine,
     for (size_t i = 0; i < lists.size(); ++i) {
       const auto* head = lists[i].Peek();
       heads[i] = head == nullptr ? kInfWeight : head->distance;
+      // Weighted queries bound by w_i * head_i: for any unseen point p,
+      // w_i * d(q_i, p) >= w_i * head_i (w_i > 0 by validation), so the
+      // fold of the k smallest weighted heads still lower-bounds every
+      // unevaluated g_phi. An exhausted list's +inf head stays +inf.
+      if (!weights.empty() && heads[i] != kInfWeight) {
+        heads[i] *= weights[i];
+      }
       if (heads[i] < min_head) {
         min_head = heads[i];
         min_list = i;

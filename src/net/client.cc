@@ -17,14 +17,59 @@ bool FannClient::Connect(const std::string& host, uint16_t port) {
   return true;
 }
 
+bool FannClient::ReadFrame(FrameHeader& header,
+                           std::vector<uint8_t>& payload) {
+  uint8_t header_bytes[kFrameHeaderBytes];
+  if (!sock_.ReadFull(header_bytes, sizeof(header_bytes))) {
+    sock_.Close();
+    return Fail("connection closed while awaiting response");
+  }
+  DecodeFrameHeader(header_bytes, header);
+  bool fatal = false;
+  const std::string envelope_error = FrameEnvelopeError(header, &fatal);
+  if (fatal || header.version != kProtocolVersion) {
+    sock_.Close();
+    return Fail("bad response frame: " + envelope_error);
+  }
+  payload.resize(header.payload_length);
+  if (header.payload_length > 0 &&
+      !sock_.ReadFull(payload.data(), payload.size())) {
+    sock_.Close();
+    return Fail("connection closed mid-payload");
+  }
+  return true;
+}
+
+bool FannClient::RoutePush(const FrameHeader& header,
+                           const std::vector<uint8_t>& payload) {
+  ReceivedPush push;
+  push.subscription_id = header.request_id;
+  if (!DecodePushAnswer(payload, push.answer)) {
+    sock_.Close();
+    return Fail("undecodable PUSH_ANSWER payload");
+  }
+  if (push_handler_) {
+    push_handler_(push);
+    return true;
+  }
+  if (pushes_.size() >= kMaxBufferedPushes) {
+    pushes_.pop_front();
+    ++pushes_dropped_;
+  }
+  pushes_.push_back(std::move(push));
+  return true;
+}
+
 bool FannClient::RoundTrip(Opcode request,
                            std::span<const uint8_t> request_payload,
-                           Opcode expect, std::vector<uint8_t>& payload) {
+                           Opcode expect, std::vector<uint8_t>& payload,
+                           uint64_t* request_id_out) {
   last_error_code_ = ErrorCode::kNone;
   last_error_.clear();
   if (!sock_.valid()) return Fail("not connected");
 
   const uint64_t id = next_request_id_++;
+  if (request_id_out != nullptr) *request_id_out = id;
   const std::vector<uint8_t> frame =
       EncodeFrame(static_cast<uint16_t>(request), id, request_payload);
   if (!sock_.WriteFull(frame.data(), frame.size())) {
@@ -33,24 +78,16 @@ bool FannClient::RoundTrip(Opcode request,
   }
 
   while (true) {
-    uint8_t header_bytes[kFrameHeaderBytes];
-    if (!sock_.ReadFull(header_bytes, sizeof(header_bytes))) {
-      sock_.Close();
-      return Fail("connection closed while awaiting response");
-    }
     FrameHeader header;
-    DecodeFrameHeader(header_bytes, header);
-    bool fatal = false;
-    const std::string envelope_error = FrameEnvelopeError(header, &fatal);
-    if (fatal || header.version != kProtocolVersion) {
-      sock_.Close();
-      return Fail("bad response frame: " + envelope_error);
-    }
-    payload.resize(header.payload_length);
-    if (header.payload_length > 0 &&
-        !sock_.ReadFull(payload.data(), payload.size())) {
-      sock_.Close();
-      return Fail("connection closed mid-payload");
+    if (!ReadFrame(header, payload)) return false;
+    // Unsolicited pushes interleave freely with the awaited response
+    // (the server pushes the moment an update lands); route them by
+    // opcode BEFORE the id check — a push's id is a subscription id,
+    // not a pending request id, and dropping it would lose the answer
+    // for good under delta semantics.
+    if (static_cast<Opcode>(header.opcode) == Opcode::kPushAnswer) {
+      if (!RoutePush(header, payload)) return false;
+      continue;
     }
     // A response to an older request (possible only after a prior
     // timeout/desync) is skipped, not misattributed.
@@ -115,23 +152,71 @@ bool FannClient::ReadAny(FrameHeader& header, std::vector<uint8_t>& payload) {
   last_error_code_ = ErrorCode::kNone;
   last_error_.clear();
   if (!sock_.valid()) return Fail("not connected");
-  uint8_t header_bytes[kFrameHeaderBytes];
-  if (!sock_.ReadFull(header_bytes, sizeof(header_bytes))) {
-    sock_.Close();
-    return Fail("connection closed while awaiting response");
+  while (true) {
+    if (!ReadFrame(header, payload)) return false;
+    if (static_cast<Opcode>(header.opcode) == Opcode::kPushAnswer) {
+      // One delivery path for pushes no matter who reads the frame:
+      // buffered (or handed to the handler) here, consumed via
+      // TakePush/WaitPush — never returned as if it answered a request.
+      if (!RoutePush(header, payload)) return false;
+      continue;
+    }
+    return true;
   }
-  DecodeFrameHeader(header_bytes, header);
-  bool fatal = false;
-  const std::string envelope_error = FrameEnvelopeError(header, &fatal);
-  if (fatal || header.version != kProtocolVersion) {
-    sock_.Close();
-    return Fail("bad response frame: " + envelope_error);
+}
+
+bool FannClient::TakePush(ReceivedPush& push) {
+  if (pushes_.empty()) return false;
+  push = std::move(pushes_.front());
+  pushes_.pop_front();
+  return true;
+}
+
+bool FannClient::WaitPush(ReceivedPush& push) {
+  last_error_code_ = ErrorCode::kNone;
+  last_error_.clear();
+  while (!TakePush(push)) {
+    if (!sock_.valid()) return Fail("not connected");
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    if (!ReadFrame(header, payload)) return false;
+    if (static_cast<Opcode>(header.opcode) == Opcode::kPushAnswer) {
+      if (!RoutePush(header, payload)) return false;
+    }
+    // Anything else has no outstanding requester (the contract forbids
+    // calling WaitPush with requests in flight) — skip it.
   }
-  payload.resize(header.payload_length);
-  if (header.payload_length > 0 &&
-      !sock_.ReadFull(payload.data(), payload.size())) {
-    sock_.Close();
-    return Fail("connection closed mid-payload");
+  return true;
+}
+
+bool FannClient::Subscribe(const WireQuery& query, bool force_push,
+                           uint64_t* subscription_id,
+                           SubscribeResponse& response) {
+  SubscribeRequest request;
+  request.query = query;
+  request.force_push = force_push ? 1 : 0;
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(Opcode::kSubscribe, EncodeSubscribeRequest(request),
+                 Opcode::kSubscribeResult, payload, subscription_id)) {
+    return false;
+  }
+  if (!DecodeSubscribeResponse(payload, response)) {
+    return Fail("undecodable SUBSCRIBE_RESULT payload");
+  }
+  return true;
+}
+
+bool FannClient::Unsubscribe(uint64_t subscription_id,
+                             UnsubscribeResponse& response) {
+  UnsubscribeRequest request;
+  request.subscription_id = subscription_id;
+  std::vector<uint8_t> payload;
+  if (!RoundTrip(Opcode::kUnsubscribe, EncodeUnsubscribeRequest(request),
+                 Opcode::kUnsubscribeResult, payload)) {
+    return false;
+  }
+  if (!DecodeUnsubscribeResponse(payload, response)) {
+    return Fail("undecodable UNSUBSCRIBE_RESULT payload");
   }
   return true;
 }

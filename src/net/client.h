@@ -7,6 +7,15 @@
 // make the call return false with the code and message retained — the
 // bench counts OVERLOADED shed through exactly this surface.
 //
+// Unsolicited frames: a connection with live subscriptions receives
+// PUSH_ANSWER frames at the server's pace, interleaved arbitrarily with
+// response frames. EVERY read path routes them — a push arriving while
+// a synchronous call awaits its response is decoded and buffered (or
+// handed to the push handler), never dropped — and TakePush/WaitPush
+// drain the buffer. The buffer is bounded (kMaxBufferedPushes, oldest
+// dropped first, pushes_dropped() counts); the server's own delta
+// semantics make a dropped push recoverable at the next change.
+//
 // Thread-compatibility: a FannClient is not thread-safe; open one per
 // thread (the throughput bench does).
 
@@ -14,6 +23,8 @@
 #define FANNR_NET_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,8 +33,19 @@
 
 namespace fannr::net {
 
+/// One buffered PUSH_ANSWER: which subscription it answers plus the
+/// epoch-stamped result.
+struct ReceivedPush {
+  uint64_t subscription_id = 0;
+  PushAnswer answer;
+};
+
 class FannClient {
  public:
+  /// Buffered-push bound; beyond it the oldest buffered push is dropped
+  /// (counted). Suppression keeps real push rates far below this.
+  static constexpr size_t kMaxBufferedPushes = 4096;
+
   FannClient() = default;
 
   /// Connects to a running FannServer. False (reason in last_error())
@@ -61,6 +83,41 @@ class FannClient {
   /// Requests a graceful server drain; true once the ack arrives.
   bool Shutdown();
 
+  // --- Subscriptions (continuous queries; see src/cont/) ---
+
+  /// Registers a standing query. On true, `response` carries the
+  /// initial answer and the epoch it was solved at, and
+  /// `*subscription_id` the id future pushes (and Unsubscribe) use.
+  /// Registration succeeded iff response.result.status == kOk.
+  /// force_push disables server-side suppression of unchanged answers.
+  bool Subscribe(const WireQuery& query, bool force_push,
+                 uint64_t* subscription_id, SubscribeResponse& response);
+
+  /// Cancels a subscription. On true, response.status is 0 (removed,
+  /// response.pushes_sent = its lifetime push count) or 1 (unknown id).
+  bool Unsubscribe(uint64_t subscription_id, UnsubscribeResponse& response);
+
+  /// Pops the oldest buffered push; false when none is buffered. Never
+  /// reads the socket.
+  bool TakePush(ReceivedPush& push);
+
+  /// Pops the oldest buffered push, blocking on the socket until one
+  /// arrives. Only call while no request is outstanding: a response
+  /// frame read while waiting has no requester and is skipped.
+  bool WaitPush(ReceivedPush& push);
+
+  /// When set, pushes are delivered to `handler` at the moment their
+  /// frame is read (from inside whichever call read it) instead of
+  /// being buffered; TakePush/WaitPush then never see them. Pass
+  /// nullptr to return to buffering.
+  void SetPushHandler(std::function<void(const ReceivedPush&)> handler) {
+    push_handler_ = std::move(handler);
+  }
+
+  size_t buffered_pushes() const { return pushes_.size(); }
+  /// Pushes discarded because the buffer was full (never resets).
+  uint64_t pushes_dropped() const { return pushes_dropped_; }
+
   // --- Pipelined mode ---
   //
   // Send* writes a request frame WITHOUT waiting for its response, so
@@ -89,7 +146,8 @@ class FannClient {
   /// Blocks for the next response frame of any request. Validates the
   /// envelope; a fatal envelope or EOF closes the socket and returns
   /// false. Error frames are returned (opcode kError in `header`), not
-  /// converted to false — pipelined callers decode per id.
+  /// converted to false — pipelined callers decode per id. PUSH_ANSWER
+  /// frames are routed to the push buffer/handler, never returned.
   bool ReadAny(FrameHeader& header, std::vector<uint8_t>& payload);
 
   /// After a false return: the error code of the server's error frame
@@ -101,14 +159,26 @@ class FannClient {
   /// Writes one request frame and reads frames until the response with
   /// the matching id arrives. On success fills `payload` and returns
   /// true iff the response opcode equals `expect` (an error frame sets
-  /// last_error_* and returns false).
+  /// last_error_* and returns false). `request_id_out` (optional)
+  /// reports the id the frame was sent under.
   bool RoundTrip(Opcode request, std::span<const uint8_t> request_payload,
-                 Opcode expect, std::vector<uint8_t>& payload);
+                 Opcode expect, std::vector<uint8_t>& payload,
+                 uint64_t* request_id_out = nullptr);
 
   /// Writes one request frame without reading anything back; assigns
   /// and reports the request id.
   bool SendFrame(Opcode request, std::span<const uint8_t> request_payload,
                  uint64_t* request_id);
+
+  /// Reads exactly one validated frame (any opcode, pushes included).
+  /// Shared by every read path; false closes the socket.
+  bool ReadFrame(FrameHeader& header, std::vector<uint8_t>& payload);
+
+  /// Routes one PUSH_ANSWER frame into the buffer or handler. False
+  /// (socket closed) when the payload does not decode — a frame claiming
+  /// the push opcode with a garbled body means the stream is untrustworthy.
+  bool RoutePush(const FrameHeader& header,
+                 const std::vector<uint8_t>& payload);
 
   bool Fail(std::string message);
 
@@ -116,6 +186,9 @@ class FannClient {
   uint64_t next_request_id_ = 1;
   ErrorCode last_error_code_ = ErrorCode::kNone;
   std::string last_error_;
+  std::deque<ReceivedPush> pushes_;
+  uint64_t pushes_dropped_ = 0;
+  std::function<void(const ReceivedPush&)> push_handler_;
 };
 
 }  // namespace fannr::net

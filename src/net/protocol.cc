@@ -6,7 +6,7 @@ namespace fannr::net {
 
 namespace {
 
-// Shared by the single-query and batch encodings.
+// Shared by the single-query, batch, and subscribe encodings.
 void EncodeWireQuery(const WireQuery& query, WireWriter& w) {
   w.U8(query.algorithm);
   w.U8(query.aggregate);
@@ -14,11 +14,18 @@ void EncodeWireQuery(const WireQuery& query, WireWriter& w) {
   w.F64(query.deadline_ms);
   w.VecU32(query.p);
   w.VecU32(query.q);
+  w.VecF64(query.weights);
 }
 
 bool DecodeWireQuery(WireReader& r, WireQuery& query) {
-  return r.U8(query.algorithm) && r.U8(query.aggregate) && r.F64(query.phi) &&
-         r.F64(query.deadline_ms) && r.VecU32(query.p) && r.VecU32(query.q);
+  if (!(r.U8(query.algorithm) && r.U8(query.aggregate) && r.F64(query.phi) &&
+        r.F64(query.deadline_ms) && r.VecU32(query.p) && r.VecU32(query.q) &&
+        r.VecF64(query.weights))) {
+    return false;
+  }
+  // Weights are either absent or exactly one per query point; any other
+  // count is a malformed frame, not a job to screen later.
+  return query.weights.empty() || query.weights.size() == query.q.size();
 }
 
 void EncodeWireResult(const WireResult& result, WireWriter& w) {
@@ -58,6 +65,8 @@ bool IsRequestOpcode(uint16_t opcode) {
     case Opcode::kPing:
     case Opcode::kShutdown:
     case Opcode::kReplApply:
+    case Opcode::kSubscribe:
+    case Opcode::kUnsubscribe:
       return true;
     default:
       return false;
@@ -80,6 +89,10 @@ std::string_view OpcodeName(uint16_t opcode) {
       return "SHUTDOWN";
     case Opcode::kReplApply:
       return "REPL_APPLY";
+    case Opcode::kSubscribe:
+      return "SUBSCRIBE";
+    case Opcode::kUnsubscribe:
+      return "UNSUBSCRIBE";
     case Opcode::kQueryResult:
       return "QUERY_RESULT";
     case Opcode::kBatchResult:
@@ -94,6 +107,12 @@ std::string_view OpcodeName(uint16_t opcode) {
       return "SHUTDOWN_ACK";
     case Opcode::kReplApplyResult:
       return "REPL_APPLY_RESULT";
+    case Opcode::kSubscribeResult:
+      return "SUBSCRIBE_RESULT";
+    case Opcode::kUnsubscribeResult:
+      return "UNSUBSCRIBE_RESULT";
+    case Opcode::kPushAnswer:
+      return "PUSH_ANSWER";
     case Opcode::kError:
       return "ERROR";
   }
@@ -216,6 +235,43 @@ std::vector<uint8_t> EncodeReplApplyRequest(const ReplApplyRequest& request) {
   return w.Take();
 }
 
+std::vector<uint8_t> EncodeSubscribeRequest(const SubscribeRequest& request) {
+  WireWriter w;
+  EncodeWireQuery(request.query, w);
+  w.U8(request.force_push);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeUnsubscribeRequest(
+    const UnsubscribeRequest& request) {
+  WireWriter w;
+  w.U64(request.subscription_id);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeSubscribeResponse(
+    const SubscribeResponse& response) {
+  WireWriter w;
+  w.U64(response.graph_epoch);
+  EncodeWireResult(response.result, w);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeUnsubscribeResponse(
+    const UnsubscribeResponse& response) {
+  WireWriter w;
+  w.U8(response.status);
+  w.U64(response.pushes_sent);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodePushAnswer(const PushAnswer& push) {
+  WireWriter w;
+  w.U64(push.graph_epoch);
+  EncodeWireResult(push.result, w);
+  return w.Take();
+}
+
 std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response) {
   WireWriter w;
   w.U64(response.graph_epoch);
@@ -275,9 +331,9 @@ bool DecodeBatchRequest(std::span<const uint8_t> payload,
   WireReader r(payload);
   uint32_t count = 0;
   if (!r.F64(request.deadline_ms) || !r.U32(count)) return false;
-  // A WireQuery takes at least 26 bytes (2 + 8 + 8 + two u32 counts);
+  // A WireQuery takes at least 30 bytes (2 + 8 + 8 + three u32 counts);
   // bound the reserve by what the payload could actually hold.
-  if (static_cast<uint64_t>(count) * 26 > payload.size()) return false;
+  if (static_cast<uint64_t>(count) * 30 > payload.size()) return false;
   request.jobs.resize(count);
   for (WireQuery& job : request.jobs) {
     if (!DecodeWireQuery(r, job)) return false;
@@ -309,6 +365,45 @@ bool DecodeReplApplyRequest(std::span<const uint8_t> payload,
     if (!r.U32(e.u) || !r.U32(e.v) || !r.F64(e.weight)) return false;
   }
   return r.AtEnd();
+}
+
+bool DecodeSubscribeRequest(std::span<const uint8_t> payload,
+                            SubscribeRequest& request) {
+  WireReader r(payload);
+  if (!DecodeWireQuery(r, request.query) || !r.U8(request.force_push) ||
+      !r.AtEnd()) {
+    return false;
+  }
+  // force_push is a boolean on the wire; any other value is corruption.
+  return request.force_push <= 1;
+}
+
+bool DecodeUnsubscribeRequest(std::span<const uint8_t> payload,
+                              UnsubscribeRequest& request) {
+  WireReader r(payload);
+  return r.U64(request.subscription_id) && r.AtEnd();
+}
+
+bool DecodeSubscribeResponse(std::span<const uint8_t> payload,
+                             SubscribeResponse& response) {
+  WireReader r(payload);
+  return r.U64(response.graph_epoch) && DecodeWireResult(r, response.result) &&
+         r.AtEnd();
+}
+
+bool DecodeUnsubscribeResponse(std::span<const uint8_t> payload,
+                               UnsubscribeResponse& response) {
+  WireReader r(payload);
+  if (!r.U8(response.status) || !r.U64(response.pushes_sent) || !r.AtEnd()) {
+    return false;
+  }
+  return response.status <= 1;
+}
+
+bool DecodePushAnswer(std::span<const uint8_t> payload, PushAnswer& push) {
+  WireReader r(payload);
+  return r.U64(push.graph_epoch) && DecodeWireResult(r, push.result) &&
+         r.AtEnd();
 }
 
 bool DecodeQueryResponse(std::span<const uint8_t> payload,
@@ -375,6 +470,19 @@ WireResult ToWire(const FannResult& result) {
     wire.error = result.error;
   }
   return wire;
+}
+
+bool SameVisibleAnswer(const WireResult& a, const WireResult& b) {
+  if (a.status != b.status) return false;
+  if (a.status == static_cast<uint8_t>(QueryStatus::kOk)) {
+    // Distance compared through its bit pattern: the differential tests
+    // demand bitwise answers, so suppression must too (and NaN-free
+    // doubles make memcmp-of-bits equivalent to == except for ±0, which
+    // no distance computation distinguishes).
+    return a.best == b.best && a.distance == b.distance &&
+           a.subset == b.subset;
+  }
+  return a.error == b.error;
 }
 
 FannResult FromWire(const WireResult& wire) {

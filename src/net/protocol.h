@@ -38,8 +38,10 @@ inline constexpr uint32_t kMagic = 0x50524E46;  // "FNRP"
 
 /// Protocol version this build speaks. A server answers a frame whose
 /// version it does not speak with kUnsupportedVersion and keeps the
-/// connection (framing is version-independent).
-inline constexpr uint16_t kProtocolVersion = 1;
+/// connection (framing is version-independent). Version 2 added
+/// per-query-point weights to WireQuery and the subscription opcodes
+/// (SUBSCRIBE / UNSUBSCRIBE / PUSH_ANSWER).
+inline constexpr uint16_t kProtocolVersion = 2;
 
 /// Hard ceiling on a frame's payload length. A header declaring more is
 /// unframeable corruption: the receiver closes the connection instead
@@ -79,6 +81,12 @@ enum class Opcode : uint16_t {
   /// epoch sequence; a replica whose epoch != position answers status 2
   /// with its current epoch instead of applying out of order.
   kReplApply = 7,
+  /// Registers a standing query (src/cont/): the server re-solves it on
+  /// every graph-epoch bump and pushes changed answers. The request id
+  /// doubles as the subscription id for the connection's lifetime.
+  kSubscribe = 8,
+  /// Cancels a standing query by subscription id.
+  kUnsubscribe = 9,
   // Responses.
   kQueryResult = 0x81,
   kBatchResult = 0x82,
@@ -87,6 +95,12 @@ enum class Opcode : uint16_t {
   kPong = 0x85,
   kShutdownAck = 0x86,
   kReplApplyResult = 0x87,
+  kSubscribeResult = 0x88,
+  kUnsubscribeResult = 0x89,
+  /// Unsolicited server→client frame: a subscription's re-evaluated
+  /// answer. header.request_id carries the subscription id; it answers
+  /// no request, so IsRequestOpcode() is false for it.
+  kPushAnswer = 0x8A,
   kError = 0xFF,
 };
 
@@ -122,6 +136,12 @@ struct WireQuery {
   double deadline_ms = 0.0;
   std::vector<uint32_t> p;  ///< Data point vertex ids.
   std::vector<uint32_t> q;  ///< Query point vertex ids.
+  /// Optional per-query-point weights, aligned with `q`. Empty means
+  /// unweighted; otherwise the size must equal |q| (the decoder rejects
+  /// any other size) and each weight must be finite and positive (the
+  /// server screens values at admission, mirroring in-process
+  /// validation).
+  std::vector<double> weights;
 };
 
 struct QueryRequest {
@@ -155,6 +175,21 @@ struct ReplApplyRequest {
   std::vector<UpdateWeightsRequest::Entry> entries;
 };
 
+/// Registers a standing query. The frame's request_id becomes the
+/// subscription id: it must be unique among the connection's live
+/// subscriptions, and every PUSH_ANSWER for this subscription echoes it
+/// in header.request_id.
+struct SubscribeRequest {
+  WireQuery query;
+  /// 0 = delta semantics (a re-evaluation whose answer is unchanged
+  /// since the last push is suppressed); 1 = push every re-evaluation.
+  uint8_t force_push = 0;
+};
+
+struct UnsubscribeRequest {
+  uint64_t subscription_id = 0;
+};
+
 /// One query's answer on the wire.
 struct WireResult {
   uint8_t status = 0;  ///< QueryStatus enumerator value.
@@ -176,6 +211,26 @@ struct QueryResponse {
 struct BatchResponse {
   uint64_t graph_epoch = 0;
   std::vector<WireResult> results;
+};
+
+/// Answers kSubscribe with the subscription's initial answer, solved at
+/// registration time — the client has a consistent baseline before the
+/// first push.
+struct SubscribeResponse {
+  uint64_t graph_epoch = 0;
+  WireResult result;
+};
+
+struct UnsubscribeResponse {
+  uint8_t status = 0;      ///< 0 = removed, 1 = no such subscription.
+  uint64_t pushes_sent = 0;  ///< PUSH_ANSWER frames this subscription got.
+};
+
+/// One pushed re-evaluation (opcode kPushAnswer, subscription id in
+/// header.request_id), stamped with the graph epoch it was solved at.
+struct PushAnswer {
+  uint64_t graph_epoch = 0;
+  WireResult result;
 };
 
 /// Answers both kUpdateWeights and kReplApply (same shape, different
@@ -227,6 +282,13 @@ std::vector<uint8_t> EncodeBatchRequest(const BatchRequest& request);
 std::vector<uint8_t> EncodeUpdateWeightsRequest(
     const UpdateWeightsRequest& request);
 std::vector<uint8_t> EncodeReplApplyRequest(const ReplApplyRequest& request);
+std::vector<uint8_t> EncodeSubscribeRequest(const SubscribeRequest& request);
+std::vector<uint8_t> EncodeUnsubscribeRequest(
+    const UnsubscribeRequest& request);
+std::vector<uint8_t> EncodeSubscribeResponse(const SubscribeResponse& response);
+std::vector<uint8_t> EncodeUnsubscribeResponse(
+    const UnsubscribeResponse& response);
+std::vector<uint8_t> EncodePushAnswer(const PushAnswer& push);
 std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response);
 std::vector<uint8_t> EncodeBatchResponse(const BatchResponse& response);
 std::vector<uint8_t> EncodeUpdateWeightsResponse(
@@ -244,6 +306,15 @@ bool DecodeUpdateWeightsRequest(std::span<const uint8_t> payload,
                                 UpdateWeightsRequest& request);
 bool DecodeReplApplyRequest(std::span<const uint8_t> payload,
                             ReplApplyRequest& request);
+bool DecodeSubscribeRequest(std::span<const uint8_t> payload,
+                            SubscribeRequest& request);
+bool DecodeUnsubscribeRequest(std::span<const uint8_t> payload,
+                              UnsubscribeRequest& request);
+bool DecodeSubscribeResponse(std::span<const uint8_t> payload,
+                             SubscribeResponse& response);
+bool DecodeUnsubscribeResponse(std::span<const uint8_t> payload,
+                               UnsubscribeResponse& response);
+bool DecodePushAnswer(std::span<const uint8_t> payload, PushAnswer& push);
 bool DecodeQueryResponse(std::span<const uint8_t> payload,
                          QueryResponse& response);
 bool DecodeBatchResponse(std::span<const uint8_t> payload,
@@ -260,6 +331,12 @@ bool DecodeErrorResponse(std::span<const uint8_t> payload,
 /// what the loopback differential test compares bitwise.
 WireResult ToWire(const FannResult& result);
 FannResult FromWire(const WireResult& wire);
+
+/// True when two results carry the same visible answer: status, best,
+/// bitwise distance, subset, and error — but NOT gphi_evaluations (a
+/// work counter: two epochs can produce the identical answer with
+/// different amounts of search). Delta-push suppression keys off this.
+bool SameVisibleAnswer(const WireResult& a, const WireResult& b);
 
 }  // namespace fannr::net
 

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "cont/subscription.h"
 #include "dynamic/update.h"
 #include "dynamic/wal.h"
 #include "obs/trace.h"
@@ -135,6 +136,8 @@ struct FannServer::WorkItem {
   BatchRequest batch;
   UpdateWeightsRequest update;
   ReplApplyRequest repl;
+  SubscribeRequest subscribe;
+  UnsubscribeRequest unsubscribe;
   /// Graph epoch at admission; QUERY/BATCH items are rejected at
   /// execution if the epoch has moved (an update was processed in
   /// between), mirroring the engine's mid-batch contract.
@@ -151,6 +154,9 @@ FannServer::FannServer(Graph* graph, const GphiResources& resources,
   config_.engine_options.enable_metrics = true;
   engine_ = std::make_unique<BatchQueryEngine>(resources_,
                                                config_.engine_options);
+  subs_ = std::make_unique<cont::SubscriptionTable>(
+      config_.max_subscriptions_per_connection,
+      config_.max_subscriptions_total);
 
   m_req_query_ = metrics_.RegisterCounter("server.requests.query");
   m_req_batch_ = metrics_.RegisterCounter("server.requests.batch");
@@ -166,7 +172,16 @@ FannServer::FannServer(Graph* graph, const GphiResources& resources,
   m_accept_errors_ = metrics_.RegisterCounter("server.accept_errors");
   m_stale_admission_ =
       metrics_.RegisterCounter("server.rejected_stale_admission");
+  m_req_subscribe_ = metrics_.RegisterCounter("server.requests.subscribe");
+  m_req_unsubscribe_ =
+      metrics_.RegisterCounter("server.requests.unsubscribe");
+  m_pushes_sent_ = metrics_.RegisterCounter("server.pushes.sent");
+  m_pushes_suppressed_ =
+      metrics_.RegisterCounter("server.pushes.suppressed");
+  m_pushes_dropped_ =
+      metrics_.RegisterCounter("server.pushes.dropped_backpressure");
   m_queue_depth_ = metrics_.RegisterGauge("server.queue_depth");
+  m_subs_active_ = metrics_.RegisterGauge("server.subscriptions.active");
   m_e2e_query_ms_ = metrics_.RegisterHistogram(
       "server.e2e_ms.query", obs::DefaultLatencyBucketsMs());
   m_e2e_batch_ms_ = metrics_.RegisterHistogram(
@@ -175,6 +190,8 @@ FannServer::FannServer(Graph* graph, const GphiResources& resources,
       "server.e2e_ms.update", obs::DefaultLatencyBucketsMs());
   m_queue_wait_ms_ = metrics_.RegisterHistogram(
       "server.queue_wait_ms", obs::DefaultLatencyBucketsMs());
+  m_push_latency_ms_ = metrics_.RegisterHistogram(
+      "server.push_latency_ms", obs::DefaultLatencyBucketsMs());
 }
 
 FannServer::~FannServer() {
@@ -513,6 +530,14 @@ void FannServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
       metrics_.Add(m_req_stats_, 1);
       decoded = cut.payload.empty();
       break;
+    case Opcode::kSubscribe:
+      metrics_.Add(m_req_subscribe_, 1);
+      decoded = DecodeSubscribeRequest(cut.payload, item.subscribe);
+      break;
+    case Opcode::kUnsubscribe:
+      metrics_.Add(m_req_unsubscribe_, 1);
+      decoded = DecodeUnsubscribeRequest(cut.payload, item.unsubscribe);
+      break;
     default:
       break;
   }
@@ -797,6 +822,13 @@ void FannServer::Execute(WorkItem& item) {
     case Opcode::kStats:
       ExecuteStats(item);
       break;
+    case Opcode::kSubscribe:
+      ExecuteSubscribe(item);
+      metrics_.Record(m_e2e_query_ms_, item.e2e_timer.Millis());
+      break;
+    case Opcode::kUnsubscribe:
+      ExecuteUnsubscribe(item);
+      break;
     default:
       break;
   }
@@ -875,6 +907,12 @@ bool FannServer::ScreenJob(const WireQuery& wire, double batch_deadline_ms,
   job.query.query_points = q.get();
   job.query.phi = wire.phi;
   job.query.aggregate = static_cast<Aggregate>(wire.aggregate);
+  // Weights point into the wire request, which outlives the engine Run
+  // at every call site (the WorkItem for one-shot work, the
+  // subscription table entry for re-evaluations). Value validation
+  // (finite, > 0, |Q|-sized) is the engine's screening, so weighted
+  // wire jobs reject with the same reasons in-process callers see.
+  if (!wire.weights.empty()) job.query.weights = &wire.weights;
   job.algorithm = static_cast<FannAlgorithm>(wire.algorithm);
   job.deadline_ms = engine_deadline;
   sets.push_back(std::move(p));
@@ -1002,6 +1040,11 @@ void FannServer::ExecuteUpdate(WorkItem& item) {
   }
   EnqueueFrame(item.conn, Opcode::kUpdateResult, item.request_id,
                EncodeUpdateWeightsResponse(response));
+  // Standing queries re-solve against the new epoch after the updater's
+  // ACK is already on its way out.
+  if (response.status == 0 && response.new_epoch != response.old_epoch) {
+    ReevaluateSubscriptions();
+  }
 }
 
 void FannServer::LogToWal(
@@ -1058,6 +1101,176 @@ void FannServer::ExecuteReplApply(WorkItem& item) {
   }
   EnqueueFrame(item.conn, Opcode::kReplApplyResult, item.request_id,
                EncodeUpdateWeightsResponse(response));
+  // Replicated updates drive subscriptions exactly like direct ones.
+  if (response.status == 0 && response.new_epoch != response.old_epoch) {
+    ReevaluateSubscriptions();
+  }
+}
+
+void FannServer::ExecuteSubscribe(WorkItem& item) {
+  // Judge limits against live connections only: a subscriber that
+  // reconnects should not be blocked by its dead predecessor's slots.
+  subs_->Reap([](const std::shared_ptr<void>& owner) {
+    return static_cast<Connection*>(owner.get())
+        ->open.load(std::memory_order_relaxed);
+  });
+  if ((config_.max_subscriptions_total != 0 &&
+       subs_->size() >= config_.max_subscriptions_total) ||
+      (config_.max_subscriptions_per_connection != 0 &&
+       subs_->OwnerCount(item.conn.get()) >=
+           config_.max_subscriptions_per_connection)) {
+    metrics_.Add(m_overloaded_, 1);
+    metrics_.Set(m_subs_active_, static_cast<double>(subs_->size()));
+    EnqueueError(item.conn, item.request_id, ErrorCode::kOverloaded,
+                 "subscription limit reached — unsubscribe or retry later");
+    return;
+  }
+  if (subs_->Find(item.conn.get(), item.request_id) != nullptr) {
+    metrics_.Add(m_errors_, 1);
+    EnqueueError(item.conn, item.request_id, ErrorCode::kMalformedPayload,
+                 "subscription id " + std::to_string(item.request_id) +
+                     " is already live on this connection");
+    return;
+  }
+
+  // Initial answer, solved at the current epoch (a standing query has
+  // no stale-admission contract — its whole point is to track epochs).
+  SubscribeResponse response;
+  response.graph_epoch = graph_->epoch();
+  std::vector<std::unique_ptr<IndexedVertexSet>> sets;
+  std::vector<FannrQuery> runnable;
+  WireResult rejected;
+  if (!ScreenJob(item.subscribe.query, /*batch_deadline_ms=*/0.0,
+                 item.e2e_timer, sets, runnable, &rejected)) {
+    response.result = std::move(rejected);
+  } else {
+    const std::vector<FannResult> solved =
+        engine_->Run(runnable, "subscription-initial");
+    response.result = ToWire(solved[0]);
+  }
+
+  // Registration succeeds iff the initial answer is kOk, so the client
+  // reads the outcome off the SUBSCRIBE_RESULT status alone: a rejected
+  // or timed-out initial solve refuses the subscription outright rather
+  // than standing up a query that can never push.
+  if (response.result.status == static_cast<uint8_t>(QueryStatus::kOk)) {
+    cont::Subscription sub;
+    sub.id = item.request_id;
+    sub.owner = item.conn;
+    sub.query = std::move(item.subscribe.query);
+    sub.force_push = item.subscribe.force_push != 0;
+    sub.has_last = true;  // the initial answer counts as a delivery
+    sub.last = response.result;
+    sub.last_epoch = response.graph_epoch;
+    const cont::SubscribeOutcome outcome = subs_->Add(std::move(sub));
+    FANNR_CHECK(outcome == cont::SubscribeOutcome::kOk);
+    metrics_.Set(m_subs_active_, static_cast<double>(subs_->size()));
+  }
+  EnqueueFrame(item.conn, Opcode::kSubscribeResult, item.request_id,
+               EncodeSubscribeResponse(response));
+}
+
+void FannServer::ExecuteUnsubscribe(WorkItem& item) {
+  cont::Subscription removed;
+  UnsubscribeResponse response;
+  if (subs_->Remove(item.conn.get(), item.unsubscribe.subscription_id,
+                    &removed)) {
+    response.status = 0;
+    response.pushes_sent = removed.pushes_sent;
+  } else {
+    response.status = 1;
+  }
+  metrics_.Set(m_subs_active_, static_cast<double>(subs_->size()));
+  EnqueueFrame(item.conn, Opcode::kUnsubscribeResult, item.request_id,
+               EncodeUnsubscribeResponse(response));
+}
+
+void FannServer::ReevaluateSubscriptions() {
+  // Connections close on their loops at any time; their subscriptions
+  // die here, before the batch is assembled.
+  subs_->Reap([](const std::shared_ptr<void>& owner) {
+    return static_cast<Connection*>(owner.get())
+        ->open.load(std::memory_order_relaxed);
+  });
+  metrics_.Set(m_subs_active_, static_cast<double>(subs_->size()));
+  if (subs_->empty()) return;
+
+  Timer push_timer;  // epoch bump (just happened) -> push enqueue
+  const GraphEpoch now = graph_->epoch();
+  std::vector<cont::Subscription>& all = subs_->subscriptions();
+
+  // One merged engine Run over every live subscription: burst merging
+  // and the shared distance cache amortize across subscribers exactly
+  // as they do across pipelined one-shot queries. Composition cannot
+  // change any answer (the engine's determinism contract), so a pushed
+  // answer is bitwise what a lone solve at this epoch would produce.
+  std::vector<WireResult> results(all.size());
+  std::vector<std::unique_ptr<IndexedVertexSet>> sets;
+  std::vector<FannrQuery> runnable;
+  std::vector<size_t> runnable_slot;
+  const Timer reeval_timer;  // deadlines (if configured) start here
+  for (size_t i = 0; i < all.size(); ++i) {
+    WireResult rejected;
+    if (ScreenJob(all[i].query, /*batch_deadline_ms=*/0.0, reeval_timer,
+                  sets, runnable, &rejected)) {
+      runnable_slot.push_back(i);
+    } else {
+      results[i] = std::move(rejected);
+    }
+  }
+  if (!runnable.empty()) {
+    const std::vector<FannResult> solved =
+        engine_->Run(runnable, "subscription-reeval");
+    for (size_t j = 0; j < solved.size(); ++j) {
+      results[runnable_slot[j]] = ToWire(solved[j]);
+    }
+  }
+
+  for (size_t i = 0; i < all.size(); ++i) {
+    cont::Subscription& sub = all[i];
+    WireResult& result = results[i];
+    // Delta semantics: an answer the client already has is not pushed
+    // (work counters excluded from the comparison — identical answers
+    // can cost different work at different epochs).
+    if (!sub.force_push && sub.has_last &&
+        SameVisibleAnswer(result, sub.last)) {
+      ++sub.pushes_suppressed;
+      metrics_.Add(m_pushes_suppressed_, 1);
+      continue;
+    }
+    PushAnswer push;
+    push.graph_epoch = now;
+    push.result = result;
+    const auto conn = std::static_pointer_cast<Connection>(sub.owner);
+    if (!TryEnqueuePush(conn, sub.id, EncodePushAnswer(push))) {
+      // Conflated, not lost: delivery state stays put, so the next
+      // re-evaluation sees the answer as still-undelivered and retries
+      // once the backlog drains.
+      ++sub.pushes_dropped_backpressure;
+      metrics_.Add(m_pushes_dropped_, 1);
+      continue;
+    }
+    ++sub.pushes_sent;
+    metrics_.Add(m_pushes_sent_, 1);
+    metrics_.Record(m_push_latency_ms_, push_timer.Millis());
+    sub.has_last = true;
+    sub.last = std::move(result);
+    sub.last_epoch = now;
+  }
+}
+
+bool FannServer::TryEnqueuePush(const std::shared_ptr<Connection>& conn,
+                                uint64_t subscription_id,
+                                std::span<const uint8_t> payload) {
+  if (!conn->open.load(std::memory_order_relaxed)) return false;
+  {
+    // Same bound the read path enforces: a subscriber that stopped
+    // reading gets its pushes conflated instead of an unbounded queue.
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->out.size() > config_.max_outbound_bytes) return false;
+  }
+  EnqueueFrame(conn, Opcode::kPushAnswer, subscription_id, payload);
+  return true;
 }
 
 void FannServer::ExecuteStats(WorkItem& item) {

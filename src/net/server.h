@@ -77,6 +77,10 @@
 #include "net/socket.h"
 #include "obs/metrics.h"
 
+namespace fannr::cont {
+class SubscriptionTable;
+}  // namespace fannr::cont
+
 namespace fannr::dynamic {
 class UpdateWal;
 struct ApplyResult;
@@ -108,6 +112,13 @@ struct ServerConfig {
   /// Max consecutive same-epoch QUERY items merged into one engine Run
   /// (pipelining dispatch amortization). 1 disables merging.
   size_t merge_budget = 64;
+
+  /// Standing-subscription bounds (see src/cont/subscription.h): a
+  /// SUBSCRIBE past either limit is answered OVERLOADED instead of
+  /// registered, so subscribers cannot grow executor-side state without
+  /// limit. 0 = that limit disabled.
+  size_t max_subscriptions_per_connection = 8;
+  size_t max_subscriptions_total = 1024;
 
   /// Default end-to-end deadline for work items without their own
   /// (<= 0 = none). Counted from admission into the queue.
@@ -260,6 +271,25 @@ class FannServer {
   /// which keeps every replica walking the same epoch sequence.
   void ExecuteReplApply(WorkItem& item);
   void ExecuteStats(WorkItem& item);
+  /// Registers a standing query (opcode kSubscribe): screens it, solves
+  /// the initial answer, and registers iff that answer is kOk. The
+  /// SUBSCRIBE frame's request_id becomes the subscription id.
+  void ExecuteSubscribe(WorkItem& item);
+  void ExecuteUnsubscribe(WorkItem& item);
+  /// Re-solves every live subscription against the current (just
+  /// bumped) graph epoch through one tagged engine Run, then pushes the
+  /// answers that visibly changed (or all of them, for force_push
+  /// subscriptions). Called by the executor right after an applied
+  /// weight update, so pushes are solved at exactly the epoch they are
+  /// stamped with.
+  void ReevaluateSubscriptions();
+  /// Pushes one re-evaluated answer unless the connection's transmit
+  /// backlog exceeds max_outbound_bytes — then the push is dropped
+  /// (conflated: delivery state does not advance, so the next
+  /// re-evaluation retries). Returns whether the frame was enqueued.
+  bool TryEnqueuePush(const std::shared_ptr<Connection>& conn,
+                      uint64_t subscription_id,
+                      std::span<const uint8_t> payload);
   /// Validates a WireQuery's ids against the graph and materializes the
   /// vertex sets; empty return = ok. Mirrors in-process screening: any
   /// violation becomes a kRejected result, never UB.
@@ -271,6 +301,8 @@ class FannServer {
   GphiResources resources_;
   ServerConfig config_;
   std::unique_ptr<BatchQueryEngine> engine_;
+  /// Live standing queries. Executor-thread-only, like the engine.
+  std::unique_ptr<cont::SubscriptionTable> subs_;
 
   Socket listener_;
   uint16_t port_ = 0;
@@ -308,10 +340,12 @@ class FannServer {
   obs::MetricsRegistry metrics_{1};
   obs::CounterId m_req_query_, m_req_batch_, m_req_update_, m_req_stats_,
       m_req_ping_, m_req_shutdown_, m_req_repl_, m_errors_, m_overloaded_,
-      m_bad_frames_, m_connections_, m_stale_admission_, m_accept_errors_;
-  obs::GaugeId m_queue_depth_;
+      m_bad_frames_, m_connections_, m_stale_admission_, m_accept_errors_,
+      m_req_subscribe_, m_req_unsubscribe_, m_pushes_sent_,
+      m_pushes_suppressed_, m_pushes_dropped_;
+  obs::GaugeId m_queue_depth_, m_subs_active_;
   obs::HistogramId m_e2e_query_ms_, m_e2e_batch_ms_, m_e2e_update_ms_,
-      m_queue_wait_ms_;
+      m_queue_wait_ms_, m_push_latency_ms_;
 };
 
 }  // namespace fannr::net

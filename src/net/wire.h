@@ -50,6 +50,12 @@ class WireWriter {
     for (uint32_t v : values) U32(v);
   }
 
+  /// u32 element count + binary64 elements.
+  void VecF64(std::span<const double> values) {
+    U32(static_cast<uint32_t>(values.size()));
+    for (double v : values) F64(v);
+  }
+
   const std::vector<uint8_t>& bytes() const { return buf_; }
   std::vector<uint8_t> Take() { return std::move(buf_); }
 
@@ -105,6 +111,17 @@ class WireReader {
     values.resize(size);
     for (uint32_t& v : values) {
       if (!U32(v)) return false;
+    }
+    return true;
+  }
+
+  bool VecF64(std::vector<double>& values) {
+    uint32_t size = 0;
+    if (!U32(size)) return false;
+    if (static_cast<uint64_t>(size) * 8 > Remaining()) return Fail();
+    values.resize(size);
+    for (double& v : values) {
+      if (!F64(v)) return false;
     }
     return true;
   }

@@ -82,6 +82,9 @@ std::string BatchReport::ToJson(int indent) const {
   const std::string pad(static_cast<size_t>(indent), ' ');
   const std::string in = pad + "  ";
   std::string out = "{\n";
+  if (!tag.empty()) {
+    out += in + "\"tag\": \"" + internal_obs::JsonEscape(tag) + "\",\n";
+  }
   out += in + "\"batch_size\": " + std::to_string(batch_size) + ",\n";
   out += in + "\"rejected\": " + std::to_string(rejected) + ",\n";
   out += in + "\"timed_out\": " + std::to_string(timed_out) + ",\n";

@@ -21,6 +21,11 @@ namespace fannr::obs {
 
 /// Summary of one executed batch.
 struct BatchReport {
+  /// Caller-supplied attribution for this Run (e.g. the server tags
+  /// subscription re-evaluations "subscription-reeval"); empty for
+  /// untagged batches.
+  std::string tag;
+
   size_t batch_size = 0;
   size_t rejected = 0;  ///< Jobs that failed validation (status kRejected).
   size_t timed_out = 0;  ///< Jobs whose wall-clock deadline expired.

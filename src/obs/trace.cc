@@ -99,6 +99,10 @@ std::string TraceToJson(const QueryTrace& trace) {
   out += ", \"status\": \"";
   out += QueryStatusName(trace.status);
   out += "\"";
+  if (!trace.batch_tag.empty()) {
+    out += ", \"batch_tag\": \"" + internal_obs::JsonEscape(trace.batch_tag) +
+           "\"";
+  }
   if (!trace.error.empty()) {
     out += ", \"error\": \"" + internal_obs::JsonEscape(trace.error) + "\"";
   }

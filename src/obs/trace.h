@@ -18,6 +18,7 @@
 #define FANNR_OBS_TRACE_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,10 @@ struct QueryTrace {
   FannAlgorithm algorithm = FannAlgorithm::kGd;
   QueryStatus status = QueryStatus::kOk;
   std::string error;        ///< Non-empty iff status == kRejected.
+
+  /// Caller-supplied batch attribution (e.g. "subscription-reeval"); set
+  /// on every trace of a tagged Run, empty for untagged batches.
+  std::string batch_tag;
 
   /// Coarse spans: "dispatch-wait" (Run() start -> worker pickup) and
   /// "solve" (solver entry -> result), in batch-relative time.
@@ -142,6 +147,13 @@ class TracingGphiEngine : public GphiEngine {
     if (trace_ == nullptr) return inner_.Prepare(query_points);
     ScopedTimerMs t(&trace_->gphi_prepare_ms);
     inner_.Prepare(query_points);
+  }
+
+  // Forwarded untimed: binding is a span copy, far below the sampling
+  // noise floor, and forwarding is mandatory — swallowing it here would
+  // trip the weighted solvers' BindWeights check under tracing.
+  bool BindWeights(std::span<const double> weights) override {
+    return inner_.BindWeights(weights);
   }
 
   GphiResult Evaluate(VertexId p, size_t k, Aggregate aggregate) override {

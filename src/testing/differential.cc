@@ -422,7 +422,7 @@ void CheckAggregate(const CheckContext& ctx,
     CheckWithEngine(ctx, kind, p_tree);
   }
 
-  if (ctx.oracle.aggregate == Aggregate::kMax) {
+  if (ctx.oracle.aggregate == Aggregate::kMax && !ctx.query.Weighted()) {
     CheckSingleResult(ctx, SolveExactMax(ctx.query), "Exact-max");
     const auto kexact = SolveKExactMax(ctx.query, ctx.s.k_results);
     CheckKList(ctx, kexact, "k-Exact-max");
@@ -436,7 +436,7 @@ void CheckAggregate(const CheckContext& ctx,
     }
   }
 
-  if (ctx.oracle.aggregate == Aggregate::kSum) {
+  if (ctx.oracle.aggregate == Aggregate::kSum && !ctx.query.Weighted()) {
     GphiResources resources;
     resources.graph = &ctx.graph;
     auto engine = MakeGphiEngine(options.engine_kinds.empty()
@@ -514,6 +514,15 @@ void CheckAggregate(const CheckContext& ctx,
     FannQuery permuted = ctx.query;
     permuted.data_points = &p_set;
     permuted.query_points = &q_set;
+    std::vector<double> w_perm;
+    if (ctx.query.Weighted()) {
+      // Weights follow their query points through the rotation.
+      w_perm = *ctx.query.weights;
+      if (w_perm.size() > 1) {
+        std::rotate(w_perm.begin(), w_perm.begin() + 1, w_perm.end());
+      }
+      permuted.weights = &w_perm;
+    }
     const auto base = SolveKGd(ctx.query, ctx.s.k_results, *engine);
     const auto perm = SolveKGd(permuted, ctx.s.k_results, *engine);
     CompareListsStrict(ctx, base, perm,
@@ -543,7 +552,21 @@ std::vector<std::string> RunDifferentialChecks(
 
   IndexedVertexSet p_set(graph.NumVertices(), scenario.p);
   IndexedVertexSet q_set(graph.NumVertices(), scenario.q);
-  const auto matrix = OracleDistanceMatrix(graph, scenario.p, scenario.q);
+  auto matrix = OracleDistanceMatrix(graph, scenario.p, scenario.q);
+
+  // Weighted scenarios: scale the oracle matrix to w_i * d(q_i, p) up
+  // front. Every downstream check (oracle ranking, subset folds, rank
+  // ties) then audits exactly the quantity the weighted solvers
+  // compute — same doubles, same multiplication, bitwise-comparable.
+  const bool weighted = !scenario.weights.empty();
+  FANNR_CHECK(!weighted || scenario.weights.size() == scenario.q.size());
+  if (weighted) {
+    for (size_t qi = 0; qi < matrix.size(); ++qi) {
+      for (Weight& d : matrix[qi]) {
+        if (d != kInfWeight) d *= scenario.weights[qi];
+      }
+    }
+  }
 
   const bool geometric_ok =
       graph.HasCoordinates() && graph.EuclideanConsistent();
@@ -553,6 +576,9 @@ std::vector<std::string> RunDifferentialChecks(
   std::vector<GphiKind> kinds;
   for (GphiKind kind : options.engine_kinds) {
     if (kind == GphiKind::kAStar && !geometric_ok) continue;
+    // Weighted queries only run on engines whose BindWeights accepts —
+    // the early-terminating kNN engines (INE, G-tree, IER) refuse.
+    if (weighted && !GphiKindSupportsWeights(kind)) continue;
     kinds.push_back(kind);
   }
   DifferentialOptions effective = options;
@@ -577,10 +603,11 @@ std::vector<std::string> RunDifferentialChecks(
 
   for (size_t ai = 0; ai < aggregates.size(); ++ai) {
     FannQuery query{&graph, &p_set, &q_set, scenario.phi, aggregates[ai]};
+    if (weighted) query.weights = &scenario.weights;
     CheckContext ctx{scenario, graph,  p_set,      q_set,
                      matrix,   oracles[ai], query, report};
     CheckAggregate(ctx, effective,
-                   geometric_ok ? &p_tree.value() : nullptr);
+                   geometric_ok && !weighted ? &p_tree.value() : nullptr);
 
     if (options.check_batch) {
       for (FannAlgorithm algorithm :
@@ -588,6 +615,7 @@ std::vector<std::string> RunDifferentialChecks(
             FannAlgorithm::kExactMax, FannAlgorithm::kApxSum}) {
         if (!FannAlgorithmSupports(algorithm, aggregates[ai])) continue;
         if (algorithm == FannAlgorithm::kIer && !geometric_ok) continue;
+        if (weighted && !FannAlgorithmSupportsWeights(algorithm)) continue;
         batch_jobs.push_back({query, algorithm});
         batch_oracles.push_back(&oracles[ai]);
       }
@@ -659,6 +687,14 @@ Scenario MinimizeScenario(const Scenario& scenario,
     }
   }
 
+  // Dropping the weights keeps the repro simpler whenever the failure
+  // is not actually weight-dependent.
+  if (!best.weights.empty()) {
+    Scenario candidate = best;
+    candidate.weights.clear();
+    if (fails(candidate)) best = std::move(candidate);
+  }
+
   // Then shrink k_results.
   for (size_t k : {size_t{1}, size_t{2}, best.k_results / 2}) {
     if (k == 0 || k >= best.k_results) continue;
@@ -688,6 +724,11 @@ Scenario MinimizeScenario(const Scenario& scenario,
           Scenario candidate = best;
           std::vector<VertexId>& cut = candidate.*member;
           cut.erase(cut.begin() + start, cut.begin() + start + len);
+          if (member == &Scenario::q && !candidate.weights.empty()) {
+            // Weights stay aligned with Q through every cut.
+            candidate.weights.erase(candidate.weights.begin() + start,
+                                    candidate.weights.begin() + start + len);
+          }
           if (!cut.empty() && fails(candidate)) {
             best = std::move(candidate);
             changed = true;
@@ -711,6 +752,7 @@ std::string DescribeScenario(const Scenario& scenario) {
   os << " |V|=" << (scenario.graph ? scenario.graph->NumVertices() : 0)
      << " |P|=" << scenario.p.size() << " |Q|=" << scenario.q.size()
      << " phi=" << scenario.phi << " k_results=" << scenario.k_results;
+  if (!scenario.weights.empty()) os << " weighted";
   return os.str();
 }
 

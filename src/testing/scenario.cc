@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -220,6 +221,23 @@ Scenario GenerateScenario(uint64_t seed) {
       break;
   }
 
+  // Per-query-point weights, a third of the time. The power-of-two
+  // branch keeps every w_i * d product exact, so the tie structure the
+  // grid shapes exist for survives weighting; the random branch
+  // stresses the weighted folding order instead.
+  if (rng.NextBool(1.0 / 3.0)) {
+    const bool pow2 = rng.NextBool(0.5);
+    scenario.weights.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+      if (pow2) {
+        constexpr double kPow2[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+        scenario.weights.push_back(kPow2[rng.NextIndex(5)]);
+      } else {
+        scenario.weights.push_back(rng.NextDouble(0.1, 5.0));
+      }
+    }
+  }
+
   scenario.aggregates = AggregateMode::kBoth;
   return scenario;
 }
@@ -253,7 +271,16 @@ bool WriteScenario(const Scenario& scenario, std::ostream& out) {
   for (VertexId v : scenario.p) out << " " << v;
   out << "\nq " << scenario.q.size();
   for (VertexId v : scenario.q) out << " " << v;
-  std::snprintf(buf, sizeof(buf), "\nphi %.17g\n", scenario.phi);
+  out << "\n";
+  if (!scenario.weights.empty()) {
+    out << "weights " << scenario.weights.size();
+    for (double w : scenario.weights) {
+      std::snprintf(buf, sizeof(buf), " %.17g", w);
+      out << buf;
+    }
+    out << "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "phi %.17g\n", scenario.phi);
   out << buf;
   out << "aggregate "
       << (scenario.aggregates == AggregateMode::kBoth      ? "both"
@@ -368,6 +395,19 @@ std::optional<Scenario> ReadScenario(std::istream& in, std::string* error) {
           return Fail(error, "malformed set line: " + line);
         }
       }
+    } else if (tag == "weights") {
+      size_t count;
+      if (!(ls >> count)) {
+        return Fail(error, "malformed weights line: " + line);
+      }
+      scenario.weights.resize(count);
+      for (size_t i = 0; i < count; ++i) {
+        if (!(ls >> scenario.weights[i]) ||
+            !std::isfinite(scenario.weights[i]) ||
+            !(scenario.weights[i] > 0.0)) {
+          return Fail(error, "malformed weights line: " + line);
+        }
+      }
     } else if (tag == "phi") {
       if (!(ls >> scenario.phi) || !(scenario.phi > 0.0) ||
           scenario.phi > 1.0) {
@@ -401,6 +441,10 @@ std::optional<Scenario> ReadScenario(std::istream& in, std::string* error) {
   if (edges_seen != num_edges) return Fail(error, "edge count mismatch");
   if (scenario.p.empty() || scenario.q.empty()) {
     return Fail(error, "empty P or Q");
+  }
+  if (!scenario.weights.empty() &&
+      scenario.weights.size() != scenario.q.size()) {
+    return Fail(error, "weight count != |Q|");
   }
   if (!ensure_vertices()) return Fail(error, vertex_error);
   scenario.graph = std::make_shared<const Graph>(builder.Build());

@@ -41,6 +41,10 @@ struct Scenario {
   std::shared_ptr<const Graph> graph;
   std::vector<VertexId> p;  // data points, distinct
   std::vector<VertexId> q;  // query points, distinct (may overlap p)
+  /// Optional per-query-point weights aligned with q (empty =
+  /// unweighted): solvers select and fold w_i * d(p, q_i) instead of
+  /// raw distances (the weighted FANN generalization).
+  std::vector<double> weights;
   double phi = 0.5;
   size_t k_results = 1;
   AggregateMode aggregates = AggregateMode::kBoth;

@@ -6,6 +6,7 @@
 
 #include "testing/differential.h"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <string>
@@ -46,6 +47,8 @@ TEST(ScenarioGeneratorTest, CoversTheAdversarialShapes) {
   bool saw_phi_one = false;
   bool saw_phi_min = false;
   bool saw_k_results_above_p = false;
+  bool saw_weighted = false;
+  bool saw_pow2_weighted = false;
   for (uint64_t seed = 1; seed <= 150; ++seed) {
     const Scenario s = GenerateScenario(seed);
     notes.insert(s.note);
@@ -54,6 +57,15 @@ TEST(ScenarioGeneratorTest, CoversTheAdversarialShapes) {
       saw_phi_min = true;
     }
     if (s.k_results > s.p.size()) saw_k_results_above_p = true;
+    if (!s.weights.empty()) {
+      ASSERT_EQ(s.weights.size(), s.q.size()) << "seed " << seed;
+      saw_weighted = true;
+      const bool pow2 = std::all_of(
+          s.weights.begin(), s.weights.end(), [](double w) {
+            return w == 0.25 || w == 0.5 || w == 1.0 || w == 2.0 || w == 4.0;
+          });
+      if (pow2) saw_pow2_weighted = true;
+    }
   }
   // All five graph shapes must appear in a modest seed range.
   EXPECT_TRUE(notes.count("tie-grid"));
@@ -65,10 +77,15 @@ TEST(ScenarioGeneratorTest, CoversTheAdversarialShapes) {
   EXPECT_TRUE(saw_phi_one);
   EXPECT_TRUE(saw_phi_min);
   EXPECT_TRUE(saw_k_results_above_p);
+  // ... and both weighted flavors (arbitrary and tie-preserving
+  // power-of-two weights).
+  EXPECT_TRUE(saw_weighted);
+  EXPECT_TRUE(saw_pow2_weighted);
 }
 
 TEST(ScenarioSerializationTest, RoundTripsBitwise) {
-  for (uint64_t seed : {3u, 21u, 44u}) {
+  bool round_tripped_weights = false;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
     const Scenario original = GenerateScenario(seed);
     std::ostringstream first;
     ASSERT_TRUE(WriteScenario(original, first));
@@ -80,10 +97,53 @@ TEST(ScenarioSerializationTest, RoundTripsBitwise) {
     EXPECT_EQ(reparsed->q, original.q);
     EXPECT_EQ(reparsed->phi, original.phi);  // bitwise via %.17g
     EXPECT_EQ(reparsed->k_results, original.k_results);
+    EXPECT_EQ(reparsed->weights, original.weights);  // bitwise via %.17g
+    if (!original.weights.empty()) round_tripped_weights = true;
     std::ostringstream second;
     ASSERT_TRUE(WriteScenario(*reparsed, second));
     EXPECT_EQ(first.str(), second.str()) << "seed " << seed;
   }
+  // The sweep must have exercised the weights line, not just skipped it.
+  EXPECT_TRUE(round_tripped_weights);
+}
+
+TEST(ScenarioSerializationTest, RejectsMalformedWeights) {
+  // Start from a valid weighted scenario and corrupt only its weights
+  // line: non-positive, non-finite, count mismatched with |Q|.
+  Scenario weighted;
+  for (uint64_t seed = 1; weighted.weights.empty(); ++seed) {
+    ASSERT_LE(seed, 200u) << "no weighted scenario in the seed range";
+    weighted = GenerateScenario(seed);
+  }
+  ASSERT_GT(weighted.q.size(), 1u);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteScenario(weighted, out));
+  const std::string good = out.str();
+  const size_t line_start = good.find("\nweights ");
+  ASSERT_NE(line_start, std::string::npos);
+  const size_t value_start = good.find(' ', line_start + 1);
+  const size_t line_end = good.find('\n', line_start + 1);
+  ASSERT_NE(line_end, std::string::npos);
+
+  const auto parses = [](const std::string& text) {
+    std::istringstream in(text);
+    return ReadScenario(in).has_value();
+  };
+  ASSERT_TRUE(parses(good));
+
+  std::string bad = good;
+  bad.replace(value_start + 1, line_end - value_start - 1,
+              std::to_string(weighted.weights.size()) + " -1.0");
+  EXPECT_FALSE(parses(bad)) << "negative weight accepted";
+
+  bad = good;
+  bad.replace(value_start + 1, line_end - value_start - 1,
+              std::to_string(weighted.weights.size()) + " nan");
+  EXPECT_FALSE(parses(bad)) << "non-finite weight accepted";
+
+  bad = good;
+  bad.replace(value_start + 1, line_end - value_start - 1, "1 2.0");
+  EXPECT_FALSE(parses(bad)) << "weight count != |Q| accepted";
 }
 
 TEST(ScenarioSerializationTest, RejectsMalformedInput) {
@@ -137,6 +197,39 @@ TEST(DifferentialCheckTest, HandcraftedTieScenarioIsClean) {
   s.phi = 0.6;  // k = 3
   s.k_results = 4;
   s.note = "handcrafted corner ties";
+  const auto violations = RunDifferentialChecks(s, DifferentialOptions{});
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST(DifferentialCheckTest, HandcraftedWeightedScenarioIsClean) {
+  // The corner-tie grid again, but weighted: power-of-two weights keep
+  // every product w_i * d exact, so the harness's bitwise cross-checks
+  // stay live while the weighted SelectAndFold path is exercised
+  // end-to-end (oracle matrix scaling, solver filtering, permutation
+  // invariance with rotated weights).
+  GraphBuilder builder;
+  const double cell = 1000.0;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      builder.AddVertex({c * cell, r * cell});
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const VertexId u = static_cast<VertexId>(r * 3 + c);
+      if (c + 1 < 3) builder.AddEdge(u, u + 1, cell);
+      if (r + 1 < 3) builder.AddEdge(u, u + 3, cell);
+    }
+  }
+  Scenario s;
+  s.graph = std::make_shared<const Graph>(builder.Build());
+  s.p = {0, 2, 6, 8};
+  s.q = {4, 1, 3, 5, 7};
+  s.weights = {2.0, 0.5, 1.0, 0.5, 4.0};
+  s.phi = 0.6;  // k = 3
+  s.k_results = 4;
+  s.note = "handcrafted weighted corner ties";
   const auto violations = RunDifferentialChecks(s, DifferentialOptions{});
   EXPECT_TRUE(violations.empty())
       << (violations.empty() ? "" : violations.front());

@@ -27,6 +27,8 @@ WireQuery MakeWireQuery() {
   query.deadline_ms = 40.0;
   query.p = {3, 1, 4, 15, 9, 26};
   query.q = {5, 35, 8, 97, 93};
+  // Aligned with q; exactly representable so round-trips are bitwise.
+  query.weights = {0.5, 2.0, 1.0, 0.25, 4.0};
   return query;
 }
 
@@ -37,6 +39,17 @@ void ExpectWireQueryEq(const WireQuery& a, const WireQuery& b) {
   EXPECT_EQ(a.deadline_ms, b.deadline_ms);
   EXPECT_EQ(a.p, b.p);
   EXPECT_EQ(a.q, b.q);
+  EXPECT_EQ(a.weights, b.weights);
+}
+
+WireResult MakeOkResult() {
+  WireResult result;
+  result.status = 0;
+  result.best = 12;
+  result.distance = 345.75;
+  result.gphi_evaluations = 99;
+  result.subset = {5, 8, 35};
+  return result;
 }
 
 // One payload type: a valid encoding plus a decoder that returns
@@ -154,6 +167,54 @@ std::vector<PayloadKind> AllPayloadKinds() {
                      return DecodeErrorResponse(bytes, out);
                    }});
 
+  SubscribeRequest subscribe_request;
+  subscribe_request.query = MakeWireQuery();
+  subscribe_request.force_push = 1;
+  kinds.push_back({"SubscribeRequest",
+                   EncodeSubscribeRequest(subscribe_request),
+                   [](std::span<const uint8_t> bytes) {
+                     SubscribeRequest out;
+                     return DecodeSubscribeRequest(bytes, out);
+                   }});
+
+  UnsubscribeRequest unsubscribe_request;
+  unsubscribe_request.subscription_id = 0xFEEDFACE01234567ull;
+  kinds.push_back({"UnsubscribeRequest",
+                   EncodeUnsubscribeRequest(unsubscribe_request),
+                   [](std::span<const uint8_t> bytes) {
+                     UnsubscribeRequest out;
+                     return DecodeUnsubscribeRequest(bytes, out);
+                   }});
+
+  SubscribeResponse subscribe_response;
+  subscribe_response.graph_epoch = 11;
+  subscribe_response.result = MakeOkResult();
+  kinds.push_back({"SubscribeResponse",
+                   EncodeSubscribeResponse(subscribe_response),
+                   [](std::span<const uint8_t> bytes) {
+                     SubscribeResponse out;
+                     return DecodeSubscribeResponse(bytes, out);
+                   }});
+
+  UnsubscribeResponse unsubscribe_response;
+  unsubscribe_response.status = 0;
+  unsubscribe_response.pushes_sent = 42;
+  kinds.push_back({"UnsubscribeResponse",
+                   EncodeUnsubscribeResponse(unsubscribe_response),
+                   [](std::span<const uint8_t> bytes) {
+                     UnsubscribeResponse out;
+                     return DecodeUnsubscribeResponse(bytes, out);
+                   }});
+
+  PushAnswer push_answer;
+  push_answer.graph_epoch = 12;
+  push_answer.result = MakeOkResult();
+  kinds.push_back({"PushAnswer", EncodePushAnswer(push_answer),
+                   [](std::span<const uint8_t> bytes) {
+                     PushAnswer out;
+                     return DecodePushAnswer(bytes, out);
+                   }});
+
   return kinds;
 }
 
@@ -171,7 +232,10 @@ TEST(NetProtocolTest, BatchRequestRoundTrips) {
   BatchRequest request;
   request.deadline_ms = 250.0;
   request.jobs = {MakeWireQuery(), MakeWireQuery(), MakeWireQuery()};
+  // An empty-Q job must shed its weights too: the decoder enforces
+  // |weights| == |Q| whenever weights are present.
   request.jobs[2].q.clear();
+  request.jobs[2].weights.clear();
   BatchRequest decoded;
   ASSERT_TRUE(DecodeBatchRequest(EncodeBatchRequest(request), decoded));
   EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
@@ -325,10 +389,156 @@ TEST(NetProtocolTest, WrongVersionIsNonFatal) {
 TEST(NetProtocolTest, ResponseOpcodesAreNotRequests) {
   EXPECT_TRUE(IsRequestOpcode(static_cast<uint16_t>(Opcode::kQuery)));
   EXPECT_TRUE(IsRequestOpcode(static_cast<uint16_t>(Opcode::kShutdown)));
+  EXPECT_TRUE(IsRequestOpcode(static_cast<uint16_t>(Opcode::kSubscribe)));
+  EXPECT_TRUE(IsRequestOpcode(static_cast<uint16_t>(Opcode::kUnsubscribe)));
   EXPECT_FALSE(IsRequestOpcode(static_cast<uint16_t>(Opcode::kQueryResult)));
   EXPECT_FALSE(IsRequestOpcode(static_cast<uint16_t>(Opcode::kError)));
+  EXPECT_FALSE(
+      IsRequestOpcode(static_cast<uint16_t>(Opcode::kSubscribeResult)));
+  EXPECT_FALSE(
+      IsRequestOpcode(static_cast<uint16_t>(Opcode::kUnsubscribeResult)));
+  EXPECT_FALSE(IsRequestOpcode(static_cast<uint16_t>(Opcode::kPushAnswer)))
+      << "PUSH_ANSWER is server-to-client only; a client must not be able "
+         "to submit one as a request";
   EXPECT_FALSE(IsRequestOpcode(0));
   EXPECT_FALSE(IsRequestOpcode(0x7777));
+}
+
+// --- subscription opcodes (PR 10) -----------------------------------------
+
+TEST(NetProtocolTest, SubscribeRequestRoundTrips) {
+  for (const uint8_t force_push : {uint8_t{0}, uint8_t{1}}) {
+    SubscribeRequest request;
+    request.query = MakeWireQuery();
+    request.force_push = force_push;
+    SubscribeRequest decoded;
+    ASSERT_TRUE(
+        DecodeSubscribeRequest(EncodeSubscribeRequest(request), decoded));
+    ExpectWireQueryEq(request.query, decoded.query);
+    EXPECT_EQ(decoded.force_push, force_push);
+  }
+}
+
+TEST(NetProtocolTest, NonBooleanForcePushRejected) {
+  SubscribeRequest request;
+  request.query = MakeWireQuery();
+  request.force_push = 1;
+  std::vector<uint8_t> bytes = EncodeSubscribeRequest(request);
+  // force_push is the final byte of the payload.
+  bytes.back() = 2;
+  SubscribeRequest out;
+  EXPECT_FALSE(DecodeSubscribeRequest(bytes, out));
+}
+
+TEST(NetProtocolTest, UnsubscribeRoundTrips) {
+  UnsubscribeRequest request;
+  request.subscription_id = 0x0123456789ABCDEFull;
+  UnsubscribeRequest decoded;
+  ASSERT_TRUE(
+      DecodeUnsubscribeRequest(EncodeUnsubscribeRequest(request), decoded));
+  EXPECT_EQ(decoded.subscription_id, request.subscription_id);
+
+  UnsubscribeResponse response;
+  response.status = 0;
+  response.pushes_sent = 7;
+  UnsubscribeResponse decoded_response;
+  ASSERT_TRUE(DecodeUnsubscribeResponse(EncodeUnsubscribeResponse(response),
+                                        decoded_response));
+  EXPECT_EQ(decoded_response.status, 0);
+  EXPECT_EQ(decoded_response.pushes_sent, 7u);
+}
+
+TEST(NetProtocolTest, UnsubscribeResponseStatusRangeEnforced) {
+  UnsubscribeResponse response;
+  response.status = 1;  // unknown id
+  std::vector<uint8_t> bytes = EncodeUnsubscribeResponse(response);
+  bytes[0] = 2;  // outside {0 = removed, 1 = unknown}
+  UnsubscribeResponse out;
+  EXPECT_FALSE(DecodeUnsubscribeResponse(bytes, out));
+}
+
+TEST(NetProtocolTest, SubscribeResponseRoundTrips) {
+  SubscribeResponse response;
+  response.graph_epoch = 1234567;
+  response.result = MakeOkResult();
+  SubscribeResponse decoded;
+  ASSERT_TRUE(
+      DecodeSubscribeResponse(EncodeSubscribeResponse(response), decoded));
+  EXPECT_EQ(decoded.graph_epoch, response.graph_epoch);
+  EXPECT_EQ(decoded.result.best, response.result.best);
+  EXPECT_EQ(decoded.result.distance, response.result.distance);
+  EXPECT_EQ(decoded.result.subset, response.result.subset);
+}
+
+TEST(NetProtocolTest, PushAnswerRoundTrips) {
+  PushAnswer push;
+  push.graph_epoch = 99;
+  push.result = MakeOkResult();
+  PushAnswer decoded;
+  ASSERT_TRUE(DecodePushAnswer(EncodePushAnswer(push), decoded));
+  EXPECT_EQ(decoded.graph_epoch, 99u);
+  EXPECT_EQ(decoded.result.best, push.result.best);
+  EXPECT_EQ(decoded.result.distance, push.result.distance);
+  EXPECT_EQ(decoded.result.gphi_evaluations, push.result.gphi_evaluations);
+  EXPECT_EQ(decoded.result.subset, push.result.subset);
+
+  // An error-carrying push (a subscription whose re-evaluation was
+  // rejected) round-trips too.
+  PushAnswer rejected;
+  rejected.graph_epoch = 100;
+  rejected.result.status = 1;
+  rejected.result.error = "stale admission epoch";
+  PushAnswer rejected_decoded;
+  ASSERT_TRUE(DecodePushAnswer(EncodePushAnswer(rejected), rejected_decoded));
+  EXPECT_EQ(rejected_decoded.result.status, 1);
+  EXPECT_EQ(rejected_decoded.result.error, rejected.result.error);
+}
+
+TEST(NetProtocolTest, WeightCountMismatchRejected) {
+  // weights must be empty or exactly |q| long; anything else is refused
+  // at decode time, before the query can reach the engine.
+  WireQuery query = MakeWireQuery();
+  query.weights.pop_back();
+  QueryRequest request;
+  request.query = query;
+  QueryRequest out;
+  EXPECT_FALSE(DecodeQueryRequest(EncodeQueryRequest(request), out));
+
+  query.weights.clear();
+  request.query = query;
+  EXPECT_TRUE(DecodeQueryRequest(EncodeQueryRequest(request), out));
+  EXPECT_TRUE(out.query.weights.empty());
+}
+
+TEST(NetProtocolTest, SameVisibleAnswerMatchesDeltaSemantics) {
+  const WireResult a = MakeOkResult();
+  WireResult b = a;
+  EXPECT_TRUE(SameVisibleAnswer(a, b));
+
+  // gphi_evaluations is cost accounting, not part of the visible answer.
+  b.gphi_evaluations = a.gphi_evaluations + 5;
+  EXPECT_TRUE(SameVisibleAnswer(a, b));
+
+  b = a;
+  b.distance = a.distance + 1.0;
+  EXPECT_FALSE(SameVisibleAnswer(a, b));
+
+  b = a;
+  b.best = a.best + 1;
+  EXPECT_FALSE(SameVisibleAnswer(a, b));
+
+  b = a;
+  b.subset = {5, 8};
+  EXPECT_FALSE(SameVisibleAnswer(a, b));
+
+  WireResult err_a;
+  err_a.status = 1;
+  err_a.error = "reason";
+  WireResult err_b = err_a;
+  EXPECT_FALSE(SameVisibleAnswer(a, err_a));
+  EXPECT_TRUE(SameVisibleAnswer(err_a, err_b));
+  err_b.error = "another reason";
+  EXPECT_FALSE(SameVisibleAnswer(err_a, err_b));
 }
 
 // --- corruption sweeps ----------------------------------------------------

@@ -1,0 +1,148 @@
+// Unit tests for cont::SubscriptionTable — the executor-owned registry
+// behind continuous queries (src/cont/subscription.h): registration
+// ordering, per-connection and global limits (capacity judged before
+// duplicate ids so an over-limit client always gets the retryable
+// outcome), reaping dead owners, and push accounting that survives
+// removals.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cont/subscription.h"
+
+namespace fannr::cont {
+namespace {
+
+std::shared_ptr<void> MakeOwner() { return std::make_shared<int>(0); }
+
+Subscription Make(std::shared_ptr<void> owner, uint64_t id) {
+  Subscription sub;
+  sub.id = id;
+  sub.owner = std::move(owner);
+  return sub;
+}
+
+TEST(SubscriptionTable, AddFindRemovePreserveRegistrationOrder) {
+  SubscriptionTable table(/*max_per_connection=*/0, /*max_total=*/0);
+  const auto a = MakeOwner();
+  const auto b = MakeOwner();
+
+  EXPECT_EQ(table.Add(Make(a, 1)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.Add(Make(b, 1)), SubscribeOutcome::kOk);  // ids are per-owner
+  EXPECT_EQ(table.Add(Make(a, 2)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.OwnerCount(a.get()), 2u);
+  EXPECT_EQ(table.OwnerCount(b.get()), 1u);
+
+  // Iteration is registration order — the re-evaluation sweep (and so
+  // push order) depends on it.
+  ASSERT_EQ(table.subscriptions().size(), 3u);
+  EXPECT_EQ(table.subscriptions()[0].owner.get(), a.get());
+  EXPECT_EQ(table.subscriptions()[1].owner.get(), b.get());
+  EXPECT_EQ(table.subscriptions()[2].id, 2u);
+
+  EXPECT_NE(table.Find(a.get(), 1), nullptr);
+  EXPECT_EQ(table.Find(a.get(), 3), nullptr);
+  EXPECT_EQ(table.Find(b.get(), 2), nullptr);
+
+  Subscription removed;
+  EXPECT_TRUE(table.Remove(a.get(), 1, &removed));
+  EXPECT_EQ(removed.id, 1u);
+  EXPECT_FALSE(table.Remove(a.get(), 1));  // already gone
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.Find(a.get(), 1), nullptr);
+  EXPECT_NE(table.Find(a.get(), 2), nullptr);
+}
+
+TEST(SubscriptionTable, DuplicateIdRefusedPerOwner) {
+  SubscriptionTable table(0, 0);
+  const auto a = MakeOwner();
+  EXPECT_EQ(table.Add(Make(a, 7)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.Add(Make(a, 7)), SubscribeOutcome::kDuplicateId);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SubscriptionTable, LimitsTripAndCapacityOutranksDuplicate) {
+  SubscriptionTable table(/*max_per_connection=*/2, /*max_total=*/3);
+  const auto a = MakeOwner();
+  const auto b = MakeOwner();
+  const auto c = MakeOwner();
+
+  EXPECT_EQ(table.Add(Make(a, 1)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.Add(Make(a, 2)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.Add(Make(a, 3)), SubscribeOutcome::kPerConnectionLimit);
+  // Per-connection capacity is judged before the duplicate check: a
+  // full connection reusing an id still gets the retryable outcome.
+  EXPECT_EQ(table.Add(Make(a, 1)), SubscribeOutcome::kPerConnectionLimit);
+
+  EXPECT_EQ(table.Add(Make(b, 1)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.Add(Make(c, 1)), SubscribeOutcome::kGlobalLimit);
+
+  // Freeing a slot makes both limits recoverable.
+  EXPECT_TRUE(table.Remove(a.get(), 1));
+  EXPECT_EQ(table.Add(Make(c, 1)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(SubscriptionTable, ZeroMeansUnlimited) {
+  SubscriptionTable table(0, 0);
+  const auto a = MakeOwner();
+  for (uint64_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(table.Add(Make(a, id)), SubscribeOutcome::kOk);
+  }
+  EXPECT_EQ(table.size(), 100u);
+}
+
+TEST(SubscriptionTable, ReapDropsDeadOwnersOnly) {
+  SubscriptionTable table(0, 0);
+  const auto alive = MakeOwner();
+  const auto dead = MakeOwner();
+  EXPECT_EQ(table.Add(Make(alive, 1)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.Add(Make(dead, 1)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.Add(Make(dead, 2)), SubscribeOutcome::kOk);
+
+  const size_t reaped = table.Reap(
+      [&](const std::shared_ptr<void>& owner) { return owner == alive; });
+  EXPECT_EQ(reaped, 2u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_NE(table.Find(alive.get(), 1), nullptr);
+  EXPECT_EQ(table.OwnerCount(dead.get()), 0u);
+}
+
+TEST(SubscriptionTable, TotalPushesSentSurvivesRemovalAndReap) {
+  SubscriptionTable table(0, 0);
+  const auto a = MakeOwner();
+  const auto b = MakeOwner();
+
+  Subscription s1 = Make(a, 1);
+  s1.pushes_sent = 5;
+  Subscription s2 = Make(b, 1);
+  s2.pushes_sent = 7;
+  Subscription s3 = Make(b, 2);
+  s3.pushes_sent = 11;
+  EXPECT_EQ(table.Add(std::move(s1)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.Add(std::move(s2)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.Add(std::move(s3)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.total_pushes_sent(), 23u);
+
+  // An unsubscribe reports the final count AND keeps it in the total:
+  // stats must not shrink when clients leave.
+  Subscription removed;
+  EXPECT_TRUE(table.Remove(a.get(), 1, &removed));
+  EXPECT_EQ(removed.pushes_sent, 5u);
+  EXPECT_EQ(table.total_pushes_sent(), 23u);
+
+  table.Reap([](const std::shared_ptr<void>&) { return false; });
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.total_pushes_sent(), 23u);
+
+  // Live deliveries keep accruing on top of the retired total.
+  Subscription s4 = Make(a, 9);
+  s4.pushes_sent = 2;
+  EXPECT_EQ(table.Add(std::move(s4)), SubscribeOutcome::kOk);
+  EXPECT_EQ(table.total_pushes_sent(), 25u);
+}
+
+}  // namespace
+}  // namespace fannr::cont

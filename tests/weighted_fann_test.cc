@@ -1,0 +1,278 @@
+// Per-query-point weights (the weighted FANN generalization): solvers
+// fold w_i * d(p, q_i) instead of raw distances. Weight-capable solvers
+// must agree with a weighted brute force and with each other bitwise,
+// unit weights must be indistinguishable from the unweighted path, and
+// weight-incapable engines/algorithms must refuse — via BindWeights at
+// the solver layer and via per-job kRejected screening in the batch
+// engine (never a process abort on externally-assembled jobs).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/batch_engine.h"
+#include "fann/fannr.h"
+#include "fann_world.h"
+#include "sp/dijkstra.h"
+#include "test_util.h"
+
+namespace fannr {
+namespace {
+
+uint64_t DistanceBits(double distance) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(distance));
+  std::memcpy(&bits, &distance, sizeof(bits));
+  return bits;
+}
+
+/// Weighted brute force: for every p, sort the weighted distances
+/// w_i * d(q_i, p) ascending and fold the k smallest — the same
+/// transform-then-SelectAndFold structure the solvers use, so sum
+/// results are bitwise comparable, not merely close.
+struct WeightedBrute {
+  VertexId best = kInvalidVertex;
+  Weight distance = kInfWeight;
+};
+WeightedBrute BruteForceWeighted(const Graph& graph,
+                                 const std::vector<VertexId>& p,
+                                 const std::vector<VertexId>& q,
+                                 const std::vector<double>& weights,
+                                 double phi, Aggregate aggregate) {
+  const size_t k = FlexK(phi, q.size());
+  std::vector<std::vector<Weight>> from_q;
+  for (VertexId qi : q) from_q.push_back(DijkstraSssp(graph, qi));
+  WeightedBrute result;
+  for (VertexId candidate : p) {
+    std::vector<Weight> weighted;
+    weighted.reserve(q.size());
+    for (size_t i = 0; i < q.size(); ++i) {
+      const Weight d = from_q[i][candidate];
+      weighted.push_back(d == kInfWeight ? kInfWeight : weights[i] * d);
+    }
+    std::sort(weighted.begin(), weighted.end());
+    if (weighted[k - 1] == kInfWeight) continue;
+    const Weight folded = FoldSorted(weighted.data(), k, aggregate);
+    if (folded < result.distance ||
+        (folded == result.distance && candidate < result.best)) {
+      result.best = candidate;
+      result.distance = folded;
+    }
+  }
+  return result;
+}
+
+/// The engine kinds whose searches stay exact under the weight
+/// transform (GphiKindSupportsWeights).
+std::vector<GphiKind> WeightCapableKinds() {
+  std::vector<GphiKind> kinds;
+  for (GphiKind kind : kAllGphiKinds) {
+    if (GphiKindSupportsWeights(kind)) kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+struct WeightedInstance {
+  std::vector<VertexId> p_vec;
+  std::vector<VertexId> q_vec;
+  std::vector<double> weights;
+  IndexedVertexSet p;
+  IndexedVertexSet q;
+
+  WeightedInstance(const Graph& graph, Rng& rng, bool pow2)
+      : p_vec(testing::SampleVertices(graph, 30, rng)),
+        q_vec(testing::SampleVertices(graph, 10, rng)),
+        p(graph.NumVertices(), p_vec),
+        q(graph.NumVertices(), q_vec) {
+    weights.reserve(q_vec.size());
+    for (size_t i = 0; i < q_vec.size(); ++i) {
+      if (pow2) {
+        constexpr double kPow2[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+        weights.push_back(kPow2[rng.NextIndex(5)]);
+      } else {
+        weights.push_back(rng.NextDouble(0.1, 4.0));
+      }
+    }
+  }
+};
+
+TEST(WeightedFann, SolversMatchBruteForceAndAgreeWithinEngine) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+
+  Rng rng(20260808);
+  for (const Aggregate aggregate : {Aggregate::kSum, Aggregate::kMax}) {
+    for (const double phi : {0.4, 1.0}) {
+      SCOPED_TRACE(std::string(AggregateName(aggregate)) + " phi " +
+                   std::to_string(phi));
+      const WeightedInstance inst(graph, rng, /*pow2=*/false);
+      FannQuery query{&graph, &inst.p, &inst.q, phi, aggregate,
+                      &inst.weights};
+      const WeightedBrute brute = BruteForceWeighted(
+          graph, inst.p_vec, inst.q_vec, inst.weights, phi, aggregate);
+      ASSERT_NE(brute.best, kInvalidVertex);
+
+      const FannResult naive = SolveNaive(query);
+      EXPECT_EQ(naive.best, brute.best);
+      EXPECT_NEAR(naive.distance, brute.distance, 1e-9);
+
+      for (const GphiKind kind : WeightCapableKinds()) {
+        SCOPED_TRACE(GphiKindName(kind));
+        auto engine = MakeGphiEngine(kind, world.Resources());
+        const FannResult gd = SolveGd(query, *engine);
+        const FannResult rlist = SolveRList(query, *engine);
+        // Near-agreement across engine kinds (PHL/CH distances differ
+        // from Dijkstra's by path-concatenation rounding, like the
+        // unweighted cross-engine tests)...
+        for (const FannResult* r : {&gd, &rlist}) {
+          EXPECT_EQ(r->best, brute.best);
+          EXPECT_NEAR(r->distance, brute.distance, 1e-6);
+          // Same subset content; SelectAndFold orders nearest-first
+          // while the naive enumerator reports Q order.
+          std::vector<VertexId> got = r->subset;
+          std::vector<VertexId> want = naive.subset;
+          std::sort(got.begin(), got.end());
+          std::sort(want.begin(), want.end());
+          EXPECT_EQ(got, want);
+        }
+        // ...and bitwise agreement within one engine: GD and R-List
+        // share the engine's SelectAndFold, so their answers must be
+        // identical to the bit.
+        EXPECT_EQ(gd.best, rlist.best);
+        EXPECT_EQ(DistanceBits(gd.distance), DistanceBits(rlist.distance));
+        EXPECT_EQ(gd.subset, rlist.subset);
+      }
+    }
+  }
+}
+
+TEST(WeightedFann, UnitWeightsAreBitwiseIdenticalToUnweighted) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+
+  Rng rng(424242);
+  WeightedInstance inst(graph, rng, /*pow2=*/true);
+  std::fill(inst.weights.begin(), inst.weights.end(), 1.0);
+
+  for (const Aggregate aggregate : {Aggregate::kSum, Aggregate::kMax}) {
+    FannQuery weighted{&graph, &inst.p, &inst.q, 0.5, aggregate,
+                       &inst.weights};
+    FannQuery plain{&graph, &inst.p, &inst.q, 0.5, aggregate};
+    auto engine = MakeGphiEngine(GphiKind::kAStar, world.Resources());
+    const FannResult a = SolveRList(weighted, *engine);
+    const FannResult b = SolveRList(plain, *engine);
+    EXPECT_EQ(a.best, b.best);
+    EXPECT_EQ(DistanceBits(a.distance), DistanceBits(b.distance));
+    EXPECT_EQ(a.subset, b.subset);
+  }
+}
+
+TEST(WeightedFann, KSolversAgreeBitwiseUnderWeights) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+
+  Rng rng(777);
+  const WeightedInstance inst(graph, rng, /*pow2=*/true);
+  constexpr size_t kResults = 5;
+  for (const Aggregate aggregate : {Aggregate::kSum, Aggregate::kMax}) {
+    SCOPED_TRACE(AggregateName(aggregate));
+    FannQuery query{&graph, &inst.p, &inst.q, 0.5, aggregate, &inst.weights};
+    auto engine = MakeGphiEngine(GphiKind::kAStar, world.Resources());
+    const std::vector<KFannEntry> gd = SolveKGd(query, kResults, *engine);
+    const std::vector<KFannEntry> rlist =
+        SolveKRList(query, kResults, *engine);
+    ASSERT_EQ(gd.size(), rlist.size());
+    ASSERT_GT(gd.size(), 0u);
+    for (size_t i = 0; i < gd.size(); ++i) {
+      EXPECT_EQ(gd[i].vertex, rlist[i].vertex) << "rank " << i;
+      EXPECT_EQ(DistanceBits(gd[i].distance), DistanceBits(rlist[i].distance))
+          << "rank " << i;
+      EXPECT_EQ(gd[i].subset, rlist[i].subset) << "rank " << i;
+    }
+  }
+}
+
+TEST(WeightedFann, WeightIncapableEnginesRefuseBinding) {
+  const auto& world = testing::FannWorld::Get();
+  const std::vector<double> weights = {1.0, 2.0, 0.5};
+  for (const GphiKind kind : kAllGphiKinds) {
+    SCOPED_TRACE(GphiKindName(kind));
+    auto engine = MakeGphiEngine(kind, world.Resources());
+    // Every engine accepts the empty (unweighted) binding; only the
+    // weight-capable ones accept a real one.
+    EXPECT_TRUE(engine->BindWeights({}));
+    EXPECT_EQ(engine->BindWeights(weights), GphiKindSupportsWeights(kind));
+  }
+}
+
+TEST(WeightedFann, BatchScreeningRejectsWeightIncapableCombos) {
+  const auto& world = testing::FannWorld::Get();
+  const Graph& graph = world.graph();
+  Rng rng(9001);
+  const WeightedInstance inst(graph, rng, /*pow2=*/false);
+
+  const auto make_job = [&](FannAlgorithm algorithm,
+                            bool weighted) -> FannrQuery {
+    FannrQuery job;
+    job.query.graph = &graph;
+    job.query.data_points = &inst.p;
+    job.query.query_points = &inst.q;
+    job.query.phi = 0.5;
+    job.query.aggregate = Aggregate::kSum;
+    if (weighted) job.query.weights = &inst.weights;
+    job.algorithm = algorithm;
+    return job;
+  };
+
+  // Default oracle (cached SSSP) is weight-capable: weighted jobs run
+  // on weight-capable algorithms, are rejected per-job on the others,
+  // and unweighted batch-mates are unaffected.
+  {
+    BatchQueryEngine engine(world.Resources(), BatchOptions{});
+    const std::vector<FannrQuery> batch = {
+        make_job(FannAlgorithm::kGd, true),
+        make_job(FannAlgorithm::kIer, true),
+        make_job(FannAlgorithm::kRList, true),
+        make_job(FannAlgorithm::kGd, false),
+    };
+    const std::vector<FannResult> results = engine.Run(batch);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(results[0].status, QueryStatus::kOk);
+    EXPECT_EQ(results[1].status, QueryStatus::kRejected);
+    EXPECT_NE(results[1].error.find("per-query-point weights"),
+              std::string::npos)
+        << results[1].error;
+    EXPECT_EQ(results[2].status, QueryStatus::kOk);
+    EXPECT_EQ(results[3].status, QueryStatus::kOk);
+    // Weighted and unweighted answers diverge (the weights matter) yet
+    // both solved from the same batch.
+    EXPECT_EQ(DistanceBits(results[0].distance),
+              DistanceBits(results[2].distance));
+  }
+
+  // A weight-incapable configured oracle rejects every weighted job,
+  // whatever the algorithm.
+  {
+    BatchOptions options;
+    options.gphi_kind = GphiKind::kIne;
+    BatchQueryEngine engine(world.Resources(), options);
+    const std::vector<FannrQuery> batch = {
+        make_job(FannAlgorithm::kGd, true),
+        make_job(FannAlgorithm::kGd, false),
+    };
+    const std::vector<FannResult> results = engine.Run(batch);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, QueryStatus::kRejected);
+    EXPECT_NE(results[0].error.find("do not support per-query-point weights"),
+              std::string::npos)
+        << results[0].error;
+    EXPECT_EQ(results[1].status, QueryStatus::kOk);
+  }
+}
+
+}  // namespace
+}  // namespace fannr

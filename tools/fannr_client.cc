@@ -19,6 +19,15 @@
 //                      nothing else — the multi-node smoke uses this to
 //                      advance the fleet epoch while a replica is down
 //                      (a query stream would need every shard alive)
+//   --subscribe N      register one standing query, print the initial
+//                      answer, then block for N pushed re-evaluations
+//                      (each printed with the epoch it was solved at;
+//                      pushed epochs must be strictly increasing), then
+//                      re-ask the same query as a one-shot and require
+//                      it to match the last pushed answer before
+//                      unsubscribing; with --force-push the server
+//                      pushes every re-evaluation even when the answer
+//                      did not change
 //
 // Smoke workload shape (client-side generation must match the graph the
 // server loaded — pass the same --preset):
@@ -209,6 +218,113 @@ int RunSmoke(net::FannClient& client, const Args& args) {
   return 0;
 }
 
+void PrintResult(const char* label, uint64_t epoch,
+                 const net::WireResult& result) {
+  if (static_cast<QueryStatus>(result.status) == QueryStatus::kOk) {
+    std::printf("%s @epoch %" PRIu64 ": best=%u dist=%.6f |subset|=%zu "
+                "(%" PRIu64 " g_phi evals)\n",
+                label, epoch, result.best, result.distance,
+                result.subset.size(), result.gphi_evaluations);
+  } else {
+    std::printf("%s @epoch %" PRIu64 ": status=%u error=%s\n", label, epoch,
+                result.status, result.error.c_str());
+  }
+}
+
+int RunSubscribe(net::FannClient& client, const Args& args) {
+  const std::string preset = args.Get("preset", "TEST");
+  if (!IsPresetName(preset)) return Fail("unknown preset");
+  // Local copy only to generate valid vertex ids — pass the server's
+  // own --preset or the query points will not exist over there.
+  const Graph graph = BuildPreset(preset);
+
+  const size_t num_pushes = args.GetSize("subscribe", 1);
+  const double phi = args.GetDouble("phi", 0.5);
+  const std::optional<uint8_t> algorithm =
+      ParseAlgorithm(args.Get("algorithm", "rlist"));
+  if (!algorithm.has_value()) return Fail("unknown algorithm");
+
+  Rng rng(args.GetSize("seed", 1));
+  const std::vector<VertexId> p_ids = GenerateDataPoints(graph, 0.01, rng);
+  net::WireQuery query;
+  query.algorithm = *algorithm;
+  query.aggregate = args.Get("agg", "sum") == "max"
+                        ? static_cast<uint8_t>(Aggregate::kMax)
+                        : static_cast<uint8_t>(Aggregate::kSum);
+  query.phi = phi;
+  query.p = std::vector<uint32_t>(p_ids.begin(), p_ids.end());
+  const std::vector<VertexId> q_ids =
+      GenerateUniformQueryPoints(graph, 0.25, 16, rng);
+  query.q = std::vector<uint32_t>(q_ids.begin(), q_ids.end());
+
+  uint64_t subscription_id = 0;
+  net::SubscribeResponse initial;
+  if (!client.Subscribe(query, args.Has("force-push"), &subscription_id,
+                        initial)) {
+    std::fprintf(stderr, "SUBSCRIBE failed: %s\n",
+                 client.last_error().c_str());
+    return 1;
+  }
+  if (static_cast<QueryStatus>(initial.result.status) != QueryStatus::kOk) {
+    std::fprintf(stderr, "subscription refused: %s\n",
+                 initial.result.error.c_str());
+    return 1;
+  }
+  std::printf("subscribed: id %" PRIu64 "\n", subscription_id);
+  PrintResult("initial", initial.graph_epoch, initial.result);
+  std::fflush(stdout);
+
+  uint64_t last_epoch = initial.graph_epoch;
+  net::WireResult last_result = initial.result;
+  for (size_t i = 0; i < num_pushes; ++i) {
+    net::ReceivedPush push;
+    if (!client.WaitPush(push)) {
+      std::fprintf(stderr, "push wait failed: %s\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+    PrintResult("push", push.answer.graph_epoch, push.answer.result);
+    std::fflush(stdout);
+    if (push.answer.graph_epoch <= last_epoch) {
+      std::fprintf(stderr,
+                   "pushed epoch %" PRIu64 " is not past %" PRIu64 "\n",
+                   push.answer.graph_epoch, last_epoch);
+      return 1;
+    }
+    last_epoch = push.answer.graph_epoch;
+    last_result = push.answer.result;
+  }
+
+  // The push path and the request path must agree once the graph is
+  // quiet: re-ask the standing query as a one-shot and compare it with
+  // the last delivered answer.
+  net::QueryResponse oneshot;
+  if (!client.Query(query, oneshot)) {
+    std::fprintf(stderr, "final one-shot failed: %s\n",
+                 client.last_error().c_str());
+    return 1;
+  }
+  if (oneshot.graph_epoch != last_epoch ||
+      !net::SameVisibleAnswer(oneshot.result, last_result)) {
+    PrintResult("one-shot", oneshot.graph_epoch, oneshot.result);
+    std::fprintf(stderr,
+                 "final one-shot diverges from the last pushed answer\n");
+    return 1;
+  }
+  std::printf("final one-shot matches @epoch %" PRIu64 "\n",
+              oneshot.graph_epoch);
+
+  net::UnsubscribeResponse done;
+  if (!client.Unsubscribe(subscription_id, done) || done.status != 0) {
+    std::fprintf(stderr, "UNSUBSCRIBE failed: %s\n",
+                 client.last_error().c_str());
+    return 1;
+  }
+  std::printf("unsubscribed after %" PRIu64 " push%s\n", done.pushes_sent,
+              done.pushes_sent == 1 ? "" : "es");
+  return 0;
+}
+
 int RunWaves(net::FannClient& client, const Args& args) {
   const std::string preset = args.Get("preset", "TEST");
   if (!IsPresetName(preset)) return Fail("unknown preset");
@@ -252,7 +368,8 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--stats") == 0 ||
         std::strcmp(argv[i], "--shutdown") == 0 ||
-        std::strcmp(argv[i], "--smoke") == 0) {
+        std::strcmp(argv[i], "--smoke") == 0 ||
+        std::strcmp(argv[i], "--force-push") == 0) {
       args.values[argv[i] + 2] = "1";
     } else if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
       args.values[argv[i] + 2] = argv[i + 1];
@@ -302,6 +419,8 @@ int main(int argc, char** argv) {
   }
   if (args.Has("smoke")) return RunSmoke(client, args);
   if (args.Has("waves")) return RunWaves(client, args);
+  if (args.Has("subscribe")) return RunSubscribe(client, args);
   return Fail(
-      "pick a mode: --ping N | --stats | --shutdown | --smoke | --waves N");
+      "pick a mode: --ping N | --stats | --shutdown | --smoke | --waves N | "
+      "--subscribe N");
 }

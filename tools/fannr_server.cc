@@ -19,6 +19,10 @@
 //   --default-deadline-ms F  server-wide e2e deadline; 0 = none
 //   --drain-deadline-ms F    drain budget on shutdown (default 10000)
 //
+// Continuous queries (DESIGN.md §2.14):
+//   --max-subscriptions-per-connection N   (default 8; 0 = unlimited)
+//   --max-subscriptions-total N            (default 1024; 0 = unlimited)
+//
 // Multi-node (DESIGN.md §2.13):
 //   --wal FILE               durable update log: replayed onto the
 //                            freshly loaded graph at startup, then
@@ -218,6 +222,10 @@ int main(int argc, char** argv) {
   config.max_queue_depth = args.GetSize("max-queue-depth", 128);
   config.default_deadline_ms = args.GetDouble("default-deadline-ms", 0.0);
   config.drain_deadline_ms = args.GetDouble("drain-deadline-ms", 10'000.0);
+  config.max_subscriptions_per_connection =
+      args.GetSize("max-subscriptions-per-connection", 8);
+  config.max_subscriptions_total =
+      args.GetSize("max-subscriptions-total", 1024);
   config.engine_options.num_threads = args.GetSize("threads", 1);
   config.engine_options.gphi_kind = kind;
   config.wal = wal.get();
